@@ -1,0 +1,27 @@
+//===- analysis/CFGContext.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFGContext.h"
+
+using namespace sldb;
+
+CFGContext::CFGContext(IRFunction &F) : F(F) {
+  F.recomputePreds();
+  Order = F.rpo();
+  for (unsigned I = 0; I < Order.size(); ++I)
+    Index[Order[I]] = I;
+  Preds.resize(Order.size());
+  Succs.resize(Order.size());
+  for (unsigned I = 0; I < Order.size(); ++I) {
+    BasicBlock *B = Order[I];
+    for (BasicBlock *S : B->succs()) {
+      Succs[I].push_back(Index.at(S));
+      Preds[Index.at(S)].push_back(I);
+    }
+    if (B->hasTerm() && B->term().Op == Opcode::Ret)
+      Exits.push_back(I);
+  }
+}

@@ -1,0 +1,64 @@
+//===- analysis/CFGContext.h - Dense CFG indexing ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Snapshot of a function's CFG with dense block indices, used by every
+/// data-flow analysis.  Analyses are invalidated by CFG mutation; passes
+/// rebuild the context after structural changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_CFGCONTEXT_H
+#define SLDB_ANALYSIS_CFGCONTEXT_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sldb {
+
+/// Dense, immutable view of a function's CFG.
+class CFGContext {
+public:
+  explicit CFGContext(IRFunction &F);
+
+  IRFunction &function() const { return F; }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Order.size()); }
+
+  /// Blocks in reverse post-order (entry first; unreachable blocks last).
+  const std::vector<BasicBlock *> &blocks() const { return Order; }
+
+  unsigned indexOf(const BasicBlock *B) const {
+    auto It = Index.find(B);
+    assert(It != Index.end() && "block not in CFG context");
+    return It->second;
+  }
+
+  BasicBlock *block(unsigned Idx) const { return Order[Idx]; }
+
+  const std::vector<unsigned> &preds(unsigned Idx) const {
+    return Preds[Idx];
+  }
+  const std::vector<unsigned> &succs(unsigned Idx) const {
+    return Succs[Idx];
+  }
+
+  /// Indices of blocks whose terminator is Ret (function exits).
+  const std::vector<unsigned> &exits() const { return Exits; }
+
+private:
+  IRFunction &F;
+  std::vector<BasicBlock *> Order;
+  std::unordered_map<const BasicBlock *, unsigned> Index;
+  std::vector<std::vector<unsigned>> Preds, Succs;
+  std::vector<unsigned> Exits;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_CFGCONTEXT_H

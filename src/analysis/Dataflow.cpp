@@ -1,0 +1,102 @@
+//===- analysis/Dataflow.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+using namespace sldb;
+
+DataflowResult sldb::solveDataflowGeneric(
+    unsigned NumBlocks, const std::vector<std::vector<unsigned>> &Preds,
+    const std::vector<std::vector<unsigned>> &Succs,
+    const std::vector<unsigned> &Exits, const DataflowProblem &P) {
+  const unsigned N = NumBlocks;
+  const bool Fwd = P.Dir == FlowDir::Forward;
+  const bool Union = P.Meet == FlowMeet::Union;
+
+  DataflowResult R;
+  R.In.assign(N, BitVector(P.Universe, !Union));
+  R.Out.assign(N, BitVector(P.Universe, !Union));
+
+  // "Meet input" of a block: In for forward, Out for backward.
+  // "Result" of a block:     Out for forward, In for backward.
+  auto &MeetSide = Fwd ? R.In : R.Out;
+  auto &ResultSide = Fwd ? R.Out : R.In;
+
+  auto edgesIn = [&](unsigned B) -> const std::vector<unsigned> & {
+    return Fwd ? Preds[B] : Succs[B];
+  };
+  auto isBoundary = [&](unsigned B) {
+    if (Fwd)
+      return B == 0; // Entry block has index 0.
+    for (unsigned E : Exits)
+      if (E == B)
+        return true;
+    return false;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Forward problems converge fastest in order; backward in reverse.
+    for (unsigned Step = 0; Step < N; ++Step) {
+      unsigned B = Fwd ? Step : N - 1 - Step;
+
+      // Meet over incoming edges.
+      BitVector NewMeet(P.Universe, !Union);
+      const std::vector<unsigned> &Edges = edgesIn(B);
+      if (Edges.empty() && !isBoundary(B)) {
+        // No incoming information: keep the top (Intersect) or bottom
+        // (Union) value.
+      } else {
+        bool First = true;
+        for (unsigned E : Edges) {
+          if (First) {
+            NewMeet = ResultSide[E];
+            First = false;
+          } else if (Union) {
+            NewMeet |= ResultSide[E];
+          } else {
+            NewMeet &= ResultSide[E];
+          }
+        }
+        if (isBoundary(B)) {
+          if (First) {
+            NewMeet = P.Boundary;
+            First = false;
+          } else if (Union) {
+            NewMeet |= P.Boundary;
+          } else {
+            NewMeet &= P.Boundary;
+          }
+        }
+        if (First)
+          NewMeet = BitVector(P.Universe, !Union);
+      }
+
+      BitVector NewResult = NewMeet;
+      NewResult.subtract(P.Kill[B]);
+      NewResult |= P.Gen[B];
+
+      if (NewMeet != MeetSide[B] || NewResult != ResultSide[B]) {
+        MeetSide[B] = std::move(NewMeet);
+        ResultSide[B] = std::move(NewResult);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}
+
+DataflowResult sldb::solveDataflow(const CFGContext &CFG,
+                                   const DataflowProblem &P) {
+  const unsigned N = CFG.numBlocks();
+  std::vector<std::vector<unsigned>> Preds(N), Succs(N);
+  for (unsigned B = 0; B < N; ++B) {
+    Preds[B] = CFG.preds(B);
+    Succs[B] = CFG.succs(B);
+  }
+  return solveDataflowGeneric(N, Preds, Succs, CFG.exits(), P);
+}

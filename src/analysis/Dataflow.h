@@ -1,0 +1,79 @@
+//===- analysis/Dataflow.h - Iterative bit-vector solver --------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic iterative gen/kill bit-vector data-flow solver.  All of the
+/// paper's analyses — reaching definitions, liveness, availability, and the
+/// novel hoist-reach and dead-reach problems — instantiate this framework,
+/// exactly as cmcc reused its optimizer's data-flow modules (paper §1,
+/// "the data-flow analysis required to support the debugger ... uses the
+/// same modules").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_DATAFLOW_H
+#define SLDB_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFGContext.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace sldb {
+
+/// Direction of propagation.
+enum class FlowDir { Forward, Backward };
+
+/// Meet operator: union ("along some path") or intersection ("along all
+/// paths").  The paper's suspect/noncurrent split is exactly the difference
+/// between these two meets over the same gen/kill sets (Lemmas 2/3, 5/6).
+enum class FlowMeet { Union, Intersect };
+
+/// A gen/kill data-flow problem over a fixed universe of facts.
+struct DataflowProblem {
+  FlowDir Dir = FlowDir::Forward;
+  FlowMeet Meet = FlowMeet::Union;
+  unsigned Universe = 0;
+
+  /// Per-block transfer function pieces, indexed by CFG block index.
+  std::vector<BitVector> Gen, Kill;
+
+  /// Value at the boundary (entry for forward, virtual exit for backward).
+  BitVector Boundary;
+
+  /// Initializes Gen/Kill/Boundary to empty sets for \p CFG.
+  void init(const CFGContext &CFG, unsigned UniverseSize) {
+    Universe = UniverseSize;
+    Gen.assign(CFG.numBlocks(), BitVector(Universe));
+    Kill.assign(CFG.numBlocks(), BitVector(Universe));
+    Boundary = BitVector(Universe);
+  }
+};
+
+/// Fixed point of a data-flow problem: In/Out per block.
+struct DataflowResult {
+  std::vector<BitVector> In, Out;
+};
+
+/// Solves \p P over \p CFG by worklist iteration to the maximum (Intersect)
+/// or minimum (Union) fixed point.
+DataflowResult solveDataflow(const CFGContext &CFG, const DataflowProblem &P);
+
+/// Graph-agnostic variant: \p Preds / \p Succs are edge lists by block
+/// index (block 0 = entry), \p Exits lists the blocks meeting the virtual
+/// exit.  Used by the debugger-side analyses, which run over *machine*
+/// CFGs (paper §3: the analyses are performed on the final
+/// instruction-level representation).
+DataflowResult
+solveDataflowGeneric(unsigned NumBlocks,
+                     const std::vector<std::vector<unsigned>> &Preds,
+                     const std::vector<std::vector<unsigned>> &Succs,
+                     const std::vector<unsigned> &Exits,
+                     const DataflowProblem &P);
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,63 @@
+//===- analysis/Dominators.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace sldb;
+
+Dominators::Dominators(const CFGContext &CFG) {
+  const unsigned N = CFG.numBlocks();
+  Dom.assign(N, BitVector(N, true));
+  Dom[0] = BitVector(N);
+  Dom[0].set(0);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 1; B < N; ++B) {
+      BitVector NewDom(N, true);
+      if (CFG.preds(B).empty())
+        NewDom = BitVector(N); // Unreachable: dominated only by itself.
+      for (unsigned P : CFG.preds(B))
+        NewDom &= Dom[P];
+      NewDom.set(B);
+      if (NewDom != Dom[B]) {
+        Dom[B] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+}
+
+PostDominators::PostDominators(const CFGContext &CFG) {
+  const unsigned N = CFG.numBlocks();
+  PDom.assign(N, BitVector(N, true));
+  for (unsigned E : CFG.exits()) {
+    PDom[E] = BitVector(N);
+    PDom[E].set(E);
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Step = 0; Step < N; ++Step) {
+      unsigned B = N - 1 - Step;
+      bool IsExit = false;
+      for (unsigned E : CFG.exits())
+        IsExit |= E == B;
+      if (IsExit)
+        continue;
+      BitVector NewPD(N, true);
+      if (CFG.succs(B).empty())
+        NewPD = BitVector(N); // No path to exit: only itself.
+      for (unsigned S : CFG.succs(B))
+        NewPD &= PDom[S];
+      NewPD.set(B);
+      if (NewPD != PDom[B]) {
+        PDom[B] = std::move(NewPD);
+        Changed = true;
+      }
+    }
+  }
+}

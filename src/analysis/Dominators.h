@@ -1,0 +1,58 @@
+//===- analysis/Dominators.h - Dominator/post-dominator sets ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator sets via iterative bit-vector iteration.
+/// The paper's code-motion invariants are phrased with these relations:
+/// hoisting copies an expression to blocks *post-dominated* by the original
+/// block; sinking moves it to blocks *dominated* by it (paper §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_DOMINATORS_H
+#define SLDB_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFGContext.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace sldb {
+
+/// Dominator sets: Dom[b] = blocks that dominate b.
+class Dominators {
+public:
+  explicit Dominators(const CFGContext &CFG);
+
+  /// Returns true if block \p A dominates block \p B (indices).
+  bool dominates(unsigned A, unsigned B) const { return Dom[B].test(A); }
+
+  const BitVector &domSet(unsigned B) const { return Dom[B]; }
+
+private:
+  std::vector<BitVector> Dom;
+};
+
+/// Post-dominator sets: PDom[b] = blocks that post-dominate b.  A virtual
+/// exit joins all Ret blocks; blocks that cannot reach any exit (infinite
+/// loops) are post-dominated by everything (vacuous) — callers relying on
+/// safety must also require reachability.
+class PostDominators {
+public:
+  explicit PostDominators(const CFGContext &CFG);
+
+  /// Returns true if block \p A post-dominates block \p B (indices).
+  bool postDominates(unsigned A, unsigned B) const { return PDom[B].test(A); }
+
+  const BitVector &postDomSet(unsigned B) const { return PDom[B]; }
+
+private:
+  std::vector<BitVector> PDom;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_DOMINATORS_H

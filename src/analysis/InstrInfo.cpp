@@ -1,0 +1,102 @@
+//===- analysis/InstrInfo.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InstrInfo.h"
+
+using namespace sldb;
+
+std::vector<Value> sldb::instrUses(const Instr &I) {
+  std::vector<Value> Uses;
+  switch (I.Op) {
+  case Opcode::AddrOf:
+    // The operand names a variable but its *address*, not its value, is
+    // read; taking an address is not a use of the scalar value.
+    return Uses;
+  case Opcode::DeadMarker:
+  case Opcode::AvailMarker:
+  case Opcode::Nop:
+  case Opcode::Br:
+    return Uses;
+  default:
+    break;
+  }
+  for (const Value &V : I.Ops)
+    if (V.isTemp() || V.isVar())
+      Uses.push_back(V);
+  return Uses;
+}
+
+bool sldb::instrMayClobberVar(const Instr &I, const VarInfo &V) {
+  if (!V.isScalar())
+    return false; // Arrays are not tracked as scalar data-flow values.
+  switch (I.Op) {
+  case Opcode::Store:
+    // A store can write any address-taken scalar.
+    return V.AddressTaken;
+  case Opcode::Call:
+    // A callee can write globals directly and address-taken locals
+    // through escaped pointers.
+    return V.AddressTaken || V.Storage == StorageKind::Global;
+  default:
+    return false;
+  }
+}
+
+bool sldb::instrMayReadVar(const Instr &I, const VarInfo &V) {
+  if (!V.isScalar())
+    return false;
+  switch (I.Op) {
+  case Opcode::Load:
+    return V.AddressTaken;
+  case Opcode::Call:
+    return V.AddressTaken || V.Storage == StorageKind::Global;
+  case Opcode::Ret:
+    // Values of globals must survive to the caller: treat returns as uses
+    // of every global so assignments to them are never "dead" at exits.
+    return V.Storage == StorageKind::Global;
+  default:
+    return false;
+  }
+}
+
+ValueIndex::ValueIndex(const IRFunction &F, const ProgramInfo &Info) {
+  auto AddVar = [&](VarId Id) {
+    if (Id == InvalidVar || VarIdx.count(Id))
+      return;
+    if (!Info.var(Id).isScalar())
+      return;
+    VarIdx[Id] = Count++;
+    Vars.push_back(Id);
+  };
+  // First pass: collect variables (they occupy the low indices so
+  // isVarIndex() can answer by range).
+  for (VarId P : F.Params)
+    AddVar(P);
+  for (const auto &B : F.Blocks)
+    for (const Instr &I : B->Insts) {
+      if (I.Dest.isVar())
+        AddVar(I.Dest.Id);
+      for (const Value &V : I.Ops)
+        if (V.isVar())
+          AddVar(V.Id);
+      if (I.MarkVar != InvalidVar)
+        AddVar(I.MarkVar);
+      if (I.Recovery.isVar())
+        AddVar(I.Recovery.Id);
+    }
+  // Globals referenced nowhere still matter for scope queries; callers
+  // handle those separately.  Second pass: temps.
+  for (const auto &B : F.Blocks)
+    for (const Instr &I : B->Insts) {
+      if (I.Dest.isTemp() && !TempIdx.count(I.Dest.Id))
+        TempIdx[I.Dest.Id] = Count++;
+      for (const Value &V : I.Ops)
+        if (V.isTemp() && !TempIdx.count(V.Id))
+          TempIdx[V.Id] = Count++;
+      if (I.Recovery.isTemp() && !TempIdx.count(I.Recovery.Id))
+        TempIdx[I.Recovery.Id] = Count++;
+    }
+}

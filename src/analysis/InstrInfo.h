@@ -1,0 +1,87 @@
+//===- analysis/InstrInfo.h - Use/def queries -------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative use/def queries for instructions, including the may-use /
+/// may-def effects of calls, loads and stores on address-taken and global
+/// variables.  Also provides ValueIndex, the dense numbering of the
+/// variables and temporaries a function touches (the bit positions of the
+/// data-flow universes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_INSTRINFO_H
+#define SLDB_ANALYSIS_INSTRINFO_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sldb {
+
+/// Returns the values directly read by \p I (operands only, no may-uses).
+std::vector<Value> instrUses(const Instr &I);
+
+/// Returns true if \p I may write variable \p V through memory or a call
+/// (not counting a direct destination).
+bool instrMayClobberVar(const Instr &I, const VarInfo &V);
+
+/// Returns true if \p I may read variable \p V indirectly (through memory
+/// or a call).
+bool instrMayReadVar(const Instr &I, const VarInfo &V);
+
+/// Dense numbering of the scalar values (variables and temps) appearing in
+/// one function: bit positions for liveness-style universes.
+class ValueIndex {
+public:
+  ValueIndex(const IRFunction &F, const ProgramInfo &Info);
+
+  unsigned size() const { return Count; }
+
+  /// Index of a variable; ~0u if the variable is not tracked (arrays).
+  unsigned varIndex(VarId V) const {
+    auto It = VarIdx.find(V);
+    return It == VarIdx.end() ? ~0u : It->second;
+  }
+
+  /// Index of a temporary.
+  unsigned tempIndex(TempId T) const {
+    auto It = TempIdx.find(T);
+    return It == TempIdx.end() ? ~0u : It->second;
+  }
+
+  /// Index of a Value (Temp or Var); ~0u otherwise.
+  unsigned valueIndex(const Value &V) const {
+    if (V.isVar())
+      return varIndex(V.Id);
+    if (V.isTemp())
+      return tempIndex(V.Id);
+    return ~0u;
+  }
+
+  /// All tracked variables (for iterating may-def sets).
+  const std::vector<VarId> &trackedVars() const { return Vars; }
+
+  /// Reverse lookup: returns true + fills \p V if index \p Idx is a var.
+  bool isVarIndex(unsigned Idx, VarId &V) const {
+    if (Idx < Vars.size()) {
+      V = Vars[Idx];
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::unordered_map<VarId, unsigned> VarIdx;
+  std::unordered_map<TempId, unsigned> TempIdx;
+  std::vector<VarId> Vars;
+  unsigned Count = 0;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_INSTRINFO_H

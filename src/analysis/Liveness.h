@@ -1,0 +1,54 @@
+//===- analysis/Liveness.h - Live variables ---------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward live-variable analysis over the ValueIndex universe
+/// (variables + temporaries), with per-instruction queries.  Drives dead
+/// assignment elimination, partial dead-code elimination (sinking), and
+/// register allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_LIVENESS_H
+#define SLDB_ANALYSIS_LIVENESS_H
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dataflow.h"
+#include "analysis/InstrInfo.h"
+
+namespace sldb {
+
+/// Live-variable analysis result.
+class Liveness {
+public:
+  Liveness(const CFGContext &CFG, const ValueIndex &VI,
+           const ProgramInfo &Info);
+
+  /// Live set at block entry / exit.
+  const BitVector &liveIn(unsigned BlockIdx) const { return R.In[BlockIdx]; }
+  const BitVector &liveOut(unsigned BlockIdx) const {
+    return R.Out[BlockIdx];
+  }
+
+  /// Returns the live set immediately *after* instruction \p Pos of block
+  /// \p BlockIdx executes (recomputed by a backward walk; O(block size)).
+  BitVector liveAfter(unsigned BlockIdx, const Instr *Pos) const;
+
+  /// Applies one instruction's transfer function (backward) to \p Live.
+  void transfer(const Instr &I, BitVector &Live) const;
+
+  const ValueIndex &values() const { return VI; }
+
+private:
+  const CFGContext &CFG;
+  const ValueIndex &VI;
+  const ProgramInfo &Info;
+  DataflowResult R;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_LIVENESS_H

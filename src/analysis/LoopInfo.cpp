@@ -1,0 +1,98 @@
+//===- analysis/LoopInfo.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+
+using namespace sldb;
+
+LoopInfo::LoopInfo(const CFGContext &CFG, const Dominators &Dom) {
+  const unsigned N = CFG.numBlocks();
+  // Find back edges T -> H where H dominates T; merge loops per header.
+  for (unsigned T = 0; T < N; ++T)
+    for (unsigned H : CFG.succs(T)) {
+      if (!Dom.dominates(H, T))
+        continue;
+      Loop *L = nullptr;
+      for (Loop &Existing : Loops)
+        if (Existing.Header == H)
+          L = &Existing;
+      if (!L) {
+        Loops.push_back(Loop());
+        L = &Loops.back();
+        L->Header = H;
+        L->Blocks = BitVector(N);
+        L->Blocks.set(H);
+      }
+      L->Latches.push_back(T);
+      // Natural loop body: walk backwards from the latch until the header.
+      std::vector<unsigned> Work;
+      if (!L->Blocks.test(T)) {
+        L->Blocks.set(T);
+        Work.push_back(T);
+      }
+      while (!Work.empty()) {
+        unsigned B = Work.back();
+        Work.pop_back();
+        for (unsigned P : CFG.preds(B))
+          if (!L->Blocks.test(P)) {
+            L->Blocks.set(P);
+            Work.push_back(P);
+          }
+      }
+    }
+
+  // Exit blocks.
+  for (Loop &L : Loops)
+    for (unsigned B : L.Blocks)
+      for (unsigned S : CFG.succs(B))
+        if (!L.contains(S) &&
+            std::find(L.ExitBlocks.begin(), L.ExitBlocks.end(), S) ==
+                L.ExitBlocks.end())
+          L.ExitBlocks.push_back(S);
+}
+
+BasicBlock *sldb::findPreheader(const CFGContext &CFG, const Loop &L) {
+  BasicBlock *Header = CFG.block(L.Header);
+  BasicBlock *Candidate = nullptr;
+  for (BasicBlock *P : Header->Preds) {
+    unsigned PIdx = CFG.indexOf(P);
+    if (L.contains(PIdx))
+      continue; // Latch.
+    if (Candidate)
+      return nullptr; // Multiple outside predecessors.
+    Candidate = P;
+  }
+  if (!Candidate)
+    return nullptr;
+  if (Candidate->succs().size() != 1)
+    return nullptr;
+  return Candidate;
+}
+
+BasicBlock *sldb::getOrCreatePreheader(CFGContext &CFG, const Loop &L,
+                                       bool &Changed) {
+  Changed = false;
+  if (BasicBlock *PH = findPreheader(CFG, L))
+    return PH;
+  IRFunction &F = CFG.function();
+  BasicBlock *Header = CFG.block(L.Header);
+  BasicBlock *PH = F.newBlock("preheader");
+  Instr Jump;
+  Jump.Op = Opcode::Br;
+  Jump.Succs[0] = Header;
+  PH->Insts.push_back(Jump);
+  std::vector<BasicBlock *> Preds = Header->Preds;
+  for (BasicBlock *P : Preds) {
+    if (L.contains(CFG.indexOf(P)))
+      continue; // Latches keep their back edge.
+    P->replaceSucc(Header, PH);
+  }
+  F.recomputePreds();
+  Changed = true;
+  return PH;
+}

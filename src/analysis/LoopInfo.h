@@ -1,0 +1,59 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from back edges, plus preheader creation.  Used
+/// by loop-invariant code motion, induction-variable optimization and loop
+/// peeling/unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_LOOPINFO_H
+#define SLDB_ANALYSIS_LOOPINFO_H
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dominators.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace sldb {
+
+/// One natural loop.
+struct Loop {
+  unsigned Header = 0;            ///< Block index of the header.
+  BitVector Blocks;               ///< Membership over block indices.
+  std::vector<unsigned> Latches;  ///< Back-edge sources.
+  std::vector<unsigned> ExitBlocks; ///< Blocks outside with a pred inside.
+
+  bool contains(unsigned BlockIdx) const { return Blocks.test(BlockIdx); }
+};
+
+/// All natural loops of a function (loops with the same header merged).
+class LoopInfo {
+public:
+  LoopInfo(const CFGContext &CFG, const Dominators &Dom);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+private:
+  std::vector<Loop> Loops;
+};
+
+/// Returns the preheader of \p L (the unique predecessor of the header
+/// from outside the loop that has the header as its only successor), or
+/// null if there is none.  \p CFG must be current.
+BasicBlock *findPreheader(const CFGContext &CFG, const Loop &L);
+
+/// Ensures \p L has a preheader, creating one if necessary by redirecting
+/// all non-latch predecessors of the header through a fresh block.
+/// Invalidates the CFGContext if it creates a block (returns true then).
+BasicBlock *getOrCreatePreheader(CFGContext &CFG, const Loop &L,
+                                 bool &Changed);
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_LOOPINFO_H

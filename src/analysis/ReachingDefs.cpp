@@ -1,0 +1,83 @@
+//===- analysis/ReachingDefs.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+using namespace sldb;
+
+ReachingDefs::ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
+                           const ProgramInfo &Info)
+    : VI(VI), Info(Info) {
+  // Enumerate real definition sites.
+  for (unsigned B = 0; B < CFG.numBlocks(); ++B)
+    for (const Instr &I : CFG.block(B)->Insts) {
+      unsigned DIdx = VI.valueIndex(I.Dest);
+      if (DIdx == ~0u)
+        continue;
+      DefOfInstr[&I] = static_cast<unsigned>(Defs.size());
+      Defs.push_back({&I, B, DIdx});
+    }
+  UnknownBase = static_cast<unsigned>(Defs.size());
+  // One pseudo unknown-def per tracked value.
+  for (unsigned V = 0; V < VI.size(); ++V)
+    Defs.push_back({nullptr, 0, V});
+
+  const unsigned Universe = static_cast<unsigned>(Defs.size());
+  DefsOf.assign(VI.size(), BitVector(Universe));
+  for (unsigned D = 0; D < Universe; ++D)
+    DefsOf[Defs[D].ValueIdx].set(D);
+
+  DataflowProblem P;
+  P.Dir = FlowDir::Forward;
+  P.Meet = FlowMeet::Union;
+  P.init(CFG, Universe);
+
+  // At entry, every value has an unknown definition (parameters, globals,
+  // zero-initialized locals).
+  for (unsigned V = 0; V < VI.size(); ++V)
+    P.Boundary.set(unknownDef(V));
+
+  for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+    BitVector Reach(Universe); // Gen accumulates; Kill likewise.
+    BitVector Gen(Universe), Kill(Universe);
+    for (const Instr &I : CFG.block(B)->Insts) {
+      // Clobbers: calls/stores may redefine address-taken/global scalars.
+      if (I.Op == Opcode::Store || I.Op == Opcode::Call) {
+        for (VarId V : VI.trackedVars())
+          if (instrMayClobberVar(I, Info.var(V))) {
+            unsigned VIdx = VI.varIndex(V);
+            // Unknown def: kill nothing (weak update), gen unknown bit.
+            Gen.set(unknownDef(VIdx));
+          }
+      }
+      unsigned D = defIndexOf(&I);
+      if (D == ~0u)
+        continue;
+      unsigned VIdx = Defs[D].ValueIdx;
+      Gen.subtract(DefsOf[VIdx]);
+      Kill |= DefsOf[VIdx];
+      Gen.set(D);
+    }
+    P.Gen[B] = std::move(Gen);
+    P.Kill[B] = std::move(Kill);
+    (void)Reach;
+  }
+  R = solveDataflow(CFG, P);
+}
+
+void ReachingDefs::transfer(const Instr &I, BitVector &Reach) const {
+  if (I.Op == Opcode::Store || I.Op == Opcode::Call) {
+    for (VarId V : VI.trackedVars())
+      if (instrMayClobberVar(I, Info.var(V)))
+        Reach.set(unknownDef(VI.varIndex(V)));
+  }
+  auto It = DefOfInstr.find(&I);
+  if (It == DefOfInstr.end())
+    return;
+  unsigned VIdx = Defs[It->second].ValueIdx;
+  Reach.subtract(DefsOf[VIdx]);
+  Reach.set(It->second);
+}

@@ -1,0 +1,78 @@
+//===- analysis/ReachingDefs.h - Reaching definitions -----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic reaching-definitions analysis.  The universe has one bit per
+/// definition site (instruction defining a tracked value), plus one
+/// "unknown definition" pseudo-site per tracked value modeling parameter
+/// values, clobbers through memory/calls, and function entry state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_REACHINGDEFS_H
+#define SLDB_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dataflow.h"
+#include "analysis/InstrInfo.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sldb {
+
+/// Reaching definitions for one function.
+class ReachingDefs {
+public:
+  ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
+               const ProgramInfo &Info);
+
+  /// One definition site.
+  struct DefSite {
+    const Instr *I = nullptr; ///< Null for pseudo (unknown) defs.
+    unsigned BlockIdx = 0;
+    unsigned ValueIdx = 0; ///< ValueIndex of the defined value.
+  };
+
+  unsigned numDefs() const { return static_cast<unsigned>(Defs.size()); }
+  const DefSite &def(unsigned Idx) const { return Defs[Idx]; }
+
+  /// The pseudo "unknown definition" bit of a value.
+  unsigned unknownDef(unsigned ValueIdx) const {
+    return UnknownBase + ValueIdx;
+  }
+  bool isUnknownDef(unsigned DefIdx) const { return Defs[DefIdx].I == nullptr; }
+
+  /// Mask of all definition bits of one value.
+  const BitVector &defsOfValue(unsigned ValueIdx) const {
+    return DefsOf[ValueIdx];
+  }
+
+  /// Reaching-def set at block entry.
+  const BitVector &reachIn(unsigned BlockIdx) const { return R.In[BlockIdx]; }
+
+  /// Applies one instruction's transfer function (forward) to \p Reach.
+  void transfer(const Instr &I, BitVector &Reach) const;
+
+  /// Definition bit of instruction \p I, or ~0u if it defines nothing.
+  unsigned defIndexOf(const Instr *I) const {
+    auto It = DefOfInstr.find(I);
+    return It == DefOfInstr.end() ? ~0u : It->second;
+  }
+
+private:
+  const ValueIndex &VI;
+  const ProgramInfo &Info;
+  std::vector<DefSite> Defs;
+  unsigned UnknownBase = 0;
+  std::vector<BitVector> DefsOf;
+  std::unordered_map<const Instr *, unsigned> DefOfInstr;
+  DataflowResult R;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_REACHINGDEFS_H

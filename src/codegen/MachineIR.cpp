@@ -1,0 +1,191 @@
+//===- codegen/MachineIR.cpp - printing ------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineIR.h"
+
+#include <cstdio>
+
+using namespace sldb;
+
+std::string Reg::str() const {
+  if (!isValid())
+    return "<noreg>";
+  std::string Prefix = Cls == RegClass::Int ? "r" : "f";
+  if (isVirtual())
+    return "v" + Prefix + std::to_string(N - VirtBase);
+  return Prefix + std::to_string(N);
+}
+
+const char *sldb::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::ADD:
+    return "add";
+  case MOp::SUB:
+    return "sub";
+  case MOp::MUL:
+    return "mul";
+  case MOp::DIV:
+    return "div";
+  case MOp::REM:
+    return "rem";
+  case MOp::AND:
+    return "and";
+  case MOp::OR:
+    return "or";
+  case MOp::XOR:
+    return "xor";
+  case MOp::SLL:
+    return "sll";
+  case MOp::SRA:
+    return "sra";
+  case MOp::SEQ:
+    return "seq";
+  case MOp::SNE:
+    return "sne";
+  case MOp::SLT:
+    return "slt";
+  case MOp::SLE:
+    return "sle";
+  case MOp::SGT:
+    return "sgt";
+  case MOp::SGE:
+    return "sge";
+  case MOp::NEG:
+    return "neg";
+  case MOp::NOT:
+    return "not";
+  case MOp::MOV:
+    return "mov";
+  case MOp::LI:
+    return "li";
+  case MOp::FADD:
+    return "fadd";
+  case MOp::FSUB:
+    return "fsub";
+  case MOp::FMUL:
+    return "fmul";
+  case MOp::FDIV:
+    return "fdiv";
+  case MOp::FNEG:
+    return "fneg";
+  case MOp::FMOV:
+    return "fmov";
+  case MOp::LID:
+    return "lid";
+  case MOp::FEQ:
+    return "feq";
+  case MOp::FNE:
+    return "fne";
+  case MOp::FLT:
+    return "flt";
+  case MOp::FLE:
+    return "fle";
+  case MOp::FGT:
+    return "fgt";
+  case MOp::FGE:
+    return "fge";
+  case MOp::CVTID:
+    return "cvtid";
+  case MOp::CVTDI:
+    return "cvtdi";
+  case MOp::LW:
+    return "lw";
+  case MOp::SW:
+    return "sw";
+  case MOp::LD:
+    return "ld";
+  case MOp::SD:
+    return "sd";
+  case MOp::LA:
+    return "la";
+  case MOp::J:
+    return "j";
+  case MOp::BNEZ:
+    return "bnez";
+  case MOp::JAL:
+    return "jal";
+  case MOp::RET:
+    return "ret";
+  case MOp::PRINTI:
+    return "printi";
+  case MOp::PRINTD:
+    return "printd";
+  case MOp::MDEAD:
+    return "mdead";
+  case MOp::MAVAIL:
+    return "mavail";
+  case MOp::MNOP:
+    return "mnop";
+  }
+  return "???";
+}
+
+std::string sldb::printMInstr(const MInstr &I, const MachineFunction &F,
+                              const ProgramInfo *Info) {
+  std::string S = mopName(I.Op);
+  auto AddReg = [&](const Reg &R) {
+    if (R.isValid())
+      S += " " + R.str();
+  };
+  AddReg(I.Dest);
+  AddReg(I.Src0);
+  AddReg(I.Src1);
+  if (I.Op == MOp::LI)
+    S += " " + std::to_string(I.Imm);
+  if (I.Op == MOp::LID) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " %g", I.FImm);
+    S += Buf;
+  }
+  if (I.AddrReg.isValid())
+    S += " [" + I.AddrReg.str() + "]";
+  if (I.FrameSlot >= 0)
+    S += " fp[" + std::to_string(I.FrameSlot) + "]";
+  if (I.GlobalVar != InvalidVar)
+    S += " @" + (Info ? Info->var(I.GlobalVar).Name
+                      : std::to_string(I.GlobalVar));
+  if (I.TargetBlock != ~0u)
+    S += " ->" + F.Blocks[I.TargetBlock].Name;
+  if (I.Callee != InvalidFunc)
+    S += " fn" + std::to_string(I.Callee);
+  if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL) {
+    S += " var=" +
+         (Info ? Info->var(I.MarkVar).Name : std::to_string(I.MarkVar));
+    S += " @s" + std::to_string(I.MarkStmt);
+  }
+
+  std::string Ann;
+  if (I.Stmt != InvalidStmt)
+    Ann += " s" + std::to_string(I.Stmt);
+  if (I.DestVar != InvalidVar)
+    Ann += " =>" +
+           (Info ? Info->var(I.DestVar).Name : std::to_string(I.DestVar));
+  if (I.IsHoisted)
+    Ann += " hoisted(" + std::to_string(I.HoistKey) + ")";
+  if (I.IsSunk)
+    Ann += " sunk";
+  if (!Ann.empty())
+    S += "  ;" + Ann;
+  return S;
+}
+
+std::string sldb::printMachineFunction(const MachineFunction &F,
+                                       const ProgramInfo *Info) {
+  std::string S = "machine func " + F.Name + " (frame " +
+                  std::to_string(F.FrameSize) + "):\n";
+  unsigned Addr = 0;
+  for (const MachineBlock &B : F.Blocks) {
+    S += B.Name + ":\n";
+    for (const MInstr &I : B.Insts) {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%4u: ", Addr++);
+      S += Buf;
+      S += printMInstr(I, F, Info);
+      S += "\n";
+    }
+  }
+  return S;
+}

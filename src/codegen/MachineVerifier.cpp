@@ -1,0 +1,121 @@
+//===- codegen/MachineVerifier.cpp ----------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineVerifier.h"
+
+#include "codegen/RegAlloc.h"
+
+using namespace sldb;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const MachineFunction &MF, const ProgramInfo &Info,
+           std::vector<std::string> &Errors)
+      : MF(MF), Info(Info), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void fail(const std::string &Msg) {
+    Errors.push_back(MF.Name + ": " + Msg);
+    OK = false;
+  }
+  void check(bool Cond, const std::string &Msg) {
+    if (!Cond)
+      fail(Msg);
+  }
+  void checkReg(const Reg &R, const char *What) {
+    if (!R.isValid())
+      return;
+    check(!R.isVirtual(),
+          std::string(What) + ": virtual register survived allocation");
+    if (R.Cls == RegClass::Int)
+      check(R.N < R3K::NumIntRegs, std::string(What) + ": r out of range");
+    else
+      check(R.N < R3K::NumFpRegs, std::string(What) + ": f out of range");
+  }
+
+  const MachineFunction &MF;
+  const ProgramInfo &Info;
+  std::vector<std::string> &Errors;
+  bool OK = true;
+};
+
+} // namespace
+
+bool Verifier::run() {
+  const std::uint32_t Total = MF.numInstrs();
+  check(MF.BlockAddr.size() == MF.Blocks.size(),
+        "block address table size mismatch");
+
+  for (std::size_t B = 0; B < MF.Blocks.size(); ++B) {
+    const MachineBlock &Blk = MF.Blocks[B];
+    check(!Blk.Insts.empty(), "empty machine block " + Blk.Name);
+    for (const MInstr &I : Blk.Insts) {
+      checkReg(I.Dest, "dest");
+      checkReg(I.Src0, "src0");
+      checkReg(I.Src1, "src1");
+      checkReg(I.AddrReg, "addr");
+      if (I.Recovery.K == MRecovery::Kind::InReg)
+        checkReg(I.Recovery.R, "recovery");
+      if (I.isBranch())
+        check(I.TargetBlock < MF.Blocks.size(),
+              "branch target out of range");
+      if (I.Op == MOp::JAL)
+        check(I.Callee != InvalidFunc, "jal without callee");
+      if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL)
+        check(I.MarkVar < Info.Vars.size(), "marker var out of range");
+      if (I.Op == MOp::MAVAIL)
+        check(I.HoistKey < MF.HoistKeys.size(),
+              "avail marker with bad hoist key");
+      if (I.DestVar != InvalidVar)
+        check(I.DestVar < Info.Vars.size(), "dest var out of range");
+      if (I.FrameSlot >= 0)
+        check(static_cast<std::uint32_t>(I.FrameSlot) < MF.FrameSize,
+              "frame slot beyond frame size");
+    }
+    // Every block must end in control flow or fall into... the R3K has
+    // no fallthrough: the last instruction must be a jump or return.
+    const MInstr &Last = Blk.Insts.back();
+    check(Last.Op == MOp::J || Last.Op == MOp::RET,
+          "block " + Blk.Name + " does not end in J/RET");
+    // Edges consistent with the terminator region.
+    for (unsigned S : Blk.Succs)
+      check(S < MF.Blocks.size(), "successor index out of range");
+  }
+
+  // Statement map inside the function.
+  for (std::int32_t A : MF.StmtAddr)
+    check(A < static_cast<std::int32_t>(Total), "statement address OOB");
+
+  // Residence/validity bitvectors sized to the code.
+  for (const auto &[V, Bits] : MF.ResidentAt) {
+    check(V < Info.Vars.size(), "residence var out of range");
+    check(Bits.size() == Total, "residence bitvector size mismatch");
+  }
+  for (const auto &[A, Bits] : MF.RecoveryValidAt) {
+    check(A < Total, "recovery validity address OOB");
+    check(Bits.size() == Total, "recovery bitvector size mismatch");
+  }
+  return OK;
+}
+
+bool sldb::verifyMachineFunction(const MachineFunction &MF,
+                                 const ProgramInfo &Info,
+                                 std::vector<std::string> &Errors) {
+  Verifier V(MF, Info, Errors);
+  return V.run();
+}
+
+bool sldb::verifyMachineModule(const MachineModule &MM,
+                               std::vector<std::string> &Errors) {
+  bool OK = true;
+  for (const MachineFunction &F : MM.Funcs)
+    OK &= verifyMachineFunction(F, *MM.Info, Errors);
+  return OK;
+}

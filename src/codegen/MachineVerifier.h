@@ -1,0 +1,36 @@
+//===- codegen/MachineVerifier.h - Machine-code checks ----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks over final machine code: registers must be physical
+/// and in range, memory operands well-formed, branch targets valid,
+/// blocks terminated, debug tables consistent (statement addresses inside
+/// the function, marker payloads valid, residence bitvectors sized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_CODEGEN_MACHINEVERIFIER_H
+#define SLDB_CODEGEN_MACHINEVERIFIER_H
+
+#include "codegen/MachineIR.h"
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Checks one compiled function; appends problems to \p Errors.
+bool verifyMachineFunction(const MachineFunction &MF,
+                           const ProgramInfo &Info,
+                           std::vector<std::string> &Errors);
+
+/// Checks a whole compiled module.
+bool verifyMachineModule(const MachineModule &MM,
+                         std::vector<std::string> &Errors);
+
+} // namespace sldb
+
+#endif // SLDB_CODEGEN_MACHINEVERIFIER_H

@@ -1,0 +1,739 @@
+//===- codegen/RegAlloc.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include "analysis/Dataflow.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace sldb;
+
+std::vector<Reg> sldb::minstrUses(const MInstr &I) {
+  std::vector<Reg> Uses;
+  auto Add = [&](const Reg &R) {
+    if (R.isValid())
+      Uses.push_back(R);
+  };
+  Add(I.Src0);
+  Add(I.Src1);
+  Add(I.AddrReg);
+  if (I.Op == MOp::JAL) {
+    unsigned IntArgs = static_cast<unsigned>(I.Imm >> 8);
+    unsigned FpArgs = static_cast<unsigned>(I.Imm & 0xff);
+    for (unsigned A = 0; A < IntArgs; ++A)
+      Uses.push_back(Reg::phys(RegClass::Int, R3K::FirstIntArg + A));
+    for (unsigned A = 0; A < FpArgs; ++A)
+      Uses.push_back(Reg::phys(RegClass::Fp, R3K::FirstFpArg + A));
+  }
+  if (I.Op == MOp::RET) {
+    Uses.push_back(Reg::phys(RegClass::Int, R3K::IntRetReg));
+    Uses.push_back(Reg::phys(RegClass::Fp, R3K::FpRetReg));
+  }
+  return Uses;
+}
+
+std::vector<Reg> sldb::minstrDefs(const MInstr &I) {
+  std::vector<Reg> Defs;
+  if (I.Dest.isValid())
+    Defs.push_back(I.Dest);
+  if (I.Op == MOp::JAL) {
+    Defs.push_back(Reg::phys(RegClass::Int, R3K::IntRetReg));
+    Defs.push_back(Reg::phys(RegClass::Fp, R3K::FpRetReg));
+  }
+  return Defs;
+}
+
+namespace {
+
+/// Register allocator state for one class within one function.
+class Allocator {
+public:
+  Allocator(MachineFunction &MF, const ProgramInfo &Info) : MF(MF) {
+    (void)Info;
+    // Variable-homing vregs must not coalesce: their live range *is* the
+    // debugger's residence information.
+    for (const auto &[V, S] : MF.Storage)
+      if (S.K == VarStorage::Kind::InReg)
+        NoCoalesce.insert(key(S.R));
+  }
+
+  /// Runs allocation for both classes; returns false if it failed to
+  /// converge (should not happen).
+  bool run();
+
+  /// Per-address live sets of all virtual registers computed on the final
+  /// (pre-rewrite) code; used for residence tables.  Valid after run().
+  void computeDebugTables();
+
+private:
+  static std::uint64_t key(const Reg &R) {
+    return (static_cast<std::uint64_t>(R.Cls == RegClass::Fp) << 32) | R.N;
+  }
+  static unsigned numColors(RegClass Cls) {
+    return Cls == RegClass::Int
+               ? R3K::LastAllocInt - R3K::FirstAllocInt + 1
+               : R3K::LastAllocFp - R3K::FirstAllocFp + 1;
+  }
+  static unsigned firstColor(RegClass Cls) {
+    return Cls == RegClass::Int ? R3K::FirstAllocInt : R3K::FirstAllocFp;
+  }
+
+  bool allocateClass(RegClass Cls);
+  void livenessPerBlock(
+      RegClass Cls,
+      std::vector<std::unordered_set<std::uint64_t>> &LiveOut) const;
+  void spill(const std::unordered_set<std::uint64_t> &ToSpill,
+             RegClass Cls);
+  void rewrite(const std::unordered_map<std::uint64_t, unsigned> &Color,
+               RegClass Cls);
+
+  MachineFunction &MF;
+  std::unordered_set<std::uint64_t> NoCoalesce;
+  std::unordered_map<std::uint64_t, std::int32_t> SpillSlot;
+};
+
+} // namespace
+
+void Allocator::livenessPerBlock(
+    RegClass Cls,
+    std::vector<std::unordered_set<std::uint64_t>> &LiveOut) const {
+  const unsigned N = static_cast<unsigned>(MF.Blocks.size());
+  std::vector<std::unordered_set<std::uint64_t>> LiveIn(N);
+  LiveOut.assign(N, {});
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Step = 0; Step < N; ++Step) {
+      unsigned B = N - 1 - Step;
+      std::unordered_set<std::uint64_t> Out;
+      for (unsigned S : MF.Blocks[B].Succs)
+        Out.insert(LiveIn[S].begin(), LiveIn[S].end());
+      std::unordered_set<std::uint64_t> In = Out;
+      const auto &Insts = MF.Blocks[B].Insts;
+      for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+        for (const Reg &D : minstrDefs(*It))
+          if (D.Cls == Cls)
+            In.erase(key(D));
+        for (const Reg &U : minstrUses(*It))
+          if (U.Cls == Cls)
+            In.insert(key(U));
+      }
+      if (In != LiveIn[B] || Out != LiveOut[B]) {
+        LiveIn[B] = std::move(In);
+        LiveOut[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Allocator::allocateClass(RegClass Cls) {
+  const unsigned K = numColors(Cls);
+
+  for (int Round = 0; Round < 24; ++Round) {
+    // --- Build the interference graph over this class's registers.
+    std::vector<std::unordered_set<std::uint64_t>> LiveOut;
+    livenessPerBlock(Cls, LiveOut);
+
+    std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+        Adj;
+    std::unordered_map<std::uint64_t, unsigned> Weight; // Spill cost.
+    std::unordered_map<std::uint64_t, Reg> RegOf;
+    auto Node = [&](const Reg &R) {
+      std::uint64_t KId = key(R);
+      Adj.emplace(KId, std::unordered_set<std::uint64_t>());
+      RegOf.emplace(KId, R);
+      return KId;
+    };
+    auto AddEdge = [&](std::uint64_t A, std::uint64_t B) {
+      if (A == B)
+        return;
+      Adj[A].insert(B);
+      Adj[B].insert(A);
+    };
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> MoveEdges;
+    for (unsigned B = 0; B < MF.Blocks.size(); ++B) {
+      std::unordered_set<std::uint64_t> Live = LiveOut[B];
+      auto &Insts = MF.Blocks[B].Insts;
+      for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+        const MInstr &I = *It;
+        bool IsMove = (I.Op == MOp::MOV && Cls == RegClass::Int) ||
+                      (I.Op == MOp::FMOV && Cls == RegClass::Fp);
+        std::uint64_t MoveSrc = ~0ull;
+        if (IsMove && I.Src0.isValid())
+          MoveSrc = key(I.Src0);
+        for (const Reg &D : minstrDefs(I)) {
+          if (D.Cls != Cls)
+            continue;
+          std::uint64_t DK = Node(D);
+          ++Weight[DK];
+          for (std::uint64_t L : Live)
+            if (!(IsMove && L == MoveSrc && key(I.Dest) == DK))
+              AddEdge(DK, L);
+        }
+        for (const Reg &D : minstrDefs(I))
+          if (D.Cls == Cls)
+            Live.erase(key(D));
+        for (const Reg &U : minstrUses(I)) {
+          if (U.Cls != Cls)
+            continue;
+          std::uint64_t UK = Node(U);
+          ++Weight[UK];
+          Live.insert(UK);
+        }
+        if (IsMove && I.Dest.isValid() && I.Src0.isValid() &&
+            I.Dest.Cls == Cls && I.Dest.isVirtual() && I.Src0.isVirtual())
+          MoveEdges.emplace_back(key(I.Dest), key(I.Src0));
+      }
+    }
+
+    // --- Briggs conservative coalescing.
+    std::unordered_map<std::uint64_t, std::uint64_t> Alias;
+    auto Find = [&](std::uint64_t X) {
+      while (Alias.count(X))
+        X = Alias[X];
+      return X;
+    };
+    bool Coalesced = false;
+    for (auto &[A0, B0] : MoveEdges) {
+      std::uint64_t A = Find(A0), B = Find(B0);
+      if (A == B || NoCoalesce.count(A) || NoCoalesce.count(B))
+        continue;
+      if (Adj[A].count(B))
+        continue;
+      // Briggs: the merged node must have < K neighbors of significant
+      // degree.
+      std::unordered_set<std::uint64_t> Union = Adj[A];
+      Union.insert(Adj[B].begin(), Adj[B].end());
+      unsigned Significant = 0;
+      for (std::uint64_t N2 : Union)
+        if (Adj[Find(N2)].size() >= K)
+          ++Significant;
+      if (Significant >= K)
+        continue;
+      // Merge B into A.
+      for (std::uint64_t N2 : Adj[B]) {
+        Adj[N2].erase(B);
+        if (N2 != A) {
+          Adj[N2].insert(A);
+          Adj[A].insert(N2);
+        }
+      }
+      Adj.erase(B);
+      Weight[A] += Weight[B];
+      Alias[B] = A;
+      Coalesced = true;
+    }
+    if (Coalesced) {
+      // Rewrite aliases in the code and delete identity moves, then
+      // restart the round with a clean graph.
+      for (MachineBlock &Blk : MF.Blocks) {
+        for (auto It = Blk.Insts.begin(); It != Blk.Insts.end();) {
+          auto Fix = [&](Reg &R) {
+            if (!R.isValid() || R.Cls != Cls || !R.isVirtual())
+              return;
+            std::uint64_t Root = Find(key(R));
+            R = RegOf.count(Root) ? RegOf[Root] : R;
+          };
+          Fix(It->Dest);
+          Fix(It->Src0);
+          Fix(It->Src1);
+          Fix(It->AddrReg);
+          if (It->Recovery.K == MRecovery::Kind::InReg)
+            Fix(It->Recovery.R);
+          bool IdentityMove =
+              (It->Op == MOp::MOV || It->Op == MOp::FMOV) &&
+              It->Dest == It->Src0 && It->DestVar == InvalidVar &&
+              !It->IsHoisted && !It->IsSunk;
+          if (IdentityMove)
+            It = Blk.Insts.erase(It);
+          else
+            ++It;
+        }
+      }
+      continue; // Next round rebuilds liveness and the graph.
+    }
+
+    // --- Simplify / select.
+    std::unordered_map<std::uint64_t, unsigned> Degree;
+    for (auto &[N2, Neigh] : Adj)
+      Degree[N2] = static_cast<unsigned>(Neigh.size());
+
+    std::vector<std::uint64_t> Stack;
+    std::unordered_set<std::uint64_t> Removed;
+    std::vector<std::uint64_t> Virtuals;
+    for (auto &[N2, Neigh] : Adj)
+      if (RegOf[N2].isVirtual())
+        Virtuals.push_back(N2);
+    std::sort(Virtuals.begin(), Virtuals.end());
+
+    auto RemoveNode = [&](std::uint64_t N2) {
+      Stack.push_back(N2);
+      Removed.insert(N2);
+      for (std::uint64_t M : Adj[N2])
+        if (!Removed.count(M) && Degree[M] > 0)
+          --Degree[M];
+    };
+
+    unsigned Pending = static_cast<unsigned>(Virtuals.size());
+    while (Pending > 0) {
+      bool Simplified = false;
+      for (std::uint64_t N2 : Virtuals) {
+        if (Removed.count(N2) || Degree[N2] >= K)
+          continue;
+        RemoveNode(N2);
+        --Pending;
+        Simplified = true;
+      }
+      if (Simplified)
+        continue;
+      // Optimistic spill candidate: cheapest weight/degree.
+      std::uint64_t Best = ~0ull;
+      double BestCost = 1e300;
+      for (std::uint64_t N2 : Virtuals) {
+        if (Removed.count(N2))
+          continue;
+        double Cost =
+            static_cast<double>(Weight[N2]) / (Degree[N2] + 1.0);
+        // Avoid re-spilling spill-code vregs (tiny ranges, huge cost).
+        if (SpillSlot.count(N2))
+          Cost = 1e290;
+        if (Cost < BestCost) {
+          BestCost = Cost;
+          Best = N2;
+        }
+      }
+      RemoveNode(Best);
+      --Pending;
+    }
+
+    // Select colors.
+    std::unordered_map<std::uint64_t, unsigned> Color;
+    std::unordered_set<std::uint64_t> Spilled;
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+      std::uint64_t N2 = *It;
+      std::unordered_set<unsigned> Used;
+      for (std::uint64_t M : Adj[N2]) {
+        auto CIt = Color.find(M);
+        if (CIt != Color.end()) {
+          Used.insert(CIt->second);
+          continue;
+        }
+        const Reg &MR = RegOf[M];
+        if (!MR.isVirtual())
+          Used.insert(MR.N); // Precolored.
+      }
+      bool Assigned = false;
+      for (unsigned C = firstColor(Cls); C < firstColor(Cls) + K; ++C)
+        if (!Used.count(C)) {
+          Color[N2] = C;
+          Assigned = true;
+          break;
+        }
+      if (!Assigned)
+        Spilled.insert(N2);
+    }
+
+    if (Spilled.empty()) {
+      rewrite(Color, Cls);
+      return true;
+    }
+    spill(Spilled, Cls);
+  }
+  return false;
+}
+
+void Allocator::spill(const std::unordered_set<std::uint64_t> &ToSpill,
+                      RegClass Cls) {
+  // Assign spill slots.
+  std::unordered_map<std::uint64_t, std::int32_t> SlotOf;
+  for (std::uint64_t N : ToSpill) {
+    std::int32_t Slot = static_cast<std::int32_t>(MF.FrameSize++);
+    SlotOf[N] = Slot;
+    SpillSlot[N] = Slot;
+  }
+  std::uint32_t NextVReg = 1u << 20; // High range for spill temps.
+  for (MachineBlock &B : MF.Blocks)
+    for (std::size_t Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      // Reloads before uses.  Re-reference after each insertion: the
+      // instruction vector reallocates.
+      auto SpillSlotOf = [&](const Reg &R) -> std::int32_t {
+        if (!R.isValid() || R.Cls != Cls || !R.isVirtual())
+          return -1;
+        auto SIt = SlotOf.find(key(R));
+        return SIt == SlotOf.end() ? -1 : SIt->second;
+      };
+      for (Reg MInstr::*Field :
+           {&MInstr::Src0, &MInstr::Src1, &MInstr::AddrReg}) {
+        std::int32_t Slot = SpillSlotOf(B.Insts[Idx].*Field);
+        if (Slot < 0)
+          continue;
+        Reg Fresh = Reg::virt(Cls, NextVReg++ - Reg::VirtBase);
+        MInstr Load;
+        Load.Op = Cls == RegClass::Fp ? MOp::LD : MOp::LW;
+        Load.Dest = Fresh;
+        Load.FrameSlot = Slot;
+        Load.Stmt = B.Insts[Idx].Stmt;
+        B.Insts.insert(B.Insts.begin() + static_cast<std::ptrdiff_t>(Idx),
+                       std::move(Load));
+        ++Idx;
+        B.Insts[Idx].*Field = Fresh;
+      }
+      // Marker recovery values held in a spilled register now live in the
+      // spill slot.
+      MInstr &I = B.Insts[Idx];
+      if (I.Recovery.K == MRecovery::Kind::InReg &&
+          I.Recovery.R.Cls == Cls && I.Recovery.R.isVirtual()) {
+        auto SIt = SlotOf.find(key(I.Recovery.R));
+        if (SIt != SlotOf.end()) {
+          I.Recovery.K = MRecovery::Kind::InFrame;
+          I.Recovery.Frame = SIt->second;
+          I.Recovery.R = Reg::invalid();
+        }
+      }
+      // Stores after defs.
+      std::int32_t DefSlot = SpillSlotOf(B.Insts[Idx].Dest);
+      if (DefSlot >= 0) {
+        Reg Fresh = Reg::virt(Cls, NextVReg++ - Reg::VirtBase);
+        B.Insts[Idx].Dest = Fresh;
+        MInstr Store;
+        Store.Op = Cls == RegClass::Fp ? MOp::SD : MOp::SW;
+        Store.Src0 = Fresh;
+        Store.FrameSlot = DefSlot;
+        Store.Stmt = B.Insts[Idx].Stmt;
+        B.Insts.insert(B.Insts.begin() + static_cast<std::ptrdiff_t>(Idx) +
+                           1,
+                       std::move(Store));
+        ++Idx;
+      }
+    }
+
+  // If a *variable-homing* vreg was spilled, the variable now lives in
+  // its spill slot (always resident after init).
+  for (auto &[V, S] : MF.Storage)
+    if (S.K == VarStorage::Kind::InReg && S.R.isVirtual()) {
+      auto SIt = SlotOf.find(key(S.R));
+      if (SIt != SlotOf.end()) {
+        S.K = VarStorage::Kind::Frame;
+        S.Frame = SIt->second;
+      }
+    }
+}
+
+void Allocator::rewrite(
+    const std::unordered_map<std::uint64_t, unsigned> &Color, RegClass Cls) {
+  auto Fix = [&](Reg &R) {
+    if (!R.isValid() || R.Cls != Cls || !R.isVirtual())
+      return;
+    auto It = Color.find(key(R));
+    assert(It != Color.end() && "uncolored virtual register");
+    R = Reg::phys(Cls, It->second);
+  };
+  for (MachineBlock &B : MF.Blocks)
+    for (MInstr &I : B.Insts) {
+      if (I.Dest.isValid() && I.Dest.Cls == Cls && I.Dest.isVirtual())
+        I.DestVreg = I.Dest; // Pre-rewrite identity for debug tables.
+      Fix(I.Dest);
+      Fix(I.Src0);
+      Fix(I.Src1);
+      Fix(I.AddrReg);
+      if (I.Recovery.K == MRecovery::Kind::InReg &&
+          I.Recovery.R.Cls == Cls && I.Recovery.R.isVirtual()) {
+        // A recovery value referenced only by the marker may have died
+        // entirely (no node in the graph): the value is gone and the
+        // expected value cannot be reconstructed (paper Â§2.5 only
+        // recovers values that survive somewhere).
+        auto It = Color.find(key(I.Recovery.R));
+        if (It != Color.end()) {
+          I.Recovery.SrcVreg = I.Recovery.R;
+          I.Recovery.R = Reg::phys(Cls, It->second);
+        } else {
+          I.Recovery = MRecovery();
+        }
+      }
+    }
+  // Storage table.
+  for (auto &[V, S] : MF.Storage)
+    if (S.K == VarStorage::Kind::InReg && S.R.isVirtual() &&
+        S.R.Cls == Cls) {
+      auto It = Color.find(key(S.R));
+      if (It != Color.end())
+        S.R = Reg::phys(Cls, It->second);
+      else
+        S.K = VarStorage::Kind::None; // Var never materialized.
+    }
+}
+
+void Allocator::computeDebugTables() {
+  // Layout: assign addresses.
+  MF.BlockAddr.clear();
+  std::uint32_t Addr = 0;
+  for (MachineBlock &B : MF.Blocks) {
+    MF.BlockAddr.push_back(Addr);
+    Addr += static_cast<std::uint32_t>(B.Insts.size());
+  }
+  const std::uint32_t Total = Addr;
+  const unsigned NB = static_cast<unsigned>(MF.Blocks.size());
+
+  // Statement (syntactic breakpoint) addresses.  Preference order keeps
+  // the breakpoint at the statement's *source* position even when code
+  // moved (paper §5: the simple syntactic breakpoint model):
+  //   1. a debug marker of the statement (the spot where an eliminated or
+  //      moved assignment used to be),
+  //   2. the lowest-address instruction of the statement that was not
+  //      itself hoisted or sunk,
+  //   3. any instruction of the statement.
+  MF.StmtAddr.assign(MF.NumStmts, -1);
+  std::vector<int> StmtPrio(MF.NumStmts, 99);
+  Addr = 0;
+  for (MachineBlock &B : MF.Blocks)
+    for (MInstr &I : B.Insts) {
+      if (I.Stmt != InvalidStmt && I.Stmt < MF.NumStmts) {
+        // Hoisted/sunk copies never define the syntactic position: if a
+        // statement survives only as moved copies, it has no breakpoint
+        // (it was optimized away from its source location).
+        int Prio = 99;
+        if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL)
+          Prio = 0;
+        else if (!I.IsHoisted && !I.IsSunk && I.Op != MOp::J)
+          Prio = 1; // Plain jumps are structural glue: never an anchor.
+        if (Prio < StmtPrio[I.Stmt]) {
+          StmtPrio[I.Stmt] = Prio;
+          MF.StmtAddr[I.Stmt] = static_cast<std::int32_t>(Addr);
+        }
+      }
+      ++Addr;
+    }
+
+  // Residence of register-homed variables: V is resident at address A iff
+  // every definition of V's physical register reaching A is an
+  // instruction completing an assignment to V (DestVar == V).  This is a
+  // forward all-paths ("must own") bit-vector problem, one bit per
+  // register-homed variable — sound, and conservative at joins exactly
+  // like the live-range model of [3].
+  std::vector<VarId> RegVars;
+  std::unordered_map<VarId, unsigned> RegVarIdx;
+  for (const auto &[V, S] : MF.Storage)
+    if (S.K == VarStorage::Kind::InReg) {
+      RegVarIdx[V] = static_cast<unsigned>(RegVars.size());
+      RegVars.push_back(V);
+    }
+  std::sort(RegVars.begin(), RegVars.end());
+  for (unsigned Idx = 0; Idx < RegVars.size(); ++Idx)
+    RegVarIdx[RegVars[Idx]] = Idx;
+  const unsigned NV = static_cast<unsigned>(RegVars.size());
+
+  std::vector<std::vector<unsigned>> Preds(NB), Succs(NB);
+  std::vector<unsigned> Exits;
+  for (unsigned B = 0; B < NB; ++B) {
+    for (unsigned S : MF.Blocks[B].Succs)
+      Succs[B].push_back(S);
+    for (unsigned P : MF.Blocks[B].Preds)
+      Preds[B].push_back(P);
+    if (!MF.Blocks[B].Insts.empty() &&
+        MF.Blocks[B].Insts.back().Op == MOp::RET)
+      Exits.push_back(B);
+  }
+
+  auto RegKey = [](const Reg &R) {
+    return (static_cast<std::uint64_t>(R.Cls == RegClass::Fp) << 32) | R.N;
+  };
+  auto OwnTransfer = [&](const MInstr &I, BitVector &Own) {
+    for (const Reg &D : minstrDefs(I)) {
+      std::uint64_t DK = RegKey(D);
+      for (unsigned Idx = 0; Idx < NV; ++Idx) {
+        const VarStorage &S = MF.Storage.at(RegVars[Idx]);
+        if (RegKey(S.R) != DK)
+          continue;
+        if (I.DestVar == RegVars[Idx] && D == I.Dest)
+          Own.set(Idx);
+        else
+          Own.reset(Idx);
+      }
+    }
+  };
+
+  if (NV != 0) {
+    DataflowProblem P;
+    P.Dir = FlowDir::Forward;
+    P.Meet = FlowMeet::Intersect;
+    P.Universe = NV;
+    P.Gen.assign(NB, BitVector(NV));
+    P.Kill.assign(NB, BitVector(NV));
+    P.Boundary = BitVector(NV);
+    for (unsigned B = 0; B < NB; ++B) {
+      // The per-bit transfer is monotone (set/reset independent of the
+      // input), so Gen = f(0) and Kill = ~f(1) reproduce it exactly:
+      // Out = (In - Kill) | Gen == In ? f(1) : f(0) per bit.
+      BitVector Flow(NV, true), Zero(NV);
+      for (const MInstr &I : MF.Blocks[B].Insts) {
+        OwnTransfer(I, Flow);
+        OwnTransfer(I, Zero);
+      }
+      P.Gen[B] = Zero;
+      P.Kill[B] = Flow;
+      P.Kill[B].flip();
+      P.Kill[B].subtract(P.Gen[B]);
+    }
+    DataflowResult Own =
+        solveDataflowGeneric(NB, Preds, Succs, Exits, P);
+
+    for (unsigned Idx = 0; Idx < NV; ++Idx) {
+      BitVector Bits(Total);
+      for (unsigned B = 0; B < NB; ++B) {
+        BitVector State = Own.In[B];
+        std::uint32_t A = MF.BlockAddr[B];
+        for (const MInstr &I : MF.Blocks[B].Insts) {
+          if (State.test(Idx))
+            Bits.set(A);
+          OwnTransfer(I, State);
+          ++A;
+        }
+      }
+      MF.ResidentAt[RegVars[Idx]] = std::move(Bits);
+    }
+  }
+
+  // Recovery validity for markers whose recovery value lives in a
+  // register.  Sound rule:
+  //  * at the marker, the register must actually hold the recovery
+  //    source's value ("ownership": the reaching definitions of the
+  //    register are definitions of the source vreg), and
+  //  * plain recoveries stay valid until *any* redefinition of the
+  //    register (a new value of the source changes the expected value;
+  //    another value recycled into the register destroys it), while
+  //  * IV-invariant recoveries (paper \xc2\xa72.5 strength reduction) survive
+  //    updates *of the source itself* but die when another value takes
+  //    the register.
+  for (unsigned B = 0; B < NB; ++B) {
+    std::uint32_t A = MF.BlockAddr[B];
+    for (std::size_t Idx = 0; Idx < MF.Blocks[B].Insts.size(); ++Idx, ++A) {
+      const MInstr &I = MF.Blocks[B].Insts[Idx];
+      if (I.Op != MOp::MDEAD || I.Recovery.K != MRecovery::Kind::InReg)
+        continue;
+      const Reg Src = I.Recovery.SrcVreg;
+      const std::uint64_t PK = RegKey(I.Recovery.R);
+      // Ownership: forward all-paths 1-bit problem.
+      auto RecTransfer = [&](const MInstr &CI, BitVector &Own) {
+        bool DefinesP = false;
+        for (const Reg &D : minstrDefs(CI))
+          DefinesP |= RegKey(D) == PK;
+        if (!DefinesP)
+          return;
+        if (CI.DestVreg == Src && RegKey(CI.Dest) == PK)
+          Own.set(0);
+        else
+          Own.reset(0);
+      };
+      DataflowProblem OP;
+      OP.Dir = FlowDir::Forward;
+      OP.Meet = FlowMeet::Intersect;
+      OP.Universe = 1;
+      OP.Gen.assign(NB, BitVector(1));
+      OP.Kill.assign(NB, BitVector(1));
+      OP.Boundary = BitVector(1);
+      for (unsigned B2 = 0; B2 < NB; ++B2) {
+        BitVector Flow(1, true), Zero(1);
+        for (const MInstr &CI : MF.Blocks[B2].Insts) {
+          RecTransfer(CI, Flow);
+          RecTransfer(CI, Zero);
+        }
+        OP.Gen[B2] = Zero;
+        OP.Kill[B2] = Flow;
+        OP.Kill[B2].flip();
+        OP.Kill[B2].subtract(OP.Gen[B2]);
+      }
+      DataflowResult Own =
+          solveDataflowGeneric(NB, Preds, Succs, Exits, OP);
+      BitVector OwnAt(Total);
+      for (unsigned B2 = 0; B2 < NB; ++B2) {
+        BitVector State = Own.In[B2];
+        std::uint32_t A2 = MF.BlockAddr[B2];
+        for (const MInstr &CI : MF.Blocks[B2].Insts) {
+          if (State.test(0))
+            OwnAt.set(A2);
+          RecTransfer(CI, State);
+          ++A2;
+        }
+      }
+
+      BitVector Valid(Total);
+      if (I.Recovery.IsIV) {
+        Valid = OwnAt;
+      } else if (OwnAt.test(A)) {
+        // The register must hold the recovery source's value at the
+        // marker in the first place (ownership); then:
+        // Plain recovery: valid at an address iff on *every* path from
+        // the function entry the marker has been passed and the register
+        // has not been redefined since (a redefinition either changes
+        // the source's value, altering the expected value, or recycles
+        // the register for another value).  Forward all-paths problem:
+        // gen at the marker, kill at any def of the register.
+        const MInstr *MarkerPtr = &I;
+        auto ValidTransfer = [&](const MInstr &CI, BitVector &St) {
+          if (&CI == MarkerPtr) {
+            St.set(0);
+            return;
+          }
+          for (const Reg &D : minstrDefs(CI))
+            if (RegKey(D) == PK) {
+              St.reset(0);
+              return;
+            }
+        };
+        DataflowProblem VP;
+        VP.Dir = FlowDir::Forward;
+        VP.Meet = FlowMeet::Intersect;
+        VP.Universe = 1;
+        VP.Gen.assign(NB, BitVector(1));
+        VP.Kill.assign(NB, BitVector(1));
+        VP.Boundary = BitVector(1);
+        for (unsigned B2 = 0; B2 < NB; ++B2) {
+          BitVector Flow(1, true), Zero(1);
+          for (const MInstr &CI : MF.Blocks[B2].Insts) {
+            ValidTransfer(CI, Flow);
+            ValidTransfer(CI, Zero);
+          }
+          VP.Gen[B2] = Zero;
+          VP.Kill[B2] = Flow;
+          VP.Kill[B2].flip();
+          VP.Kill[B2].subtract(VP.Gen[B2]);
+        }
+        DataflowResult VR =
+            solveDataflowGeneric(NB, Preds, Succs, Exits, VP);
+        for (unsigned B2 = 0; B2 < NB; ++B2) {
+          BitVector State = VR.In[B2];
+          std::uint32_t A2 = MF.BlockAddr[B2];
+          for (const MInstr &CI : MF.Blocks[B2].Insts) {
+            if (State.test(0))
+              Valid.set(A2);
+            ValidTransfer(CI, State);
+            ++A2;
+          }
+        }
+      }
+      MF.RecoveryValidAt[A] = std::move(Valid);
+    }
+  }
+}
+
+bool Allocator::run() {
+  return allocateClass(RegClass::Int) && allocateClass(RegClass::Fp);
+}
+
+void sldb::allocateRegisters(MachineFunction &MF, const ProgramInfo &Info) {
+  Allocator A(MF, Info);
+  bool OK = A.run();
+  assert(OK && "register allocation failed to converge");
+  (void)OK;
+  A.computeDebugTables();
+}

@@ -1,0 +1,45 @@
+//===- codegen/RegAlloc.h - Graph-coloring register allocation --*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin-style graph-coloring register allocation with Briggs
+/// conservative coalescing and spilling (paper Table 1: "Global register
+/// allocation (using graph coloring)", "Register coalescing"), plus the
+/// debug outputs the paper's evaluation needs:
+///
+///  * final storage assignment per source variable (register or spill
+///    slot) in MachineFunction::Storage;
+///  * the conservative live-range *residence* bits per register-homed
+///    variable (MachineFunction::ResidentAt) — the debugger reports a
+///    variable nonresident outside its live range, where the allocator
+///    may have reused the register ([3], paper §1.1);
+///  * validity bits for marker recovery values that live in registers
+///    (MachineFunction::RecoveryValidAt, keyed by marker address).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_CODEGEN_REGALLOC_H
+#define SLDB_CODEGEN_REGALLOC_H
+
+#include "codegen/MachineIR.h"
+
+namespace sldb {
+
+/// Allocates registers for \p MF in place, rewriting virtual registers to
+/// physical ones, inserting spill code, updating Storage/ResidentAt, and
+/// filling BlockAddr/StmtAddr (layout happens here because residence is
+/// per final address).
+void allocateRegisters(MachineFunction &MF, const ProgramInfo &Info);
+
+/// Registers read by \p I (including implicit uses).
+std::vector<Reg> minstrUses(const MInstr &I);
+
+/// Register written by \p I (invalid if none), plus implicit defs.
+std::vector<Reg> minstrDefs(const MInstr &I);
+
+} // namespace sldb
+
+#endif // SLDB_CODEGEN_REGALLOC_H

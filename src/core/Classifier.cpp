@@ -1,0 +1,533 @@
+//===- core/Classifier.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Classifier.h"
+
+#include "analysis/Dataflow.h"
+#include "support/Casting.h"
+
+#include <unordered_set>
+
+using namespace sldb;
+
+const char *sldb::varClassName(VarClass C) {
+  switch (C) {
+  case VarClass::Uninitialized:
+    return "uninitialized";
+  case VarClass::Nonresident:
+    return "nonresident";
+  case VarClass::Noncurrent:
+    return "noncurrent";
+  case VarClass::Suspect:
+    return "suspect";
+  case VarClass::Current:
+    return "current";
+  }
+  return "?";
+}
+
+Classifier::Classifier(const MachineFunction &MF, const ProgramInfo &Info,
+                       bool EnableRecovery)
+    : MF(MF), Info(Info), EnableRecovery(EnableRecovery) {
+  NumBlocks = static_cast<unsigned>(MF.Blocks.size());
+  Preds.resize(NumBlocks);
+  Succs.resize(NumBlocks);
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    for (unsigned S : MF.Blocks[B].Succs)
+      Succs[B].push_back(S);
+    for (unsigned P : MF.Blocks[B].Preds)
+      Preds[B].push_back(P);
+    if (!MF.Blocks[B].Insts.empty() &&
+        MF.Blocks[B].Insts.back().Op == MOp::RET)
+      Exits.push_back(B);
+  }
+
+  // Track this function's scalar locals (the paper's figures measure
+  // local variables; globals are conservatively "initialized" and always
+  // memory-resident).
+  for (VarId V : Info.func(MF.Id).Locals)
+    if (Info.var(V).isScalar() && !VarIdx.count(V)) {
+      VarIdx[V] = static_cast<unsigned>(Vars.size());
+      Vars.push_back(V);
+    }
+
+  buildInitReach();
+  buildHoistReach();
+  buildDeadReach();
+}
+
+Classifier::AddrPos Classifier::position(std::uint32_t Addr) const {
+  unsigned B = 0;
+  while (B + 1 < NumBlocks && MF.BlockAddr[B + 1] <= Addr)
+    ++B;
+  return {B, Addr - MF.BlockAddr[B]};
+}
+
+//===----------------------------------------------------------------------===//
+// Analyses
+//===----------------------------------------------------------------------===//
+
+void Classifier::buildInitReach() {
+  DataflowProblem P;
+  P.Dir = FlowDir::Forward;
+  P.Meet = FlowMeet::Union;
+  P.Universe = static_cast<unsigned>(Vars.size());
+  P.Gen.assign(NumBlocks, BitVector(P.Universe));
+  P.Kill.assign(NumBlocks, BitVector(P.Universe));
+  P.Boundary = BitVector(P.Universe);
+
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    for (const MInstr &I : MF.Blocks[B].Insts) {
+      VarId Def = InvalidVar;
+      if (I.DestVar != InvalidVar)
+        Def = I.DestVar;
+      else if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL)
+        Def = I.MarkVar; // Represents an eliminated source assignment.
+      if (Def == InvalidVar)
+        continue;
+      auto It = VarIdx.find(Def);
+      if (It != VarIdx.end())
+        P.Gen[B].set(It->second);
+    }
+  InitIn = solveDataflowGeneric(NumBlocks, Preds, Succs, Exits, P).In;
+}
+
+void Classifier::buildHoistReach() {
+  const unsigned U = static_cast<unsigned>(MF.HoistKeys.size());
+  KeyStmt.assign(U, InvalidStmt);
+
+  DataflowProblem P;
+  P.Dir = FlowDir::Forward;
+  P.Meet = FlowMeet::Union;
+  P.Universe = U;
+  P.Gen.assign(NumBlocks, BitVector(U));
+  P.Kill.assign(NumBlocks, BitVector(U));
+  P.Boundary = BitVector(U);
+
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    for (const MInstr &I : MF.Blocks[B].Insts) {
+      // Kills first: an assignment to V kills every key assigning V; an
+      // avail marker kills its own key.  The hoisted instance itself is
+      // processed as gen *after* its kill (it is an assignment to V).
+      if (I.DestVar != InvalidVar)
+        for (unsigned K = 0; K < U; ++K)
+          if (MF.HoistKeys[K].V == I.DestVar) {
+            P.Gen[B].reset(K);
+            P.Kill[B].set(K);
+          }
+      if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey) {
+        P.Gen[B].reset(I.HoistKey);
+        P.Kill[B].set(I.HoistKey);
+      }
+      if (I.IsHoisted && I.DestVar != InvalidVar &&
+          I.HoistKey != InvalidHoistKey) {
+        P.Gen[B].set(I.HoistKey);
+        P.Kill[B].reset(I.HoistKey);
+        if (KeyStmt[I.HoistKey] == InvalidStmt)
+          KeyStmt[I.HoistKey] = I.Stmt;
+      }
+    }
+
+  HoistSomeIn = solveDataflowGeneric(NumBlocks, Preds, Succs, Exits, P).In;
+  P.Meet = FlowMeet::Intersect;
+  HoistAllIn = solveDataflowGeneric(NumBlocks, Preds, Succs, Exits, P).In;
+}
+
+void Classifier::buildDeadReach() {
+  // Enumerate marker instances.
+  std::uint32_t Addr = 0;
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    for (const MInstr &I : MF.Blocks[B].Insts) {
+      if (I.Op == MOp::MDEAD)
+        Markers.push_back({I.MarkVar, I.MarkStmt, Addr, I.Recovery});
+      ++Addr;
+    }
+  const unsigned U = static_cast<unsigned>(Markers.size());
+  const std::uint32_t Total = MF.numInstrs();
+
+  DataflowProblem P;
+  P.Dir = FlowDir::Forward;
+  P.Meet = FlowMeet::Union;
+  P.Universe = U;
+  P.Gen.assign(NumBlocks, BitVector(U));
+  P.Kill.assign(NumBlocks, BitVector(U));
+  P.Boundary = BitVector(U);
+
+  Addr = 0;
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    for (const MInstr &I : MF.Blocks[B].Insts) {
+      // Real assignments to V kill V's markers; avail markers for V kill
+      // too (at that point actual == expected, see header comment).
+      VarId Killed = InvalidVar;
+      if (I.DestVar != InvalidVar)
+        Killed = I.DestVar;
+      else if (I.Op == MOp::MAVAIL)
+        Killed = I.MarkVar;
+      if (Killed != InvalidVar)
+        for (unsigned M = 0; M < U; ++M)
+          if (Markers[M].V == Killed) {
+            P.Gen[B].reset(M);
+            P.Kill[B].set(M);
+          }
+      if (I.Op == MOp::MDEAD) {
+        // The *last* eliminated assignment to V defines its expected
+        // value (Definition 2): a newer marker supersedes (kills) every
+        // other marker of the same variable.
+        for (unsigned M = 0; M < U; ++M) {
+          if (Markers[M].V != I.MarkVar)
+            continue;
+          if (Markers[M].Addr == Addr) {
+            P.Gen[B].set(M);
+            P.Kill[B].reset(M);
+          } else {
+            P.Gen[B].reset(M);
+            P.Kill[B].set(M);
+          }
+        }
+      }
+      ++Addr;
+    }
+
+  DeadSomeIn = solveDataflowGeneric(NumBlocks, Preds, Succs, Exits, P).In;
+  P.Meet = FlowMeet::Intersect;
+  DeadAllIn = solveDataflowGeneric(NumBlocks, Preds, Succs, Exits, P).In;
+
+  // Recovery validity per marker.
+  RecoveryValid.assign(U, BitVector(Total));
+  for (unsigned M = 0; M < U; ++M) {
+    const MarkerInfo &MI = Markers[M];
+    switch (MI.Recovery.K) {
+    case MRecovery::Kind::None:
+      continue;
+    case MRecovery::Kind::Imm:
+    case MRecovery::Kind::FImm:
+      RecoveryValid[M].set(); // Constants are always recoverable.
+      continue;
+    case MRecovery::Kind::InReg: {
+      auto It = MF.RecoveryValidAt.find(MI.Addr);
+      if (It != MF.RecoveryValidAt.end())
+        RecoveryValid[M] = It->second;
+      continue;
+    }
+    case MRecovery::Kind::InFrame: {
+      // Forward reachability from the marker, stopping at writes to the
+      // slot / global (IV-invariant relations survive updates).
+      AddrPos Pos = position(MI.Addr);
+      std::vector<std::pair<unsigned, std::size_t>> Work;
+      std::unordered_set<unsigned> Seen;
+      Work.push_back({Pos.Block, Pos.Index + 1});
+      RecoveryValid[M].set(MI.Addr);
+      bool IsGlobalSrc = MI.Recovery.Frame < 0;
+      VarId GlobalV = static_cast<VarId>(MI.Recovery.Imm);
+      while (!Work.empty()) {
+        auto [WB, WIdx] = Work.back();
+        Work.pop_back();
+        std::uint32_t WA =
+            MF.BlockAddr[WB] + static_cast<std::uint32_t>(WIdx);
+        bool Stopped = false;
+        for (std::size_t Cur = WIdx; Cur < MF.Blocks[WB].Insts.size();
+             ++Cur, ++WA) {
+          const MInstr &CI = MF.Blocks[WB].Insts[Cur];
+          RecoveryValid[M].set(WA);
+          bool Writes = false;
+          if (CI.Op == MOp::SW || CI.Op == MOp::SD) {
+            if (!IsGlobalSrc && CI.FrameSlot == MI.Recovery.Frame)
+              Writes = true;
+            if (IsGlobalSrc && CI.GlobalVar == GlobalV)
+              Writes = true;
+            // Register-indirect stores may alias any slot/global.
+            if (CI.AddrReg.isValid())
+              Writes = true;
+          }
+          if (CI.Op == MOp::JAL && IsGlobalSrc)
+            Writes = true; // Callee may write the global.
+          if (Writes && !MI.Recovery.IsIV) {
+            Stopped = true;
+            break;
+          }
+        }
+        if (!Stopped)
+          for (unsigned S : Succs[WB])
+            if (Seen.insert(S).second)
+              Work.push_back({S, 0});
+      }
+      continue;
+    }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Classification (Figure 1)
+//===----------------------------------------------------------------------===//
+
+Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
+  Classification C;
+  const VarInfo &VI = Info.var(V);
+
+  // Walk a block applying the transfer functions up to a given address.
+  auto StateAt = [&](std::uint32_t At, const std::vector<BitVector> &BlockIn,
+                     auto Transfer) -> BitVector {
+    AddrPos P = position(At);
+    BitVector State = BlockIn[P.Block];
+    for (std::size_t Idx = 0; Idx < P.Index; ++Idx)
+      Transfer(MF.Blocks[P.Block].Insts[Idx], State);
+    return State;
+  };
+  auto AtAddr = [&](const std::vector<BitVector> &BlockIn,
+                    auto Transfer) -> BitVector {
+    return StateAt(Addr, BlockIn, Transfer);
+  };
+
+  // 1. Initialization (locals only; globals assumed initialized).
+  if (VI.Storage != StorageKind::Global) {
+    auto It = VarIdx.find(V);
+    if (It != VarIdx.end()) {
+      unsigned Bit = It->second;
+      BitVector Init = AtAddr(InitIn, [&](const MInstr &I, BitVector &S) {
+        VarId Def = I.DestVar;
+        if (Def == InvalidVar && (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL))
+          Def = I.MarkVar;
+        if (Def != InvalidVar) {
+          auto DIt = VarIdx.find(Def);
+          if (DIt != VarIdx.end())
+            S.set(DIt->second);
+        }
+      });
+      if (!Init.test(Bit)) {
+        C.Kind = VarClass::Uninitialized;
+        return C;
+      }
+    } else {
+      // The function never touches the variable: it is in scope but was
+      // never assigned (or its assignments were all optimized away with
+      // no marker, which cannot happen) — uninitialized.
+      C.Kind = VarClass::Uninitialized;
+      return C;
+    }
+  }
+
+  // 2. Recovery (paper §2.5): if on *all* paths the expected value of V
+  // stems from one eliminated assignment whose right-hand side survives
+  // (in a temporary, a variable, or as a constant), the dead reach of V
+  // is killed by the surviving expression and V's residence is the
+  // expression's storage — the debugger displays the expected value with
+  // no further warning ("these two variables are aliased").
+  //
+  // We therefore evaluate dead-reach-with-recovery before the residence
+  // check: recovery supplies residence.
+  const unsigned NumMarkers = static_cast<unsigned>(Markers.size());
+  auto DeadTransfer = [&](const MInstr &I, BitVector &S) {
+    VarId Killed = InvalidVar;
+    if (I.DestVar != InvalidVar)
+      Killed = I.DestVar;
+    else if (I.Op == MOp::MAVAIL)
+      Killed = I.MarkVar;
+    if (Killed != InvalidVar)
+      for (unsigned M = 0; M < NumMarkers; ++M)
+        if (Markers[M].V == Killed)
+          S.reset(M);
+    if (I.Op == MOp::MDEAD) {
+      for (unsigned M = 0; M < NumMarkers; ++M) {
+        if (Markers[M].V != I.MarkVar)
+          continue;
+        // Identify the marker instance by its instruction identity (the
+        // same variable/statement pair may be duplicated by unrolling).
+        const MachineBlock &MB =
+            MF.Blocks[position(Markers[M].Addr).Block];
+        const MInstr *MarkerInstr =
+            &MB.Insts[position(Markers[M].Addr).Index];
+        if (MarkerInstr == &I)
+          S.set(M); // This marker supersedes all others of V.
+        else
+          S.reset(M);
+      }
+    }
+  };
+  bool DeadAll = false, DeadSome = false;
+  int DeadAllMarker = -1;
+  unsigned DeadAllCount = 0;
+  if (NumMarkers != 0) {
+    BitVector All = AtAddr(DeadAllIn, DeadTransfer);
+    BitVector Some = AtAddr(DeadSomeIn, DeadTransfer);
+    for (unsigned M = 0; M < NumMarkers; ++M) {
+      if (Markers[M].V != V)
+        continue;
+      if (All.test(M)) {
+        DeadAll = true;
+        DeadAllMarker = static_cast<int>(M);
+        ++DeadAllCount;
+      } else if (Some.test(M)) {
+        DeadSome = true;
+      }
+    }
+  }
+  if (EnableRecovery && DeadAll && DeadAllCount == 1 &&
+      Markers[DeadAllMarker].Recovery.K != MRecovery::Kind::None &&
+      Addr < RecoveryValid[DeadAllMarker].size() &&
+      RecoveryValid[DeadAllMarker].test(Addr)) {
+    // Variable-sourced recovery (`c = a` eliminated, recover c from a) is
+    // only sound if `a` itself holds its expected value at the marker: if
+    // any dead marker or hoisted instance of `a` can reach the marker,
+    // the alias would launder an endangered value (the extreme case is a
+    // deleted self-copy `v = v`).
+    bool SrcSound = true;
+    VarId Src = Markers[DeadAllMarker].Recovery.SrcVar;
+    if (Src != InvalidVar) {
+      std::uint32_t MAddr = Markers[DeadAllMarker].Addr;
+      if (Src == V) {
+        SrcSound = false; // Self-referential alias: never trustworthy.
+      } else {
+        BitVector DeadAtMarker = StateAt(MAddr, DeadSomeIn, DeadTransfer);
+        for (unsigned M = 0; M < NumMarkers && SrcSound; ++M)
+          if (Markers[M].V == Src && DeadAtMarker.test(M))
+            SrcSound = false;
+        if (SrcSound && !MF.HoistKeys.empty()) {
+          auto SrcHoistTransfer = [&](const MInstr &I, BitVector &S) {
+            if (I.DestVar != InvalidVar)
+              for (unsigned K = 0; K < MF.HoistKeys.size(); ++K)
+                if (MF.HoistKeys[K].V == I.DestVar)
+                  S.reset(K);
+            if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
+              S.reset(I.HoistKey);
+            if (I.IsHoisted && I.DestVar != InvalidVar &&
+                I.HoistKey != InvalidHoistKey)
+              S.set(I.HoistKey);
+          };
+          BitVector HoistAtMarker =
+              StateAt(MAddr, HoistSomeIn, SrcHoistTransfer);
+          for (unsigned K = 0; K < MF.HoistKeys.size() && SrcSound; ++K)
+            if (MF.HoistKeys[K].V == Src && HoistAtMarker.test(K))
+              SrcSound = false;
+        }
+      }
+    }
+    if (SrcSound) {
+      C.Kind = VarClass::Current;
+      C.Recoverable = true;
+      C.Recovery = Markers[DeadAllMarker].Recovery;
+      C.CulpritStmt = Markers[DeadAllMarker].Stmt;
+      return C;
+    }
+  }
+
+  // 3. Residence (the conservative live-range model of [3]).
+  bool Resident = true;
+  if (VI.Storage == StorageKind::Global) {
+    Resident = true;
+  } else {
+    auto SIt = MF.Storage.find(V);
+    if (SIt == MF.Storage.end() || SIt->second.K == VarStorage::Kind::None) {
+      Resident = false;
+    } else if (SIt->second.K == VarStorage::Kind::InReg) {
+      auto RIt = MF.ResidentAt.find(V);
+      Resident = RIt != MF.ResidentAt.end() && Addr < RIt->second.size() &&
+                 RIt->second.test(Addr);
+    }
+  }
+  if (!Resident) {
+    C.Kind = VarClass::Nonresident;
+    return C;
+  }
+
+  // 4. Hoist reach (Lemmas 2 and 3).
+  const unsigned NumKeys = static_cast<unsigned>(MF.HoistKeys.size());
+  auto HoistTransfer = [&](const MInstr &I, BitVector &S) {
+    if (I.DestVar != InvalidVar)
+      for (unsigned K = 0; K < NumKeys; ++K)
+        if (MF.HoistKeys[K].V == I.DestVar)
+          S.reset(K);
+    if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
+      S.reset(I.HoistKey);
+    if (I.IsHoisted && I.DestVar != InvalidVar &&
+        I.HoistKey != InvalidHoistKey)
+      S.set(I.HoistKey);
+  };
+  bool HoistAll = false, HoistSome = false;
+  StmtId HoistStmt = InvalidStmt;
+  if (NumKeys != 0) {
+    BitVector All = AtAddr(HoistAllIn, HoistTransfer);
+    BitVector Some = AtAddr(HoistSomeIn, HoistTransfer);
+    for (unsigned K = 0; K < NumKeys; ++K) {
+      if (MF.HoistKeys[K].V != V)
+        continue;
+      if (All.test(K)) {
+        HoistAll = true;
+        HoistStmt = KeyStmt[K];
+      } else if (Some.test(K)) {
+        HoistSome = true;
+        HoistStmt = KeyStmt[K];
+      }
+    }
+  }
+  if (HoistAll) {
+    C.Kind = VarClass::Noncurrent;
+    C.Cause = EndangerCause::Premature;
+    C.CulpritStmt = HoistStmt;
+    return C;
+  }
+
+  // 5. Dead reach without recovery (Lemmas 4 and 5).
+  if (DeadAll) {
+    C.Kind = VarClass::Noncurrent;
+    C.Cause = EndangerCause::Stale;
+    C.CulpritStmt = Markers[DeadAllMarker].Stmt;
+    return C;
+  }
+
+  // 6. Suspect (Lemmas 3 and 6).
+  if (HoistSome) {
+    C.Kind = VarClass::Suspect;
+    C.Cause = EndangerCause::MaybePremature;
+    C.CulpritStmt = HoistStmt;
+    return C;
+  }
+  if (DeadSome) {
+    C.Kind = VarClass::Suspect;
+    C.Cause = EndangerCause::MaybeStale;
+    return C;
+  }
+
+  C.Kind = VarClass::Current;
+  return C;
+}
+
+std::string Classifier::warningText(const Classification &C, VarId V) const {
+  const std::string &Name = Info.var(V).Name;
+  auto StmtRef = [&](StmtId S) {
+    return S == InvalidStmt ? std::string("an optimized statement")
+                            : "statement " + std::to_string(S);
+  };
+  switch (C.Kind) {
+  case VarClass::Current:
+    return "";
+  case VarClass::Uninitialized:
+    return "'" + Name + "' is uninitialized here";
+  case VarClass::Nonresident:
+    return "value of '" + Name +
+           "' is unavailable (register reused by the allocator)";
+  case VarClass::Noncurrent:
+    if (C.Cause == EndangerCause::Premature)
+      return "'" + Name + "' is noncurrent: the assignment at " +
+             StmtRef(C.CulpritStmt) + " has already executed (hoisted)";
+    if (C.Recoverable)
+      return "'" + Name + "' is noncurrent: the assignment at " +
+             StmtRef(C.CulpritStmt) +
+             " was eliminated; expected value recovered from a temporary";
+    return "'" + Name + "' is noncurrent: the assignment at " +
+           StmtRef(C.CulpritStmt) +
+           " was eliminated; the displayed value is stale";
+  case VarClass::Suspect:
+    if (C.Cause == EndangerCause::MaybePremature)
+      return "'" + Name + "' is suspect: the assignment at " +
+             StmtRef(C.CulpritStmt) +
+             " may have executed prematurely on the path taken";
+    return "'" + Name +
+           "' is suspect: an eliminated assignment may make this value "
+           "stale on the path taken";
+  }
+  return "";
+}

@@ -1,0 +1,177 @@
+//===- core/Debugger.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Debugger.h"
+
+using namespace sldb;
+
+Debugger::Debugger(const MachineModule &MM) : MM(MM), VM(MM) {
+  for (const MachineFunction &F : MM.Funcs)
+    Classifiers.push_back(std::make_unique<Classifier>(F, *MM.Info));
+}
+
+bool Debugger::setBreakpointAtStmt(FuncId F, StmtId S) {
+  const MachineFunction &MF = MM.Funcs[F];
+  if (S >= MF.StmtAddr.size() || MF.StmtAddr[S] < 0)
+    return false;
+  VM.setBreakpoint({F, static_cast<std::uint32_t>(MF.StmtAddr[S])});
+  return true;
+}
+
+void Debugger::breakEverywhere() {
+  for (FuncId F = 0; F < MM.Funcs.size(); ++F)
+    for (StmtId S = 0; S < MM.Funcs[F].StmtAddr.size(); ++S)
+      setBreakpointAtStmt(F, S);
+}
+
+std::optional<StmtId> Debugger::currentStmt() const {
+  const MachineFunction &MF = MM.Funcs[VM.pc().Func];
+  for (StmtId S = 0; S < MF.StmtAddr.size(); ++S)
+    if (MF.StmtAddr[S] >= 0 &&
+        static_cast<std::uint32_t>(MF.StmtAddr[S]) == VM.pc().Local)
+      return S;
+  return std::nullopt;
+}
+
+bool Debugger::readStorage(const VarStorage &S, bool IsDouble,
+                           std::int64_t &I, double &D) const {
+  switch (S.K) {
+  case VarStorage::Kind::None:
+    return false;
+  case VarStorage::Kind::InReg:
+    if (S.R.Cls == RegClass::Fp)
+      D = VM.readFpReg(S.R.N);
+    else
+      I = VM.readIntReg(S.R.N);
+    return true;
+  case VarStorage::Kind::Frame: {
+    std::size_t Addr = VM.framePointer() + static_cast<std::size_t>(S.Frame);
+    if (IsDouble)
+      D = VM.readMemDouble(Addr);
+    else
+      I = VM.readMemInt(Addr);
+    return true;
+  }
+  case VarStorage::Kind::GlobalMem:
+    if (IsDouble)
+      D = VM.readMemDouble(S.GlobalAddr);
+    else
+      I = VM.readMemInt(S.GlobalAddr);
+    return true;
+  }
+  return false;
+}
+
+bool Debugger::readRecovery(const MRecovery &R, std::int64_t &I, double &D,
+                            bool &IsDouble) const {
+  switch (R.K) {
+  case MRecovery::Kind::None:
+    return false;
+  case MRecovery::Kind::Imm:
+    I = R.Imm;
+    IsDouble = false;
+    return true;
+  case MRecovery::Kind::FImm:
+    D = R.FImm;
+    IsDouble = true;
+    return true;
+  case MRecovery::Kind::InReg:
+    if (R.R.Cls == RegClass::Fp) {
+      D = VM.readFpReg(R.R.N);
+      IsDouble = true;
+    } else {
+      I = VM.readIntReg(R.R.N) / (R.Scale == 0 ? 1 : R.Scale);
+      IsDouble = false;
+    }
+    return true;
+  case MRecovery::Kind::InFrame: {
+    if (R.Frame < 0) {
+      // Global variable source.
+      auto It = MM.GlobalAddr.find(static_cast<VarId>(R.Imm));
+      if (It == MM.GlobalAddr.end())
+        return false;
+      I = VM.readMemInt(It->second);
+      IsDouble = false;
+      return true;
+    }
+    std::size_t Addr = VM.framePointer() + static_cast<std::size_t>(R.Frame);
+    I = VM.readMemInt(Addr) / (R.Scale == 0 ? 1 : R.Scale);
+    IsDouble = false;
+    return true;
+  }
+  }
+  return false;
+}
+
+VarReport Debugger::reportVar(VarId V) const {
+  const MachineFunction &MF = MM.Funcs[VM.pc().Func];
+  const Classifier &C = *Classifiers[VM.pc().Func];
+  const VarInfo &VI = MM.Info->var(V);
+
+  VarReport R;
+  R.Var = V;
+  R.Name = VI.Name;
+  R.Class = C.classify(VM.pc().Local, V);
+  R.IsDouble = VI.Ty.isDouble();
+  R.Warning = C.warningText(R.Class, V);
+
+  if (R.Class.Recoverable) {
+    // The variable is aliased to a surviving expression: show the
+    // expected value reconstructed per paper §2.5.
+    R.HasValue = readRecovery(R.Class.Recovery, R.IntValue, R.DoubleValue,
+                              R.IsDouble);
+    return R;
+  }
+  switch (R.Class.Kind) {
+  case VarClass::Uninitialized:
+  case VarClass::Nonresident:
+    R.HasValue = false;
+    break;
+  case VarClass::Noncurrent:
+  case VarClass::Suspect:
+  case VarClass::Current: {
+    // Show the actual value from the variable's storage.
+    VarStorage S;
+    if (VI.Storage == StorageKind::Global) {
+      S.K = VarStorage::Kind::GlobalMem;
+      auto It = MM.GlobalAddr.find(V);
+      if (It != MM.GlobalAddr.end())
+        S.GlobalAddr = It->second;
+    } else {
+      auto It = MF.Storage.find(V);
+      if (It != MF.Storage.end())
+        S = It->second;
+    }
+    R.HasValue = readStorage(S, R.IsDouble, R.IntValue, R.DoubleValue);
+    break;
+  }
+  }
+  return R;
+}
+
+std::optional<VarReport> Debugger::queryVariable(
+    const std::string &Name) const {
+  FuncId F = VM.pc().Func;
+  // Locals shadow globals.
+  for (VarId V : MM.Info->func(F).Locals)
+    if (MM.Info->var(V).Name == Name)
+      return reportVar(V);
+  for (VarId V : MM.Info->Globals)
+    if (MM.Info->var(V).Name == Name)
+      return reportVar(V);
+  return std::nullopt;
+}
+
+std::vector<VarReport> Debugger::reportScope() const {
+  std::vector<VarReport> Out;
+  std::optional<StmtId> S = currentStmt();
+  if (!S)
+    return Out;
+  const FuncInfo &FI = MM.Info->func(VM.pc().Func);
+  for (VarId V : FI.Stmts[*S].ScopeVars)
+    Out.push_back(reportVar(V));
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- core/Debugger.h - Non-invasive source-level debugger -----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing source-level debugger for optimized code.  It is
+/// *non-invasive* (paper §1.2): it debugs exactly the code the optimizing
+/// compiler emitted, consuming only the debug tables the compiler produced
+/// (statement map, storage/residence tables, annotations); no instruction
+/// was inserted or constrained on its behalf.
+///
+/// At a breakpoint, queryVariable() classifies the variable per Figure 1
+/// and returns its value together with the mandated warning — an
+/// endangered value is always accompanied by a warning, so the debugger
+/// never misleads the user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_CORE_DEBUGGER_H
+#define SLDB_CORE_DEBUGGER_H
+
+#include "core/Classifier.h"
+#include "vm/Machine.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// One variable's state at a breakpoint, as shown to the user.
+struct VarReport {
+  VarId Var = InvalidVar;
+  std::string Name;
+  Classification Class;
+
+  /// Whether a value can be displayed (actual value for resident
+  /// variables, recovered expected value when Class.Recoverable).
+  bool HasValue = false;
+  bool IsDouble = false;
+  std::int64_t IntValue = 0;
+  double DoubleValue = 0.0;
+
+  /// Warning text; empty for current variables (paper Figure 1: "Show V
+  /// without warnings").
+  std::string Warning;
+};
+
+/// A source-level debugging session over compiled machine code.
+class Debugger {
+public:
+  explicit Debugger(const MachineModule &MM);
+
+  /// Sets a (syntactic) breakpoint at statement \p S of function \p F.
+  /// Returns false if the statement emitted no code at all.
+  bool setBreakpointAtStmt(FuncId F, StmtId S);
+
+  /// Sets breakpoints at every statement of every function.
+  void breakEverywhere();
+
+  StopReason run() { return VM.run(); }
+  StopReason resume() { return VM.resume(); }
+
+  Machine &machine() { return VM; }
+  const MachineModule &module() const { return MM; }
+
+  /// Current stop location as (function, statement); statement is the one
+  /// whose breakpoint address matches the PC, if any.
+  FuncId currentFunction() const { return VM.pc().Func; }
+  std::optional<StmtId> currentStmt() const;
+
+  /// Classifies and reads one variable by name at the current stop.
+  std::optional<VarReport> queryVariable(const std::string &Name) const;
+
+  /// Reports every local variable in scope at the current stop.
+  std::vector<VarReport> reportScope() const;
+
+  /// Classifier of a function (exposed for the evaluation harness).
+  const Classifier &classifier(FuncId F) const { return *Classifiers[F]; }
+
+private:
+  VarReport reportVar(VarId V) const;
+  bool readStorage(const VarStorage &S, bool IsDouble, std::int64_t &I,
+                   double &D) const;
+  bool readRecovery(const MRecovery &R, std::int64_t &I, double &D,
+                    bool &IsDouble) const;
+
+  const MachineModule &MM;
+  Machine VM;
+  std::vector<std::unique_ptr<Classifier>> Classifiers;
+};
+
+} // namespace sldb
+
+#endif // SLDB_CORE_DEBUGGER_H

@@ -1,0 +1,130 @@
+//===- eval/Measure.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Measure.h"
+
+#include "codegen/ISel.h"
+#include "core/Classifier.h"
+#include "ir/IRGen.h"
+#include "support/Casting.h"
+#include "vm/Machine.h"
+
+using namespace sldb;
+
+namespace {
+
+std::unique_ptr<IRModule> mustCompile(const BenchProgram &P) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(P.Source, Diags);
+  if (!M) {
+    // Benchmark sources ship with the library; failure is a library bug.
+    sldb_unreachable(("benchmark program failed to compile: " +
+                      std::string(P.Name) + "\n" + Diags.str())
+                         .c_str());
+  }
+  return M;
+}
+
+} // namespace
+
+SourceStats sldb::sourceStats(const BenchProgram &P) {
+  SourceStats S;
+  S.Name = P.Name;
+
+  // Count non-blank source lines.
+  std::string_view Src = P.Source;
+  bool LineHasText = false;
+  for (char C : Src) {
+    if (C == '\n') {
+      if (LineHasText)
+        ++S.LinesOfCode;
+      LineHasText = false;
+    } else if (C != ' ' && C != '\t') {
+      LineHasText = true;
+    }
+  }
+  if (LineHasText)
+    ++S.LinesOfCode;
+
+  auto M = mustCompile(P);
+  S.Functions = static_cast<unsigned>(M->Info->Funcs.size());
+  std::uint64_t VarSum = 0;
+  for (const FuncInfo &F : M->Info->Funcs) {
+    S.Breakpoints += static_cast<unsigned>(F.Stmts.size());
+    for (const StmtInfo &St : F.Stmts)
+      VarSum += St.ScopeVars.size();
+  }
+  S.BreakpointsPerFunction =
+      S.Functions ? static_cast<double>(S.Breakpoints) / S.Functions : 0.0;
+  S.VarsPerBreakpoint =
+      S.Breakpoints ? static_cast<double>(VarSum) / S.Breakpoints : 0.0;
+  return S;
+}
+
+ClassAverages sldb::measureClassification(const BenchProgram &P,
+                                          const OptOptions &Opts,
+                                          bool Promote,
+                                          bool EnableRecovery) {
+  auto M = mustCompile(P);
+  runPipeline(*M, Opts);
+  CodegenOptions CG;
+  CG.PromoteVars = Promote;
+  MachineModule MM = compileToMachine(*M, CG);
+
+  ClassAverages A;
+  std::uint64_t Counts[5] = {0, 0, 0, 0, 0};
+  std::uint64_t RecoveredCount = 0;
+
+  for (const MachineFunction &MF : MM.Funcs) {
+    Classifier C(MF, *MM.Info, EnableRecovery);
+    const FuncInfo &FI = MM.Info->func(MF.Id);
+    for (StmtId S = 0; S < MF.StmtAddr.size(); ++S) {
+      if (MF.StmtAddr[S] < 0)
+        continue; // The statement emitted no code (paper: code location).
+      ++A.Breakpoints;
+      std::uint32_t Addr = static_cast<std::uint32_t>(MF.StmtAddr[S]);
+      for (VarId V : FI.Stmts[S].ScopeVars) {
+        Classification CC = C.classify(Addr, V);
+        ++Counts[static_cast<unsigned>(CC.Kind)];
+        if (CC.Recoverable)
+          ++RecoveredCount;
+      }
+    }
+  }
+  if (A.Breakpoints == 0)
+    return A;
+  double N = A.Breakpoints;
+  A.Uninitialized = Counts[0] / N;
+  A.Nonresident = Counts[1] / N;
+  A.Noncurrent = Counts[2] / N;
+  A.Suspect = Counts[3] / N;
+  A.Current = Counts[4] / N;
+  A.Recovered = RecoveredCount / N;
+  return A;
+}
+
+CodeQuality sldb::measureCodeQuality(const BenchProgram &P) {
+  CodeQuality Q;
+  auto M0 = mustCompile(P);
+  auto M2 = mustCompile(P);
+  runPipeline(*M2, OptOptions::all());
+
+  CodegenOptions CG0;
+  CG0.PromoteVars = false;
+  CG0.Schedule = false;
+  MachineModule MM0 = compileToMachine(*M0, CG0);
+  MachineModule MM2 = compileToMachine(*M2, CodegenOptions());
+
+  Machine V0(MM0), V2(MM2);
+  StopReason R0 = V0.run();
+  StopReason R2 = V2.run();
+  Q.InstrUnoptimized = V0.instrCount();
+  Q.InstrOptimized = V2.instrCount();
+  Q.OutputsMatch = R0 == StopReason::Exited && R2 == StopReason::Exited &&
+                   V0.outputText() == V2.outputText() &&
+                   V0.exitValue() == V2.exitValue();
+  return Q;
+}

@@ -1,0 +1,92 @@
+//===- eval/Measure.h - Paper-evaluation measurements -----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness behind the paper's evaluation artifacts:
+///
+///  * Table 2  — program sizes, breakpoints, variables in scope;
+///  * Table 3  — code quality (substituted: dynamic instruction count of
+///               optimized vs. unoptimized code on the R3K simulator);
+///  * Table 4  — percentage of endangered variables that are suspect;
+///  * Figure 5 — average number of local variables per breakpoint in each
+///               class (uninitialized / current / endangered /
+///               nonresident), with and without register allocation.
+///
+/// Methodology per the paper §4: "counting the number of variables in
+/// each category, for each possible breakpoint in the source program, and
+/// averaging the results by the number of breakpoints" (static, all
+/// breakpoints equally likely).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_EVAL_MEASURE_H
+#define SLDB_EVAL_MEASURE_H
+
+#include "eval/Programs.h"
+#include "opt/Pass.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sldb {
+
+/// Table 2 row.
+struct SourceStats {
+  std::string Name;
+  unsigned LinesOfCode = 0;
+  unsigned Functions = 0;
+  unsigned Breakpoints = 0;
+  double BreakpointsPerFunction = 0.0;
+  double VarsPerBreakpoint = 0.0; ///< Locals in scope, averaged.
+};
+
+SourceStats sourceStats(const BenchProgram &P);
+
+/// Figure 5 / Table 4 row: average number of local variables per
+/// breakpoint in each class.  "Current" includes values shown via
+/// recovery (the dead reach is killed by the surviving expression,
+/// paper §2.5).
+struct ClassAverages {
+  double Uninitialized = 0.0;
+  double Current = 0.0;
+  double Recovered = 0.0; ///< Subset of Current shown via recovery (§2.5).
+  double Noncurrent = 0.0;
+  double Suspect = 0.0;
+  double Nonresident = 0.0;
+  unsigned Breakpoints = 0;
+
+  double endangered() const { return Noncurrent + Suspect; }
+  /// Table 4: share of endangered variables that are suspect (percent).
+  double pctSuspectOfEndangered() const {
+    double E = endangered();
+    return E > 0 ? 100.0 * Suspect / E : 0.0;
+  }
+};
+
+/// Runs the classifier over every (breakpoint, in-scope local) pair.
+/// \p Promote selects the Figure 5(b) (true) or 5(a) (false)
+/// configuration.
+ClassAverages measureClassification(const BenchProgram &P,
+                                    const OptOptions &Opts, bool Promote,
+                                    bool EnableRecovery = true);
+
+/// Table 3 substitute: dynamic instruction counts on the R3K simulator.
+struct CodeQuality {
+  std::uint64_t InstrUnoptimized = 0;
+  std::uint64_t InstrOptimized = 0;
+  bool OutputsMatch = false;
+  double ratio() const {
+    return InstrUnoptimized
+               ? static_cast<double>(InstrOptimized) / InstrUnoptimized
+               : 0.0;
+  }
+};
+
+CodeQuality measureCodeQuality(const BenchProgram &P);
+
+} // namespace sldb
+
+#endif // SLDB_EVAL_MEASURE_H

@@ -1,0 +1,37 @@
+//===- eval/Programs.h - SPEC92 stand-in benchmark programs -----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight MiniC benchmark programs standing in for the SPEC92 C
+/// programs of the paper's evaluation (Table 2).  The originals are
+/// proprietary; these are written to match each program's *character*
+/// (data structures, loop shapes, arithmetic mix) at a laptop-friendly
+/// scale.  DESIGN.md documents the substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_EVAL_PROGRAMS_H
+#define SLDB_EVAL_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// One benchmark program.
+struct BenchProgram {
+  const char *Name;        ///< SPEC92 name it stands in for.
+  const char *Description; ///< What the stand-in computes.
+  const char *Source;      ///< MiniC source text.
+};
+
+/// Returns the eight programs in the paper's Table 2 order:
+/// li, eqntott, espresso, gcc, alvinn, compress, ear, sc.
+const std::vector<BenchProgram> &benchmarkPrograms();
+
+} // namespace sldb
+
+#endif // SLDB_EVAL_PROGRAMS_H

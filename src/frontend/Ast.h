@@ -1,0 +1,493 @@
+//===- frontend/Ast.h - MiniC abstract syntax trees ------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for MiniC, using LLVM-style kind discriminators and
+/// classof() so isa<>/cast<>/dyn_cast<> work without compiler RTTI.
+/// Semantic analysis decorates nodes in place (types, resolved variable
+/// ids, statement ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_AST_H
+#define SLDB_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar type kinds of MiniC.
+enum class TypeKind : std::uint8_t { Void, Int, Double, Ptr };
+
+/// A MiniC type: a scalar kind, plus the pointee kind for pointers.
+/// Arrays are a property of declarations (see VarDecl::ArraySize), and an
+/// array-typed expression decays to Ptr.
+struct QualType {
+  TypeKind Kind = TypeKind::Void;
+  TypeKind Pointee = TypeKind::Void; ///< Valid only when Kind == Ptr.
+
+  QualType() = default;
+  explicit QualType(TypeKind Kind) : Kind(Kind) {}
+  QualType(TypeKind Kind, TypeKind Pointee) : Kind(Kind), Pointee(Pointee) {}
+
+  static QualType intTy() { return QualType(TypeKind::Int); }
+  static QualType doubleTy() { return QualType(TypeKind::Double); }
+  static QualType voidTy() { return QualType(TypeKind::Void); }
+  static QualType ptrTo(TypeKind Elem) {
+    return QualType(TypeKind::Ptr, Elem);
+  }
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isDouble() const { return Kind == TypeKind::Double; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isPtr() const { return Kind == TypeKind::Ptr; }
+  bool isArithmetic() const { return isInt() || isDouble(); }
+
+  bool operator==(const QualType &RHS) const {
+    if (Kind != RHS.Kind)
+      return false;
+    return Kind != TypeKind::Ptr || Pointee == RHS.Pointee;
+  }
+  bool operator!=(const QualType &RHS) const { return !(*this == RHS); }
+
+  /// Renders like "int", "double*", ...
+  std::string str() const;
+};
+
+/// Dense identity of a resolved variable (assigned by Sema; see VarTable).
+using VarId = std::uint32_t;
+inline constexpr VarId InvalidVar = ~VarId(0);
+
+/// Dense identity of a function.
+using FuncId = std::uint32_t;
+inline constexpr FuncId InvalidFunc = ~FuncId(0);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MiniC expressions.
+class Expr {
+public:
+  enum class Kind : std::uint8_t {
+    IntLiteral,
+    DoubleLiteral,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Index,
+    Call,
+    Ternary,
+    Cast
+  };
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Result type, filled in by Sema.
+  QualType Ty;
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal.
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLoc Loc, std::int64_t Value)
+      : Expr(Kind::IntLiteral, Loc), Value(Value) {}
+
+  std::int64_t Value;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::IntLiteral;
+  }
+};
+
+/// A floating-point literal.
+class DoubleLiteralExpr : public Expr {
+public:
+  DoubleLiteralExpr(SourceLoc Loc, double Value)
+      : Expr(Kind::DoubleLiteral, Loc), Value(Value) {}
+
+  double Value;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::DoubleLiteral;
+  }
+};
+
+/// A reference to a named variable.  Sema resolves Var.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  VarId Var = InvalidVar;
+  bool IsArray = false; ///< Declared as an array (decays to pointer).
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// Unary operator kinds.
+enum class UnaryOp : std::uint8_t {
+  Neg,
+  LogNot,
+  BitNot,
+  Deref,
+  AddrOf,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec
+};
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Sub)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOp Op;
+  ExprPtr Sub;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+};
+
+/// Binary operator kinds (no assignment; see AssignExpr).
+enum class BinaryOp : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  LogAnd,
+  LogOr,
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+};
+
+/// Assignment operator kinds; compound forms expand during IR generation.
+enum class AssignOp : std::uint8_t { Plain, Add, Sub, Mul, Div, Rem };
+
+/// An assignment `lhs op= rhs`; the LHS must be an lvalue (variable,
+/// dereference, or index expression).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, AssignOp Op, ExprPtr Target, ExprPtr Value)
+      : Expr(Kind::Assign, Loc), Op(Op), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+
+  AssignOp Op;
+  ExprPtr Target, Value;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+};
+
+/// An array/pointer index `base[idx]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Index)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  ExprPtr Base, Index;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Index; }
+};
+
+/// Builtin functions recognized by Sema.
+enum class Builtin : std::uint8_t { None, PrintInt, PrintDouble };
+
+/// A function call `f(args...)`.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FuncId Func = InvalidFunc;        ///< Resolved by Sema (non-builtins).
+  Builtin BuiltinKind = Builtin::None;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+};
+
+/// A conditional expression `cond ? then : else`.
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(Kind::Ternary, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  ExprPtr Cond, Then, Else;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Ternary; }
+};
+
+/// An implicit numeric conversion inserted by Sema (int <-> double).
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, QualType To, ExprPtr Sub)
+      : Expr(Kind::Cast, Loc), Sub(std::move(Sub)) {
+    Ty = To;
+  }
+
+  ExprPtr Sub;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Cast; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Identity of a source statement (see support/SourceLoc.h); assigned by
+/// Sema in source order, per function.  Every statement is a potential
+/// breakpoint.
+
+/// Base class of all MiniC statements.
+class Stmt {
+public:
+  enum class Kind : std::uint8_t {
+    Decl,
+    Expr,
+    Compound,
+    If,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Empty
+  };
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Breakpoint identity, assigned by Sema (InvalidStmt for compounds).
+  StmtId Id = InvalidStmt;
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A local or global variable declaration.
+class VarDecl {
+public:
+  SourceLoc Loc;
+  std::string Name;
+  QualType Ty;
+  std::uint32_t ArraySize = 0; ///< 0 = scalar; >0 = array of Ty elements.
+  ExprPtr Init;                ///< Optional initializer (scalars only).
+  VarId Var = InvalidVar;      ///< Resolved by Sema.
+};
+
+/// A declaration statement (one variable per statement, as in cmcc's IR).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, VarDecl Decl)
+      : Stmt(Kind::Decl, Loc), Decl(std::move(Decl)) {}
+
+  VarDecl Decl;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+};
+
+/// An expression statement.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, ExprPtr E)
+      : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  ExprPtr E;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Expr; }
+};
+
+/// A `{ ... }` block.
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLoc Loc, std::vector<StmtPtr> Body)
+      : Stmt(Kind::Compound, Loc), Body(std::move(Body)) {}
+
+  std::vector<StmtPtr> Body;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Compound;
+  }
+};
+
+/// An if/else statement.
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+};
+
+/// A while loop.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  ExprPtr Cond;
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+};
+
+/// A do/while loop.
+class DoStmt : public Stmt {
+public:
+  DoStmt(SourceLoc Loc, StmtPtr Body, ExprPtr Cond)
+      : Stmt(Kind::Do, Loc), Body(std::move(Body)), Cond(std::move(Cond)) {}
+
+  StmtPtr Body;
+  ExprPtr Cond;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Do; }
+};
+
+/// A for loop.  Init is a DeclStmt, ExprStmt or null; Cond/Inc may be null.
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, StmtPtr Init, ExprPtr Cond, ExprPtr Inc,
+          StmtPtr Body)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Inc(std::move(Inc)), Body(std::move(Body)) {}
+
+  StmtPtr Init;
+  ExprPtr Cond;
+  ExprPtr Inc;
+  StmtPtr Body;
+
+  /// Breakpoint id for the increment part (assigned by Sema); the paper's
+  /// statement granularity treats `i = i + 1` in a for header as its own
+  /// source assignment.
+  StmtId IncId = InvalidStmt;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+};
+
+/// A return statement.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value; ///< May be null for `return;`.
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+/// A break statement.
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
+};
+
+/// A continue statement.
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Continue;
+  }
+};
+
+/// A lone `;`.
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(Kind::Empty, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A function definition.
+class FuncDecl {
+public:
+  SourceLoc Loc;
+  std::string Name;
+  QualType RetTy;
+  std::vector<VarDecl> Params;
+  std::unique_ptr<CompoundStmt> Body;
+  FuncId Func = InvalidFunc; ///< Resolved by Sema.
+};
+
+/// A whole parsed translation unit.
+class TranslationUnit {
+public:
+  std::vector<VarDecl> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+};
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_AST_H

@@ -1,0 +1,339 @@
+//===- frontend/Lexer.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Casting.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace sldb;
+
+const char *sldb::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::DoubleLiteral:
+    return "double literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::PercentAssign:
+    return "'%='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Unknown:
+    return "unknown token";
+  }
+  sldb_unreachable("bad token kind");
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  std::size_t Begin = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsDouble = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsDouble = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Ahead = 1;
+    if (peek(1) == '+' || peek(1) == '-')
+      Ahead = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(Ahead)))) {
+      IsDouble = true;
+      while (Ahead-- > 0)
+        advance();
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  std::string Text(Source.substr(Begin, Pos - Begin));
+  Token T = makeToken(IsDouble ? TokKind::DoubleLiteral : TokKind::IntLiteral,
+                      Start);
+  if (IsDouble)
+    T.DoubleVal = std::strtod(Text.c_str(), nullptr);
+  else
+    T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Start) {
+  std::size_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Begin, Pos - Begin));
+
+  static const struct {
+    const char *Spelling;
+    TokKind Kind;
+  } Keywords[] = {
+      {"int", TokKind::KwInt},         {"double", TokKind::KwDouble},
+      {"void", TokKind::KwVoid},       {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},           {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}};
+  for (const auto &KW : Keywords)
+    if (Text == KW.Spelling)
+      return makeToken(KW.Kind, Start);
+
+  Token T = makeToken(TokKind::Identifier, Start);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Start = loc();
+  if (Pos >= Source.size())
+    return makeToken(TokKind::Eof, Start);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Start);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Start);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen, Start);
+  case ')':
+    return makeToken(TokKind::RParen, Start);
+  case '{':
+    return makeToken(TokKind::LBrace, Start);
+  case '}':
+    return makeToken(TokKind::RBrace, Start);
+  case '[':
+    return makeToken(TokKind::LBracket, Start);
+  case ']':
+    return makeToken(TokKind::RBracket, Start);
+  case ';':
+    return makeToken(TokKind::Semicolon, Start);
+  case ',':
+    return makeToken(TokKind::Comma, Start);
+  case '?':
+    return makeToken(TokKind::Question, Start);
+  case ':':
+    return makeToken(TokKind::Colon, Start);
+  case '~':
+    return makeToken(TokKind::Tilde, Start);
+  case '+':
+    if (match('='))
+      return makeToken(TokKind::PlusAssign, Start);
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus, Start);
+    return makeToken(TokKind::Plus, Start);
+  case '-':
+    if (match('='))
+      return makeToken(TokKind::MinusAssign, Start);
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus, Start);
+    return makeToken(TokKind::Minus, Start);
+  case '*':
+    return makeToken(match('=') ? TokKind::StarAssign : TokKind::Star, Start);
+  case '/':
+    return makeToken(match('=') ? TokKind::SlashAssign : TokKind::Slash,
+                     Start);
+  case '%':
+    return makeToken(match('=') ? TokKind::PercentAssign : TokKind::Percent,
+                     Start);
+  case '&':
+    return makeToken(match('&') ? TokKind::AmpAmp : TokKind::Amp, Start);
+  case '|':
+    return makeToken(match('|') ? TokKind::PipePipe : TokKind::Pipe, Start);
+  case '^':
+    return makeToken(TokKind::Caret, Start);
+  case '!':
+    return makeToken(match('=') ? TokKind::BangEq : TokKind::Bang, Start);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign, Start);
+  case '<':
+    if (match('<'))
+      return makeToken(TokKind::Shl, Start);
+    return makeToken(match('=') ? TokKind::LessEq : TokKind::Less, Start);
+  case '>':
+    if (match('>'))
+      return makeToken(TokKind::Shr, Start);
+    return makeToken(match('=') ? TokKind::GreaterEq : TokKind::Greater,
+                     Start);
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return makeToken(TokKind::Unknown, Start);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokKind::Eof) || Tokens.back().is(TokKind::Unknown))
+      break;
+  }
+  if (!Tokens.back().is(TokKind::Eof)) {
+    Token Eof;
+    Eof.Kind = TokKind::Eof;
+    Eof.Loc = Tokens.back().Loc;
+    Tokens.push_back(Eof);
+  }
+  return Tokens;
+}

@@ -1,0 +1,59 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC.  Supports `//` and `/* */` comments,
+/// decimal integer and floating literals, and the operator set of the C
+/// subset described in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_LEXER_H
+#define SLDB_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace sldb {
+
+/// Tokenizes a MiniC source buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the next token.
+  Token next();
+
+  /// Lexes the whole buffer (ending with an Eof token).
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token lexNumber(SourceLoc Start);
+  Token lexIdentifier(SourceLoc Start);
+  Token makeToken(TokKind Kind, SourceLoc Loc) const;
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+  std::uint32_t Line = 1;
+  std::uint32_t Col = 1;
+};
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_LEXER_H

@@ -1,0 +1,602 @@
+//===- frontend/Parser.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "support/Casting.h"
+
+using namespace sldb;
+
+std::unique_ptr<TranslationUnit>
+Parser::parseSource(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  return P.parse();
+}
+
+bool Parser::accept(TokKind K) {
+  if (!at(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  errorAtCur(std::string("expected ") + tokKindName(K) + " " + Context +
+             ", found " + tokKindName(cur().Kind));
+  return false;
+}
+
+void Parser::errorAtCur(const std::string &Message) {
+  if (!HadError)
+    Diags.error(cur().Loc, Message);
+  HadError = true;
+}
+
+bool Parser::atTypeStart() const {
+  return at(TokKind::KwInt) || at(TokKind::KwDouble) || at(TokKind::KwVoid);
+}
+
+bool Parser::parseType(QualType &Ty) {
+  TypeKind Base;
+  if (accept(TokKind::KwInt)) {
+    Base = TypeKind::Int;
+  } else if (accept(TokKind::KwDouble)) {
+    Base = TypeKind::Double;
+  } else if (accept(TokKind::KwVoid)) {
+    Base = TypeKind::Void;
+  } else {
+    errorAtCur("expected type name");
+    return false;
+  }
+  if (accept(TokKind::Star)) {
+    if (Base == TypeKind::Void) {
+      errorAtCur("pointer to void is not supported");
+      return false;
+    }
+    if (at(TokKind::Star)) {
+      errorAtCur("multi-level pointers are not supported");
+      return false;
+    }
+    Ty = QualType::ptrTo(Base);
+    return true;
+  }
+  Ty = QualType(Base);
+  return true;
+}
+
+std::unique_ptr<TranslationUnit> Parser::parse() {
+  auto TU = std::make_unique<TranslationUnit>();
+  while (!at(TokKind::Eof) && !HadError) {
+    if (!parseGlobal(*TU))
+      return nullptr;
+  }
+  if (HadError)
+    return nullptr;
+  return TU;
+}
+
+bool Parser::parseGlobal(TranslationUnit &TU) {
+  SourceLoc Loc = cur().Loc;
+  QualType Ty;
+  if (!parseType(Ty))
+    return false;
+  if (!at(TokKind::Identifier)) {
+    errorAtCur("expected identifier after type");
+    return false;
+  }
+  std::string Name = consume().Text;
+
+  if (at(TokKind::LParen)) {
+    auto FD = parseFunction(Ty, std::move(Name), Loc);
+    if (!FD)
+      return false;
+    TU.Functions.push_back(std::move(FD));
+    return true;
+  }
+
+  // Global variable.
+  VarDecl Decl;
+  Decl.Loc = Loc;
+  Decl.Name = std::move(Name);
+  Decl.Ty = Ty;
+  if (accept(TokKind::LBracket)) {
+    if (!at(TokKind::IntLiteral)) {
+      errorAtCur("expected constant array size");
+      return false;
+    }
+    Decl.ArraySize = static_cast<std::uint32_t>(consume().IntVal);
+    if (!expect(TokKind::RBracket, "after array size"))
+      return false;
+  } else if (accept(TokKind::Assign)) {
+    Decl.Init = parsePrimary();
+    if (!Decl.Init)
+      return false;
+  }
+  if (!expect(TokKind::Semicolon, "after global declaration"))
+    return false;
+  TU.Globals.push_back(std::move(Decl));
+  return true;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction(QualType RetTy,
+                                                std::string Name,
+                                                SourceLoc Loc) {
+  auto FD = std::make_unique<FuncDecl>();
+  FD->Loc = Loc;
+  FD->Name = std::move(Name);
+  FD->RetTy = RetTy;
+  expect(TokKind::LParen, "after function name");
+  if (!accept(TokKind::RParen)) {
+    do {
+      SourceLoc PLoc = cur().Loc;
+      QualType PTy;
+      if (!parseType(PTy))
+        return nullptr;
+      if (PTy.isVoid() && FD->Params.empty() && at(TokKind::RParen)) {
+        // `f(void)` style empty parameter list.
+        break;
+      }
+      if (!at(TokKind::Identifier)) {
+        errorAtCur("expected parameter name");
+        return nullptr;
+      }
+      VarDecl P;
+      P.Loc = PLoc;
+      P.Ty = PTy;
+      P.Name = consume().Text;
+      FD->Params.push_back(std::move(P));
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::RParen, "after parameter list"))
+      return nullptr;
+  }
+  if (!at(TokKind::LBrace)) {
+    errorAtCur("expected function body");
+    return nullptr;
+  }
+  StmtPtr Body = parseCompound();
+  if (!Body)
+    return nullptr;
+  FD->Body.reset(cast<CompoundStmt>(Body.release()));
+  return FD;
+}
+
+bool Parser::parseVarDecl(QualType BaseTy, VarDecl &Decl) {
+  Decl.Loc = cur().Loc;
+  Decl.Ty = BaseTy;
+  if (!at(TokKind::Identifier)) {
+    errorAtCur("expected variable name");
+    return false;
+  }
+  Decl.Name = consume().Text;
+  if (accept(TokKind::LBracket)) {
+    if (!at(TokKind::IntLiteral)) {
+      errorAtCur("expected constant array size");
+      return false;
+    }
+    Decl.ArraySize = static_cast<std::uint32_t>(consume().IntVal);
+    if (!expect(TokKind::RBracket, "after array size"))
+      return false;
+    return true;
+  }
+  if (accept(TokKind::Assign)) {
+    Decl.Init = parseAssignment();
+    return Decl.Init != nullptr;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseCompound();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwDo:
+    return parseDo();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwReturn: {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Value;
+    if (!at(TokKind::Semicolon)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semicolon, "after return"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+  case TokKind::KwBreak: {
+    SourceLoc Loc = consume().Loc;
+    if (!expect(TokKind::Semicolon, "after break"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokKind::KwContinue: {
+    SourceLoc Loc = consume().Loc;
+    if (!expect(TokKind::Semicolon, "after continue"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokKind::Semicolon: {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<EmptyStmt>(Loc);
+  }
+  default:
+    if (atTypeStart())
+      return parseDeclStmt();
+    SourceLoc Loc = cur().Loc;
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokKind::Semicolon, "after expression"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(Loc, std::move(E));
+  }
+}
+
+StmtPtr Parser::parseCompound() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::LBrace, "to open block");
+  std::vector<StmtPtr> Body;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof) && !HadError) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Body.push_back(std::move(S));
+  }
+  if (!expect(TokKind::RBrace, "to close block"))
+    return nullptr;
+  return std::make_unique<CompoundStmt>(Loc, std::move(Body));
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // 'if'
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "after if condition"))
+    return nullptr;
+  StmtPtr Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (accept(TokKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // 'while'
+  if (!expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "after while condition"))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+}
+
+StmtPtr Parser::parseDo() {
+  SourceLoc Loc = consume().Loc; // 'do'
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  if (!expect(TokKind::KwWhile, "after do body") ||
+      !expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "after do-while condition") ||
+      !expect(TokKind::Semicolon, "after do-while"))
+    return nullptr;
+  return std::make_unique<DoStmt>(Loc, std::move(Body), std::move(Cond));
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = consume().Loc; // 'for'
+  if (!expect(TokKind::LParen, "after 'for'"))
+    return nullptr;
+
+  StmtPtr Init;
+  if (accept(TokKind::Semicolon)) {
+    // No init.
+  } else if (atTypeStart()) {
+    Init = parseDeclStmt();
+    if (!Init)
+      return nullptr;
+  } else {
+    SourceLoc ILoc = cur().Loc;
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::Semicolon, "after for-init"))
+      return nullptr;
+    Init = std::make_unique<ExprStmt>(ILoc, std::move(E));
+  }
+
+  ExprPtr Cond;
+  if (!at(TokKind::Semicolon)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokKind::Semicolon, "after for-condition"))
+    return nullptr;
+
+  ExprPtr Inc;
+  if (!at(TokKind::RParen)) {
+    Inc = parseExpr();
+    if (!Inc)
+      return nullptr;
+  }
+  if (!expect(TokKind::RParen, "after for-increment"))
+    return nullptr;
+
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                   std::move(Inc), std::move(Body));
+}
+
+StmtPtr Parser::parseDeclStmt() {
+  SourceLoc Loc = cur().Loc;
+  QualType Ty;
+  if (!parseType(Ty))
+    return nullptr;
+  if (Ty.isVoid()) {
+    errorAtCur("variables cannot have void type");
+    return nullptr;
+  }
+  VarDecl Decl;
+  if (!parseVarDecl(Ty, Decl))
+    return nullptr;
+  if (!expect(TokKind::Semicolon, "after declaration"))
+    return nullptr;
+  return std::make_unique<DeclStmt>(Loc, std::move(Decl));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+static bool isAssignTok(TokKind K) {
+  switch (K) {
+  case TokKind::Assign:
+  case TokKind::PlusAssign:
+  case TokKind::MinusAssign:
+  case TokKind::StarAssign:
+  case TokKind::SlashAssign:
+  case TokKind::PercentAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static AssignOp assignOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::Assign:
+    return AssignOp::Plain;
+  case TokKind::PlusAssign:
+    return AssignOp::Add;
+  case TokKind::MinusAssign:
+    return AssignOp::Sub;
+  case TokKind::StarAssign:
+    return AssignOp::Mul;
+  case TokKind::SlashAssign:
+    return AssignOp::Div;
+  case TokKind::PercentAssign:
+    return AssignOp::Rem;
+  default:
+    sldb_unreachable("not an assignment token");
+  }
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr LHS = parseTernary();
+  if (!LHS)
+    return nullptr;
+  if (!isAssignTok(cur().Kind))
+    return LHS;
+  Token Op = consume();
+  ExprPtr RHS = parseAssignment();
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<AssignExpr>(Op.Loc, assignOpFor(Op.Kind),
+                                      std::move(LHS), std::move(RHS));
+}
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseBinary(0);
+  if (!Cond)
+    return nullptr;
+  if (!at(TokKind::Question))
+    return Cond;
+  SourceLoc Loc = consume().Loc;
+  ExprPtr Then = parseExpr();
+  if (!Then || !expect(TokKind::Colon, "in conditional expression"))
+    return nullptr;
+  ExprPtr Else = parseTernary();
+  if (!Else)
+    return nullptr;
+  return std::make_unique<TernaryExpr>(Loc, std::move(Cond), std::move(Then),
+                                       std::move(Else));
+}
+
+namespace {
+struct BinOpInfo {
+  TokKind Tok;
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static const BinOpInfo *binOpInfo(TokKind K) {
+  static const BinOpInfo Table[] = {
+      {TokKind::PipePipe, BinaryOp::LogOr, 1},
+      {TokKind::AmpAmp, BinaryOp::LogAnd, 2},
+      {TokKind::Pipe, BinaryOp::Or, 3},
+      {TokKind::Caret, BinaryOp::Xor, 4},
+      {TokKind::Amp, BinaryOp::And, 5},
+      {TokKind::EqEq, BinaryOp::EQ, 6},
+      {TokKind::BangEq, BinaryOp::NE, 6},
+      {TokKind::Less, BinaryOp::LT, 7},
+      {TokKind::LessEq, BinaryOp::LE, 7},
+      {TokKind::Greater, BinaryOp::GT, 7},
+      {TokKind::GreaterEq, BinaryOp::GE, 7},
+      {TokKind::Shl, BinaryOp::Shl, 8},
+      {TokKind::Shr, BinaryOp::Shr, 8},
+      {TokKind::Plus, BinaryOp::Add, 9},
+      {TokKind::Minus, BinaryOp::Sub, 9},
+      {TokKind::Star, BinaryOp::Mul, 10},
+      {TokKind::Slash, BinaryOp::Div, 10},
+      {TokKind::Percent, BinaryOp::Rem, 10}};
+  for (const BinOpInfo &Info : Table)
+    if (Info.Tok == K)
+      return &Info;
+  return nullptr;
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    const BinOpInfo *Info = binOpInfo(cur().Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return LHS;
+    Token Op = consume();
+    ExprPtr RHS = parseBinary(Info->Prec + 1);
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op.Loc, Info->Op, std::move(LHS),
+                                       std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  UnaryOp Op;
+  switch (cur().Kind) {
+  case TokKind::Minus:
+    Op = UnaryOp::Neg;
+    break;
+  case TokKind::Bang:
+    Op = UnaryOp::LogNot;
+    break;
+  case TokKind::Tilde:
+    Op = UnaryOp::BitNot;
+    break;
+  case TokKind::Star:
+    Op = UnaryOp::Deref;
+    break;
+  case TokKind::Amp:
+    Op = UnaryOp::AddrOf;
+    break;
+  case TokKind::PlusPlus:
+    Op = UnaryOp::PreInc;
+    break;
+  case TokKind::MinusMinus:
+    Op = UnaryOp::PreDec;
+    break;
+  default:
+    return parsePostfix();
+  }
+  consume();
+  ExprPtr Sub = parseUnary();
+  if (!Sub)
+    return nullptr;
+  return std::make_unique<UnaryExpr>(Loc, Op, std::move(Sub));
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  for (;;) {
+    if (at(TokKind::LBracket)) {
+      SourceLoc Loc = consume().Loc;
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "after index"))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(Loc, std::move(E), std::move(Index));
+      continue;
+    }
+    if (at(TokKind::PlusPlus) || at(TokKind::MinusMinus)) {
+      Token Op = consume();
+      UnaryOp K = Op.is(TokKind::PlusPlus) ? UnaryOp::PostInc
+                                           : UnaryOp::PostDec;
+      E = std::make_unique<UnaryExpr>(Op.Loc, K, std::move(E));
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLiteral: {
+    Token T = consume();
+    return std::make_unique<IntLiteralExpr>(Loc, T.IntVal);
+  }
+  case TokKind::DoubleLiteral: {
+    Token T = consume();
+    return std::make_unique<DoubleLiteralExpr>(Loc, T.DoubleVal);
+  }
+  case TokKind::Identifier: {
+    Token T = consume();
+    if (!at(TokKind::LParen))
+      return std::make_unique<VarRefExpr>(Loc, std::move(T.Text));
+    consume(); // '('
+    std::vector<ExprPtr> Args;
+    if (!accept(TokKind::RParen)) {
+      do {
+        ExprPtr Arg = parseAssignment();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(std::move(Arg));
+      } while (accept(TokKind::Comma));
+      if (!expect(TokKind::RParen, "after call arguments"))
+        return nullptr;
+    }
+    return std::make_unique<CallExpr>(Loc, std::move(T.Text),
+                                      std::move(Args));
+  }
+  case TokKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  default:
+    errorAtCur(std::string("expected expression, found ") +
+               tokKindName(cur().Kind));
+    return nullptr;
+  }
+}

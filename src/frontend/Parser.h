@@ -1,0 +1,82 @@
+//===- frontend/Parser.h - MiniC recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC producing the AST of Ast.h.  Errors
+/// are reported to the DiagnosticEngine; parsing stops at the first error
+/// (the tools treat any error as fatal for the file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_PARSER_H
+#define SLDB_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace sldb {
+
+/// Parses a token stream into a TranslationUnit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses the whole unit.  Returns null on error.
+  std::unique_ptr<TranslationUnit> parse();
+
+  /// Convenience: lex + parse a source buffer.
+  static std::unique_ptr<TranslationUnit> parseSource(std::string_view Source,
+                                                      DiagnosticEngine &Diags);
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peekAhead(unsigned N = 1) const {
+    return Tokens[Pos + N < Tokens.size() ? Pos + N : Tokens.size() - 1];
+  }
+  Token consume() { return Tokens[Pos++]; }
+  bool at(TokKind K) const { return cur().is(K); }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void errorAtCur(const std::string &Message);
+
+  bool atTypeStart() const;
+  bool parseType(QualType &Ty);
+
+  bool parseGlobal(TranslationUnit &TU);
+  std::unique_ptr<FuncDecl> parseFunction(QualType RetTy, std::string Name,
+                                          SourceLoc Loc);
+  bool parseVarDecl(QualType BaseTy, VarDecl &Decl);
+
+  StmtPtr parseStmt();
+  StmtPtr parseCompound();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDo();
+  StmtPtr parseFor();
+  StmtPtr parseDeclStmt();
+
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+  bool HadError = false;
+};
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_PARSER_H

@@ -1,0 +1,88 @@
+//===- frontend/Sema.h - MiniC semantic analysis ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniC: name resolution, type checking with
+/// implicit int<->double conversions, statement-id assignment, and scope
+/// snapshots per statement (the debugger's "variables in scope at each
+/// breakpoint", paper Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_SEMA_H
+#define SLDB_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "frontend/Symbols.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace sldb {
+
+/// Runs semantic analysis over a parsed TranslationUnit, decorating the
+/// AST in place and producing the ProgramInfo symbol tables.
+class Sema {
+public:
+  Sema(TranslationUnit &TU, DiagnosticEngine &Diags)
+      : TU(TU), Diags(Diags) {}
+
+  /// Analyzes the unit.  Returns the symbol tables, or null on error.
+  std::unique_ptr<ProgramInfo> run();
+
+private:
+  // Scope management.
+  void pushScope();
+  void popScope();
+  VarId declareVar(VarDecl &Decl, StorageKind Storage);
+  VarId lookupVar(const std::string &Name) const;
+
+  // Statements.
+  void checkFunction(FuncDecl &FD);
+  void checkStmt(Stmt *S);
+  StmtId newStmt(SourceLoc Loc);
+
+  // Expressions.  Each returns the expression type (and may wrap children
+  // in CastExpr); Void on error.
+  QualType checkExpr(ExprPtr &E);
+  QualType checkAssign(AssignExpr *E);
+  QualType checkUnary(UnaryExpr *E, ExprPtr &Owner);
+  QualType checkBinary(BinaryExpr *E);
+  QualType checkCall(CallExpr *E);
+  QualType checkIndex(IndexExpr *E);
+
+  /// Inserts a cast so \p E has type \p To; errors if impossible.
+  void coerce(ExprPtr &E, QualType To, const char *Context);
+  bool isLValue(const Expr *E) const;
+
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  TranslationUnit &TU;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<ProgramInfo> Info;
+
+  /// Innermost-last stack of name->VarId scopes.
+  std::vector<std::unordered_map<std::string, VarId>> Scopes;
+  FuncId CurFunc = InvalidFunc;
+  QualType CurRetTy;
+  unsigned LoopDepth = 0;
+};
+
+/// Convenience driver: parse + analyze \p Source.  On success returns the
+/// decorated unit and its symbol tables.
+struct FrontendResult {
+  std::unique_ptr<TranslationUnit> TU;
+  std::unique_ptr<ProgramInfo> Info;
+};
+FrontendResult runFrontend(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_SEMA_H

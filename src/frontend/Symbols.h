@@ -1,0 +1,91 @@
+//===- frontend/Symbols.h - Program symbol tables ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbol tables produced by semantic analysis and consumed by IR
+/// generation, the optimizer's bookkeeping, and the debugger: variables,
+/// functions, and the per-function statement (breakpoint) tables with
+/// scope snapshots.  This is the compiler side of the paper's "symbol
+/// table information for full symbolic debugging".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_SYMBOLS_H
+#define SLDB_FRONTEND_SYMBOLS_H
+
+#include "frontend/Ast.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Storage class of a variable.
+enum class StorageKind : std::uint8_t { Global, Local, Param };
+
+/// Everything the compiler and debugger know about one variable.
+struct VarInfo {
+  std::string Name;
+  QualType Ty;
+  std::uint32_t ArraySize = 0;     ///< 0 = scalar.
+  StorageKind Storage = StorageKind::Local;
+  FuncId Owner = InvalidFunc;      ///< Owning function (locals/params).
+  bool AddressTaken = false;       ///< `&v` appears; not register-promotable.
+  SourceLoc Loc;
+
+  bool isScalar() const { return ArraySize == 0; }
+  /// Register promotion candidates: scalar, not address-taken, not global.
+  bool isPromotable() const {
+    return isScalar() && !AddressTaken && Storage != StorageKind::Global;
+  }
+};
+
+/// Per-statement (breakpoint) debug information.
+struct StmtInfo {
+  SourceLoc Loc;
+  std::vector<VarId> ScopeVars; ///< Local variables visible here.
+};
+
+/// Everything known about one function.
+struct FuncInfo {
+  std::string Name;
+  QualType RetTy;
+  std::vector<VarId> Params;
+  std::vector<VarId> Locals;     ///< All locals incl. params, decl order.
+  std::vector<StmtInfo> Stmts;   ///< Indexed by StmtId (dense, per func).
+  SourceLoc Loc;
+};
+
+/// Module-wide symbol tables.
+class ProgramInfo {
+public:
+  std::vector<VarInfo> Vars;
+  std::vector<FuncInfo> Funcs;
+  std::vector<VarId> Globals;
+
+  VarInfo &var(VarId Id) { return Vars[Id]; }
+  const VarInfo &var(VarId Id) const { return Vars[Id]; }
+  FuncInfo &func(FuncId Id) { return Funcs[Id]; }
+  const FuncInfo &func(FuncId Id) const { return Funcs[Id]; }
+
+  VarId addVar(VarInfo Info) {
+    Vars.push_back(std::move(Info));
+    return static_cast<VarId>(Vars.size() - 1);
+  }
+
+  /// Finds a function by name; returns InvalidFunc if absent.
+  FuncId findFunc(const std::string &Name) const {
+    for (FuncId I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == Name)
+        return I;
+    return InvalidFunc;
+  }
+};
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_SYMBOLS_H

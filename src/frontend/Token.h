@@ -1,0 +1,104 @@
+//===- frontend/Token.h - MiniC tokens -------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the MiniC language, the C subset the reproduction uses
+/// as its source language (the paper's substrate, cmcc, compiled ANSI C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FRONTEND_TOKEN_H
+#define SLDB_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sldb {
+
+/// Lexical token kinds.
+enum class TokKind : std::uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Question,
+  Colon,
+
+  // Operators.
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  PlusPlus,      // ++
+  MinusMinus,    // --
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,      // &
+  Pipe,     // |
+  Caret,    // ^
+  Tilde,    // ~
+  Bang,     // !
+  AmpAmp,   // &&
+  PipePipe, // ||
+  Shl,      // <<
+  Shr,      // >>
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+
+  Unknown
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;     ///< Identifier spelling (identifiers only).
+  std::int64_t IntVal = 0;
+  double DoubleVal = 0.0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace sldb
+
+#endif // SLDB_FRONTEND_TOKEN_H

@@ -1,0 +1,85 @@
+//===- ir/IR.cpp - CFG utilities ------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace sldb;
+
+void IRFunction::recomputePreds() {
+  for (auto &B : Blocks)
+    B->Preds.clear();
+  for (auto &B : Blocks)
+    for (BasicBlock *S : B->succs())
+      S->Preds.push_back(B.get());
+}
+
+std::vector<BasicBlock *> IRFunction::rpo() {
+  std::vector<BasicBlock *> Order;
+  if (Blocks.empty())
+    return Order;
+  std::unordered_set<BasicBlock *> Visited;
+  // Iterative post-order DFS.
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  Stack.emplace_back(entry(), 0);
+  Visited.insert(entry());
+  std::vector<BasicBlock *> Post;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = B->succs();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.emplace_back(S, 0);
+      continue;
+    }
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+  Order.assign(Post.rbegin(), Post.rend());
+  // Append unreachable blocks in layout order so analyses still see them.
+  for (auto &B : Blocks)
+    if (!Visited.count(B.get()))
+      Order.push_back(B.get());
+  return Order;
+}
+
+bool IRFunction::removeUnreachable() {
+  std::unordered_set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{entry()};
+  Reachable.insert(entry());
+  while (!Work.empty()) {
+    BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : B->succs())
+      if (Reachable.insert(S).second)
+        Work.push_back(S);
+  }
+  std::size_t Before = Blocks.size();
+  Blocks.erase(std::remove_if(Blocks.begin(), Blocks.end(),
+                              [&](const std::unique_ptr<BasicBlock> &B) {
+                                return !Reachable.count(B.get());
+                              }),
+               Blocks.end());
+  if (Blocks.size() != Before) {
+    recomputePreds();
+    return true;
+  }
+  return false;
+}
+
+BasicBlock *IRFunction::splitEdge(BasicBlock *From, BasicBlock *To) {
+  BasicBlock *Mid = newBlock("split");
+  Instr Jump;
+  Jump.Op = Opcode::Br;
+  Jump.Succs[0] = To;
+  Mid->Insts.push_back(Jump);
+  From->replaceSucc(To, Mid);
+  recomputePreds();
+  return Mid;
+}

@@ -1,0 +1,470 @@
+//===- ir/IR.h - Three-address intermediate representation -----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-independent IR: a control-flow graph of basic blocks holding
+/// three-address instructions whose operands are source variables, compiler
+/// temporaries, or constants.  This mirrors cmcc's design (paper §3): a
+/// non-SSA IR analyzed with bit-vector data-flow, annotated in place by the
+/// optimizer's debug bookkeeping:
+///
+///  * every instruction carries the StmtId of the source statement it was
+///    generated from;
+///  * instructions that complete an assignment to a source variable carry
+///    that variable (IsSourceAssign / destVar());
+///  * code inserted by code hoisting or sinking is flagged IsHoisted /
+///    IsSunk and carries a *hoist key* naming the assignment expression;
+///  * eliminated assignments are replaced by DeadMarker / AvailMarker
+///    pseudo-instructions (ignored by optimizations, used by the debugger
+///    analyses), optionally carrying a recovery value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_IR_H
+#define SLDB_IR_IR_H
+
+#include "frontend/Ast.h"
+#include "frontend/Symbols.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+//===----------------------------------------------------------------------===//
+// Types and values
+//===----------------------------------------------------------------------===//
+
+/// IR-level value types.  Pointers are untyped word addresses (MiniC memory
+/// is word-addressed); load/store instructions carry the element type.
+enum class IRType : std::uint8_t { Void, Int, Double, Ptr };
+
+/// Converts a front-end type to an IR type.
+inline IRType irTypeFor(QualType Ty) {
+  switch (Ty.Kind) {
+  case TypeKind::Void:
+    return IRType::Void;
+  case TypeKind::Int:
+    return IRType::Int;
+  case TypeKind::Double:
+    return IRType::Double;
+  case TypeKind::Ptr:
+    return IRType::Ptr;
+  }
+  sldb_unreachable("bad type kind");
+}
+
+/// Identity of a compiler temporary, dense per function.
+using TempId = std::uint32_t;
+
+/// A small value: an operand or destination of an instruction.
+/// Values are plain copyable structs (no use lists); def-use information is
+/// computed on demand by the analysis library.
+struct Value {
+  enum class Kind : std::uint8_t { None, Temp, Var, ConstInt, ConstDouble };
+
+  Kind K = Kind::None;
+  IRType Ty = IRType::Void;
+  std::uint32_t Id = 0;        ///< TempId or VarId.
+  std::int64_t IntVal = 0;
+  double DblVal = 0.0;
+
+  static Value none() { return Value(); }
+  static Value temp(TempId Id, IRType Ty) {
+    Value V;
+    V.K = Kind::Temp;
+    V.Ty = Ty;
+    V.Id = Id;
+    return V;
+  }
+  static Value var(VarId Id, IRType Ty) {
+    Value V;
+    V.K = Kind::Var;
+    V.Ty = Ty;
+    V.Id = Id;
+    return V;
+  }
+  static Value constInt(std::int64_t N) {
+    Value V;
+    V.K = Kind::ConstInt;
+    V.Ty = IRType::Int;
+    V.IntVal = N;
+    return V;
+  }
+  static Value constDouble(double D) {
+    Value V;
+    V.K = Kind::ConstDouble;
+    V.Ty = IRType::Double;
+    V.DblVal = D;
+    return V;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isTemp() const { return K == Kind::Temp; }
+  bool isVar() const { return K == Kind::Var; }
+  bool isConstInt() const { return K == Kind::ConstInt; }
+  bool isConstDouble() const { return K == Kind::ConstDouble; }
+  bool isConst() const { return isConstInt() || isConstDouble(); }
+
+  bool operator==(const Value &RHS) const {
+    if (K != RHS.K)
+      return false;
+    switch (K) {
+    case Kind::None:
+      return true;
+    case Kind::Temp:
+    case Kind::Var:
+      return Id == RHS.Id;
+    case Kind::ConstInt:
+      return IntVal == RHS.IntVal;
+    case Kind::ConstDouble:
+      return DblVal == RHS.DblVal;
+    }
+    return false;
+  }
+  bool operator!=(const Value &RHS) const { return !(*this == RHS); }
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// IR opcodes.
+enum class Opcode : std::uint8_t {
+  // Binary arithmetic/logic (result type = Ty; Div/Rem trap on zero).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Comparisons (operand type from operands; result Int 0/1).
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Unary.
+  Neg,
+  Not,
+  // Data movement / conversion.
+  Copy,
+  CastItoD,
+  CastDtoI,
+  // Memory.  AddrOf yields the word address of a variable.
+  AddrOf,
+  Load,
+  Store,
+  // Calls (Ops = arguments).
+  Call,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+  // Debug bookkeeping pseudo-instructions (paper §3).
+  DeadMarker,
+  AvailMarker,
+  Nop
+};
+
+/// Returns true for Br/CondBr/Ret.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+/// Returns true for the debug marker pseudo-instructions.
+inline bool isMarker(Opcode Op) {
+  return Op == Opcode::DeadMarker || Op == Opcode::AvailMarker;
+}
+
+/// Returns true for binary ALU opcodes (Add..CmpGE).
+inline bool isBinaryOp(Opcode Op) {
+  return Op >= Opcode::Add && Op <= Opcode::CmpGE;
+}
+
+/// Returns true for comparison opcodes.
+inline bool isCompareOp(Opcode Op) {
+  return Op >= Opcode::CmpEQ && Op <= Opcode::CmpGE;
+}
+
+/// Identity of a hoistable assignment-expression key (see
+/// IRFunction::HoistKeys); dense per function.
+using HoistKeyId = std::uint32_t;
+inline constexpr HoistKeyId InvalidHoistKey = ~HoistKeyId(0);
+
+class BasicBlock;
+
+/// One three-address instruction.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  IRType Ty = IRType::Void; ///< Result type.
+  Value Dest;               ///< Temp or Var destination (or None).
+  std::vector<Value> Ops;   ///< Operands (see opcode conventions).
+  FuncId Callee = InvalidFunc;
+  Builtin BuiltinKind = Builtin::None;
+  BasicBlock *Succs[2] = {nullptr, nullptr}; ///< Br: [0]; CondBr: [T, F].
+
+  //===--- Debug annotations (paper §3 bookkeeping) -----------------------===//
+
+  /// Source statement this instruction was generated from.
+  StmtId Stmt = InvalidStmt;
+
+  /// True if this instruction completes a source-level assignment to
+  /// Dest (which is then a Var).  Set by IR generation; preserved (and
+  /// copied) by optimizations.
+  bool IsSourceAssign = false;
+
+  /// True if this instruction was inserted by a code-hoisting
+  /// transformation (PRE, LICM).
+  bool IsHoisted = false;
+
+  /// True if this instruction was inserted by a code-sinking
+  /// transformation (partial dead-code elimination).
+  bool IsSunk = false;
+
+  /// For hoisted source assignments and AvailMarkers: the key of the
+  /// assignment expression (index into IRFunction::HoistKeys).
+  HoistKeyId HoistKey = InvalidHoistKey;
+
+  /// For markers: the variable whose assignment was eliminated, and the
+  /// statement id of the eliminated source assignment.
+  VarId MarkVar = InvalidVar;
+  StmtId MarkStmt = InvalidStmt;
+
+  /// For DeadMarkers: optional recovery value — the eliminated
+  /// assignment's right-hand side when it survives as a temporary,
+  /// constant, or variable the debugger can read (paper §2.5).
+  Value Recovery;
+
+  /// Affine recovery for strength-reduced induction variables: the
+  /// expected value of MarkVar is value(Recovery) / RecoveryScale.
+  /// When RecoveryIsIV is set the relation is a loop invariant maintained
+  /// by the strength-reduction updates, so redefinitions of the recovery
+  /// temp do *not* invalidate it (unlike plain recovery).
+  std::int64_t RecoveryScale = 1;
+  bool RecoveryIsIV = false;
+
+  //===--- Queries --------------------------------------------------------===//
+
+  bool isTerm() const { return isTerminator(Op); }
+  bool isMark() const { return isMarker(Op); }
+
+  /// Returns the destination variable if this instruction writes a source
+  /// variable, else InvalidVar.
+  VarId destVar() const {
+    return Dest.isVar() ? Dest.Id : InvalidVar;
+  }
+
+  /// Returns true if this instruction has observable side effects (and so
+  /// cannot be deleted even if its result is unused).
+  bool hasSideEffects() const {
+    switch (Op) {
+    case Opcode::Store:
+    case Opcode::Call:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::DeadMarker:
+    case Opcode::AvailMarker:
+      return true;
+    case Opcode::Div:
+    case Opcode::Rem:
+      // May trap on zero divisor; deleting changes behavior only for
+      // faulting programs — we still treat them as deletable when dead,
+      // as cmcc's optimizer did (C leaves this undefined).
+      return false;
+    default:
+      return false;
+    }
+  }
+
+  /// Number of successor blocks (terminators only).
+  unsigned numSuccs() const {
+    if (Op == Opcode::Br)
+      return 1;
+    if (Op == Opcode::CondBr)
+      return 2;
+    return 0;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Basic blocks
+//===----------------------------------------------------------------------===//
+
+/// A basic block: a label plus a straight-line instruction list ending in a
+/// terminator.
+class BasicBlock {
+public:
+  BasicBlock(std::uint32_t Id, std::string Name)
+      : Id(Id), Name(std::move(Name)) {}
+
+  std::uint32_t Id;
+  std::string Name;
+  std::list<Instr> Insts;
+
+  /// Predecessors; maintained by IRFunction::recomputePreds().
+  std::vector<BasicBlock *> Preds;
+
+  /// The terminator (last instruction).  The block must be non-empty.
+  Instr &term() {
+    assert(!Insts.empty() && Insts.back().isTerm() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+  const Instr &term() const {
+    return const_cast<BasicBlock *>(this)->term();
+  }
+
+  bool hasTerm() const { return !Insts.empty() && Insts.back().isTerm(); }
+
+  /// Successor list (0, 1, or 2 blocks).
+  std::vector<BasicBlock *> succs() const {
+    std::vector<BasicBlock *> S;
+    if (!hasTerm())
+      return S;
+    const Instr &T = Insts.back();
+    for (unsigned I = 0, E = T.numSuccs(); I != E; ++I)
+      S.push_back(T.Succs[I]);
+    return S;
+  }
+
+  /// Replaces every successor edge to \p From with \p To.
+  void replaceSucc(BasicBlock *From, BasicBlock *To) {
+    assert(hasTerm() && "no terminator");
+    Instr &T = Insts.back();
+    for (unsigned I = 0, E = T.numSuccs(); I != E; ++I)
+      if (T.Succs[I] == From)
+        T.Succs[I] = To;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// The assignment-expression key used by hoist-reach bookkeeping: names
+/// "assignments of `A op B` to variable V" so that hoisted instances and
+/// the redundant copies they make available can be matched by the debugger
+/// (paper Definition 1: the analysis only needs to know that *some*
+/// instance of the key was hoisted / eliminated, not which).
+struct HoistKey {
+  VarId V = InvalidVar;
+  Opcode Op = Opcode::Nop;
+  IRType Ty = IRType::Void;
+  Value A, B;
+
+  bool operator==(const HoistKey &RHS) const {
+    return V == RHS.V && Op == RHS.Op && Ty == RHS.Ty && A == RHS.A &&
+           B == RHS.B;
+  }
+};
+
+/// An IR function: CFG + symbol references + bookkeeping tables.
+class IRFunction {
+public:
+  IRFunction(FuncId Id, std::string Name, IRType RetTy)
+      : Id(Id), Name(std::move(Name)), RetTy(RetTy) {}
+
+  FuncId Id;
+  std::string Name;
+  IRType RetTy;
+  std::vector<VarId> Params;
+
+  std::vector<std::unique_ptr<BasicBlock>> Blocks; ///< Blocks[0] = entry.
+  TempId NextTemp = 0;
+  std::uint32_t NextBlockId = 0;
+
+  /// Assignment-expression keys referenced by hoisted instructions and
+  /// AvailMarkers (HoistKeyId indexes here).
+  std::vector<HoistKey> HoistKeys;
+
+  /// Strength-reduction records: source induction variable V relates to
+  /// the strength-reduced temporary as value(V) == value(Temp) / Scale,
+  /// maintained as a loop invariant.  Dead-code elimination consults this
+  /// to attach affine recovery to the markers of eliminated IV updates
+  /// (paper §2.5).
+  struct SRRecord {
+    VarId V = InvalidVar;
+    Value Temp;
+    std::int64_t Scale = 1;
+  };
+  std::vector<SRRecord> SRRecords;
+
+  /// Number of source statements (breakpoints) in this function.
+  std::uint32_t NumStmts = 0;
+
+  BasicBlock *entry() { return Blocks.front().get(); }
+  const BasicBlock *entry() const { return Blocks.front().get(); }
+
+  /// Creates a new empty block (appended; layout order = Blocks order).
+  BasicBlock *newBlock(const std::string &NameHint) {
+    Blocks.push_back(std::make_unique<BasicBlock>(
+        NextBlockId, NameHint + std::to_string(NextBlockId)));
+    ++NextBlockId;
+    return Blocks.back().get();
+  }
+
+  /// Allocates a fresh temporary of type \p Ty.
+  Value newTemp(IRType Ty) { return Value::temp(NextTemp++, Ty); }
+
+  /// Interns an assignment-expression key.
+  HoistKeyId internHoistKey(const HoistKey &Key) {
+    for (HoistKeyId I = 0; I < HoistKeys.size(); ++I)
+      if (HoistKeys[I] == Key)
+        return I;
+    HoistKeys.push_back(Key);
+    return static_cast<HoistKeyId>(HoistKeys.size() - 1);
+  }
+
+  /// Rebuilds every block's predecessor list from the terminators.
+  void recomputePreds();
+
+  /// Returns blocks in reverse post-order from the entry.  Unreachable
+  /// blocks are appended at the end in layout order.
+  std::vector<BasicBlock *> rpo();
+
+  /// Removes blocks unreachable from the entry.  Returns true if any
+  /// block was removed.  Debug markers in removed blocks are dropped:
+  /// unreachable code never executes, so it carries no data-value
+  /// information (paper §3, "basic block deletion").
+  bool removeUnreachable();
+
+  /// Splits the edge \p From -> \p To by inserting a fresh block
+  /// containing only a Br.  Returns the new block.
+  BasicBlock *splitEdge(BasicBlock *From, BasicBlock *To);
+};
+
+/// A compiled module: functions plus the symbol tables from Sema.
+class IRModule {
+public:
+  std::unique_ptr<ProgramInfo> Info;
+  std::vector<std::unique_ptr<IRFunction>> Funcs;
+
+  /// Constant initializers for global scalars.
+  std::vector<std::pair<VarId, Value>> GlobalInits;
+
+  IRFunction *findFunc(const std::string &Name) {
+    for (auto &F : Funcs)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace sldb
+
+#endif // SLDB_IR_IR_H

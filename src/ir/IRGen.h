@@ -1,0 +1,38 @@
+//===- ir/IRGen.h - AST to IR lowering -------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the type-checked MiniC AST into the three-address IR.  Every
+/// emitted instruction is tagged with the StmtId of the source statement
+/// it implements, and instructions that complete an assignment to a source
+/// variable are tagged IsSourceAssign — the raw material for the paper's
+/// optimization bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_IRGEN_H
+#define SLDB_IR_IRGEN_H
+
+#include "frontend/Sema.h"
+#include "ir/IR.h"
+
+#include <memory>
+
+namespace sldb {
+
+/// Lowers a checked translation unit into an IR module.  Takes ownership
+/// of the symbol tables.
+std::unique_ptr<IRModule> generateIR(const TranslationUnit &TU,
+                                     std::unique_ptr<ProgramInfo> Info);
+
+/// Convenience driver: front end + IR generation.  Returns null and fills
+/// \p Diags on error.
+std::unique_ptr<IRModule> compileToIR(std::string_view Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace sldb
+
+#endif // SLDB_IR_IRGEN_H

@@ -1,0 +1,217 @@
+//===- ir/IRPrinter.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+
+using namespace sldb;
+
+const char *sldb::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::CastItoD:
+    return "itod";
+  case Opcode::CastDtoI:
+    return "dtoi";
+  case Opcode::AddrOf:
+    return "addrof";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::DeadMarker:
+    return "dead_marker";
+  case Opcode::AvailMarker:
+    return "avail_marker";
+  case Opcode::Nop:
+    return "nop";
+  }
+  return "???";
+}
+
+std::string sldb::printValue(const Value &V, const ProgramInfo *Info) {
+  switch (V.K) {
+  case Value::Kind::None:
+    return "<none>";
+  case Value::Kind::Temp:
+    return "t" + std::to_string(V.Id);
+  case Value::Kind::Var:
+    if (Info && V.Id < Info->Vars.size())
+      return Info->var(V.Id).Name;
+    return "v" + std::to_string(V.Id);
+  case Value::Kind::ConstInt:
+    return std::to_string(V.IntVal);
+  case Value::Kind::ConstDouble: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", V.DblVal);
+    return Buf;
+  }
+  }
+  return "?";
+}
+
+std::string sldb::printInstr(const Instr &I, const ProgramInfo *Info) {
+  std::string S;
+  auto Val = [&](const Value &V) { return printValue(V, Info); };
+
+  switch (I.Op) {
+  case Opcode::Br:
+    S = "br " + I.Succs[0]->Name;
+    break;
+  case Opcode::CondBr:
+    S = "condbr " + Val(I.Ops[0]) + ", " + I.Succs[0]->Name + ", " +
+        I.Succs[1]->Name;
+    break;
+  case Opcode::Ret:
+    S = I.Ops.empty() ? std::string("ret") : "ret " + Val(I.Ops[0]);
+    break;
+  case Opcode::Store:
+    S = "store [" + Val(I.Ops[0]) + "] = " + Val(I.Ops[1]);
+    break;
+  case Opcode::Load:
+    S = Val(I.Dest) + " = load [" + Val(I.Ops[0]) + "]";
+    break;
+  case Opcode::Call: {
+    S = I.Dest.isNone() ? std::string("call ") : Val(I.Dest) + " = call ";
+    if (I.BuiltinKind == Builtin::PrintInt)
+      S += "print";
+    else if (I.BuiltinKind == Builtin::PrintDouble)
+      S += "printd";
+    else if (Info && I.Callee < Info->Funcs.size())
+      S += Info->func(I.Callee).Name;
+    else
+      S += "f" + std::to_string(I.Callee);
+    S += "(";
+    for (std::size_t A = 0; A < I.Ops.size(); ++A) {
+      if (A)
+        S += ", ";
+      S += Val(I.Ops[A]);
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::DeadMarker: {
+    std::string VarName = Info && I.MarkVar < Info->Vars.size()
+                              ? Info->var(I.MarkVar).Name
+                              : "v" + std::to_string(I.MarkVar);
+    S = "dead_marker " + VarName + " @s" + std::to_string(I.MarkStmt);
+    if (!I.Recovery.isNone())
+      S += " recover=" + Val(I.Recovery);
+    break;
+  }
+  case Opcode::AvailMarker: {
+    std::string VarName = Info && I.MarkVar < Info->Vars.size()
+                              ? Info->var(I.MarkVar).Name
+                              : "v" + std::to_string(I.MarkVar);
+    S = "avail_marker " + VarName + " @s" + std::to_string(I.MarkStmt) +
+        " key=" + std::to_string(I.HoistKey);
+    break;
+  }
+  case Opcode::Nop:
+    S = "nop";
+    break;
+  default: {
+    S = Val(I.Dest) + " = " + opcodeName(I.Op);
+    for (std::size_t A = 0; A < I.Ops.size(); ++A)
+      S += (A ? ", " : " ") + Val(I.Ops[A]);
+    break;
+  }
+  }
+
+  // Annotations.
+  std::string Ann;
+  if (I.Stmt != InvalidStmt)
+    Ann += " s" + std::to_string(I.Stmt);
+  if (I.IsSourceAssign)
+    Ann += " src-assign";
+  if (I.IsHoisted)
+    Ann += " hoisted(key=" + std::to_string(I.HoistKey) + ")";
+  if (I.IsSunk)
+    Ann += " sunk";
+  if (!Ann.empty())
+    S += "  ;" + Ann;
+  return S;
+}
+
+std::string sldb::printFunction(const IRFunction &F,
+                                const ProgramInfo *Info) {
+  std::string S = "func " + F.Name + "(";
+  for (std::size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Info ? Info->var(F.Params[I]).Name
+              : "v" + std::to_string(F.Params[I]);
+  }
+  S += ") {\n";
+  for (const auto &B : F.Blocks) {
+    S += B->Name + ":";
+    if (!B->Preds.empty()) {
+      S += "    ; preds:";
+      for (const BasicBlock *P : B->Preds)
+        S += " " + P->Name;
+    }
+    S += "\n";
+    for (const Instr &I : B->Insts)
+      S += "  " + printInstr(I, Info) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string sldb::printModule(const IRModule &M) {
+  std::string S;
+  for (const auto &F : M.Funcs) {
+    S += printFunction(*F, M.Info.get());
+    S += "\n";
+  }
+  return S;
+}

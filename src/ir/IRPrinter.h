@@ -1,0 +1,40 @@
+//===- ir/IRPrinter.h - Textual IR dump ------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR functions and modules as readable text, including the debug
+/// annotations (statement ids, hoisted/sunk flags, markers) so tests can
+/// assert on the bookkeeping the optimizer performs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_IRPRINTER_H
+#define SLDB_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace sldb {
+
+/// Renders one value ("x", "t3", "42", "2.5").
+std::string printValue(const Value &V, const ProgramInfo *Info);
+
+/// Renders one instruction (no trailing newline).
+std::string printInstr(const Instr &I, const ProgramInfo *Info);
+
+/// Renders a whole function.
+std::string printFunction(const IRFunction &F, const ProgramInfo *Info);
+
+/// Renders a whole module.
+std::string printModule(const IRModule &M);
+
+/// Returns the mnemonic for an opcode ("add", "br", ...).
+const char *opcodeName(Opcode Op);
+
+} // namespace sldb
+
+#endif // SLDB_IR_IRPRINTER_H

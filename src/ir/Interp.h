@@ -1,0 +1,50 @@
+//===- ir/Interp.h - IR interpreter ----------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for the IR, used as the semantic oracle in
+/// differential tests: for every program, unoptimized IR, optimized IR and
+/// the compiled machine code must produce identical observable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_INTERP_H
+#define SLDB_IR_INTERP_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Result of executing a program.
+struct ExecResult {
+  bool Trapped = false;
+  std::string TrapMsg;
+  std::int64_t ExitValue = 0;
+  std::uint64_t InstrCount = 0;          ///< Executed instructions.
+  std::vector<std::string> Output;       ///< One entry per print call.
+
+  /// Joins Output with newlines (for golden comparisons).
+  std::string outputText() const {
+    std::string S;
+    for (const std::string &Line : Output) {
+      S += Line;
+      S += '\n';
+    }
+    return S;
+  }
+};
+
+/// Runs `main()` of \p M.  \p MaxSteps bounds execution (traps beyond it).
+ExecResult interpretIR(const IRModule &M,
+                       std::uint64_t MaxSteps = 50'000'000);
+
+} // namespace sldb
+
+#endif // SLDB_IR_INTERP_H

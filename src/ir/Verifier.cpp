@@ -1,0 +1,196 @@
+//===- ir/Verifier.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+
+#include <unordered_set>
+
+using namespace sldb;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const IRFunction &F, const ProgramInfo &Info,
+                   std::vector<std::string> &Errors)
+      : F(F), Info(Info), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void check(bool Cond, const BasicBlock &B, const Instr *I,
+             const std::string &Msg) {
+    if (Cond)
+      return;
+    std::string Where = F.Name + "/" + B.Name;
+    if (I)
+      Where += ": " + printInstr(*I, &Info);
+    Errors.push_back(Where + ": " + Msg);
+    OK = false;
+  }
+
+  void checkValue(const Value &V, const BasicBlock &B, const Instr &I);
+  void checkInstr(const Instr &I, const BasicBlock &B, bool IsLast);
+
+  const IRFunction &F;
+  const ProgramInfo &Info;
+  std::vector<std::string> &Errors;
+  std::unordered_set<const BasicBlock *> Owned;
+  bool OK = true;
+};
+
+} // namespace
+
+void FunctionVerifier::checkValue(const Value &V, const BasicBlock &B,
+                                  const Instr &I) {
+  switch (V.K) {
+  case Value::Kind::None:
+    check(false, B, &I, "unexpected empty operand");
+    return;
+  case Value::Kind::Temp:
+    check(V.Id < F.NextTemp, B, &I, "temp id out of range");
+    return;
+  case Value::Kind::Var:
+    check(V.Id < Info.Vars.size(), B, &I, "var id out of range");
+    return;
+  case Value::Kind::ConstInt:
+  case Value::Kind::ConstDouble:
+    return;
+  }
+}
+
+void FunctionVerifier::checkInstr(const Instr &I, const BasicBlock &B,
+                                  bool IsLast) {
+  if (I.isTerm())
+    check(IsLast, B, &I, "terminator in the middle of a block");
+  else
+    check(!IsLast, B, &I, "block does not end in a terminator");
+
+  unsigned ExpectedOps = 0;
+  bool NeedsDest = false;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    ExpectedOps = 2;
+    NeedsDest = true;
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Copy:
+  case Opcode::CastItoD:
+  case Opcode::CastDtoI:
+  case Opcode::AddrOf:
+  case Opcode::Load:
+    ExpectedOps = 1;
+    NeedsDest = true;
+    break;
+  case Opcode::Store:
+    ExpectedOps = 2;
+    break;
+  case Opcode::CondBr:
+    ExpectedOps = 1;
+    break;
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::DeadMarker:
+  case Opcode::AvailMarker:
+  case Opcode::Nop:
+    ExpectedOps = static_cast<unsigned>(I.Ops.size()); // Variable arity.
+    break;
+  }
+  check(I.Ops.size() == ExpectedOps, B, &I, "wrong operand count");
+  if (NeedsDest)
+    check(I.Dest.isTemp() || I.Dest.isVar(), B, &I,
+          "instruction requires a destination");
+
+  for (const Value &V : I.Ops)
+    checkValue(V, B, I);
+  if (I.Dest.isTemp() || I.Dest.isVar())
+    checkValue(I.Dest, B, I);
+
+  for (unsigned S = 0, E = I.numSuccs(); S != E; ++S) {
+    check(I.Succs[S] != nullptr, B, &I, "null successor");
+    if (I.Succs[S])
+      check(Owned.count(I.Succs[S]) != 0, B, &I,
+            "successor not owned by this function");
+  }
+
+  if (I.Op == Opcode::CondBr && !I.Ops.empty())
+    check(I.Ops[0].Ty == IRType::Int, B, &I,
+          "condbr condition must have int type");
+
+  if (I.Op == Opcode::AddrOf && !I.Ops.empty())
+    check(I.Ops[0].isVar(), B, &I, "addrof operand must be a variable");
+
+  if (I.isMark()) {
+    check(I.MarkVar < Info.Vars.size(), B, &I, "marker var out of range");
+    if (I.Op == Opcode::AvailMarker)
+      check(I.HoistKey < F.HoistKeys.size(), B, &I,
+            "avail marker with invalid hoist key");
+  }
+
+  if (I.IsHoisted && I.IsSourceAssign)
+    check(I.HoistKey < F.HoistKeys.size(), B, &I,
+          "hoisted source assignment without hoist key");
+
+  if (I.IsSourceAssign)
+    check(I.Dest.isVar(), B, &I,
+          "source-assign annotation on non-variable destination");
+}
+
+bool FunctionVerifier::run() {
+  if (F.Blocks.empty()) {
+    Errors.push_back(F.Name + ": function has no blocks");
+    return false;
+  }
+
+  for (const auto &B : F.Blocks)
+    Owned.insert(B.get());
+
+  for (const auto &B : F.Blocks) {
+    check(!B->Insts.empty(), *B, nullptr, "empty block");
+    if (B->Insts.empty())
+      continue;
+    check(B->Insts.back().isTerm(), *B, nullptr,
+          "block does not end in a terminator");
+    std::size_t Idx = 0, Last = B->Insts.size() - 1;
+    for (const Instr &I : B->Insts) {
+      checkInstr(I, *B, Idx == Last);
+      ++Idx;
+    }
+  }
+  return OK;
+}
+
+bool sldb::verifyFunction(const IRFunction &F, const ProgramInfo &Info,
+                          std::vector<std::string> &Errors) {
+  FunctionVerifier V(F, Info, Errors);
+  return V.run();
+}
+
+bool sldb::verifyModule(const IRModule &M, std::vector<std::string> &Errors) {
+  bool OK = true;
+  for (const auto &F : M.Funcs)
+    OK &= verifyFunction(*F, *M.Info, Errors);
+  return OK;
+}

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks for IR functions; run after IR generation
+/// and after every optimization pass in tests to catch pass bugs early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_VERIFIER_H
+#define SLDB_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Checks one function; appends human-readable problems to \p Errors.
+/// Returns true if the function is well-formed.
+bool verifyFunction(const IRFunction &F, const ProgramInfo &Info,
+                    std::vector<std::string> &Errors);
+
+/// Checks a whole module.
+bool verifyModule(const IRModule &M, std::vector<std::string> &Errors);
+
+} // namespace sldb
+
+#endif // SLDB_IR_VERIFIER_H

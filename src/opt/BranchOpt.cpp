@@ -1,0 +1,155 @@
+//===- opt/BranchOpt.cpp - Branch optimizations ----------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch optimizations: constant-condition folding, unreachable-block
+/// removal, straight-line block merging, and empty-block elimination
+/// (branch chaining).  Bookkeeping per paper §3:
+///
+///  * unreachable code never executes in the original program either, so
+///    its deletion needs no markers;
+///  * when an otherwise-empty block is deleted, any debug markers it holds
+///    are transferred to its successor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+using namespace sldb;
+
+namespace {
+
+class BranchOpt : public Pass {
+public:
+  const char *name() const override { return "branch-optimizations"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    (void)M;
+    bool Any = false;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      Changed |= foldConstantBranches(F);
+      Changed |= F.removeUnreachable();
+      Changed |= skipEmptyBlocks(F);
+      Changed |= mergeStraightLine(F);
+      Any |= Changed;
+    }
+    return Any;
+  }
+
+private:
+  bool foldConstantBranches(IRFunction &F) {
+    bool Changed = false;
+    for (auto &B : F.Blocks) {
+      if (!B->hasTerm())
+        continue;
+      Instr &T = B->Insts.back();
+      if (T.Op != Opcode::CondBr || !T.Ops[0].isConstInt())
+        continue;
+      BasicBlock *Target = T.Ops[0].IntVal != 0 ? T.Succs[0] : T.Succs[1];
+      T.Op = Opcode::Br;
+      T.Ops.clear();
+      T.Succs[0] = Target;
+      T.Succs[1] = nullptr;
+      Changed = true;
+    }
+    if (Changed)
+      F.recomputePreds();
+    return Changed;
+  }
+
+  /// True if the block contains only a Br (markers allowed).
+  static bool isForwardingBlock(const BasicBlock &B) {
+    if (!B.hasTerm() || B.Insts.back().Op != Opcode::Br)
+      return false;
+    for (const Instr &I : B.Insts)
+      if (!I.isTerm() && !I.isMark())
+        return false;
+    return true;
+  }
+
+  bool skipEmptyBlocks(IRFunction &F) {
+    bool Changed = false;
+    F.recomputePreds();
+    for (auto &B : F.Blocks) {
+      if (B.get() == F.entry() || !isForwardingBlock(*B))
+        continue;
+      BasicBlock *Succ = B->Insts.back().Succs[0];
+      if (Succ == B.get())
+        continue; // Self loop.
+      // Move any markers into the successor's front (paper §3: debugging
+      // information of a deleted block transfers to its successor).
+      bool HasMarkers = false;
+      for (const Instr &I : B->Insts)
+        HasMarkers |= I.isMark();
+      if (HasMarkers) {
+        // Only safe if the successor's other predecessors would not be
+        // polluted by the marker: require the successor to have this
+        // block as its only predecessor.
+        if (Succ->Preds.size() != 1)
+          continue;
+        auto InsertAt = Succ->Insts.begin();
+        for (Instr &I : B->Insts)
+          if (I.isMark())
+            Succ->Insts.insert(InsertAt, I);
+      }
+      // Retarget predecessors.
+      if (B->Preds.empty())
+        continue;
+      for (BasicBlock *P : std::vector<BasicBlock *>(B->Preds))
+        P->replaceSucc(B.get(), Succ);
+      B->Insts.clear();
+      Instr Jump;
+      Jump.Op = Opcode::Br;
+      Jump.Succs[0] = Succ;
+      B->Insts.push_back(Jump);
+      F.recomputePreds();
+      Changed = true;
+    }
+    if (Changed) {
+      F.removeUnreachable();
+      F.recomputePreds();
+    }
+    return Changed;
+  }
+
+  bool mergeStraightLine(IRFunction &F) {
+    bool Changed = false;
+    F.recomputePreds();
+    for (auto &B : F.Blocks) {
+      for (;;) {
+        if (!B->hasTerm() || B->Insts.back().Op != Opcode::Br)
+          break;
+        BasicBlock *Succ = B->Insts.back().Succs[0];
+        if (Succ == B.get() || Succ->Preds.size() != 1 ||
+            Succ == F.entry())
+          break;
+        // Splice: drop B's Br, append Succ's instructions.
+        B->Insts.pop_back();
+        B->Insts.splice(B->Insts.end(), Succ->Insts);
+        // Succ becomes an empty forwarding shell; make it unreachable.
+        Instr Jump;
+        Jump.Op = Opcode::Br;
+        Jump.Succs[0] = B.get(); // Arbitrary; removed as unreachable.
+        Succ->Insts.push_back(Jump);
+        F.recomputePreds();
+        Changed = true;
+      }
+    }
+    if (Changed) {
+      F.removeUnreachable();
+      F.recomputePreds();
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createBranchOptPass() {
+  return std::make_unique<BranchOpt>();
+}

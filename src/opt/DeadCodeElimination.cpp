@@ -1,0 +1,109 @@
+//===- opt/DeadCodeElimination.cpp - Dead assignment elimination -*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead assignment elimination with the paper's §3 bookkeeping:
+///
+///  * deleting a *source-level* assignment to V replaces it with a
+///    DeadMarker(V, stmt) pseudo-instruction — the gen site of the
+///    debugger's dead-reach analysis (paper §2.4);
+///  * if the deleted assignment's right-hand side survives as a constant,
+///    variable or temporary, it is attached to the marker as a *recovery*
+///    value: the debugger can reconstruct V's expected value from it
+///    (paper §2.5, Figure 4);
+///  * deleting a compiler-inserted hoisted/sunk copy leaves no marker (the
+///    source assignment it duplicates is tracked elsewhere);
+///  * dead compiler temporaries vanish silently (invisible to the user).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/InstrInfo.h"
+#include "analysis/Liveness.h"
+
+using namespace sldb;
+
+namespace {
+
+class DeadCodeElimination : public Pass {
+public:
+  const char *name() const override { return "dead-assignment-elimination"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    bool Any = false;
+    // Deleting one assignment can kill the uses feeding another; iterate
+    // to a fixed point.
+    while (runOnce(F, M))
+      Any = true;
+    return Any;
+  }
+
+private:
+  bool runOnce(IRFunction &F, IRModule &M) {
+    CFGContext CFG(F);
+    ValueIndex VI(F, *M.Info);
+    Liveness LV(CFG, VI, *M.Info);
+    bool Changed = false;
+
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BasicBlock *BB = CFG.block(B);
+      BitVector Live = LV.liveOut(B);
+      // Backward walk so `Live` is the set after each instruction.
+      for (auto It = BB->Insts.end(); It != BB->Insts.begin();) {
+        --It;
+        Instr &I = *It;
+        bool Dead = false;
+        unsigned DestIdx = VI.valueIndex(I.Dest);
+        if (DestIdx != ~0u && !I.hasSideEffects() && !Live.test(DestIdx))
+          Dead = true;
+
+        if (!Dead) {
+          LV.transfer(I, Live);
+          continue;
+        }
+
+        Changed = true;
+        if (I.Dest.isVar() && !I.IsHoisted && !I.IsSunk) {
+          // A real source assignment dies: leave a dead marker with a
+          // recovery value when the RHS is still observable.
+          Instr Marker;
+          Marker.Op = Opcode::DeadMarker;
+          Marker.MarkVar = I.Dest.Id;
+          Marker.MarkStmt = I.Stmt;
+          Marker.Stmt = I.Stmt;
+          if (I.Op == Opcode::Copy &&
+              (I.Ops[0].isConst() || I.Ops[0].isTemp() || I.Ops[0].isVar())) {
+            Marker.Recovery = I.Ops[0];
+          } else {
+            // Strength-reduced induction variable: recover the expected
+            // value from the SR temporary (paper §2.5).
+            for (const IRFunction::SRRecord &SR : F.SRRecords)
+              if (SR.V == I.Dest.Id) {
+                Marker.Recovery = SR.Temp;
+                Marker.RecoveryScale = SR.Scale;
+                Marker.RecoveryIsIV = true;
+                break;
+              }
+          }
+          I = std::move(Marker);
+          // The marker is not a def; liveness transfer is a no-op for it.
+        } else {
+          // Temps and compiler-inserted copies vanish without a trace.
+          It = BB->Insts.erase(It);
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createDeadCodeEliminationPass() {
+  return std::make_unique<DeadCodeElimination>();
+}

@@ -1,0 +1,215 @@
+//===- opt/GlobalCSE.cpp - Common subexpression elimination ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global common-subexpression elimination over available expressions.
+/// When `x = a op b` is redundant, the providing computations are rewritten
+/// to save their value in a shared temporary (`t = a op b; x = copy t`) and
+/// the redundant occurrence becomes `y = copy t`.  The source assignment
+/// survives as the copy (keeping its annotations); if propagation later
+/// kills the copy, dead-code elimination records `t` as the *recovery*
+/// value on the marker — reproducing the paper's Figure 4 chain where a
+/// variable's value is reconstructed from the CSE temporary (§2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dataflow.h"
+#include "analysis/InstrInfo.h"
+
+#include <map>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+/// Lexical expression key: opcode over constant/variable operands.
+struct ExprKey {
+  Opcode Op;
+  IRType Ty;
+  Value A, B; ///< B.isNone() for unary.
+
+  bool operator<(const ExprKey &RHS) const {
+    auto Tuple = [](const ExprKey &K) {
+      auto ValKey = [](const Value &V) {
+        return std::tuple(static_cast<int>(V.K), V.Id, V.IntVal,
+                          V.DblVal);
+      };
+      return std::tuple(static_cast<int>(K.Op), static_cast<int>(K.Ty),
+                        ValKey(K.A), ValKey(K.B));
+    };
+    return Tuple(*this) < Tuple(RHS);
+  }
+};
+
+/// Returns true and fills \p Key if \p I computes a CSE-able expression.
+bool exprKeyOf(const Instr &I, ExprKey &Key) {
+  auto OperandOK = [](const Value &V) { return V.isConst() || V.isVar(); };
+  if (isBinaryOp(I.Op)) {
+    if (!OperandOK(I.Ops[0]) || !OperandOK(I.Ops[1]))
+      return false;
+    if (I.Op == Opcode::Div || I.Op == Opcode::Rem) {
+      // Never re-order potential traps; only CSE with constant nonzero
+      // divisor.
+      if (!(I.Ops[1].isConstInt() && I.Ops[1].IntVal != 0))
+        return false;
+    }
+    Key = {I.Op, I.Ty, I.Ops[0], I.Ops[1]};
+    return true;
+  }
+  if (I.Op == Opcode::Neg || I.Op == Opcode::Not ||
+      I.Op == Opcode::CastItoD || I.Op == Opcode::CastDtoI) {
+    if (!OperandOK(I.Ops[0]))
+      return false;
+    Key = {I.Op, I.Ty, I.Ops[0], Value::none()};
+    return true;
+  }
+  return false;
+}
+
+/// Returns true if \p I invalidates \p Key (redefines an operand).
+bool killsKey(const Instr &I, const ExprKey &Key, const ProgramInfo &Info) {
+  auto Killed = [&](const Value &V) {
+    if (!V.isVar())
+      return false;
+    if (I.Dest.isVar() && I.Dest.Id == V.Id)
+      return true;
+    return instrMayClobberVar(I, Info.var(V.Id));
+  };
+  return Killed(Key.A) || Killed(Key.B);
+}
+
+class GlobalCSE : public Pass {
+public:
+  const char *name() const override { return "redundancy-elimination(cse)"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    CFGContext CFG(F);
+    const ProgramInfo &Info = *M.Info;
+
+    // Enumerate expression keys.
+    std::map<ExprKey, unsigned> KeyIds;
+    std::vector<ExprKey> Keys;
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B)
+      for (const Instr &I : CFG.block(B)->Insts) {
+        ExprKey K;
+        if (exprKeyOf(I, K) && !KeyIds.count(K)) {
+          KeyIds[K] = static_cast<unsigned>(Keys.size());
+          Keys.push_back(K);
+        }
+      }
+    if (Keys.empty())
+      return false;
+
+    // Available expressions (forward, intersect).
+    DataflowProblem P;
+    P.Dir = FlowDir::Forward;
+    P.Meet = FlowMeet::Intersect;
+    P.init(CFG, static_cast<unsigned>(Keys.size()));
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector &Gen = P.Gen[B];
+      BitVector &Kill = P.Kill[B];
+      for (const Instr &I : CFG.block(B)->Insts) {
+        // The computation reads its operands before the destination is
+        // written: gen first, then apply kills (which may revoke the gen,
+        // e.g. `x = x + 1` does not leave `x + 1` available).
+        ExprKey K;
+        if (exprKeyOf(I, K)) {
+          unsigned Id = KeyIds[K];
+          Gen.set(Id);
+          Kill.reset(Id);
+        }
+        for (unsigned KI = 0; KI < Keys.size(); ++KI)
+          if (killsKey(I, Keys[KI], Info)) {
+            Gen.reset(KI);
+            Kill.set(KI);
+          }
+      }
+    }
+    DataflowResult AV = solveDataflow(CFG, P);
+
+    // Find redundant occurrences: Key available on entry to the
+    // instruction.
+    std::vector<bool> NeedsProvider(Keys.size(), false);
+    std::vector<std::pair<Instr *, unsigned>> Redundant;
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector Avail = AV.In[B];
+      for (Instr &I : CFG.block(B)->Insts) {
+        ExprKey K;
+        bool HasKey = exprKeyOf(I, K);
+        unsigned Id = HasKey ? KeyIds[K] : 0;
+        if (HasKey && Avail.test(Id)) {
+          Redundant.emplace_back(&I, Id);
+          NeedsProvider[Id] = true;
+        }
+        if (HasKey)
+          Avail.set(Id);
+        for (unsigned KI = 0; KI < Keys.size(); ++KI)
+          if (killsKey(I, Keys[KI], Info))
+            Avail.reset(KI);
+      }
+    }
+    if (Redundant.empty())
+      return false;
+
+    // Allocate one shared temp per needed key and rewrite the providers:
+    // every non-redundant computation `X = e` with NeedsProvider becomes
+    // `t = e; X = copy t`.
+    std::vector<Value> KeyTemp(Keys.size());
+    for (unsigned K = 0; K < Keys.size(); ++K)
+      if (NeedsProvider[K])
+        KeyTemp[K] = F.newTemp(Keys[K].Ty);
+
+    std::vector<const Instr *> RedundantSet;
+    for (auto &[I, Id] : Redundant)
+      RedundantSet.push_back(I);
+    auto IsRedundant = [&](const Instr *I) {
+      for (const Instr *R : RedundantSet)
+        if (R == I)
+          return true;
+      return false;
+    };
+
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BasicBlock *BB = CFG.block(B);
+      for (auto It = BB->Insts.begin(); It != BB->Insts.end(); ++It) {
+        ExprKey K;
+        if (!exprKeyOf(*It, K))
+          continue;
+        unsigned Id = KeyIds[K];
+        if (!NeedsProvider[Id] || IsRedundant(&*It))
+          continue;
+        // Provider rewrite: t = e (keeps position), X = copy t (keeps the
+        // source-assignment identity and annotations).
+        Instr Compute = *It;
+        Instr &CopyI = *It;
+        Value OldDest = CopyI.Dest;
+        Compute.Dest = KeyTemp[Id];
+        Compute.IsSourceAssign = false;
+        CopyI.Op = Opcode::Copy;
+        CopyI.Ops = {KeyTemp[Id]};
+        CopyI.Dest = OldDest;
+        BB->Insts.insert(It, std::move(Compute));
+      }
+    }
+
+    // Replace the redundant occurrences.
+    for (auto &[I, Id] : Redundant) {
+      I->Op = Opcode::Copy;
+      I->Ops = {KeyTemp[Id]};
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createGlobalCSEPass() {
+  return std::make_unique<GlobalCSE>();
+}

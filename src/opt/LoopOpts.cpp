@@ -1,0 +1,323 @@
+//===- opt/LoopOpts.cpp - LICM, loop peeling --------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-invariant code motion and loop peeling.
+///
+/// LICM hoists *temporary-computing* invariant instructions (address
+/// computations, cast chains, CSE temps) to the loop preheader.  This
+/// matches the paper's observation that "the cmcc optimizer hoisted mainly
+/// address computations" (§4): hoisted temps never endanger source
+/// variables because temporaries are invisible to the user (§2).  Source
+/// assignment hoisting is PRE's job, which carries the full bookkeeping.
+///
+/// Loop peeling duplicates the loop body once ahead of the loop.  Control
+/// flow duplication causes no data-value problems, but markers and
+/// annotations must be duplicated along with the code (paper §3, "code
+/// duplication").
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dominators.h"
+#include "analysis/InstrInfo.h"
+#include "analysis/LoopInfo.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace sldb;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant code motion
+//===----------------------------------------------------------------------===//
+
+class LoopInvariantCodeMotion : public Pass {
+public:
+  const char *name() const override { return "loop-invariant-code-motion"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    bool Any = false;
+    bool Retry = true;
+    // Creating preheaders invalidates the CFG context; restart as needed.
+    while (Retry) {
+      Retry = false;
+      CFGContext CFG(F);
+      Dominators Dom(CFG);
+      LoopInfo LI(CFG, Dom);
+      for (const Loop &L : LI.loops()) {
+        bool CFGChanged = false;
+        BasicBlock *PH = getOrCreatePreheader(CFG, L, CFGChanged);
+        if (CFGChanged) {
+          Retry = true;
+          break;
+        }
+        if (!PH)
+          continue;
+        Any |= hoistFromLoop(F, *M.Info, CFG, L, PH);
+      }
+    }
+    return Any;
+  }
+
+private:
+  bool hoistFromLoop(IRFunction &F, const ProgramInfo &Info,
+                     const CFGContext &CFG, const Loop &L, BasicBlock *PH) {
+    // Values defined inside the loop (direct or clobbered).
+    auto DefinedInLoop = [&](const Value &V) {
+      if (V.isConst())
+        return false;
+      for (unsigned B : L.Blocks)
+        for (const Instr &I : CFG.block(B)->Insts) {
+          if (I.Dest == V)
+            return true;
+          if (V.isVar() && instrMayClobberVar(I, Info.var(V.Id)))
+            return true;
+        }
+      return false;
+    };
+    // Count temp defs in the whole function (only single-def temps move).
+    std::unordered_map<TempId, unsigned> TempDefs;
+    for (const auto &B : F.Blocks)
+      for (const Instr &I : B->Insts)
+        if (I.Dest.isTemp())
+          ++TempDefs[I.Dest.Id];
+
+    bool Changed = false;
+    bool Again = true;
+    while (Again) {
+      Again = false;
+      for (unsigned B : L.Blocks) {
+        BasicBlock *BB = CFG.block(B);
+        for (auto It = BB->Insts.begin(); It != BB->Insts.end();) {
+          Instr &I = *It;
+          if (!isHoistableTemp(I, TempDefs) ||
+              anyOperandDefinedInLoop(I, DefinedInLoop)) {
+            ++It;
+            continue;
+          }
+          // Move to the preheader, before its terminator.
+          Instr Moved = I;
+          Moved.IsHoisted = true;
+          auto Pos = PH->Insts.end();
+          --Pos;
+          PH->Insts.insert(Pos, std::move(Moved));
+          It = BB->Insts.erase(It);
+          Changed = true;
+          Again = true; // Chains of invariants unlock each other.
+        }
+      }
+    }
+    return Changed;
+  }
+
+  static bool isHoistableTemp(const Instr &I,
+                              std::unordered_map<TempId, unsigned> &Defs) {
+    if (!I.Dest.isTemp() || Defs[I.Dest.Id] != 1)
+      return false;
+    switch (I.Op) {
+    case Opcode::AddrOf: // The paper's "address computations".
+    case Opcode::Copy:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::CastItoD:
+    case Opcode::CastDtoI:
+      return true;
+    case Opcode::Div:
+    case Opcode::Rem:
+      // Hoisting may speculate a trap; only with constant nonzero divisor.
+      return I.Ops[1].isConstInt() && I.Ops[1].IntVal != 0;
+    default:
+      return isBinaryOp(I.Op);
+    }
+  }
+
+  template <typename Fn>
+  static bool anyOperandDefinedInLoop(const Instr &I, Fn DefinedInLoop) {
+    if (I.Op == Opcode::AddrOf)
+      return false; // Addresses are frame constants.
+    for (const Value &V : I.Ops)
+      if (DefinedInLoop(V))
+        return true;
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Loop peeling
+//===----------------------------------------------------------------------===//
+
+class LoopPeel : public Pass {
+public:
+  const char *name() const override { return "loop-peeling"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    (void)M;
+    // Peel at most one loop per invocation (keeps growth bounded and the
+    // CFG context manageable).
+    CFGContext CFG(F);
+    Dominators Dom(CFG);
+    LoopInfo LI(CFG, Dom);
+    for (const Loop &L : LI.loops()) {
+      if (!isSmall(CFG, L))
+        continue;
+      bool CFGChanged = false;
+      BasicBlock *PH = getOrCreatePreheader(CFG, L, CFGChanged);
+      if (CFGChanged) {
+        // Rebuild and retry once with the fresh preheader.
+        CFGContext CFG2(F);
+        Dominators Dom2(CFG2);
+        LoopInfo LI2(CFG2, Dom2);
+        for (const Loop &L2 : LI2.loops())
+          if (CFG2.block(L2.Header) == CFG.block(L.Header))
+            return peel(F, CFG2, L2, PH);
+        return true;
+      }
+      if (!PH)
+        continue;
+      return peel(F, CFG, L, PH);
+    }
+    return false;
+  }
+
+private:
+  static bool isSmall(const CFGContext &CFG, const Loop &L) {
+    unsigned Blocks = 0, Instrs = 0;
+    for (unsigned B : L.Blocks) {
+      ++Blocks;
+      Instrs += static_cast<unsigned>(CFG.block(B)->Insts.size());
+    }
+    return Blocks <= 6 && Instrs <= 24;
+  }
+
+  bool peel(IRFunction &F, const CFGContext &CFG, const Loop &L,
+            BasicBlock *PH) {
+    BasicBlock *Header = CFG.block(L.Header);
+    // Clone every loop block; annotations and markers are duplicated with
+    // the instructions (paper §3: code duplication must duplicate
+    // markers).
+    std::unordered_map<BasicBlock *, BasicBlock *> CloneOf;
+    std::vector<BasicBlock *> LoopBlocks;
+    for (unsigned B : L.Blocks)
+      LoopBlocks.push_back(CFG.block(B));
+    for (BasicBlock *B : LoopBlocks) {
+      BasicBlock *C = F.newBlock("peel");
+      C->Insts = B->Insts; // Value copy: instructions + annotations.
+      CloneOf[B] = C;
+    }
+    // Remap successors: edges within the loop go to the clones, except
+    // back edges to the header, which enter the original loop.
+    for (BasicBlock *B : LoopBlocks) {
+      BasicBlock *C = CloneOf[B];
+      Instr &T = C->Insts.back();
+      for (unsigned SI = 0, E = T.numSuccs(); SI != E; ++SI) {
+        BasicBlock *S = T.Succs[SI];
+        if (S == Header)
+          continue; // Back edge: fall into the original loop.
+        auto It = CloneOf.find(S);
+        if (It != CloneOf.end())
+          T.Succs[SI] = It->second;
+      }
+    }
+    PH->replaceSucc(Header, CloneOf[Header]);
+    F.recomputePreds();
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Loop unrolling (by replication along the back edge, exit tests kept)
+//===----------------------------------------------------------------------===//
+
+/// Unrolls by two: the loop body is cloned once, the original latches
+/// jump into the clone, and the clone's latches take the back edge to the
+/// original header.  Every copy keeps its exit test, so no trip-count
+/// analysis is needed and the transformation is unconditionally safe.
+/// Annotations and markers are duplicated with the code (paper §3).
+class LoopUnroll : public Pass {
+public:
+  const char *name() const override { return "loop-unrolling"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    (void)M;
+    CFGContext CFG(F);
+    Dominators Dom(CFG);
+    LoopInfo LI(CFG, Dom);
+    for (const Loop &L : LI.loops()) {
+      if (!isSmall(CFG, L))
+        continue;
+      // Skip loops containing calls: replication doubles their code for
+      // little benefit (mirrors cmcc's size heuristics).
+      bool HasCall = false;
+      for (unsigned B : L.Blocks)
+        for (const Instr &I : CFG.block(B)->Insts)
+          HasCall |= I.Op == Opcode::Call;
+      if (HasCall)
+        continue;
+      return unroll(F, CFG, L);
+    }
+    return false;
+  }
+
+private:
+  static bool isSmall(const CFGContext &CFG, const Loop &L) {
+    unsigned Blocks = 0, Instrs = 0;
+    for (unsigned B : L.Blocks) {
+      ++Blocks;
+      Instrs += static_cast<unsigned>(CFG.block(B)->Insts.size());
+    }
+    return Blocks <= 5 && Instrs <= 20;
+  }
+
+  bool unroll(IRFunction &F, const CFGContext &CFG, const Loop &L) {
+    BasicBlock *Header = CFG.block(L.Header);
+    std::unordered_map<BasicBlock *, BasicBlock *> CloneOf;
+    std::vector<BasicBlock *> LoopBlocks;
+    for (unsigned B : L.Blocks)
+      LoopBlocks.push_back(CFG.block(B));
+    for (BasicBlock *B : LoopBlocks) {
+      BasicBlock *C = F.newBlock("unroll");
+      C->Insts = B->Insts; // Annotations and markers duplicate with code.
+      CloneOf[B] = C;
+    }
+    // Clone-internal edges: in-loop targets go to clones, except the back
+    // edge to the header, which returns to the *original* header.
+    for (BasicBlock *B : LoopBlocks) {
+      Instr &T = CloneOf[B]->Insts.back();
+      for (unsigned SI = 0, E = T.numSuccs(); SI != E; ++SI) {
+        BasicBlock *S = T.Succs[SI];
+        if (S == Header)
+          continue;
+        auto It = CloneOf.find(S);
+        if (It != CloneOf.end())
+          T.Succs[SI] = It->second;
+      }
+    }
+    // Original latches now enter the clone instead of looping back.
+    for (unsigned LatchIdx : L.Latches)
+      CFG.block(LatchIdx)->replaceSucc(Header, CloneOf[Header]);
+    F.recomputePreds();
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createLoopInvariantCodeMotionPass() {
+  return std::make_unique<LoopInvariantCodeMotion>();
+}
+
+std::unique_ptr<Pass> sldb::createLoopPeelPass() {
+  return std::make_unique<LoopPeel>();
+}
+
+std::unique_ptr<Pass> sldb::createLoopUnrollPass() {
+  return std::make_unique<LoopUnroll>();
+}

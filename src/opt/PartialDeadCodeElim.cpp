@@ -1,0 +1,210 @@
+//===- opt/PartialDeadCodeElim.cpp - Assignment sinking --------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial dead-code elimination by assignment sinking (Knoop/Rüthing/
+/// Steffen PLDI'94, the transformation of the paper's Figure 3): an
+/// assignment `V = e` whose value is dead along some successor paths is
+/// pushed onto the successor edges where V is live, eliminating the
+/// execution on the dead paths.
+///
+/// Bookkeeping (paper §3):
+///  * the original occurrence, if it was a source assignment, is replaced
+///    by a DeadMarker (gen site of dead-reach: V's actual value is stale
+///    from here until a real assignment executes);
+///  * the edge copies are flagged IsSunk and remain real assignments to V
+///    (they kill dead-reach);
+///  * sinking a compiler-inserted (hoisted/sunk) copy leaves no marker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/InstrInfo.h"
+#include "analysis/Liveness.h"
+
+using namespace sldb;
+
+namespace {
+
+class PartialDeadCodeElim : public Pass {
+public:
+  const char *name() const override {
+    return "partial-dead-code-elimination(sinking)";
+  }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    bool Any = false;
+    // Sunk copies can sink further; two rounds capture the common cases
+    // without risking ping-pong.
+    for (int Round = 0; Round < 2; ++Round)
+      if (runOnce(F, M))
+        Any = true;
+      else
+        break;
+    return Any;
+  }
+
+private:
+  /// Candidate check: same shape as PRE occurrences, plus "downward
+  /// exposed" (no conflict between the instruction and the block end).
+  bool isCandidate(const Instr &I, const ProgramInfo &Info) {
+    if (!I.Dest.isVar())
+      return false;
+    const VarInfo &VI = Info.var(I.Dest.Id);
+    if (!VI.isPromotable())
+      return false;
+    auto OperandOK = [&](const Value &V) {
+      if (V.isConst())
+        return true;
+      if (V.isTemp())
+        return false; // Temps are defined upstream; don't move across.
+      if (!V.isVar() || V.Id == I.Dest.Id)
+        return false;
+      return Info.var(V.Id).isScalar();
+    };
+    switch (I.Op) {
+    case Opcode::Copy:
+    case Opcode::Neg:
+    case Opcode::Not:
+      return OperandOK(I.Ops[0]);
+    default:
+      if (!isBinaryOp(I.Op))
+        return false;
+      if (I.Op == Opcode::Div || I.Op == Opcode::Rem) {
+        // Sinking can *reduce* executions of a trap, which is fine for C,
+        // but moving it onto a new edge must not introduce one: it
+        // cannot, since the edge path executed it before.  Still require
+        // a constant divisor to keep traps anchored, symmetric with PRE.
+        if (!(I.Ops[1].isConstInt() && I.Ops[1].IntVal != 0))
+          return false;
+      }
+      return OperandOK(I.Ops[0]) && OperandOK(I.Ops[1]);
+    }
+  }
+
+  /// Returns true if \p Later conflicts with moving \p I past it:
+  /// uses/defines V or defines an operand of \p I.
+  bool conflicts(const Instr &I, const Instr &Later,
+                 const ProgramInfo &Info) {
+    VarId V = I.Dest.Id;
+    if (Later.Dest.isVar() && Later.Dest.Id == V)
+      return true;
+    if (instrMayClobberVar(Later, Info.var(V)) ||
+        instrMayReadVar(Later, Info.var(V)))
+      return true;
+    for (const Value &UVal : instrUses(Later))
+      if (UVal.isVar() && UVal.Id == V)
+        return true;
+    for (const Value &Op : I.Ops) {
+      if (!Op.isVar())
+        continue;
+      if (Later.Dest.isVar() && Later.Dest.Id == Op.Id)
+        return true;
+      if (instrMayClobberVar(Later, Info.var(Op.Id)))
+        return true;
+    }
+    return false;
+  }
+
+  bool runOnce(IRFunction &F, IRModule &M) {
+    const ProgramInfo &Info = *M.Info;
+    CFGContext CFG(F);
+    ValueIndex VI(F, *M.Info);
+    Liveness LV(CFG, VI, *M.Info);
+
+    // Collect sink opportunities first (the transformation splits edges,
+    // which invalidates the CFG context).
+    struct Sink {
+      BasicBlock *Block;
+      Instr *I;
+      std::vector<BasicBlock *> LiveSuccs;
+    };
+    std::vector<Sink> Sinks;
+
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BasicBlock *BB = CFG.block(B);
+      if (BB->succs().size() < 2)
+        continue; // Only branch points make assignments partially dead.
+      for (auto It = BB->Insts.begin(); It != BB->Insts.end(); ++It) {
+        Instr &I = *It;
+        if (!isCandidate(I, Info))
+          continue;
+        // Downward exposure: nothing after I in the block may conflict.
+        bool Blocked = false;
+        auto After = std::next(It);
+        for (; After != BB->Insts.end(); ++After)
+          if (conflicts(I, *After, Info)) {
+            Blocked = true;
+            break;
+          }
+        if (Blocked)
+          continue;
+        unsigned DestIdx = VI.valueIndex(I.Dest);
+        if (DestIdx == ~0u)
+          continue;
+        // Partially dead: live into some successors but not all.
+        std::vector<BasicBlock *> LiveSuccs, DeadSuccs;
+        for (BasicBlock *S : BB->succs()) {
+          if (LV.liveIn(CFG.indexOf(S)).test(DestIdx))
+            LiveSuccs.push_back(S);
+          else
+            DeadSuccs.push_back(S);
+        }
+        if (LiveSuccs.empty() || DeadSuccs.empty())
+          continue;
+        Sinks.push_back({BB, &I, LiveSuccs});
+        break; // One sink per block per round keeps liveness valid.
+      }
+    }
+
+    if (Sinks.empty())
+      return false;
+
+    for (Sink &S : Sinks) {
+      Instr Moved = *S.I;
+      bool WasSource = Moved.IsSourceAssign && !Moved.IsHoisted &&
+                       !Moved.IsSunk;
+      // Place a sunk copy on every edge where V is live.
+      for (BasicBlock *Succ : S.LiveSuccs) {
+        BasicBlock *Target = Succ;
+        if (Succ->Preds.size() > 1)
+          Target = F.splitEdge(S.Block, Succ);
+        Instr Copy = Moved;
+        Copy.IsSunk = true;
+        Target->Insts.insert(Target->Insts.begin(), std::move(Copy));
+      }
+      // Replace the original.
+      if (WasSource) {
+        Instr Marker;
+        Marker.Op = Opcode::DeadMarker;
+        Marker.MarkVar = Moved.Dest.Id;
+        Marker.MarkStmt = Moved.Stmt;
+        Marker.Stmt = Moved.Stmt;
+        if (Moved.Op == Opcode::Copy)
+          Marker.Recovery = Moved.Ops[0];
+        *S.I = std::move(Marker);
+      } else {
+        // Compiler copy: remove it entirely.
+        for (auto It = S.Block->Insts.begin(); It != S.Block->Insts.end();
+             ++It)
+          if (&*It == S.I) {
+            S.Block->Insts.erase(It);
+            break;
+          }
+      }
+    }
+    F.recomputePreds();
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createPartialDeadCodeElimPass() {
+  return std::make_unique<PartialDeadCodeElim>();
+}

@@ -1,0 +1,452 @@
+//===- opt/PartialRedundancyElim.cpp - Assignment-level PRE ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial redundancy elimination of whole *assignment expressions*
+/// (`V = a op b`), in the Morel-Renvoise bit-vector formulation.  This is
+/// the paper's "code hoisting" transformation, the one that creates
+/// endangered variables by executing a source assignment prematurely
+/// (paper §2.2, Figure 2).
+///
+/// Bookkeeping (paper §3):
+///  * inserted instances are flagged IsHoisted and carry the assignment's
+///    hoist key — they generate the debugger's *hoist reach*;
+///  * deleted (redundant) occurrences are replaced by AvailMarker pseudo-
+///    instructions carrying the same key — they kill the hoist reach.
+///
+/// Down-safety (the ANTIN term of the placement predicate) gives the
+/// invariant the debugger's analysis relies on: every path from a hoisted
+/// instance passes a redundant copy of the same key before any kill, so
+/// the region of endangerment is bounded (paper §2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dataflow.h"
+#include "analysis/InstrInfo.h"
+
+#include <map>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+/// Returns true if \p I is a PRE candidate occurrence and fills \p Key.
+/// Candidates are source-level assignments `V = a op b` (or `V = copy a`,
+/// `V = -a`, `V = ~a`) where V is a promotable scalar and the operands are
+/// constants or scalar variables distinct from V.
+bool occurrenceKey(const Instr &I, const ProgramInfo &Info, HoistKey &Key) {
+  if (!I.IsSourceAssign || !I.Dest.isVar())
+    return false;
+  const VarInfo &VI = Info.var(I.Dest.Id);
+  if (!VI.isPromotable())
+    return false;
+  auto OperandOK = [&](const Value &V) {
+    if (V.isConst())
+      return true;
+    if (!V.isVar())
+      return false;
+    if (V.Id == I.Dest.Id)
+      return false;
+    return Info.var(V.Id).isScalar();
+  };
+  if (isBinaryOp(I.Op)) {
+    if (I.Op == Opcode::Div || I.Op == Opcode::Rem) {
+      // Only hoist potential traps when the divisor is a nonzero
+      // constant; down-safety makes other cases legal too, but cmcc (and
+      // we) keep faulting instructions anchored.
+      if (!(I.Ops[1].isConstInt() && I.Ops[1].IntVal != 0))
+        return false;
+    }
+    if (!OperandOK(I.Ops[0]) || !OperandOK(I.Ops[1]))
+      return false;
+    Key = {I.Dest.Id, I.Op, I.Ty, I.Ops[0], I.Ops[1]};
+    return true;
+  }
+  if (I.Op == Opcode::Copy || I.Op == Opcode::Neg || I.Op == Opcode::Not) {
+    if (!OperandOK(I.Ops[0]))
+      return false;
+    Key = {I.Dest.Id, I.Op, I.Ty, I.Ops[0], Value::none()};
+    return true;
+  }
+  return false;
+}
+
+/// Availability kill: \p I destroys the *value* relation "V == a op b"
+/// by redefining V or an operand.  Reads of V do not kill availability.
+bool killsAvail(const Instr &I, const HoistKey &Key,
+                const ProgramInfo &Info) {
+  HoistKey Mine;
+  if (occurrenceKey(I, Info, Mine) && Mine == Key)
+    return false;
+  auto DefinesOrClobbers = [&](VarId V) {
+    if (I.Dest.isVar() && I.Dest.Id == V)
+      return true;
+    return instrMayClobberVar(I, Info.var(V));
+  };
+  if (DefinesOrClobbers(Key.V))
+    return true;
+  if (Key.A.isVar() && DefinesOrClobbers(Key.A.Id))
+    return true;
+  if (Key.B.isVar() && DefinesOrClobbers(Key.B.Id))
+    return true;
+  return false;
+}
+
+/// Anticipability kill: additionally, a *read* of V blocks hoisting the
+/// assignment above it (the read would observe the premature value at
+/// runtime, not merely in the debugger).
+bool killsAnt(const Instr &I, const HoistKey &Key, const ProgramInfo &Info) {
+  if (killsAvail(I, Key, Info))
+    return true;
+  HoistKey Mine;
+  if (occurrenceKey(I, Info, Mine) && Mine == Key)
+    return false;
+  if (instrMayReadVar(I, Info.var(Key.V)))
+    return true;
+  for (const Value &U : instrUses(I))
+    if (U.isVar() && U.Id == Key.V)
+      return true;
+  return false;
+}
+
+struct KeyOrder {
+  bool operator()(const HoistKey &L, const HoistKey &R) const {
+    auto ValKey = [](const Value &V) {
+      return std::tuple(static_cast<int>(V.K), V.Id, V.IntVal, V.DblVal);
+    };
+    return std::tuple(L.V, static_cast<int>(L.Op), static_cast<int>(L.Ty),
+                      ValKey(L.A), ValKey(L.B)) <
+           std::tuple(R.V, static_cast<int>(R.Op), static_cast<int>(R.Ty),
+                      ValKey(R.A), ValKey(R.B));
+  }
+};
+
+class PartialRedundancyElim : public Pass {
+public:
+  const char *name() const override {
+    return "partial-redundancy-elimination(hoisting)";
+  }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    bool Changed = runMorelRenvoise(F, M);
+    Changed |= eliminateAvailable(F, M);
+    return Changed;
+  }
+
+private:
+  bool runMorelRenvoise(IRFunction &F, IRModule &M) {
+    CFGContext CFG(F);
+    const ProgramInfo &Info = *M.Info;
+    const unsigned N = CFG.numBlocks();
+
+    // Enumerate keys.
+    std::map<HoistKey, unsigned, KeyOrder> KeyIds;
+    std::vector<HoistKey> Keys;
+    for (unsigned B = 0; B < N; ++B)
+      for (const Instr &I : CFG.block(B)->Insts) {
+        HoistKey K;
+        if (occurrenceKey(I, Info, K) && !KeyIds.count(K)) {
+          KeyIds[K] = static_cast<unsigned>(Keys.size());
+          Keys.push_back(K);
+        }
+      }
+    if (Keys.empty())
+      return false;
+    const unsigned U = static_cast<unsigned>(Keys.size());
+
+    // Local predicates.  ANTLOC/TRANSP use the anticipability kill (reads
+    // of V block hoisting); COMP/availability use the weaker value kill.
+    std::vector<BitVector> Antloc(N, BitVector(U)), Comp(N, BitVector(U)),
+        Transp(N, BitVector(U, true)), TranspAv(N, BitVector(U, true));
+    for (unsigned B = 0; B < N; ++B) {
+      BitVector AntKilledAbove(U);
+      for (const Instr &I : CFG.block(B)->Insts) {
+        HoistKey K;
+        bool IsOcc = occurrenceKey(I, Info, K);
+        unsigned Id = IsOcc ? KeyIds[K] : 0;
+        if (IsOcc && !AntKilledAbove.test(Id))
+          Antloc[B].set(Id);
+        if (IsOcc)
+          Comp[B].set(Id);
+        for (unsigned KI = 0; KI < U; ++KI) {
+          if (killsAnt(I, Keys[KI], Info)) {
+            AntKilledAbove.set(KI);
+            Transp[B].reset(KI);
+          }
+          if (killsAvail(I, Keys[KI], Info)) {
+            TranspAv[B].reset(KI);
+            Comp[B].reset(KI);
+          }
+        }
+      }
+    }
+
+    // AVIN/AVOUT (forward, intersect).
+    DataflowProblem AvP;
+    AvP.Dir = FlowDir::Forward;
+    AvP.Meet = FlowMeet::Intersect;
+    AvP.init(CFG, U);
+    for (unsigned B = 0; B < N; ++B) {
+      AvP.Gen[B] = Comp[B];
+      AvP.Kill[B] = TranspAv[B];
+      AvP.Kill[B].flip();
+      AvP.Kill[B].subtract(Comp[B]);
+    }
+    DataflowResult AV = solveDataflow(CFG, AvP);
+
+    // PAVIN/PAVOUT (forward, union).
+    DataflowProblem PavP = AvP;
+    PavP.Meet = FlowMeet::Union;
+    DataflowResult PAV = solveDataflow(CFG, PavP);
+
+    // ANTIN/ANTOUT (backward, intersect).
+    DataflowProblem AntP;
+    AntP.Dir = FlowDir::Backward;
+    AntP.Meet = FlowMeet::Intersect;
+    AntP.init(CFG, U);
+    for (unsigned B = 0; B < N; ++B) {
+      AntP.Gen[B] = Antloc[B];
+      AntP.Kill[B] = Transp[B];
+      AntP.Kill[B].flip();
+      AntP.Kill[B].subtract(Antloc[B]);
+    }
+    DataflowResult ANT = solveDataflow(CFG, AntP);
+
+    // Insertion happens at the end of a block but *before* its
+    // terminator; if the terminator itself reads a key's destination
+    // variable (`condbr x, ...` / `ret x`), placement there is illegal.
+    // Folding this into PPOUT keeps the placement system consistent.
+    std::vector<BitVector> TermBlocked(N, BitVector(U));
+    for (unsigned B = 0; B < N; ++B) {
+      const Instr &T = CFG.block(B)->term();
+      for (const Value &UVal : instrUses(T))
+        if (UVal.isVar())
+          for (unsigned KI = 0; KI < U; ++KI)
+            if (Keys[KI].V == UVal.Id)
+              TermBlocked[B].set(KI);
+    }
+
+    // Morel-Renvoise placement-possible system (greatest fixed point).
+    std::vector<BitVector> PPIn(N, BitVector(U, true)),
+        PPOut(N, BitVector(U, true));
+    // Boundary conditions: nothing can be placed before the entry or
+    // after an exit.
+    PPIn[0] = BitVector(U);
+    for (unsigned E : CFG.exits())
+      PPOut[E] = BitVector(U);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned Step = 0; Step < N; ++Step) {
+        unsigned B = N - 1 - Step;
+        // PPOUT(B) = AND over succs of PPIN(S); exits stay empty.
+        bool IsExit = false;
+        for (unsigned E : CFG.exits())
+          IsExit |= E == B;
+        if (!IsExit) {
+          BitVector NewOut(U, !CFG.succs(B).empty());
+          for (unsigned S : CFG.succs(B))
+            NewOut &= PPIn[S];
+          if (CFG.succs(B).empty())
+            NewOut = BitVector(U);
+          NewOut.subtract(TermBlocked[B]);
+          if (NewOut != PPOut[B]) {
+            PPOut[B] = std::move(NewOut);
+            Changed = true;
+          }
+        }
+        if (B == 0)
+          continue; // Entry boundary.
+        // PPIN(B) = ANTIN & PAVIN & (ANTLOC | (TRANSP & PPOUT))
+        //           & AND over preds (PPOUT(P) | AVOUT(P)).
+        BitVector NewIn = ANT.In[B];
+        NewIn &= PAV.In[B];
+        BitVector Local = Transp[B];
+        Local &= PPOut[B];
+        Local |= Antloc[B];
+        NewIn &= Local;
+        for (unsigned Pred : CFG.preds(B)) {
+          BitVector Term = PPOut[Pred];
+          Term |= AV.Out[Pred];
+          NewIn &= Term;
+        }
+        if (NewIn != PPIn[B]) {
+          PPIn[B] = std::move(NewIn);
+          Changed = true;
+        }
+      }
+    }
+
+    // INSERT(B) = PPOUT & !AVOUT & (!PPIN | !TRANSP).
+    // DELETE(B) = ANTLOC & PPIN.
+    bool Transformed = false;
+    std::vector<StmtId> KeyStmt(U, InvalidStmt);
+    std::vector<std::vector<Instr *>> Deletions(U);
+    for (unsigned B = 0; B < N; ++B) {
+      BitVector Del = Antloc[B];
+      Del &= PPIn[B];
+      if (Del.none())
+        continue;
+      BitVector Seen(U);
+      for (Instr &I : CFG.block(B)->Insts) {
+        HoistKey K;
+        if (!occurrenceKey(I, Info, K))
+          continue;
+        unsigned Id = KeyIds[K];
+        if (!Del.test(Id) || Seen.test(Id))
+          continue;
+        Seen.set(Id); // Only the upward-exposed occurrence is deleted.
+        Deletions[Id].push_back(&I);
+        if (KeyStmt[Id] == InvalidStmt)
+          KeyStmt[Id] = I.Stmt;
+      }
+    }
+
+    for (unsigned B = 0; B < N; ++B) {
+      BitVector Ins = PPOut[B];
+      Ins.subtract(AV.Out[B]);
+      BitVector NotProfit = PPIn[B];
+      NotProfit &= Transp[B];
+      Ins.subtract(NotProfit);
+      if (Ins.none())
+        continue;
+      for (unsigned Id : Ins) {
+        if (Deletions[Id].empty())
+          continue; // No redundancy would be removed; skip insertion.
+        const HoistKey &K = Keys[Id];
+        Instr Hoisted;
+        Hoisted.Op = K.Op;
+        Hoisted.Ty = K.Ty;
+        Hoisted.Dest = Value::var(K.V, K.Ty);
+        Hoisted.Ops = {K.A};
+        if (!K.B.isNone())
+          Hoisted.Ops.push_back(K.B);
+        Hoisted.Stmt = KeyStmt[Id];
+        Hoisted.IsSourceAssign = true;
+        Hoisted.IsHoisted = true;
+        Hoisted.HoistKey = F.internHoistKey(K);
+        BasicBlock *BB = CFG.block(B);
+        auto Pos = BB->Insts.end();
+        --Pos; // Before the terminator.
+        BB->Insts.insert(Pos, std::move(Hoisted));
+        Transformed = true;
+      }
+    }
+
+    // Perform deletions (only for keys that had at least one insertion —
+    // otherwise the "redundancy" was full redundancy over existing
+    // occurrences, which is also safe to delete: the value is available).
+    for (unsigned Id = 0; Id < U; ++Id) {
+      for (Instr *I : Deletions[Id]) {
+        Instr Marker;
+        Marker.Op = Opcode::AvailMarker;
+        Marker.MarkVar = Keys[Id].V;
+        Marker.MarkStmt = I->Stmt;
+        Marker.Stmt = I->Stmt;
+        Marker.HoistKey = F.internHoistKey(Keys[Id]);
+        *I = std::move(Marker);
+        Transformed = true;
+      }
+    }
+    return Transformed;
+  }
+
+  /// Full-redundancy elimination: an assignment occurrence whose key is
+  /// *available* (the variable already holds exactly this value on every
+  /// path) is deleted outright — the paper's "E2 deleted because
+  /// available" case, which needs no insertion.  Source-position
+  /// occurrences leave an AvailMarker; bare hoisted instances vanish.
+  bool eliminateAvailable(IRFunction &F, IRModule &M) {
+    CFGContext CFG(F);
+    const ProgramInfo &Info = *M.Info;
+    const unsigned N = CFG.numBlocks();
+
+    std::map<HoistKey, unsigned, KeyOrder> KeyIds;
+    std::vector<HoistKey> Keys;
+    for (unsigned B = 0; B < N; ++B)
+      for (const Instr &I : CFG.block(B)->Insts) {
+        HoistKey K;
+        if (occurrenceKey(I, Info, K) && !KeyIds.count(K)) {
+          KeyIds[K] = static_cast<unsigned>(Keys.size());
+          Keys.push_back(K);
+        }
+      }
+    if (Keys.empty())
+      return false;
+    const unsigned U = static_cast<unsigned>(Keys.size());
+
+    std::vector<BitVector> Comp(N, BitVector(U)),
+        TranspAv(N, BitVector(U, true));
+    for (unsigned B = 0; B < N; ++B)
+      for (const Instr &I : CFG.block(B)->Insts) {
+        HoistKey K;
+        if (occurrenceKey(I, Info, K))
+          Comp[B].set(KeyIds[K]);
+        for (unsigned KI = 0; KI < U; ++KI)
+          if (killsAvail(I, Keys[KI], Info)) {
+            TranspAv[B].reset(KI);
+            Comp[B].reset(KI);
+          }
+      }
+
+    DataflowProblem AvP;
+    AvP.Dir = FlowDir::Forward;
+    AvP.Meet = FlowMeet::Intersect;
+    AvP.init(CFG, U);
+    for (unsigned B = 0; B < N; ++B) {
+      AvP.Gen[B] = Comp[B];
+      AvP.Kill[B] = TranspAv[B];
+      AvP.Kill[B].flip();
+      AvP.Kill[B].subtract(Comp[B]);
+    }
+    DataflowResult AV = solveDataflow(CFG, AvP);
+
+    bool Changed = false;
+    for (unsigned B = 0; B < N; ++B) {
+      BitVector Avail = AV.In[B];
+      BasicBlock *BB = CFG.block(B);
+      for (auto It = BB->Insts.begin(); It != BB->Insts.end();) {
+        Instr &I = *It;
+        HoistKey K;
+        bool IsOcc = occurrenceKey(I, Info, K);
+        if (IsOcc && Avail.test(KeyIds[K])) {
+          Changed = true;
+          if (I.IsHoisted && !I.IsSunk) {
+            // A compiler-inserted instance: delete silently (paper §3).
+            It = BB->Insts.erase(It);
+            continue;
+          }
+          Instr Marker;
+          Marker.Op = Opcode::AvailMarker;
+          Marker.MarkVar = K.V;
+          Marker.MarkStmt = I.Stmt;
+          Marker.Stmt = I.Stmt;
+          Marker.HoistKey = F.internHoistKey(K);
+          I = std::move(Marker);
+          ++It;
+          continue;
+        }
+        if (IsOcc)
+          Avail.set(KeyIds[K]);
+        for (unsigned KI = 0; KI < U; ++KI)
+          if (killsAvail(I, Keys[KI], Info))
+            Avail.reset(KI);
+        ++It;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createPartialRedundancyElimPass() {
+  return std::make_unique<PartialRedundancyElim>();
+}

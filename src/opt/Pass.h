@@ -1,0 +1,87 @@
+//===- opt/Pass.h - Optimization pass interface -----------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass interface and pipeline driver replicating cmcc's optimizer
+/// (paper Table 1).  Every pass performs the debug bookkeeping of paper §3
+/// as it transforms: hoisted/sunk flags, dead/avail markers, recovery
+/// values.  Optimizations themselves ignore markers entirely — bookkeeping
+/// never constrains optimization (the non-invasive model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_OPT_PASS_H
+#define SLDB_OPT_PASS_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Base class for function-level optimization passes.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Pass name for -debug style dumps and Table 1 reporting.
+  virtual const char *name() const = 0;
+
+  /// Transforms \p F.  Returns true if anything changed.
+  virtual bool run(IRFunction &F, IRModule &M) = 0;
+};
+
+/// Factory functions (one per Table 1 entry implemented at the IR level).
+std::unique_ptr<Pass> createLocalSimplifyPass();
+std::unique_ptr<Pass> createConstantPropagationPass();
+std::unique_ptr<Pass> createCopyPropagationPass();
+std::unique_ptr<Pass> createGlobalCSEPass();
+std::unique_ptr<Pass> createPartialRedundancyElimPass();
+std::unique_ptr<Pass> createLoopInvariantCodeMotionPass();
+std::unique_ptr<Pass> createPartialDeadCodeElimPass();
+std::unique_ptr<Pass> createDeadCodeEliminationPass();
+std::unique_ptr<Pass> createBranchOptPass();
+std::unique_ptr<Pass> createLoopPeelPass();
+std::unique_ptr<Pass> createLoopUnrollPass();
+std::unique_ptr<Pass> createInductionVariableOptPass();
+
+/// Which optimizations to run (the paper's "global optimizations").
+struct OptOptions {
+  bool ConstProp = true;
+  bool CopyProp = true;
+  bool CSE = true;
+  bool PRE = true;       ///< Code hoisting (endangers variables).
+  bool LICM = true;
+  bool PDE = true;       ///< Code sinking (endangers variables).
+  bool DCE = true;       ///< Dead assignment elimination (endangers).
+  bool BranchOpt = true;
+  bool LoopPeel = true;
+  bool LoopUnroll = true;
+  bool IVOpt = true;
+
+  static OptOptions none() {
+    OptOptions O;
+    O.ConstProp = O.CopyProp = O.CSE = O.PRE = O.LICM = O.PDE = O.DCE =
+        O.BranchOpt = O.LoopPeel = O.LoopUnroll = O.IVOpt = false;
+    return O;
+  }
+  static OptOptions all() { return OptOptions(); }
+};
+
+/// Runs the cmcc-like pipeline over every function of \p M.
+/// Passes are ordered so that hoisting (PRE) runs before sinking (PDE),
+/// matching the interaction the paper reports (§4: hoisted assignments
+/// that were partially dead were subsequently sunk).
+void runPipeline(IRModule &M, const OptOptions &Opts);
+
+/// Returns the pipeline pass names in execution order (Table 1 bench).
+std::vector<std::string> pipelinePassNames(const OptOptions &Opts);
+
+} // namespace sldb
+
+#endif // SLDB_OPT_PASS_H

@@ -1,0 +1,67 @@
+//===- opt/Pipeline.cpp - cmcc-like pass pipeline ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+using namespace sldb;
+
+namespace {
+
+/// Builds the pipeline in execution order.
+std::vector<std::unique_ptr<Pass>> buildPipeline(const OptOptions &O) {
+  std::vector<std::unique_ptr<Pass>> P;
+  auto Add = [&](bool Enabled, std::unique_ptr<Pass> Pass) {
+    if (Enabled)
+      P.push_back(std::move(Pass));
+  };
+
+  // Cleanup + early simplification.
+  Add(O.BranchOpt, createBranchOptPass());
+  Add(O.ConstProp, createLocalSimplifyPass());
+  Add(O.ConstProp, createConstantPropagationPass());
+  Add(O.ConstProp, createLocalSimplifyPass());
+  Add(O.CopyProp, createCopyPropagationPass());
+  Add(O.BranchOpt, createBranchOptPass());
+
+  // Loop restructuring first: peeling exposes redundancy to PRE.
+  Add(O.LoopPeel, createLoopPeelPass());
+  Add(O.LoopUnroll, createLoopUnrollPass());
+
+  // Redundancy removal: CSE, then the hoisting transformations.
+  Add(O.CSE, createGlobalCSEPass());
+  Add(O.PRE, createPartialRedundancyElimPass());
+  Add(O.LICM, createLoopInvariantCodeMotionPass());
+  Add(O.IVOpt, createInductionVariableOptPass());
+
+  // Second propagation round feeds dead-code elimination (and builds the
+  // recovery chains of paper §2.5 / Figure 4).
+  Add(O.ConstProp, createConstantPropagationPass());
+  Add(O.ConstProp, createLocalSimplifyPass());
+  Add(O.CopyProp, createCopyPropagationPass());
+
+  // Sinking after hoisting (paper §4: hoisted assignments that are
+  // partially dead get sunk back down), then full dead-code elimination.
+  Add(O.PDE, createPartialDeadCodeElimPass());
+  Add(O.DCE, createDeadCodeEliminationPass());
+  Add(O.BranchOpt, createBranchOptPass());
+  return P;
+}
+
+} // namespace
+
+void sldb::runPipeline(IRModule &M, const OptOptions &Opts) {
+  auto Pipeline = buildPipeline(Opts);
+  for (auto &F : M.Funcs)
+    for (auto &P : Pipeline)
+      P->run(*F, M);
+}
+
+std::vector<std::string> sldb::pipelinePassNames(const OptOptions &Opts) {
+  std::vector<std::string> Names;
+  for (auto &P : buildPipeline(Opts))
+    Names.emplace_back(P->name());
+  return Names;
+}

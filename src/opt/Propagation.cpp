@@ -1,0 +1,193 @@
+//===- opt/Propagation.cpp - Constant and copy propagation -----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global constant propagation and assignment (copy) propagation, both
+/// built on reaching definitions.  These rewrites only change *operands*;
+/// assignments stay in place, so no markers are needed.  Their effect on
+/// debugging is indirect: propagation strips uses off assignments, making
+/// them dead and thereby subject to dead-code elimination, whose
+/// bookkeeping (markers with recovery values) reconstructs the chain the
+/// paper describes in §2.5 / Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFGContext.h"
+#include "analysis/InstrInfo.h"
+#include "analysis/ReachingDefs.h"
+
+#include <unordered_map>
+
+using namespace sldb;
+
+namespace {
+
+/// True if operand slot \p Idx of \p I may be rewritten (value position).
+bool isRewritableOperand(const Instr &I, unsigned Idx) {
+  if (I.Op == Opcode::AddrOf)
+    return false; // Names a location, not a value.
+  (void)Idx;
+  return true;
+}
+
+class ConstantPropagation : public Pass {
+public:
+  const char *name() const override { return "constant-propagation"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    CFGContext CFG(F);
+    ValueIndex VI(F, *M.Info);
+    ReachingDefs RD(CFG, VI, *M.Info);
+    bool Changed = false;
+
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector Reach = RD.reachIn(B);
+      for (Instr &I : CFG.block(B)->Insts) {
+        for (unsigned OpIdx = 0; OpIdx < I.Ops.size(); ++OpIdx) {
+          Value &Op = I.Ops[OpIdx];
+          if (!isRewritableOperand(I, OpIdx))
+            continue;
+          if (!Op.isVar() && !Op.isTemp())
+            continue;
+          Value C;
+          if (constValueAt(RD, VI, Reach, Op, C)) {
+            Op = C;
+            Changed = true;
+          }
+        }
+        RD.transfer(I, Reach);
+      }
+    }
+    return Changed;
+  }
+
+private:
+  /// Returns true (and the constant) if every definition of \p Op reaching
+  /// here assigns the same known constant.
+  bool constValueAt(const ReachingDefs &RD, const ValueIndex &VI,
+                    const BitVector &Reach, const Value &Op, Value &Out) {
+    unsigned Idx = VI.valueIndex(Op);
+    if (Idx == ~0u)
+      return false;
+    BitVector Defs = RD.defsOfValue(Idx);
+    Defs &= Reach;
+    bool HaveConst = false;
+    for (unsigned D : Defs) {
+      if (RD.isUnknownDef(D))
+        return false;
+      const Instr *DefI = RD.def(D).I;
+      if (DefI->Op != Opcode::Copy || !DefI->Ops[0].isConst())
+        return false;
+      const Value &C = DefI->Ops[0];
+      if (!HaveConst) {
+        Out = C;
+        HaveConst = true;
+      } else if (Out != C) {
+        return false;
+      }
+    }
+    return HaveConst;
+  }
+};
+
+class CopyPropagation : public Pass {
+public:
+  const char *name() const override { return "assignment-propagation"; }
+
+  bool run(IRFunction &F, IRModule &M) override {
+    CFGContext CFG(F);
+    ValueIndex VI(F, *M.Info);
+    ReachingDefs RD(CFG, VI, *M.Info);
+
+    // Cache the reach set at every copy definition (needed to check that
+    // the copied source still has the same value at the use point).
+    std::unordered_map<const Instr *, BitVector> ReachAtCopy;
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector Reach = RD.reachIn(B);
+      for (Instr &I : CFG.block(B)->Insts) {
+        if (I.Op == Opcode::Copy &&
+            (I.Ops[0].isVar() || I.Ops[0].isTemp()))
+          ReachAtCopy.emplace(&I, Reach);
+        RD.transfer(I, Reach);
+      }
+    }
+
+    bool Changed = false;
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector Reach = RD.reachIn(B);
+      for (Instr &I : CFG.block(B)->Insts) {
+        for (unsigned OpIdx = 0; OpIdx < I.Ops.size(); ++OpIdx) {
+          Value &Op = I.Ops[OpIdx];
+          if (!isRewritableOperand(I, OpIdx))
+            continue;
+          if (!Op.isVar() && !Op.isTemp())
+            continue;
+          Value Src;
+          if (copySourceAt(RD, VI, Reach, ReachAtCopy, Op, Src)) {
+            Src.Ty = Op.Ty; // Keep the use-site type.
+            Op = Src;
+            Changed = true;
+          }
+        }
+        RD.transfer(I, Reach);
+      }
+    }
+    return Changed;
+  }
+
+private:
+  bool copySourceAt(
+      const ReachingDefs &RD, const ValueIndex &VI, const BitVector &Reach,
+      const std::unordered_map<const Instr *, BitVector> &ReachAtCopy,
+      const Value &Op, Value &Out) {
+    unsigned Idx = VI.valueIndex(Op);
+    if (Idx == ~0u)
+      return false;
+    BitVector Defs = RD.defsOfValue(Idx);
+    Defs &= Reach;
+    // Exactly one definition must reach, and it must be a copy.
+    int First = Defs.findFirst();
+    if (First < 0 || Defs.findNext(static_cast<unsigned>(First)) >= 0)
+      return false;
+    unsigned D = static_cast<unsigned>(First);
+    if (RD.isUnknownDef(D))
+      return false;
+    const Instr *Copy = RD.def(D).I;
+    if (Copy->Op != Opcode::Copy)
+      return false;
+    const Value &Src = Copy->Ops[0];
+    if (!Src.isVar() && !Src.isTemp())
+      return false;
+    unsigned SrcIdx = VI.valueIndex(Src);
+    if (SrcIdx == ~0u)
+      return false;
+    // The source must have the same reaching definitions here as at the
+    // copy (i.e., its value is unchanged on every path between them).
+    auto It = ReachAtCopy.find(Copy);
+    if (It == ReachAtCopy.end())
+      return false;
+    BitVector SrcHere = RD.defsOfValue(SrcIdx);
+    BitVector SrcThere = SrcHere;
+    SrcHere &= Reach;
+    SrcThere &= It->second;
+    if (SrcHere != SrcThere)
+      return false;
+    Out = Src;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createConstantPropagationPass() {
+  return std::make_unique<ConstantPropagation>();
+}
+
+std::unique_ptr<Pass> sldb::createCopyPropagationPass() {
+  return std::make_unique<CopyPropagation>();
+}

@@ -1,0 +1,147 @@
+//===- support/BitVector.h - Dynamic bit vector ----------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically sized bit vector with the set operations needed by the
+/// iterative bit-vector data-flow framework (union, intersection,
+/// difference, comparison).  The paper's analyses (reaching definitions,
+/// liveness, availability, hoist reach, dead reach) are all gen/kill
+/// problems over these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_BITVECTOR_H
+#define SLDB_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sldb {
+
+/// Fixed-universe bit set with word-parallel set algebra.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p N bits, all set to \p Value.
+  explicit BitVector(unsigned N, bool Value = false) { resize(N, Value); }
+
+  /// Number of bits in the universe.
+  unsigned size() const { return NumBits; }
+
+  bool empty() const { return NumBits == 0; }
+
+  /// Grows or shrinks to \p N bits; new bits get \p Value.
+  void resize(unsigned N, bool Value = false);
+
+  /// Tests bit \p Idx.
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  bool operator[](unsigned Idx) const { return test(Idx); }
+
+  /// Sets bit \p Idx.
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+  }
+
+  /// Sets all bits.
+  void set();
+
+  /// Clears bit \p Idx.
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+  }
+
+  /// Clears all bits.
+  void reset();
+
+  /// Flips every bit (complement within the universe).
+  void flip() {
+    for (Word &W : Words)
+      W = ~W;
+    clearUnusedBits();
+  }
+
+  /// Flips bit \p Idx.
+  void flip(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] ^= Word(1) << (Idx % WordBits);
+  }
+
+  /// Returns true if any bit is set.
+  bool any() const;
+
+  /// Returns true if no bit is set.
+  bool none() const { return !any(); }
+
+  /// Returns the number of set bits.
+  unsigned count() const;
+
+  /// Returns the index of the first set bit, or -1 if none.
+  int findFirst() const;
+
+  /// Returns the index of the first set bit at or after \p From, or -1.
+  int findNext(unsigned From) const;
+
+  /// Set union: this |= RHS.  Universes must match.
+  BitVector &operator|=(const BitVector &RHS);
+
+  /// Set intersection: this &= RHS.
+  BitVector &operator&=(const BitVector &RHS);
+
+  /// Set difference: this -= RHS (clear every bit set in RHS).
+  BitVector &subtract(const BitVector &RHS);
+
+  /// Returns true if this and RHS share a set bit.
+  bool anyCommon(const BitVector &RHS) const;
+
+  /// Returns true if every set bit of this is also set in RHS.
+  bool isSubsetOf(const BitVector &RHS) const;
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// Iterates over the indices of set bits.
+  class SetBitIterator {
+  public:
+    SetBitIterator(const BitVector &BV, int Idx) : BV(BV), Idx(Idx) {}
+    unsigned operator*() const { return static_cast<unsigned>(Idx); }
+    SetBitIterator &operator++() {
+      Idx = BV.findNext(static_cast<unsigned>(Idx));
+      return *this;
+    }
+    bool operator!=(const SetBitIterator &RHS) const { return Idx != RHS.Idx; }
+
+  private:
+    const BitVector &BV;
+    int Idx;
+  };
+
+  SetBitIterator begin() const { return SetBitIterator(*this, findFirst()); }
+  SetBitIterator end() const { return SetBitIterator(*this, -1); }
+
+private:
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+
+  /// Zeroes bits beyond NumBits in the last word.
+  void clearUnusedBits();
+
+  unsigned NumBits = 0;
+  std::vector<Word> Words;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_BITVECTOR_H

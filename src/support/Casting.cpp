@@ -1,0 +1,18 @@
+//===- support/Casting.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sldb;
+
+void sldb::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

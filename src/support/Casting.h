@@ -1,0 +1,90 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the sldb project: a reproduction of "Source-Level Debugging of
+// Scalar Optimized Code" (Adl-Tabatabai & Gross, PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style.  A class hierarchy opts in by giving
+/// every concrete class a `Kind` discriminator and a static `classof(const
+/// Base *)` predicate; `isa<>`, `cast<>` and `dyn_cast<>` then work without
+/// compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_CASTING_H
+#define SLDB_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace sldb {
+
+/// Returns true if \p Val is an instance of type \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Marks a point in the program that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace sldb
+
+#define sldb_unreachable(Msg)                                                  \
+  ::sldb::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // SLDB_SUPPORT_CASTING_H

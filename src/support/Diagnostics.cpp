@@ -1,0 +1,30 @@
+//===- support/Diagnostics.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace sldb;
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.Loc.str();
+    switch (D.Kind) {
+    case DiagKind::Error:
+      Out += ": error: ";
+      break;
+    case DiagKind::Warning:
+      Out += ": warning: ";
+      break;
+    case DiagKind::Note:
+      Out += ": note: ";
+      break;
+    }
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- support/SourceLoc.h - Source positions ------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source positions and statement identities.  A *statement id*
+/// (StmtId) names a source-level breakpoint location: the paper's analyses
+/// are all phrased per source statement ("the value assigned by E2"), so
+/// statement ids flow from the front end through optimization annotations
+/// down to machine code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_SOURCELOC_H
+#define SLDB_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace sldb {
+
+/// A (line, column) position in the source text; 1-based, 0 = unknown.
+struct SourceLoc {
+  std::uint32_t Line = 0;
+  std::uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(std::uint32_t Line, std::uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+
+  /// Renders as "line:col".
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// Identity of a source-level statement (== a potential breakpoint).
+/// Dense per function, assigned by the front end in source order.
+using StmtId = std::uint32_t;
+
+/// Sentinel for "no statement" (compiler-synthesized code).
+inline constexpr StmtId InvalidStmt = ~StmtId(0);
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_SOURCELOC_H

@@ -1,0 +1,19 @@
+//===- support/StringInterner.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace sldb;
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Map.find(std::string(Str));
+  if (It != Map.end())
+    return It->second;
+  Symbol Sym = static_cast<Symbol>(Strings.size());
+  Strings.emplace_back(Str);
+  Map.emplace(Strings.back(), Sym);
+  return Sym;
+}

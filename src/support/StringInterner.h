@@ -1,0 +1,50 @@
+//===- support/StringInterner.h - String uniquing --------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings (identifiers, variable names) into dense integer
+/// symbols so the rest of the compiler can key maps and bit vectors by
+/// small indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_STRINGINTERNER_H
+#define SLDB_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sldb {
+
+/// A dense integer handle for an interned string.
+using Symbol = std::uint32_t;
+
+/// Maps strings to dense symbols and back.
+class StringInterner {
+public:
+  /// Interns \p Str, returning a stable symbol; repeated calls with equal
+  /// strings return the same symbol.
+  Symbol intern(std::string_view Str);
+
+  /// Returns the string for \p Sym.
+  const std::string &str(Symbol Sym) const {
+    return Strings[Sym];
+  }
+
+  /// Number of distinct strings interned so far.
+  unsigned size() const { return static_cast<unsigned>(Strings.size()); }
+
+private:
+  std::unordered_map<std::string, Symbol> Map;
+  std::vector<std::string> Strings;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_STRINGINTERNER_H

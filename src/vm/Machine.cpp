@@ -1,0 +1,355 @@
+//===- vm/Machine.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace sldb;
+
+Machine::Machine(const MachineModule &MM, std::uint64_t MaxSteps)
+    : MM(MM), MaxSteps(MaxSteps) {
+  Mem.resize(1 << 22);
+  // Globals at the bottom of memory; stack grows above them.
+  SP = MM.GlobalWords;
+  for (const auto &[Addr, Init] : MM.GlobalInits) {
+    if (Init.isConstDouble())
+      Mem[Addr].D = Init.DblVal;
+    else
+      Mem[Addr].I = Init.IntVal;
+  }
+}
+
+void Machine::trap(const std::string &Msg) {
+  if (Reason != StopReason::Trapped) {
+    Reason = StopReason::Trapped;
+    TrapMsg = Msg;
+  }
+}
+
+std::int64_t Machine::readMemInt(std::size_t Addr) const {
+  return Addr < Mem.size() ? Mem[Addr].I : 0;
+}
+
+double Machine::readMemDouble(std::size_t Addr) const {
+  return Addr < Mem.size() ? Mem[Addr].D : 0.0;
+}
+
+std::size_t Machine::resolveMemOperand(const MInstr &I) {
+  if (I.AddrReg.isValid())
+    return static_cast<std::size_t>(R[I.AddrReg.N]);
+  if (I.FrameSlot >= 0)
+    return FP + static_cast<std::size_t>(I.FrameSlot);
+  if (I.GlobalVar != InvalidVar)
+    return MM.GlobalAddr.at(I.GlobalVar);
+  trap("memory instruction without an address");
+  return 0;
+}
+
+StopReason Machine::run() {
+  // Reset.
+  std::memset(R, 0, sizeof(R));
+  for (double &D : F)
+    D = 0.0;
+  Frames.clear();
+  Output.clear();
+  Executed = 0;
+  Reason = StopReason::Running;
+  Started = true;
+
+  const MachineFunction *Main = MM.findFunc("main");
+  if (!Main) {
+    trap("no main function");
+    return Reason;
+  }
+  PC.Func = static_cast<std::uint32_t>(Main - &MM.Funcs[0]);
+  PC.Local = 0;
+  FP = MM.GlobalWords;
+  SP = FP + Main->FrameSize;
+  return resumeImpl(/*SkipFirst=*/false);
+}
+
+StopReason Machine::resume() { return resumeImpl(/*SkipFirst=*/true); }
+
+StopReason Machine::resumeImpl(bool SkipFirst) {
+  if (Reason == StopReason::Breakpoint)
+    Reason = StopReason::Running;
+  bool First = SkipFirst;
+  while (Reason == StopReason::Running) {
+    if (!First && Breaks.count(pack(PC))) {
+      Reason = StopReason::Breakpoint;
+      return Reason;
+    }
+    First = false;
+    step();
+  }
+  return Reason;
+}
+
+StopReason Machine::step() {
+  if (Reason != StopReason::Running && Reason != StopReason::Breakpoint)
+    return Reason;
+  Reason = StopReason::Running;
+
+  const MachineFunction &MF = MM.Funcs[PC.Func];
+  if (PC.Local >= MF.numInstrs()) {
+    trap("program counter out of range");
+    return Reason;
+  }
+  // Locate the instruction (blocks are laid out consecutively).
+  std::uint32_t B = 0;
+  while (B + 1 < MF.BlockAddr.size() && MF.BlockAddr[B + 1] <= PC.Local)
+    ++B;
+  const MInstr &I = MF.Blocks[B].Insts[PC.Local - MF.BlockAddr[B]];
+
+  if (!I.isMarker()) {
+    if (++Executed > MaxSteps) {
+      Reason = StopReason::StepLimit;
+      return Reason;
+    }
+  }
+  exec(I);
+  return Reason;
+}
+
+void Machine::exec(const MInstr &I) {
+  auto NextPC = [&] { ++PC.Local; };
+  std::int64_t *RD = I.Dest.isValid() && I.Dest.Cls == RegClass::Int
+                         ? &R[I.Dest.N]
+                         : nullptr;
+  double *FD = I.Dest.isValid() && I.Dest.Cls == RegClass::Fp
+                   ? &F[I.Dest.N]
+                   : nullptr;
+  auto RS0 = [&] { return R[I.Src0.N]; };
+  auto RS1 = [&] { return R[I.Src1.N]; };
+  auto FS0 = [&] { return F[I.Src0.N]; };
+  auto FS1 = [&] { return F[I.Src1.N]; };
+
+  switch (I.Op) {
+  case MOp::ADD:
+    *RD = RS0() + RS1();
+    break;
+  case MOp::SUB:
+    *RD = RS0() - RS1();
+    break;
+  case MOp::MUL:
+    *RD = RS0() * RS1();
+    break;
+  case MOp::DIV:
+    if (RS1() == 0) {
+      trap("integer division by zero");
+      return;
+    }
+    *RD = RS0() / RS1();
+    break;
+  case MOp::REM:
+    if (RS1() == 0) {
+      trap("integer remainder by zero");
+      return;
+    }
+    *RD = RS0() % RS1();
+    break;
+  case MOp::AND:
+    *RD = RS0() & RS1();
+    break;
+  case MOp::OR:
+    *RD = RS0() | RS1();
+    break;
+  case MOp::XOR:
+    *RD = RS0() ^ RS1();
+    break;
+  case MOp::SLL:
+    *RD = RS0() << (RS1() & 63);
+    break;
+  case MOp::SRA:
+    *RD = RS0() >> (RS1() & 63);
+    break;
+  case MOp::SEQ:
+    *RD = RS0() == RS1();
+    break;
+  case MOp::SNE:
+    *RD = RS0() != RS1();
+    break;
+  case MOp::SLT:
+    *RD = RS0() < RS1();
+    break;
+  case MOp::SLE:
+    *RD = RS0() <= RS1();
+    break;
+  case MOp::SGT:
+    *RD = RS0() > RS1();
+    break;
+  case MOp::SGE:
+    *RD = RS0() >= RS1();
+    break;
+  case MOp::NEG:
+    *RD = -RS0();
+    break;
+  case MOp::NOT:
+    *RD = ~RS0();
+    break;
+  case MOp::MOV:
+    *RD = RS0();
+    break;
+  case MOp::LI:
+    *RD = I.Imm;
+    break;
+  case MOp::FADD:
+    *FD = FS0() + FS1();
+    break;
+  case MOp::FSUB:
+    *FD = FS0() - FS1();
+    break;
+  case MOp::FMUL:
+    *FD = FS0() * FS1();
+    break;
+  case MOp::FDIV:
+    *FD = FS1() == 0 ? 0 : FS0() / FS1();
+    break;
+  case MOp::FNEG:
+    *FD = -FS0();
+    break;
+  case MOp::FMOV:
+    *FD = FS0();
+    break;
+  case MOp::LID:
+    *FD = I.FImm;
+    break;
+  case MOp::FEQ:
+    *RD = FS0() == FS1();
+    break;
+  case MOp::FNE:
+    *RD = FS0() != FS1();
+    break;
+  case MOp::FLT:
+    *RD = FS0() < FS1();
+    break;
+  case MOp::FLE:
+    *RD = FS0() <= FS1();
+    break;
+  case MOp::FGT:
+    *RD = FS0() > FS1();
+    break;
+  case MOp::FGE:
+    *RD = FS0() >= FS1();
+    break;
+  case MOp::CVTID:
+    *FD = static_cast<double>(RS0());
+    break;
+  case MOp::CVTDI:
+    *RD = static_cast<std::int64_t>(FS0());
+    break;
+  case MOp::LW:
+  case MOp::LD: {
+    std::size_t Addr = resolveMemOperand(I);
+    if (Reason == StopReason::Trapped)
+      return;
+    if (Addr >= Mem.size()) {
+      trap("load out of bounds");
+      return;
+    }
+    if (I.Op == MOp::LW)
+      *RD = Mem[Addr].I;
+    else
+      *FD = Mem[Addr].D;
+    break;
+  }
+  case MOp::SW:
+  case MOp::SD: {
+    std::size_t Addr = resolveMemOperand(I);
+    if (Reason == StopReason::Trapped)
+      return;
+    if (Addr >= Mem.size()) {
+      trap("store out of bounds");
+      return;
+    }
+    if (I.Op == MOp::SW)
+      Mem[Addr].I = R[I.Src0.N];
+    else
+      Mem[Addr].D = F[I.Src0.N];
+    break;
+  }
+  case MOp::LA: {
+    std::size_t Addr;
+    if (I.FrameSlot >= 0)
+      Addr = FP + static_cast<std::size_t>(I.FrameSlot);
+    else if (I.GlobalVar != InvalidVar)
+      Addr = MM.GlobalAddr.at(I.GlobalVar);
+    else {
+      trap("la without operand");
+      return;
+    }
+    *RD = static_cast<std::int64_t>(Addr);
+    break;
+  }
+  case MOp::J:
+    PC.Local = MM.Funcs[PC.Func].BlockAddr[I.TargetBlock];
+    return;
+  case MOp::BNEZ:
+    if (R[I.Src0.N] != 0) {
+      PC.Local = MM.Funcs[PC.Func].BlockAddr[I.TargetBlock];
+      return;
+    }
+    break;
+  case MOp::JAL: {
+    if (Frames.size() >= 4096) {
+      trap("call stack overflow");
+      return;
+    }
+    Frame Fr;
+    Fr.RetPC = {PC.Func, PC.Local + 1};
+    Fr.SavedFP = FP;
+    std::memcpy(Fr.SavedR, R, sizeof(R));
+    std::memcpy(Fr.SavedF, F, sizeof(F));
+    Frames.push_back(Fr);
+    const MachineFunction &Callee = MM.Funcs[I.Callee];
+    FP = SP;
+    SP += Callee.FrameSize;
+    if (SP >= Mem.size()) {
+      trap("stack overflow");
+      return;
+    }
+    PC = {I.Callee, 0};
+    return;
+  }
+  case MOp::RET: {
+    if (Frames.empty()) {
+      ExitValue = R[R3K::IntRetReg];
+      Reason = StopReason::Exited;
+      return;
+    }
+    Frame Fr = Frames.back();
+    Frames.pop_back();
+    std::int64_t RV = R[R3K::IntRetReg];
+    double FRV = F[R3K::FpRetReg];
+    std::memcpy(R, Fr.SavedR, sizeof(R));
+    std::memcpy(F, Fr.SavedF, sizeof(F));
+    R[R3K::IntRetReg] = RV;
+    F[R3K::FpRetReg] = FRV;
+    SP = FP;
+    FP = Fr.SavedFP;
+    PC = Fr.RetPC;
+    return;
+  }
+  case MOp::PRINTI:
+    Output.push_back(std::to_string(R[I.Src0.N]));
+    break;
+  case MOp::PRINTD: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", F[I.Src0.N]);
+    Output.emplace_back(Buf);
+    break;
+  }
+  case MOp::MDEAD:
+  case MOp::MAVAIL:
+  case MOp::MNOP:
+    break;
+  }
+  NextPC();
+}

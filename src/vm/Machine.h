@@ -1,0 +1,149 @@
+//===- vm/Machine.h - R3K simulator ------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled MachineModules: the runtime substrate the debugger
+/// inspects.  Supports breakpoints at instruction addresses, register and
+/// memory inspection, and dynamic instruction counting (markers execute
+/// as zero-size no-ops and are not counted).
+///
+/// Simplifications vs. real MIPS hardware (documented in DESIGN.md): word
+/// addressed memory; the call sequence saves/restores the register file in
+/// the VM (callee-saves-everything), so calls clobber only the return
+/// value registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_VM_MACHINE_H
+#define SLDB_VM_MACHINE_H
+
+#include "codegen/MachineIR.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace sldb {
+
+/// A global code address.
+struct CodeAddr {
+  std::uint32_t Func = ~0u;  ///< Index into MachineModule::Funcs.
+  std::uint32_t Local = 0;   ///< Function-local instruction index.
+
+  bool operator==(const CodeAddr &RHS) const {
+    return Func == RHS.Func && Local == RHS.Local;
+  }
+};
+
+/// Why the machine stopped.
+enum class StopReason : std::uint8_t {
+  Running,
+  Breakpoint,
+  Exited,
+  Trapped,
+  StepLimit
+};
+
+/// The R3K simulator.
+class Machine {
+public:
+  explicit Machine(const MachineModule &MM, std::uint64_t MaxSteps =
+                                                50'000'000);
+
+  /// Resets and starts main(); runs until a stop condition.
+  StopReason run();
+
+  /// Resumes after a breakpoint stop.
+  StopReason resume();
+
+  /// Executes one instruction (markers are skipped transparently).
+  StopReason step();
+
+  /// Adds/removes a breakpoint.
+  void setBreakpoint(CodeAddr A) { Breaks.insert(pack(A)); }
+  void clearBreakpoint(CodeAddr A) { Breaks.erase(pack(A)); }
+  void clearAllBreakpoints() { Breaks.clear(); }
+
+  //===--- State inspection (the debugger's window) ----------------------===//
+
+  CodeAddr pc() const { return PC; }
+  StopReason state() const { return Reason; }
+  std::int64_t exitValue() const { return ExitValue; }
+  const std::string &trapMessage() const { return TrapMsg; }
+  std::uint64_t instrCount() const { return Executed; }
+  const std::vector<std::string> &output() const { return Output; }
+
+  std::string outputText() const {
+    std::string S;
+    for (const std::string &Line : Output) {
+      S += Line;
+      S += '\n';
+    }
+    return S;
+  }
+
+  std::int64_t readIntReg(unsigned N) const { return R[N]; }
+  double readFpReg(unsigned N) const { return F[N]; }
+
+  /// Reads a data word (global or stack).
+  std::int64_t readMemInt(std::size_t Addr) const;
+  double readMemDouble(std::size_t Addr) const;
+
+  /// Frame base of the current (innermost) activation.
+  std::size_t framePointer() const { return FP; }
+
+  /// Number of live activations.
+  std::size_t frameDepth() const { return Frames.size(); }
+
+  /// Function index of the current activation.
+  std::uint32_t currentFunc() const { return PC.Func; }
+
+private:
+  static std::uint64_t pack(CodeAddr A) {
+    return (static_cast<std::uint64_t>(A.Func) << 32) | A.Local;
+  }
+
+  StopReason resumeImpl(bool SkipFirst);
+  void trap(const std::string &Msg);
+  void exec(const MInstr &I);
+  std::size_t resolveMemOperand(const MInstr &I);
+
+  struct Word {
+    std::int64_t I = 0;
+    double D = 0.0;
+  };
+
+  struct Frame {
+    CodeAddr RetPC;
+    std::size_t SavedFP = 0;
+    std::int64_t SavedR[R3K::NumIntRegs];
+    double SavedF[R3K::NumFpRegs];
+  };
+
+  const MachineModule &MM;
+  std::uint64_t MaxSteps;
+
+  CodeAddr PC;
+  std::int64_t R[R3K::NumIntRegs] = {0};
+  double F[R3K::NumFpRegs] = {0};
+  std::vector<Word> Mem;
+  std::size_t FP = 0; ///< Current frame base (word address).
+  std::size_t SP = 0; ///< Stack top.
+  std::vector<Frame> Frames;
+
+  std::unordered_set<std::uint64_t> Breaks;
+  StopReason Reason = StopReason::Running;
+  std::int64_t ExitValue = 0;
+  std::string TrapMsg;
+  std::uint64_t Executed = 0;
+  std::vector<std::string> Output;
+  bool Started = false;
+};
+
+} // namespace sldb
+
+#endif // SLDB_VM_MACHINE_H

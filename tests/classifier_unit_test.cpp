@@ -1,0 +1,464 @@
+//===- tests/classifier_unit_test.cpp - Lemma-level tests ------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+// Tests the classifier against hand-constructed machine functions, giving
+// exact control over markers, hoist keys, and annotations — each test
+// encodes one of the paper's Definitions/Lemmas directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Classifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace sldb;
+
+namespace {
+
+/// Builder for small machine functions + symbol tables.
+class MachineBuilder {
+public:
+  MachineBuilder() {
+    Info = std::make_unique<ProgramInfo>();
+    FuncInfo FI;
+    FI.Name = "f";
+    Info->Funcs.push_back(FI);
+    MF.Id = 0;
+    MF.Name = "f";
+  }
+
+  VarId addVar(const std::string &Name, bool InReg = true,
+               unsigned RegNum = 10) {
+    VarInfo VI;
+    VI.Name = Name;
+    VI.Ty = QualType::intTy();
+    VI.Storage = StorageKind::Local;
+    VI.Owner = 0;
+    VarId Id = Info->addVar(VI);
+    Info->func(0).Locals.push_back(Id);
+    VarStorage S;
+    if (InReg) {
+      S.K = VarStorage::Kind::InReg;
+      S.R = Reg::phys(RegClass::Int, RegNum);
+    } else {
+      S.K = VarStorage::Kind::Frame;
+      S.Frame = static_cast<std::int32_t>(Id);
+    }
+    MF.Storage[Id] = S;
+    return Id;
+  }
+
+  unsigned addBlock() {
+    MachineBlock B;
+    B.Id = static_cast<std::uint32_t>(MF.Blocks.size());
+    B.Name = "b" + std::to_string(B.Id);
+    MF.Blocks.push_back(B);
+    return B.Id;
+  }
+
+  void edge(unsigned From, unsigned To) {
+    MF.Blocks[From].Succs.push_back(To);
+    MF.Blocks[To].Preds.push_back(From);
+  }
+
+  /// Appends an instruction assigning variable \p V (a real source
+  /// assignment at statement \p S).
+  MInstr &assign(unsigned Block, VarId V, StmtId S) {
+    MInstr I;
+    I.Op = MOp::LI;
+    I.Dest = MF.Storage[V].K == VarStorage::Kind::InReg
+                 ? MF.Storage[V].R
+                 : Reg::phys(RegClass::Int, 4);
+    I.Imm = 1;
+    I.Stmt = S;
+    I.DestVar = V;
+    MF.Blocks[Block].Insts.push_back(I);
+    return MF.Blocks[Block].Insts.back();
+  }
+
+  MInstr &hoisted(unsigned Block, VarId V, StmtId S, HoistKeyId Key) {
+    MInstr &I = assign(Block, V, S);
+    I.IsHoisted = true;
+    I.HoistKey = Key;
+    return I;
+  }
+
+  MInstr &availMarker(unsigned Block, VarId V, StmtId S, HoistKeyId Key) {
+    MInstr I;
+    I.Op = MOp::MAVAIL;
+    I.MarkVar = V;
+    I.MarkStmt = S;
+    I.Stmt = S;
+    I.HoistKey = Key;
+    MF.Blocks[Block].Insts.push_back(I);
+    return MF.Blocks[Block].Insts.back();
+  }
+
+  MInstr &deadMarker(unsigned Block, VarId V, StmtId S,
+                     MRecovery R = MRecovery()) {
+    MInstr I;
+    I.Op = MOp::MDEAD;
+    I.MarkVar = V;
+    I.MarkStmt = S;
+    I.Stmt = S;
+    I.Recovery = R;
+    MF.Blocks[Block].Insts.push_back(I);
+    return MF.Blocks[Block].Insts.back();
+  }
+
+  void nop(unsigned Block, StmtId S = InvalidStmt) {
+    MInstr I;
+    I.Op = MOp::MNOP;
+    I.Stmt = S;
+    MF.Blocks[Block].Insts.push_back(I);
+  }
+
+  void term(unsigned Block, bool Ret = false) {
+    MInstr I;
+    if (Ret) {
+      I.Op = MOp::RET;
+    } else {
+      I.Op = MOp::J;
+      I.TargetBlock = MF.Blocks[Block].Succs.empty()
+                          ? 0
+                          : MF.Blocks[Block].Succs[0];
+    }
+    MF.Blocks[Block].Insts.push_back(I);
+  }
+
+  HoistKeyId key(VarId V) {
+    HoistKey K;
+    K.V = V;
+    K.Op = Opcode::Add;
+    K.Ty = IRType::Int;
+    MF.HoistKeys.push_back(K);
+    return static_cast<HoistKeyId>(MF.HoistKeys.size() - 1);
+  }
+
+  /// Finalizes addresses and returns a classifier.
+  Classifier finish(unsigned NumStmts = 16) {
+    MF.NumStmts = NumStmts;
+    MF.BlockAddr.clear();
+    std::uint32_t Addr = 0;
+    for (MachineBlock &B : MF.Blocks) {
+      MF.BlockAddr.push_back(Addr);
+      Addr += static_cast<std::uint32_t>(B.Insts.size());
+    }
+    MF.StmtAddr.assign(NumStmts, -1);
+    // Register-homed vars: resident everywhere unless a test overrides.
+    for (auto &[V, S] : MF.Storage)
+      if (S.K == VarStorage::Kind::InReg &&
+          !MF.ResidentAt.count(V)) {
+        BitVector Bits(Addr, true);
+        MF.ResidentAt[V] = Bits;
+      }
+    return Classifier(MF, *Info);
+  }
+
+  std::uint32_t addr(unsigned Block, unsigned Index) const {
+    std::uint32_t A = 0;
+    for (unsigned B = 0; B < Block; ++B)
+      A += static_cast<std::uint32_t>(MF.Blocks[B].Insts.size());
+    return A + Index;
+  }
+
+  std::unique_ptr<ProgramInfo> Info;
+  MachineFunction MF;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hoist reach: Definition 1, Lemmas 1-3
+//===----------------------------------------------------------------------===//
+
+TEST(HoistReach, Lemma2NoncurrentOnAllPaths) {
+  // b0: hoisted x; nop; avail-marker x; ret.
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  HoistKeyId K = B.key(X);
+  B.assign(B0, X, 0);       // Initialize x.
+  B.hoisted(B0, X, 3, K);   // Premature assignment.
+  B.nop(B0, 1);             // <-- breakpoint here.
+  B.availMarker(B0, X, 3, K);
+  B.nop(B0, 2);             // <-- and here (after the marker).
+  B.term(B0, /*Ret=*/true);
+  Classifier C = B.finish();
+
+  Classification Mid = C.classify(B.addr(B0, 2), X);
+  EXPECT_EQ(Mid.Kind, VarClass::Noncurrent);
+  EXPECT_EQ(Mid.Cause, EndangerCause::Premature);
+  EXPECT_EQ(Mid.CulpritStmt, 3u);
+
+  Classification After = C.classify(B.addr(B0, 4), X);
+  EXPECT_EQ(After.Kind, VarClass::Current);
+}
+
+TEST(HoistReach, Lemma3SuspectOnSomePaths) {
+  // Diamond: b0 -> b1 (hoisted) / b2 (plain) -> b3 (join, breakpoint).
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock(), B1 = B.addBlock(), B2 = B.addBlock(),
+           B3 = B.addBlock();
+  B.edge(B0, B1);
+  B.edge(B0, B2);
+  B.edge(B1, B3);
+  B.edge(B2, B3);
+  HoistKeyId K = B.key(X);
+  B.assign(B0, X, 0);
+  B.term(B0); // (jump shape is irrelevant; Succs drive the analysis)
+  B.hoisted(B1, X, 5, K);
+  B.term(B1);
+  B.nop(B2);
+  B.term(B2);
+  B.nop(B3, 6); // <-- breakpoint at join.
+  B.availMarker(B3, X, 5, K);
+  B.term(B3, /*Ret=*/true);
+  Classifier C = B.finish();
+
+  Classification AtJoin = C.classify(B.addr(B3, 0), X);
+  EXPECT_EQ(AtJoin.Kind, VarClass::Suspect);
+  EXPECT_EQ(AtJoin.Cause, EndangerCause::MaybePremature);
+
+  // After the avail marker: current on every path.
+  Classification After = C.classify(B.addr(B3, 2), X);
+  EXPECT_EQ(After.Kind, VarClass::Current);
+}
+
+TEST(HoistReach, RealAssignmentKillsHoistReach) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  HoistKeyId K = B.key(X);
+  B.assign(B0, X, 0);
+  B.hoisted(B0, X, 4, K);
+  B.assign(B0, X, 2); // A real assignment overwrites the premature value.
+  B.nop(B0, 3);       // <-- breakpoint.
+  B.term(B0, true);
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B0, 3), X);
+  EXPECT_EQ(CC.Kind, VarClass::Current);
+}
+
+//===----------------------------------------------------------------------===//
+// Dead reach: Definition 2, Lemmas 4-6
+//===----------------------------------------------------------------------===//
+
+TEST(DeadReach, Lemma5NoncurrentOnAllPaths) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.assign(B0, X, 0);
+  B.deadMarker(B0, X, 2);
+  B.nop(B0, 3); // <-- breakpoint: stale.
+  B.assign(B0, X, 4);
+  B.nop(B0, 5); // <-- breakpoint: fresh.
+  B.term(B0, true);
+  Classifier C = B.finish();
+
+  Classification Stale = C.classify(B.addr(B0, 2), X);
+  EXPECT_EQ(Stale.Kind, VarClass::Noncurrent);
+  EXPECT_EQ(Stale.Cause, EndangerCause::Stale);
+  EXPECT_EQ(Stale.CulpritStmt, 2u);
+
+  Classification Fresh = C.classify(B.addr(B0, 4), X);
+  EXPECT_EQ(Fresh.Kind, VarClass::Current);
+}
+
+TEST(DeadReach, Lemma6SuspectAtJoin) {
+  // b0 -> b1 (marker) / b2 (assign) -> b3.
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock(), B1 = B.addBlock(), B2 = B.addBlock(),
+           B3 = B.addBlock();
+  B.edge(B0, B1);
+  B.edge(B0, B2);
+  B.edge(B1, B3);
+  B.edge(B2, B3);
+  B.assign(B0, X, 0);
+  B.term(B0);
+  B.deadMarker(B1, X, 2);
+  B.term(B1);
+  B.assign(B2, X, 3);
+  B.term(B2);
+  B.nop(B3, 4); // <-- breakpoint.
+  B.term(B3, true);
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B3, 0), X);
+  EXPECT_EQ(CC.Kind, VarClass::Suspect);
+  EXPECT_EQ(CC.Cause, EndangerCause::MaybeStale);
+}
+
+TEST(DeadReach, NewerMarkerSupersedesOlder) {
+  // Two markers for x in sequence with different recovery constants: the
+  // expected value at the end comes from the *last* eliminated
+  // assignment (Definition 2, "the last occurrence of Ed").
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.assign(B0, X, 0);
+  MRecovery R1;
+  R1.K = MRecovery::Kind::Imm;
+  R1.Imm = 111;
+  B.deadMarker(B0, X, 1, R1);
+  MRecovery R2;
+  R2.K = MRecovery::Kind::Imm;
+  R2.Imm = 222;
+  B.deadMarker(B0, X, 2, R2);
+  B.nop(B0, 3); // <-- breakpoint.
+  B.term(B0, true);
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B0, 3), X);
+  ASSERT_EQ(CC.Kind, VarClass::Current); // Recovered.
+  ASSERT_TRUE(CC.Recoverable);
+  EXPECT_EQ(CC.Recovery.Imm, 222);
+  EXPECT_EQ(CC.CulpritStmt, 2u);
+}
+
+TEST(DeadReach, HoistPrematureTakesPrecedenceOverStale) {
+  // Lemma 4: "V is noncurrent because the actual value is stale" only
+  // applies if V is not already noncurrent due to premature execution.
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  HoistKeyId K = B.key(X);
+  B.assign(B0, X, 0);
+  B.deadMarker(B0, X, 1);  // Dead reach gen.
+  B.hoisted(B0, X, 4, K);  // Kills dead reach, gens hoist reach.
+  B.nop(B0, 2);            // <-- breakpoint.
+  B.availMarker(B0, X, 4, K);
+  B.term(B0, true);
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B0, 3), X);
+  EXPECT_EQ(CC.Kind, VarClass::Noncurrent);
+  EXPECT_EQ(CC.Cause, EndangerCause::Premature);
+}
+
+//===----------------------------------------------------------------------===//
+// Initialization and residence
+//===----------------------------------------------------------------------===//
+
+TEST(InitReach, UninitializedBeforeAnyDef) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.nop(B0, 0); // <-- breakpoint before any def of x.
+  B.assign(B0, X, 1);
+  B.nop(B0, 2);
+  B.term(B0, true);
+  Classifier C = B.finish();
+  EXPECT_EQ(C.classify(B.addr(B0, 0), X).Kind, VarClass::Uninitialized);
+  EXPECT_EQ(C.classify(B.addr(B0, 2), X).Kind, VarClass::Current);
+}
+
+TEST(InitReach, MarkerCountsAsSourceDefinition) {
+  // An eliminated assignment still *initializes* the variable in source
+  // terms: the classification after the marker is noncurrent, never
+  // uninitialized.
+  MachineBuilder B;
+  VarId X = B.addVar("x", /*InReg=*/false);
+  unsigned B0 = B.addBlock();
+  B.deadMarker(B0, X, 0);
+  B.nop(B0, 1); // <-- breakpoint.
+  B.term(B0, true);
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B0, 1), X);
+  EXPECT_EQ(CC.Kind, VarClass::Noncurrent);
+}
+
+TEST(Residence, NonresidentOutsideOwnershipBits) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.assign(B0, X, 0);
+  B.nop(B0, 1);
+  B.nop(B0, 2);
+  B.term(B0, true);
+  // Craft residence: only addresses 0..1 resident.
+  BitVector Bits(4);
+  Bits.set(0);
+  Bits.set(1);
+  B.MF.ResidentAt[X] = Bits;
+  Classifier C = B.finish();
+  EXPECT_EQ(C.classify(1, X).Kind, VarClass::Current);
+  EXPECT_EQ(C.classify(2, X).Kind, VarClass::Nonresident);
+}
+
+TEST(Recovery, InvalidWhenValidityBitClear) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.assign(B0, X, 0);
+  MRecovery R;
+  R.K = MRecovery::Kind::InReg;
+  R.R = Reg::phys(RegClass::Int, 9);
+  B.deadMarker(B0, X, 1, R);
+  B.nop(B0, 2);
+  B.term(B0, true);
+  // Recovery register valid only at the marker itself.
+  BitVector Valid(4);
+  Valid.set(1);
+  B.MF.RecoveryValidAt[1] = Valid;
+  Classifier C = B.finish();
+  Classification CC = C.classify(B.addr(B0, 2), X);
+  EXPECT_EQ(CC.Kind, VarClass::Noncurrent); // Not recoverable here.
+  EXPECT_FALSE(CC.Recoverable);
+}
+
+TEST(Classifier, RecoveryDisabledByAblationSwitch) {
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned B0 = B.addBlock();
+  B.assign(B0, X, 0);
+  MRecovery R;
+  R.K = MRecovery::Kind::Imm;
+  R.Imm = 5;
+  B.deadMarker(B0, X, 1, R);
+  B.nop(B0, 2);
+  B.term(B0, true);
+  B.MF.NumStmts = 16;
+  B.MF.BlockAddr = {0};
+  B.MF.StmtAddr.assign(16, -1);
+  BitVector Bits(4, true);
+  B.MF.ResidentAt[X] = Bits;
+  Classifier WithRecovery(B.MF, *B.Info, /*EnableRecovery=*/true);
+  Classifier NoRecovery(B.MF, *B.Info, /*EnableRecovery=*/false);
+  EXPECT_EQ(WithRecovery.classify(2, X).Kind, VarClass::Current);
+  EXPECT_EQ(NoRecovery.classify(2, X).Kind, VarClass::Noncurrent);
+}
+
+//===----------------------------------------------------------------------===//
+// Loops
+//===----------------------------------------------------------------------===//
+
+TEST(HoistReach, LoopSuspectOnFirstIterationRegion) {
+  // preheader (hoisted) -> header -> body (marker) -> header | exit.
+  // At the header, the hoisted instance reaches via the preheader (first
+  // iteration) but is killed via the back edge: suspect.
+  MachineBuilder B;
+  VarId X = B.addVar("x");
+  unsigned PH = B.addBlock(), H = B.addBlock(), Body = B.addBlock(),
+           Exit = B.addBlock();
+  B.edge(PH, H);
+  B.edge(H, Body);
+  B.edge(H, Exit);
+  B.edge(Body, H);
+  HoistKeyId K = B.key(X);
+  B.assign(PH, X, 0);
+  B.hoisted(PH, X, 4, K);
+  B.term(PH);
+  B.nop(H, 2); // <-- breakpoint at loop header.
+  B.term(H);
+  B.availMarker(Body, X, 4, K);
+  B.term(Body);
+  B.nop(Exit, 5); // <-- breakpoint after the loop.
+  B.term(Exit, true);
+  Classifier C = B.finish();
+
+  EXPECT_EQ(C.classify(B.addr(H, 0), X).Kind, VarClass::Suspect);
+  // After the loop: the marker killed the reach on the looping path, but
+  // the zero-iteration path (header -> exit) still carries it: suspect.
+  EXPECT_EQ(C.classify(B.addr(Exit, 0), X).Kind, VarClass::Suspect);
+}

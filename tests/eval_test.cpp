@@ -1,0 +1,81 @@
+//===- tests/eval_test.cpp - Benchmark programs + harness ------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Measure.h"
+#include "ir/IRGen.h"
+#include "ir/Interp.h"
+#include "opt/Pass.h"
+
+#include <gtest/gtest.h>
+
+using namespace sldb;
+
+namespace {
+
+class BenchProgramTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+} // namespace
+
+TEST(BenchPrograms, EightProgramsInTableOrder) {
+  const auto &Ps = benchmarkPrograms();
+  ASSERT_EQ(Ps.size(), 8u);
+  const char *Expected[] = {"li",     "eqntott",  "espresso", "gcc",
+                            "alvinn", "compress", "ear",      "sc"};
+  for (std::size_t I = 0; I < 8; ++I)
+    EXPECT_STREQ(Ps[I].Name, Expected[I]);
+}
+
+TEST_P(BenchProgramTest, CompilesAndRuns) {
+  const BenchProgram &P = benchmarkPrograms()[GetParam()];
+  DiagnosticEngine Diags;
+  auto M = compileToIR(P.Source, Diags);
+  ASSERT_TRUE(M != nullptr) << P.Name << ": " << Diags.str();
+  ExecResult R = interpretIR(*M);
+  EXPECT_FALSE(R.Trapped) << P.Name << ": " << R.TrapMsg;
+  EXPECT_FALSE(R.Output.empty()) << P.Name;
+}
+
+TEST_P(BenchProgramTest, OptimizationPreservesBehavior) {
+  const BenchProgram &P = benchmarkPrograms()[GetParam()];
+  CodeQuality Q = measureCodeQuality(P);
+  EXPECT_TRUE(Q.OutputsMatch) << P.Name;
+  EXPECT_LT(Q.InstrOptimized, Q.InstrUnoptimized)
+      << P.Name << ": optimization must reduce dynamic instructions";
+}
+
+TEST_P(BenchProgramTest, SourceStatsSane) {
+  const BenchProgram &P = benchmarkPrograms()[GetParam()];
+  SourceStats S = sourceStats(P);
+  EXPECT_GT(S.LinesOfCode, 40u) << P.Name;
+  EXPECT_GE(S.Functions, 1u);
+  EXPECT_GT(S.Breakpoints, 20u);
+  EXPECT_GT(S.VarsPerBreakpoint, 0.5) << P.Name;
+}
+
+TEST_P(BenchProgramTest, ClassificationAveragesSane) {
+  const BenchProgram &P = benchmarkPrograms()[GetParam()];
+  // Figure 5(a) configuration: global optimizations, no register
+  // allocation of user variables.
+  ClassAverages A =
+      measureClassification(P, OptOptions::all(), /*Promote=*/false);
+  EXPECT_GT(A.Breakpoints, 0u);
+  // Without promotion every initialized variable is memory-resident.
+  EXPECT_EQ(A.Nonresident, 0.0) << P.Name;
+  EXPECT_GT(A.Current, 0.0) << P.Name;
+
+  // Figure 5(b): with register allocation.
+  ClassAverages B =
+      measureClassification(P, OptOptions::all(), /*Promote=*/true);
+  EXPECT_GT(B.Current + B.Nonresident + B.Uninitialized + B.endangered(),
+            0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, BenchProgramTest, ::testing::Range<std::size_t>(0, 8),
+    [](const ::testing::TestParamInfo<std::size_t> &Info) {
+      return std::string(benchmarkPrograms()[Info.param].Name);
+    });

@@ -1,0 +1,391 @@
+//===- tests/ir_test.cpp - IR generation + interpreter tests ---*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRGen.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interp.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace sldb;
+
+namespace {
+
+std::unique_ptr<IRModule> compile(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (M) {
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*M, Errors))
+        << "verifier failed:\n"
+        << [&] {
+             std::string S;
+             for (auto &E : Errors)
+               S += E + "\n";
+             return S + printModule(*M);
+           }();
+  }
+  return M;
+}
+
+std::string runProgram(std::string_view Src) {
+  auto M = compile(Src);
+  if (!M)
+    return "<compile error>";
+  ExecResult R = interpretIR(*M);
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg << "\n" << printModule(*M);
+  return R.outputText();
+}
+
+std::int64_t runExit(std::string_view Src) {
+  auto M = compile(Src);
+  if (!M)
+    return -999;
+  ExecResult R = interpretIR(*M);
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  return R.ExitValue;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Basic execution semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, ReturnsConstant) {
+  EXPECT_EQ(runExit("int main() { return 42; }"), 42);
+}
+
+TEST(Interp, Arithmetic) {
+  EXPECT_EQ(runExit("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+  EXPECT_EQ(runExit("int main() { return 17 % 5; }"), 2);
+  EXPECT_EQ(runExit("int main() { return (1 << 4) | 3; }"), 19);
+  EXPECT_EQ(runExit("int main() { return ~0 & 255; }"), 255);
+  EXPECT_EQ(runExit("int main() { return -(5 - 9); }"), 4);
+}
+
+TEST(Interp, Comparisons) {
+  EXPECT_EQ(runExit("int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + "
+                    "(2 >= 3) + (1 == 1) + (1 != 1); }"),
+            4);
+}
+
+TEST(Interp, ShortCircuit) {
+  // Division by zero on the right of && must not execute.
+  EXPECT_EQ(runExit("int main() { int x = 0; return x != 0 && 10 / x > 0; }"),
+            0);
+  EXPECT_EQ(runExit("int main() { int x = 3; return x == 3 || 10 / 0; }"), 1);
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int x = 10;
+      if (x > 5) { x = 1; } else { x = 2; }
+      return x;
+    }
+  )"),
+            1);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int i = 0; int s = 0;
+      while (i < 10) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )"),
+            45);
+}
+
+TEST(Interp, ForLoopWithBreakContinue) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        s = s + i;
+      }
+      return s;
+    }
+  )"),
+            1 + 3 + 5 + 7 + 9);
+}
+
+TEST(Interp, DoWhile) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int i = 0;
+      do { i = i + 1; } while (i < 5);
+      return i;
+    }
+  )"),
+            5);
+}
+
+TEST(Interp, FunctionCallsAndRecursion) {
+  EXPECT_EQ(runExit(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+  )"),
+            55);
+}
+
+TEST(Interp, GlobalsAndArrays) {
+  EXPECT_EQ(runExit(R"(
+    int g = 7;
+    int table[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) table[i] = i * i;
+      return table[5] + g;
+    }
+  )"),
+            32);
+}
+
+TEST(Interp, PointersAndAddressOf) {
+  EXPECT_EQ(runExit(R"(
+    void bump(int* p) { *p = *p + 1; }
+    int main() {
+      int x = 41;
+      bump(&x);
+      return x;
+    }
+  )"),
+            42);
+}
+
+TEST(Interp, PointerArithmetic) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int a[5];
+      int* p = a;
+      *(p + 2) = 9;
+      return a[2];
+    }
+  )"),
+            9);
+}
+
+TEST(Interp, Doubles) {
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      double x = 1.5;
+      double y = x * 4.0;
+      printd(y);
+      print(y > 5.0);
+      return 0;
+    }
+  )"),
+            "6\n1\n");
+}
+
+TEST(Interp, IncDecOperators) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int i = 5;
+      int a = i++;
+      int b = ++i;
+      int c = i--;
+      int d = --i;
+      return a * 1000 + b * 100 + c * 10 + d;
+    }
+  )"),
+            5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+TEST(Interp, CompoundAssignment) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int x = 10;
+      x += 5; x -= 3; x *= 2; x /= 4; x %= 5;
+      return x;
+    }
+  )"),
+            1);
+}
+
+TEST(Interp, Ternary) {
+  EXPECT_EQ(runExit("int main() { int x = 3; return x > 2 ? 10 : 20; }"), 10);
+}
+
+TEST(Interp, PrintOutput) {
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      for (int i = 0; i < 3; i = i + 1) print(i * 10);
+      return 0;
+    }
+  )"),
+            "0\n10\n20\n");
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  auto M = compile("int main() { int z = 0; return 5 / z; }");
+  ExecResult R = interpretIR(*M);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMsg.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit) {
+  auto M = compile("int main() { while (1) {} return 0; }");
+  ExecResult R = interpretIR(*M, 10000);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(Interp, NestedScopesShadowing) {
+  EXPECT_EQ(runExit(R"(
+    int main() {
+      int x = 1;
+      { int x2 = 10; x = x + x2; }
+      return x;
+    }
+  )"),
+            11);
+}
+
+TEST(Interp, GlobalDoubleInit) {
+  EXPECT_EQ(runProgram(R"(
+    double scale = 2.5;
+    int main() { printd(scale * 2.0); return 0; }
+  )"),
+            "5\n");
+}
+
+//===----------------------------------------------------------------------===//
+// IR structure
+//===----------------------------------------------------------------------===//
+
+TEST(IRGen, SourceAssignAnnotations) {
+  auto M = compile(R"(
+    int main() {
+      int x = 1;
+      int y = x + 2;
+      return y;
+    }
+  )");
+  const IRFunction *F = M->findFunc("main");
+  ASSERT_NE(F, nullptr);
+  unsigned SourceAssigns = 0;
+  for (const auto &B : F->Blocks)
+    for (const Instr &I : B->Insts)
+      if (I.IsSourceAssign) {
+        ++SourceAssigns;
+        EXPECT_TRUE(I.Dest.isVar());
+        EXPECT_NE(I.Stmt, InvalidStmt);
+      }
+  EXPECT_EQ(SourceAssigns, 2u);
+}
+
+TEST(IRGen, AssignmentsAreSingleInstructions) {
+  // `x = y + z` must stay one IR instruction with Dest = x: the unit the
+  // paper's hoisting/elimination bookkeeping tracks.
+  auto M = compile(R"(
+    int main() {
+      int y = 1; int z = 2;
+      int x = y + z;
+      return x;
+    }
+  )");
+  const IRFunction *F = M->findFunc("main");
+  bool Found = false;
+  for (const auto &B : F->Blocks)
+    for (const Instr &I : B->Insts)
+      if (I.Op == Opcode::Add && I.Dest.isVar() && I.IsSourceAssign)
+        Found = true;
+  EXPECT_TRUE(Found) << printFunction(*F, M->Info.get());
+}
+
+TEST(IRGen, CFGHasPredsComputed) {
+  auto M = compile(R"(
+    int main() {
+      int x = 0;
+      if (x) { x = 1; } else { x = 2; }
+      return x;
+    }
+  )");
+  const IRFunction *F = M->findFunc("main");
+  // The join block must have two predecessors.
+  bool FoundJoin = false;
+  for (const auto &B : F->Blocks)
+    if (B->Preds.size() == 2)
+      FoundJoin = true;
+  EXPECT_TRUE(FoundJoin);
+}
+
+TEST(IRGen, RPOStartsAtEntry) {
+  auto M = compile(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 3; i = i + 1) s = s + 1;
+      return s;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  auto Order = F->rpo();
+  ASSERT_FALSE(Order.empty());
+  EXPECT_EQ(Order.front(), F->entry());
+  EXPECT_EQ(Order.size(), F->Blocks.size());
+}
+
+TEST(IRGen, PrinterSmoke) {
+  auto M = compile(R"(
+    int main() {
+      int x = 3;
+      print(x);
+      return 0;
+    }
+  )");
+  std::string S = printModule(*M);
+  EXPECT_NE(S.find("func main"), std::string::npos);
+  EXPECT_NE(S.find("call print"), std::string::npos);
+  EXPECT_NE(S.find("src-assign"), std::string::npos);
+}
+
+TEST(IRGen, SplitEdgeMaintainsSemantics) {
+  auto M = compile(R"(
+    int main() {
+      int x = 0;
+      if (x == 0) { x = 5; }
+      return x;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  // Split every critical-ish edge and re-run.
+  F->recomputePreds();
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Edges;
+  for (auto &B : F->Blocks)
+    for (BasicBlock *S : B->succs())
+      Edges.emplace_back(B.get(), S);
+  for (auto &[From, To] : Edges)
+    F->splitEdge(From, To);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors));
+  ExecResult R = interpretIR(*M);
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ExitValue, 5);
+}
+
+TEST(IRGen, RemoveUnreachableDropsDeadBlocks) {
+  auto M = compile(R"(
+    int main() {
+      return 1;
+      return 2;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  std::size_t Before = F->Blocks.size();
+  F->removeUnreachable();
+  EXPECT_LE(F->Blocks.size(), Before);
+  ExecResult R = interpretIR(*M);
+  EXPECT_EQ(R.ExitValue, 1);
+}

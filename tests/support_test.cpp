@@ -1,0 +1,160 @@
+//===- tests/support_test.cpp - Support library tests ----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace sldb;
+
+TEST(BitVector, BasicSetReset) {
+  BitVector BV(100);
+  EXPECT_EQ(BV.size(), 100u);
+  EXPECT_TRUE(BV.none());
+  BV.set(0);
+  BV.set(63);
+  BV.set(64);
+  BV.set(99);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(63));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(99));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_EQ(BV.count(), 4u);
+  BV.reset(63);
+  EXPECT_FALSE(BV.test(63));
+  EXPECT_EQ(BV.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector BV(70);
+  BV.set();
+  EXPECT_EQ(BV.count(), 70u);
+  BV.reset();
+  EXPECT_TRUE(BV.none());
+}
+
+TEST(BitVector, ResizeWithValue) {
+  BitVector BV(10);
+  BV.set(3);
+  BV.resize(130, true);
+  EXPECT_TRUE(BV.test(3));
+  EXPECT_FALSE(BV.test(4));
+  for (unsigned I = 10; I < 130; ++I)
+    EXPECT_TRUE(BV.test(I)) << I;
+  EXPECT_EQ(BV.count(), 121u);
+}
+
+TEST(BitVector, FindFirstNext) {
+  BitVector BV(200);
+  EXPECT_EQ(BV.findFirst(), -1);
+  BV.set(5);
+  BV.set(64);
+  BV.set(199);
+  EXPECT_EQ(BV.findFirst(), 5);
+  EXPECT_EQ(BV.findNext(5), 64);
+  EXPECT_EQ(BV.findNext(64), 199);
+  EXPECT_EQ(BV.findNext(199), -1);
+}
+
+TEST(BitVector, Iteration) {
+  BitVector BV(150);
+  std::set<unsigned> Expected = {0, 1, 63, 64, 65, 127, 128, 149};
+  for (unsigned I : Expected)
+    BV.set(I);
+  std::set<unsigned> Got;
+  for (unsigned I : BV)
+    Got.insert(I);
+  EXPECT_EQ(Got, Expected);
+}
+
+TEST(BitVector, SetAlgebra) {
+  BitVector A(80), B(80);
+  A.set(1);
+  A.set(40);
+  B.set(40);
+  B.set(70);
+
+  BitVector U = A;
+  U |= B;
+  EXPECT_TRUE(U.test(1));
+  EXPECT_TRUE(U.test(40));
+  EXPECT_TRUE(U.test(70));
+  EXPECT_EQ(U.count(), 3u);
+
+  BitVector I = A;
+  I &= B;
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(40));
+
+  BitVector D = A;
+  D.subtract(B);
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(1));
+
+  EXPECT_TRUE(A.anyCommon(B));
+  EXPECT_TRUE(I.isSubsetOf(A));
+  EXPECT_TRUE(I.isSubsetOf(B));
+  EXPECT_FALSE(A.isSubsetOf(B));
+}
+
+TEST(BitVector, EqualityAndCopy) {
+  BitVector A(33), B(33);
+  EXPECT_EQ(A, B);
+  A.set(32);
+  EXPECT_NE(A, B);
+  B = A;
+  EXPECT_EQ(A, B);
+}
+
+TEST(BitVector, RandomizedAgainstStdSet) {
+  std::mt19937 Rng(42);
+  BitVector BV(512);
+  std::set<unsigned> Ref;
+  for (int Step = 0; Step < 2000; ++Step) {
+    unsigned Idx = Rng() % 512;
+    if (Rng() % 2) {
+      BV.set(Idx);
+      Ref.insert(Idx);
+    } else {
+      BV.reset(Idx);
+      Ref.erase(Idx);
+    }
+  }
+  EXPECT_EQ(BV.count(), Ref.size());
+  for (unsigned I = 0; I < 512; ++I)
+    EXPECT_EQ(BV.test(I), Ref.count(I) != 0) << I;
+}
+
+TEST(StringInterner, InternDedupes) {
+  StringInterner SI;
+  Symbol A = SI.intern("alpha");
+  Symbol B = SI.intern("beta");
+  Symbol A2 = SI.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.str(A), "alpha");
+  EXPECT_EQ(SI.str(B), "beta");
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(Diagnostics, CollectsAndFormats) {
+  DiagnosticEngine DE;
+  EXPECT_FALSE(DE.hasErrors());
+  DE.warning(SourceLoc(1, 2), "watch out");
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error(SourceLoc(3, 4), "boom");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 1u);
+  std::string S = DE.str();
+  EXPECT_NE(S.find("1:2: warning: watch out"), std::string::npos);
+  EXPECT_NE(S.find("3:4: error: boom"), std::string::npos);
+}

@@ -1,0 +1,349 @@
+//===- tools/sldbc.cpp - Compiler driver + debugger REPL --------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+// The command-line face of the library: compile MiniC with the cmcc-style
+// optimizer, inspect the IR/machine code, run under the R3K simulator, or
+// debug interactively with full endangered-variable classification.
+//
+//   sldbc prog.mc                     compile -O2 and run
+//   sldbc --emit=ir prog.mc           dump IR as generated
+//   sldbc --emit=ir-opt prog.mc       dump IR after optimization
+//   sldbc --emit=asm prog.mc          dump annotated R3K machine code
+//   sldbc --emit=stmts prog.mc        dump the statement (breakpoint) map
+//   sldbc -O0 prog.mc                 disable the optimizer
+//   sldbc --no-promote prog.mc        keep variables in memory (Fig 5a)
+//   sldbc --debug prog.mc             interactive debugger (REPL)
+//   sldbc --debug --cmd "b main 3" --cmd run --cmd scope prog.mc
+//
+// REPL commands:
+//   b|break <func> <stmt>     set a breakpoint at a statement
+//   run                       start the program
+//   c|continue                resume after a breakpoint
+//   p|print <var>             classify + display one variable
+//   scope                     classify + display all locals in scope
+//   where                     current function / statement / address
+//   stmts                     statement map of the current function
+//   storage                   variable storage of the current function
+//   out                       program output so far
+//   q|quit                    exit
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ISel.h"
+#include "codegen/MachineIR.h"
+#include "core/Debugger.h"
+#include "ir/IRGen.h"
+#include "ir/IRPrinter.h"
+#include "opt/Pass.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string Emit = "run"; // run | ir | ir-opt | asm | stmts | debug.
+  bool Optimize = true;
+  bool Promote = true;
+  bool Schedule = true;
+  std::vector<std::string> ScriptedCommands;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
+               "             [--no-promote] [--no-schedule] [--debug]\n"
+               "             [--cmd <repl-command>]... <file.mc>\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--emit=", 0) == 0) {
+      Opts.Emit = A.substr(7);
+    } else if (A == "-O0") {
+      Opts.Optimize = false;
+    } else if (A == "-O2") {
+      Opts.Optimize = true;
+    } else if (A == "--no-promote") {
+      Opts.Promote = false;
+    } else if (A == "--no-schedule") {
+      Opts.Schedule = false;
+    } else if (A == "--debug") {
+      Opts.Emit = "debug";
+    } else if (A == "--cmd") {
+      if (++I >= Argc) {
+        usage();
+        return false;
+      }
+      Opts.ScriptedCommands.push_back(Argv[I]);
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return false;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      usage();
+      return false;
+    } else {
+      Opts.InputFile = A;
+    }
+  }
+  if (Opts.InputFile.empty()) {
+    usage();
+    return false;
+  }
+  return true;
+}
+
+void printVarReport(const VarReport &R) {
+  std::printf("  %-10s %-11s", R.Name.c_str(), varClassName(R.Class.Kind));
+  if (R.HasValue) {
+    if (R.IsDouble)
+      std::printf(" = %g", R.DoubleValue);
+    else
+      std::printf(" = %lld", static_cast<long long>(R.IntValue));
+    if (R.Class.Recoverable)
+      std::printf("  [recovered]");
+  }
+  std::printf("\n");
+  if (!R.Warning.empty())
+    std::printf("             %s\n", R.Warning.c_str());
+}
+
+void printStmtMap(const MachineModule &MM, const MachineFunction &MF) {
+  std::printf("statements of %s():\n", MF.Name.c_str());
+  for (StmtId S = 0; S < MF.StmtAddr.size(); ++S) {
+    const StmtInfo &SI = MM.Info->func(MF.Id).Stmts[S];
+    if (MF.StmtAddr[S] >= 0)
+      std::printf("  s%-3u line %-4u -> address %d\n", S, SI.Loc.Line,
+                  MF.StmtAddr[S]);
+    else
+      std::printf("  s%-3u line %-4u -> (optimized away)\n", S,
+                  SI.Loc.Line);
+  }
+}
+
+void printStorage(const MachineModule &MM, const MachineFunction &MF) {
+  std::printf("storage of %s():\n", MF.Name.c_str());
+  for (VarId V : MM.Info->func(MF.Id).Locals) {
+    auto It = MF.Storage.find(V);
+    std::printf("  %-10s ", MM.Info->var(V).Name.c_str());
+    if (It == MF.Storage.end() || It->second.K == VarStorage::Kind::None) {
+      std::printf("no runtime storage\n");
+      continue;
+    }
+    switch (It->second.K) {
+    case VarStorage::Kind::InReg:
+      std::printf("register %s\n", It->second.R.str().c_str());
+      break;
+    case VarStorage::Kind::Frame:
+      std::printf("frame slot %d\n", It->second.Frame);
+      break;
+    default:
+      std::printf("global memory\n");
+    }
+  }
+}
+
+int replLoop(Debugger &Dbg, const Options &Opts) {
+  const MachineModule &MM = Dbg.module();
+  std::printf("sldbc debugger — 'help' is the comment block at the top of "
+              "tools/sldbc.cpp; 'q' quits\n");
+  std::size_t ScriptPos = 0;
+  bool Running = false;
+  char Line[512];
+  for (;;) {
+    std::string Cmd;
+    if (ScriptPos < Opts.ScriptedCommands.size()) {
+      Cmd = Opts.ScriptedCommands[ScriptPos++];
+      std::printf("(sldbc) %s\n", Cmd.c_str());
+    } else {
+      std::printf("(sldbc) ");
+      std::fflush(stdout);
+      if (!std::fgets(Line, sizeof(Line), stdin))
+        return 0;
+      Cmd = Line;
+      while (!Cmd.empty() && (Cmd.back() == '\n' || Cmd.back() == '\r'))
+        Cmd.pop_back();
+    }
+    std::istringstream In(Cmd);
+    std::string Verb;
+    In >> Verb;
+    if (Verb.empty())
+      continue;
+
+    auto ReportStop = [&](StopReason R) {
+      switch (R) {
+      case StopReason::Breakpoint: {
+        auto S = Dbg.currentStmt();
+        std::printf("stopped in %s() at statement %d (address %u)\n",
+                    MM.Funcs[Dbg.currentFunction()].Name.c_str(),
+                    S ? static_cast<int>(*S) : -1,
+                    Dbg.machine().pc().Local);
+        break;
+      }
+      case StopReason::Exited:
+        std::printf("program exited with value %lld\n",
+                    static_cast<long long>(Dbg.machine().exitValue()));
+        Running = false;
+        break;
+      case StopReason::Trapped:
+        std::printf("program trapped: %s\n",
+                    Dbg.machine().trapMessage().c_str());
+        Running = false;
+        break;
+      default:
+        std::printf("stopped (%d)\n", static_cast<int>(R));
+      }
+    };
+
+    if (Verb == "q" || Verb == "quit")
+      return 0;
+    if (Verb == "b" || Verb == "break") {
+      std::string Func;
+      unsigned Stmt = 0;
+      In >> Func >> Stmt;
+      FuncId F = MM.Info->findFunc(Func);
+      if (F == InvalidFunc) {
+        std::printf("no function '%s'\n", Func.c_str());
+        continue;
+      }
+      if (Dbg.setBreakpointAtStmt(F, Stmt))
+        std::printf("breakpoint at %s() statement %u\n", Func.c_str(),
+                    Stmt);
+      else
+        std::printf("statement %u of %s() emitted no code\n", Stmt,
+                    Func.c_str());
+      continue;
+    }
+    if (Verb == "run") {
+      Running = true;
+      ReportStop(Dbg.run());
+      continue;
+    }
+    if (Verb == "c" || Verb == "continue") {
+      if (!Running) {
+        std::printf("not running; use 'run'\n");
+        continue;
+      }
+      ReportStop(Dbg.resume());
+      continue;
+    }
+    if (Verb == "p" || Verb == "print") {
+      std::string Var;
+      In >> Var;
+      auto R = Dbg.queryVariable(Var);
+      if (!R)
+        std::printf("no variable '%s' in scope\n", Var.c_str());
+      else
+        printVarReport(*R);
+      continue;
+    }
+    if (Verb == "scope") {
+      for (const VarReport &R : Dbg.reportScope())
+        printVarReport(R);
+      continue;
+    }
+    if (Verb == "where") {
+      auto S = Dbg.currentStmt();
+      std::printf("%s() statement %d, address %u, frame depth %zu\n",
+                  MM.Funcs[Dbg.currentFunction()].Name.c_str(),
+                  S ? static_cast<int>(*S) : -1,
+                  Dbg.machine().pc().Local,
+                  Dbg.machine().frameDepth() + 1);
+      continue;
+    }
+    if (Verb == "stmts") {
+      printStmtMap(MM, MM.Funcs[Dbg.currentFunction()]);
+      continue;
+    }
+    if (Verb == "storage") {
+      printStorage(MM, MM.Funcs[Dbg.currentFunction()]);
+      continue;
+    }
+    if (Verb == "out") {
+      std::printf("%s", Dbg.machine().outputText().c_str());
+      continue;
+    }
+    std::printf("unknown command '%s'\n", Verb.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+
+  std::ifstream File(Opts.InputFile);
+  if (!File) {
+    std::fprintf(stderr, "cannot open '%s'\n", Opts.InputFile.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << File.rdbuf();
+  std::string Source = Buf.str();
+
+  DiagnosticEngine Diags;
+  auto Module = compileToIR(Source, Diags);
+  if (!Module) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  if (Opts.Emit == "ir") {
+    std::printf("%s", printModule(*Module).c_str());
+    return 0;
+  }
+
+  if (Opts.Optimize)
+    runPipeline(*Module, OptOptions::all());
+
+  if (Opts.Emit == "ir-opt") {
+    std::printf("%s", printModule(*Module).c_str());
+    return 0;
+  }
+
+  CodegenOptions CG;
+  CG.PromoteVars = Opts.Promote;
+  CG.Schedule = Opts.Schedule;
+  MachineModule MM = compileToMachine(*Module, CG);
+
+  if (Opts.Emit == "asm") {
+    for (const MachineFunction &F : MM.Funcs)
+      std::printf("%s\n", printMachineFunction(F, MM.Info).c_str());
+    return 0;
+  }
+  if (Opts.Emit == "stmts") {
+    for (const MachineFunction &F : MM.Funcs)
+      printStmtMap(MM, F);
+    return 0;
+  }
+
+  if (Opts.Emit == "debug") {
+    Debugger Dbg(MM);
+    return replLoop(Dbg, Opts);
+  }
+
+  // Default: run to completion.
+  Machine VM(MM);
+  StopReason R = VM.run();
+  std::printf("%s", VM.outputText().c_str());
+  if (R == StopReason::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[%llu instructions, exit %lld]\n",
+               static_cast<unsigned long long>(VM.instrCount()),
+               static_cast<long long>(VM.exitValue()));
+  return static_cast<int>(VM.exitValue() & 0xff);
+}
