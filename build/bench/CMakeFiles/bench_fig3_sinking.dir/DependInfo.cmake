@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_sinking.cpp" "bench/CMakeFiles/bench_fig3_sinking.dir/bench_fig3_sinking.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_sinking.dir/bench_fig3_sinking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sldb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sldb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sldb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sldb_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/sldb_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sldb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sldb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sldb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sldb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sinking.dir/bench_fig3_sinking.cpp.o"
+  "CMakeFiles/bench_fig3_sinking.dir/bench_fig3_sinking.cpp.o.d"
+  "bench_fig3_sinking"
+  "bench_fig3_sinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_noregalloc.dir/bench_fig5a_noregalloc.cpp.o"
+  "CMakeFiles/bench_fig5a_noregalloc.dir/bench_fig5a_noregalloc.cpp.o.d"
+  "bench_fig5a_noregalloc"
+  "bench_fig5a_noregalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_noregalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

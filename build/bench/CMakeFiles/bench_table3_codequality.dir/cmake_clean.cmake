@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_codequality.dir/bench_table3_codequality.cpp.o"
+  "CMakeFiles/bench_table3_codequality.dir/bench_table3_codequality.cpp.o.d"
+  "bench_table3_codequality"
+  "bench_table3_codequality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_codequality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_suspect.dir/bench_table4_suspect.cpp.o"
+  "CMakeFiles/bench_table4_suspect.dir/bench_table4_suspect.cpp.o.d"
+  "bench_table4_suspect"
+  "bench_table4_suspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_suspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

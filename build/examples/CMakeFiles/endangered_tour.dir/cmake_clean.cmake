@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endangered_tour.dir/endangered_tour.cpp.o"
+  "CMakeFiles/endangered_tour.dir/endangered_tour.cpp.o.d"
+  "endangered_tour"
+  "endangered_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endangered_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

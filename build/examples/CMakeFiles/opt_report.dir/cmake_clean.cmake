@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_report.dir/opt_report.cpp.o"
+  "CMakeFiles/opt_report.dir/opt_report.cpp.o.d"
+  "opt_report"
+  "opt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFGContext.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/CFGContext.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/CFGContext.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/Dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/InstrInfo.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/InstrInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/InstrInfo.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/analysis/CMakeFiles/sldb_analysis.dir/ReachingDefs.cpp.o" "gcc" "src/analysis/CMakeFiles/sldb_analysis.dir/ReachingDefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sldb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sldb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sldb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

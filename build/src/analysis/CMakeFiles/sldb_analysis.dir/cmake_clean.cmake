@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_analysis.dir/CFGContext.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/CFGContext.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/InstrInfo.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/InstrInfo.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/sldb_analysis.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/sldb_analysis.dir/ReachingDefs.cpp.o.d"
+  "libsldb_analysis.a"
+  "libsldb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

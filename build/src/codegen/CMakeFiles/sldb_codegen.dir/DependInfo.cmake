@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/ISel.cpp" "src/codegen/CMakeFiles/sldb_codegen.dir/ISel.cpp.o" "gcc" "src/codegen/CMakeFiles/sldb_codegen.dir/ISel.cpp.o.d"
+  "/root/repo/src/codegen/MachineIR.cpp" "src/codegen/CMakeFiles/sldb_codegen.dir/MachineIR.cpp.o" "gcc" "src/codegen/CMakeFiles/sldb_codegen.dir/MachineIR.cpp.o.d"
+  "/root/repo/src/codegen/MachineVerifier.cpp" "src/codegen/CMakeFiles/sldb_codegen.dir/MachineVerifier.cpp.o" "gcc" "src/codegen/CMakeFiles/sldb_codegen.dir/MachineVerifier.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/codegen/CMakeFiles/sldb_codegen.dir/RegAlloc.cpp.o" "gcc" "src/codegen/CMakeFiles/sldb_codegen.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/codegen/Scheduler.cpp" "src/codegen/CMakeFiles/sldb_codegen.dir/Scheduler.cpp.o" "gcc" "src/codegen/CMakeFiles/sldb_codegen.dir/Scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sldb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sldb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sldb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sldb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

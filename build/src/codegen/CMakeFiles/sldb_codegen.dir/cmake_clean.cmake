@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_codegen.dir/ISel.cpp.o"
+  "CMakeFiles/sldb_codegen.dir/ISel.cpp.o.d"
+  "CMakeFiles/sldb_codegen.dir/MachineIR.cpp.o"
+  "CMakeFiles/sldb_codegen.dir/MachineIR.cpp.o.d"
+  "CMakeFiles/sldb_codegen.dir/MachineVerifier.cpp.o"
+  "CMakeFiles/sldb_codegen.dir/MachineVerifier.cpp.o.d"
+  "CMakeFiles/sldb_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/sldb_codegen.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/sldb_codegen.dir/Scheduler.cpp.o"
+  "CMakeFiles/sldb_codegen.dir/Scheduler.cpp.o.d"
+  "libsldb_codegen.a"
+  "libsldb_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

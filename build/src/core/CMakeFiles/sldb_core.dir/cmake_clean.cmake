@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_core.dir/Classifier.cpp.o"
+  "CMakeFiles/sldb_core.dir/Classifier.cpp.o.d"
+  "CMakeFiles/sldb_core.dir/Debugger.cpp.o"
+  "CMakeFiles/sldb_core.dir/Debugger.cpp.o.d"
+  "libsldb_core.a"
+  "libsldb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

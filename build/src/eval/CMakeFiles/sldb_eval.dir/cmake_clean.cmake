@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_eval.dir/Measure.cpp.o"
+  "CMakeFiles/sldb_eval.dir/Measure.cpp.o.d"
+  "CMakeFiles/sldb_eval.dir/Programs.cpp.o"
+  "CMakeFiles/sldb_eval.dir/Programs.cpp.o.d"
+  "libsldb_eval.a"
+  "libsldb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/sldb_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sldb_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/sldb_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/sldb_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/sldb_frontend.dir/Sema.cpp.o.d"
+  "libsldb_frontend.a"
+  "libsldb_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

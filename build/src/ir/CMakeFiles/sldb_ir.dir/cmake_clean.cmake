@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_ir.dir/IR.cpp.o"
+  "CMakeFiles/sldb_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/sldb_ir.dir/IRGen.cpp.o"
+  "CMakeFiles/sldb_ir.dir/IRGen.cpp.o.d"
+  "CMakeFiles/sldb_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/sldb_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/sldb_ir.dir/Interp.cpp.o"
+  "CMakeFiles/sldb_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/sldb_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/sldb_ir.dir/Verifier.cpp.o.d"
+  "libsldb_ir.a"
+  "libsldb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/BranchOpt.cpp" "src/opt/CMakeFiles/sldb_opt.dir/BranchOpt.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/BranchOpt.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElimination.cpp" "src/opt/CMakeFiles/sldb_opt.dir/DeadCodeElimination.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/DeadCodeElimination.cpp.o.d"
+  "/root/repo/src/opt/GlobalCSE.cpp" "src/opt/CMakeFiles/sldb_opt.dir/GlobalCSE.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/GlobalCSE.cpp.o.d"
+  "/root/repo/src/opt/InductionVariableOpt.cpp" "src/opt/CMakeFiles/sldb_opt.dir/InductionVariableOpt.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/InductionVariableOpt.cpp.o.d"
+  "/root/repo/src/opt/LocalSimplify.cpp" "src/opt/CMakeFiles/sldb_opt.dir/LocalSimplify.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/LocalSimplify.cpp.o.d"
+  "/root/repo/src/opt/LoopOpts.cpp" "src/opt/CMakeFiles/sldb_opt.dir/LoopOpts.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/LoopOpts.cpp.o.d"
+  "/root/repo/src/opt/PartialDeadCodeElim.cpp" "src/opt/CMakeFiles/sldb_opt.dir/PartialDeadCodeElim.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/PartialDeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/PartialRedundancyElim.cpp" "src/opt/CMakeFiles/sldb_opt.dir/PartialRedundancyElim.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/PartialRedundancyElim.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/opt/CMakeFiles/sldb_opt.dir/Pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/Propagation.cpp" "src/opt/CMakeFiles/sldb_opt.dir/Propagation.cpp.o" "gcc" "src/opt/CMakeFiles/sldb_opt.dir/Propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sldb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sldb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sldb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sldb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

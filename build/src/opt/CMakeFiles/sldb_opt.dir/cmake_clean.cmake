@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_opt.dir/BranchOpt.cpp.o"
+  "CMakeFiles/sldb_opt.dir/BranchOpt.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/DeadCodeElimination.cpp.o"
+  "CMakeFiles/sldb_opt.dir/DeadCodeElimination.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/GlobalCSE.cpp.o"
+  "CMakeFiles/sldb_opt.dir/GlobalCSE.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/InductionVariableOpt.cpp.o"
+  "CMakeFiles/sldb_opt.dir/InductionVariableOpt.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/LocalSimplify.cpp.o"
+  "CMakeFiles/sldb_opt.dir/LocalSimplify.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/LoopOpts.cpp.o"
+  "CMakeFiles/sldb_opt.dir/LoopOpts.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/PartialDeadCodeElim.cpp.o"
+  "CMakeFiles/sldb_opt.dir/PartialDeadCodeElim.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/PartialRedundancyElim.cpp.o"
+  "CMakeFiles/sldb_opt.dir/PartialRedundancyElim.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/Pipeline.cpp.o"
+  "CMakeFiles/sldb_opt.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/sldb_opt.dir/Propagation.cpp.o"
+  "CMakeFiles/sldb_opt.dir/Propagation.cpp.o.d"
+  "libsldb_opt.a"
+  "libsldb_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_support.dir/BitVector.cpp.o"
+  "CMakeFiles/sldb_support.dir/BitVector.cpp.o.d"
+  "CMakeFiles/sldb_support.dir/Casting.cpp.o"
+  "CMakeFiles/sldb_support.dir/Casting.cpp.o.d"
+  "CMakeFiles/sldb_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/sldb_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/sldb_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/sldb_support.dir/StringInterner.cpp.o.d"
+  "libsldb_support.a"
+  "libsldb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldb_vm.dir/Machine.cpp.o"
+  "CMakeFiles/sldb_vm.dir/Machine.cpp.o.d"
+  "libsldb_vm.a"
+  "libsldb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_prop_test.dir/dataflow_prop_test.cpp.o"
+  "CMakeFiles/dataflow_prop_test.dir/dataflow_prop_test.cpp.o.d"
+  "dataflow_prop_test"
+  "dataflow_prop_test.pdb"
+  "dataflow_prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldbc.dir/sldbc.cpp.o"
+  "CMakeFiles/sldbc.dir/sldbc.cpp.o.d"
+  "sldbc"
+  "sldbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
