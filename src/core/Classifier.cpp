@@ -13,6 +13,9 @@
 
 using namespace sldb;
 
+bool ClassifierFaults::SuppressHoistGen = false;
+bool ClassifierFaults::SuppressDeadAssignKill = false;
+
 const char *sldb::varClassName(VarClass C) {
   switch (C) {
   case VarClass::Uninitialized:
@@ -124,8 +127,10 @@ void Classifier::buildHoistReach() {
       }
       if (I.IsHoisted && I.DestVar != InvalidVar &&
           I.HoistKey != InvalidHoistKey) {
-        P.Gen[B].set(I.HoistKey);
-        P.Kill[B].reset(I.HoistKey);
+        if (!ClassifierFaults::SuppressHoistGen) {
+          P.Gen[B].set(I.HoistKey);
+          P.Kill[B].reset(I.HoistKey);
+        }
         if (KeyStmt[I.HoistKey] == InvalidStmt)
           KeyStmt[I.HoistKey] = I.Stmt;
       }
@@ -162,7 +167,7 @@ void Classifier::buildDeadReach() {
       // Real assignments to V kill V's markers; avail markers for V kill
       // too (at that point actual == expected, see header comment).
       VarId Killed = InvalidVar;
-      if (I.DestVar != InvalidVar)
+      if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
         Killed = I.DestVar;
       else if (I.Op == MOp::MAVAIL)
         Killed = I.MarkVar;
@@ -213,47 +218,73 @@ void Classifier::buildDeadReach() {
       continue;
     }
     case MRecovery::Kind::InFrame: {
-      // Forward reachability from the marker, stopping at writes to the
-      // slot / global (IV-invariant relations survive updates).
-      AddrPos Pos = position(MI.Addr);
-      std::vector<std::pair<unsigned, std::size_t>> Work;
-      std::unordered_set<unsigned> Seen;
-      Work.push_back({Pos.Block, Pos.Index + 1});
-      RecoveryValid[M].set(MI.Addr);
+      // Valid at A iff *no* path from the marker to A crosses a write
+      // to the slot / global after the marker (IV-invariant relations
+      // survive updates).  This must be a may-taint data flow, not a
+      // single forward walk: with a loop whose body writes the slot,
+      // the head is reachable both write-free (first entry) and through
+      // the write (back edge), and one tainted path already makes the
+      // recovered value a lie on some execution (found by the
+      // differential fuzzer: `v2 = v4` eliminated before a loop that
+      // reassigns v4).  Re-executing the marker re-binds the recovery
+      // to the slot's current value, so the marker clears the taint.
       bool IsGlobalSrc = MI.Recovery.Frame < 0;
       VarId GlobalV = static_cast<VarId>(MI.Recovery.Imm);
-      while (!Work.empty()) {
-        auto [WB, WIdx] = Work.back();
-        Work.pop_back();
-        std::uint32_t WA =
-            MF.BlockAddr[WB] + static_cast<std::uint32_t>(WIdx);
-        bool Stopped = false;
-        for (std::size_t Cur = WIdx; Cur < MF.Blocks[WB].Insts.size();
-             ++Cur, ++WA) {
-          const MInstr &CI = MF.Blocks[WB].Insts[Cur];
-          RecoveryValid[M].set(WA);
-          bool Writes = false;
-          if (CI.Op == MOp::SW || CI.Op == MOp::SD) {
-            if (!IsGlobalSrc && CI.FrameSlot == MI.Recovery.Frame)
-              Writes = true;
-            if (IsGlobalSrc && CI.GlobalVar == GlobalV)
-              Writes = true;
-            // Register-indirect stores may alias any slot/global.
-            if (CI.AddrReg.isValid())
-              Writes = true;
+      auto TaintWrite = [&](const MInstr &CI) {
+        if (MI.Recovery.IsIV)
+          return false;
+        if (CI.Op == MOp::SW || CI.Op == MOp::SD) {
+          if (!IsGlobalSrc && CI.FrameSlot == MI.Recovery.Frame)
+            return true;
+          if (IsGlobalSrc && CI.GlobalVar == GlobalV)
+            return true;
+          // Register-indirect stores may alias any slot/global.
+          if (CI.AddrReg.isValid())
+            return true;
+        }
+        if (CI.Op == MOp::JAL && IsGlobalSrc)
+          return true; // Callee may write the global.
+        return false;
+      };
+      std::vector<char> TaintIn(NumBlocks, 0), TaintOut(NumBlocks, 0);
+      bool FlowChanged = true;
+      while (FlowChanged) {
+        FlowChanged = false;
+        for (unsigned B = 0; B < NumBlocks; ++B) {
+          char S = 0;
+          for (unsigned Pd : Preds[B])
+            S |= TaintOut[Pd];
+          TaintIn[B] = S;
+          std::uint32_t A = MF.BlockAddr[B];
+          for (const MInstr &CI : MF.Blocks[B].Insts) {
+            if (A == MI.Addr)
+              S = 0;
+            else if (TaintWrite(CI))
+              S = 1;
+            ++A;
           }
-          if (CI.Op == MOp::JAL && IsGlobalSrc)
-            Writes = true; // Callee may write the global.
-          if (Writes && !MI.Recovery.IsIV) {
-            Stopped = true;
-            break;
+          if (S != TaintOut[B]) {
+            TaintOut[B] = S;
+            FlowChanged = true;
           }
         }
-        if (!Stopped)
-          for (unsigned S : Succs[WB])
-            if (Seen.insert(S).second)
-              Work.push_back({S, 0});
       }
+      // Stop-before semantics: validity at A reflects the state before
+      // the instruction at A executes.
+      for (unsigned B = 0; B < NumBlocks; ++B) {
+        char S = TaintIn[B];
+        std::uint32_t A = MF.BlockAddr[B];
+        for (const MInstr &CI : MF.Blocks[B].Insts) {
+          if (!S)
+            RecoveryValid[M].set(A);
+          if (A == MI.Addr)
+            S = 0;
+          else if (TaintWrite(CI))
+            S = 1;
+          ++A;
+        }
+      }
+      RecoveryValid[M].set(MI.Addr);
       continue;
     }
     }
@@ -322,7 +353,7 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
   const unsigned NumMarkers = static_cast<unsigned>(Markers.size());
   auto DeadTransfer = [&](const MInstr &I, BitVector &S) {
     VarId Killed = InvalidVar;
-    if (I.DestVar != InvalidVar)
+    if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
       Killed = I.DestVar;
     else if (I.Op == MOp::MAVAIL)
       Killed = I.MarkVar;
@@ -394,7 +425,8 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
             if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
               S.reset(I.HoistKey);
             if (I.IsHoisted && I.DestVar != InvalidVar &&
-                I.HoistKey != InvalidHoistKey)
+                I.HoistKey != InvalidHoistKey &&
+                !ClassifierFaults::SuppressHoistGen)
               S.set(I.HoistKey);
           };
           BitVector HoistAtMarker =
@@ -443,7 +475,7 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
     if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
       S.reset(I.HoistKey);
     if (I.IsHoisted && I.DestVar != InvalidVar &&
-        I.HoistKey != InvalidHoistKey)
+        I.HoistKey != InvalidHoistKey && !ClassifierFaults::SuppressHoistGen)
       S.set(I.HoistKey);
   };
   bool HoistAll = false, HoistSome = false;

@@ -1,0 +1,156 @@
+//===- fuzz/Campaign.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "fuzz/Reduce.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace sldb;
+
+unsigned CampaignCoverage::fired(const std::string &PassName) const {
+  unsigned N = 0;
+  for (const PassFiring &F : Firings)
+    if (F.Name == PassName)
+      N += F.Changed;
+  return N;
+}
+
+std::vector<Violation> sldb::checkProgram(const std::string &Src,
+                                          bool Promote,
+                                          unsigned MaxStops) {
+  LockstepOptions LO;
+  LO.Promote = Promote;
+  LO.MaxStops = MaxStops;
+  LockstepResult R = runLockstep(Src, LO);
+  if (!R.Compiled) {
+    // Surface the compile failure as a violation so campaign-level
+    // accounting never silently drops a program.
+    return {{ViolationKind::LockstepDiverged, InvalidFunc, InvalidStmt, "",
+             "does not compile: " + R.CompileError}};
+  }
+  return checkSoundness(R);
+}
+
+std::string sldb::renderFailure(const CampaignFailure &F) {
+  std::string S;
+  S += "// sldb-fuzz reproducer\n";
+  S += "// seed: " + std::to_string(F.Seed) + "\n";
+  S += "// promote-vars: " + std::string(F.Promote ? "on" : "off") + "\n";
+  for (const Violation &V : F.Violations)
+    S += "// violation: " + V.str() + "\n";
+  S += "//\n";
+  S += "// Reproduce: sldb-fuzz --repro <this file>";
+  S += F.Promote ? "\n" : " --no-promote\n";
+  S += F.Reduced.empty() ? F.Source : F.Reduced;
+  return S;
+}
+
+namespace {
+
+/// Shrink predicate: still compiles and still produces a violation of
+/// the original kind (any statement/variable — the shrinker may move
+/// statement numbers around).
+bool sameKindStillFails(const std::string &Candidate, bool Promote,
+                        ViolationKind Kind, unsigned MaxStops) {
+  for (const Violation &V : checkProgram(Candidate, Promote, MaxStops))
+    if (V.Kind == Kind &&
+        V.Detail.rfind("does not compile", 0) == std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+CampaignResult sldb::runCampaign(const CampaignConfig &C) {
+  CampaignResult R;
+  for (unsigned I = 0; I < C.Count; ++I) {
+    std::uint32_t Seed = C.Seed + I;
+    std::string Src = generateProgram(Seed, C.Gen);
+    ++R.Programs;
+
+    for (int Mode = 0; Mode < (C.BothPromoteModes ? 2 : 1); ++Mode) {
+      bool Promote = C.BothPromoteModes ? Mode == 0 : C.Promote;
+      LockstepOptions LO;
+      LO.Promote = Promote;
+      LO.MaxStops = C.MaxStops;
+      // Instrument the pipeline once per program: the IR pipeline does
+      // not depend on the codegen configuration.
+      LO.InstrumentPasses = Promote || !C.BothPromoteModes;
+      LockstepResult LR = runLockstep(Src, LO);
+      ++R.Runs;
+
+      if (!LR.Compiled) {
+        ++R.FailedCompiles;
+        CampaignFailure F;
+        F.Seed = Seed;
+        F.Promote = Promote;
+        F.Source = Src;
+        F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
+                         InvalidStmt, "",
+                         "generated program does not compile: " +
+                             LR.CompileError}};
+        R.Failures.push_back(std::move(F));
+        break; // The other mode cannot compile either.
+      }
+
+      R.Stops += LR.Stops.size();
+      for (const StopObservation &S : LR.Stops)
+        R.Observations += S.Vars.size();
+
+      if (LO.InstrumentPasses) {
+        if (R.Coverage.Firings.empty()) {
+          R.Coverage.Firings = LR.Firings;
+        } else {
+          for (std::size_t S = 0;
+               S < R.Coverage.Firings.size() && S < LR.Firings.size(); ++S)
+            R.Coverage.Firings[S].Changed += LR.Firings[S].Changed;
+        }
+        if (LR.NumHoisted)
+          ++R.Coverage.WithHoisted;
+        if (LR.NumSunk)
+          ++R.Coverage.WithSunk;
+        if (LR.NumDeadMarks)
+          ++R.Coverage.WithDeadMarks;
+        if (LR.NumAvailMarks)
+          ++R.Coverage.WithAvailMarks;
+        if (LR.NumSRRecords)
+          ++R.Coverage.WithSRRecords;
+      }
+
+      std::vector<Violation> Vs = checkSoundness(LR);
+      if (Vs.empty())
+        continue;
+
+      CampaignFailure F;
+      F.Seed = Seed;
+      F.Promote = Promote;
+      F.Source = Src;
+      F.Violations = std::move(Vs);
+      if (C.Shrink) {
+        ViolationKind Kind = F.Violations.front().Kind;
+        F.Reduced = reduceProgram(
+            Src,
+            [&](const std::string &Cand) {
+              return sameKindStillFails(Cand, Promote, Kind, C.MaxStops);
+            },
+            /*MaxChecks=*/400);
+      }
+      if (C.WriteFailures) {
+        std::error_code EC;
+        std::filesystem::create_directories(C.FailureDir, EC);
+        F.Path = C.FailureDir + "/seed-" + std::to_string(Seed) +
+                 (Promote ? "-promote" : "-frame") + ".minic";
+        std::ofstream Out(F.Path);
+        Out << renderFailure(F);
+      }
+      R.Failures.push_back(std::move(F));
+    }
+  }
+  return R;
+}

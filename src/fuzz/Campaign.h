@@ -1,0 +1,110 @@
+//===- fuzz/Campaign.h - Differential fuzzing campaigns ---------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives whole fuzzing campaigns: generate N seeded programs, run each
+/// through the lockstep oracle in both codegen configurations (variables
+/// promoted to registers / kept in frame slots), judge every run with the
+/// soundness checker, aggregate optimization coverage, and turn any
+/// violation into a minimized on-disk reproducer.  Both `tools/sldb-fuzz`
+/// and the tier-1 `fuzz_diff_test` are thin wrappers around this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FUZZ_CAMPAIGN_H
+#define SLDB_FUZZ_CAMPAIGN_H
+
+#include "fuzz/DiffCheck.h"
+#include "fuzz/ProgramGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Campaign parameters.
+struct CampaignConfig {
+  std::uint32_t Seed = 1;  ///< First seed; program i uses Seed + i.
+  unsigned Count = 200;    ///< Number of generated programs.
+  GenOptions Gen;
+
+  /// Run each program twice: PromoteVars on (Figure 5(b)) and off
+  /// (Figure 5(a)).  Off still exercises hoist/dead reach, on adds the
+  /// residence tables.
+  bool BothPromoteModes = true;
+
+  /// Codegen configuration for single-mode campaigns (ignored when
+  /// BothPromoteModes is set).
+  bool Promote = true;
+
+  /// Shrink each failing program to a minimal reproducer (greedy
+  /// statement deletion preserving the violation kind).
+  bool Shrink = true;
+
+  /// Write reproducers (source + violation report) into FailureDir.
+  bool WriteFailures = false;
+  std::string FailureDir = "fuzz-failures";
+
+  unsigned MaxStops = 4000; ///< Per-run observation cap.
+};
+
+/// One failing program.
+struct CampaignFailure {
+  std::uint32_t Seed = 0;
+  bool Promote = true;
+  std::string Source;  ///< Generated program.
+  std::string Reduced; ///< Minimized reproducer (empty if not shrunk).
+  std::vector<Violation> Violations;
+  std::string Path;    ///< Written reproducer path (when writing).
+};
+
+/// How much of the optimizer the corpus actually exercised.
+struct CampaignCoverage {
+  /// Programs whose optimized build contains machine-level evidence of
+  /// each endangering transformation.
+  unsigned WithHoisted = 0;    ///< IsHoisted instructions (PRE/LICM).
+  unsigned WithSunk = 0;       ///< IsSunk instructions (PDE).
+  unsigned WithDeadMarks = 0;  ///< MDEAD markers (DCE/PDE eliminations).
+  unsigned WithAvailMarks = 0; ///< MAVAIL markers (PRE originals).
+  unsigned WithSRRecords = 0;  ///< IV strength-reduction recoveries.
+
+  /// Per-pipeline-slot firing counts summed over all programs (slot
+  /// order and names follow the pipeline).
+  std::vector<PassFiring> Firings;
+
+  /// Total times a pass with the given name fired, across all slots.
+  unsigned fired(const std::string &PassName) const;
+};
+
+/// Aggregate campaign outcome.
+struct CampaignResult {
+  unsigned Programs = 0;      ///< Generated.
+  unsigned Runs = 0;          ///< Lockstep executions (<= 2x programs).
+  unsigned FailedCompiles = 0;///< Generator bugs: must stay zero.
+  std::uint64_t Stops = 0;    ///< Paired statement-boundary stops.
+  std::uint64_t Observations = 0; ///< Variable observations judged.
+  std::vector<CampaignFailure> Failures;
+  CampaignCoverage Coverage;
+
+  bool sound() const { return Failures.empty() && FailedCompiles == 0; }
+};
+
+/// Runs a campaign.
+CampaignResult runCampaign(const CampaignConfig &C);
+
+/// Judges one program in one configuration (used by the reproducer mode
+/// of sldb-fuzz and by the shrinker's predicate).
+std::vector<Violation> checkProgram(const std::string &Src, bool Promote,
+                                    unsigned MaxStops = 4000);
+
+/// Renders a failure as the on-disk reproducer format: the violation
+/// report as comments, then the (reduced, when available) source.
+std::string renderFailure(const CampaignFailure &F);
+
+} // namespace sldb
+
+#endif // SLDB_FUZZ_CAMPAIGN_H

@@ -1,0 +1,80 @@
+//===- fuzz/DiffCheck.h - Soundness contract checker ------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Judges the observations of one lockstep run against the paper's
+/// truthfulness guarantee ("the debugger never misleads the user").  The
+/// contract is asymmetric:
+///
+///   Conservative is OK.  The classifier may report Suspect or Noncurrent
+///   for a variable whose runtime value happens to equal the expected
+///   value — the warning is unnecessary but honest.
+///
+///   Unsound is a FAIL.  The classifier must never (a) report Current
+///   (no warning) when the displayed value differs from the unoptimized
+///   semantics, (b) show a §2.5 *recovered* value that differs from the
+///   expected value, (c) report Uninitialized for a variable every source
+///   path initializes, or show a clean value for one no source path
+///   initializes, or (d) disagree with the debug tables about residence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FUZZ_DIFFCHECK_H
+#define SLDB_FUZZ_DIFFCHECK_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Ways a lockstep run can violate the soundness contract.
+enum class ViolationKind : std::uint8_t {
+  /// Verdict Current (value shown with no warning) but the displayed
+  /// value differs from the unoptimized build's value.
+  UnsoundCurrent,
+  /// A recovered expected value (§2.5) differs from the true expected
+  /// value.
+  WrongRecovery,
+  /// Verdict Uninitialized although the unoptimized build initializes
+  /// the variable on every path to the stop.
+  SpuriousUninitialized,
+  /// Clean Current verdict although no definition reaches the stop in
+  /// the unoptimized build (the value shown is garbage).
+  MissedUninitialized,
+  /// Verdict disagrees with the Storage/ResidentAt tables: Nonresident
+  /// for a variable the tables locate, or a value-displaying verdict for
+  /// one they do not.
+  NonresidentInconsistent,
+  /// The two builds' statement-boundary stop sequences could not be
+  /// paired (statement map or control-flow bug).
+  LockstepDiverged,
+  /// The two builds disagree on output / exit state: a miscompile, found
+  /// incidentally by the harness.
+  BehaviorMismatch
+};
+
+const char *violationKindName(ViolationKind K);
+
+/// One soundness violation, with enough context to debug it.
+struct Violation {
+  ViolationKind Kind;
+  FuncId Func = InvalidFunc;
+  StmtId Stmt = InvalidStmt;
+  std::string Var;    ///< Variable name; empty for run-level violations.
+  std::string Detail; ///< Human-readable explanation with both values.
+
+  std::string str() const;
+};
+
+/// Applies the soundness contract to every observation of \p R.  An empty
+/// result means the run is sound; order is stop order.
+std::vector<Violation> checkSoundness(const LockstepResult &R);
+
+} // namespace sldb
+
+#endif // SLDB_FUZZ_DIFFCHECK_H

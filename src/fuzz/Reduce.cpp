@@ -1,0 +1,110 @@
+//===- fuzz/Reduce.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reduce.h"
+
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : S) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string S;
+  for (const std::string &L : Lines) {
+    S += L;
+    S += '\n';
+  }
+  return S;
+}
+
+int braceDelta(const std::string &Line) {
+  int D = 0;
+  for (char C : Line) {
+    if (C == '{')
+      ++D;
+    else if (C == '}')
+      --D;
+  }
+  return D;
+}
+
+/// Extent of the deletion candidate starting at \p I: a single line, or —
+/// when the line opens more braces than it closes — the whole region up
+/// to the line that rebalances it (inclusive).  Returns one past the last
+/// line of the candidate, or 0 if the region never closes (malformed).
+std::size_t candidateEnd(const std::vector<std::string> &Lines,
+                         std::size_t I) {
+  int D = braceDelta(Lines[I]);
+  if (D <= 0)
+    return I + 1;
+  for (std::size_t J = I + 1; J < Lines.size(); ++J) {
+    D += braceDelta(Lines[J]);
+    if (D <= 0)
+      return J + 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+std::string sldb::reduceProgram(const std::string &Src,
+                                const ReducePredicate &StillFails,
+                                unsigned MaxChecks) {
+  std::vector<std::string> Lines = splitLines(Src);
+  unsigned Checks = 0;
+  bool Progress = true;
+  while (Progress && Checks < MaxChecks) {
+    Progress = false;
+    for (std::size_t I = 0; I < Lines.size() && Checks < MaxChecks; ++I) {
+      if (Lines[I].find_first_not_of(" \t") == std::string::npos)
+        continue; // Blank lines are harmless; drop them at the end.
+      std::size_t End = candidateEnd(Lines, I);
+      if (End == 0)
+        continue;
+      // A lone `}` can only be deleted as part of its region; skipping it
+      // keeps every candidate brace-balanced.
+      if (braceDelta(Lines[I]) < 0)
+        continue;
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size() - (End - I));
+      Candidate.insert(Candidate.end(), Lines.begin(),
+                       Lines.begin() + static_cast<std::ptrdiff_t>(I));
+      Candidate.insert(Candidate.end(),
+                       Lines.begin() + static_cast<std::ptrdiff_t>(End),
+                       Lines.end());
+      ++Checks;
+      if (StillFails(joinLines(Candidate))) {
+        Lines = std::move(Candidate);
+        Progress = true;
+        // Retry the same index: the next line slid into this slot.
+        --I;
+      }
+    }
+  }
+  // Strip blank lines for the final artifact.
+  std::vector<std::string> Final;
+  for (std::string &L : Lines)
+    if (L.find_first_not_of(" \t") != std::string::npos)
+      Final.push_back(std::move(L));
+  return joinLines(Final);
+}

@@ -1,0 +1,43 @@
+//===- fuzz/Reduce.h - Greedy reproducer shrinker ---------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy statement-deletion minimizer for fuzzing reproducers, in the
+/// spirit of delta debugging: repeatedly delete one source line — or a
+/// whole brace-balanced region, so `if`/`for`/`while` constructs and
+/// function bodies are removed atomically — and keep the deletion whenever
+/// the caller's predicate still holds (typically "still compiles and still
+/// violates the soundness contract the same way").  Runs to a fixpoint.
+///
+/// The reducer is syntax-light: it never parses, it only tracks brace
+/// depth, so it works on any brace-structured source.  Deletions that make
+/// the program uncompilable are rejected by the predicate itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FUZZ_REDUCE_H
+#define SLDB_FUZZ_REDUCE_H
+
+#include <functional>
+#include <string>
+
+namespace sldb {
+
+/// Predicate deciding whether a candidate program still reproduces the
+/// failure of interest.  Must be deterministic.
+using ReducePredicate = std::function<bool(const std::string &)>;
+
+/// Shrinks \p Src while \p StillFails holds.  Returns the smallest
+/// variant found (at worst, \p Src itself — the input is assumed to
+/// satisfy the predicate).  \p MaxChecks bounds the number of predicate
+/// evaluations, since each one typically compiles and runs two builds.
+std::string reduceProgram(const std::string &Src,
+                          const ReducePredicate &StillFails,
+                          unsigned MaxChecks = 2000);
+
+} // namespace sldb
+
+#endif // SLDB_FUZZ_REDUCE_H

@@ -28,6 +28,50 @@
 
 using namespace sldb;
 
+/// See Pass.h.  The unsoundness this repairs was found by the
+/// differential fuzzer: `v1 = -7; v1 = v1; v1 = 6;` turns the self-copy
+/// into an avail marker (PRE), then DCE eliminates the initializer that
+/// provided the marker's value — leaving a certificate for a
+/// never-written location.
+void sldb::demoteUnsoundAvailMarkers(CFGContext &CFG, unsigned Block,
+                                     std::list<Instr>::iterator Start,
+                                     VarId V) {
+  auto Scan = [&](BasicBlock *BB, std::list<Instr>::iterator It) {
+    for (; It != BB->Insts.end(); ++It) {
+      if (It->Op == Opcode::AvailMarker && It->MarkVar == V) {
+        It->Op = Opcode::DeadMarker;
+        It->HoistKey = InvalidHoistKey;
+        It->Recovery = Value();
+        It->RecoveryScale = 1;
+        It->RecoveryIsIV = false;
+      } else if (!It->isMark() && It->destVar() == V) {
+        return true; // a real assignment to V restores the certificate
+      }
+    }
+    return false;
+  };
+
+  std::vector<bool> Seen(CFG.numBlocks(), false);
+  std::vector<unsigned> Work;
+  if (!Scan(CFG.block(Block), Start))
+    for (unsigned S : CFG.succs(Block))
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    BasicBlock *BB = CFG.block(B);
+    if (!Scan(BB, BB->Insts.begin()))
+      for (unsigned S : CFG.succs(B))
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+  }
+}
+
 namespace {
 
 class DeadCodeElimination : public Pass {
@@ -68,6 +112,7 @@ private:
         }
 
         Changed = true;
+        VarId ElimVar = I.destVar();
         if (I.Dest.isVar() && !I.IsHoisted && !I.IsSunk) {
           // A real source assignment dies: leave a dead marker with a
           // recovery value when the RHS is still observable.
@@ -92,9 +137,13 @@ private:
           }
           I = std::move(Marker);
           // The marker is not a def; liveness transfer is a no-op for it.
+          if (ElimVar != InvalidVar)
+            demoteUnsoundAvailMarkers(CFG, B, std::next(It), ElimVar);
         } else {
           // Temps and compiler-inserted copies vanish without a trace.
           It = BB->Insts.erase(It);
+          if (ElimVar != InvalidVar)
+            demoteUnsoundAvailMarkers(CFG, B, It, ElimVar);
         }
       }
     }

@@ -165,6 +165,16 @@ private:
     if (Sinks.empty())
       return false;
 
+    // Sinking removes the original store; avail markers of V below it
+    // lose their certificate (see demoteUnsoundAvailMarkers in Pass.h).
+    // Record the demotion sites now and walk after the CFG is rebuilt.
+    struct Demote {
+      BasicBlock *Block;
+      const Instr *Marker; ///< null: walk the whole block.
+      VarId V;
+    };
+    std::vector<Demote> Demotes;
+
     for (Sink &S : Sinks) {
       Instr Moved = *S.I;
       bool WasSource = Moved.IsSourceAssign && !Moved.IsHoisted &&
@@ -188,6 +198,7 @@ private:
         if (Moved.Op == Opcode::Copy)
           Marker.Recovery = Moved.Ops[0];
         *S.I = std::move(Marker);
+        Demotes.push_back({S.Block, S.I, Moved.Dest.Id});
       } else {
         // Compiler copy: remove it entirely.
         for (auto It = S.Block->Insts.begin(); It != S.Block->Insts.end();
@@ -196,9 +207,25 @@ private:
             S.Block->Insts.erase(It);
             break;
           }
+        // The removal site is gone; walking from the block head is
+        // conservative (may demote markers whose provider is above the
+        // erased copy) but sound.
+        Demotes.push_back({S.Block, nullptr, Moved.Dest.Id});
       }
     }
     F.recomputePreds();
+
+    CFGContext NewCFG(F);
+    for (const Demote &D : Demotes) {
+      auto It = D.Block->Insts.begin();
+      if (D.Marker) {
+        while (It != D.Block->Insts.end() && &*It != D.Marker)
+          ++It;
+        if (It != D.Block->Insts.end())
+          ++It; // start just past the dead marker
+      }
+      demoteUnsoundAvailMarkers(NewCFG, NewCFG.indexOf(D.Block), It, D.V);
+    }
     return true;
   }
 };

@@ -79,8 +79,37 @@ struct OptOptions {
 /// that were partially dead were subsequently sunk).
 void runPipeline(IRModule &M, const OptOptions &Opts);
 
+/// One pass's aggregate activity over a module: how many (function, pass
+/// slot) runs reported a change.  Names repeat in pipeline order when a
+/// pass appears in several pipeline slots.
+struct PassFiring {
+  std::string Name;
+  unsigned Changed = 0; ///< Number of functions the slot transformed.
+};
+
+/// runPipeline plus per-slot change reporting.  The fuzzing harness uses
+/// this to prove the generated corpus actually exercises every
+/// optimization (no silently-dead fuzz coverage).
+void runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
+                             std::vector<PassFiring> &Firings);
+
 /// Returns the pipeline pass names in execution order (Table 1 bench).
 std::vector<std::string> pipelinePassNames(const OptOptions &Opts);
+
+class CFGContext;
+
+/// Shared §3 bookkeeping for passes that *remove* an assignment to \p V
+/// (DCE deletion, PDE sinking): every AvailMarker of V forward-reachable
+/// from the removal site without an intervening real assignment to V
+/// loses its "actual == expected here" certificate — it relied on the
+/// removed store having filled V's location.  Keeping it would be
+/// unsound (the marker kills V's dead reach, so the debugger presents a
+/// stale or never-written location as Current).  Demotes each such
+/// marker to a recovery-less DeadMarker: still an eliminated-assignment
+/// record, now honestly stale.  DeadMarkers of V do not stop the walk
+/// (an eliminated assignment restores nothing).
+void demoteUnsoundAvailMarkers(CFGContext &CFG, unsigned Block,
+                               std::list<Instr>::iterator Start, VarId V);
 
 } // namespace sldb
 

@@ -59,6 +59,20 @@ void sldb::runPipeline(IRModule &M, const OptOptions &Opts) {
       P->run(*F, M);
 }
 
+void sldb::runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
+                                   std::vector<PassFiring> &Firings) {
+  auto Pipeline = buildPipeline(Opts);
+  Firings.clear();
+  for (auto &P : Pipeline)
+    Firings.push_back({P->name(), 0});
+  // Same function-major order as runPipeline: the transformed module is
+  // bit-identical to the uninstrumented run.
+  for (auto &F : M.Funcs)
+    for (std::size_t I = 0; I < Pipeline.size(); ++I)
+      if (Pipeline[I]->run(*F, M))
+        ++Firings[I].Changed;
+}
+
 std::vector<std::string> sldb::pipelinePassNames(const OptOptions &Opts) {
   std::vector<std::string> Names;
   for (auto &P : buildPipeline(Opts))

@@ -95,31 +95,100 @@ private:
   }
 };
 
+/// Copy (assignment) propagation via *available copies*: a copy `D = S`
+/// justifies rewriting a use of D into S only when every path from the
+/// function entry to the use executes the copy with no later
+/// redefinition (or clobber) of either D or S.  An earlier version
+/// instead compared S's reaching-definition *sets* at the copy and at
+/// the use, which the differential fuzzer proved unsound in loops: the
+/// same definition can reach the copy from a previous iteration and
+/// also re-execute between the copy and the use, leaving the sets equal
+/// while the value changed (`v4 = v2; loop { v2 = v4*a + b; }` became a
+/// compounding `v2 = v2*a + b`).
 class CopyPropagation : public Pass {
 public:
   const char *name() const override { return "assignment-propagation"; }
 
   bool run(IRFunction &F, IRModule &M) override {
+    const ProgramInfo &Info = *M.Info;
     CFGContext CFG(F);
-    ValueIndex VI(F, *M.Info);
-    ReachingDefs RD(CFG, VI, *M.Info);
+    ValueIndex VI(F, Info);
 
-    // Cache the reach set at every copy definition (needed to check that
-    // the copied source still has the same value at the use point).
-    std::unordered_map<const Instr *, BitVector> ReachAtCopy;
-    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
-      BitVector Reach = RD.reachIn(B);
-      for (Instr &I : CFG.block(B)->Insts) {
-        if (I.Op == Opcode::Copy &&
-            (I.Ops[0].isVar() || I.Ops[0].isTemp()))
-          ReachAtCopy.emplace(&I, Reach);
-        RD.transfer(I, Reach);
+    // Snapshot the copy instances up front: rewrites below may rewrite a
+    // copy's own source operand, and the data-flow solution is only
+    // valid for the sources it was computed with.
+    struct CopyInfo {
+      const Instr *I;
+      unsigned DestIdx, SrcIdx;
+      Value Src;
+      const VarInfo *DestVar, *SrcVar; ///< For clobber checks; may be null.
+    };
+    std::vector<CopyInfo> Copies;
+    std::unordered_map<const Instr *, unsigned> CopyIdx;
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B)
+      for (const Instr &I : CFG.block(B)->Insts) {
+        if (I.Op != Opcode::Copy ||
+            (!I.Ops[0].isVar() && !I.Ops[0].isTemp()))
+          continue;
+        unsigned DI = VI.valueIndex(I.Dest);
+        unsigned SI = VI.valueIndex(I.Ops[0]);
+        if (DI == ~0u || SI == ~0u || DI == SI)
+          continue;
+        CopyIdx.emplace(&I, static_cast<unsigned>(Copies.size()));
+        Copies.push_back({&I, DI, SI, I.Ops[0],
+                          I.Dest.isVar() ? &Info.var(I.Dest.Id) : nullptr,
+                          I.Ops[0].isVar() ? &Info.var(I.Ops[0].Id)
+                                           : nullptr});
       }
+    if (Copies.empty())
+      return false;
+    const unsigned U = static_cast<unsigned>(Copies.size());
+
+    auto Kills = [&](const Instr &I, const CopyInfo &C) {
+      unsigned DefIdx = VI.valueIndex(I.Dest);
+      if (DefIdx != ~0u && (DefIdx == C.DestIdx || DefIdx == C.SrcIdx))
+        return true;
+      if (C.DestVar && instrMayClobberVar(I, *C.DestVar))
+        return true;
+      if (C.SrcVar && instrMayClobberVar(I, *C.SrcVar))
+        return true;
+      return false;
+    };
+    auto Transfer = [&](const Instr &I, BitVector &S) {
+      for (unsigned C = 0; C < U; ++C)
+        if (Kills(I, Copies[C]))
+          S.reset(C);
+      auto It = CopyIdx.find(&I);
+      if (It != CopyIdx.end())
+        S.set(It->second); // Gen after kill: the copy redefines its dest.
+    };
+
+    DataflowProblem P;
+    P.Dir = FlowDir::Forward;
+    P.Meet = FlowMeet::Intersect;
+    P.init(CFG, U);
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BitVector Gen(U), Kill(U);
+      for (const Instr &I : CFG.block(B)->Insts)
+        for (unsigned C = 0; C < U; ++C) {
+          if (Kills(I, Copies[C])) {
+            Gen.reset(C);
+            Kill.set(C);
+          }
+          auto It = CopyIdx.find(&I);
+          if (It != CopyIdx.end() && It->second == C) {
+            Gen.set(C);
+            Kill.reset(C);
+          }
+        }
+      P.Gen[B] = std::move(Gen);
+      P.Kill[B] = std::move(Kill);
     }
+    DataflowResult R = solveDataflow(CFG, P);
 
     bool Changed = false;
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
-      BitVector Reach = RD.reachIn(B);
+      BitVector Avail = R.In[B];
       for (Instr &I : CFG.block(B)->Insts) {
         for (unsigned OpIdx = 0; OpIdx < I.Ops.size(); ++OpIdx) {
           Value &Op = I.Ops[OpIdx];
@@ -127,58 +196,23 @@ public:
             continue;
           if (!Op.isVar() && !Op.isTemp())
             continue;
-          Value Src;
-          if (copySourceAt(RD, VI, Reach, ReachAtCopy, Op, Src)) {
+          unsigned Idx = VI.valueIndex(Op);
+          if (Idx == ~0u)
+            continue;
+          for (unsigned C = 0; C < U; ++C) {
+            if (!Avail.test(C) || Copies[C].DestIdx != Idx)
+              continue;
+            Value Src = Copies[C].Src;
             Src.Ty = Op.Ty; // Keep the use-site type.
             Op = Src;
             Changed = true;
+            break;
           }
         }
-        RD.transfer(I, Reach);
+        Transfer(I, Avail);
       }
     }
     return Changed;
-  }
-
-private:
-  bool copySourceAt(
-      const ReachingDefs &RD, const ValueIndex &VI, const BitVector &Reach,
-      const std::unordered_map<const Instr *, BitVector> &ReachAtCopy,
-      const Value &Op, Value &Out) {
-    unsigned Idx = VI.valueIndex(Op);
-    if (Idx == ~0u)
-      return false;
-    BitVector Defs = RD.defsOfValue(Idx);
-    Defs &= Reach;
-    // Exactly one definition must reach, and it must be a copy.
-    int First = Defs.findFirst();
-    if (First < 0 || Defs.findNext(static_cast<unsigned>(First)) >= 0)
-      return false;
-    unsigned D = static_cast<unsigned>(First);
-    if (RD.isUnknownDef(D))
-      return false;
-    const Instr *Copy = RD.def(D).I;
-    if (Copy->Op != Opcode::Copy)
-      return false;
-    const Value &Src = Copy->Ops[0];
-    if (!Src.isVar() && !Src.isTemp())
-      return false;
-    unsigned SrcIdx = VI.valueIndex(Src);
-    if (SrcIdx == ~0u)
-      return false;
-    // The source must have the same reaching definitions here as at the
-    // copy (i.e., its value is unchanged on every path between them).
-    auto It = ReachAtCopy.find(Copy);
-    if (It == ReachAtCopy.end())
-      return false;
-    BitVector SrcHere = RD.defsOfValue(SrcIdx);
-    BitVector SrcThere = SrcHere;
-    SrcHere &= Reach;
-    SrcThere &= It->second;
-    if (SrcHere != SrcThere)
-      return false;
-    Out = Src;
-    return true;
   }
 };
 

@@ -9,6 +9,25 @@
 // paths.  This is exactly the "some paths" / "all paths" split the
 // paper's Lemmas 2/3 and 5/6 rely on.
 //
+// Structure: each suite is a TEST_P parameterized over a random seed
+// (INSTANTIATE_TEST_SUITE_P at the bottom ranges the seeds), so every
+// property is checked over many independently generated CFGs of <= 8
+// blocks — small enough that the oracle can enumerate every reachable
+// (block, state) pair exactly, large enough for joins, diamonds and back
+// edges:
+//
+//   * DataflowVsOracle.* checks the raw solver on arbitrary random
+//     Gen/Kill transfers (the lattice-level property);
+//   * MarkerReachVsOracle.* rebuilds the transfers the debugger's two
+//     reach analyses actually use — hoist reach (Definition 1: a hoisted
+//     instance GENs at its landing site and is KILLed at the original
+//     position) and dead reach (Definition 2: a marker GENs itself and
+//     *supersedes* every other marker of the same variable; real
+//     assignments kill) — from per-block EVENT LISTS, and checks that
+//     composing events into block Gen/Kill sets agrees with an oracle
+//     that replays the raw events along every path.  This validates the
+//     composition step the passes rely on, not just the solver.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Dataflow.h"
@@ -208,4 +227,278 @@ TEST_P(DataflowVsOracle, SomeAlwaysContainsAll) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DataflowVsOracle,
+                         ::testing::Range(0u, 50u));
+
+//===----------------------------------------------------------------------===//
+// Marker-shaped transfers: hoist reach and dead reach with supersession.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One instruction-like event inside a block, in program order.
+struct Event {
+  enum KindT {
+    Marker, ///< Dead marker of Var with instance id Id: gen self,
+            ///< supersede (kill) all other markers of Var.
+    Assign, ///< Real assignment to Var: kill all markers of Var.
+    HoistLand, ///< Hoisted instance Id lands here: gen Id.
+    Original   ///< Original position of instance Id: kill Id.
+  } Kind;
+  unsigned Var = 0; ///< For Marker/Assign.
+  unsigned Id = 0;  ///< Marker / hoisted-instance id.
+};
+
+struct EventCFG {
+  unsigned N = 0;
+  std::vector<std::vector<unsigned>> Preds, Succs;
+  std::vector<unsigned> Exits;
+  std::vector<std::vector<Event>> Events; ///< Per block, program order.
+  unsigned Universe = 0;                  ///< Number of instance ids.
+  unsigned NumVars = 0;
+  std::vector<unsigned> IdVar; ///< Var of each marker id (dead reach).
+};
+
+/// Random <= 8 block topology (same construction as makeCFG).
+void makeTopology(std::mt19937 &Rng, EventCFG &G) {
+  G.N = 3 + Rng() % 6;
+  G.Preds.resize(G.N);
+  G.Succs.resize(G.N);
+  for (unsigned B = 0; B + 1 < G.N; ++B) {
+    unsigned T = B + 1 + Rng() % (G.N - B - 1);
+    G.Succs[B].push_back(T);
+    G.Preds[T].push_back(B);
+    if (Rng() % 2) {
+      unsigned T2 = B + 1 + Rng() % (G.N - B - 1);
+      if (T2 != T) {
+        G.Succs[B].push_back(T2);
+        G.Preds[T2].push_back(B);
+      }
+    }
+  }
+  for (unsigned B = 1; B < G.N; ++B)
+    if (G.Preds[B].empty()) {
+      unsigned From = Rng() % B;
+      G.Succs[From].push_back(B);
+      G.Preds[B].push_back(From);
+    }
+  if (Rng() % 2 && G.N > 2) {
+    unsigned From = 1 + Rng() % (G.N - 1);
+    unsigned To = Rng() % From;
+    G.Succs[From].push_back(To);
+    G.Preds[To].push_back(From);
+  }
+  for (unsigned B = 0; B < G.N; ++B)
+    if (G.Succs[B].empty())
+      G.Exits.push_back(B);
+  if (G.Exits.empty())
+    G.Exits.push_back(G.N - 1);
+}
+
+/// Dead-reach shape: markers of NumVars variables plus real assignments.
+EventCFG makeDeadReachCFG(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  EventCFG G;
+  makeTopology(Rng, G);
+  G.NumVars = 2;
+  unsigned NextId = 0;
+  G.Events.resize(G.N);
+  for (unsigned B = 0; B < G.N; ++B) {
+    unsigned Count = Rng() % 3;
+    for (unsigned K = 0; K < Count && NextId < 5; ++K) {
+      unsigned V = Rng() % G.NumVars;
+      if (Rng() % 2) {
+        G.Events[B].push_back({Event::Marker, V, NextId});
+        G.IdVar.push_back(V);
+        ++NextId;
+      } else {
+        G.Events[B].push_back({Event::Assign, V, 0});
+      }
+    }
+  }
+  G.Universe = NextId;
+  return G;
+}
+
+/// Hoist-reach shape: each instance lands (gen) in one block and has its
+/// original position (kill) in a later-or-equal random block.
+EventCFG makeHoistReachCFG(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  EventCFG G;
+  makeTopology(Rng, G);
+  G.Events.resize(G.N);
+  unsigned Instances = 1 + Rng() % 4;
+  G.Universe = Instances;
+  for (unsigned Id = 0; Id < Instances; ++Id) {
+    unsigned Land = Rng() % G.N;
+    unsigned Orig = Rng() % G.N;
+    G.Events[Land].push_back({Event::HoistLand, 0, Id});
+    G.Events[Orig].push_back({Event::Original, 0, Id});
+  }
+  return G;
+}
+
+/// Applies one event to a reaching set, mirroring the analyses' rules.
+void applyEvent(const EventCFG &G, const Event &E, BitVector &S) {
+  switch (E.Kind) {
+  case Event::Marker:
+    for (unsigned Id = 0; Id < G.Universe; ++Id)
+      if (G.IdVar[Id] == E.Var)
+        S.reset(Id); // Supersession: newest marker wins.
+    S.set(E.Id);
+    break;
+  case Event::Assign:
+    for (unsigned Id = 0; Id < G.Universe; ++Id)
+      if (G.IdVar[Id] == E.Var)
+        S.reset(Id);
+    break;
+  case Event::HoistLand:
+    S.set(E.Id);
+    break;
+  case Event::Original:
+    S.reset(E.Id);
+    break;
+  }
+}
+
+/// Composes a block's events into Gen/Kill exactly the way the passes
+/// build their transfer functions: a kill clears any earlier gen; a gen
+/// clears any earlier kill.
+void composeBlock(const EventCFG &G, unsigned B, BitVector &Gen,
+                  BitVector &Kill) {
+  Gen = BitVector(G.Universe);
+  Kill = BitVector(G.Universe);
+  auto KillId = [&](unsigned Id) {
+    Gen.reset(Id);
+    Kill.set(Id);
+  };
+  auto GenId = [&](unsigned Id) {
+    Gen.set(Id);
+    Kill.reset(Id);
+  };
+  for (const Event &E : G.Events[B])
+    switch (E.Kind) {
+    case Event::Marker:
+      for (unsigned Id = 0; Id < G.Universe; ++Id)
+        if (G.IdVar[Id] == E.Var)
+          KillId(Id);
+      GenId(E.Id);
+      break;
+    case Event::Assign:
+      for (unsigned Id = 0; Id < G.Universe; ++Id)
+        if (G.IdVar[Id] == E.Var)
+          KillId(Id);
+      break;
+    case Event::HoistLand:
+      GenId(E.Id);
+      break;
+    case Event::Original:
+      KillId(E.Id);
+      break;
+    }
+}
+
+/// Path oracle replaying raw events (not composed sets) along every
+/// path, with exact-state memoization as in PathOracle.
+struct EventOracle {
+  std::vector<BitVector> SomeIn, AllIn;
+  std::vector<bool> Reached;
+
+  explicit EventOracle(const EventCFG &G) {
+    SomeIn.assign(G.N, BitVector(G.Universe));
+    AllIn.assign(G.N, BitVector(G.Universe, true));
+    Reached.assign(G.N, false);
+    Seen.assign(G.N, std::vector<bool>(1u << G.Universe, false));
+    BitVector Empty(G.Universe);
+    walk(G, 0, Empty);
+  }
+
+private:
+  static unsigned mask(const BitVector &BV) {
+    unsigned M = 0;
+    for (unsigned I : BV)
+      M |= 1u << I;
+    return M;
+  }
+
+  void walk(const EventCFG &G, unsigned B, const BitVector &In) {
+    unsigned M = mask(In);
+    if (Seen[B][M])
+      return;
+    Seen[B][M] = true;
+    if (!Reached[B]) {
+      Reached[B] = true;
+      SomeIn[B] = In;
+      AllIn[B] = In;
+    } else {
+      SomeIn[B] |= In;
+      AllIn[B] &= In;
+    }
+    BitVector Out = In;
+    for (const Event &E : G.Events[B])
+      applyEvent(G, E, Out);
+    for (unsigned Succ : G.Succs[B])
+      walk(G, Succ, Out);
+  }
+
+  std::vector<std::vector<bool>> Seen;
+};
+
+void solveBoth(const EventCFG &G, DataflowResult &Some,
+               DataflowResult &All) {
+  DataflowProblem P;
+  P.Dir = FlowDir::Forward;
+  P.Universe = G.Universe;
+  P.Gen.resize(G.N);
+  P.Kill.resize(G.N);
+  for (unsigned B = 0; B < G.N; ++B)
+    composeBlock(G, B, P.Gen[B], P.Kill[B]);
+  P.Boundary = BitVector(G.Universe);
+  P.Meet = FlowMeet::Union;
+  Some = solveDataflowGeneric(G.N, G.Preds, G.Succs, G.Exits, P);
+  P.Meet = FlowMeet::Intersect;
+  All = solveDataflowGeneric(G.N, G.Preds, G.Succs, G.Exits, P);
+}
+
+class MarkerReachVsOracle : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+// Dead reach (Definition 2): DeadSome must equal "some path carries the
+// marker"; DeadAll must never claim a marker a path refutes — that claim
+// is what lets the classifier report Noncurrent and substitute a
+// recovery, so a false positive there is user-visible unsoundness.
+TEST_P(MarkerReachVsOracle, DeadReachSupersedeMatchesPathReplay) {
+  EventCFG G = makeDeadReachCFG(GetParam());
+  if (G.Universe == 0)
+    return; // No markers generated for this seed; nothing to check.
+  DataflowResult Some, All;
+  solveBoth(G, Some, All);
+  EventOracle O(G);
+  for (unsigned B = 0; B < G.N; ++B) {
+    if (!O.Reached[B])
+      continue;
+    EXPECT_EQ(Some.In[B], O.SomeIn[B]) << "block " << B;
+    EXPECT_TRUE(All.In[B].isSubsetOf(O.AllIn[B])) << "block " << B;
+    EXPECT_EQ(All.In[B], O.AllIn[B]) << "block " << B;
+  }
+}
+
+// Hoist reach (Definition 1): gen at the landing site, kill at the
+// original position.  HoistAll drives the unconditional Noncurrent/
+// Premature verdict, so it must match the all-paths truth exactly.
+TEST_P(MarkerReachVsOracle, HoistReachMatchesPathReplay) {
+  EventCFG G = makeHoistReachCFG(GetParam() + 1234);
+  DataflowResult Some, All;
+  solveBoth(G, Some, All);
+  EventOracle O(G);
+  for (unsigned B = 0; B < G.N; ++B) {
+    if (!O.Reached[B])
+      continue;
+    EXPECT_EQ(Some.In[B], O.SomeIn[B]) << "block " << B;
+    EXPECT_TRUE(All.In[B].isSubsetOf(O.AllIn[B])) << "block " << B;
+    EXPECT_EQ(All.In[B], O.AllIn[B]) << "block " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkerReachVsOracle,
                          ::testing::Range(0u, 50u));

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Fails if build-tree artifacts are tracked (or staged) in git again.
+# PR 0 accidentally committed an entire build/ tree — object files,
+# CMakeCache.txt, a 14k-line LastTest.log; .gitignore now blocks the
+# directory and this check keeps the guarantee enforceable from ctest
+# (registered as the tier-1 test `no_build_artifacts`).
+#
+# Usage: tools/check_no_build_artifacts.sh [repo-root]
+
+ROOT=${1:-$(dirname "$0")/..}
+cd "$ROOT" || exit 2
+
+# Not a git checkout (e.g. an exported tarball): nothing to verify.
+git rev-parse --is-inside-work-tree >/dev/null 2>&1 || exit 0
+
+BAD=$(git ls-files --cached -- \
+  'build/*' 'cmake-build-*/*' '*.o' '*.a' \
+  '*CMakeCache.txt' '*LastTest.log' 'fuzz-failures/*')
+if [ -n "$BAD" ]; then
+  echo "error: build artifacts are tracked in git:" >&2
+  echo "$BAD" | head -20 >&2
+  N=$(echo "$BAD" | wc -l)
+  echo "($N files; unstage them with: git rm -r --cached build/)" >&2
+  exit 1
+fi
+exit 0

@@ -1,0 +1,194 @@
+//===- tools/sldb-fuzz.cpp - Differential fuzzing driver --------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the differential fuzzing oracle:
+///
+///   sldb-fuzz --seed 1 --count 200         # campaign (both codegen modes)
+///   sldb-fuzz --dump-seed 42               # print one generated program
+///   sldb-fuzz --repro fuzz-failures/x.minic  # re-judge one reproducer
+///
+/// Exit status: 0 when every run satisfies the soundness contract, 1 on
+/// any violation (reproducers are written to --write-dir), 2 on usage
+/// errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace sldb;
+
+namespace {
+
+struct Options {
+  std::uint32_t Seed = 1;
+  unsigned Count = 200;
+  bool Promote = true;
+  bool BothModes = true;
+  bool Shrink = true;
+  bool Write = true;
+  std::string WriteDir = "fuzz-failures";
+  std::string ReproPath;
+  long DumpSeed = -1;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sldb-fuzz [options]\n"
+      "  --seed N        first seed (default 1)\n"
+      "  --count M       number of generated programs (default 200)\n"
+      "  --no-promote    only the frame-slot codegen configuration\n"
+      "  --no-shrink     keep reproducers unminimized\n"
+      "  --no-write      do not write reproducer files\n"
+      "  --write-dir D   reproducer directory (default fuzz-failures)\n"
+      "  --dump-seed N   print the program for seed N and exit\n"
+      "  --repro FILE    re-judge a program/reproducer file and exit\n");
+}
+
+bool parseUnsigned(const char *S, unsigned long &Out) {
+  char *End = nullptr;
+  Out = std::strtoul(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    unsigned long N = 0;
+    if (A == "--seed") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N))
+        return false;
+      O.Seed = static_cast<std::uint32_t>(N);
+    } else if (A == "--count") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N))
+        return false;
+      O.Count = static_cast<unsigned>(N);
+    } else if (A == "--no-promote") {
+      O.Promote = false;
+      O.BothModes = false;
+    } else if (A == "--no-shrink") {
+      O.Shrink = false;
+    } else if (A == "--no-write") {
+      O.Write = false;
+    } else if (A == "--write-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.WriteDir = V;
+    } else if (A == "--dump-seed") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N))
+        return false;
+      O.DumpSeed = static_cast<long>(N);
+    } else if (A == "--repro") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.ReproPath = V;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int runRepro(const Options &O) {
+  std::ifstream In(O.ReproPath);
+  if (!In) {
+    std::fprintf(stderr, "sldb-fuzz: cannot read '%s'\n",
+                 O.ReproPath.c_str());
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Src = SS.str();
+
+  int Status = 0;
+  for (int Mode = 0; Mode < (O.BothModes ? 2 : 1); ++Mode) {
+    bool Promote = O.BothModes ? Mode == 0 : O.Promote;
+    std::vector<Violation> Vs = checkProgram(Src, Promote);
+    std::printf("promote-vars %s: %zu violation(s)\n",
+                Promote ? "on" : "off", Vs.size());
+    for (const Violation &V : Vs) {
+      std::printf("  %s\n", V.str().c_str());
+      Status = 1;
+    }
+  }
+  return Status;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    usage();
+    return 2;
+  }
+
+  if (O.DumpSeed >= 0) {
+    std::string Src =
+        generateProgram(static_cast<std::uint32_t>(O.DumpSeed));
+    std::fputs(Src.c_str(), stdout);
+    return 0;
+  }
+  if (!O.ReproPath.empty())
+    return runRepro(O);
+
+  CampaignConfig C;
+  C.Seed = O.Seed;
+  C.Count = O.Count;
+  C.BothPromoteModes = O.BothModes;
+  C.Promote = O.Promote;
+  C.Shrink = O.Shrink;
+  C.WriteFailures = O.Write;
+  C.FailureDir = O.WriteDir;
+  CampaignResult R = runCampaign(C);
+
+  std::printf("programs:      %u (%u lockstep runs)\n", R.Programs,
+              R.Runs);
+  std::printf("paired stops:  %llu (%llu variable observations)\n",
+              static_cast<unsigned long long>(R.Stops),
+              static_cast<unsigned long long>(R.Observations));
+  std::printf("coverage:      hoisted %u, sunk %u, dead-marks %u, "
+              "avail-marks %u, iv-recoveries %u (of %u programs)\n",
+              R.Coverage.WithHoisted, R.Coverage.WithSunk,
+              R.Coverage.WithDeadMarks, R.Coverage.WithAvailMarks,
+              R.Coverage.WithSRRecords, R.Programs);
+  for (const PassFiring &F : R.Coverage.Firings)
+    if (F.Changed)
+      std::printf("  pass %-44s fired %u\n", F.Name.c_str(), F.Changed);
+  if (R.FailedCompiles)
+    std::printf("GENERATOR BUG: %u programs failed to compile\n",
+                R.FailedCompiles);
+
+  if (R.sound()) {
+    std::printf("soundness:     OK (no Current-with-wrong-value, no wrong "
+                "recovery, tables consistent)\n");
+    return 0;
+  }
+  std::printf("soundness:     %zu FAILING program(s)\n", R.Failures.size());
+  for (const CampaignFailure &F : R.Failures) {
+    std::printf("  seed %u (promote-vars %s): %s\n", F.Seed,
+                F.Promote ? "on" : "off",
+                F.Violations.front().str().c_str());
+    if (!F.Path.empty())
+      std::printf("    reproducer: %s\n", F.Path.c_str());
+  }
+  return 1;
+}
