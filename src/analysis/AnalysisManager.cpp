@@ -1,0 +1,223 @@
+//===- analysis/AnalysisManager.cpp - Cached function analyses ------------===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+using namespace sldb;
+
+const char *sldb::analysisName(AnalysisID ID) {
+  switch (ID) {
+  case AnalysisID::CFG:
+    return "cfg";
+  case AnalysisID::Dominators:
+    return "dominators";
+  case AnalysisID::PostDominators:
+    return "post-dominators";
+  case AnalysisID::Loops:
+    return "loops";
+  case AnalysisID::Values:
+    return "value-index";
+  case AnalysisID::Liveness:
+    return "liveness";
+  case AnalysisID::ReachingDefs:
+    return "reaching-defs";
+  }
+  return "?";
+}
+
+AnalysisDependence sldb::analysisDependence(AnalysisID ID) {
+  switch (ID) {
+  case AnalysisID::CFG:
+  case AnalysisID::Dominators:
+  case AnalysisID::PostDominators:
+  case AnalysisID::Loops:
+    return AnalysisDependence::CFGShape;
+  case AnalysisID::Values:
+  case AnalysisID::Liveness:
+  case AnalysisID::ReachingDefs:
+    return AnalysisDependence::Instruction;
+  }
+  return AnalysisDependence::Instruction;
+}
+
+namespace {
+
+/// Direct prerequisites of each analysis (bitmask over AnalysisID).
+unsigned dependsOn(AnalysisID ID) {
+  auto Bit = [](AnalysisID D) { return 1u << static_cast<unsigned>(D); };
+  switch (ID) {
+  case AnalysisID::CFG:
+  case AnalysisID::Values:
+    return 0;
+  case AnalysisID::Dominators:
+  case AnalysisID::PostDominators:
+    return Bit(AnalysisID::CFG);
+  case AnalysisID::Loops:
+    return Bit(AnalysisID::CFG) | Bit(AnalysisID::Dominators);
+  case AnalysisID::Liveness:
+  case AnalysisID::ReachingDefs:
+    return Bit(AnalysisID::CFG) | Bit(AnalysisID::Values);
+  }
+  return 0;
+}
+
+} // namespace
+
+void AnalysisManager::invalidate(IRFunction &F, const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  auto It = Entries.find(&F);
+  if (It == Entries.end())
+    return;
+  // Seed with the abandoned set, then close over dependents: an analysis
+  // whose prerequisite dies dies with it (its result holds references
+  // into the prerequisite).
+  unsigned Dead = 0;
+  for (unsigned I = 0; I < NumAnalysisIDs; ++I)
+    if (!PA.isPreserved(static_cast<AnalysisID>(I)))
+      Dead |= 1u << I;
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (unsigned I = 0; I < NumAnalysisIDs; ++I)
+      if (!((Dead >> I) & 1u) && (dependsOn(static_cast<AnalysisID>(I)) & Dead)) {
+        Dead |= 1u << I;
+        Grew = true;
+      }
+  }
+  FunctionEntry &E = It->second;
+  auto Gone = [&](AnalysisID ID) {
+    return (Dead >> static_cast<unsigned>(ID)) & 1u;
+  };
+  // Destroy dependents before prerequisites (results hold references).
+  if (Gone(AnalysisID::ReachingDefs))
+    E.Reach.reset();
+  if (Gone(AnalysisID::Liveness))
+    E.Live.reset();
+  if (Gone(AnalysisID::Loops))
+    E.Loops.reset();
+  if (Gone(AnalysisID::Dominators))
+    E.Dom.reset();
+  if (Gone(AnalysisID::PostDominators))
+    E.PDom.reset();
+  if (Gone(AnalysisID::Values))
+    E.Values.reset();
+  if (Gone(AnalysisID::CFG))
+    E.CFG.reset();
+}
+
+namespace sldb {
+
+template <> CFGContext &AnalysisManager::getResult<CFGContext>(IRFunction &F) {
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::CFG, E.CFG != nullptr);
+  if (!E.CFG)
+    E.CFG = std::make_unique<CFGContext>(F);
+  return *E.CFG;
+}
+
+template <> Dominators &AnalysisManager::getResult<Dominators>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::Dominators, E.Dom != nullptr);
+  if (!E.Dom)
+    E.Dom = std::make_unique<Dominators>(CFG);
+  return *E.Dom;
+}
+
+template <>
+PostDominators &AnalysisManager::getResult<PostDominators>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::PostDominators, E.PDom != nullptr);
+  if (!E.PDom)
+    E.PDom = std::make_unique<PostDominators>(CFG);
+  return *E.PDom;
+}
+
+template <> LoopInfo &AnalysisManager::getResult<LoopInfo>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  Dominators &Dom = getResult<Dominators>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::Loops, E.Loops != nullptr);
+  if (!E.Loops)
+    E.Loops = std::make_unique<LoopInfo>(CFG, Dom);
+  return *E.Loops;
+}
+
+template <> ValueIndex &AnalysisManager::getResult<ValueIndex>(IRFunction &F) {
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::Values, E.Values != nullptr);
+  if (!E.Values)
+    E.Values = std::make_unique<ValueIndex>(F, Info);
+  return *E.Values;
+}
+
+template <> Liveness &AnalysisManager::getResult<Liveness>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  ValueIndex &VI = getResult<ValueIndex>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::Liveness, E.Live != nullptr);
+  if (!E.Live)
+    E.Live = std::make_unique<Liveness>(CFG, VI, Info);
+  return *E.Live;
+}
+
+template <>
+ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  ValueIndex &VI = getResult<ValueIndex>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::ReachingDefs, E.Reach != nullptr);
+  if (!E.Reach)
+    E.Reach = std::make_unique<ReachingDefs>(CFG, VI, Info);
+  return *E.Reach;
+}
+
+template <>
+const CFGContext *
+AnalysisManager::getCached<CFGContext>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->CFG.get() : nullptr;
+}
+template <>
+const Dominators *
+AnalysisManager::getCached<Dominators>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Dom.get() : nullptr;
+}
+template <>
+const PostDominators *
+AnalysisManager::getCached<PostDominators>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->PDom.get() : nullptr;
+}
+template <>
+const LoopInfo *
+AnalysisManager::getCached<LoopInfo>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Loops.get() : nullptr;
+}
+template <>
+const ValueIndex *
+AnalysisManager::getCached<ValueIndex>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Values.get() : nullptr;
+}
+template <>
+const Liveness *
+AnalysisManager::getCached<Liveness>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Live.get() : nullptr;
+}
+template <>
+const ReachingDefs *
+AnalysisManager::getCached<ReachingDefs>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Reach.get() : nullptr;
+}
+
+} // namespace sldb

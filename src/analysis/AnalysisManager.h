@@ -1,0 +1,225 @@
+//===- analysis/AnalysisManager.h - Cached function analyses ---*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed per-function analysis cache with explicit, dependency-aware
+/// invalidation — the substrate the paper's thesis needs: debug
+/// classification is "ordinary bit-vector data-flow over the compiler's
+/// own IR", so the IR analyses must be computed once and shared, not
+/// rebuilt by every consumer.
+///
+/// Passes request results with `AM.getResult<Dominators>(F)` and report
+/// what they kept intact by returning a PreservedAnalyses set.  Analyses
+/// register their dependence level: *CFG-shape* analyses (dominators,
+/// loops) survive instruction rewrites that leave the block graph alone,
+/// while *instruction-level* analyses (liveness, reaching definitions)
+/// do not.  Invalidation is transitively closed over the dependency
+/// graph, so dropping the CFG context drops everything built on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_ANALYSISMANAGER_H
+#define SLDB_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dominators.h"
+#include "analysis/InstrInfo.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ReachingDefs.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace sldb {
+
+/// Dense identifiers of the cached analyses.
+enum class AnalysisID : unsigned {
+  CFG = 0,        ///< CFGContext (block order, edges).
+  Dominators,     ///< Dominator sets.
+  PostDominators, ///< Post-dominator sets.
+  Loops,          ///< Natural-loop forest.
+  Values,         ///< ValueIndex (dense value numbering).
+  Liveness,       ///< Live variables.
+  ReachingDefs,   ///< Reaching definitions.
+};
+inline constexpr unsigned NumAnalysisIDs = 7;
+
+/// What an analysis result depends on; decides which mutations kill it.
+enum class AnalysisDependence {
+  CFGShape,   ///< Valid while the block graph is unchanged.
+  Instruction ///< Killed by any instruction-level rewrite.
+};
+
+const char *analysisName(AnalysisID ID);
+AnalysisDependence analysisDependence(AnalysisID ID);
+
+/// The set of analyses a pass left intact, returned from Pass::run.
+/// A pass that mutated nothing returns all(); a pass that restructured
+/// the CFG returns none(); a pass that only rewrote instructions in
+/// place returns cfgShape().
+class PreservedAnalyses {
+public:
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.Mask = (1u << NumAnalysisIDs) - 1;
+    return PA;
+  }
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  /// Preserves exactly the CFG-shape analyses (CFG, dominators,
+  /// post-dominators, loops); instruction-level results are dropped.
+  static PreservedAnalyses cfgShape() {
+    PreservedAnalyses PA;
+    for (unsigned I = 0; I < NumAnalysisIDs; ++I)
+      if (analysisDependence(static_cast<AnalysisID>(I)) ==
+          AnalysisDependence::CFGShape)
+        PA.Mask |= 1u << I;
+    return PA;
+  }
+
+  PreservedAnalyses &preserve(AnalysisID ID) {
+    Mask |= 1u << static_cast<unsigned>(ID);
+    return *this;
+  }
+  PreservedAnalyses &abandon(AnalysisID ID) {
+    Mask &= ~(1u << static_cast<unsigned>(ID));
+    return *this;
+  }
+
+  bool isPreserved(AnalysisID ID) const {
+    return (Mask >> static_cast<unsigned>(ID)) & 1u;
+  }
+  bool areAllPreserved() const {
+    return Mask == ((1u << NumAnalysisIDs) - 1);
+  }
+
+  /// Meet with another set (used when a pass aggregates sub-steps).
+  void intersect(const PreservedAnalyses &O) { Mask &= O.Mask; }
+
+private:
+  unsigned Mask = 0;
+};
+
+/// Cache hit/miss counters, per analysis kind.
+struct AnalysisStats {
+  std::uint64_t Hits[NumAnalysisIDs] = {};
+  std::uint64_t Misses[NumAnalysisIDs] = {};
+
+  std::uint64_t totalHits() const {
+    std::uint64_t N = 0;
+    for (std::uint64_t H : Hits)
+      N += H;
+    return N;
+  }
+  std::uint64_t totalMisses() const {
+    std::uint64_t N = 0;
+    for (std::uint64_t M : Misses)
+      N += M;
+    return N;
+  }
+};
+
+/// Per-function cache of analysis results.  Results are owned by the
+/// manager; references handed out stay valid until the analysis is
+/// invalidated.  Dependencies are built through the cache, so e.g.
+/// getResult<Liveness> first materializes (or reuses) the CFGContext and
+/// ValueIndex it references.
+class AnalysisManager {
+public:
+  explicit AnalysisManager(const ProgramInfo &Info) : Info(Info) {}
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// Returns the cached result for \p F, computing it on a miss.
+  /// Specialized for each analysis type below.
+  template <typename AnalysisT> AnalysisT &getResult(IRFunction &F);
+
+  /// Returns the cached result if present, else null (never computes).
+  template <typename AnalysisT>
+  const AnalysisT *getCached(const IRFunction &F) const;
+
+  /// Drops every result for \p F not preserved by \p PA, transitively
+  /// closing over analysis dependencies (dropping the CFG drops all
+  /// dependents; dropping ValueIndex drops liveness/reaching defs;
+  /// dropping dominators drops loops).
+  void invalidate(IRFunction &F, const PreservedAnalyses &PA);
+
+  /// Drops every result for \p F.
+  void invalidateAll(IRFunction &F) {
+    invalidate(F, PreservedAnalyses::none());
+  }
+
+  /// Drops everything for every function.
+  void clear() { Entries.clear(); }
+
+  const AnalysisStats &stats() const { return Stats; }
+
+  const ProgramInfo &programInfo() const { return Info; }
+
+private:
+  struct FunctionEntry {
+    std::unique_ptr<CFGContext> CFG;
+    std::unique_ptr<Dominators> Dom;
+    std::unique_ptr<PostDominators> PDom;
+    std::unique_ptr<LoopInfo> Loops;
+    std::unique_ptr<ValueIndex> Values;
+    std::unique_ptr<Liveness> Live;
+    std::unique_ptr<ReachingDefs> Reach;
+  };
+
+  FunctionEntry &entry(const IRFunction &F) { return Entries[&F]; }
+  const FunctionEntry *findEntry(const IRFunction &F) const {
+    auto It = Entries.find(&F);
+    return It == Entries.end() ? nullptr : &It->second;
+  }
+
+  void count(AnalysisID ID, bool Hit) {
+    (Hit ? Stats.Hits : Stats.Misses)[static_cast<unsigned>(ID)]++;
+  }
+
+  const ProgramInfo &Info;
+  std::unordered_map<const IRFunction *, FunctionEntry> Entries;
+  AnalysisStats Stats;
+};
+
+template <> CFGContext &AnalysisManager::getResult<CFGContext>(IRFunction &F);
+template <> Dominators &AnalysisManager::getResult<Dominators>(IRFunction &F);
+template <>
+PostDominators &AnalysisManager::getResult<PostDominators>(IRFunction &F);
+template <> LoopInfo &AnalysisManager::getResult<LoopInfo>(IRFunction &F);
+template <> ValueIndex &AnalysisManager::getResult<ValueIndex>(IRFunction &F);
+template <> Liveness &AnalysisManager::getResult<Liveness>(IRFunction &F);
+template <>
+ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F);
+
+template <>
+const CFGContext *
+AnalysisManager::getCached<CFGContext>(const IRFunction &F) const;
+template <>
+const Dominators *
+AnalysisManager::getCached<Dominators>(const IRFunction &F) const;
+template <>
+const PostDominators *
+AnalysisManager::getCached<PostDominators>(const IRFunction &F) const;
+template <>
+const LoopInfo *
+AnalysisManager::getCached<LoopInfo>(const IRFunction &F) const;
+template <>
+const ValueIndex *
+AnalysisManager::getCached<ValueIndex>(const IRFunction &F) const;
+template <>
+const Liveness *
+AnalysisManager::getCached<Liveness>(const IRFunction &F) const;
+template <>
+const ReachingDefs *
+AnalysisManager::getCached<ReachingDefs>(const IRFunction &F) const;
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_ANALYSISMANAGER_H

@@ -10,22 +10,7 @@ using namespace sldb;
 
 std::vector<Value> sldb::instrUses(const Instr &I) {
   std::vector<Value> Uses;
-  switch (I.Op) {
-  case Opcode::AddrOf:
-    // The operand names a variable but its *address*, not its value, is
-    // read; taking an address is not a use of the scalar value.
-    return Uses;
-  case Opcode::DeadMarker:
-  case Opcode::AvailMarker:
-  case Opcode::Nop:
-  case Opcode::Br:
-    return Uses;
-  default:
-    break;
-  }
-  for (const Value &V : I.Ops)
-    if (V.isTemp() || V.isVar())
-      Uses.push_back(V);
+  forEachUse(I, [&](const Value &V) { Uses.push_back(V); });
   return Uses;
 }
 
@@ -63,8 +48,10 @@ bool sldb::instrMayReadVar(const Instr &I, const VarInfo &V) {
 }
 
 ValueIndex::ValueIndex(const IRFunction &F, const ProgramInfo &Info) {
+  VarIdx.assign(Info.Vars.size(), ~0u);
+  TempIdx.assign(F.NextTemp, ~0u);
   auto AddVar = [&](VarId Id) {
-    if (Id == InvalidVar || VarIdx.count(Id))
+    if (Id == InvalidVar || VarIdx[Id] != ~0u)
       return;
     if (!Info.var(Id).isScalar())
       return;
@@ -91,12 +78,12 @@ ValueIndex::ValueIndex(const IRFunction &F, const ProgramInfo &Info) {
   // handle those separately.  Second pass: temps.
   for (const auto &B : F.Blocks)
     for (const Instr &I : B->Insts) {
-      if (I.Dest.isTemp() && !TempIdx.count(I.Dest.Id))
+      if (I.Dest.isTemp() && TempIdx[I.Dest.Id] == ~0u)
         TempIdx[I.Dest.Id] = Count++;
       for (const Value &V : I.Ops)
-        if (V.isTemp() && !TempIdx.count(V.Id))
+        if (V.isTemp() && TempIdx[V.Id] == ~0u)
           TempIdx[V.Id] = Count++;
-      if (I.Recovery.isTemp() && !TempIdx.count(I.Recovery.Id))
+      if (I.Recovery.isTemp() && TempIdx[I.Recovery.Id] == ~0u)
         TempIdx[I.Recovery.Id] = Count++;
     }
 }

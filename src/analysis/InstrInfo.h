@@ -26,6 +26,27 @@ namespace sldb {
 /// Returns the values directly read by \p I (operands only, no may-uses).
 std::vector<Value> instrUses(const Instr &I);
 
+/// Visits the values directly read by \p I (operands only, no may-uses)
+/// without materializing a vector — the form the hot data-flow transfer
+/// loops use.
+template <typename Fn> inline void forEachUse(const Instr &I, Fn &&F) {
+  switch (I.Op) {
+  case Opcode::AddrOf:
+    // The operand names a variable but its *address*, not its value, is
+    // read; taking an address is not a use of the scalar value.
+  case Opcode::DeadMarker:
+  case Opcode::AvailMarker:
+  case Opcode::Nop:
+  case Opcode::Br:
+    return;
+  default:
+    break;
+  }
+  for (const Value &V : I.Ops)
+    if (V.isTemp() || V.isVar())
+      F(V);
+}
+
 /// Returns true if \p I may write variable \p V through memory or a call
 /// (not counting a direct destination).
 bool instrMayClobberVar(const Instr &I, const VarInfo &V);
@@ -44,14 +65,13 @@ public:
 
   /// Index of a variable; ~0u if the variable is not tracked (arrays).
   unsigned varIndex(VarId V) const {
-    auto It = VarIdx.find(V);
-    return It == VarIdx.end() ? ~0u : It->second;
+    return V < VarIdx.size() ? VarIdx[V] : ~0u;
   }
 
-  /// Index of a temporary.
+  /// Index of a temporary.  Temps minted after construction (by the
+  /// running pass) are out of range and untracked, as before.
   unsigned tempIndex(TempId T) const {
-    auto It = TempIdx.find(T);
-    return It == TempIdx.end() ? ~0u : It->second;
+    return T < TempIdx.size() ? TempIdx[T] : ~0u;
   }
 
   /// Index of a Value (Temp or Var); ~0u otherwise.
@@ -76,8 +96,11 @@ public:
   }
 
 private:
-  std::unordered_map<VarId, unsigned> VarIdx;
-  std::unordered_map<TempId, unsigned> TempIdx;
+  // Dense tables: VarId indexes ProgramInfo::Vars, TempId is allocated
+  // densely per function, so flat vectors beat hashing on every operand
+  // lookup.  ~0u marks untracked slots.
+  std::vector<unsigned> VarIdx;
+  std::vector<unsigned> TempIdx;
   std::vector<VarId> Vars;
   unsigned Count = 0;
 };

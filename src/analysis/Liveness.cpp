@@ -13,11 +13,11 @@ void Liveness::transfer(const Instr &I, BitVector &Live) const {
   unsigned DestIdx = VI.valueIndex(I.Dest);
   if (DestIdx != ~0u)
     Live.reset(DestIdx);
-  for (const Value &U : instrUses(I)) {
+  forEachUse(I, [&](const Value &U) {
     unsigned Idx = VI.valueIndex(U);
     if (Idx != ~0u)
       Live.set(Idx);
-  }
+  });
   // May-uses (loads/calls reading address-taken or global scalars).
   if (I.Op == Opcode::Load || I.Op == Opcode::Call || I.Op == Opcode::Ret) {
     for (VarId V : VI.trackedVars())
@@ -53,11 +53,11 @@ Liveness::Liveness(const CFGContext &CFG, const ValueIndex &VI,
         Gen.reset(DestIdx);
         Kill.set(DestIdx);
       }
-      for (const Value &U : instrUses(I)) {
+      forEachUse(I, [&](const Value &U) {
         unsigned Idx = VI.valueIndex(U);
         if (Idx != ~0u)
           Gen.set(Idx);
-      }
+      });
       if (I.Op == Opcode::Load || I.Op == Opcode::Call ||
           I.Op == Opcode::Ret) {
         for (VarId V : VI.trackedVars())

@@ -18,36 +18,13 @@ using namespace sldb;
 
 std::vector<Reg> sldb::minstrUses(const MInstr &I) {
   std::vector<Reg> Uses;
-  auto Add = [&](const Reg &R) {
-    if (R.isValid())
-      Uses.push_back(R);
-  };
-  Add(I.Src0);
-  Add(I.Src1);
-  Add(I.AddrReg);
-  if (I.Op == MOp::JAL) {
-    unsigned IntArgs = static_cast<unsigned>(I.Imm >> 8);
-    unsigned FpArgs = static_cast<unsigned>(I.Imm & 0xff);
-    for (unsigned A = 0; A < IntArgs; ++A)
-      Uses.push_back(Reg::phys(RegClass::Int, R3K::FirstIntArg + A));
-    for (unsigned A = 0; A < FpArgs; ++A)
-      Uses.push_back(Reg::phys(RegClass::Fp, R3K::FirstFpArg + A));
-  }
-  if (I.Op == MOp::RET) {
-    Uses.push_back(Reg::phys(RegClass::Int, R3K::IntRetReg));
-    Uses.push_back(Reg::phys(RegClass::Fp, R3K::FpRetReg));
-  }
+  forEachMUse(I, [&](const Reg &R) { Uses.push_back(R); });
   return Uses;
 }
 
 std::vector<Reg> sldb::minstrDefs(const MInstr &I) {
   std::vector<Reg> Defs;
-  if (I.Dest.isValid())
-    Defs.push_back(I.Dest);
-  if (I.Op == MOp::JAL) {
-    Defs.push_back(Reg::phys(RegClass::Int, R3K::IntRetReg));
-    Defs.push_back(Reg::phys(RegClass::Fp, R3K::FpRetReg));
-  }
+  forEachMDef(I, [&](const Reg &R) { Defs.push_back(R); });
   return Defs;
 }
 
@@ -89,7 +66,8 @@ private:
   bool allocateClass(RegClass Cls);
   void livenessPerBlock(
       RegClass Cls,
-      std::vector<std::unordered_set<std::uint64_t>> &LiveOut) const;
+      const std::unordered_map<std::uint64_t, unsigned> &IdOf, unsigned NR,
+      std::vector<BitVector> &LiveOut) const;
   void spill(const std::unordered_set<std::uint64_t> &ToSpill,
              RegClass Cls);
   void rewrite(const std::unordered_map<std::uint64_t, unsigned> &Color,
@@ -104,27 +82,30 @@ private:
 
 void Allocator::livenessPerBlock(
     RegClass Cls,
-    std::vector<std::unordered_set<std::uint64_t>> &LiveOut) const {
+    const std::unordered_map<std::uint64_t, unsigned> &IdOf, unsigned NR,
+    std::vector<BitVector> &LiveOut) const {
   const unsigned N = static_cast<unsigned>(MF.Blocks.size());
-  std::vector<std::unordered_set<std::uint64_t>> LiveIn(N);
-  LiveOut.assign(N, {});
+  std::vector<BitVector> LiveIn(N, BitVector(NR));
+  LiveOut.assign(N, BitVector(NR));
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (unsigned Step = 0; Step < N; ++Step) {
       unsigned B = N - 1 - Step;
-      std::unordered_set<std::uint64_t> Out;
+      BitVector Out(NR);
       for (unsigned S : MF.Blocks[B].Succs)
-        Out.insert(LiveIn[S].begin(), LiveIn[S].end());
-      std::unordered_set<std::uint64_t> In = Out;
+        Out |= LiveIn[S];
+      BitVector In = Out;
       const auto &Insts = MF.Blocks[B].Insts;
       for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
-        for (const Reg &D : minstrDefs(*It))
+        forEachMDef(*It, [&](const Reg &D) {
           if (D.Cls == Cls)
-            In.erase(key(D));
-        for (const Reg &U : minstrUses(*It))
+            In.reset(IdOf.at(key(D)));
+        });
+        forEachMUse(*It, [&](const Reg &U) {
           if (U.Cls == Cls)
-            In.insert(key(U));
+            In.set(IdOf.at(key(U)));
+        });
       }
       if (In != LiveIn[B] || Out != LiveOut[B]) {
         LiveIn[B] = std::move(In);
@@ -139,96 +120,122 @@ bool Allocator::allocateClass(RegClass Cls) {
   const unsigned K = numColors(Cls);
 
   for (int Round = 0; Round < 24; ++Round) {
-    // --- Build the interference graph over this class's registers.
-    std::vector<std::unordered_set<std::uint64_t>> LiveOut;
-    livenessPerBlock(Cls, LiveOut);
-
-    std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-        Adj;
-    std::unordered_map<std::uint64_t, unsigned> Weight; // Spill cost.
-    std::unordered_map<std::uint64_t, Reg> RegOf;
-    auto Node = [&](const Reg &R) {
-      std::uint64_t KId = key(R);
-      Adj.emplace(KId, std::unordered_set<std::uint64_t>());
-      RegOf.emplace(KId, R);
-      return KId;
+    // --- Dense numbering of this class's registers.  All downstream
+    // decision order is by register key (see the Virtuals sort), so the
+    // enumeration order itself carries no meaning.
+    std::unordered_map<std::uint64_t, unsigned> IdOf;
+    std::vector<Reg> RegOf;
+    auto Id = [&](const Reg &R) {
+      auto [It, New] =
+          IdOf.emplace(key(R), static_cast<unsigned>(RegOf.size()));
+      if (New)
+        RegOf.push_back(R);
+      return It->second;
     };
-    auto AddEdge = [&](std::uint64_t A, std::uint64_t B) {
+    for (const MachineBlock &B : MF.Blocks)
+      for (const MInstr &I : B.Insts) {
+        forEachMDef(I, [&](const Reg &D) {
+          if (D.Cls == Cls)
+            Id(D);
+        });
+        forEachMUse(I, [&](const Reg &U) {
+          if (U.Cls == Cls)
+            Id(U);
+        });
+      }
+    const unsigned NR = static_cast<unsigned>(RegOf.size());
+
+    std::vector<BitVector> LiveOut;
+    livenessPerBlock(Cls, IdOf, NR, LiveOut);
+
+    // --- Interference graph as a dense adjacency bit-matrix.
+    std::vector<BitVector> Adj(NR, BitVector(NR));
+    std::vector<unsigned> Weight(NR, 0); // Spill cost.
+    auto AddEdge = [&](unsigned A, unsigned B) {
       if (A == B)
         return;
-      Adj[A].insert(B);
-      Adj[B].insert(A);
+      Adj[A].set(B);
+      Adj[B].set(A);
     };
 
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> MoveEdges;
+    std::vector<std::pair<unsigned, unsigned>> MoveEdges;
     for (unsigned B = 0; B < MF.Blocks.size(); ++B) {
-      std::unordered_set<std::uint64_t> Live = LiveOut[B];
+      BitVector Live = LiveOut[B];
       auto &Insts = MF.Blocks[B].Insts;
       for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
         const MInstr &I = *It;
         bool IsMove = (I.Op == MOp::MOV && Cls == RegClass::Int) ||
                       (I.Op == MOp::FMOV && Cls == RegClass::Fp);
-        std::uint64_t MoveSrc = ~0ull;
+        unsigned MoveSrc = ~0u, MoveDst = ~0u;
         if (IsMove && I.Src0.isValid())
-          MoveSrc = key(I.Src0);
-        for (const Reg &D : minstrDefs(I)) {
+          MoveSrc = IdOf.at(key(I.Src0));
+        if (IsMove && I.Dest.isValid())
+          MoveDst = IdOf.at(key(I.Dest));
+        forEachMDef(I, [&](const Reg &D) {
           if (D.Cls != Cls)
-            continue;
-          std::uint64_t DK = Node(D);
+            return;
+          unsigned DK = IdOf.at(key(D));
           ++Weight[DK];
-          for (std::uint64_t L : Live)
-            if (!(IsMove && L == MoveSrc && key(I.Dest) == DK))
+          for (unsigned L : Live)
+            if (!(IsMove && L == MoveSrc && DK == MoveDst))
               AddEdge(DK, L);
-        }
-        for (const Reg &D : minstrDefs(I))
+        });
+        forEachMDef(I, [&](const Reg &D) {
           if (D.Cls == Cls)
-            Live.erase(key(D));
-        for (const Reg &U : minstrUses(I)) {
+            Live.reset(IdOf.at(key(D)));
+        });
+        forEachMUse(I, [&](const Reg &U) {
           if (U.Cls != Cls)
-            continue;
-          std::uint64_t UK = Node(U);
+            return;
+          unsigned UK = IdOf.at(key(U));
           ++Weight[UK];
-          Live.insert(UK);
-        }
+          Live.set(UK);
+        });
         if (IsMove && I.Dest.isValid() && I.Src0.isValid() &&
             I.Dest.Cls == Cls && I.Dest.isVirtual() && I.Src0.isVirtual())
-          MoveEdges.emplace_back(key(I.Dest), key(I.Src0));
+          MoveEdges.emplace_back(MoveDst, MoveSrc);
       }
     }
 
     // --- Briggs conservative coalescing.
-    std::unordered_map<std::uint64_t, std::uint64_t> Alias;
-    auto Find = [&](std::uint64_t X) {
-      while (Alias.count(X))
+    std::vector<unsigned> Alias(NR);
+    for (unsigned N2 = 0; N2 < NR; ++N2)
+      Alias[N2] = N2;
+    auto Find = [&](unsigned X) {
+      while (Alias[X] != X)
         X = Alias[X];
       return X;
     };
+    std::vector<char> NoCo(NR, 0);
+    for (unsigned N2 = 0; N2 < NR; ++N2)
+      NoCo[N2] = NoCoalesce.count(key(RegOf[N2])) != 0;
     bool Coalesced = false;
     for (auto &[A0, B0] : MoveEdges) {
-      std::uint64_t A = Find(A0), B = Find(B0);
-      if (A == B || NoCoalesce.count(A) || NoCoalesce.count(B))
+      unsigned A = Find(A0), B = Find(B0);
+      if (A == B || NoCo[A] || NoCo[B])
         continue;
-      if (Adj[A].count(B))
+      if (Adj[A].test(B))
         continue;
       // Briggs: the merged node must have < K neighbors of significant
       // degree.
-      std::unordered_set<std::uint64_t> Union = Adj[A];
-      Union.insert(Adj[B].begin(), Adj[B].end());
+      BitVector Union = Adj[A];
+      Union |= Adj[B];
       unsigned Significant = 0;
-      for (std::uint64_t N2 : Union)
-        if (Adj[Find(N2)].size() >= K)
+      for (unsigned N2 : Union)
+        if (Adj[Find(N2)].count() >= K)
           ++Significant;
       if (Significant >= K)
         continue;
-      // Merge B into A.
-      for (std::uint64_t N2 : Adj[B]) {
-        Adj[N2].erase(B);
+      // Merge B into A.  (A is not adjacent to B, so updating row A while
+      // iterating row B is safe.)
+      for (unsigned N2 : Adj[B]) {
+        Adj[N2].reset(B);
         if (N2 != A) {
-          Adj[N2].insert(A);
-          Adj[A].insert(N2);
+          Adj[N2].set(A);
+          Adj[A].set(N2);
         }
       }
-      Adj.erase(B);
+      Adj[B].reset();
       Weight[A] += Weight[B];
       Alias[B] = A;
       Coalesced = true;
@@ -241,8 +248,10 @@ bool Allocator::allocateClass(RegClass Cls) {
           auto Fix = [&](Reg &R) {
             if (!R.isValid() || R.Cls != Cls || !R.isVirtual())
               return;
-            std::uint64_t Root = Find(key(R));
-            R = RegOf.count(Root) ? RegOf[Root] : R;
+            auto IIt = IdOf.find(key(R));
+            if (IIt == IdOf.end())
+              return; // Not in the graph (e.g. dead recovery source).
+            R = RegOf[Find(IIt->second)];
           };
           Fix(It->Dest);
           Fix(It->Src0);
@@ -264,31 +273,35 @@ bool Allocator::allocateClass(RegClass Cls) {
     }
 
     // --- Simplify / select.
-    std::unordered_map<std::uint64_t, unsigned> Degree;
-    for (auto &[N2, Neigh] : Adj)
-      Degree[N2] = static_cast<unsigned>(Neigh.size());
+    std::vector<unsigned> Degree(NR, 0);
+    for (unsigned N2 = 0; N2 < NR; ++N2)
+      Degree[N2] = static_cast<unsigned>(Adj[N2].count());
 
-    std::vector<std::uint64_t> Stack;
-    std::unordered_set<std::uint64_t> Removed;
-    std::vector<std::uint64_t> Virtuals;
-    for (auto &[N2, Neigh] : Adj)
+    std::vector<unsigned> Stack;
+    std::vector<char> Removed(NR, 0);
+    std::vector<unsigned> Virtuals;
+    for (unsigned N2 = 0; N2 < NR; ++N2)
       if (RegOf[N2].isVirtual())
         Virtuals.push_back(N2);
-    std::sort(Virtuals.begin(), Virtuals.end());
+    // Decision order must stay keyed by register identity, not dense id.
+    std::sort(Virtuals.begin(), Virtuals.end(),
+              [&](unsigned A, unsigned B) {
+                return key(RegOf[A]) < key(RegOf[B]);
+              });
 
-    auto RemoveNode = [&](std::uint64_t N2) {
+    auto RemoveNode = [&](unsigned N2) {
       Stack.push_back(N2);
-      Removed.insert(N2);
-      for (std::uint64_t M : Adj[N2])
-        if (!Removed.count(M) && Degree[M] > 0)
+      Removed[N2] = 1;
+      for (unsigned M : Adj[N2])
+        if (!Removed[M] && Degree[M] > 0)
           --Degree[M];
     };
 
     unsigned Pending = static_cast<unsigned>(Virtuals.size());
     while (Pending > 0) {
       bool Simplified = false;
-      for (std::uint64_t N2 : Virtuals) {
-        if (Removed.count(N2) || Degree[N2] >= K)
+      for (unsigned N2 : Virtuals) {
+        if (Removed[N2] || Degree[N2] >= K)
           continue;
         RemoveNode(N2);
         --Pending;
@@ -297,15 +310,15 @@ bool Allocator::allocateClass(RegClass Cls) {
       if (Simplified)
         continue;
       // Optimistic spill candidate: cheapest weight/degree.
-      std::uint64_t Best = ~0ull;
+      unsigned Best = ~0u;
       double BestCost = 1e300;
-      for (std::uint64_t N2 : Virtuals) {
-        if (Removed.count(N2))
+      for (unsigned N2 : Virtuals) {
+        if (Removed[N2])
           continue;
         double Cost =
             static_cast<double>(Weight[N2]) / (Degree[N2] + 1.0);
         // Avoid re-spilling spill-code vregs (tiny ranges, huge cost).
-        if (SpillSlot.count(N2))
+        if (SpillSlot.count(key(RegOf[N2])))
           Cost = 1e290;
         if (Cost < BestCost) {
           BestCost = Cost;
@@ -316,31 +329,32 @@ bool Allocator::allocateClass(RegClass Cls) {
       --Pending;
     }
 
-    // Select colors.
+    // Select colors.  Physical register numbers fit in a 64-bit mask.
     std::unordered_map<std::uint64_t, unsigned> Color;
+    std::vector<int> ColorOf(NR, -1);
     std::unordered_set<std::uint64_t> Spilled;
     for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
-      std::uint64_t N2 = *It;
-      std::unordered_set<unsigned> Used;
-      for (std::uint64_t M : Adj[N2]) {
-        auto CIt = Color.find(M);
-        if (CIt != Color.end()) {
-          Used.insert(CIt->second);
+      unsigned N2 = *It;
+      std::uint64_t Used = 0;
+      for (unsigned M : Adj[N2]) {
+        if (ColorOf[M] >= 0) {
+          Used |= 1ull << ColorOf[M];
           continue;
         }
         const Reg &MR = RegOf[M];
         if (!MR.isVirtual())
-          Used.insert(MR.N); // Precolored.
+          Used |= 1ull << MR.N; // Precolored.
       }
       bool Assigned = false;
       for (unsigned C = firstColor(Cls); C < firstColor(Cls) + K; ++C)
-        if (!Used.count(C)) {
-          Color[N2] = C;
+        if (!(Used >> C & 1)) {
+          ColorOf[N2] = static_cast<int>(C);
+          Color[key(RegOf[N2])] = C;
           Assigned = true;
           break;
         }
       if (!Assigned)
-        Spilled.insert(N2);
+        Spilled.insert(key(RegOf[N2]));
     }
 
     if (Spilled.empty()) {
@@ -548,7 +562,7 @@ void Allocator::computeDebugTables() {
     return (static_cast<std::uint64_t>(R.Cls == RegClass::Fp) << 32) | R.N;
   };
   auto OwnTransfer = [&](const MInstr &I, BitVector &Own) {
-    for (const Reg &D : minstrDefs(I)) {
+    forEachMDef(I, [&](const Reg &D) {
       std::uint64_t DK = RegKey(D);
       for (unsigned Idx = 0; Idx < NV; ++Idx) {
         const VarStorage &S = MF.Storage.at(RegVars[Idx]);
@@ -559,7 +573,7 @@ void Allocator::computeDebugTables() {
         else
           Own.reset(Idx);
       }
-    }
+    });
   };
 
   if (NV != 0) {
@@ -625,8 +639,7 @@ void Allocator::computeDebugTables() {
       // Ownership: forward all-paths 1-bit problem.
       auto RecTransfer = [&](const MInstr &CI, BitVector &Own) {
         bool DefinesP = false;
-        for (const Reg &D : minstrDefs(CI))
-          DefinesP |= RegKey(D) == PK;
+        forEachMDef(CI, [&](const Reg &D) { DefinesP |= RegKey(D) == PK; });
         if (!DefinesP)
           return;
         if (CI.DestVreg == Src && RegKey(CI.Dest) == PK)
@@ -684,11 +697,10 @@ void Allocator::computeDebugTables() {
             St.set(0);
             return;
           }
-          for (const Reg &D : minstrDefs(CI))
-            if (RegKey(D) == PK) {
-              St.reset(0);
-              return;
-            }
+          bool Redefines = false;
+          forEachMDef(CI, [&](const Reg &D) { Redefines |= RegKey(D) == PK; });
+          if (Redefines)
+            St.reset(0);
         };
         DataflowProblem VP;
         VP.Dir = FlowDir::Forward;

@@ -40,6 +40,40 @@ std::vector<Reg> minstrUses(const MInstr &I);
 /// Register written by \p I (invalid if none), plus implicit defs.
 std::vector<Reg> minstrDefs(const MInstr &I);
 
+/// Visits the registers read by \p I (including implicit uses) without
+/// materializing a vector — for the allocator's liveness/interference
+/// loops, which visit every instruction many times.
+template <typename Fn> inline void forEachMUse(const MInstr &I, Fn &&F) {
+  if (I.Src0.isValid())
+    F(I.Src0);
+  if (I.Src1.isValid())
+    F(I.Src1);
+  if (I.AddrReg.isValid())
+    F(I.AddrReg);
+  if (I.Op == MOp::JAL) {
+    unsigned IntArgs = static_cast<unsigned>(I.Imm >> 8);
+    unsigned FpArgs = static_cast<unsigned>(I.Imm & 0xff);
+    for (unsigned A = 0; A < IntArgs; ++A)
+      F(Reg::phys(RegClass::Int, R3K::FirstIntArg + A));
+    for (unsigned A = 0; A < FpArgs; ++A)
+      F(Reg::phys(RegClass::Fp, R3K::FirstFpArg + A));
+  }
+  if (I.Op == MOp::RET) {
+    F(Reg::phys(RegClass::Int, R3K::IntRetReg));
+    F(Reg::phys(RegClass::Fp, R3K::FpRetReg));
+  }
+}
+
+/// Visits the registers written by \p I (including implicit defs).
+template <typename Fn> inline void forEachMDef(const MInstr &I, Fn &&F) {
+  if (I.Dest.isValid())
+    F(I.Dest);
+  if (I.Op == MOp::JAL) {
+    F(Reg::phys(RegClass::Int, R3K::IntRetReg));
+    F(Reg::phys(RegClass::Fp, R3K::FpRetReg));
+  }
+}
+
 } // namespace sldb
 
 #endif // SLDB_CODEGEN_REGALLOC_H

@@ -79,20 +79,27 @@ void scheduleRegion(std::vector<MInstr> &Region) {
     ++PredCount[To];
   };
 
+  // Use/def sets once per instruction, not once per pair.
+  std::vector<std::vector<Reg>> Defs(N), Uses(N);
+  for (std::size_t I2 = 0; I2 < N; ++I2) {
+    Defs[I2] = minstrDefs(Region[I2]);
+    Uses[I2] = minstrUses(Region[I2]);
+  }
+
   for (std::size_t J = 0; J < N; ++J) {
     for (std::size_t I2 = 0; I2 < J; ++I2) {
       const MInstr &A = Region[I2];
       const MInstr &B = Region[J];
       bool Dep = false;
       // Register dependences.
-      for (const Reg &D : minstrDefs(A)) {
-        for (const Reg &U : minstrUses(B))
+      for (const Reg &D : Defs[I2]) {
+        for (const Reg &U : Uses[J])
           Dep |= D == U; // RAW.
-        for (const Reg &D2 : minstrDefs(B))
+        for (const Reg &D2 : Defs[J])
           Dep |= D == D2; // WAW.
       }
-      for (const Reg &U : minstrUses(A))
-        for (const Reg &D2 : minstrDefs(B))
+      for (const Reg &U : Uses[I2])
+        for (const Reg &D2 : Defs[J])
           Dep |= U == D2; // WAR.
       // Memory/effect ordering: side effects stay ordered; loads order
       // against effects but not against each other.

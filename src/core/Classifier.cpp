@@ -142,12 +142,15 @@ void Classifier::buildHoistReach() {
 }
 
 void Classifier::buildDeadReach() {
-  // Enumerate marker instances.
+  // Enumerate marker instances.  The instruction pointer is the marker's
+  // identity in the transfer functions (the same variable/statement pair
+  // may be duplicated by unrolling); machine code is immutable for the
+  // classifier's lifetime, so the pointer stays valid.
   std::uint32_t Addr = 0;
   for (unsigned B = 0; B < NumBlocks; ++B)
     for (const MInstr &I : MF.Blocks[B].Insts) {
       if (I.Op == MOp::MDEAD)
-        Markers.push_back({I.MarkVar, I.MarkStmt, Addr, I.Recovery});
+        Markers.push_back({I.MarkVar, I.MarkStmt, Addr, &I, I.Recovery});
       ++Addr;
     }
   const unsigned U = static_cast<unsigned>(Markers.size());
@@ -292,43 +295,114 @@ void Classifier::buildDeadReach() {
 }
 
 //===----------------------------------------------------------------------===//
+// Per-address transfer functions and query cache
+//===----------------------------------------------------------------------===//
+
+void Classifier::initTransfer(const MInstr &I, BitVector &S) const {
+  VarId Def = I.DestVar;
+  if (Def == InvalidVar && (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL))
+    Def = I.MarkVar;
+  if (Def == InvalidVar)
+    return;
+  auto DIt = VarIdx.find(Def);
+  if (DIt != VarIdx.end())
+    S.set(DIt->second);
+}
+
+void Classifier::hoistTransfer(const MInstr &I, BitVector &S) const {
+  const unsigned NumKeys = static_cast<unsigned>(MF.HoistKeys.size());
+  if (I.DestVar != InvalidVar)
+    for (unsigned K = 0; K < NumKeys; ++K)
+      if (MF.HoistKeys[K].V == I.DestVar)
+        S.reset(K);
+  if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
+    S.reset(I.HoistKey);
+  if (I.IsHoisted && I.DestVar != InvalidVar &&
+      I.HoistKey != InvalidHoistKey && !ClassifierFaults::SuppressHoistGen)
+    S.set(I.HoistKey);
+}
+
+void Classifier::deadTransfer(const MInstr &I, BitVector &S) const {
+  const unsigned NumMarkers = static_cast<unsigned>(Markers.size());
+  // Real assignments to V kill V's markers; avail markers for V kill too
+  // (at that point actual == expected).
+  VarId Killed = InvalidVar;
+  if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
+    Killed = I.DestVar;
+  else if (I.Op == MOp::MAVAIL)
+    Killed = I.MarkVar;
+  if (Killed != InvalidVar)
+    for (unsigned M = 0; M < NumMarkers; ++M)
+      if (Markers[M].V == Killed)
+        S.reset(M);
+  if (I.Op == MOp::MDEAD)
+    for (unsigned M = 0; M < NumMarkers; ++M) {
+      if (Markers[M].V != I.MarkVar)
+        continue;
+      if (Markers[M].Inst == &I)
+        S.set(M); // This marker supersedes all others of V.
+      else
+        S.reset(M);
+    }
+}
+
+const Classifier::AddrState &Classifier::stateAt(std::uint32_t Addr) const {
+  // The transfers read the fault-injection flags: a test flipping them
+  // mid-session must see fresh walks, so flush on any change.
+  if (Cache.empty()) {
+    Cache.resize(MF.numInstrs() + 1);
+    CachedSuppressHoistGen = ClassifierFaults::SuppressHoistGen;
+    CachedSuppressDeadAssignKill = ClassifierFaults::SuppressDeadAssignKill;
+  } else if (CachedSuppressHoistGen != ClassifierFaults::SuppressHoistGen ||
+             CachedSuppressDeadAssignKill !=
+                 ClassifierFaults::SuppressDeadAssignKill) {
+    Cache.assign(Cache.size(), AddrState());
+    CachedSuppressHoistGen = ClassifierFaults::SuppressHoistGen;
+    CachedSuppressDeadAssignKill = ClassifierFaults::SuppressDeadAssignKill;
+  }
+  if (Addr >= Cache.size())
+    Addr = static_cast<std::uint32_t>(Cache.size() - 1);
+  AddrState &E = Cache[Addr];
+  if (E.Valid) {
+    ++CacheStats.Hits;
+    return E;
+  }
+  ++CacheStats.Misses;
+  AddrPos P = position(Addr);
+  E.Init = InitIn[P.Block];
+  E.HoistSome = HoistSomeIn[P.Block];
+  E.HoistAll = HoistAllIn[P.Block];
+  E.DeadSome = DeadSomeIn[P.Block];
+  E.DeadAll = DeadAllIn[P.Block];
+  const auto &Insts = MF.Blocks[P.Block].Insts;
+  const std::size_t End = P.Index < Insts.size() ? P.Index : Insts.size();
+  for (std::size_t Idx = 0; Idx < End; ++Idx) {
+    const MInstr &I = Insts[Idx];
+    initTransfer(I, E.Init);
+    hoistTransfer(I, E.HoistSome);
+    hoistTransfer(I, E.HoistAll);
+    deadTransfer(I, E.DeadSome);
+    deadTransfer(I, E.DeadAll);
+  }
+  E.Valid = true;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
 // Classification (Figure 1)
 //===----------------------------------------------------------------------===//
 
 Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
   Classification C;
   const VarInfo &VI = Info.var(V);
-
-  // Walk a block applying the transfer functions up to a given address.
-  auto StateAt = [&](std::uint32_t At, const std::vector<BitVector> &BlockIn,
-                     auto Transfer) -> BitVector {
-    AddrPos P = position(At);
-    BitVector State = BlockIn[P.Block];
-    for (std::size_t Idx = 0; Idx < P.Index; ++Idx)
-      Transfer(MF.Blocks[P.Block].Insts[Idx], State);
-    return State;
-  };
-  auto AtAddr = [&](const std::vector<BitVector> &BlockIn,
-                    auto Transfer) -> BitVector {
-    return StateAt(Addr, BlockIn, Transfer);
-  };
+  const AddrState &AS = stateAt(Addr);
 
   // 1. Initialization (locals only; globals assumed initialized).
   if (VI.Storage != StorageKind::Global) {
     auto It = VarIdx.find(V);
     if (It != VarIdx.end()) {
       unsigned Bit = It->second;
-      BitVector Init = AtAddr(InitIn, [&](const MInstr &I, BitVector &S) {
-        VarId Def = I.DestVar;
-        if (Def == InvalidVar && (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL))
-          Def = I.MarkVar;
-        if (Def != InvalidVar) {
-          auto DIt = VarIdx.find(Def);
-          if (DIt != VarIdx.end())
-            S.set(DIt->second);
-        }
-      });
-      if (!Init.test(Bit)) {
+      if (!AS.Init.test(Bit)) {
         C.Kind = VarClass::Uninitialized;
         return C;
       }
@@ -351,49 +425,18 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
   // We therefore evaluate dead-reach-with-recovery before the residence
   // check: recovery supplies residence.
   const unsigned NumMarkers = static_cast<unsigned>(Markers.size());
-  auto DeadTransfer = [&](const MInstr &I, BitVector &S) {
-    VarId Killed = InvalidVar;
-    if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
-      Killed = I.DestVar;
-    else if (I.Op == MOp::MAVAIL)
-      Killed = I.MarkVar;
-    if (Killed != InvalidVar)
-      for (unsigned M = 0; M < NumMarkers; ++M)
-        if (Markers[M].V == Killed)
-          S.reset(M);
-    if (I.Op == MOp::MDEAD) {
-      for (unsigned M = 0; M < NumMarkers; ++M) {
-        if (Markers[M].V != I.MarkVar)
-          continue;
-        // Identify the marker instance by its instruction identity (the
-        // same variable/statement pair may be duplicated by unrolling).
-        const MachineBlock &MB =
-            MF.Blocks[position(Markers[M].Addr).Block];
-        const MInstr *MarkerInstr =
-            &MB.Insts[position(Markers[M].Addr).Index];
-        if (MarkerInstr == &I)
-          S.set(M); // This marker supersedes all others of V.
-        else
-          S.reset(M);
-      }
-    }
-  };
   bool DeadAll = false, DeadSome = false;
   int DeadAllMarker = -1;
   unsigned DeadAllCount = 0;
-  if (NumMarkers != 0) {
-    BitVector All = AtAddr(DeadAllIn, DeadTransfer);
-    BitVector Some = AtAddr(DeadSomeIn, DeadTransfer);
-    for (unsigned M = 0; M < NumMarkers; ++M) {
-      if (Markers[M].V != V)
-        continue;
-      if (All.test(M)) {
-        DeadAll = true;
-        DeadAllMarker = static_cast<int>(M);
-        ++DeadAllCount;
-      } else if (Some.test(M)) {
-        DeadSome = true;
-      }
+  for (unsigned M = 0; M < NumMarkers; ++M) {
+    if (Markers[M].V != V)
+      continue;
+    if (AS.DeadAll.test(M)) {
+      DeadAll = true;
+      DeadAllMarker = static_cast<int>(M);
+      ++DeadAllCount;
+    } else if (AS.DeadSome.test(M)) {
+      DeadSome = true;
     }
   }
   if (EnableRecovery && DeadAll && DeadAllCount == 1 &&
@@ -412,29 +455,15 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
       if (Src == V) {
         SrcSound = false; // Self-referential alias: never trustworthy.
       } else {
-        BitVector DeadAtMarker = StateAt(MAddr, DeadSomeIn, DeadTransfer);
+        // Marker addresses are fixed, so these states come from the same
+        // per-address cache as the breakpoint's own.
+        const AddrState &MS = stateAt(MAddr);
         for (unsigned M = 0; M < NumMarkers && SrcSound; ++M)
-          if (Markers[M].V == Src && DeadAtMarker.test(M))
+          if (Markers[M].V == Src && MS.DeadSome.test(M))
             SrcSound = false;
-        if (SrcSound && !MF.HoistKeys.empty()) {
-          auto SrcHoistTransfer = [&](const MInstr &I, BitVector &S) {
-            if (I.DestVar != InvalidVar)
-              for (unsigned K = 0; K < MF.HoistKeys.size(); ++K)
-                if (MF.HoistKeys[K].V == I.DestVar)
-                  S.reset(K);
-            if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
-              S.reset(I.HoistKey);
-            if (I.IsHoisted && I.DestVar != InvalidVar &&
-                I.HoistKey != InvalidHoistKey &&
-                !ClassifierFaults::SuppressHoistGen)
-              S.set(I.HoistKey);
-          };
-          BitVector HoistAtMarker =
-              StateAt(MAddr, HoistSomeIn, SrcHoistTransfer);
-          for (unsigned K = 0; K < MF.HoistKeys.size() && SrcSound; ++K)
-            if (MF.HoistKeys[K].V == Src && HoistAtMarker.test(K))
-              SrcSound = false;
-        }
+        for (unsigned K = 0; K < MF.HoistKeys.size() && SrcSound; ++K)
+          if (MF.HoistKeys[K].V == Src && MS.HoistSome.test(K))
+            SrcSound = false;
       }
     }
     if (SrcSound) {
@@ -467,32 +496,17 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
 
   // 4. Hoist reach (Lemmas 2 and 3).
   const unsigned NumKeys = static_cast<unsigned>(MF.HoistKeys.size());
-  auto HoistTransfer = [&](const MInstr &I, BitVector &S) {
-    if (I.DestVar != InvalidVar)
-      for (unsigned K = 0; K < NumKeys; ++K)
-        if (MF.HoistKeys[K].V == I.DestVar)
-          S.reset(K);
-    if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
-      S.reset(I.HoistKey);
-    if (I.IsHoisted && I.DestVar != InvalidVar &&
-        I.HoistKey != InvalidHoistKey && !ClassifierFaults::SuppressHoistGen)
-      S.set(I.HoistKey);
-  };
   bool HoistAll = false, HoistSome = false;
   StmtId HoistStmt = InvalidStmt;
-  if (NumKeys != 0) {
-    BitVector All = AtAddr(HoistAllIn, HoistTransfer);
-    BitVector Some = AtAddr(HoistSomeIn, HoistTransfer);
-    for (unsigned K = 0; K < NumKeys; ++K) {
-      if (MF.HoistKeys[K].V != V)
-        continue;
-      if (All.test(K)) {
-        HoistAll = true;
-        HoistStmt = KeyStmt[K];
-      } else if (Some.test(K)) {
-        HoistSome = true;
-        HoistStmt = KeyStmt[K];
-      }
+  for (unsigned K = 0; K < NumKeys; ++K) {
+    if (MF.HoistKeys[K].V != V)
+      continue;
+    if (AS.HoistAll.test(K)) {
+      HoistAll = true;
+      HoistStmt = KeyStmt[K];
+    } else if (AS.HoistSome.test(K)) {
+      HoistSome = true;
+      HoistStmt = KeyStmt[K];
     }
   }
   if (HoistAll) {

@@ -9,8 +9,13 @@
 using namespace sldb;
 
 Debugger::Debugger(const MachineModule &MM) : MM(MM), VM(MM) {
-  for (const MachineFunction &F : MM.Funcs)
-    Classifiers.push_back(std::make_unique<Classifier>(F, *MM.Info));
+  Classifiers.resize(MM.Funcs.size());
+}
+
+const Classifier &Debugger::classifier(FuncId F) const {
+  if (!Classifiers[F])
+    Classifiers[F] = std::make_unique<Classifier>(MM.Funcs[F], *MM.Info);
+  return *Classifiers[F];
 }
 
 bool Debugger::setBreakpointAtStmt(FuncId F, StmtId S) {
@@ -108,7 +113,7 @@ bool Debugger::readRecovery(const MRecovery &R, std::int64_t &I, double &D,
 
 VarReport Debugger::reportVar(VarId V) const {
   const MachineFunction &MF = MM.Funcs[VM.pc().Func];
-  const Classifier &C = *Classifiers[VM.pc().Func];
+  const Classifier &C = classifier(VM.pc().Func);
   const VarInfo &VI = MM.Info->var(V);
 
   VarReport R;

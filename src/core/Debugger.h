@@ -79,7 +79,9 @@ public:
   std::vector<VarReport> reportScope() const;
 
   /// Classifier of a function (exposed for the evaluation harness).
-  const Classifier &classifier(FuncId F) const { return *Classifiers[F]; }
+  /// Built on first use: a session stopping in a handful of functions
+  /// never pays for the dataflow solves of the others.
+  const Classifier &classifier(FuncId F) const;
 
 private:
   VarReport reportVar(VarId V) const;
@@ -90,7 +92,7 @@ private:
 
   const MachineModule &MM;
   Machine VM;
-  std::vector<std::unique_ptr<Classifier>> Classifiers;
+  mutable std::vector<std::unique_ptr<Classifier>> Classifiers;
 };
 
 } // namespace sldb

@@ -26,8 +26,9 @@ class BranchOpt : public Pass {
 public:
   const char *name() const override { return "branch-optimizations"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     (void)M;
+    (void)AM; // Pure CFG surgery; needs no analyses.
     bool Any = false;
     bool Changed = true;
     while (Changed) {
@@ -38,7 +39,8 @@ public:
       Changed |= mergeStraightLine(F);
       Any |= Changed;
     }
-    return Any;
+    // Restructures the block graph: nothing survives a change.
+    return {Any ? PreservedAnalyses::none() : PreservedAnalyses::all(), Any};
   }
 
 private:

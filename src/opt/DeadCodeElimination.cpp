@@ -22,10 +22,6 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
-#include "analysis/InstrInfo.h"
-#include "analysis/Liveness.h"
-
 using namespace sldb;
 
 /// See Pass.h.  The unsoundness this repairs was found by the
@@ -78,20 +74,26 @@ class DeadCodeElimination : public Pass {
 public:
   const char *name() const override { return "dead-assignment-elimination"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     bool Any = false;
     // Deleting one assignment can kill the uses feeding another; iterate
-    // to a fixed point.
-    while (runOnce(F, M))
+    // to a fixed point.  Each round erases instructions in place (never
+    // terminators), so the block graph — and with it the CFG-shape
+    // caches — survives; only the instruction-level results go stale.
+    while (runOnce(F, M, AM)) {
       Any = true;
-    return Any;
+      AM.invalidate(F, PreservedAnalyses::cfgShape());
+    }
+    return {Any ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Any};
   }
 
 private:
-  bool runOnce(IRFunction &F, IRModule &M) {
-    CFGContext CFG(F);
-    ValueIndex VI(F, *M.Info);
-    Liveness LV(CFG, VI, *M.Info);
+  bool runOnce(IRFunction &F, IRModule &M, AnalysisManager &AM) {
+    (void)M;
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    ValueIndex &VI = AM.getResult<ValueIndex>(F);
+    Liveness &LV = AM.getResult<Liveness>(F);
     bool Changed = false;
 
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {

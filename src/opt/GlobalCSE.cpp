@@ -18,9 +18,7 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
 #include "analysis/Dataflow.h"
-#include "analysis/InstrInfo.h"
 
 #include <map>
 #include <vector>
@@ -85,12 +83,18 @@ bool killsKey(const Instr &I, const ExprKey &Key, const ProgramInfo &Info) {
   return Killed(Key.A) || Killed(Key.B);
 }
 
+/// Only var-defining instructions and memory writers can kill any key;
+/// everything else skips the per-key loop.
+bool mayKillAnyKey(const Instr &I) {
+  return I.Dest.isVar() || I.Op == Opcode::Store || I.Op == Opcode::Call;
+}
+
 class GlobalCSE : public Pass {
 public:
   const char *name() const override { return "redundancy-elimination(cse)"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
-    CFGContext CFG(F);
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
     const ProgramInfo &Info = *M.Info;
 
     // Enumerate expression keys.
@@ -105,7 +109,7 @@ public:
         }
       }
     if (Keys.empty())
-      return false;
+      return PassResult::unchanged();
 
     // Available expressions (forward, intersect).
     DataflowProblem P;
@@ -125,11 +129,12 @@ public:
           Gen.set(Id);
           Kill.reset(Id);
         }
-        for (unsigned KI = 0; KI < Keys.size(); ++KI)
-          if (killsKey(I, Keys[KI], Info)) {
-            Gen.reset(KI);
-            Kill.set(KI);
-          }
+        if (mayKillAnyKey(I))
+          for (unsigned KI = 0; KI < Keys.size(); ++KI)
+            if (killsKey(I, Keys[KI], Info)) {
+              Gen.reset(KI);
+              Kill.set(KI);
+            }
       }
     }
     DataflowResult AV = solveDataflow(CFG, P);
@@ -150,13 +155,14 @@ public:
         }
         if (HasKey)
           Avail.set(Id);
-        for (unsigned KI = 0; KI < Keys.size(); ++KI)
-          if (killsKey(I, Keys[KI], Info))
-            Avail.reset(KI);
+        if (mayKillAnyKey(I))
+          for (unsigned KI = 0; KI < Keys.size(); ++KI)
+            if (killsKey(I, Keys[KI], Info))
+              Avail.reset(KI);
       }
     }
     if (Redundant.empty())
-      return false;
+      return PassResult::unchanged();
 
     // Allocate one shared temp per needed key and rewrite the providers:
     // every non-redundant computation `X = e` with NeedsProvider becomes
@@ -204,7 +210,8 @@ public:
       I->Op = Opcode::Copy;
       I->Ops = {KeyTemp[Id]};
     }
-    return true;
+    // Inserts/rewrites instructions within existing blocks only.
+    return {PreservedAnalyses::cfgShape(), true};
   }
 };
 

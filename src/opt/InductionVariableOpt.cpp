@@ -23,11 +23,6 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
-#include "analysis/Dominators.h"
-#include "analysis/InstrInfo.h"
-#include "analysis/LoopInfo.h"
-
 using namespace sldb;
 
 namespace {
@@ -47,18 +42,19 @@ public:
     return "strength-reduction-and-ivopt";
   }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     bool Any = false;
     bool Retry = true;
     while (Retry) {
       Retry = false;
-      CFGContext CFG(F);
-      Dominators Dom(CFG);
-      LoopInfo LI(CFG, Dom);
+      CFGContext &CFG = AM.getResult<CFGContext>(F);
+      Dominators &Dom = AM.getResult<Dominators>(F);
+      LoopInfo &LI = AM.getResult<LoopInfo>(F);
       for (const Loop &L : LI.loops()) {
         bool CFGChanged = false;
         BasicBlock *PH = getOrCreatePreheader(CFG, L, CFGChanged);
         if (CFGChanged) {
+          AM.invalidateAll(F);
           Retry = true;
           break;
         }
@@ -66,12 +62,17 @@ public:
           continue;
         if (runOnLoop(F, *M.Info, CFG, Dom, L, PH)) {
           Any = true;
-          Retry = true; // IR changed; rebuild analyses.
+          // Strength reduction only inserts/rewrites instructions:
+          // the loop forest survives; re-scan it for further IVs.
+          // (Previously this rebuilt CFG+dominators+loops per IV.)
+          AM.invalidate(F, PreservedAnalyses::cfgShape());
+          Retry = true;
           break;
         }
       }
     }
-    return Any;
+    return {Any ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Any};
   }
 
 private:

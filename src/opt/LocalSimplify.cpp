@@ -139,13 +139,15 @@ public:
     return "constant-propagation-and-folding(local)";
   }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     (void)M;
+    (void)AM; // Purely local; needs no analyses.
     bool Changed = false;
     for (auto &B : F.Blocks)
       for (Instr &I : B->Insts)
         Changed |= simplify(I);
-    return Changed;
+    return {Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Changed};
   }
 
 private:

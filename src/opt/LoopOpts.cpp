@@ -23,11 +23,6 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
-#include "analysis/Dominators.h"
-#include "analysis/InstrInfo.h"
-#include "analysis/LoopInfo.h"
-
 #include <unordered_map>
 #include <unordered_set>
 
@@ -43,19 +38,20 @@ class LoopInvariantCodeMotion : public Pass {
 public:
   const char *name() const override { return "loop-invariant-code-motion"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     bool Any = false;
     bool Retry = true;
-    // Creating preheaders invalidates the CFG context; restart as needed.
+    // Creating preheaders invalidates the CFG context; drop the caches
+    // eagerly and restart with fresh results.
     while (Retry) {
       Retry = false;
-      CFGContext CFG(F);
-      Dominators Dom(CFG);
-      LoopInfo LI(CFG, Dom);
+      CFGContext &CFG = AM.getResult<CFGContext>(F);
+      LoopInfo &LI = AM.getResult<LoopInfo>(F);
       for (const Loop &L : LI.loops()) {
         bool CFGChanged = false;
         BasicBlock *PH = getOrCreatePreheader(CFG, L, CFGChanged);
         if (CFGChanged) {
+          AM.invalidateAll(F);
           Retry = true;
           break;
         }
@@ -64,7 +60,10 @@ public:
         Any |= hoistFromLoop(F, *M.Info, CFG, L, PH);
       }
     }
-    return Any;
+    // Mid-run invalidation already covered any preheader creation; what
+    // remains stale after hoisting is instruction-level only.
+    return {Any ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Any};
   }
 
 private:
@@ -158,33 +157,42 @@ class LoopPeel : public Pass {
 public:
   const char *name() const override { return "loop-peeling"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     (void)M;
     // Peel at most one loop per invocation (keeps growth bounded and the
     // CFG context manageable).
-    CFGContext CFG(F);
-    Dominators Dom(CFG);
-    LoopInfo LI(CFG, Dom);
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    LoopInfo &LI = AM.getResult<LoopInfo>(F);
     for (const Loop &L : LI.loops()) {
       if (!isSmall(CFG, L))
         continue;
       bool CFGChanged = false;
       BasicBlock *PH = getOrCreatePreheader(CFG, L, CFGChanged);
       if (CFGChanged) {
-        // Rebuild and retry once with the fresh preheader.
-        CFGContext CFG2(F);
-        Dominators Dom2(CFG2);
-        LoopInfo LI2(CFG2, Dom2);
+        // The preheader invalidated the block graph: drop the caches
+        // and retry once against fresh results (previously this
+        // reconstructed a second CFG/dominator/loop set by hand).
+        BasicBlock *Header = CFG.block(L.Header);
+        AM.invalidateAll(F);
+        CFGContext &CFG2 = AM.getResult<CFGContext>(F);
+        LoopInfo &LI2 = AM.getResult<LoopInfo>(F);
         for (const Loop &L2 : LI2.loops())
-          if (CFG2.block(L2.Header) == CFG.block(L.Header))
-            return peel(F, CFG2, L2, PH);
-        return true;
+          if (CFG2.block(L2.Header) == Header) {
+            bool Peeled = peel(F, CFG2, L2, PH);
+            if (Peeled)
+              AM.invalidateAll(F);
+            return {PreservedAnalyses::all(), true};
+          }
+        return {PreservedAnalyses::all(), true};
       }
       if (!PH)
         continue;
-      return peel(F, CFG, L, PH);
+      bool Peeled = peel(F, CFG, L, PH);
+      if (Peeled)
+        AM.invalidateAll(F);
+      return {PreservedAnalyses::all(), Peeled};
     }
-    return false;
+    return PassResult::unchanged();
   }
 
 private:
@@ -245,11 +253,10 @@ class LoopUnroll : public Pass {
 public:
   const char *name() const override { return "loop-unrolling"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     (void)M;
-    CFGContext CFG(F);
-    Dominators Dom(CFG);
-    LoopInfo LI(CFG, Dom);
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    LoopInfo &LI = AM.getResult<LoopInfo>(F);
     for (const Loop &L : LI.loops()) {
       if (!isSmall(CFG, L))
         continue;
@@ -261,9 +268,11 @@ public:
           HasCall |= I.Op == Opcode::Call;
       if (HasCall)
         continue;
-      return unroll(F, CFG, L);
+      bool Unrolled = unroll(F, CFG, L);
+      return {Unrolled ? PreservedAnalyses::none() : PreservedAnalyses::all(),
+              Unrolled};
     }
-    return false;
+    return PassResult::unchanged();
   }
 
 private:

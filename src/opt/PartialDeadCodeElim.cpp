@@ -23,10 +23,6 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
-#include "analysis/InstrInfo.h"
-#include "analysis/Liveness.h"
-
 using namespace sldb;
 
 namespace {
@@ -37,16 +33,19 @@ public:
     return "partial-dead-code-elimination(sinking)";
   }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     bool Any = false;
     // Sunk copies can sink further; two rounds capture the common cases
     // without risking ping-pong.
     for (int Round = 0; Round < 2; ++Round)
-      if (runOnce(F, M))
+      if (runOnce(F, M, AM))
         Any = true;
       else
         break;
-    return Any;
+    // Edge splits are invalidated eagerly inside runOnce; afterwards the
+    // cached CFG is current and only instruction content has moved.
+    return {Any ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Any};
   }
 
 private:
@@ -97,9 +96,12 @@ private:
     if (instrMayClobberVar(Later, Info.var(V)) ||
         instrMayReadVar(Later, Info.var(V)))
       return true;
-    for (const Value &UVal : instrUses(Later))
-      if (UVal.isVar() && UVal.Id == V)
-        return true;
+    bool ReadsV = false;
+    forEachUse(Later, [&](const Value &UVal) {
+      ReadsV |= UVal.isVar() && UVal.Id == V;
+    });
+    if (ReadsV)
+      return true;
     for (const Value &Op : I.Ops) {
       if (!Op.isVar())
         continue;
@@ -111,11 +113,11 @@ private:
     return false;
   }
 
-  bool runOnce(IRFunction &F, IRModule &M) {
+  bool runOnce(IRFunction &F, IRModule &M, AnalysisManager &AM) {
     const ProgramInfo &Info = *M.Info;
-    CFGContext CFG(F);
-    ValueIndex VI(F, *M.Info);
-    Liveness LV(CFG, VI, *M.Info);
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    ValueIndex &VI = AM.getResult<ValueIndex>(F);
+    Liveness &LV = AM.getResult<Liveness>(F);
 
     // Collect sink opportunities first (the transformation splits edges,
     // which invalidates the CFG context).
@@ -215,7 +217,10 @@ private:
     }
     F.recomputePreds();
 
-    CFGContext NewCFG(F);
+    // The edge splits above changed the block graph: drop everything and
+    // fetch a fresh context for the demotion walk.
+    AM.invalidateAll(F);
+    CFGContext &NewCFG = AM.getResult<CFGContext>(F);
     for (const Demote &D : Demotes) {
       auto It = D.Block->Insts.begin();
       if (D.Marker) {

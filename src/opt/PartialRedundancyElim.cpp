@@ -26,9 +26,7 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
 #include "analysis/Dataflow.h"
-#include "analysis/InstrInfo.h"
 
 #include <map>
 #include <vector>
@@ -78,17 +76,60 @@ bool occurrenceKey(const Instr &I, const ProgramInfo &Info, HoistKey &Key) {
   return false;
 }
 
+/// Per-instruction facts the kill predicates consume, computed once per
+/// instruction instead of once per (instruction, key) pair — the kill
+/// loops below are the quadratic core of the pass.
+struct KillFacts {
+  bool IsOcc = false;
+  HoistKey Mine{};
+  VarId DestV = InvalidVar; ///< Var destination, if any.
+  bool CanClobber = false;  ///< Store/Call: may write through memory.
+  bool MayRead = false;     ///< Load/Call/Ret: may read through memory.
+  VarId Use0 = InvalidVar, Use1 = InvalidVar; ///< Var operands read.
+
+  /// True when the instruction cannot kill *any* key (\p ForAnt also
+  /// counts anticipability's read-kills), letting callers skip the
+  /// per-key loop outright.
+  bool inert(bool ForAnt) const {
+    if (DestV != InvalidVar || CanClobber)
+      return false;
+    if (ForAnt && (MayRead || Use0 != InvalidVar || Use1 != InvalidVar))
+      return false;
+    return true;
+  }
+};
+
+KillFacts killFactsOf(const Instr &I, const ProgramInfo &Info) {
+  KillFacts F;
+  F.IsOcc = occurrenceKey(I, Info, F.Mine);
+  if (I.Dest.isVar())
+    F.DestV = I.Dest.Id;
+  F.CanClobber = I.Op == Opcode::Store || I.Op == Opcode::Call;
+  F.MayRead =
+      I.Op == Opcode::Load || I.Op == Opcode::Call || I.Op == Opcode::Ret;
+  unsigned Cnt = 0;
+  forEachUse(I, [&](const Value &V) {
+    if (!V.isVar())
+      return;
+    if (Cnt == 0)
+      F.Use0 = V.Id;
+    else
+      F.Use1 = V.Id;
+    ++Cnt;
+  });
+  return F;
+}
+
 /// Availability kill: \p I destroys the *value* relation "V == a op b"
 /// by redefining V or an operand.  Reads of V do not kill availability.
-bool killsAvail(const Instr &I, const HoistKey &Key,
+bool killsAvail(const Instr &I, const KillFacts &F, const HoistKey &Key,
                 const ProgramInfo &Info) {
-  HoistKey Mine;
-  if (occurrenceKey(I, Info, Mine) && Mine == Key)
+  if (F.IsOcc && F.Mine == Key)
     return false;
   auto DefinesOrClobbers = [&](VarId V) {
-    if (I.Dest.isVar() && I.Dest.Id == V)
+    if (F.DestV == V)
       return true;
-    return instrMayClobberVar(I, Info.var(V));
+    return F.CanClobber && instrMayClobberVar(I, Info.var(V));
   };
   if (DefinesOrClobbers(Key.V))
     return true;
@@ -102,18 +143,15 @@ bool killsAvail(const Instr &I, const HoistKey &Key,
 /// Anticipability kill: additionally, a *read* of V blocks hoisting the
 /// assignment above it (the read would observe the premature value at
 /// runtime, not merely in the debugger).
-bool killsAnt(const Instr &I, const HoistKey &Key, const ProgramInfo &Info) {
-  if (killsAvail(I, Key, Info))
+bool killsAnt(const Instr &I, const KillFacts &F, const HoistKey &Key,
+              const ProgramInfo &Info) {
+  if (killsAvail(I, F, Key, Info))
     return true;
-  HoistKey Mine;
-  if (occurrenceKey(I, Info, Mine) && Mine == Key)
+  if (F.IsOcc && F.Mine == Key)
     return false;
-  if (instrMayReadVar(I, Info.var(Key.V)))
+  if (F.MayRead && instrMayReadVar(I, Info.var(Key.V)))
     return true;
-  for (const Value &U : instrUses(I))
-    if (U.isVar() && U.Id == Key.V)
-      return true;
-  return false;
+  return F.Use0 == Key.V || F.Use1 == Key.V;
 }
 
 struct KeyOrder {
@@ -134,15 +172,20 @@ public:
     return "partial-redundancy-elimination(hoisting)";
   }
 
-  bool run(IRFunction &F, IRModule &M) override {
-    bool Changed = runMorelRenvoise(F, M);
-    Changed |= eliminateAvailable(F, M);
-    return Changed;
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    // Both phases rewrite instructions in place (insertions go before
+    // existing terminators), so the cached CFG context stays valid
+    // across them — the manager shares one build where the pass
+    // previously built two.
+    bool Changed = runMorelRenvoise(F, M, AM);
+    Changed |= eliminateAvailable(F, M, AM);
+    return {Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Changed};
   }
 
 private:
-  bool runMorelRenvoise(IRFunction &F, IRModule &M) {
-    CFGContext CFG(F);
+  bool runMorelRenvoise(IRFunction &F, IRModule &M, AnalysisManager &AM) {
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
     const ProgramInfo &Info = *M.Info;
     const unsigned N = CFG.numBlocks();
 
@@ -168,19 +211,20 @@ private:
     for (unsigned B = 0; B < N; ++B) {
       BitVector AntKilledAbove(U);
       for (const Instr &I : CFG.block(B)->Insts) {
-        HoistKey K;
-        bool IsOcc = occurrenceKey(I, Info, K);
-        unsigned Id = IsOcc ? KeyIds[K] : 0;
-        if (IsOcc && !AntKilledAbove.test(Id))
+        const KillFacts KF = killFactsOf(I, Info);
+        unsigned Id = KF.IsOcc ? KeyIds[KF.Mine] : 0;
+        if (KF.IsOcc && !AntKilledAbove.test(Id))
           Antloc[B].set(Id);
-        if (IsOcc)
+        if (KF.IsOcc)
           Comp[B].set(Id);
+        if (KF.inert(/*ForAnt=*/true))
+          continue;
         for (unsigned KI = 0; KI < U; ++KI) {
-          if (killsAnt(I, Keys[KI], Info)) {
+          if (killsAnt(I, KF, Keys[KI], Info)) {
             AntKilledAbove.set(KI);
             Transp[B].reset(KI);
           }
-          if (killsAvail(I, Keys[KI], Info)) {
+          if (killsAvail(I, KF, Keys[KI], Info)) {
             TranspAv[B].reset(KI);
             Comp[B].reset(KI);
           }
@@ -363,8 +407,8 @@ private:
   /// path) is deleted outright — the paper's "E2 deleted because
   /// available" case, which needs no insertion.  Source-position
   /// occurrences leave an AvailMarker; bare hoisted instances vanish.
-  bool eliminateAvailable(IRFunction &F, IRModule &M) {
-    CFGContext CFG(F);
+  bool eliminateAvailable(IRFunction &F, IRModule &M, AnalysisManager &AM) {
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
     const ProgramInfo &Info = *M.Info;
     const unsigned N = CFG.numBlocks();
 
@@ -386,11 +430,13 @@ private:
         TranspAv(N, BitVector(U, true));
     for (unsigned B = 0; B < N; ++B)
       for (const Instr &I : CFG.block(B)->Insts) {
-        HoistKey K;
-        if (occurrenceKey(I, Info, K))
-          Comp[B].set(KeyIds[K]);
+        const KillFacts KF = killFactsOf(I, Info);
+        if (KF.IsOcc)
+          Comp[B].set(KeyIds[KF.Mine]);
+        if (KF.inert(/*ForAnt=*/false))
+          continue;
         for (unsigned KI = 0; KI < U; ++KI)
-          if (killsAvail(I, Keys[KI], Info)) {
+          if (killsAvail(I, KF, Keys[KI], Info)) {
             TranspAv[B].reset(KI);
             Comp[B].reset(KI);
           }
@@ -414,9 +460,8 @@ private:
       BasicBlock *BB = CFG.block(B);
       for (auto It = BB->Insts.begin(); It != BB->Insts.end();) {
         Instr &I = *It;
-        HoistKey K;
-        bool IsOcc = occurrenceKey(I, Info, K);
-        if (IsOcc && Avail.test(KeyIds[K])) {
+        const KillFacts KF = killFactsOf(I, Info);
+        if (KF.IsOcc && Avail.test(KeyIds[KF.Mine])) {
           Changed = true;
           if (I.IsHoisted && !I.IsSunk) {
             // A compiler-inserted instance: delete silently (paper §3).
@@ -425,19 +470,20 @@ private:
           }
           Instr Marker;
           Marker.Op = Opcode::AvailMarker;
-          Marker.MarkVar = K.V;
+          Marker.MarkVar = KF.Mine.V;
           Marker.MarkStmt = I.Stmt;
           Marker.Stmt = I.Stmt;
-          Marker.HoistKey = F.internHoistKey(K);
+          Marker.HoistKey = F.internHoistKey(KF.Mine);
           I = std::move(Marker);
           ++It;
           continue;
         }
-        if (IsOcc)
-          Avail.set(KeyIds[K]);
-        for (unsigned KI = 0; KI < U; ++KI)
-          if (killsAvail(I, Keys[KI], Info))
-            Avail.reset(KI);
+        if (KF.IsOcc)
+          Avail.set(KeyIds[KF.Mine]);
+        if (!KF.inert(/*ForAnt=*/false))
+          for (unsigned KI = 0; KI < U; ++KI)
+            if (killsAvail(I, KF, Keys[KI], Info))
+              Avail.reset(KI);
         ++It;
       }
     }

@@ -16,13 +16,31 @@
 #ifndef SLDB_OPT_PASS_H
 #define SLDB_OPT_PASS_H
 
+#include "analysis/AnalysisManager.h"
 #include "ir/IR.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace sldb {
+
+/// What one pass invocation did: the analyses it left intact (consumed
+/// by the AnalysisManager at the pass boundary) and whether the IR
+/// changed at all.  The two are distinct: a pass can mutate the IR while
+/// keeping CFG-shape analyses valid (cfgShape), and a pass that created
+/// a preheader mid-run (invalidating eagerly, then refetching) can
+/// report Changed=false with everything preserved because its caches
+/// are already current.
+struct PassResult {
+  PreservedAnalyses Preserved = PreservedAnalyses::none();
+  bool Changed = false;
+
+  static PassResult unchanged() {
+    return {PreservedAnalyses::all(), false};
+  }
+};
 
 /// Base class for function-level optimization passes.
 class Pass {
@@ -32,8 +50,14 @@ public:
   /// Pass name for -debug style dumps and Table 1 reporting.
   virtual const char *name() const = 0;
 
-  /// Transforms \p F.  Returns true if anything changed.
-  virtual bool run(IRFunction &F, IRModule &M) = 0;
+  /// Transforms \p F, fetching analyses through \p AM (passes never
+  /// construct CFGContext/Dominators/... directly).  Returns what was
+  /// preserved plus a changed bit.
+  virtual PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) = 0;
+
+  /// Convenience for standalone use (unit tests, experiments): runs with
+  /// a throwaway analysis manager and returns the changed bit.
+  bool run(IRFunction &F, IRModule &M);
 };
 
 /// Factory functions (one per Table 1 entry implemented at the IR level).
@@ -73,11 +97,58 @@ struct OptOptions {
   static OptOptions all() { return OptOptions(); }
 };
 
+/// Driver knobs beyond pass selection.
+struct PipelineConfig {
+  bool TimePasses = false; ///< Collect per-slot wall time (needs Stats).
+  bool VerifyEach = false; ///< Run the IR verifier after every pass;
+                           ///< aborts with a report on the first failure.
+  bool FixpointPropagation = false; ///< Iterate the propagate→simplify
+                                    ///< clusters to a fixed point
+                                    ///< (bounded) instead of one sweep.
+  bool DisableAnalysisCache = false; ///< Invalidate all analyses at every
+                                     ///< pass boundary (models the
+                                     ///< pre-manager pipeline; used by
+                                     ///< the throughput bench as its
+                                     ///< uncached reference).
+  /// Called after each (pass, function) step; used by the stale-cache
+  /// property test to compare cached analyses against fresh ones.
+  std::function<void(IRFunction &F, IRModule &M, AnalysisManager &AM,
+                     const char *PassName)>
+      AfterPass;
+
+  /// Default config with environment overrides applied
+  /// (SLDB_VERIFY_EACH=1 enables VerifyEach), so test re-registrations
+  /// can flip verification without plumbing flags through every caller.
+  static PipelineConfig fromEnvironment();
+};
+
+/// Per-slot activity of one pipeline run.
+struct PassSlotStats {
+  std::string Name;
+  unsigned Runs = 0;    ///< Function invocations.
+  unsigned Changed = 0; ///< Invocations that reported a change.
+  double WallMs = 0;    ///< Filled when PipelineConfig::TimePasses.
+};
+
+/// Aggregate observability of one pipeline run.
+struct PipelineStats {
+  std::vector<PassSlotStats> Slots;
+  AnalysisStats Analyses; ///< Cache hits/misses of the shared manager.
+  double TotalMs = 0;     ///< Filled when PipelineConfig::TimePasses.
+};
+
 /// Runs the cmcc-like pipeline over every function of \p M.
 /// Passes are ordered so that hoisting (PRE) runs before sinking (PDE),
 /// matching the interaction the paper reports (§4: hoisted assignments
 /// that were partially dead were subsequently sunk).
 void runPipeline(IRModule &M, const OptOptions &Opts);
+
+/// Full-control pipeline entry point: analysis caching across passes,
+/// optional per-pass timing/verification, optional fixpoint iteration of
+/// the propagation clusters.  \p Stats may be null.
+void runPipelineEx(IRModule &M, const OptOptions &Opts,
+                   const PipelineConfig &Config,
+                   PipelineStats *Stats = nullptr);
 
 /// One pass's aggregate activity over a module: how many (function, pass
 /// slot) runs reported a change.  Names repeat in pipeline order when a

@@ -6,24 +6,44 @@
 
 #include "opt/Pass.h"
 
+#include "ir/Verifier.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 using namespace sldb;
+
+bool Pass::run(IRFunction &F, IRModule &M) {
+  AnalysisManager AM(*M.Info);
+  return run(F, M, AM).Changed;
+}
 
 namespace {
 
+/// One pipeline slot.  Slots sharing a Cluster id form a
+/// propagate→simplify group the fixpoint driver may iterate.
+struct Slot {
+  std::unique_ptr<Pass> P;
+  int Cluster = -1;
+};
+
 /// Builds the pipeline in execution order.
-std::vector<std::unique_ptr<Pass>> buildPipeline(const OptOptions &O) {
-  std::vector<std::unique_ptr<Pass>> P;
-  auto Add = [&](bool Enabled, std::unique_ptr<Pass> Pass) {
+std::vector<Slot> buildPipeline(const OptOptions &O) {
+  std::vector<Slot> P;
+  auto Add = [&](bool Enabled, std::unique_ptr<Pass> Pass, int Cluster = -1) {
     if (Enabled)
-      P.push_back(std::move(Pass));
+      P.push_back({std::move(Pass), Cluster});
   };
 
-  // Cleanup + early simplification.
+  // Cleanup + early simplification (cluster 0: the first
+  // propagate→simplify group).
   Add(O.BranchOpt, createBranchOptPass());
-  Add(O.ConstProp, createLocalSimplifyPass());
-  Add(O.ConstProp, createConstantPropagationPass());
-  Add(O.ConstProp, createLocalSimplifyPass());
-  Add(O.CopyProp, createCopyPropagationPass());
+  Add(O.ConstProp, createLocalSimplifyPass(), 0);
+  Add(O.ConstProp, createConstantPropagationPass(), 0);
+  Add(O.ConstProp, createLocalSimplifyPass(), 0);
+  Add(O.CopyProp, createCopyPropagationPass(), 0);
   Add(O.BranchOpt, createBranchOptPass());
 
   // Loop restructuring first: peeling exposes redundancy to PRE.
@@ -36,11 +56,11 @@ std::vector<std::unique_ptr<Pass>> buildPipeline(const OptOptions &O) {
   Add(O.LICM, createLoopInvariantCodeMotionPass());
   Add(O.IVOpt, createInductionVariableOptPass());
 
-  // Second propagation round feeds dead-code elimination (and builds the
-  // recovery chains of paper §2.5 / Figure 4).
-  Add(O.ConstProp, createConstantPropagationPass());
-  Add(O.ConstProp, createLocalSimplifyPass());
-  Add(O.CopyProp, createCopyPropagationPass());
+  // Second propagation round (cluster 1) feeds dead-code elimination
+  // (and builds the recovery chains of paper §2.5 / Figure 4).
+  Add(O.ConstProp, createConstantPropagationPass(), 1);
+  Add(O.ConstProp, createLocalSimplifyPass(), 1);
+  Add(O.CopyProp, createCopyPropagationPass(), 1);
 
   // Sinking after hoisting (paper §4: hoisted assignments that are
   // partially dead get sunk back down), then full dead-code elimination.
@@ -50,32 +70,118 @@ std::vector<std::unique_ptr<Pass>> buildPipeline(const OptOptions &O) {
   return P;
 }
 
+/// Caps fixpoint iteration of one cluster (safety net; the propagation
+/// passes converge quickly in practice).
+constexpr unsigned MaxClusterRounds = 4;
+
+void verifyAfterPass(IRFunction &F, IRModule &M, const char *PassName) {
+  std::vector<std::string> Errors;
+  if (verifyFunction(F, *M.Info, Errors))
+    return;
+  std::fprintf(stderr,
+               "sldb: IR verification failed after pass '%s' on '%s':\n",
+               PassName, F.Name.c_str());
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  std::abort();
+}
+
 } // namespace
 
-void sldb::runPipeline(IRModule &M, const OptOptions &Opts) {
+PipelineConfig PipelineConfig::fromEnvironment() {
+  PipelineConfig C;
+  const char *V = std::getenv("SLDB_VERIFY_EACH");
+  if (V && *V && std::strcmp(V, "0") != 0)
+    C.VerifyEach = true;
+  return C;
+}
+
+void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
+                         const PipelineConfig &Config, PipelineStats *Stats) {
+  using Clock = std::chrono::steady_clock;
   auto Pipeline = buildPipeline(Opts);
-  for (auto &F : M.Funcs)
-    for (auto &P : Pipeline)
-      P->run(*F, M);
+  AnalysisManager AM(*M.Info);
+
+  if (Stats) {
+    Stats->Slots.clear();
+    for (const Slot &S : Pipeline)
+      Stats->Slots.push_back({S.P->name(), 0, 0, 0});
+  }
+
+  const bool Timing = Config.TimePasses && Stats;
+  auto RunStart = Timing ? Clock::now() : Clock::time_point();
+
+  auto RunSlot = [&](std::size_t I, IRFunction &F) {
+    auto T0 = Timing ? Clock::now() : Clock::time_point();
+    PassResult R = Pipeline[I].P->run(F, M, AM);
+    AM.invalidate(F, R.Preserved);
+    if (Config.DisableAnalysisCache)
+      AM.invalidateAll(F);
+    if (Config.VerifyEach)
+      verifyAfterPass(F, M, Pipeline[I].P->name());
+    if (Config.AfterPass)
+      Config.AfterPass(F, M, AM, Pipeline[I].P->name());
+    if (Stats) {
+      PassSlotStats &S = Stats->Slots[I];
+      ++S.Runs;
+      S.Changed += R.Changed;
+      if (Timing)
+        S.WallMs +=
+            std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                .count();
+    }
+    return R.Changed;
+  };
+
+  // Function-major order: with the fixpoint driver off, the transformed
+  // module is bit-identical to the historical one-sweep pipeline.
+  for (auto &F : M.Funcs) {
+    std::size_t I = 0;
+    while (I < Pipeline.size()) {
+      int Cluster = Pipeline[I].Cluster;
+      if (Cluster < 0 || !Config.FixpointPropagation) {
+        RunSlot(I, *F);
+        ++I;
+        continue;
+      }
+      std::size_t End = I;
+      while (End < Pipeline.size() && Pipeline[End].Cluster == Cluster)
+        ++End;
+      bool Again = true;
+      for (unsigned Round = 0; Again && Round < MaxClusterRounds; ++Round) {
+        Again = false;
+        for (std::size_t K = I; K < End; ++K)
+          Again |= RunSlot(K, *F);
+      }
+      I = End;
+    }
+  }
+
+  if (Stats) {
+    Stats->Analyses = AM.stats();
+    if (Timing)
+      Stats->TotalMs =
+          std::chrono::duration<double, std::milli>(Clock::now() - RunStart)
+              .count();
+  }
+}
+
+void sldb::runPipeline(IRModule &M, const OptOptions &Opts) {
+  runPipelineEx(M, Opts, PipelineConfig::fromEnvironment());
 }
 
 void sldb::runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
                                    std::vector<PassFiring> &Firings) {
-  auto Pipeline = buildPipeline(Opts);
+  PipelineStats Stats;
+  runPipelineEx(M, Opts, PipelineConfig::fromEnvironment(), &Stats);
   Firings.clear();
-  for (auto &P : Pipeline)
-    Firings.push_back({P->name(), 0});
-  // Same function-major order as runPipeline: the transformed module is
-  // bit-identical to the uninstrumented run.
-  for (auto &F : M.Funcs)
-    for (std::size_t I = 0; I < Pipeline.size(); ++I)
-      if (Pipeline[I]->run(*F, M))
-        ++Firings[I].Changed;
+  for (const PassSlotStats &S : Stats.Slots)
+    Firings.push_back({S.Name, S.Changed});
 }
 
 std::vector<std::string> sldb::pipelinePassNames(const OptOptions &Opts) {
   std::vector<std::string> Names;
-  for (auto &P : buildPipeline(Opts))
-    Names.emplace_back(P->name());
+  for (auto &S : buildPipeline(Opts))
+    Names.emplace_back(S.P->name());
   return Names;
 }

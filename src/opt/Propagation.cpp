@@ -17,10 +17,6 @@
 
 #include "opt/Pass.h"
 
-#include "analysis/CFGContext.h"
-#include "analysis/InstrInfo.h"
-#include "analysis/ReachingDefs.h"
-
 #include <unordered_map>
 
 using namespace sldb;
@@ -39,10 +35,11 @@ class ConstantPropagation : public Pass {
 public:
   const char *name() const override { return "constant-propagation"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
-    CFGContext CFG(F);
-    ValueIndex VI(F, *M.Info);
-    ReachingDefs RD(CFG, VI, *M.Info);
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    (void)M;
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    ValueIndex &VI = AM.getResult<ValueIndex>(F);
+    ReachingDefs &RD = AM.getResult<ReachingDefs>(F);
     bool Changed = false;
 
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
@@ -63,7 +60,10 @@ public:
         RD.transfer(I, Reach);
       }
     }
-    return Changed;
+    // Operand rewrites leave the block graph alone but can shrink the
+    // value universe, so only CFG-shape analyses survive.
+    return {Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Changed};
   }
 
 private:
@@ -74,10 +74,13 @@ private:
     unsigned Idx = VI.valueIndex(Op);
     if (Idx == ~0u)
       return false;
-    BitVector Defs = RD.defsOfValue(Idx);
-    Defs &= Reach;
+    // Iterate the (small) def set of the value filtered by Reach instead
+    // of materializing the intersection: this runs once per var operand.
+    const BitVector &Defs = RD.defsOfValue(Idx);
     bool HaveConst = false;
     for (unsigned D : Defs) {
+      if (!Reach.test(D))
+        continue;
       if (RD.isUnknownDef(D))
         return false;
       const Instr *DefI = RD.def(D).I;
@@ -109,10 +112,10 @@ class CopyPropagation : public Pass {
 public:
   const char *name() const override { return "assignment-propagation"; }
 
-  bool run(IRFunction &F, IRModule &M) override {
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     const ProgramInfo &Info = *M.Info;
-    CFGContext CFG(F);
-    ValueIndex VI(F, Info);
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    ValueIndex &VI = AM.getResult<ValueIndex>(F);
 
     // Snapshot the copy instances up front: rewrites below may rewrite a
     // copy's own source operand, and the data-flow solution is only
@@ -141,23 +144,34 @@ public:
                                            : nullptr});
       }
     if (Copies.empty())
-      return false;
+      return PassResult::unchanged();
     const unsigned U = static_cast<unsigned>(Copies.size());
 
-    auto Kills = [&](const Instr &I, const CopyInfo &C) {
-      unsigned DefIdx = VI.valueIndex(I.Dest);
+    // The per-instruction facts (def index, clobber capability) are
+    // hoisted out of the per-copy loop; instructions that define nothing
+    // tracked and cannot write memory skip the loop entirely.
+    auto Kills = [&](const Instr &I, unsigned DefIdx, bool CanClobber,
+                     const CopyInfo &C) {
       if (DefIdx != ~0u && (DefIdx == C.DestIdx || DefIdx == C.SrcIdx))
         return true;
-      if (C.DestVar && instrMayClobberVar(I, *C.DestVar))
-        return true;
-      if (C.SrcVar && instrMayClobberVar(I, *C.SrcVar))
-        return true;
+      if (CanClobber) {
+        if (C.DestVar && instrMayClobberVar(I, *C.DestVar))
+          return true;
+        if (C.SrcVar && instrMayClobberVar(I, *C.SrcVar))
+          return true;
+      }
       return false;
     };
+    auto CanClobberAny = [](const Instr &I) {
+      return I.Op == Opcode::Store || I.Op == Opcode::Call;
+    };
     auto Transfer = [&](const Instr &I, BitVector &S) {
-      for (unsigned C = 0; C < U; ++C)
-        if (Kills(I, Copies[C]))
-          S.reset(C);
+      unsigned DefIdx = VI.valueIndex(I.Dest);
+      bool Clob = CanClobberAny(I);
+      if (DefIdx != ~0u || Clob)
+        for (unsigned C = 0; C < U; ++C)
+          if (Kills(I, DefIdx, Clob, Copies[C]))
+            S.reset(C);
       auto It = CopyIdx.find(&I);
       if (It != CopyIdx.end())
         S.set(It->second); // Gen after kill: the copy redefines its dest.
@@ -169,18 +183,21 @@ public:
     P.init(CFG, U);
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
       BitVector Gen(U), Kill(U);
-      for (const Instr &I : CFG.block(B)->Insts)
-        for (unsigned C = 0; C < U; ++C) {
-          if (Kills(I, Copies[C])) {
-            Gen.reset(C);
-            Kill.set(C);
-          }
-          auto It = CopyIdx.find(&I);
-          if (It != CopyIdx.end() && It->second == C) {
-            Gen.set(C);
-            Kill.reset(C);
-          }
+      for (const Instr &I : CFG.block(B)->Insts) {
+        unsigned DefIdx = VI.valueIndex(I.Dest);
+        bool Clob = CanClobberAny(I);
+        if (DefIdx != ~0u || Clob)
+          for (unsigned C = 0; C < U; ++C)
+            if (Kills(I, DefIdx, Clob, Copies[C])) {
+              Gen.reset(C);
+              Kill.set(C);
+            }
+        auto It = CopyIdx.find(&I);
+        if (It != CopyIdx.end()) {
+          Gen.set(It->second);
+          Kill.reset(It->second);
         }
+      }
       P.Gen[B] = std::move(Gen);
       P.Kill[B] = std::move(Kill);
     }
@@ -212,7 +229,8 @@ public:
         Transfer(I, Avail);
       }
     }
-    return Changed;
+    return {Changed ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
+            Changed};
   }
 };
 

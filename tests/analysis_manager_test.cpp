@@ -1,0 +1,281 @@
+//===- tests/analysis_manager_test.cpp -------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis manager contract: caching (same object back), explicit
+/// invalidation with dependency closure, prerequisite materialization,
+/// and — the property that actually keeps the refactor honest — that a
+/// cached analysis surviving a pass boundary equals the one a fresh
+/// computation would produce, checked after every (pass, function) step
+/// of the full pipeline over a fuzz corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "fuzz/ProgramGen.h"
+#include "ir/IRGen.h"
+#include "opt/Pass.h"
+
+#include <gtest/gtest.h>
+
+using namespace sldb;
+
+namespace {
+
+const char *SimpleLoop = R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i > 5) {
+      s = s + i * 2;
+    } else {
+      s = s - i;
+    }
+  }
+  print(s);
+  return s;
+}
+)";
+
+std::unique_ptr<IRModule> compile(const char *Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_TRUE(M) << Diags.str();
+  return M;
+}
+
+TEST(AnalysisManager, CacheHitReturnsSameObject) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  CFGContext &A = AM.getResult<CFGContext>(F);
+  CFGContext &B = AM.getResult<CFGContext>(F);
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(AM.stats().Misses[static_cast<unsigned>(AnalysisID::CFG)], 1u);
+  EXPECT_EQ(AM.stats().Hits[static_cast<unsigned>(AnalysisID::CFG)], 1u);
+}
+
+TEST(AnalysisManager, GetCachedNeverComputes) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  EXPECT_EQ(AM.getCached<CFGContext>(F), nullptr);
+  AM.getResult<CFGContext>(F);
+  EXPECT_NE(AM.getCached<CFGContext>(F), nullptr);
+}
+
+TEST(AnalysisManager, PrerequisitesMaterializeThroughTheCache) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  // Liveness pulls in the CFG and the value index; loops pull in
+  // dominators.
+  AM.getResult<Liveness>(F);
+  EXPECT_NE(AM.getCached<CFGContext>(F), nullptr);
+  EXPECT_NE(AM.getCached<ValueIndex>(F), nullptr);
+  AM.getResult<LoopInfo>(F);
+  EXPECT_NE(AM.getCached<Dominators>(F), nullptr);
+
+  // The prerequisite CFG is shared, not rebuilt: one miss only.
+  EXPECT_EQ(AM.stats().Misses[static_cast<unsigned>(AnalysisID::CFG)], 1u);
+}
+
+TEST(AnalysisManager, PreserveAllKeepsEverything) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  CFGContext *CFG = &AM.getResult<CFGContext>(F);
+  Liveness *Live = &AM.getResult<Liveness>(F);
+  AM.invalidate(F, PreservedAnalyses::all());
+  EXPECT_EQ(AM.getCached<CFGContext>(F), CFG);
+  EXPECT_EQ(AM.getCached<Liveness>(F), Live);
+}
+
+TEST(AnalysisManager, CfgShapePreservesShapeDropsInstructionLevel) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  CFGContext *CFG = &AM.getResult<CFGContext>(F);
+  Dominators *Dom = &AM.getResult<Dominators>(F);
+  LoopInfo *LI = &AM.getResult<LoopInfo>(F);
+  AM.getResult<Liveness>(F);
+  AM.getResult<ReachingDefs>(F);
+
+  AM.invalidate(F, PreservedAnalyses::cfgShape());
+  EXPECT_EQ(AM.getCached<CFGContext>(F), CFG);
+  EXPECT_EQ(AM.getCached<Dominators>(F), Dom);
+  EXPECT_EQ(AM.getCached<LoopInfo>(F), LI);
+  EXPECT_EQ(AM.getCached<ValueIndex>(F), nullptr);
+  EXPECT_EQ(AM.getCached<Liveness>(F), nullptr);
+  EXPECT_EQ(AM.getCached<ReachingDefs>(F), nullptr);
+}
+
+TEST(AnalysisManager, InvalidationClosesOverDependencies) {
+  auto M = compile(SimpleLoop);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F = *M->Funcs[0];
+
+  // Dropping the CFG drops everything built on it, even when the pass
+  // claims the dependents are preserved.
+  AM.getResult<ReachingDefs>(F);
+  AM.getResult<LoopInfo>(F);
+  PreservedAnalyses PA = PreservedAnalyses::all();
+  PA.abandon(AnalysisID::CFG);
+  AM.invalidate(F, PA);
+  EXPECT_EQ(AM.getCached<CFGContext>(F), nullptr);
+  EXPECT_EQ(AM.getCached<Dominators>(F), nullptr);
+  EXPECT_EQ(AM.getCached<LoopInfo>(F), nullptr);
+  EXPECT_EQ(AM.getCached<ReachingDefs>(F), nullptr);
+
+  // Dropping dominators drops loops but keeps the CFG.
+  AM.getResult<LoopInfo>(F);
+  PA = PreservedAnalyses::all();
+  PA.abandon(AnalysisID::Dominators);
+  AM.invalidate(F, PA);
+  EXPECT_NE(AM.getCached<CFGContext>(F), nullptr);
+  EXPECT_EQ(AM.getCached<Dominators>(F), nullptr);
+  EXPECT_EQ(AM.getCached<LoopInfo>(F), nullptr);
+
+  // Dropping the value index drops liveness and reaching defs.
+  AM.getResult<Liveness>(F);
+  AM.getResult<ReachingDefs>(F);
+  PA = PreservedAnalyses::all();
+  PA.abandon(AnalysisID::Values);
+  AM.invalidate(F, PA);
+  EXPECT_NE(AM.getCached<CFGContext>(F), nullptr);
+  EXPECT_EQ(AM.getCached<ValueIndex>(F), nullptr);
+  EXPECT_EQ(AM.getCached<Liveness>(F), nullptr);
+  EXPECT_EQ(AM.getCached<ReachingDefs>(F), nullptr);
+}
+
+TEST(AnalysisManager, InvalidationIsPerFunction) {
+  auto M = compile(R"(
+int helper(int x) { return x * 2; }
+int main() { print(helper(21)); return 0; }
+)");
+  ASSERT_GE(M->Funcs.size(), 2u);
+  AnalysisManager AM(*M->Info);
+  IRFunction &F0 = *M->Funcs[0];
+  IRFunction &F1 = *M->Funcs[1];
+
+  CFGContext *C0 = &AM.getResult<CFGContext>(F0);
+  CFGContext *C1 = &AM.getResult<CFGContext>(F1);
+  AM.invalidateAll(F0);
+  EXPECT_EQ(AM.getCached<CFGContext>(F0), nullptr);
+  EXPECT_EQ(AM.getCached<CFGContext>(F1), C1);
+  (void)C0;
+}
+
+//===----------------------------------------------------------------------===//
+// Property: after every pass, every surviving cached analysis equals a
+// fresh computation.
+//===----------------------------------------------------------------------===//
+
+void expectCFGEqual(const CFGContext &Cached, const CFGContext &Fresh,
+                    const char *PassName) {
+  ASSERT_EQ(Cached.numBlocks(), Fresh.numBlocks()) << PassName;
+  for (unsigned B = 0; B < Cached.numBlocks(); ++B) {
+    EXPECT_EQ(Cached.block(B), Fresh.block(B)) << PassName << " block " << B;
+    EXPECT_EQ(Cached.preds(B), Fresh.preds(B)) << PassName << " block " << B;
+    EXPECT_EQ(Cached.succs(B), Fresh.succs(B)) << PassName << " block " << B;
+  }
+  EXPECT_EQ(Cached.exits(), Fresh.exits()) << PassName;
+}
+
+/// Compares every cached analysis of \p F against one computed from
+/// scratch.  A stale survivor here means a pass lied about what it
+/// preserved (or the invalidation closure has a hole).
+void checkCachedAgainstFresh(IRFunction &F, IRModule &M, AnalysisManager &AM,
+                             const char *PassName) {
+  const CFGContext *CFG = AM.getCached<CFGContext>(F);
+  if (!CFG)
+    return; // Nothing else can be cached without the CFG.
+  CFGContext Fresh(F);
+  expectCFGEqual(*CFG, Fresh, PassName);
+
+  if (const Dominators *Dom = AM.getCached<Dominators>(F)) {
+    Dominators FreshDom(Fresh);
+    for (unsigned B = 0; B < Fresh.numBlocks(); ++B)
+      EXPECT_TRUE(Dom->domSet(B) == FreshDom.domSet(B))
+          << PassName << " dominators of block " << B;
+  }
+  if (const PostDominators *PDom = AM.getCached<PostDominators>(F)) {
+    PostDominators FreshPDom(Fresh);
+    for (unsigned B = 0; B < Fresh.numBlocks(); ++B)
+      EXPECT_TRUE(PDom->postDomSet(B) == FreshPDom.postDomSet(B))
+          << PassName << " post-dominators of block " << B;
+  }
+  if (const LoopInfo *LI = AM.getCached<LoopInfo>(F)) {
+    Dominators FreshDom(Fresh);
+    LoopInfo FreshLI(Fresh, FreshDom);
+    ASSERT_EQ(LI->loops().size(), FreshLI.loops().size()) << PassName;
+    for (unsigned L = 0; L < LI->loops().size(); ++L) {
+      EXPECT_EQ(LI->loops()[L].Header, FreshLI.loops()[L].Header)
+          << PassName;
+      EXPECT_TRUE(LI->loops()[L].Blocks == FreshLI.loops()[L].Blocks)
+          << PassName;
+      EXPECT_EQ(LI->loops()[L].Latches, FreshLI.loops()[L].Latches)
+          << PassName;
+      EXPECT_EQ(LI->loops()[L].ExitBlocks, FreshLI.loops()[L].ExitBlocks)
+          << PassName;
+    }
+  }
+  const ValueIndex *VI = AM.getCached<ValueIndex>(F);
+  if (VI) {
+    ValueIndex FreshVI(F, *M.Info);
+    ASSERT_EQ(VI->size(), FreshVI.size()) << PassName;
+    ASSERT_EQ(VI->trackedVars(), FreshVI.trackedVars()) << PassName;
+    for (VarId V : VI->trackedVars())
+      EXPECT_EQ(VI->varIndex(V), FreshVI.varIndex(V)) << PassName;
+  }
+  if (const Liveness *Live = AM.getCached<Liveness>(F)) {
+    ASSERT_NE(VI, nullptr) << PassName; // Liveness keeps VI alive.
+    Liveness FreshLive(Fresh, *VI, *M.Info);
+    for (unsigned B = 0; B < Fresh.numBlocks(); ++B) {
+      EXPECT_TRUE(Live->liveIn(B) == FreshLive.liveIn(B))
+          << PassName << " live-in of block " << B;
+      EXPECT_TRUE(Live->liveOut(B) == FreshLive.liveOut(B))
+          << PassName << " live-out of block " << B;
+    }
+  }
+  if (const ReachingDefs *RD = AM.getCached<ReachingDefs>(F)) {
+    ASSERT_NE(VI, nullptr) << PassName;
+    ReachingDefs FreshRD(Fresh, *VI, *M.Info);
+    ASSERT_EQ(RD->numDefs(), FreshRD.numDefs()) << PassName;
+    for (unsigned B = 0; B < Fresh.numBlocks(); ++B)
+      EXPECT_TRUE(RD->reachIn(B) == FreshRD.reachIn(B))
+          << PassName << " reach-in of block " << B;
+  }
+}
+
+TEST(AnalysisManagerProperty, CachedEqualsFreshAfterEveryPass) {
+  for (unsigned Seed = 0; Seed < 12; ++Seed) {
+    GenOptions G;
+    std::string Src = generateProgram(3000 + Seed, G);
+    DiagnosticEngine Diags;
+    auto M = compileToIR(Src, Diags);
+    ASSERT_TRUE(M) << "seed " << 3000 + Seed << ": " << Diags.str();
+
+    PipelineConfig Config;
+    Config.FixpointPropagation = true; // Exercise the cluster driver too.
+    Config.AfterPass = checkCachedAgainstFresh;
+    runPipelineEx(*M, OptOptions::all(), Config);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "stale cached analysis for fuzz seed "
+                    << 3000 + Seed;
+      return;
+    }
+  }
+}
+
+} // namespace

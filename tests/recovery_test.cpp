@@ -51,8 +51,9 @@ LockstepResult soundLockstep(const char *Src) {
 }
 
 /// The observation of variable \p Name at the first stop on \p Stmt.
-const VarObservation *findObservation(const LockstepResult &R, StmtId Stmt,
-                                      const std::string &Name) {
+[[maybe_unused]] const VarObservation *
+findObservation(const LockstepResult &R, StmtId Stmt,
+                const std::string &Name) {
   for (const StopObservation &S : R.Stops) {
     if (S.Stmt != Stmt)
       continue;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Structural guard for the analysis-manager refactor: no pass and no core
+# debugger component may construct an IR analysis directly — everything
+# goes through AnalysisManager::getResult so caching and invalidation
+# stay sound.  Registered as a ctest (see tests/CMakeLists.txt); run from
+# the repository root.
+#
+# Scope: src/opt and src/core.  src/analysis is exempt (the manager and
+# the analyses themselves live there), and so are tests (unit tests of an
+# analysis construct it on purpose).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+# Stack/heap construction of an analysis type: "CFGContext CFG(F)",
+# "auto X = CFGContext(...)", "make_unique<Dominators>", "new Liveness".
+TYPES='CFGContext|Dominators|PostDominators|LoopInfo|ValueIndex|Liveness|ReachingDefs'
+PATTERN="\b($TYPES)[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\(|make_unique<[[:space:]]*($TYPES)[[:space:]]*>|new[[:space:]]+($TYPES)\b|=[[:space:]]*($TYPES)[[:space:]]*\("
+
+VIOLATIONS=$(grep -rEn "$PATTERN" src/opt src/core --include='*.cpp' --include='*.h' | grep -v '^\s*//' || true)
+
+if [ -n "$VIOLATIONS" ]; then
+  echo "error: direct analysis construction outside the AnalysisManager:" >&2
+  echo "$VIOLATIONS" >&2
+  echo "use AM.getResult<...>(F) instead (see src/analysis/AnalysisManager.h)" >&2
+  exit 1
+fi
+echo "OK: src/opt and src/core construct no IR analysis directly"

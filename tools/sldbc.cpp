@@ -13,6 +13,10 @@
 //   sldbc --emit=stmts prog.mc        dump the statement (breakpoint) map
 //   sldbc -O0 prog.mc                 disable the optimizer
 //   sldbc --no-promote prog.mc        keep variables in memory (Fig 5a)
+//   sldbc --time-passes prog.mc       per-pass wall time report (stderr)
+//   sldbc --pass-stats prog.mc        per-pass change counts + analysis
+//                                     cache hit/miss report (stderr)
+//   sldbc --verify-each prog.mc       run the IR verifier after every pass
 //   sldbc --debug prog.mc             interactive debugger (REPL)
 //   sldbc --debug --cmd "b main 3" --cmd run --cmd scope prog.mc
 //
@@ -54,6 +58,9 @@ struct Options {
   bool Optimize = true;
   bool Promote = true;
   bool Schedule = true;
+  bool TimePasses = false;
+  bool PassStats = false;
+  bool VerifyEach = false;
   std::vector<std::string> ScriptedCommands;
 };
 
@@ -61,6 +68,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
+               "             [--time-passes] [--pass-stats] [--verify-each]\n"
                "             [--cmd <repl-command>]... <file.mc>\n");
 }
 
@@ -77,6 +85,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Promote = false;
     } else if (A == "--no-schedule") {
       Opts.Schedule = false;
+    } else if (A == "--time-passes") {
+      Opts.TimePasses = true;
+    } else if (A == "--pass-stats") {
+      Opts.PassStats = true;
+    } else if (A == "--verify-each") {
+      Opts.VerifyEach = true;
     } else if (A == "--debug") {
       Opts.Emit = "debug";
     } else if (A == "--cmd") {
@@ -305,8 +319,49 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Opts.Optimize)
-    runPipeline(*Module, OptOptions::all());
+  if (Opts.Optimize) {
+    if (Opts.TimePasses || Opts.PassStats || Opts.VerifyEach) {
+      PipelineConfig Config = PipelineConfig::fromEnvironment();
+      Config.TimePasses |= Opts.TimePasses;
+      Config.VerifyEach |= Opts.VerifyEach;
+      PipelineStats Stats;
+      runPipelineEx(*Module, OptOptions::all(), Config, &Stats);
+      if (Opts.TimePasses || Opts.PassStats) {
+        std::fprintf(stderr, "%-45s %6s %8s", "pass", "runs", "changed");
+        if (Opts.TimePasses)
+          std::fprintf(stderr, " %9s", "wall-ms");
+        std::fprintf(stderr, "\n");
+        for (const PassSlotStats &S : Stats.Slots) {
+          std::fprintf(stderr, "%-45s %6u %8u", S.Name.c_str(), S.Runs,
+                       S.Changed);
+          if (Opts.TimePasses)
+            std::fprintf(stderr, " %9.3f", S.WallMs);
+          std::fprintf(stderr, "\n");
+        }
+        if (Opts.TimePasses)
+          std::fprintf(stderr, "%-45s %6s %8s %9.3f\n", "total", "", "",
+                       Stats.TotalMs);
+      }
+      if (Opts.PassStats) {
+        std::fprintf(stderr, "analysis cache:\n");
+        for (unsigned ID = 0; ID < NumAnalysisIDs; ++ID) {
+          std::uint64_t H = Stats.Analyses.Hits[ID];
+          std::uint64_t M = Stats.Analyses.Misses[ID];
+          if (H + M == 0)
+            continue;
+          std::fprintf(stderr,
+                       "  %-14s %8llu hits %8llu misses (%.1f%%)\n",
+                       analysisName(static_cast<AnalysisID>(ID)),
+                       static_cast<unsigned long long>(H),
+                       static_cast<unsigned long long>(M),
+                       100.0 * static_cast<double>(H) /
+                           static_cast<double>(H + M));
+        }
+      }
+    } else {
+      runPipeline(*Module, OptOptions::all());
+    }
+  }
 
   if (Opts.Emit == "ir-opt") {
     std::printf("%s", printModule(*Module).c_str());
