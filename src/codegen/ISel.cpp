@@ -9,7 +9,10 @@
 #include "codegen/RegAlloc.h"
 #include "codegen/Scheduler.h"
 #include "support/Casting.h"
+#include "support/FaultInjector.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 using namespace sldb;
@@ -24,7 +27,17 @@ public:
 
   MachineFunction run();
 
+  /// Non-empty when selection met IR no lowering rule covers (an array
+  /// used as a scalar, a call exceeding the R3K argument registers);
+  /// the machine function is unusable and the caller must discard it.
+  std::string Err;
+
 private:
+  void selectionError(const std::string &Msg) {
+    if (Err.empty())
+      Err = F.Name + ": " + Msg;
+  }
+
   RegClass classFor(IRType Ty) const {
     return Ty == IRType::Double ? RegClass::Fp : RegClass::Int;
   }
@@ -139,7 +152,10 @@ Reg FunctionSelector::useValue(const Value &V, StmtId Stmt) {
   case Value::Kind::Var: {
     VarId Id = V.Id;
     const VarInfo &VI = Info.var(Id);
-    assert(VI.isScalar() && "array used as a value operand");
+    if (!VI.isScalar()) {
+      selectionError("array '" + VI.Name + "' used as a value operand");
+      return newVReg(RegClass::Int);
+    }
     if (isPromoted(Id))
       return varReg(Id);
     // Memory-homed: load from frame or global.
@@ -258,9 +274,21 @@ void FunctionSelector::lowerCall(const Instr &I) {
   for (Reg A : ArgRegs) {
     MInstr Mov;
     if (A.Cls == RegClass::Fp) {
+      if (FpIdx >= R3K::NumArgRegs) {
+        selectionError("call passes more than " +
+                       std::to_string(R3K::NumArgRegs) +
+                       " fp arguments (R3K calling convention)");
+        continue;
+      }
       Mov.Op = MOp::FMOV;
       Mov.Dest = Reg::phys(RegClass::Fp, R3K::FirstFpArg + FpIdx++);
     } else {
+      if (IntIdx >= R3K::NumArgRegs) {
+        selectionError("call passes more than " +
+                       std::to_string(R3K::NumArgRegs) +
+                       " integer arguments (R3K calling convention)");
+        continue;
+      }
       Mov.Op = MOp::MOV;
       Mov.Dest = Reg::phys(RegClass::Int, R3K::FirstIntArg + IntIdx++);
     }
@@ -268,8 +296,6 @@ void FunctionSelector::lowerCall(const Instr &I) {
     Mov.Stmt = I.Stmt;
     emit(std::move(Mov));
   }
-  assert(IntIdx <= R3K::NumArgRegs && FpIdx <= R3K::NumArgRegs &&
-         "too many arguments for the R3K calling convention");
 
   MInstr Jal;
   Jal.Op = MOp::JAL;
@@ -626,11 +652,25 @@ MachineFunction FunctionSelector::run() {
     }
     MF.Storage[V] = S;
   }
+
+  // Marker census for the AnnotationVerifier (the backend never deletes
+  // markers, so the counts must survive scheduling and allocation), plus
+  // any integrity findings the IR pipeline already recorded.
+  for (const MachineBlock &B : MF.Blocks)
+    for (const MInstr &I : B.Insts) {
+      if (I.Op == MOp::MDEAD)
+        ++MF.ExpectedDeadMarkers;
+      else if (I.Op == MOp::MAVAIL)
+        ++MF.ExpectedAvailMarkers;
+    }
+  MF.IntegrityFindings = F.AnnotationFindings;
   return MF;
 }
 
-MachineModule sldb::selectModule(const IRModule &M,
-                                 const CodegenOptions &Opts) {
+namespace {
+
+MachineModule selectModuleImpl(const IRModule &M, const CodegenOptions &Opts,
+                               std::string *Err) {
   MachineModule MM;
   MM.Info = M.Info.get();
 
@@ -646,17 +686,137 @@ MachineModule sldb::selectModule(const IRModule &M,
   for (const auto &F : M.Funcs) {
     FunctionSelector Sel(*F, M, MM, Opts);
     MM.Funcs.push_back(Sel.run());
+    if (Err && Err->empty() && !Sel.Err.empty())
+      *Err = Sel.Err;
   }
+  return MM;
+}
+
+/// Applies the armed machine-level fault (if any) to the finished module:
+/// deliberate, seeded corruption of the debug bookkeeping that the
+/// AnnotationVerifier must detect and the Classifier must survive.  The
+/// generated *code* is never touched — only the annotations, matching
+/// the threat model (a buggy pass corrupts bookkeeping, not semantics).
+void injectMachineFaults(MachineModule &MM) {
+  FaultId Id = FaultInjector::current();
+  if (Id == FaultId::None || !MM.Info)
+    return;
+
+  using Victim = std::pair<MachineFunction *, MInstr *>;
+  auto pickInstr = [&](auto Pred) -> Victim {
+    std::vector<Victim> C;
+    for (MachineFunction &F : MM.Funcs)
+      for (MachineBlock &B : F.Blocks)
+        for (MInstr &I : B.Insts)
+          if (Pred(F, I))
+            C.push_back({&F, &I});
+    if (C.empty())
+      return {nullptr, nullptr};
+    return C[FaultInjector::rand() % C.size()];
+  };
+
+  switch (Id) {
+  case FaultId::DropDeadMarker: {
+    Victim V = pickInstr([](const MachineFunction &, const MInstr &I) {
+      return I.Op == MOp::MDEAD;
+    });
+    if (V.second)
+      V.second->Op = MOp::MNOP; // The marker silently vanishes.
+    break;
+  }
+  case FaultId::CorruptMarkerVar: {
+    Victim V = pickInstr([](const MachineFunction &, const MInstr &I) {
+      return I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL;
+    });
+    if (V.second)
+      V.second->MarkVar = static_cast<VarId>(MM.Info->Vars.size()) + 7;
+    break;
+  }
+  case FaultId::CorruptMarkerStmt: {
+    Victim V = pickInstr([](const MachineFunction &, const MInstr &I) {
+      return I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL;
+    });
+    if (V.second)
+      V.second->MarkStmt = V.first->NumStmts + 9;
+    break;
+  }
+  case FaultId::CorruptHoistKey: {
+    Victim V = pickInstr([](const MachineFunction &, const MInstr &I) {
+      return (I.IsHoisted && I.HoistKey != InvalidHoistKey) ||
+             I.Op == MOp::MAVAIL;
+    });
+    if (V.second)
+      V.second->HoistKey =
+          static_cast<HoistKeyId>(V.first->HoistKeys.size()) + 3;
+    break;
+  }
+  case FaultId::CorruptRecoveryReg: {
+    Victim V = pickInstr([](const MachineFunction &, const MInstr &I) {
+      return I.Op == MOp::MDEAD && I.Recovery.K == MRecovery::Kind::InReg;
+    });
+    if (V.second)
+      V.second->Recovery.R = Reg::phys(V.second->Recovery.R.Cls, 999);
+    break;
+  }
+  case FaultId::TruncateStmtMap: {
+    std::vector<MachineFunction *> C;
+    for (MachineFunction &F : MM.Funcs)
+      if (F.StmtAddr.size() >= 2)
+        C.push_back(&F);
+    if (!C.empty()) {
+      MachineFunction &F = *C[FaultInjector::rand() % C.size()];
+      F.StmtAddr.resize(F.StmtAddr.size() / 2);
+    }
+    break;
+  }
+  case FaultId::TruncateResidentAt: {
+    std::vector<std::pair<MachineFunction *, VarId>> C;
+    for (MachineFunction &F : MM.Funcs)
+      for (auto &[V, Bits] : F.ResidentAt)
+        if (Bits.size() >= 2)
+          C.push_back({&F, V});
+    if (!C.empty()) {
+      auto [F, V] = C[FaultInjector::rand() % C.size()];
+      BitVector &Bits = F->ResidentAt[V];
+      Bits.resize(Bits.size() / 2);
+    }
+    break;
+  }
+  default:
+    break; // Classifier/VM faults have their own hooks.
+  }
+}
+
+} // namespace
+
+MachineModule sldb::selectModule(const IRModule &M,
+                                 const CodegenOptions &Opts) {
+  return selectModuleImpl(M, Opts, nullptr);
+}
+
+Expected<MachineModule> sldb::compileToMachineE(const IRModule &M,
+                                                const CodegenOptions &Opts) {
+  std::string Err;
+  MachineModule MM = selectModuleImpl(M, Opts, &Err);
+  if (!Err.empty())
+    return Status::error(ErrorCode::InvalidIR, Err);
+  for (MachineFunction &MF : MM.Funcs) {
+    if (Opts.Schedule)
+      scheduleFunction(MF);
+    Status S = allocateRegistersE(MF, *M.Info);
+    if (!S.ok())
+      return S;
+  }
+  injectMachineFaults(MM);
   return MM;
 }
 
 MachineModule sldb::compileToMachine(const IRModule &M,
                                      const CodegenOptions &Opts) {
-  MachineModule MM = selectModule(M, Opts);
-  for (MachineFunction &MF : MM.Funcs) {
-    if (Opts.Schedule)
-      scheduleFunction(MF);
-    allocateRegisters(MF, *M.Info);
+  Expected<MachineModule> R = compileToMachineE(M, Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "sldb: %s\n", R.status().str().c_str());
+    std::abort();
   }
-  return MM;
+  return std::move(*R);
 }

@@ -18,6 +18,7 @@
 
 #include "codegen/MachineIR.h"
 #include "ir/IR.h"
+#include "support/Status.h"
 
 namespace sldb {
 
@@ -37,7 +38,15 @@ struct CodegenOptions {
 MachineModule selectModule(const IRModule &M, const CodegenOptions &Opts);
 
 /// Full back end: selection, optional scheduling, register allocation,
-/// layout, and residence-table construction.
+/// layout, and residence-table construction.  Returns a structured error
+/// (InvalidIR, RegAllocFailure) instead of asserting when the input has
+/// no lowering or allocation fails; the armed FaultInjector machine
+/// faults (if any) are applied to the finished module's annotations.
+Expected<MachineModule> compileToMachineE(const IRModule &M,
+                                          const CodegenOptions &Opts);
+
+/// Legacy convenience wrapper around compileToMachineE: reports the
+/// error on stderr and aborts.  Status-aware drivers use the E variant.
 MachineModule compileToMachine(const IRModule &M, const CodegenOptions &Opts);
 
 } // namespace sldb

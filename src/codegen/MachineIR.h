@@ -275,6 +275,19 @@ struct MachineFunction {
   /// value.  Keyed by the marker's function-local address.
   std::unordered_map<std::uint32_t, BitVector> RecoveryValidAt;
 
+  /// Marker census taken at instruction selection (the backend never
+  /// deletes markers).  The AnnotationVerifier recounts and treats a
+  /// mismatch as dropped debug bookkeeping: lost markers silently erase
+  /// endangerment evidence, so the whole function degrades.
+  std::uint32_t ExpectedDeadMarkers = 0;
+  std::uint32_t ExpectedAvailMarkers = 0;
+
+  /// Debug-bookkeeping integrity findings inherited from the IR pipeline
+  /// (see IRFunction::AnnotationFindings); the Classifier merges these
+  /// with its own machine-level verification and degrades the affected
+  /// variables.
+  std::vector<AnnotationFinding> IntegrityFindings;
+
   std::uint32_t numInstrs() const {
     std::uint32_t N = 0;
     for (const MachineBlock &B : Blocks)

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,6 +50,10 @@ public:
   /// Per-address live sets of all virtual registers computed on the final
   /// (pre-rewrite) code; used for residence tables.  Valid after run().
   void computeDebugTables();
+
+  /// Set when rewrite() met a virtual register the coloring never saw;
+  /// the function's code is unusable and the caller must discard it.
+  bool RewriteFailed = false;
 
 private:
   static std::uint64_t key(const Reg &R) {
@@ -449,7 +454,15 @@ void Allocator::rewrite(
     if (!R.isValid() || R.Cls != Cls || !R.isVirtual())
       return;
     auto It = Color.find(key(R));
-    assert(It != Color.end() && "uncolored virtual register");
+    if (It == Color.end()) {
+      // A vreg the coloring never saw: flag the failure and substitute an
+      // in-range register so downstream passes stay memory-safe while the
+      // caller discards the function.
+      RewriteFailed = true;
+      R = Reg::phys(Cls, Cls == RegClass::Int ? R3K::FirstAllocInt
+                                              : R3K::FirstAllocFp);
+      return;
+    }
     R = Reg::phys(Cls, It->second);
   };
   for (MachineBlock &B : MF.Blocks)
@@ -742,10 +755,24 @@ bool Allocator::run() {
   return allocateClass(RegClass::Int) && allocateClass(RegClass::Fp);
 }
 
-void sldb::allocateRegisters(MachineFunction &MF, const ProgramInfo &Info) {
+Status sldb::allocateRegistersE(MachineFunction &MF,
+                                const ProgramInfo &Info) {
   Allocator A(MF, Info);
-  bool OK = A.run();
-  assert(OK && "register allocation failed to converge");
-  (void)OK;
+  if (!A.run())
+    return Status::error(ErrorCode::RegAllocFailure,
+                         "register allocation failed to converge on '" +
+                             MF.Name + "'");
+  if (A.RewriteFailed)
+    return Status::error(ErrorCode::RegAllocFailure,
+                         "uncolored virtual register in '" + MF.Name + "'");
   A.computeDebugTables();
+  return Status::success();
+}
+
+void sldb::allocateRegisters(MachineFunction &MF, const ProgramInfo &Info) {
+  Status S = allocateRegistersE(MF, Info);
+  if (!S.ok()) {
+    std::fprintf(stderr, "sldb: %s\n", S.str().c_str());
+    std::abort();
+  }
 }

@@ -25,13 +25,20 @@
 #define SLDB_CODEGEN_REGALLOC_H
 
 #include "codegen/MachineIR.h"
+#include "support/Status.h"
 
 namespace sldb {
 
 /// Allocates registers for \p MF in place, rewriting virtual registers to
 /// physical ones, inserting spill code, updating Storage/ResidentAt, and
 /// filling BlockAddr/StmtAddr (layout happens here because residence is
-/// per final address).
+/// per final address).  Returns RegAllocFailure (and leaves \p MF in an
+/// unusable but memory-safe state) instead of asserting when coloring
+/// fails to converge or meets an uncolored register.
+Status allocateRegistersE(MachineFunction &MF, const ProgramInfo &Info);
+
+/// Legacy convenience wrapper: reports an allocation failure on stderr
+/// and aborts.  Status-aware drivers use allocateRegistersE.
 void allocateRegisters(MachineFunction &MF, const ProgramInfo &Info);
 
 /// Registers read by \p I (including implicit uses).

@@ -1,0 +1,139 @@
+//===- core/AnnotationVerifier.cpp ----------------------------------------===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnnotationVerifier.h"
+
+namespace sldb {
+
+bool verifyMachineAnnotations(const MachineFunction &MF,
+                              const ProgramInfo &Info,
+                              std::vector<AnnotationFinding> &Findings) {
+  std::size_t Before = Findings.size();
+  auto Note = [&](VarId V, std::string Msg) {
+    Findings.push_back({V, MF.Name + ": " + std::move(Msg)});
+  };
+
+  const std::uint32_t Total = MF.numInstrs();
+
+  // Location table: one slot per statement, addresses inside the code.
+  // A truncated table makes breakpoints silently unplantable, and the
+  // damage is not attributable to any one variable.
+  if (MF.StmtAddr.size() != MF.NumStmts)
+    Note(InvalidVar, "statement location table has " +
+                         std::to_string(MF.StmtAddr.size()) +
+                         " entries for " + std::to_string(MF.NumStmts) +
+                         " statements");
+  for (std::int32_t A : MF.StmtAddr)
+    if (A >= static_cast<std::int32_t>(Total)) {
+      Note(InvalidVar, "statement address beyond function end");
+      break;
+    }
+
+  // Hoist-key table: keys must name real variables.
+  for (std::size_t K = 0; K < MF.HoistKeys.size(); ++K)
+    if (MF.HoistKeys[K].V >= Info.Vars.size()) {
+      Note(InvalidVar, "hoist key names a bogus variable");
+      break;
+    }
+
+  // Per-instruction annotations, plus the marker recount.
+  std::uint32_t Dead = 0, Avail = 0;
+  for (const MachineBlock &B : MF.Blocks) {
+    for (const MInstr &I : B.Insts) {
+      if (I.Op == MOp::MDEAD)
+        ++Dead;
+      else if (I.Op == MOp::MAVAIL)
+        ++Avail;
+
+      if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL) {
+        if (I.MarkVar >= Info.Vars.size()) {
+          // The marker's victim variable is unrecoverable, so every
+          // variable's endangerment evidence is in doubt.
+          Note(InvalidVar, "marker names a bogus variable");
+          continue;
+        }
+        if (I.MarkStmt != InvalidStmt && I.MarkStmt >= MF.NumStmts)
+          Note(I.MarkVar, "marker statement id out of range");
+        if (I.Op == MOp::MAVAIL && I.HoistKey >= MF.HoistKeys.size())
+          Note(I.MarkVar, "avail marker with dangling hoist key");
+        if (I.Op == MOp::MDEAD) {
+          const MRecovery &R = I.Recovery;
+          switch (R.K) {
+          case MRecovery::Kind::None:
+          case MRecovery::Kind::Imm:
+          case MRecovery::Kind::FImm:
+            break;
+          case MRecovery::Kind::InReg: {
+            unsigned Limit = R.R.Cls == RegClass::Fp ? R3K::NumFpRegs
+                                                     : R3K::NumIntRegs;
+            if (!R.R.isValid() || R.R.isVirtual() || R.R.N >= Limit)
+              Note(I.MarkVar, "recovery register out of range");
+            break;
+          }
+          case MRecovery::Kind::InFrame:
+            if (R.Frame >= 0) {
+              if (static_cast<std::uint32_t>(R.Frame) >= MF.FrameSize)
+                Note(I.MarkVar, "recovery frame slot beyond frame size");
+            } else if (R.Imm < 0 ||
+                       static_cast<std::size_t>(R.Imm) >= Info.Vars.size()) {
+              // Frame < 0 encodes a global recovery; Imm holds its id.
+              Note(I.MarkVar, "recovery global id out of range");
+            }
+            break;
+          }
+          if (R.K != MRecovery::Kind::None && R.Scale == 0)
+            Note(I.MarkVar, "recovery with zero scale");
+          if (R.SrcVar != InvalidVar && R.SrcVar >= Info.Vars.size())
+            Note(I.MarkVar, "recovery source variable out of range");
+        }
+      } else if (I.IsHoisted && I.HoistKey != InvalidHoistKey &&
+                 I.HoistKey >= MF.HoistKeys.size()) {
+        Note(I.DestVar, "hoisted instruction with dangling hoist key");
+      }
+    }
+  }
+
+  // Census: the backend transfers markers but never deletes them.  A
+  // lost marker is lost endangerment evidence — whose, is unknowable.
+  if (Dead != MF.ExpectedDeadMarkers || Avail != MF.ExpectedAvailMarkers)
+    Note(InvalidVar,
+         "marker census mismatch (selection recorded " +
+             std::to_string(MF.ExpectedDeadMarkers) + "+" +
+             std::to_string(MF.ExpectedAvailMarkers) + ", found " +
+             std::to_string(Dead) + "+" + std::to_string(Avail) + ")");
+
+  // Storage and residence tables.
+  for (const auto &[V, S] : MF.Storage) {
+    if (V >= Info.Vars.size()) {
+      Note(InvalidVar, "storage table names a bogus variable");
+      continue;
+    }
+    if (S.K == VarStorage::Kind::InReg &&
+        (!S.R.isValid() || S.R.isVirtual()))
+      Note(V, "register-homed variable without a physical register");
+    if (S.K == VarStorage::Kind::Frame &&
+        (S.Frame < 0 || static_cast<std::uint32_t>(S.Frame) >= MF.FrameSize))
+      Note(V, "frame-homed variable outside the frame");
+  }
+  for (const auto &[V, Bits] : MF.ResidentAt) {
+    if (V >= Info.Vars.size()) {
+      Note(InvalidVar, "residence table names a bogus variable");
+      continue;
+    }
+    if (Bits.size() != Total)
+      Note(V, "residence bit-vector sized " + std::to_string(Bits.size()) +
+                  " for " + std::to_string(Total) + " instructions");
+  }
+  for (const auto &[A, Bits] : MF.RecoveryValidAt)
+    if (A >= Total || Bits.size() != Total) {
+      Note(InvalidVar, "recovery validity table out of shape");
+      break;
+    }
+
+  return Findings.size() == Before;
+}
+
+} // namespace sldb

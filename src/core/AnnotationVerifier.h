@@ -1,0 +1,43 @@
+//===- core/AnnotationVerifier.h - Debug-bookkeeping integrity --*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies the invariants the Classifier's soundness rests on: markers
+/// reference real variables and statements, hoist/sink annotations point
+/// into the function's key table, recovery facts are well-typed (register
+/// in range, frame slot inside the frame, non-zero scale), and the debug
+/// tables (StmtAddr, ResidentAt, RecoveryValidAt) are sized to the final
+/// code.  A marker census taken at instruction selection is recounted to
+/// detect markers that silently vanished in the backend.
+///
+/// Unlike codegen/MachineVerifier.h (a hard structural gate used by
+/// tests), this verifier never rejects a module: it returns *findings*
+/// attributed to the damaged variable — or to the whole function when the
+/// damage cannot be attributed — and the Classifier answers conservative
+/// SUSPECT/NONRESIDENT for those variables instead of risking a false
+/// CURRENT or crashing (DESIGN.md "Failure model").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_CORE_ANNOTATIONVERIFIER_H
+#define SLDB_CORE_ANNOTATIONVERIFIER_H
+
+#include "codegen/MachineIR.h"
+
+#include <vector>
+
+namespace sldb {
+
+/// Checks the debug bookkeeping of one compiled function.  Appends one
+/// AnnotationFinding per violation; `Var == InvalidVar` marks damage
+/// affecting the whole function.  Returns true when nothing was found.
+bool verifyMachineAnnotations(const MachineFunction &MF,
+                              const ProgramInfo &Info,
+                              std::vector<AnnotationFinding> &Findings);
+
+} // namespace sldb
+
+#endif // SLDB_CORE_ANNOTATIONVERIFIER_H

@@ -7,14 +7,24 @@
 #include "core/Classifier.h"
 
 #include "analysis/Dataflow.h"
+#include "core/AnnotationVerifier.h"
 #include "support/Casting.h"
 
 #include <unordered_set>
 
 using namespace sldb;
 
-bool ClassifierFaults::SuppressHoistGen = false;
-bool ClassifierFaults::SuppressDeadAssignKill = false;
+namespace {
+/// The two deliberately *unsound* classifier faults (the fuzzing
+/// oracle's teeth — see support/FaultInjector.h).  Read at analysis and
+/// transfer time so arming mid-session takes effect after a cache flush.
+bool suppressHoistGen() {
+  return FaultInjector::armed(FaultId::ClassifierSuppressHoistGen);
+}
+bool suppressDeadAssignKill() {
+  return FaultInjector::armed(FaultId::ClassifierSuppressDeadAssignKill);
+}
+} // namespace
 
 const char *sldb::varClassName(VarClass C) {
   switch (C) {
@@ -60,6 +70,21 @@ Classifier::Classifier(const MachineFunction &MF, const ProgramInfo &Info,
   buildInitReach();
   buildHoistReach();
   buildDeadReach();
+
+  // Fault containment: re-verify the debug bookkeeping the verdicts rest
+  // on, and fold in whatever damage the pipeline already recorded.  A
+  // finding attributed to a variable degrades that variable; a
+  // whole-function finding (Var == InvalidVar) degrades them all — a
+  // conservative SUSPECT/NONRESIDENT answer beats a crash or a false
+  // CURRENT built on corrupt annotations.
+  Findings = MF.IntegrityFindings;
+  verifyMachineAnnotations(MF, Info, Findings);
+  for (const AnnotationFinding &F : Findings) {
+    if (F.Var == InvalidVar)
+      DegradeAll = true;
+    else
+      DegradedVars.insert(F.Var);
+  }
 }
 
 Classifier::AddrPos Classifier::position(std::uint32_t Addr) const {
@@ -121,13 +146,16 @@ void Classifier::buildHoistReach() {
             P.Gen[B].reset(K);
             P.Kill[B].set(K);
           }
-      if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey) {
+      // Keys are bounds-checked (not asserted): a corrupted annotation
+      // must degrade the verdict, not index out of the bit vectors.
+      if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey &&
+          I.HoistKey < U) {
         P.Gen[B].reset(I.HoistKey);
         P.Kill[B].set(I.HoistKey);
       }
       if (I.IsHoisted && I.DestVar != InvalidVar &&
-          I.HoistKey != InvalidHoistKey) {
-        if (!ClassifierFaults::SuppressHoistGen) {
+          I.HoistKey != InvalidHoistKey && I.HoistKey < U) {
+        if (!suppressHoistGen()) {
           P.Gen[B].set(I.HoistKey);
           P.Kill[B].reset(I.HoistKey);
         }
@@ -170,7 +198,7 @@ void Classifier::buildDeadReach() {
       // Real assignments to V kill V's markers; avail markers for V kill
       // too (at that point actual == expected, see header comment).
       VarId Killed = InvalidVar;
-      if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
+      if (I.DestVar != InvalidVar && !suppressDeadAssignKill())
         Killed = I.DestVar;
       else if (I.Op == MOp::MAVAIL)
         Killed = I.MarkVar;
@@ -315,10 +343,12 @@ void Classifier::hoistTransfer(const MInstr &I, BitVector &S) const {
     for (unsigned K = 0; K < NumKeys; ++K)
       if (MF.HoistKeys[K].V == I.DestVar)
         S.reset(K);
-  if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey)
+  if (I.Op == MOp::MAVAIL && I.HoistKey != InvalidHoistKey &&
+      I.HoistKey < NumKeys)
     S.reset(I.HoistKey);
   if (I.IsHoisted && I.DestVar != InvalidVar &&
-      I.HoistKey != InvalidHoistKey && !ClassifierFaults::SuppressHoistGen)
+      I.HoistKey != InvalidHoistKey && I.HoistKey < NumKeys &&
+      !suppressHoistGen())
     S.set(I.HoistKey);
 }
 
@@ -327,7 +357,7 @@ void Classifier::deadTransfer(const MInstr &I, BitVector &S) const {
   // Real assignments to V kill V's markers; avail markers for V kill too
   // (at that point actual == expected).
   VarId Killed = InvalidVar;
-  if (I.DestVar != InvalidVar && !ClassifierFaults::SuppressDeadAssignKill)
+  if (I.DestVar != InvalidVar && !suppressDeadAssignKill())
     Killed = I.DestVar;
   else if (I.Op == MOp::MAVAIL)
     Killed = I.MarkVar;
@@ -347,18 +377,15 @@ void Classifier::deadTransfer(const MInstr &I, BitVector &S) const {
 }
 
 const Classifier::AddrState &Classifier::stateAt(std::uint32_t Addr) const {
-  // The transfers read the fault-injection flags: a test flipping them
-  // mid-session must see fresh walks, so flush on any change.
+  // The transfers read the FaultInjector's classifier faults: a test
+  // arming/disarming mid-session must see fresh walks, so tag entries
+  // with the injector generation and flush when it moves.
   if (Cache.empty()) {
     Cache.resize(MF.numInstrs() + 1);
-    CachedSuppressHoistGen = ClassifierFaults::SuppressHoistGen;
-    CachedSuppressDeadAssignKill = ClassifierFaults::SuppressDeadAssignKill;
-  } else if (CachedSuppressHoistGen != ClassifierFaults::SuppressHoistGen ||
-             CachedSuppressDeadAssignKill !=
-                 ClassifierFaults::SuppressDeadAssignKill) {
+    CachedFaultGen = FaultInjector::generation();
+  } else if (CachedFaultGen != FaultInjector::generation()) {
     Cache.assign(Cache.size(), AddrState());
-    CachedSuppressHoistGen = ClassifierFaults::SuppressHoistGen;
-    CachedSuppressDeadAssignKill = ClassifierFaults::SuppressDeadAssignKill;
+    CachedFaultGen = FaultInjector::generation();
   }
   if (Addr >= Cache.size())
     Addr = static_cast<std::uint32_t>(Cache.size() - 1);
@@ -392,7 +419,45 @@ const Classifier::AddrState &Classifier::stateAt(std::uint32_t Addr) const {
 // Classification (Figure 1)
 //===----------------------------------------------------------------------===//
 
+Classification Classifier::classifyDegraded(std::uint32_t Addr, VarId V) const {
+  // Fail-safe path for variables whose bookkeeping failed verification.
+  // Only facts a corrupt annotation cannot skew toward optimism are
+  // used: initialization reach (losing a marker only *clears* a def,
+  // erring toward Uninitialized) and the storage home's kind.  Hoist and
+  // dead reach, residence bits, and recovery are all distrusted, so the
+  // verdict is never Current and never Recoverable — memory-resident
+  // homes answer Suspect, register homes and the rest Nonresident.
+  Classification C;
+  C.Degraded = true;
+  const VarInfo &VI = Info.var(V);
+
+  if (VI.Storage != StorageKind::Global) {
+    auto It = VarIdx.find(V);
+    if (It == VarIdx.end() || !stateAt(Addr).Init.test(It->second)) {
+      C.Kind = VarClass::Uninitialized;
+      return C;
+    }
+  }
+
+  if (VI.Storage == StorageKind::Global) {
+    C.Kind = VarClass::Suspect;
+    C.Cause = EndangerCause::MaybeStale;
+    return C;
+  }
+  auto SIt = MF.Storage.find(V);
+  if (SIt != MF.Storage.end() && SIt->second.K == VarStorage::Kind::Frame) {
+    C.Kind = VarClass::Suspect;
+    C.Cause = EndangerCause::MaybeStale;
+    return C;
+  }
+  C.Kind = VarClass::Nonresident;
+  return C;
+}
+
 Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
+  if (DegradeAll || DegradedVars.count(V) != 0)
+    return classifyDegraded(Addr, V);
+
   Classification C;
   const VarInfo &VI = Info.var(V);
   const AddrState &AS = stateAt(Addr);
@@ -547,6 +612,10 @@ std::string Classifier::warningText(const Classification &C, VarId V) const {
     return S == InvalidStmt ? std::string("an optimized statement")
                             : "statement " + std::to_string(S);
   };
+  if (C.Degraded)
+    return "'" + Name + "' is " + varClassName(C.Kind) +
+           " (conservative: the debug annotations for this variable "
+           "failed integrity verification)";
   switch (C.Kind) {
   case VarClass::Current:
     return "";

@@ -8,7 +8,8 @@
 
 using namespace sldb;
 
-Debugger::Debugger(const MachineModule &MM) : MM(MM), VM(MM) {
+Debugger::Debugger(const MachineModule &MM, std::uint64_t MaxSteps)
+    : MM(MM), VM(MM, MaxSteps) {
   Classifiers.resize(MM.Funcs.size());
 }
 
@@ -84,6 +85,13 @@ bool Debugger::readRecovery(const MRecovery &R, std::int64_t &I, double &D,
     IsDouble = true;
     return true;
   case MRecovery::Kind::InReg:
+    // Defensive: a corrupted annotation may name a register that does
+    // not exist; refuse the recovery rather than show a fabricated 0
+    // (the VM read itself is bounds-clamped as a second line).
+    if (!R.R.isValid() || R.R.isVirtual() ||
+        R.R.N >= (R.R.Cls == RegClass::Fp ? R3K::NumFpRegs
+                                          : R3K::NumIntRegs))
+      return false;
     if (R.R.Cls == RegClass::Fp) {
       D = VM.readFpReg(R.R.N);
       IsDouble = true;

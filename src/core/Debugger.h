@@ -52,7 +52,11 @@ struct VarReport {
 /// A source-level debugging session over compiled machine code.
 class Debugger {
 public:
-  explicit Debugger(const MachineModule &MM);
+  /// \p MaxSteps is the execution fuel budget forwarded to the VM; runs
+  /// exceeding it stop with StopReason::StepLimit and a trap message
+  /// naming the budget, so a hung debuggee cannot hang the session.
+  explicit Debugger(const MachineModule &MM,
+                    std::uint64_t MaxSteps = 50'000'000);
 
   /// Sets a (syntactic) breakpoint at statement \p S of function \p F.
   /// Returns false if the statement emitted no code at all.

@@ -28,6 +28,15 @@ std::unique_ptr<IRModule> mustCompile(const BenchProgram &P) {
   return M;
 }
 
+void mustRunPipeline(IRModule &M, const BenchProgram &P,
+                     const OptOptions &Opts) {
+  Status PS = runPipelineEx(M, Opts, PipelineConfig());
+  if (!PS.ok())
+    sldb_unreachable(("benchmark pipeline failed: " + std::string(P.Name) +
+                      ": " + PS.str())
+                         .c_str());
+}
+
 } // namespace
 
 SourceStats sldb::sourceStats(const BenchProgram &P) {
@@ -69,7 +78,7 @@ ClassAverages sldb::measureClassification(const BenchProgram &P,
                                           bool Promote,
                                           bool EnableRecovery) {
   auto M = mustCompile(P);
-  runPipeline(*M, Opts);
+  mustRunPipeline(*M, P, Opts);
   CodegenOptions CG;
   CG.PromoteVars = Promote;
   MachineModule MM = compileToMachine(*M, CG);
@@ -106,11 +115,12 @@ ClassAverages sldb::measureClassification(const BenchProgram &P,
   return A;
 }
 
-CodeQuality sldb::measureCodeQuality(const BenchProgram &P) {
+CodeQuality sldb::measureCodeQuality(const BenchProgram &P,
+                                     std::uint64_t Fuel) {
   CodeQuality Q;
   auto M0 = mustCompile(P);
   auto M2 = mustCompile(P);
-  runPipeline(*M2, OptOptions::all());
+  mustRunPipeline(*M2, P, OptOptions::all());
 
   CodegenOptions CG0;
   CG0.PromoteVars = false;
@@ -118,7 +128,7 @@ CodeQuality sldb::measureCodeQuality(const BenchProgram &P) {
   MachineModule MM0 = compileToMachine(*M0, CG0);
   MachineModule MM2 = compileToMachine(*M2, CodegenOptions());
 
-  Machine V0(MM0), V2(MM2);
+  Machine V0(MM0, Fuel), V2(MM2, Fuel);
   StopReason R0 = V0.run();
   StopReason R2 = V2.run();
   Q.InstrUnoptimized = V0.instrCount();

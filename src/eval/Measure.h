@@ -85,7 +85,10 @@ struct CodeQuality {
   }
 };
 
-CodeQuality measureCodeQuality(const BenchProgram &P);
+/// \p Fuel bounds both simulator runs (Machine step budget); a
+/// fuel-exhausted run reports OutputsMatch = false rather than spinning.
+CodeQuality measureCodeQuality(const BenchProgram &P,
+                               std::uint64_t Fuel = 50'000'000);
 
 } // namespace sldb
 

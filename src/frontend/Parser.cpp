@@ -42,6 +42,14 @@ void Parser::errorAtCur(const std::string &Message) {
   HadError = true;
 }
 
+bool Parser::atDepthLimit() {
+  if (Depth <= MaxRecursionDepth)
+    return false;
+  errorAtCur("nesting too deep (parser recursion limit " +
+             std::to_string(MaxRecursionDepth) + " exceeded)");
+  return true;
+}
+
 bool Parser::atTypeStart() const {
   return at(TokKind::KwInt) || at(TokKind::KwDouble) || at(TokKind::KwVoid);
 }
@@ -200,6 +208,9 @@ bool Parser::parseVarDecl(QualType BaseTy, VarDecl &Decl) {
 //===----------------------------------------------------------------------===//
 
 StmtPtr Parser::parseStmt() {
+  DepthScope Scope(*this);
+  if (atDepthLimit())
+    return nullptr;
   switch (cur().Kind) {
   case TokKind::LBrace:
     return parseCompound();
@@ -499,6 +510,9 @@ ExprPtr Parser::parseBinary(int MinPrec) {
 }
 
 ExprPtr Parser::parseUnary() {
+  DepthScope Scope(*this);
+  if (atDepthLimit())
+    return nullptr;
   SourceLoc Loc = cur().Loc;
   UnaryOp Op;
   switch (cur().Kind) {

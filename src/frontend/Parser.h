@@ -71,9 +71,22 @@ private:
   ExprPtr parsePostfix();
   ExprPtr parsePrimary();
 
+  /// Recursion-depth guard: adversarial input (thousands of nested
+  /// parentheses or blocks) must yield a diagnostic through the
+  /// DiagnosticEngine, not a native stack overflow.  parseStmt and
+  /// parseUnary cover every recursive cycle of the grammar.
+  static constexpr unsigned MaxRecursionDepth = 200;
+  struct DepthScope {
+    Parser &P;
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+  };
+  bool atDepthLimit();
+
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   std::size_t Pos = 0;
+  unsigned Depth = 0;
   bool HadError = false;
 };
 

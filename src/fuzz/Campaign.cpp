@@ -6,7 +6,9 @@
 
 #include "fuzz/Campaign.h"
 
+#include "fuzz/Isolation.h"
 #include "fuzz/Reduce.h"
+#include "support/FaultInjector.h"
 
 #include <filesystem>
 #include <fstream>
@@ -42,6 +44,10 @@ std::string sldb::renderFailure(const CampaignFailure &F) {
   S += "// sldb-fuzz reproducer\n";
   S += "// seed: " + std::to_string(F.Seed) + "\n";
   S += "// promote-vars: " + std::string(F.Promote ? "on" : "off") + "\n";
+  if (!F.FaultName.empty())
+    S += "// injected-fault: " + F.FaultName + "\n";
+  if (!F.ProcessOutcome.empty())
+    S += "// process-outcome: " + F.ProcessOutcome + "\n";
   for (const Violation &V : F.Violations)
     S += "// violation: " + V.str() + "\n";
   S += "//\n";
@@ -65,7 +71,63 @@ bool sameKindStillFails(const std::string &Candidate, bool Promote,
   return false;
 }
 
+std::string processOutcomeText(const IsolatedOutcome &O) {
+  if (O.Status == IsolatedStatus::Timeout)
+    return "timeout (watchdog expired)";
+  if (O.Signal != 0)
+    return "crash (signal " + std::to_string(O.Signal) + ")";
+  return "crash (abnormal exit)";
+}
+
+void writeReproducer(CampaignFailure &F, const std::string &Dir) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  F.Path = Dir + "/seed-" + std::to_string(F.Seed) +
+           (F.FaultName.empty() ? "" : "-" + F.FaultName) +
+           (F.Promote ? "-promote" : "-frame") + ".minic";
+  std::ofstream Out(F.Path);
+  Out << renderFailure(F);
+}
+
+/// Builds the crash/hang record for a seed the isolation layer caught,
+/// reducing it with a fork-based predicate (re-running the candidate in
+/// this process would reproduce the crash in the campaign itself).
+CampaignFailure
+makeProcessFailure(std::uint32_t Seed, bool Promote, const std::string &Src,
+                   const std::string &FaultName, const IsolatedOutcome &O,
+                   bool Shrink, unsigned TimeoutMs,
+                   const std::function<std::pair<bool, std::string>(
+                       const std::string &)> &Check) {
+  CampaignFailure F;
+  F.Seed = Seed;
+  F.Promote = Promote;
+  F.Source = Src;
+  F.FaultName = FaultName;
+  F.ProcessOutcome = processOutcomeText(O);
+  ViolationKind K = O.Status == IsolatedStatus::Timeout
+                        ? ViolationKind::ProcessHang
+                        : ViolationKind::ProcessCrash;
+  F.Violations = {{K, InvalidFunc, InvalidStmt, "", F.ProcessOutcome}};
+  if (Shrink)
+    F.Reduced = reduceProgram(
+        Src,
+        [&](const std::string &Cand) {
+          IsolatedOutcome CO =
+              runIsolated(TimeoutMs, [&] { return Check(Cand); });
+          return CO.Status == IsolatedStatus::Crash ||
+                 CO.Status == IsolatedStatus::Timeout;
+        },
+        /*MaxChecks=*/120);
+  return F;
+}
+
 } // namespace
+
+bool sldb::isUnsoundViolation(ViolationKind K) {
+  return K == ViolationKind::UnsoundCurrent ||
+         K == ViolationKind::WrongRecovery ||
+         K == ViolationKind::MissedUninitialized;
+}
 
 CampaignResult sldb::runCampaign(const CampaignConfig &C) {
   CampaignResult R;
@@ -76,6 +138,39 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
 
     for (int Mode = 0; Mode < (C.BothPromoteModes ? 2 : 1); ++Mode) {
       bool Promote = C.BothPromoteModes ? Mode == 0 : C.Promote;
+
+      if (C.Isolate) {
+        // Containment first: probe the (seed, mode) in a forked child.
+        // A clean child skips the in-process run (its coverage stats are
+        // lost to the fork — the documented trade); a child that failed
+        // *cleanly* is re-run in-process below for the full
+        // shrink-and-record path, which is safe precisely because the
+        // child proved the seed does not bring the process down.
+        auto Probe = [&](const std::string &S) -> std::pair<bool, std::string> {
+          std::vector<Violation> Vs = checkProgram(S, Promote, C.MaxStops);
+          std::string Rep;
+          for (const Violation &V : Vs)
+            Rep += V.str() + "\n";
+          return {Vs.empty(), Rep};
+        };
+        IsolatedOutcome IO = runIsolated(C.TimeoutMs,
+                                         [&] { return Probe(Src); });
+        if (IO.Status == IsolatedStatus::Ok) {
+          ++R.Runs;
+          continue;
+        }
+        if (IO.Status == IsolatedStatus::Crash ||
+            IO.Status == IsolatedStatus::Timeout) {
+          ++R.Runs;
+          CampaignFailure F = makeProcessFailure(
+              Seed, Promote, Src, "", IO, C.Shrink, C.TimeoutMs, Probe);
+          if (C.WriteFailures)
+            writeReproducer(F, C.CrashDir);
+          R.Failures.push_back(std::move(F));
+          continue;
+        }
+      }
+
       LockstepOptions LO;
       LO.Promote = Promote;
       LO.MaxStops = C.MaxStops;
@@ -150,6 +245,169 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
         Out << renderFailure(F);
       }
       R.Failures.push_back(std::move(F));
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injection campaign
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs one seed under one armed fault and judges it.  The fault is
+/// armed for the whole lockstep run (the oracle side compiles and runs
+/// with injection suspended, see fuzz/Oracle.cpp) and disarmed before
+/// returning.
+std::vector<Violation> injectCheck(const std::string &Src,
+                                   const InjectCampaignConfig &C,
+                                   FaultId Id, std::uint32_t Seed) {
+  FaultInjector::arm(Id, Seed);
+  LockstepOptions LO;
+  LO.Promote = C.Promote;
+  LO.MaxStops = C.MaxStops;
+  LO.Fuel = C.Fuel;
+  LockstepResult R = runLockstep(Src, LO);
+  FaultInjector::disarm();
+  if (!R.Compiled)
+    return {{ViolationKind::LockstepDiverged, InvalidFunc, InvalidStmt, "",
+             "does not compile: " + R.CompileError}};
+  return checkSoundness(R);
+}
+
+/// Child-side protocol for an isolated inject check: first report line
+/// is the summary (compile-error / unsound / degraded / clean), then
+/// one line per unsound violation.  Exit status 1 iff unsound.
+std::pair<bool, std::string>
+injectProbe(const std::string &Src, const InjectCampaignConfig &C,
+            FaultId Id, std::uint32_t Seed) {
+  std::vector<Violation> Vs = injectCheck(Src, C, Id, Seed);
+  bool CompileError =
+      !Vs.empty() && Vs.front().Detail.rfind("does not compile", 0) == 0;
+  std::string Rep;
+  std::vector<const Violation *> Unsound;
+  for (const Violation &V : Vs)
+    if (isUnsoundViolation(V.Kind))
+      Unsound.push_back(&V);
+  if (!Unsound.empty())
+    Rep = "unsound\n";
+  else if (CompileError)
+    Rep = "compile-error\n";
+  else if (!Vs.empty())
+    Rep = "degraded\n";
+  else
+    Rep = "clean\n";
+  for (const Violation *V : Unsound) {
+    std::string Line = V->str();
+    for (char &Ch : Line)
+      if (Ch == '\n')
+        Ch = ' ';
+    Rep += Line + "\n";
+  }
+  return {Unsound.empty(), Rep};
+}
+
+} // namespace
+
+InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
+  InjectCampaignResult R;
+
+  // Every *defended* fault point: the two undefended classifier faults
+  // are the oracle's teeth (their whole purpose is to be caught as
+  // unsound) and are exercised by the differential suite instead.
+  std::vector<const FaultPoint *> Points;
+  for (const FaultPoint &P : FaultInjector::points())
+    if (P.Defended)
+      Points.push_back(&P);
+
+  for (unsigned I = 0; I < C.Count; ++I) {
+    std::uint32_t Seed = C.Seed + I;
+    std::string Src = generateProgram(Seed, C.Gen);
+    ++R.Programs;
+
+    for (const FaultPoint *P : Points) {
+      ++R.Runs;
+      auto RecordUnsound = [&](const std::string &Report) {
+        ++R.UnsoundRuns;
+        CampaignFailure F;
+        F.Seed = Seed;
+        F.Promote = C.Promote;
+        F.Source = Src;
+        F.FaultName = P->Name;
+        F.Violations = {{ViolationKind::UnsoundCurrent, InvalidFunc,
+                         InvalidStmt, "", Report}};
+        if (C.Shrink)
+          F.Reduced = reduceProgram(
+              Src,
+              [&](const std::string &Cand) {
+                if (!C.Isolate) {
+                  for (const Violation &V :
+                       injectCheck(Cand, C, P->Id, Seed))
+                    if (isUnsoundViolation(V.Kind))
+                      return true;
+                  return false;
+                }
+                IsolatedOutcome CO = runIsolated(C.TimeoutMs, [&] {
+                  return injectProbe(Cand, C, P->Id, Seed);
+                });
+                return CO.Status == IsolatedStatus::Violation;
+              },
+              /*MaxChecks=*/120);
+        if (C.WriteFailures)
+          writeReproducer(F, C.CrashDir);
+        R.Failures.push_back(std::move(F));
+      };
+
+      if (!C.Isolate) {
+        std::vector<Violation> Vs = injectCheck(Src, C, P->Id, Seed);
+        bool CompileError = !Vs.empty() &&
+                            Vs.front().Detail.rfind("does not compile", 0) ==
+                                0;
+        std::string Unsound;
+        for (const Violation &V : Vs)
+          if (isUnsoundViolation(V.Kind))
+            Unsound += V.str() + "\n";
+        if (!Unsound.empty())
+          RecordUnsound(Unsound);
+        else if (CompileError)
+          ++R.CompileErrors;
+        else if (!Vs.empty())
+          ++R.DegradedRuns;
+        continue;
+      }
+
+      IsolatedOutcome IO = runIsolated(C.TimeoutMs, [&] {
+        return injectProbe(Src, C, P->Id, Seed);
+      });
+      switch (IO.Status) {
+      case IsolatedStatus::Ok: {
+        if (IO.Report.rfind("compile-error", 0) == 0)
+          ++R.CompileErrors;
+        else if (IO.Report.rfind("degraded", 0) == 0)
+          ++R.DegradedRuns;
+        break;
+      }
+      case IsolatedStatus::Violation:
+        RecordUnsound(IO.Report);
+        break;
+      case IsolatedStatus::Crash:
+      case IsolatedStatus::Timeout: {
+        if (IO.Status == IsolatedStatus::Timeout)
+          ++R.Hangs;
+        else
+          ++R.Crashes;
+        CampaignFailure F = makeProcessFailure(
+            Seed, C.Promote, Src, P->Name, IO, C.Shrink, C.TimeoutMs,
+            [&](const std::string &Cand) {
+              return injectProbe(Cand, C, P->Id, Seed);
+            });
+        if (C.WriteFailures)
+          writeReproducer(F, C.CrashDir);
+        R.Failures.push_back(std::move(F));
+        break;
+      }
+      }
     }
   }
   return R;

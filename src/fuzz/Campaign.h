@@ -50,6 +50,18 @@ struct CampaignConfig {
   std::string FailureDir = "fuzz-failures";
 
   unsigned MaxStops = 4000; ///< Per-run observation cap.
+
+  /// Run every (seed, mode) check in a forked child under a wall-clock
+  /// watchdog (fuzz/Isolation.h): a seed that crashes or hangs the
+  /// compiler is recorded, reduced, and archived instead of killing the
+  /// campaign.  Trades the in-process coverage accounting (stops /
+  /// observations / pass firings) of passing runs for containment.
+  bool Isolate = false;
+  unsigned TimeoutMs = 20'000; ///< Watchdog budget per isolated run.
+
+  /// Where crash/hang reproducers are archived (isolated mode, with
+  /// WriteFailures).
+  std::string CrashDir = "fuzz-crashes";
 };
 
 /// One failing program.
@@ -60,6 +72,14 @@ struct CampaignFailure {
   std::string Reduced; ///< Minimized reproducer (empty if not shrunk).
   std::vector<Violation> Violations;
   std::string Path;    ///< Written reproducer path (when writing).
+
+  /// Process-level outcome ("crash (signal 11)", "timeout") for seeds
+  /// caught by the isolation layer; empty for in-process soundness
+  /// failures.
+  std::string ProcessOutcome;
+
+  /// Fault point armed for the run (inject campaigns; empty otherwise).
+  std::string FaultName;
 };
 
 /// How much of the optimizer the corpus actually exercised.
@@ -95,6 +115,56 @@ struct CampaignResult {
 
 /// Runs a campaign.
 CampaignResult runCampaign(const CampaignConfig &C);
+
+/// Fault-injection campaign parameters (`sldb-fuzz --inject`): every
+/// seed is checked once per *defended* FaultInjector point, with the
+/// fault armed for the optimized build only (the oracle build compiles
+/// with injection suspended).  The contract under injection is weaker
+/// than the clean campaign's — conservative degradation, compile errors,
+/// and behavioral divergence from an injected VM trap are all acceptable
+/// — but process crashes, hangs, and the three *unsound* violation kinds
+/// (UnsoundCurrent, WrongRecovery, MissedUninitialized) never are.
+struct InjectCampaignConfig {
+  std::uint32_t Seed = 1;
+  unsigned Count = 200;
+  GenOptions Gen;
+  bool Promote = true;      ///< Codegen configuration for the runs.
+  unsigned MaxStops = 4000;
+  std::uint64_t Fuel = 50'000'000;
+
+  bool Isolate = true;      ///< Fork + watchdog per run (the default).
+  unsigned TimeoutMs = 20'000;
+
+  bool Shrink = true;       ///< Reduce unsound/crashing seeds.
+  bool WriteFailures = false;
+  std::string CrashDir = "fuzz-crashes";
+};
+
+/// Aggregate inject-campaign outcome.
+struct InjectCampaignResult {
+  unsigned Programs = 0;
+  unsigned Runs = 0;           ///< seed x fault-point checks executed.
+  unsigned CompileErrors = 0;  ///< Runs refused by the hardened pipeline.
+  unsigned DegradedRuns = 0;   ///< Runs with only conservative findings.
+  unsigned Crashes = 0;        ///< Child processes killed by a signal.
+  unsigned Hangs = 0;          ///< Watchdog expirations.
+  unsigned UnsoundRuns = 0;    ///< Runs with an unsound violation.
+  std::vector<CampaignFailure> Failures; ///< Crash/hang/unsound records.
+
+  /// The acceptance bar: no crash, no hang, no unsound verdict under
+  /// any injected fault.
+  bool sound() const {
+    return Crashes == 0 && Hangs == 0 && UnsoundRuns == 0;
+  }
+};
+
+/// Runs the fault-injection campaign over all defended fault points.
+InjectCampaignResult runInjectCampaign(const InjectCampaignConfig &C);
+
+/// True for the violation kinds that remain failures under fault
+/// injection (a conservative or divergent finding is the degradation
+/// working as designed; these three are the debugger lying).
+bool isUnsoundViolation(ViolationKind K);
 
 /// Judges one program in one configuration (used by the reproducer mode
 /// of sldb-fuzz and by the shrinker's predicate).

@@ -24,6 +24,10 @@ const char *sldb::violationKindName(ViolationKind K) {
     return "lockstep-diverged";
   case ViolationKind::BehaviorMismatch:
     return "behavior-mismatch";
+  case ViolationKind::ProcessCrash:
+    return "process-crash";
+  case ViolationKind::ProcessHang:
+    return "process-hang";
   }
   return "?";
 }

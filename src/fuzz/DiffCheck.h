@@ -55,7 +55,11 @@ enum class ViolationKind : std::uint8_t {
   LockstepDiverged,
   /// The two builds disagree on output / exit state: a miscompile, found
   /// incidentally by the harness.
-  BehaviorMismatch
+  BehaviorMismatch,
+  /// The check's child process died on a signal (isolated campaigns).
+  ProcessCrash,
+  /// The check's child process exceeded the watchdog and was killed.
+  ProcessHang
 };
 
 const char *violationKindName(ViolationKind K);

@@ -1,0 +1,145 @@
+//===- fuzz/Isolation.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Isolation.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace sldb;
+
+const char *sldb::isolatedStatusName(IsolatedStatus S) {
+  switch (S) {
+  case IsolatedStatus::Ok:
+    return "ok";
+  case IsolatedStatus::Violation:
+    return "violation";
+  case IsolatedStatus::Crash:
+    return "crash";
+  case IsolatedStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Cap on the child's report so it always fits the pipe's kernel buffer:
+/// the parent only reads after the child exits, and a child blocked on a
+/// full pipe would read as a hang.
+constexpr std::size_t MaxReportBytes = 60'000;
+
+void writeAll(int Fd, const char *Data, std::size_t N) {
+  while (N > 0) {
+    ssize_t W = ::write(Fd, Data, N);
+    if (W <= 0) {
+      if (W < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Data += W;
+    N -= static_cast<std::size_t>(W);
+  }
+}
+
+} // namespace
+
+IsolatedOutcome sldb::runIsolated(
+    unsigned TimeoutMs,
+    const std::function<std::pair<bool, std::string>()> &Check) {
+  IsolatedOutcome Out;
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    // No pipe: degrade to running in-process (a crash then kills the
+    // campaign, but the alternative is not running the check at all).
+    auto [Passed, Report] = Check();
+    Out.Status = Passed ? IsolatedStatus::Ok : IsolatedStatus::Violation;
+    Out.Report = std::move(Report);
+    return Out;
+  }
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    auto [Passed, Report] = Check();
+    Out.Status = Passed ? IsolatedStatus::Ok : IsolatedStatus::Violation;
+    Out.Report = std::move(Report);
+    return Out;
+  }
+
+  if (Child == 0) {
+    ::close(Pipe[0]);
+    auto [Passed, Report] = Check();
+    if (Report.size() > MaxReportBytes)
+      Report.resize(MaxReportBytes);
+    writeAll(Pipe[1], Report.data(), Report.size());
+    ::close(Pipe[1]);
+    ::_exit(Passed ? 0 : 1);
+  }
+
+  ::close(Pipe[1]);
+
+  // Watchdog: poll the child with a coarse sleep; wall-clock, so a child
+  // spinning in an interpreter loop (or wedged in a syscall) is caught
+  // either way.
+  constexpr unsigned PollUs = 2000;
+  std::uint64_t WaitedUs = 0;
+  const std::uint64_t LimitUs = static_cast<std::uint64_t>(TimeoutMs) * 1000;
+  int WStatus = 0;
+  bool Exited = false;
+  for (;;) {
+    pid_t W = ::waitpid(Child, &WStatus, WNOHANG);
+    if (W == Child) {
+      Exited = true;
+      break;
+    }
+    if (W < 0 && errno != EINTR)
+      break;
+    if (WaitedUs >= LimitUs)
+      break;
+    ::usleep(PollUs);
+    WaitedUs += PollUs;
+  }
+  if (!Exited) {
+    ::kill(Child, SIGKILL);
+    ::waitpid(Child, &WStatus, 0);
+    Out.Status = IsolatedStatus::Timeout;
+  }
+
+  // Drain the child's report (the child has exited or been killed, so
+  // this reads to EOF without blocking indefinitely).
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(Pipe[0], Buf, sizeof(Buf));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    if (Out.Report.size() < MaxReportBytes)
+      Out.Report.append(Buf, Buf + N);
+  }
+  ::close(Pipe[0]);
+
+  if (!Exited)
+    return Out;
+  if (WIFEXITED(WStatus)) {
+    int Code = WEXITSTATUS(WStatus);
+    Out.Status = Code == 0   ? IsolatedStatus::Ok
+                 : Code == 1 ? IsolatedStatus::Violation
+                             : IsolatedStatus::Crash;
+  } else if (WIFSIGNALED(WStatus)) {
+    Out.Status = IsolatedStatus::Crash;
+    Out.Signal = WTERMSIG(WStatus);
+  } else {
+    Out.Status = IsolatedStatus::Crash;
+  }
+  return Out;
+}

@@ -10,6 +10,7 @@
 #include "codegen/ISel.h"
 #include "ir/IRGen.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 
 #include <unordered_map>
 
@@ -125,19 +126,36 @@ LockstepResult sldb::runLockstep(std::string_view Src,
     R.CompileError = D0.hasErrors() ? D0.str() : "frontend error";
     return R;
   }
-  if (O.InstrumentPasses)
-    runPipelineInstrumented(*M2, O.Opts, R.Firings);
-  else
-    runPipeline(*M2, O.Opts);
+  Status PS = O.InstrumentPasses
+                  ? runPipelineInstrumented(*M2, O.Opts, R.Firings)
+                  : runPipelineEx(*M2, O.Opts, PipelineConfig());
+  if (!PS.ok()) {
+    R.CompileError = PS.str();
+    return R;
+  }
 
+  // The oracle build must stay pristine: an armed FaultInjector may only
+  // corrupt the optimized build it is aimed at, never the ground truth.
+  FaultInjector::suspend();
   CodegenOptions CGOracle;
   CGOracle.PromoteVars = false;
   CGOracle.Schedule = false;
-  MachineModule MMO = compileToMachine(*M0, CGOracle);
+  Expected<MachineModule> MMOE = compileToMachineE(*M0, CGOracle);
+  FaultInjector::resume();
+  if (!MMOE) {
+    R.CompileError = "oracle build: " + MMOE.status().str();
+    return R;
+  }
   CodegenOptions CGOpt;
   CGOpt.PromoteVars = O.Promote;
   CGOpt.Schedule = false;
-  MachineModule MM2 = compileToMachine(*M2, CGOpt);
+  Expected<MachineModule> MM2E = compileToMachineE(*M2, CGOpt);
+  if (!MM2E) {
+    R.CompileError = MM2E.status().str();
+    return R;
+  }
+  MachineModule &MMO = *MMOE;
+  MachineModule &MM2 = *MM2E;
   R.Compiled = true;
 
   // Machine-level evidence of the endangering transformations.
@@ -156,7 +174,13 @@ LockstepResult sldb::runLockstep(std::string_view Src,
   for (const auto &F : M2->Funcs)
     R.NumSRRecords += static_cast<unsigned>(F->SRRecords.size());
 
-  Debugger Expected(MMO), Opt(MM2);
+  // Suspend faults around the oracle debugger's construction too: the
+  // VM-trap fault arms at Machine construction and must not fire in the
+  // ground-truth run.
+  FaultInjector::suspend();
+  Debugger Expected(MMO, O.Fuel);
+  FaultInjector::resume();
+  Debugger Opt(MM2, O.Fuel);
   Expected.breakEverywhere();
   Opt.breakEverywhere();
 

@@ -79,6 +79,11 @@ struct LockstepOptions {
   /// Collect at most this many paired stops.
   unsigned MaxStops = 4000;
 
+  /// Execution fuel (VM step budget) for both builds.  A generated
+  /// program that loops forever stops with StopReason::StepLimit and a
+  /// trap message naming the budget instead of hanging the campaign.
+  std::uint64_t Fuel = 50'000'000;
+
   /// Record per-pipeline-slot firing counts (pass coverage).
   bool InstrumentPasses = false;
 

@@ -373,6 +373,18 @@ struct HoistKey {
   }
 };
 
+/// One debug-bookkeeping integrity violation found by an annotation
+/// verifier (ir/Verifier.h at the IR level, core/AnnotationVerifier.h at
+/// the machine level).  `Var == InvalidVar` means the damage cannot be
+/// attributed to a single variable and the whole function's debug info is
+/// untrustworthy.  Findings never abort compilation: the Classifier
+/// degrades the affected variables to conservative answers instead
+/// (DESIGN.md "Failure model").
+struct AnnotationFinding {
+  VarId Var = InvalidVar;
+  std::string Message;
+};
+
 /// An IR function: CFG + symbol references + bookkeeping tables.
 class IRFunction {
 public:
@@ -406,6 +418,12 @@ public:
 
   /// Number of source statements (breakpoints) in this function.
   std::uint32_t NumStmts = 0;
+
+  /// Debug-bookkeeping integrity findings, recomputed after every pass
+  /// when the pipeline runs with VerifyAnnotations (the default) and
+  /// carried through instruction selection into the MachineFunction so
+  /// the Classifier can degrade the affected variables.
+  std::vector<AnnotationFinding> AnnotationFindings;
 
   BasicBlock *entry() { return Blocks.front().get(); }
   const BasicBlock *entry() const { return Blocks.front().get(); }

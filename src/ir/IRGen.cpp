@@ -20,7 +20,17 @@ public:
 
   void genFunction(const FuncDecl &FD);
 
+  /// Non-empty when lowering hit an internal inconsistency (an AST shape
+  /// Sema should have rejected).  The module must be discarded; the
+  /// driver turns this into a diagnostic instead of asserting.
+  std::string InternalErr;
+
 private:
+  void internalError(const char *Msg) {
+    if (InternalErr.empty())
+      InternalErr = Msg;
+  }
+
   // Emission helpers.
   Instr &emit(Instr I) {
     I.Stmt = CurStmt;
@@ -277,15 +287,19 @@ void IRGen::genStmt(const Stmt *S) {
     return;
   }
   case Stmt::Kind::Break: {
-    assert(!Loops.empty() && "break outside loop survived Sema");
-    emitBr(Loops.back().BreakTarget);
-    setBlock(F.newBlock("dead"));
+    BasicBlock *Dead = F.newBlock("dead");
+    if (Loops.empty())
+      internalError("break outside loop survived Sema");
+    emitBr(Loops.empty() ? Dead : Loops.back().BreakTarget);
+    setBlock(Dead);
     return;
   }
   case Stmt::Kind::Continue: {
-    assert(!Loops.empty() && "continue outside loop survived Sema");
-    emitBr(Loops.back().ContinueTarget);
-    setBlock(F.newBlock("dead"));
+    BasicBlock *Dead = F.newBlock("dead");
+    if (Loops.empty())
+      internalError("continue outside loop survived Sema");
+    emitBr(Loops.empty() ? Dead : Loops.back().ContinueTarget);
+    setBlock(Dead);
     return;
   }
   case Stmt::Kind::Empty:
@@ -671,7 +685,8 @@ Value IRGen::genExpr(const Expr *E) {
 //===----------------------------------------------------------------------===//
 
 std::unique_ptr<IRModule> sldb::generateIR(const TranslationUnit &TU,
-                                           std::unique_ptr<ProgramInfo> Info) {
+                                           std::unique_ptr<ProgramInfo> Info,
+                                           DiagnosticEngine *Diags) {
   auto M = std::make_unique<IRModule>();
   M->Info = std::move(Info);
 
@@ -691,6 +706,15 @@ std::unique_ptr<IRModule> sldb::generateIR(const TranslationUnit &TU,
       F->Params.push_back(P.Var);
     IRGen Gen(*M, *F, *M->Info);
     Gen.genFunction(*FD);
+    if (!Gen.InternalErr.empty()) {
+      // An AST shape Sema should have rejected reached lowering: report
+      // it as a structured diagnostic and discard the module rather than
+      // asserting (DESIGN.md "Failure model").
+      if (Diags)
+        Diags->error(SourceLoc(), "internal error lowering '" + FD->Name +
+                                      "': " + Gen.InternalErr);
+      return nullptr;
+    }
     M->Funcs.push_back(std::move(F));
   }
   return M;
@@ -701,5 +725,5 @@ std::unique_ptr<IRModule> sldb::compileToIR(std::string_view Source,
   FrontendResult FR = runFrontend(Source, Diags);
   if (!FR.TU)
     return nullptr;
-  return generateIR(*FR.TU, std::move(FR.Info));
+  return generateIR(*FR.TU, std::move(FR.Info), &Diags);
 }

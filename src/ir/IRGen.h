@@ -24,9 +24,12 @@
 namespace sldb {
 
 /// Lowers a checked translation unit into an IR module.  Takes ownership
-/// of the symbol tables.
+/// of the symbol tables.  Internal lowering inconsistencies (AST shapes
+/// Sema should have rejected) are reported to \p Diags when provided and
+/// yield null instead of asserting.
 std::unique_ptr<IRModule> generateIR(const TranslationUnit &TU,
-                                     std::unique_ptr<ProgramInfo> Info);
+                                     std::unique_ptr<ProgramInfo> Info,
+                                     DiagnosticEngine *Diags = nullptr);
 
 /// Convenience driver: front end + IR generation.  Returns null and fills
 /// \p Diags on error.

@@ -157,7 +157,10 @@ void Interpreter::writeDest(const Value &Dest, RtVal V, Frame &Fr) {
     Fr.Temps[Dest.Id] = V;
     return;
   }
-  assert(Dest.isVar() && "bad destination");
+  if (!Dest.isVar()) {
+    trap("internal error: bad destination operand");
+    return;
+  }
   const VarInfo &VI = Info.var(Dest.Id);
   if (VI.Storage == StorageKind::Global) {
     if (VI.isScalar() && !VI.AddressTaken) {
@@ -537,7 +540,8 @@ ExecResult Interpreter::run() {
     const Instr &I = *Fr.IP;
     if (!I.isMark() && I.Op != Opcode::Nop) {
       if (++Result.InstrCount > MaxSteps) {
-        trap("step limit exceeded");
+        trap("step limit exceeded (fuel budget " +
+             std::to_string(MaxSteps) + " instructions)");
         break;
       }
     }

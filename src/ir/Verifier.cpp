@@ -194,3 +194,50 @@ bool sldb::verifyModule(const IRModule &M, std::vector<std::string> &Errors) {
     OK &= verifyFunction(*F, *M.Info, Errors);
   return OK;
 }
+
+bool sldb::verifyFunctionAnnotations(const IRFunction &F,
+                                     const ProgramInfo &Info,
+                                     std::vector<AnnotationFinding> &Findings) {
+  std::size_t Before = Findings.size();
+  auto Note = [&](VarId V, std::string Msg) {
+    Findings.push_back({V, F.Name + ": " + std::move(Msg)});
+  };
+
+  for (HoistKeyId K = 0; K < F.HoistKeys.size(); ++K)
+    if (F.HoistKeys[K].V >= Info.Vars.size())
+      Note(InvalidVar,
+           "hoist key " + std::to_string(K) + " names a bogus variable");
+
+  for (const auto &B : F.Blocks) {
+    for (const Instr &I : B->Insts) {
+      if (I.Stmt != InvalidStmt && I.Stmt >= F.NumStmts)
+        Note(I.destVar(), "instruction statement id out of range");
+      if (I.isMark()) {
+        // A marker that misnames its variable poisons the whole
+        // function: the real victim variable can no longer be found.
+        if (I.MarkVar >= Info.Vars.size()) {
+          Note(InvalidVar, "marker names a bogus variable");
+          continue;
+        }
+        if (I.MarkStmt != InvalidStmt && I.MarkStmt >= F.NumStmts)
+          Note(I.MarkVar, "marker statement id out of range");
+        if (I.Op == Opcode::AvailMarker && I.HoistKey >= F.HoistKeys.size())
+          Note(I.MarkVar, "avail marker with dangling hoist key");
+        if (I.Op == Opcode::DeadMarker) {
+          const Value &R = I.Recovery;
+          bool WellTyped =
+              R.K == Value::Kind::None || R.K == Value::Kind::ConstInt ||
+              R.K == Value::Kind::ConstDouble ||
+              (R.K == Value::Kind::Temp && R.Id < F.NextTemp) ||
+              (R.K == Value::Kind::Var && R.Id < Info.Vars.size());
+          if (!WellTyped)
+            Note(I.MarkVar, "dead marker with ill-typed recovery value");
+        }
+      } else if (I.IsHoisted && I.HoistKey != InvalidHoistKey &&
+                 I.HoistKey >= F.HoistKeys.size()) {
+        Note(I.destVar(), "hoisted instruction with dangling hoist key");
+      }
+    }
+  }
+  return Findings.size() == Before;
+}

@@ -28,6 +28,15 @@ bool verifyFunction(const IRFunction &F, const ProgramInfo &Info,
 /// Checks a whole module.
 bool verifyModule(const IRModule &M, std::vector<std::string> &Errors);
 
+/// Checks the debug-bookkeeping annotations of \p F (markers name real
+/// variables and statements, hoist keys point into F.HoistKeys, recovery
+/// operands are well-typed).  Unlike verifyFunction this never gates
+/// compilation: the pipeline records the findings on the function and the
+/// Classifier degrades the affected variables (DESIGN.md "Failure
+/// model").  Returns true if no findings were appended.
+bool verifyFunctionAnnotations(const IRFunction &F, const ProgramInfo &Info,
+                               std::vector<AnnotationFinding> &Findings);
+
 } // namespace sldb
 
 #endif // SLDB_IR_VERIFIER_H

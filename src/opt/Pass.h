@@ -18,6 +18,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "ir/IR.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <memory>
@@ -100,8 +101,14 @@ struct OptOptions {
 /// Driver knobs beyond pass selection.
 struct PipelineConfig {
   bool TimePasses = false; ///< Collect per-slot wall time (needs Stats).
-  bool VerifyEach = false; ///< Run the IR verifier after every pass;
-                           ///< aborts with a report on the first failure.
+  bool VerifyEach = false; ///< Run the IR verifier after every pass; the
+                           ///< first failure stops the pipeline and is
+                           ///< returned as a VerifyFailure Status.
+  bool VerifyAnnotations = true; ///< Check the debug-bookkeeping
+                                 ///< invariants after every pass and
+                                 ///< record findings on the function for
+                                 ///< classifier degradation (cheap linear
+                                 ///< scan; never stops the pipeline).
   bool FixpointPropagation = false; ///< Iterate the propagate→simplify
                                     ///< clusters to a fixed point
                                     ///< (bounded) instead of one sweep.
@@ -140,15 +147,19 @@ struct PipelineStats {
 /// Runs the cmcc-like pipeline over every function of \p M.
 /// Passes are ordered so that hoisting (PRE) runs before sinking (PDE),
 /// matching the interaction the paper reports (§4: hoisted assignments
-/// that were partially dead were subsequently sunk).
+/// that were partially dead were subsequently sunk).  Convenience
+/// wrapper: a VerifyEach failure is reported on stderr and aborts (the
+/// Status-aware drivers use runPipelineEx instead).
 void runPipeline(IRModule &M, const OptOptions &Opts);
 
 /// Full-control pipeline entry point: analysis caching across passes,
 /// optional per-pass timing/verification, optional fixpoint iteration of
-/// the propagation clusters.  \p Stats may be null.
-void runPipelineEx(IRModule &M, const OptOptions &Opts,
-                   const PipelineConfig &Config,
-                   PipelineStats *Stats = nullptr);
+/// the propagation clusters.  \p Stats may be null.  Returns a
+/// VerifyFailure error (and stops transforming) when VerifyEach is on and
+/// a pass broke the IR; the module must then be discarded.
+Status runPipelineEx(IRModule &M, const OptOptions &Opts,
+                     const PipelineConfig &Config,
+                     PipelineStats *Stats = nullptr);
 
 /// One pass's aggregate activity over a module: how many (function, pass
 /// slot) runs reported a change.  Names repeat in pipeline order when a
@@ -161,8 +172,8 @@ struct PassFiring {
 /// runPipeline plus per-slot change reporting.  The fuzzing harness uses
 /// this to prove the generated corpus actually exercises every
 /// optimization (no silently-dead fuzz coverage).
-void runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
-                             std::vector<PassFiring> &Firings);
+Status runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
+                               std::vector<PassFiring> &Firings);
 
 /// Returns the pipeline pass names in execution order (Table 1 bench).
 std::vector<std::string> pipelinePassNames(const OptOptions &Opts);

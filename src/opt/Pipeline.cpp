@@ -74,16 +74,18 @@ std::vector<Slot> buildPipeline(const OptOptions &O) {
 /// passes converge quickly in practice).
 constexpr unsigned MaxClusterRounds = 4;
 
-void verifyAfterPass(IRFunction &F, IRModule &M, const char *PassName) {
+Status verifyAfterPass(IRFunction &F, IRModule &M, const char *PassName) {
   std::vector<std::string> Errors;
   if (verifyFunction(F, *M.Info, Errors))
-    return;
-  std::fprintf(stderr,
-               "sldb: IR verification failed after pass '%s' on '%s':\n",
-               PassName, F.Name.c_str());
-  for (const std::string &E : Errors)
-    std::fprintf(stderr, "  %s\n", E.c_str());
-  std::abort();
+    return Status::success();
+  std::string Msg = "IR verification failed after pass '";
+  Msg += PassName;
+  Msg += "' on '" + F.Name + "'";
+  for (const std::string &E : Errors) {
+    Msg += "\n  ";
+    Msg += E;
+  }
+  return Status::error(ErrorCode::VerifyFailure, std::move(Msg));
 }
 
 } // namespace
@@ -96,8 +98,9 @@ PipelineConfig PipelineConfig::fromEnvironment() {
   return C;
 }
 
-void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
-                         const PipelineConfig &Config, PipelineStats *Stats) {
+Status sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
+                           const PipelineConfig &Config,
+                           PipelineStats *Stats) {
   using Clock = std::chrono::steady_clock;
   auto Pipeline = buildPipeline(Opts);
   AnalysisManager AM(*M.Info);
@@ -111,14 +114,22 @@ void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
   const bool Timing = Config.TimePasses && Stats;
   auto RunStart = Timing ? Clock::now() : Clock::time_point();
 
+  Status Err;
   auto RunSlot = [&](std::size_t I, IRFunction &F) {
     auto T0 = Timing ? Clock::now() : Clock::time_point();
     PassResult R = Pipeline[I].P->run(F, M, AM);
     AM.invalidate(F, R.Preserved);
     if (Config.DisableAnalysisCache)
       AM.invalidateAll(F);
-    if (Config.VerifyEach)
-      verifyAfterPass(F, M, Pipeline[I].P->name());
+    if (Config.VerifyEach && Err.ok())
+      Err = verifyAfterPass(F, M, Pipeline[I].P->name());
+    if (Config.VerifyAnnotations) {
+      // Recompute the debug-bookkeeping findings from scratch: damage is
+      // structural, so whatever is still broken after the latest pass is
+      // rediscovered, and the list cannot grow without bound.
+      F.AnnotationFindings.clear();
+      verifyFunctionAnnotations(F, *M.Info, F.AnnotationFindings);
+    }
     if (Config.AfterPass)
       Config.AfterPass(F, M, AM, Pipeline[I].P->name());
     if (Stats) {
@@ -137,7 +148,7 @@ void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
   // module is bit-identical to the historical one-sweep pipeline.
   for (auto &F : M.Funcs) {
     std::size_t I = 0;
-    while (I < Pipeline.size()) {
+    while (I < Pipeline.size() && Err.ok()) {
       int Cluster = Pipeline[I].Cluster;
       if (Cluster < 0 || !Config.FixpointPropagation) {
         RunSlot(I, *F);
@@ -148,13 +159,16 @@ void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
       while (End < Pipeline.size() && Pipeline[End].Cluster == Cluster)
         ++End;
       bool Again = true;
-      for (unsigned Round = 0; Again && Round < MaxClusterRounds; ++Round) {
+      for (unsigned Round = 0;
+           Again && Err.ok() && Round < MaxClusterRounds; ++Round) {
         Again = false;
         for (std::size_t K = I; K < End; ++K)
           Again |= RunSlot(K, *F);
       }
       I = End;
     }
+    if (!Err.ok())
+      break;
   }
 
   if (Stats) {
@@ -164,19 +178,27 @@ void sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
           std::chrono::duration<double, std::milli>(Clock::now() - RunStart)
               .count();
   }
+  return Err;
 }
 
 void sldb::runPipeline(IRModule &M, const OptOptions &Opts) {
-  runPipelineEx(M, Opts, PipelineConfig::fromEnvironment());
+  Status S = runPipelineEx(M, Opts, PipelineConfig::fromEnvironment());
+  if (!S.ok()) {
+    // The convenience wrapper has no error channel; Status-aware drivers
+    // (sldbc, the fuzz oracle) use runPipelineEx directly.
+    std::fprintf(stderr, "sldb: %s\n", S.str().c_str());
+    std::abort();
+  }
 }
 
-void sldb::runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
-                                   std::vector<PassFiring> &Firings) {
+Status sldb::runPipelineInstrumented(IRModule &M, const OptOptions &Opts,
+                                     std::vector<PassFiring> &Firings) {
   PipelineStats Stats;
-  runPipelineEx(M, Opts, PipelineConfig::fromEnvironment(), &Stats);
+  Status S = runPipelineEx(M, Opts, PipelineConfig::fromEnvironment(), &Stats);
   Firings.clear();
-  for (const PassSlotStats &S : Stats.Slots)
-    Firings.push_back({S.Name, S.Changed});
+  for (const PassSlotStats &Slot : Stats.Slots)
+    Firings.push_back({Slot.Name, Slot.Changed});
+  return S;
 }
 
 std::vector<std::string> sldb::pipelinePassNames(const OptOptions &Opts) {

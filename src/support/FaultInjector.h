@@ -1,0 +1,107 @@
+//===- support/FaultInjector.h - Seeded fault injection ---------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of *named* fault-injection points used to test
+/// the failure model (DESIGN.md "Failure model").  Generalizes the ad-hoc
+/// `ClassifierFaults` booleans of the first fuzzing PR: each point has a
+/// stable name (for `sldb-fuzz --inject`), a seeded PRNG for victim
+/// selection, and a `Defended` flag:
+///
+///  * Defended points simulate corrupted debug bookkeeping (a dropped
+///    marker, a dangling hoist key, a truncated location table...).  The
+///    AnnotationVerifier must detect the damage and the Classifier must
+///    degrade to conservative answers — the inject campaign asserts no
+///    crash and no unsound CURRENT verdict while one is armed.
+///
+///  * Undefended points ("teeth" faults) break the classifier's own
+///    dataflow; the differential oracle must *catch* the resulting
+///    unsoundness.  They prove the fuzzer can see, and are excluded from
+///    the inject campaign.
+///
+/// At most one fault is armed at a time; arming is global and
+/// deterministic (seeded), so a failing (seed, fault) pair replays
+/// exactly.  Code under test queries `armed(Id)` at its injection site
+/// and uses `rand()` to pick victims.  All hooks are zero-cost when
+/// nothing is armed beyond a single enum compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_FAULTINJECTOR_H
+#define SLDB_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sldb {
+
+/// Every injection point in the system.
+enum class FaultId : std::uint8_t {
+  None = 0,
+  // Teeth faults (undefended; the oracle must catch the unsoundness).
+  ClassifierSuppressHoistGen,      ///< Hoist reach loses its gen sets.
+  ClassifierSuppressDeadAssignKill,///< Dead reach loses assignment kills.
+  // Defended faults (the verifier must detect; classifier must degrade).
+  DropDeadMarker,     ///< One MDEAD marker demoted to MNOP after codegen.
+  CorruptMarkerVar,   ///< One marker's MarkVar pointed at a bogus id.
+  CorruptMarkerStmt,  ///< One marker's MarkStmt pushed out of range.
+  CorruptHoistKey,    ///< One hoisted instruction's key made dangling.
+  TruncateStmtMap,    ///< StmtAddr location table truncated.
+  CorruptRecoveryReg, ///< One InReg recovery retargeted to a bogus reg.
+  TruncateResidentAt, ///< One variable's residence bit-vector truncated.
+  TrapVMMidRun,       ///< VM traps after a random number of steps.
+};
+
+struct FaultPoint {
+  FaultId Id;
+  const char *Name; ///< Stable CLI name (sldb-fuzz --inject).
+  bool Defended;
+  const char *Desc;
+};
+
+/// Global arm/disarm interface.  Not thread-safe (the fuzzer isolates
+/// concurrent work in subprocesses instead).
+class FaultInjector {
+public:
+  /// All registered points, in FaultId order (None excluded).
+  static const std::vector<FaultPoint> &points();
+
+  /// Looks a point up by CLI name; null if unknown.
+  static const FaultPoint *findPoint(std::string_view Name);
+
+  /// Arms \p Id with a deterministic PRNG stream derived from \p Seed.
+  /// Replaces any previously armed fault.
+  static void arm(FaultId Id, std::uint32_t Seed);
+
+  /// Disarms everything.
+  static void disarm();
+
+  static bool armed(FaultId Id) { return Cur == Id; }
+  static FaultId current() { return Cur; }
+
+  /// Next value of the armed fault's PRNG stream (victim selection).
+  static std::uint32_t rand();
+
+  /// Monotonic counter bumped by every arm/disarm/suspend/resume; caches
+  /// keyed on classifier-visible fault state use it as their tag.
+  static std::uint64_t generation() { return Gen; }
+
+  /// Temporarily disarms (e.g. while compiling the oracle build in
+  /// lockstep, which must stay pristine); resume() restores.
+  static void suspend();
+  static void resume();
+
+private:
+  static FaultId Cur;
+  static FaultId Suspended;
+  static std::uint64_t Gen;
+  static std::uint64_t Rng;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_FAULTINJECTOR_H

@@ -7,6 +7,7 @@
 #include "vm/Machine.h"
 
 #include "support/Casting.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,8 @@ using namespace sldb;
 
 Machine::Machine(const MachineModule &MM, std::uint64_t MaxSteps)
     : MM(MM), MaxSteps(MaxSteps) {
+  if (FaultInjector::armed(FaultId::TrapVMMidRun))
+    TrapAtStep = 1 + FaultInjector::rand() % 2000;
   Mem.resize(1 << 22);
   // Globals at the bottom of memory; stack grows above them.
   SP = MM.GlobalWords;
@@ -72,6 +75,10 @@ StopReason Machine::run() {
   PC.Local = 0;
   FP = MM.GlobalWords;
   SP = FP + Main->FrameSize;
+  if (SP >= Mem.size()) {
+    trap("stack overflow");
+    return Reason;
+  }
   return resumeImpl(/*SkipFirst=*/false);
 }
 
@@ -111,6 +118,12 @@ StopReason Machine::step() {
   if (!I.isMarker()) {
     if (++Executed > MaxSteps) {
       Reason = StopReason::StepLimit;
+      TrapMsg = "step limit exceeded (fuel budget " +
+                std::to_string(MaxSteps) + " instructions)";
+      return Reason;
+    }
+    if (TrapAtStep != 0 && Executed >= TrapAtStep) {
+      trap("injected fault: VM trapped mid-run");
       return Reason;
     }
   }

@@ -86,8 +86,15 @@ public:
     return S;
   }
 
-  std::int64_t readIntReg(unsigned N) const { return R[N]; }
-  double readFpReg(unsigned N) const { return F[N]; }
+  /// Debugger-facing register reads.  Bounds-clamped: a corrupted
+  /// recovery annotation may name a register that does not exist, and
+  /// the inspection window must stay memory-safe regardless.
+  std::int64_t readIntReg(unsigned N) const {
+    return N < R3K::NumIntRegs ? R[N] : 0;
+  }
+  double readFpReg(unsigned N) const {
+    return N < R3K::NumFpRegs ? F[N] : 0.0;
+  }
 
   /// Reads a data word (global or stack).
   std::int64_t readMemInt(std::size_t Addr) const;
@@ -142,6 +149,10 @@ private:
   std::uint64_t Executed = 0;
   std::vector<std::string> Output;
   bool Started = false;
+
+  /// Fault injection (FaultId::TrapVMMidRun): instruction count at which
+  /// the VM spuriously traps; 0 when the fault is not armed.
+  std::uint64_t TrapAtStep = 0;
 };
 
 } // namespace sldb

@@ -136,6 +136,28 @@ public:
     return static_cast<HoistKeyId>(MF.HoistKeys.size() - 1);
   }
 
+  /// Fills the bookkeeping the annotation verifier re-checks at
+  /// classifier construction (marker census, frame size) so hand-built
+  /// functions verify clean like real codegen output; a census mismatch
+  /// would otherwise push every variable into degraded mode.
+  void syncVerifierTables() {
+    MF.ExpectedDeadMarkers = 0;
+    MF.ExpectedAvailMarkers = 0;
+    for (const MachineBlock &B : MF.Blocks)
+      for (const MInstr &I : B.Insts) {
+        if (I.Op == MOp::MDEAD)
+          ++MF.ExpectedDeadMarkers;
+        else if (I.Op == MOp::MAVAIL)
+          ++MF.ExpectedAvailMarkers;
+      }
+    for (const auto &[V, S] : MF.Storage) {
+      (void)V;
+      if (S.K == VarStorage::Kind::Frame && S.Frame >= 0 &&
+          static_cast<std::uint32_t>(S.Frame) >= MF.FrameSize)
+        MF.FrameSize = static_cast<std::uint32_t>(S.Frame) + 1;
+    }
+  }
+
   /// Finalizes addresses and returns a classifier.
   Classifier finish(unsigned NumStmts = 16) {
     MF.NumStmts = NumStmts;
@@ -153,6 +175,7 @@ public:
         BitVector Bits(Addr, true);
         MF.ResidentAt[V] = Bits;
       }
+    syncVerifierTables();
     return Classifier(MF, *Info);
   }
 
@@ -423,6 +446,7 @@ TEST(Classifier, RecoveryDisabledByAblationSwitch) {
   B.MF.StmtAddr.assign(16, -1);
   BitVector Bits(4, true);
   B.MF.ResidentAt[X] = Bits;
+  B.syncVerifierTables();
   Classifier WithRecovery(B.MF, *B.Info, /*EnableRecovery=*/true);
   Classifier NoRecovery(B.MF, *B.Info, /*EnableRecovery=*/false);
   EXPECT_EQ(WithRecovery.classify(2, X).Kind, VarClass::Current);

@@ -13,7 +13,7 @@
 //    (pipeline firing counts) and at the machine level (hoisted/sunk
 //    instructions, MDEAD/MAVAIL markers, SR records);
 //  * the harness must have teeth: an intentionally unsound classifier
-//    (ClassifierFaults fault injection) must be caught;
+//    (the undefended FaultInjector points) must be caught;
 //  * the reproducer shrinker must preserve the predicate while shrinking.
 //
 //===----------------------------------------------------------------------===//
@@ -21,6 +21,7 @@
 #include "core/Classifier.h"
 #include "fuzz/Campaign.h"
 #include "fuzz/Reduce.h"
+#include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
@@ -58,7 +59,7 @@ std::string failureSummary(const CampaignResult &R) {
 
 /// Restores the intact classifier even when an assertion fails mid-test.
 struct FaultGuard {
-  ~FaultGuard() { ClassifierFaults::reset(); }
+  ~FaultGuard() { FaultInjector::disarm(); }
 };
 
 } // namespace
@@ -141,7 +142,7 @@ TEST(FuzzDiff, BrokenHoistReachIsCaught) {
   ASSERT_TRUE(checkProgram(HoistVictim, /*Promote=*/true).empty());
 
   FaultGuard G;
-  ClassifierFaults::SuppressHoistGen = true;
+  FaultInjector::arm(FaultId::ClassifierSuppressHoistGen, /*Seed=*/1);
   std::vector<Violation> V = checkProgram(HoistVictim, /*Promote=*/true);
   ASSERT_FALSE(V.empty())
       << "suppressing hoist-reach GEN must produce an unsound verdict";
@@ -156,7 +157,7 @@ TEST(FuzzDiff, BrokenDeadReachKillIsCaught) {
   ASSERT_TRUE(checkProgram(DeadKillVictim, /*Promote=*/true).empty());
 
   FaultGuard G;
-  ClassifierFaults::SuppressDeadAssignKill = true;
+  FaultInjector::arm(FaultId::ClassifierSuppressDeadAssignKill, /*Seed=*/1);
   std::vector<Violation> V = checkProgram(DeadKillVictim, /*Promote=*/true);
   ASSERT_FALSE(V.empty())
       << "suppressing the dead-reach assignment kill must resurrect the "

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Configures the asan-ubsan tree (build-asan-ubsan/, see the CMake preset
+# of the same name), builds the fuzzing driver, and runs a modest
+# differential campaign plus a fault-injection slice under
+# AddressSanitizer + UBSan.  Registered as the tier-1 ctest
+# `fuzz_diff_sanitized`; any sanitizer report aborts the driver, which
+# the campaign's fork isolation surfaces as a process crash and the
+# driver turns into a nonzero exit.
+#
+# Usage: tools/run_sanitized_fuzz.sh [repo-root] [count]
+
+set -e
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+COUNT=${2:-50}
+BUILD="$ROOT/build-asan-ubsan"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSLDB_SANITIZE=address,undefined >/dev/null
+cmake --build "$BUILD" --target sldb-fuzz -j "$JOBS" >/dev/null
+
+# halt_on_error makes UBSan reports fatal even where
+# -fno-sanitize-recover is not honored; leak checking stays on (default).
+UBSAN_OPTIONS=halt_on_error=1 \
+  "$BUILD/tools/sldb-fuzz" --seed 1 --count "$COUNT" --no-write --no-shrink
+
+# A small injection slice: every defended fault point under sanitizers.
+# In-process (no fork) so ASan sees the whole run in one address space
+# and leaks/overflows are attributed to the faulty path directly.
+UBSAN_OPTIONS=halt_on_error=1 \
+  "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 10 \
+  --no-write --no-shrink

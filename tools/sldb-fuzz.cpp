@@ -8,6 +8,7 @@
 /// Command-line front end for the differential fuzzing oracle:
 ///
 ///   sldb-fuzz --seed 1 --count 200         # campaign (both codegen modes)
+///   sldb-fuzz --inject --count 200         # fault-injection campaign
 ///   sldb-fuzz --dump-seed 42               # print one generated program
 ///   sldb-fuzz --repro fuzz-failures/x.minic  # re-judge one reproducer
 ///
@@ -18,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Campaign.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +41,9 @@ struct Options {
   std::string WriteDir = "fuzz-failures";
   std::string ReproPath;
   long DumpSeed = -1;
+  bool Inject = false;
+  int Isolate = -1; ///< -1 default (on for --inject, off otherwise).
+  unsigned TimeoutMs = 20'000;
 };
 
 void usage() {
@@ -52,7 +57,15 @@ void usage() {
       "  --no-write      do not write reproducer files\n"
       "  --write-dir D   reproducer directory (default fuzz-failures)\n"
       "  --dump-seed N   print the program for seed N and exit\n"
-      "  --repro FILE    re-judge a program/reproducer file and exit\n");
+      "  --repro FILE    re-judge a program/reproducer file and exit\n"
+      "  --inject        fault-injection campaign: every seed is judged\n"
+      "                  once per defended fault point; crashes, hangs,\n"
+      "                  and unsound verdicts fail\n"
+      "  --isolate       fork each check under a watchdog (default for\n"
+      "                  --inject)\n"
+      "  --no-isolate    run checks in-process\n"
+      "  --timeout-ms N  watchdog budget per isolated check (default\n"
+      "                  20000)\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long &Out) {
@@ -100,6 +113,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!V)
         return false;
       O.ReproPath = V;
+    } else if (A == "--inject") {
+      O.Inject = true;
+    } else if (A == "--isolate") {
+      O.Isolate = 1;
+    } else if (A == "--no-isolate") {
+      O.Isolate = 0;
+    } else if (A == "--timeout-ms") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N))
+        return false;
+      O.TimeoutMs = static_cast<unsigned>(N);
     } else {
       return false;
     }
@@ -132,6 +156,47 @@ int runRepro(const Options &O) {
   return Status;
 }
 
+int runInject(const Options &O) {
+  InjectCampaignConfig C;
+  C.Seed = O.Seed;
+  C.Count = O.Count;
+  C.Promote = O.Promote;
+  C.Shrink = O.Shrink;
+  C.Isolate = O.Isolate != 0; // Default on for --inject.
+  C.TimeoutMs = O.TimeoutMs;
+  C.WriteFailures = O.Write;
+  C.CrashDir = O.WriteDir == "fuzz-failures" ? "fuzz-crashes" : O.WriteDir;
+  InjectCampaignResult R = runInjectCampaign(C);
+
+  unsigned Defended = 0;
+  for (const FaultPoint &P : FaultInjector::points())
+    if (P.Defended)
+      ++Defended;
+  std::printf("inject:        %u programs x %u fault points = %u runs "
+              "(%s)\n",
+              R.Programs, Defended, R.Runs,
+              C.Isolate ? "isolated, watchdog on" : "in-process");
+  std::printf("outcomes:      %u degraded-conservative, %u compile "
+              "errors, %u crashes, %u hangs, %u unsound\n",
+              R.DegradedRuns, R.CompileErrors, R.Crashes, R.Hangs,
+              R.UnsoundRuns);
+  if (R.sound()) {
+    std::printf("injection:     OK (no crash, no hang, no unsound verdict "
+                "under any injected fault)\n");
+    return 0;
+  }
+  std::printf("injection:     %zu FAILING run(s)\n", R.Failures.size());
+  for (const CampaignFailure &F : R.Failures) {
+    std::printf("  seed %u fault %s: %s\n", F.Seed, F.FaultName.c_str(),
+                F.ProcessOutcome.empty()
+                    ? F.Violations.front().str().c_str()
+                    : F.ProcessOutcome.c_str());
+    if (!F.Path.empty())
+      std::printf("    reproducer: %s\n", F.Path.c_str());
+  }
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -149,6 +214,8 @@ int main(int Argc, char **Argv) {
   }
   if (!O.ReproPath.empty())
     return runRepro(O);
+  if (O.Inject)
+    return runInject(O);
 
   CampaignConfig C;
   C.Seed = O.Seed;
@@ -158,6 +225,8 @@ int main(int Argc, char **Argv) {
   C.Shrink = O.Shrink;
   C.WriteFailures = O.Write;
   C.FailureDir = O.WriteDir;
+  C.Isolate = O.Isolate == 1;
+  C.TimeoutMs = O.TimeoutMs;
   CampaignResult R = runCampaign(C);
 
   std::printf("programs:      %u (%u lockstep runs)\n", R.Programs,

@@ -61,6 +61,7 @@ struct Options {
   bool TimePasses = false;
   bool PassStats = false;
   bool VerifyEach = false;
+  std::uint64_t Fuel = 50'000'000;
   std::vector<std::string> ScriptedCommands;
 };
 
@@ -69,7 +70,7 @@ void usage() {
                "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
-               "             [--cmd <repl-command>]... <file.mc>\n");
+               "             [--fuel N] [--cmd <repl-command>]... <file.mc>\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -93,6 +94,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.VerifyEach = true;
     } else if (A == "--debug") {
       Opts.Emit = "debug";
+    } else if (A == "--fuel") {
+      if (++I >= Argc) {
+        usage();
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0' || End == Argv[I] || N == 0) {
+        std::fprintf(stderr, "--fuel needs a positive integer\n");
+        return false;
+      }
+      Opts.Fuel = N;
     } else if (A == "--cmd") {
       if (++I >= Argc) {
         usage();
@@ -214,6 +227,11 @@ int replLoop(Debugger &Dbg, const Options &Opts) {
                     Dbg.machine().trapMessage().c_str());
         Running = false;
         break;
+      case StopReason::StepLimit:
+        std::printf("program stopped: %s\n",
+                    Dbg.machine().trapMessage().c_str());
+        Running = false;
+        break;
       default:
         std::printf("stopped (%d)\n", static_cast<int>(R));
       }
@@ -325,7 +343,11 @@ int main(int Argc, char **Argv) {
       Config.TimePasses |= Opts.TimePasses;
       Config.VerifyEach |= Opts.VerifyEach;
       PipelineStats Stats;
-      runPipelineEx(*Module, OptOptions::all(), Config, &Stats);
+      Status PS = runPipelineEx(*Module, OptOptions::all(), Config, &Stats);
+      if (!PS.ok()) {
+        std::fprintf(stderr, "error: %s\n", PS.str().c_str());
+        return 1;
+      }
       if (Opts.TimePasses || Opts.PassStats) {
         std::fprintf(stderr, "%-45s %6s %8s", "pass", "runs", "changed");
         if (Opts.TimePasses)
@@ -359,7 +381,11 @@ int main(int Argc, char **Argv) {
         }
       }
     } else {
-      runPipeline(*Module, OptOptions::all());
+      Status PS = runPipelineEx(*Module, OptOptions::all(), PipelineConfig());
+      if (!PS.ok()) {
+        std::fprintf(stderr, "error: %s\n", PS.str().c_str());
+        return 1;
+      }
     }
   }
 
@@ -371,7 +397,12 @@ int main(int Argc, char **Argv) {
   CodegenOptions CG;
   CG.PromoteVars = Opts.Promote;
   CG.Schedule = Opts.Schedule;
-  MachineModule MM = compileToMachine(*Module, CG);
+  Expected<MachineModule> MME = compileToMachineE(*Module, CG);
+  if (!MME) {
+    std::fprintf(stderr, "error: %s\n", MME.status().str().c_str());
+    return 1;
+  }
+  MachineModule &MM = *MME;
 
   if (Opts.Emit == "asm") {
     for (const MachineFunction &F : MM.Funcs)
@@ -385,15 +416,15 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opts.Emit == "debug") {
-    Debugger Dbg(MM);
+    Debugger Dbg(MM, Opts.Fuel);
     return replLoop(Dbg, Opts);
   }
 
   // Default: run to completion.
-  Machine VM(MM);
+  Machine VM(MM, Opts.Fuel);
   StopReason R = VM.run();
   std::printf("%s", VM.outputText().c_str());
-  if (R == StopReason::Trapped) {
+  if (R == StopReason::Trapped || R == StopReason::StepLimit) {
     std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
     return 1;
   }
