@@ -1,0 +1,97 @@
+//===- bench/bench_campaign_scaling.cpp ------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strong-scaling curve of the parallel campaign runner, emitted as one
+/// machine-readable line:
+///
+///   BENCH {"bench":"campaign_scaling","cores":...,"jobs":[...],...}
+///
+/// The same fixed-seed campaign runs at --jobs 1/2/4/8; for each point
+/// the minimum wall time over repetitions is reported together with the
+/// speedup over the serial run and the report digest hash — a scaling
+/// win that changes the report is a determinism regression, not a win.
+/// The acceptance target (>= 3x at --jobs 8) only applies on a machine
+/// with 8 hardware threads; "cores" is in the output so single-core CI
+/// readings are not misread as a scaling failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace sldb;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+CampaignConfig campaign(unsigned Jobs) {
+  CampaignConfig C;
+  C.Seed = 7;
+  C.Count = 40;
+  C.Shrink = false;
+  C.WriteFailures = false;
+  C.Jobs = Jobs;
+  return C;
+}
+
+/// FNV-1a over the deterministic report fields; equal hashes across job
+/// counts certify the aggregation stayed deterministic during timing.
+std::uint64_t digestHash(const CampaignResult &R) {
+  std::ostringstream D;
+  D << R.Programs << ' ' << R.Runs << ' ' << R.FailedCompiles << ' '
+    << R.Stops << ' ' << R.Observations << ' ' << R.Failures.size();
+  for (const PassFiring &F : R.Coverage.Firings)
+    D << ' ' << F.Name << ':' << F.Changed;
+  std::uint64_t H = 1469598103934665603ull;
+  for (char C : D.str()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+int main() {
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+  double Ms[4];
+  std::uint64_t Hash[4];
+
+  for (int J = 0; J < 4; ++J) {
+    Ms[J] = 1e300;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto T0 = Clock::now();
+      CampaignResult R = runCampaign(campaign(JobCounts[J]));
+      Ms[J] = std::min(
+          Ms[J], std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                     .count());
+      Hash[J] = digestHash(R);
+    }
+  }
+
+  bool Deterministic = Hash[1] == Hash[0] && Hash[2] == Hash[0] &&
+                       Hash[3] == Hash[0];
+  std::printf(
+      "BENCH {\"bench\":\"campaign_scaling\",\"cores\":%u,"
+      "\"jobs\":[1,2,4,8],"
+      "\"ms\":[%.1f,%.1f,%.1f,%.1f],"
+      "\"speedup\":[%.2f,%.2f,%.2f,%.2f],"
+      "\"deterministic\":%s,\"digest\":\"%016llx\"}\n",
+      ThreadPool::hardwareJobs(), Ms[0], Ms[1], Ms[2], Ms[3], Ms[0] / Ms[0],
+      Ms[0] / Ms[1], Ms[0] / Ms[2], Ms[0] / Ms[3],
+      Deterministic ? "true" : "false",
+      static_cast<unsigned long long>(Hash[0]));
+  return Deterministic ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include "core/Classifier.h"
 #include "ir/IRGen.h"
 #include "support/Casting.h"
+#include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
 using namespace sldb;
@@ -113,6 +114,18 @@ ClassAverages sldb::measureClassification(const BenchProgram &P,
   A.Current = Counts[4] / N;
   A.Recovered = RecoveredCount / N;
   return A;
+}
+
+std::vector<ClassAverages>
+sldb::measureClassificationAll(const std::vector<BenchProgram> &Corpus,
+                               const OptOptions &Opts, bool Promote,
+                               bool EnableRecovery, unsigned Jobs) {
+  std::vector<ClassAverages> Out(Corpus.size());
+  ThreadPool Pool(Jobs ? Jobs : ThreadPool::hardwareJobs());
+  Pool.parallelFor(Corpus.size(), [&](std::size_t I, unsigned) {
+    Out[I] = measureClassification(Corpus[I], Opts, Promote, EnableRecovery);
+  });
+  return Out;
 }
 
 CodeQuality sldb::measureCodeQuality(const BenchProgram &P,

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sldb {
 
@@ -72,6 +73,16 @@ struct ClassAverages {
 ClassAverages measureClassification(const BenchProgram &P,
                                     const OptOptions &Opts, bool Promote,
                                     bool EnableRecovery = true);
+
+/// Measures a whole corpus, fanning the per-program measurements across
+/// \p Jobs worker threads (0 = all hardware cores).  Results are in
+/// corpus order and bit-identical to calling measureClassification
+/// serially per program — each program's pipeline, classifier, and
+/// averaging run thread-confined on one worker.
+std::vector<ClassAverages>
+measureClassificationAll(const std::vector<BenchProgram> &Corpus,
+                         const OptOptions &Opts, bool Promote,
+                         bool EnableRecovery = true, unsigned Jobs = 1);
 
 /// Table 3 substitute: dynamic instruction counts on the R3K simulator.
 struct CodeQuality {

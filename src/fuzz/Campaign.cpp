@@ -3,15 +3,38 @@
 // Part of the sldb project (PLDI 1996 reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Parallel execution model: both campaign runners decompose into
+// independent work units — (seed, promote-mode) for the differential
+// campaign, (seed, fault-point) for the injection campaign — and fan the
+// units across a work-stealing ThreadPool.  Every unit writes its
+// outcome into a slot indexed by its position in the canonical
+// seed-major unit order; after the pool drains, a single-threaded merge
+// walks the slots *in that order* to build the result.  The report is
+// therefore byte-identical for any --jobs value (including 1, which
+// runs inline without threads): scheduling can only change *when* a
+// slot is filled, never what the merge reads from it.
+//
+// Thread confinement: a unit does everything on one worker thread —
+// generate, arm its fault (FaultInjector state is thread_local),
+// compile, run, judge, shrink — so no unit can observe another's armed
+// fault or PRNG stream.  Reproducer files are written by the merge, not
+// the workers, so filename dedup needs no locking.
+//
+//===----------------------------------------------------------------------===//
 
 #include "fuzz/Campaign.h"
 
 #include "fuzz/Isolation.h"
 #include "fuzz/Reduce.h"
 #include "support/FaultInjector.h"
+#include "support/Sharder.h"
+#include "support/ThreadPool.h"
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <set>
 
 using namespace sldb;
 
@@ -79,14 +102,45 @@ std::string processOutcomeText(const IsolatedOutcome &O) {
   return "crash (abnormal exit)";
 }
 
-void writeReproducer(CampaignFailure &F, const std::string &Dir) {
+/// Rejects configurations the runners cannot execute faithfully.
+/// Returns an empty string when valid.
+std::string configError(std::uint32_t Seed, unsigned Count,
+                        unsigned ShardIndex, unsigned ShardCount) {
+  const std::uint64_t Last =
+      static_cast<std::uint64_t>(Seed) + (Count ? Count - 1 : 0);
+  if (Last > std::numeric_limits<std::uint32_t>::max())
+    return "seed range overflows 32 bits: --seed " + std::to_string(Seed) +
+           " --count " + std::to_string(Count) + " reaches seed " +
+           std::to_string(Last) +
+           " > 4294967295; later seeds would wrap and re-run earlier "
+           "programs (double-counting coverage) — split the range or "
+           "lower --seed/--count";
+  if (ShardCount == 0)
+    return "shard count must be >= 1";
+  if (ShardIndex >= ShardCount)
+    return "shard index " + std::to_string(ShardIndex) +
+           " out of range for " + std::to_string(ShardCount) + " shard(s)";
+  return "";
+}
+
+/// Merge-time reproducer writer.  The stem already encodes (seed, mode,
+/// fault), so collisions only arise if one campaign produces two
+/// records for the same triple; a numeric suffix then keeps both
+/// instead of silently clobbering the first.
+std::string writeReproducerDeduped(const CampaignFailure &F,
+                                   const std::string &Dir,
+                                   std::set<std::string> &UsedPaths) {
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
-  F.Path = Dir + "/seed-" + std::to_string(F.Seed) +
-           (F.FaultName.empty() ? "" : "-" + F.FaultName) +
-           (F.Promote ? "-promote" : "-frame") + ".minic";
-  std::ofstream Out(F.Path);
+  std::string Stem = Dir + "/seed-" + std::to_string(F.Seed) +
+                     (F.FaultName.empty() ? "" : "-" + F.FaultName) +
+                     (F.Promote ? "-promote" : "-frame");
+  std::string Path = Stem + ".minic";
+  for (unsigned N = 2; !UsedPaths.insert(Path).second; ++N)
+    Path = Stem + "-" + std::to_string(N) + ".minic";
+  std::ofstream Out(Path);
   Out << renderFailure(F);
+  return Path;
 }
 
 /// Builds the crash/hang record for a seed the isolation layer caught,
@@ -121,6 +175,28 @@ makeProcessFailure(std::uint32_t Seed, bool Promote, const std::string &Src,
   return F;
 }
 
+/// Translates pool stats into campaign-level worker stats, resolving
+/// each worker's slowest unit index to its seed via \p SeedOfUnit.
+std::vector<CampaignWorkerStats>
+toCampaignStats(const std::vector<WorkerStats> &WS,
+                const std::function<std::uint32_t(std::size_t)> &SeedOfUnit) {
+  std::vector<CampaignWorkerStats> Out;
+  Out.reserve(WS.size());
+  for (const WorkerStats &S : WS) {
+    CampaignWorkerStats C;
+    C.Worker = S.Worker;
+    C.Units = S.Tasks;
+    C.Steals = S.Steals;
+    C.InitialQueue = S.InitialQueue;
+    C.BusyUs = S.BusyUs;
+    C.SlowestUs = S.SlowestUs;
+    if (S.SlowestIndex != SIZE_MAX)
+      C.SlowestSeed = SeedOfUnit(S.SlowestIndex);
+    Out.push_back(C);
+  }
+  return Out;
+}
+
 } // namespace
 
 bool sldb::isUnsoundViolation(ViolationKind K) {
@@ -129,122 +205,191 @@ bool sldb::isUnsoundViolation(ViolationKind K) {
          K == ViolationKind::MissedUninitialized;
 }
 
+//===----------------------------------------------------------------------===//
+// Differential campaign
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One (seed, mode) unit's outcome: everything the merge needs, nothing
+/// shared while workers run.
+struct ModeOutcome {
+  bool Ran = false;         ///< Counts as a lockstep run.
+  bool CompileFail = false; ///< Generator bug; mode 1 is skipped.
+  bool HasFailure = false;  ///< F holds a soundness/process failure.
+  CampaignFailure F;
+  std::uint64_t Stops = 0;
+  std::uint64_t Observations = 0;
+  bool Instrumented = false;
+  std::vector<PassFiring> Firings;
+  bool Hoisted = false, Sunk = false, DeadMarks = false,
+       AvailMarks = false, SRRecords = false;
+};
+
+/// Runs one (seed, mode) unit.  Thread-confined: everything from
+/// generation to shrinking happens on the calling worker.
+ModeOutcome runModeUnit(const CampaignConfig &C, std::uint32_t Seed,
+                        bool Promote, bool Instrument) {
+  ModeOutcome O;
+  std::string Src = generateProgram(Seed, C.Gen);
+
+  if (C.Isolate) {
+    // Containment first: probe the (seed, mode) in a forked child.
+    // A clean child skips the in-process run (its coverage stats are
+    // lost to the fork — the documented trade); a child that failed
+    // *cleanly* is re-run in-process below for the full
+    // shrink-and-record path, which is safe precisely because the
+    // child proved the seed does not bring the process down.
+    auto Probe = [&](const std::string &S) -> std::pair<bool, std::string> {
+      std::vector<Violation> Vs = checkProgram(S, Promote, C.MaxStops);
+      std::string Rep;
+      for (const Violation &V : Vs)
+        Rep += V.str() + "\n";
+      return {Vs.empty(), Rep};
+    };
+    IsolatedOutcome IO =
+        runIsolated(C.TimeoutMs, [&] { return Probe(Src); });
+    if (IO.Status == IsolatedStatus::Ok) {
+      O.Ran = true;
+      return O;
+    }
+    if (IO.Status == IsolatedStatus::Crash ||
+        IO.Status == IsolatedStatus::Timeout) {
+      O.Ran = true;
+      O.F = makeProcessFailure(Seed, Promote, Src, "", IO, C.Shrink,
+                               C.TimeoutMs, Probe);
+      O.HasFailure = true;
+      return O;
+    }
+  }
+
+  LockstepOptions LO;
+  LO.Promote = Promote;
+  LO.MaxStops = C.MaxStops;
+  LO.InstrumentPasses = Instrument;
+  LockstepResult LR = runLockstep(Src, LO);
+  O.Ran = true;
+
+  if (!LR.Compiled) {
+    O.CompileFail = true;
+    O.F.Seed = Seed;
+    O.F.Promote = Promote;
+    O.F.Source = Src;
+    O.F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
+                       InvalidStmt, "",
+                       "generated program does not compile: " +
+                           LR.CompileError}};
+    return O;
+  }
+
+  O.Stops = LR.Stops.size();
+  for (const StopObservation &S : LR.Stops)
+    O.Observations += S.Vars.size();
+
+  if (Instrument) {
+    O.Instrumented = true;
+    O.Firings = LR.Firings;
+    O.Hoisted = LR.NumHoisted != 0;
+    O.Sunk = LR.NumSunk != 0;
+    O.DeadMarks = LR.NumDeadMarks != 0;
+    O.AvailMarks = LR.NumAvailMarks != 0;
+    O.SRRecords = LR.NumSRRecords != 0;
+  }
+
+  std::vector<Violation> Vs = checkSoundness(LR);
+  if (Vs.empty())
+    return O;
+
+  O.F.Seed = Seed;
+  O.F.Promote = Promote;
+  O.F.Source = Src;
+  O.F.Violations = std::move(Vs);
+  if (C.Shrink) {
+    ViolationKind Kind = O.F.Violations.front().Kind;
+    O.F.Reduced = reduceProgram(
+        Src,
+        [&](const std::string &Cand) {
+          return sameKindStillFails(Cand, Promote, Kind, C.MaxStops);
+        },
+        /*MaxChecks=*/400);
+  }
+  O.HasFailure = true;
+  return O;
+}
+
+} // namespace
+
 CampaignResult sldb::runCampaign(const CampaignConfig &C) {
   CampaignResult R;
-  for (unsigned I = 0; I < C.Count; ++I) {
-    std::uint32_t Seed = C.Seed + I;
-    std::string Src = generateProgram(Seed, C.Gen);
+  R.ConfigError =
+      configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+  if (!R.ConfigError.empty())
+    return R;
+
+  const ShardRange Shard =
+      Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);
+  const unsigned Modes = C.BothPromoteModes ? 2 : 1;
+  const std::size_t NumUnits = Shard.size() * Modes;
+
+  // Canonical unit order: seed-major, promote mode before frame mode —
+  // the exact order the serial loop visited.
+  auto SeedOfUnit = [&](std::size_t U) {
+    return static_cast<std::uint32_t>(C.Seed + Shard.Begin + U / Modes);
+  };
+  auto PromoteOfUnit = [&](std::size_t U) {
+    return C.BothPromoteModes ? (U % Modes) == 0 : C.Promote;
+  };
+
+  std::vector<ModeOutcome> Out(NumUnits);
+  ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        bool Promote = PromoteOfUnit(U);
+        // Instrument the pipeline once per program: the IR pipeline
+        // does not depend on the codegen configuration.
+        bool Instrument = Promote || !C.BothPromoteModes;
+        Out[U] = runModeUnit(C, SeedOfUnit(U), Promote, Instrument);
+      });
+  R.Workers = toCampaignStats(WS, SeedOfUnit);
+
+  // Deterministic merge in unit order.
+  std::set<std::string> UsedPaths;
+  for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
     ++R.Programs;
-
-    for (int Mode = 0; Mode < (C.BothPromoteModes ? 2 : 1); ++Mode) {
-      bool Promote = C.BothPromoteModes ? Mode == 0 : C.Promote;
-
-      if (C.Isolate) {
-        // Containment first: probe the (seed, mode) in a forked child.
-        // A clean child skips the in-process run (its coverage stats are
-        // lost to the fork — the documented trade); a child that failed
-        // *cleanly* is re-run in-process below for the full
-        // shrink-and-record path, which is safe precisely because the
-        // child proved the seed does not bring the process down.
-        auto Probe = [&](const std::string &S) -> std::pair<bool, std::string> {
-          std::vector<Violation> Vs = checkProgram(S, Promote, C.MaxStops);
-          std::string Rep;
-          for (const Violation &V : Vs)
-            Rep += V.str() + "\n";
-          return {Vs.empty(), Rep};
-        };
-        IsolatedOutcome IO = runIsolated(C.TimeoutMs,
-                                         [&] { return Probe(Src); });
-        if (IO.Status == IsolatedStatus::Ok) {
-          ++R.Runs;
-          continue;
-        }
-        if (IO.Status == IsolatedStatus::Crash ||
-            IO.Status == IsolatedStatus::Timeout) {
-          ++R.Runs;
-          CampaignFailure F = makeProcessFailure(
-              Seed, Promote, Src, "", IO, C.Shrink, C.TimeoutMs, Probe);
-          if (C.WriteFailures)
-            writeReproducer(F, C.CrashDir);
-          R.Failures.push_back(std::move(F));
-          continue;
-        }
-      }
-
-      LockstepOptions LO;
-      LO.Promote = Promote;
-      LO.MaxStops = C.MaxStops;
-      // Instrument the pipeline once per program: the IR pipeline does
-      // not depend on the codegen configuration.
-      LO.InstrumentPasses = Promote || !C.BothPromoteModes;
-      LockstepResult LR = runLockstep(Src, LO);
-      ++R.Runs;
-
-      if (!LR.Compiled) {
+    for (unsigned M = 0; M < Modes; ++M) {
+      ModeOutcome &O = Out[SI * Modes + M];
+      if (O.Ran)
+        ++R.Runs;
+      if (O.CompileFail) {
         ++R.FailedCompiles;
-        CampaignFailure F;
-        F.Seed = Seed;
-        F.Promote = Promote;
-        F.Source = Src;
-        F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
-                         InvalidStmt, "",
-                         "generated program does not compile: " +
-                             LR.CompileError}};
-        R.Failures.push_back(std::move(F));
+        R.Failures.push_back(std::move(O.F));
         break; // The other mode cannot compile either.
       }
-
-      R.Stops += LR.Stops.size();
-      for (const StopObservation &S : LR.Stops)
-        R.Observations += S.Vars.size();
-
-      if (LO.InstrumentPasses) {
+      R.Stops += O.Stops;
+      R.Observations += O.Observations;
+      if (O.Instrumented) {
         if (R.Coverage.Firings.empty()) {
-          R.Coverage.Firings = LR.Firings;
+          R.Coverage.Firings = std::move(O.Firings);
         } else {
-          for (std::size_t S = 0;
-               S < R.Coverage.Firings.size() && S < LR.Firings.size(); ++S)
-            R.Coverage.Firings[S].Changed += LR.Firings[S].Changed;
+          for (std::size_t S = 0; S < R.Coverage.Firings.size() &&
+                                  S < O.Firings.size();
+               ++S)
+            R.Coverage.Firings[S].Changed += O.Firings[S].Changed;
         }
-        if (LR.NumHoisted)
-          ++R.Coverage.WithHoisted;
-        if (LR.NumSunk)
-          ++R.Coverage.WithSunk;
-        if (LR.NumDeadMarks)
-          ++R.Coverage.WithDeadMarks;
-        if (LR.NumAvailMarks)
-          ++R.Coverage.WithAvailMarks;
-        if (LR.NumSRRecords)
-          ++R.Coverage.WithSRRecords;
+        R.Coverage.WithHoisted += O.Hoisted;
+        R.Coverage.WithSunk += O.Sunk;
+        R.Coverage.WithDeadMarks += O.DeadMarks;
+        R.Coverage.WithAvailMarks += O.AvailMarks;
+        R.Coverage.WithSRRecords += O.SRRecords;
       }
-
-      std::vector<Violation> Vs = checkSoundness(LR);
-      if (Vs.empty())
-        continue;
-
-      CampaignFailure F;
-      F.Seed = Seed;
-      F.Promote = Promote;
-      F.Source = Src;
-      F.Violations = std::move(Vs);
-      if (C.Shrink) {
-        ViolationKind Kind = F.Violations.front().Kind;
-        F.Reduced = reduceProgram(
-            Src,
-            [&](const std::string &Cand) {
-              return sameKindStillFails(Cand, Promote, Kind, C.MaxStops);
-            },
-            /*MaxChecks=*/400);
+      if (O.HasFailure) {
+        if (C.WriteFailures)
+          O.F.Path = writeReproducerDeduped(
+              O.F,
+              O.F.ProcessOutcome.empty() ? C.FailureDir : C.CrashDir,
+              UsedPaths);
+        R.Failures.push_back(std::move(O.F));
       }
-      if (C.WriteFailures) {
-        std::error_code EC;
-        std::filesystem::create_directories(C.FailureDir, EC);
-        F.Path = C.FailureDir + "/seed-" + std::to_string(Seed) +
-                 (Promote ? "-promote" : "-frame") + ".minic";
-        std::ofstream Out(F.Path);
-        Out << renderFailure(F);
-      }
-      R.Failures.push_back(std::move(F));
     }
   }
   return R;
@@ -257,9 +402,9 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
 namespace {
 
 /// Runs one seed under one armed fault and judges it.  The fault is
-/// armed for the whole lockstep run (the oracle side compiles and runs
-/// with injection suspended, see fuzz/Oracle.cpp) and disarmed before
-/// returning.
+/// armed on the calling thread for the whole lockstep run (the oracle
+/// side compiles and runs with injection suspended, see fuzz/Oracle.cpp)
+/// and disarmed before returning.
 std::vector<Violation> injectCheck(const std::string &Src,
                                    const InjectCampaignConfig &C,
                                    FaultId Id, std::uint32_t Seed) {
@@ -308,10 +453,106 @@ injectProbe(const std::string &Src, const InjectCampaignConfig &C,
   return {Unsound.empty(), Rep};
 }
 
+/// One (seed, fault-point) unit's outcome.
+struct InjectOutcome {
+  enum class Kind : std::uint8_t {
+    Clean,
+    CompileError,
+    Degraded,
+    Unsound,
+    Crash,
+    Hang
+  };
+  Kind K = Kind::Clean;
+  bool HasFailure = false;
+  CampaignFailure F;
+};
+
+/// Runs one (seed, fault-point) unit on the calling worker thread.
+InjectOutcome runInjectUnit(const InjectCampaignConfig &C,
+                            std::uint32_t Seed, const FaultPoint &P) {
+  InjectOutcome O;
+  std::string Src = generateProgram(Seed, C.Gen);
+
+  auto RecordUnsound = [&](const std::string &Report) {
+    O.K = InjectOutcome::Kind::Unsound;
+    O.F.Seed = Seed;
+    O.F.Promote = C.Promote;
+    O.F.Source = Src;
+    O.F.FaultName = P.Name;
+    O.F.Violations = {{ViolationKind::UnsoundCurrent, InvalidFunc,
+                       InvalidStmt, "", Report}};
+    if (C.Shrink)
+      O.F.Reduced = reduceProgram(
+          Src,
+          [&](const std::string &Cand) {
+            if (!C.Isolate) {
+              for (const Violation &V : injectCheck(Cand, C, P.Id, Seed))
+                if (isUnsoundViolation(V.Kind))
+                  return true;
+              return false;
+            }
+            IsolatedOutcome CO = runIsolated(C.TimeoutMs, [&] {
+              return injectProbe(Cand, C, P.Id, Seed);
+            });
+            return CO.Status == IsolatedStatus::Violation;
+          },
+          /*MaxChecks=*/120);
+    O.HasFailure = true;
+  };
+
+  if (!C.Isolate) {
+    std::vector<Violation> Vs = injectCheck(Src, C, P.Id, Seed);
+    bool CompileError =
+        !Vs.empty() &&
+        Vs.front().Detail.rfind("does not compile", 0) == 0;
+    std::string Unsound;
+    for (const Violation &V : Vs)
+      if (isUnsoundViolation(V.Kind))
+        Unsound += V.str() + "\n";
+    if (!Unsound.empty())
+      RecordUnsound(Unsound);
+    else if (CompileError)
+      O.K = InjectOutcome::Kind::CompileError;
+    else if (!Vs.empty())
+      O.K = InjectOutcome::Kind::Degraded;
+    return O;
+  }
+
+  IsolatedOutcome IO =
+      runIsolated(C.TimeoutMs, [&] { return injectProbe(Src, C, P.Id, Seed); });
+  switch (IO.Status) {
+  case IsolatedStatus::Ok:
+    if (IO.Report.rfind("compile-error", 0) == 0)
+      O.K = InjectOutcome::Kind::CompileError;
+    else if (IO.Report.rfind("degraded", 0) == 0)
+      O.K = InjectOutcome::Kind::Degraded;
+    break;
+  case IsolatedStatus::Violation:
+    RecordUnsound(IO.Report);
+    break;
+  case IsolatedStatus::Crash:
+  case IsolatedStatus::Timeout:
+    O.K = IO.Status == IsolatedStatus::Timeout ? InjectOutcome::Kind::Hang
+                                               : InjectOutcome::Kind::Crash;
+    O.F = makeProcessFailure(Seed, C.Promote, Src, P.Name, IO, C.Shrink,
+                             C.TimeoutMs, [&](const std::string &Cand) {
+                               return injectProbe(Cand, C, P.Id, Seed);
+                             });
+    O.HasFailure = true;
+    break;
+  }
+  return O;
+}
+
 } // namespace
 
 InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
   InjectCampaignResult R;
+  R.ConfigError =
+      configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+  if (!R.ConfigError.empty())
+    return R;
 
   // Every *defended* fault point: the two undefended classifier faults
   // are the oracle's teeth (their whole purpose is to be caught as
@@ -321,92 +562,53 @@ InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
     if (P.Defended)
       Points.push_back(&P);
 
-  for (unsigned I = 0; I < C.Count; ++I) {
-    std::uint32_t Seed = C.Seed + I;
-    std::string Src = generateProgram(Seed, C.Gen);
-    ++R.Programs;
+  const ShardRange Shard =
+      Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);
+  const std::size_t PerSeed = Points.size();
+  const std::size_t NumUnits = Shard.size() * PerSeed;
 
-    for (const FaultPoint *P : Points) {
-      ++R.Runs;
-      auto RecordUnsound = [&](const std::string &Report) {
-        ++R.UnsoundRuns;
-        CampaignFailure F;
-        F.Seed = Seed;
-        F.Promote = C.Promote;
-        F.Source = Src;
-        F.FaultName = P->Name;
-        F.Violations = {{ViolationKind::UnsoundCurrent, InvalidFunc,
-                         InvalidStmt, "", Report}};
-        if (C.Shrink)
-          F.Reduced = reduceProgram(
-              Src,
-              [&](const std::string &Cand) {
-                if (!C.Isolate) {
-                  for (const Violation &V :
-                       injectCheck(Cand, C, P->Id, Seed))
-                    if (isUnsoundViolation(V.Kind))
-                      return true;
-                  return false;
-                }
-                IsolatedOutcome CO = runIsolated(C.TimeoutMs, [&] {
-                  return injectProbe(Cand, C, P->Id, Seed);
-                });
-                return CO.Status == IsolatedStatus::Violation;
-              },
-              /*MaxChecks=*/120);
-        if (C.WriteFailures)
-          writeReproducer(F, C.CrashDir);
-        R.Failures.push_back(std::move(F));
-      };
+  auto SeedOfUnit = [&](std::size_t U) {
+    return static_cast<std::uint32_t>(C.Seed + Shard.Begin + U / PerSeed);
+  };
 
-      if (!C.Isolate) {
-        std::vector<Violation> Vs = injectCheck(Src, C, P->Id, Seed);
-        bool CompileError = !Vs.empty() &&
-                            Vs.front().Detail.rfind("does not compile", 0) ==
-                                0;
-        std::string Unsound;
-        for (const Violation &V : Vs)
-          if (isUnsoundViolation(V.Kind))
-            Unsound += V.str() + "\n";
-        if (!Unsound.empty())
-          RecordUnsound(Unsound);
-        else if (CompileError)
-          ++R.CompileErrors;
-        else if (!Vs.empty())
-          ++R.DegradedRuns;
-        continue;
-      }
-
-      IsolatedOutcome IO = runIsolated(C.TimeoutMs, [&] {
-        return injectProbe(Src, C, P->Id, Seed);
+  std::vector<InjectOutcome> Out(NumUnits);
+  ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        Out[U] = runInjectUnit(C, SeedOfUnit(U), *Points[U % PerSeed]);
       });
-      switch (IO.Status) {
-      case IsolatedStatus::Ok: {
-        if (IO.Report.rfind("compile-error", 0) == 0)
-          ++R.CompileErrors;
-        else if (IO.Report.rfind("degraded", 0) == 0)
-          ++R.DegradedRuns;
+  R.Workers = toCampaignStats(WS, SeedOfUnit);
+
+  // Deterministic merge in (seed, fault-point) order.
+  std::set<std::string> UsedPaths;
+  for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
+    ++R.Programs;
+    for (std::size_t PI = 0; PI < PerSeed; ++PI) {
+      InjectOutcome &O = Out[SI * PerSeed + PI];
+      ++R.Runs;
+      switch (O.K) {
+      case InjectOutcome::Kind::Clean:
+        break;
+      case InjectOutcome::Kind::CompileError:
+        ++R.CompileErrors;
+        break;
+      case InjectOutcome::Kind::Degraded:
+        ++R.DegradedRuns;
+        break;
+      case InjectOutcome::Kind::Unsound:
+        ++R.UnsoundRuns;
+        break;
+      case InjectOutcome::Kind::Crash:
+        ++R.Crashes;
+        break;
+      case InjectOutcome::Kind::Hang:
+        ++R.Hangs;
         break;
       }
-      case IsolatedStatus::Violation:
-        RecordUnsound(IO.Report);
-        break;
-      case IsolatedStatus::Crash:
-      case IsolatedStatus::Timeout: {
-        if (IO.Status == IsolatedStatus::Timeout)
-          ++R.Hangs;
-        else
-          ++R.Crashes;
-        CampaignFailure F = makeProcessFailure(
-            Seed, C.Promote, Src, P->Name, IO, C.Shrink, C.TimeoutMs,
-            [&](const std::string &Cand) {
-              return injectProbe(Cand, C, P->Id, Seed);
-            });
+      if (O.HasFailure) {
         if (C.WriteFailures)
-          writeReproducer(F, C.CrashDir);
-        R.Failures.push_back(std::move(F));
-        break;
-      }
+          O.F.Path = writeReproducerDeduped(O.F, C.CrashDir, UsedPaths);
+        R.Failures.push_back(std::move(O.F));
       }
     }
   }

@@ -62,6 +62,21 @@ struct CampaignConfig {
   /// Where crash/hang reproducers are archived (isolated mode, with
   /// WriteFailures).
   std::string CrashDir = "fuzz-crashes";
+
+  /// Worker threads fanning the campaign's (seed, mode) units across a
+  /// work-stealing pool (support/ThreadPool.h).  0 means all hardware
+  /// cores.  The report is byte-identical for every value: unit results
+  /// land in index-keyed slots and are merged in (seed, mode) order
+  /// after the pool drains.  Isolated mode composes: each worker forks
+  /// its own watchdogged child, so `--jobs N --isolate` is a pool of N
+  /// concurrent children.
+  unsigned Jobs = 1;
+
+  /// Distributed campaigns (`--shard i/k`): run only the i-th of k
+  /// contiguous slices of the seed range.  Concatenating the k shard
+  /// reports in shard order reproduces the unsharded campaign.
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 1;
 };
 
 /// One failing program.
@@ -100,6 +115,22 @@ struct CampaignCoverage {
   unsigned fired(const std::string &PassName) const;
 };
 
+/// Per-worker campaign statistics (diagnostic only — wall-clock based
+/// and therefore nondeterministic; never part of the campaign report).
+struct CampaignWorkerStats {
+  unsigned Worker = 0;
+  unsigned Units = 0;         ///< (seed, mode) / (seed, fault) checks run.
+  unsigned Steals = 0;        ///< Units taken from a sibling's queue.
+  unsigned InitialQueue = 0;  ///< Starting queue depth.
+  std::uint64_t BusyUs = 0;
+  std::uint32_t SlowestSeed = 0; ///< Seed of the slowest unit.
+  std::uint64_t SlowestUs = 0;
+
+  double unitsPerSec() const {
+    return BusyUs ? 1e6 * static_cast<double>(Units) / BusyUs : 0.0;
+  }
+};
+
 /// Aggregate campaign outcome.
 struct CampaignResult {
   unsigned Programs = 0;      ///< Generated.
@@ -110,7 +141,16 @@ struct CampaignResult {
   std::vector<CampaignFailure> Failures;
   CampaignCoverage Coverage;
 
-  bool sound() const { return Failures.empty() && FailedCompiles == 0; }
+  /// Non-empty when the campaign refused to run (seed-range overflow,
+  /// bad shard spec).  Nothing else in the result is meaningful then.
+  std::string ConfigError;
+
+  /// One entry per pool worker (diagnostic; see CampaignWorkerStats).
+  std::vector<CampaignWorkerStats> Workers;
+
+  bool sound() const {
+    return Failures.empty() && FailedCompiles == 0 && ConfigError.empty();
+  }
 };
 
 /// Runs a campaign.
@@ -138,6 +178,13 @@ struct InjectCampaignConfig {
   bool Shrink = true;       ///< Reduce unsound/crashing seeds.
   bool WriteFailures = false;
   std::string CrashDir = "fuzz-crashes";
+
+  /// Pool / sharding controls, with the same determinism contract as
+  /// CampaignConfig: units here are (seed, fault-point) pairs, merged
+  /// in seed-major order.
+  unsigned Jobs = 1;
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 1;
 };
 
 /// Aggregate inject-campaign outcome.
@@ -151,10 +198,14 @@ struct InjectCampaignResult {
   unsigned UnsoundRuns = 0;    ///< Runs with an unsound violation.
   std::vector<CampaignFailure> Failures; ///< Crash/hang/unsound records.
 
+  std::string ConfigError;     ///< As CampaignResult::ConfigError.
+  std::vector<CampaignWorkerStats> Workers;
+
   /// The acceptance bar: no crash, no hang, no unsound verdict under
   /// any injected fault.
   bool sound() const {
-    return Crashes == 0 && Hangs == 0 && UnsoundRuns == 0;
+    return Crashes == 0 && Hangs == 0 && UnsoundRuns == 0 &&
+           ConfigError.empty();
   }
 };
 

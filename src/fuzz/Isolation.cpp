@@ -6,9 +6,12 @@
 
 #include "fuzz/Isolation.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -46,6 +49,24 @@ void writeAll(int Fd, const char *Data, std::size_t N) {
     Data += W;
     N -= static_cast<std::size_t>(W);
   }
+}
+
+/// Reaps \p Child with a blocking waitpid, retrying on EINTR so no exit
+/// path can leave a zombie behind (a pool of workers each leaking one
+/// per unit would exhaust the process table mid-campaign).
+void reapBlocking(pid_t Child, int &WStatus) {
+  for (;;) {
+    pid_t W = ::waitpid(Child, &WStatus, 0);
+    if (W == Child || (W < 0 && errno != EINTR))
+      return;
+  }
+}
+
+std::uint64_t nowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 } // namespace
@@ -86,13 +107,25 @@ IsolatedOutcome sldb::runIsolated(
   }
 
   ::close(Pipe[1]);
+  // Non-blocking read end: when runIsolated runs from a worker pool, a
+  // sibling worker's child forked inside our pipe's lifetime inherits a
+  // copy of our write end, so draining "to EOF" could block until that
+  // unrelated child exits.  With O_NONBLOCK the post-reap drain stops at
+  // EAGAIN instead — everything our own child wrote before _exit is
+  // already in the kernel buffer (the report cap keeps it under one
+  // pipe buffer), so nothing is lost.
+  ::fcntl(Pipe[0], F_SETFL, O_NONBLOCK);
 
-  // Watchdog: poll the child with a coarse sleep; wall-clock, so a child
-  // spinning in an interpreter loop (or wedged in a syscall) is caught
-  // either way.
-  constexpr unsigned PollUs = 2000;
-  std::uint64_t WaitedUs = 0;
-  const std::uint64_t LimitUs = static_cast<std::uint64_t>(TimeoutMs) * 1000;
+  // Watchdog: wall-clock deadline, so a child spinning in an
+  // interpreter loop (or wedged in a syscall) is caught either way.
+  // Poll with exponential backoff — a pool runs one watchdog per
+  // worker, and a tight poll per child would burn a core each; backoff
+  // keeps wakeups negligible while still catching a fast child within
+  // a few hundred microseconds.
+  const std::uint64_t DeadlineUs =
+      nowUs() + static_cast<std::uint64_t>(TimeoutMs) * 1000;
+  unsigned SleepUs = 200;
+  constexpr unsigned MaxSleepUs = 20'000;
   int WStatus = 0;
   bool Exited = false;
   for (;;) {
@@ -101,21 +134,24 @@ IsolatedOutcome sldb::runIsolated(
       Exited = true;
       break;
     }
-    if (W < 0 && errno != EINTR)
+    if (W < 0 && errno != EINTR) {
+      // waitpid refused (should not happen for our own child): reap
+      // defensively below rather than risk a zombie.
       break;
-    if (WaitedUs >= LimitUs)
+    }
+    if (nowUs() >= DeadlineUs)
       break;
-    ::usleep(PollUs);
-    WaitedUs += PollUs;
+    ::usleep(SleepUs);
+    SleepUs = std::min(SleepUs * 2, MaxSleepUs);
   }
   if (!Exited) {
     ::kill(Child, SIGKILL);
-    ::waitpid(Child, &WStatus, 0);
+    reapBlocking(Child, WStatus);
     Out.Status = IsolatedStatus::Timeout;
   }
 
-  // Drain the child's report (the child has exited or been killed, so
-  // this reads to EOF without blocking indefinitely).
+  // Drain the child's buffered report (child already reaped, so all of
+  // its writes are visible; EAGAIN/EOF both mean done).
   char Buf[4096];
   for (;;) {
     ssize_t N = ::read(Pipe[0], Buf, sizeof(Buf));

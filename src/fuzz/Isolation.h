@@ -18,6 +18,15 @@
 /// the callback as its entire remaining life: it exits immediately
 /// afterwards without running parent-side destructors twice.
 ///
+/// Safe to call concurrently from a worker pool (parallel campaigns run
+/// one forked child per worker): the watchdog polls with exponential
+/// backoff instead of spinning a core per child, children are reaped on
+/// every exit path (no zombies), and the report drain is non-blocking so
+/// a sibling worker's child holding an inherited copy of our pipe's
+/// write end cannot stall us.  Children fork from a multithreaded parent
+/// and only run the calling thread; post-fork allocation in the child
+/// relies on glibc's fork() taking the malloc locks (true since 2.24).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLDB_FUZZ_ISOLATION_H

@@ -8,10 +8,10 @@
 
 namespace sldb {
 
-FaultId FaultInjector::Cur = FaultId::None;
-FaultId FaultInjector::Suspended = FaultId::None;
-std::uint64_t FaultInjector::Gen = 0;
-std::uint64_t FaultInjector::Rng = 0;
+thread_local FaultId FaultInjector::Cur = FaultId::None;
+thread_local FaultId FaultInjector::Suspended = FaultId::None;
+thread_local std::uint64_t FaultInjector::Gen = 0;
+thread_local std::uint64_t FaultInjector::Rng = 0;
 
 const std::vector<FaultPoint> &FaultInjector::points() {
   static const std::vector<FaultPoint> Points = {

@@ -22,11 +22,22 @@
 ///    unsoundness.  They prove the fuzzer can see, and are excluded from
 ///    the inject campaign.
 ///
-/// At most one fault is armed at a time; arming is global and
+/// At most one fault is armed *per thread* at a time; arming is
 /// deterministic (seeded), so a failing (seed, fault) pair replays
 /// exactly.  Code under test queries `armed(Id)` at its injection site
 /// and uses `rand()` to pick victims.  All hooks are zero-cost when
-/// nothing is armed beyond a single enum compare.
+/// nothing is armed beyond a TLS load and an enum compare.
+///
+/// Thread-ownership rule (parallel campaigns): all armed-fault state —
+/// the current fault, the suspended fault, the PRNG stream, and the
+/// generation counter — is `thread_local`.  The thread that arms a fault
+/// owns it: only that thread sees `armed()` return true, only that
+/// thread's `suspend()/resume()` window affects it, and the compile/run
+/// work for a (seed, fault) unit must therefore stay on the arming
+/// thread from `arm()` to `disarm()`.  A worker building its pristine
+/// oracle under `suspend()` can never observe a sibling worker's armed
+/// fault, and two workers' victim-selection PRNG streams never
+/// interleave.  Handing armed work between threads is not supported.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,8 +74,8 @@ struct FaultPoint {
   const char *Desc;
 };
 
-/// Global arm/disarm interface.  Not thread-safe (the fuzzer isolates
-/// concurrent work in subprocesses instead).
+/// Per-thread arm/disarm interface (see the thread-ownership rule in the
+/// file comment).  Forked children inherit the forking thread's state.
 class FaultInjector {
 public:
   /// All registered points, in FaultId order (None excluded).
@@ -73,11 +84,11 @@ public:
   /// Looks a point up by CLI name; null if unknown.
   static const FaultPoint *findPoint(std::string_view Name);
 
-  /// Arms \p Id with a deterministic PRNG stream derived from \p Seed.
-  /// Replaces any previously armed fault.
+  /// Arms \p Id on the calling thread with a deterministic PRNG stream
+  /// derived from \p Seed.  Replaces any fault previously armed here.
   static void arm(FaultId Id, std::uint32_t Seed);
 
-  /// Disarms everything.
+  /// Disarms everything armed on the calling thread.
   static void disarm();
 
   static bool armed(FaultId Id) { return Cur == Id; }
@@ -86,20 +97,23 @@ public:
   /// Next value of the armed fault's PRNG stream (victim selection).
   static std::uint32_t rand();
 
-  /// Monotonic counter bumped by every arm/disarm/suspend/resume; caches
-  /// keyed on classifier-visible fault state use it as their tag.
+  /// Monotonic per-thread counter bumped by every arm/disarm/suspend/
+  /// resume; caches keyed on classifier-visible fault state use it as
+  /// their tag.  (Classifier instances are thread-confined, so a
+  /// per-thread counter tags them correctly.)
   static std::uint64_t generation() { return Gen; }
 
-  /// Temporarily disarms (e.g. while compiling the oracle build in
-  /// lockstep, which must stay pristine); resume() restores.
+  /// Temporarily disarms on the calling thread (e.g. while compiling the
+  /// oracle build in lockstep, which must stay pristine); resume()
+  /// restores.  A suspend window never touches other threads' faults.
   static void suspend();
   static void resume();
 
 private:
-  static FaultId Cur;
-  static FaultId Suspended;
-  static std::uint64_t Gen;
-  static std::uint64_t Rng;
+  static thread_local FaultId Cur;
+  static thread_local FaultId Suspended;
+  static thread_local std::uint64_t Gen;
+  static thread_local std::uint64_t Rng;
 };
 
 } // namespace sldb

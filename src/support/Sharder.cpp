@@ -1,0 +1,49 @@
+//===- support/Sharder.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sharder.h"
+
+using namespace sldb;
+
+ShardRange Sharder::slice(std::size_t Count, unsigned Index, unsigned Of) {
+  if (Of == 0)
+    Of = 1;
+  if (Index >= Of)
+    return {Count, Count};
+  ShardRange R;
+  R.Begin = Count * Index / Of;
+  R.End = Count * (Index + 1) / Of;
+  return R;
+}
+
+bool Sharder::parseSpec(std::string_view Spec, unsigned &Index,
+                        unsigned &Of) {
+  std::size_t Slash = Spec.find('/');
+  if (Slash == std::string_view::npos || Slash == 0 ||
+      Slash + 1 >= Spec.size())
+    return false;
+  auto ParseU = [](std::string_view S, unsigned &Out) {
+    if (S.empty() || S.size() > 9)
+      return false;
+    unsigned V = 0;
+    for (char C : S) {
+      if (C < '0' || C > '9')
+        return false;
+      V = V * 10 + static_cast<unsigned>(C - '0');
+    }
+    Out = V;
+    return true;
+  };
+  unsigned I = 0, K = 0;
+  if (!ParseU(Spec.substr(0, Slash), I) ||
+      !ParseU(Spec.substr(Slash + 1), K))
+    return false;
+  if (K == 0 || I >= K)
+    return false;
+  Index = I;
+  Of = K;
+  return true;
+}

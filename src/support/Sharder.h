@@ -1,0 +1,48 @@
+//===- support/Sharder.h - Deterministic index-space sharding ---*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits an index space [0, Count) into K contiguous shards for
+/// distributed campaigns (`sldb-fuzz --shard i/k` runs shard i on one
+/// machine while siblings run the rest).  Contiguous (not strided)
+/// slices keep each shard's report a prefix-ordered sub-range of the
+/// whole campaign, so concatenating the K shard reports in shard order
+/// reproduces the unsharded report exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_SHARDER_H
+#define SLDB_SUPPORT_SHARDER_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace sldb {
+
+/// Half-open slice of an index space.
+struct ShardRange {
+  std::size_t Begin = 0;
+  std::size_t End = 0;
+  std::size_t size() const { return End - Begin; }
+};
+
+class Sharder {
+public:
+  /// Shard \p Index of \p Of over [0, Count).  Slices are contiguous,
+  /// disjoint, cover the space, and differ in size by at most one.
+  /// \p Of == 0 is treated as 1; \p Index is clamped into range by the
+  /// caller's validation (see parseSpec).
+  static ShardRange slice(std::size_t Count, unsigned Index, unsigned Of);
+
+  /// Parses a CLI shard spec "i/k" (0-based index, total k >= 1,
+  /// i < k).  Returns false on malformed or out-of-range input.
+  static bool parseSpec(std::string_view Spec, unsigned &Index,
+                        unsigned &Of);
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_SHARDER_H

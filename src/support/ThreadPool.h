@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Work-stealing parallel-for pool ---*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for embarrassingly parallel index
+/// spaces (fuzzing campaigns, eval sweeps).  `parallelFor(Count, Fn)`
+/// runs `Fn(Index, Worker)` exactly once for every index in [0, Count):
+/// indices are block-distributed across per-worker deques up front;
+/// a worker that drains its own deque steals from the back of its
+/// siblings' deques until everything is done.
+///
+/// Determinism contract: the pool guarantees nothing about *order* of
+/// execution — callers that need deterministic aggregates must write
+/// each index's result into an index-keyed slot and merge the slots in
+/// index order after `parallelFor` returns (see fuzz/Campaign.cpp for
+/// the pattern).  The callback must confine any thread-sensitive state
+/// (e.g. an armed FaultInjector) to its own invocation.
+///
+/// With `Jobs <= 1` (or a single index) everything runs inline on the
+/// calling thread — no threads are spawned, so a `--jobs 1` campaign is
+/// byte-for-byte the serial campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_THREADPOOL_H
+#define SLDB_SUPPORT_THREADPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sldb {
+
+/// Per-worker execution statistics for one `parallelFor`, surfaced by
+/// campaign drivers (`sldb-fuzz --jobs`) and the scaling benchmark.
+/// Wall-clock fields are inherently nondeterministic; they must never
+/// feed a deterministic report.
+struct WorkerStats {
+  unsigned Worker = 0;       ///< Worker index in [0, jobs).
+  unsigned Tasks = 0;        ///< Indices this worker executed.
+  unsigned Steals = 0;       ///< Tasks taken from a sibling's deque.
+  unsigned InitialQueue = 0; ///< Block-distributed starting queue depth.
+  std::uint64_t BusyUs = 0;  ///< Wall time inside callbacks.
+  std::uint64_t SlowestUs = 0;              ///< Longest single callback.
+  std::size_t SlowestIndex = SIZE_MAX;      ///< Its work index.
+
+  /// Tasks per second while busy (0 when nothing ran).
+  double throughput() const {
+    return BusyUs ? 1e6 * static_cast<double>(Tasks) / BusyUs : 0.0;
+  }
+};
+
+class ThreadPool {
+public:
+  /// \p Jobs worker threads; 0 is clamped to 1.  Use `hardwareJobs()`
+  /// for "all cores".
+  explicit ThreadPool(unsigned Jobs) : Jobs(Jobs ? Jobs : 1) {}
+
+  unsigned jobs() const { return Jobs; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareJobs();
+
+  /// Runs \p Fn(Index, Worker) once per index in [0, \p Count); blocks
+  /// until every index has run.  Returns per-worker stats (one entry per
+  /// worker that could have run, i.e. min(Jobs, Count) entries, or one
+  /// inline entry for the serial path).
+  std::vector<WorkerStats>
+  parallelFor(std::size_t Count,
+              const std::function<void(std::size_t, unsigned)> &Fn) const;
+
+private:
+  unsigned Jobs;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_THREADPOOL_H

@@ -79,3 +79,25 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::size_t> &Info) {
       return std::string(benchmarkPrograms()[Info.param].Name);
     });
+
+TEST(MeasureParallel, CorpusMeasurementMatchesSerial) {
+  // The pooled corpus sweep must be bit-identical to the serial
+  // per-program harness: each program's measurement is thread-confined,
+  // so only scheduling differs.
+  const auto &Ps = benchmarkPrograms();
+  std::vector<ClassAverages> Par =
+      measureClassificationAll(Ps, OptOptions::all(), /*Promote=*/true,
+                               /*EnableRecovery=*/true, /*Jobs=*/3);
+  ASSERT_EQ(Par.size(), Ps.size());
+  for (std::size_t I = 0; I < Ps.size(); ++I) {
+    ClassAverages Ser =
+        measureClassification(Ps[I], OptOptions::all(), true);
+    EXPECT_EQ(Par[I].Breakpoints, Ser.Breakpoints) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Uninitialized, Ser.Uninitialized) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Current, Ser.Current) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Recovered, Ser.Recovered) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Noncurrent, Ser.Noncurrent) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Suspect, Ser.Suspect) << Ps[I].Name;
+    EXPECT_EQ(Par[I].Nonresident, Ser.Nonresident) << Ps[I].Name;
+  }
+}

@@ -6,10 +6,13 @@
 
 #include "support/BitVector.h"
 #include "support/Diagnostics.h"
+#include "support/Sharder.h"
 #include "support/StringInterner.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <set>
 
@@ -157,4 +160,115 @@ TEST(Diagnostics, CollectsAndFormats) {
   std::string S = DE.str();
   EXPECT_NE(S.find("1:2: warning: watch out"), std::string::npos);
   EXPECT_NE(S.find("3:4: error: boom"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 2u, 4u, 7u}) {
+    constexpr std::size_t Count = 257;
+    std::vector<std::atomic<unsigned>> Hits(Count);
+    ThreadPool Pool(Jobs);
+    std::vector<WorkerStats> WS =
+        Pool.parallelFor(Count, [&](std::size_t I, unsigned) {
+          Hits[I].fetch_add(1, std::memory_order_relaxed);
+        });
+    for (std::size_t I = 0; I < Count; ++I)
+      EXPECT_EQ(Hits[I].load(), 1u) << "jobs " << Jobs << " index " << I;
+    unsigned Tasks = 0, Queued = 0;
+    for (const WorkerStats &S : WS) {
+      Tasks += S.Tasks;
+      Queued += S.InitialQueue;
+    }
+    EXPECT_EQ(Tasks, Count) << "jobs " << Jobs;
+    EXPECT_EQ(Queued, Count) << "jobs " << Jobs;
+  }
+}
+
+TEST(ThreadPool, MoreJobsThanWorkAndEmptyWork) {
+  std::atomic<unsigned> Ran{0};
+  ThreadPool Pool(16);
+  Pool.parallelFor(3, [&](std::size_t, unsigned) { ++Ran; });
+  EXPECT_EQ(Ran.load(), 3u);
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(0, [&](std::size_t, unsigned) { ++Ran; });
+  EXPECT_EQ(Ran.load(), 3u);
+  ASSERT_FALSE(WS.empty());
+  EXPECT_EQ(WS.front().Tasks, 0u);
+}
+
+TEST(ThreadPool, ZeroJobsClampsToOneAndRunsInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.jobs(), 1u);
+  unsigned Ran = 0; // Not atomic: the serial path must stay inline.
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(5, [&](std::size_t, unsigned W) {
+        EXPECT_EQ(W, 0u);
+        ++Ran;
+      });
+  EXPECT_EQ(Ran, 5u);
+  ASSERT_EQ(WS.size(), 1u);
+  EXPECT_EQ(WS[0].Tasks, 5u);
+  EXPECT_EQ(WS[0].Steals, 0u);
+}
+
+TEST(ThreadPool, StealingDrainsImbalancedLoad) {
+  // One giant task at index 0: its owner is pinned while the others
+  // finish their blocks, so any further progress on worker 0's block
+  // must come from steals.
+  constexpr std::size_t Count = 64;
+  std::vector<std::atomic<unsigned>> Hits(Count);
+  std::atomic<bool> Release{false};
+  std::atomic<unsigned> Done{0};
+  ThreadPool Pool(4);
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(Count, [&](std::size_t I, unsigned) {
+        if (I == 0) {
+          // Busy-wait until every other index has run.
+          while (!Release.load(std::memory_order_acquire)) {
+          }
+        }
+        Hits[I].fetch_add(1, std::memory_order_relaxed);
+        if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == Count - 1)
+          Release.store(true, std::memory_order_release);
+      });
+  for (std::size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << I;
+  unsigned Steals = 0;
+  for (const WorkerStats &S : WS)
+    Steals += S.Steals;
+  EXPECT_GT(Steals, 0u);
+}
+
+TEST(Sharder, SlicesAreContiguousDisjointAndComplete) {
+  for (std::size_t Count : {0u, 1u, 7u, 100u, 101u}) {
+    for (unsigned K : {1u, 2u, 3u, 8u}) {
+      std::size_t Next = 0;
+      for (unsigned I = 0; I < K; ++I) {
+        ShardRange R = Sharder::slice(Count, I, K);
+        EXPECT_EQ(R.Begin, Next) << Count << " " << I << "/" << K;
+        EXPECT_LE(R.Begin, R.End);
+        Next = R.End;
+      }
+      EXPECT_EQ(Next, Count) << Count << " /" << K;
+    }
+  }
+  // Sizes differ by at most one.
+  for (unsigned I = 0; I < 8; ++I) {
+    std::size_t N = Sharder::slice(101, I, 8).size();
+    EXPECT_TRUE(N == 12 || N == 13) << I;
+  }
+}
+
+TEST(Sharder, ParseSpec) {
+  unsigned I = 9, K = 9;
+  EXPECT_TRUE(Sharder::parseSpec("0/1", I, K));
+  EXPECT_EQ(I, 0u);
+  EXPECT_EQ(K, 1u);
+  EXPECT_TRUE(Sharder::parseSpec("2/8", I, K));
+  EXPECT_EQ(I, 2u);
+  EXPECT_EQ(K, 8u);
+  for (const char *Bad :
+       {"", "/", "1/", "/2", "3/3", "4/2", "a/2", "1/b", "1/0", "1//2"}) {
+    unsigned I2 = 0, K2 = 0;
+    EXPECT_FALSE(Sharder::parseSpec(Bad, I2, K2)) << Bad;
+  }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Asserts the parallel-campaign determinism contract end to end: the
+# sldb-fuzz report on stdout must be byte-identical for --jobs 1 and
+# --jobs 8, for both the differential campaign and the fault-injection
+# matrix.  Worker stats go to stderr precisely so this comparison stays
+# meaningful.  Registered as the tier-1 ctest `fuzz_jobs_determinism`.
+#
+# Usage: tools/check_jobs_determinism.sh <path-to-sldb-fuzz> [count]
+
+set -e
+
+FUZZ=${1:?usage: check_jobs_determinism.sh <path-to-sldb-fuzz> [count]}
+COUNT=${2:-25}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/sldb-jobs-det.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+FAIL=0
+
+# Differential campaign.
+"$FUZZ" --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 1 >"$TMP/clean-j1.txt"
+"$FUZZ" --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 8 >"$TMP/clean-j8.txt"
+if ! cmp -s "$TMP/clean-j1.txt" "$TMP/clean-j8.txt"; then
+  echo "error: campaign report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/clean-j1.txt" "$TMP/clean-j8.txt" >&2 || true
+  FAIL=1
+fi
+
+# Fault-injection matrix, in-process (the isolated path is exercised by
+# fuzz_inject; in-process keeps this test fast and covers the
+# thread-confined FaultInjector arming directly).
+"$FUZZ" --inject --no-isolate --seed 1 --count 5 --no-write --no-shrink \
+  --jobs 1 >"$TMP/inject-j1.txt"
+"$FUZZ" --inject --no-isolate --seed 1 --count 5 --no-write --no-shrink \
+  --jobs 8 >"$TMP/inject-j8.txt"
+if ! cmp -s "$TMP/inject-j1.txt" "$TMP/inject-j8.txt"; then
+  echo "error: inject report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/inject-j1.txt" "$TMP/inject-j8.txt" >&2 || true
+  FAIL=1
+fi
+
+# Sharding composes with --jobs: three shards of the same campaign must
+# partition the seed range exactly (programs sum = count).
+TOTAL=0
+for I in 0 1 2; do
+  "$FUZZ" --seed 1 --count "$COUNT" --no-write --no-shrink \
+    --jobs 2 --shard "$I/3" >"$TMP/shard-$I.txt"
+  N=$(sed -n 's/^programs: *\([0-9]*\).*/\1/p' "$TMP/shard-$I.txt")
+  TOTAL=$((TOTAL + N))
+done
+if [ "$TOTAL" -ne "$COUNT" ]; then
+  echo "error: shards cover $TOTAL programs, expected $COUNT" >&2
+  FAIL=1
+fi
+
+exit $FAIL

@@ -1,34 +1,56 @@
 #!/usr/bin/env sh
-# Configures the asan-ubsan tree (build-asan-ubsan/, see the CMake preset
-# of the same name), builds the fuzzing driver, and runs a modest
-# differential campaign plus a fault-injection slice under
-# AddressSanitizer + UBSan.  Registered as the tier-1 ctest
-# `fuzz_diff_sanitized`; any sanitizer report aborts the driver, which
-# the campaign's fork isolation surfaces as a process crash and the
-# driver turns into a nonzero exit.
+# Configures a sanitized build tree (CMake presets `asan-ubsan` /
+# `tsan`), builds the fuzzing driver, and runs a modest differential
+# campaign plus a fault-injection slice under the chosen sanitizers.
+# Registered as the tier-1 ctests `fuzz_diff_sanitized` (address +
+# undefined) and `fuzz_parallel_tsan` (thread); any sanitizer report
+# aborts the driver, which the campaign's fork isolation surfaces as a
+# process crash and the driver turns into a nonzero exit.
 #
-# Usage: tools/run_sanitized_fuzz.sh [repo-root] [count]
+# Usage: tools/run_sanitized_fuzz.sh [repo-root] [count] [sanitizers]
+#   sanitizers: "address,undefined" (default) or "thread"
 
 set -e
 
 ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
 COUNT=${2:-50}
-BUILD="$ROOT/build-asan-ubsan"
+SAN=${3:-address,undefined}
 JOBS=$(nproc 2>/dev/null || echo 4)
+
+case "$SAN" in
+  thread) BUILD="$ROOT/build-tsan" ;;
+  *) BUILD="$ROOT/build-asan-ubsan" ;;
+esac
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSLDB_SANITIZE=address,undefined >/dev/null
+  -DSLDB_SANITIZE="$SAN" >/dev/null
 cmake --build "$BUILD" --target sldb-fuzz -j "$JOBS" >/dev/null
 
-# halt_on_error makes UBSan reports fatal even where
-# -fno-sanitize-recover is not honored; leak checking stays on (default).
-UBSAN_OPTIONS=halt_on_error=1 \
-  "$BUILD/tools/sldb-fuzz" --seed 1 --count "$COUNT" --no-write --no-shrink
+if [ "$SAN" = thread ]; then
+  # A parallel campaign and an in-process parallel injection slice: the
+  # point is racing real worker threads over the pipeline, the merge
+  # accumulators, and the thread_local FaultInjector state.
+  # halt_on_error turns the first race into a nonzero exit.
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --seed 1 --count "$COUNT" --jobs 4 \
+    --no-write --no-shrink
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 5 \
+    --jobs 4 --no-write --no-shrink
+else
+  # halt_on_error makes UBSan reports fatal even where
+  # -fno-sanitize-recover is not honored; leak checking stays on
+  # (default).
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --seed 1 --count "$COUNT" --no-write \
+    --no-shrink
 
-# A small injection slice: every defended fault point under sanitizers.
-# In-process (no fork) so ASan sees the whole run in one address space
-# and leaks/overflows are attributed to the faulty path directly.
-UBSAN_OPTIONS=halt_on_error=1 \
-  "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 10 \
-  --no-write --no-shrink
+  # A small injection slice: every defended fault point under
+  # sanitizers.  In-process (no fork) so ASan sees the whole run in one
+  # address space and leaks/overflows are attributed to the faulty path
+  # directly.
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 10 \
+    --no-write --no-shrink
+fi

@@ -20,6 +20,8 @@
 
 #include "fuzz/Campaign.h"
 #include "support/FaultInjector.h"
+#include "support/Sharder.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +46,10 @@ struct Options {
   bool Inject = false;
   int Isolate = -1; ///< -1 default (on for --inject, off otherwise).
   unsigned TimeoutMs = 20'000;
+  unsigned Jobs = 1;       ///< 0 = all hardware cores.
+  unsigned ShardIndex = 0; ///< --shard i/k.
+  unsigned ShardCount = 1;
+  bool WorkerStats = false;
 };
 
 void usage() {
@@ -65,7 +71,15 @@ void usage() {
       "                  --inject)\n"
       "  --no-isolate    run checks in-process\n"
       "  --timeout-ms N  watchdog budget per isolated check (default\n"
-      "                  20000)\n");
+      "                  20000)\n"
+      "  --jobs N        fan units across N worker threads (0 = all\n"
+      "                  cores; default 1).  The report is byte-identical\n"
+      "                  for every N; with --isolate each worker forks\n"
+      "                  its own watchdogged child\n"
+      "  --shard I/K     run only the I-th of K contiguous slices of the\n"
+      "                  seed range (0-based; distributed campaigns)\n"
+      "  --worker-stats  print per-worker throughput/steal/slowest-seed\n"
+      "                  stats to stderr after the campaign\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long &Out) {
@@ -124,6 +138,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!V || !parseUnsigned(V, N))
         return false;
       O.TimeoutMs = static_cast<unsigned>(N);
+    } else if (A == "--jobs") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N))
+        return false;
+      O.Jobs = static_cast<unsigned>(N);
+    } else if (A == "--shard") {
+      const char *V = Next();
+      if (!V || !Sharder::parseSpec(V, O.ShardIndex, O.ShardCount))
+        return false;
+    } else if (A == "--worker-stats") {
+      O.WorkerStats = true;
     } else {
       return false;
     }
@@ -156,6 +181,18 @@ int runRepro(const Options &O) {
   return Status;
 }
 
+/// Per-worker diagnostics, on stderr so campaign *reports* (stdout)
+/// stay byte-identical across --jobs values.
+void printWorkerStats(const std::vector<CampaignWorkerStats> &Workers) {
+  for (const CampaignWorkerStats &W : Workers)
+    std::fprintf(stderr,
+                 "worker %u: %u unit(s) (%u stolen, queued %u), "
+                 "%.1f units/s busy, slowest seed %u (%llu ms)\n",
+                 W.Worker, W.Units, W.Steals, W.InitialQueue,
+                 W.unitsPerSec(), W.SlowestSeed,
+                 static_cast<unsigned long long>(W.SlowestUs / 1000));
+}
+
 int runInject(const Options &O) {
   InjectCampaignConfig C;
   C.Seed = O.Seed;
@@ -166,7 +203,16 @@ int runInject(const Options &O) {
   C.TimeoutMs = O.TimeoutMs;
   C.WriteFailures = O.Write;
   C.CrashDir = O.WriteDir == "fuzz-failures" ? "fuzz-crashes" : O.WriteDir;
+  C.Jobs = O.Jobs;
+  C.ShardIndex = O.ShardIndex;
+  C.ShardCount = O.ShardCount;
   InjectCampaignResult R = runInjectCampaign(C);
+  if (!R.ConfigError.empty()) {
+    std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
+    return 2;
+  }
+  if (O.WorkerStats)
+    printWorkerStats(R.Workers);
 
   unsigned Defended = 0;
   for (const FaultPoint &P : FaultInjector::points())
@@ -227,7 +273,16 @@ int main(int Argc, char **Argv) {
   C.FailureDir = O.WriteDir;
   C.Isolate = O.Isolate == 1;
   C.TimeoutMs = O.TimeoutMs;
+  C.Jobs = O.Jobs;
+  C.ShardIndex = O.ShardIndex;
+  C.ShardCount = O.ShardCount;
   CampaignResult R = runCampaign(C);
+  if (!R.ConfigError.empty()) {
+    std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
+    return 2;
+  }
+  if (O.WorkerStats)
+    printWorkerStats(R.Workers);
 
   std::printf("programs:      %u (%u lockstep runs)\n", R.Programs,
               R.Runs);
