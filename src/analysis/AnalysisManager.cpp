@@ -6,7 +6,17 @@
 
 #include "analysis/AnalysisManager.h"
 
+#include "support/Stats.h"
+#include "support/Trace.h"
+
 using namespace sldb;
+
+void AnalysisManager::count(AnalysisID ID, bool Hit) {
+  (Hit ? Stats.Hits : Stats.Misses)[static_cast<unsigned>(ID)]++;
+  static StatCounter &Hits = sldb::Stats::counter("analysis.cache.hits");
+  static StatCounter &Misses = sldb::Stats::counter("analysis.cache.misses");
+  (Hit ? Hits : Misses).add();
+}
 
 const char *sldb::analysisName(AnalysisID ID) {
   switch (ID) {
@@ -114,8 +124,11 @@ namespace sldb {
 template <> CFGContext &AnalysisManager::getResult<CFGContext>(IRFunction &F) {
   FunctionEntry &E = entry(F);
   count(AnalysisID::CFG, E.CFG != nullptr);
-  if (!E.CFG)
+  if (!E.CFG) {
+    TraceSpan Span("cfg", "analysis");
+    Span.arg("function", F.Name);
     E.CFG = std::make_unique<CFGContext>(F);
+  }
   return *E.CFG;
 }
 
@@ -123,8 +136,11 @@ template <> Dominators &AnalysisManager::getResult<Dominators>(IRFunction &F) {
   CFGContext &CFG = getResult<CFGContext>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::Dominators, E.Dom != nullptr);
-  if (!E.Dom)
+  if (!E.Dom) {
+    TraceSpan Span("dominators", "analysis");
+    Span.arg("function", F.Name);
     E.Dom = std::make_unique<Dominators>(CFG);
+  }
   return *E.Dom;
 }
 
@@ -133,8 +149,11 @@ PostDominators &AnalysisManager::getResult<PostDominators>(IRFunction &F) {
   CFGContext &CFG = getResult<CFGContext>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::PostDominators, E.PDom != nullptr);
-  if (!E.PDom)
+  if (!E.PDom) {
+    TraceSpan Span("post-dominators", "analysis");
+    Span.arg("function", F.Name);
     E.PDom = std::make_unique<PostDominators>(CFG);
+  }
   return *E.PDom;
 }
 
@@ -143,16 +162,22 @@ template <> LoopInfo &AnalysisManager::getResult<LoopInfo>(IRFunction &F) {
   Dominators &Dom = getResult<Dominators>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::Loops, E.Loops != nullptr);
-  if (!E.Loops)
+  if (!E.Loops) {
+    TraceSpan Span("loops", "analysis");
+    Span.arg("function", F.Name);
     E.Loops = std::make_unique<LoopInfo>(CFG, Dom);
+  }
   return *E.Loops;
 }
 
 template <> ValueIndex &AnalysisManager::getResult<ValueIndex>(IRFunction &F) {
   FunctionEntry &E = entry(F);
   count(AnalysisID::Values, E.Values != nullptr);
-  if (!E.Values)
+  if (!E.Values) {
+    TraceSpan Span("value-index", "analysis");
+    Span.arg("function", F.Name);
     E.Values = std::make_unique<ValueIndex>(F, Info);
+  }
   return *E.Values;
 }
 
@@ -161,8 +186,11 @@ template <> Liveness &AnalysisManager::getResult<Liveness>(IRFunction &F) {
   ValueIndex &VI = getResult<ValueIndex>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::Liveness, E.Live != nullptr);
-  if (!E.Live)
+  if (!E.Live) {
+    TraceSpan Span("liveness", "analysis");
+    Span.arg("function", F.Name);
     E.Live = std::make_unique<Liveness>(CFG, VI, Info);
+  }
   return *E.Live;
 }
 
@@ -172,8 +200,11 @@ ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F) {
   ValueIndex &VI = getResult<ValueIndex>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::ReachingDefs, E.Reach != nullptr);
-  if (!E.Reach)
+  if (!E.Reach) {
+    TraceSpan Span("reaching-defs", "analysis");
+    Span.arg("function", F.Name);
     E.Reach = std::make_unique<ReachingDefs>(CFG, VI, Info);
+  }
   return *E.Reach;
 }
 

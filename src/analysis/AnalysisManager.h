@@ -179,9 +179,10 @@ private:
     return It == Entries.end() ? nullptr : &It->second;
   }
 
-  void count(AnalysisID ID, bool Hit) {
-    (Hit ? Stats.Hits : Stats.Misses)[static_cast<unsigned>(ID)]++;
-  }
+  /// Bumps both the manager's own counters and the process-wide Stats
+  /// registry (analysis.cache.hits/misses), so campaign worker stats can
+  /// report cache effectiveness without threading managers around.
+  void count(AnalysisID ID, bool Hit);
 
   const ProgramInfo &Info;
   std::unordered_map<const IRFunction *, FunctionEntry> Entries;

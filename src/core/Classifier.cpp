@@ -8,8 +8,12 @@
 
 #include "analysis/Dataflow.h"
 #include "core/AnnotationVerifier.h"
+#include "ir/IRPrinter.h"
 #include "support/Casting.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
+#include <cstdio>
 #include <unordered_set>
 
 using namespace sldb;
@@ -38,6 +42,22 @@ const char *sldb::varClassName(VarClass C) {
     return "suspect";
   case VarClass::Current:
     return "current";
+  }
+  return "?";
+}
+
+const char *sldb::endangerCauseName(EndangerCause C) {
+  switch (C) {
+  case EndangerCause::None:
+    return "none";
+  case EndangerCause::Premature:
+    return "premature";
+  case EndangerCause::MaybePremature:
+    return "maybe-premature";
+  case EndangerCause::Stale:
+    return "stale";
+  case EndangerCause::MaybeStale:
+    return "maybe-stale";
   }
   return "?";
 }
@@ -390,11 +410,15 @@ const Classifier::AddrState &Classifier::stateAt(std::uint32_t Addr) const {
   if (Addr >= Cache.size())
     Addr = static_cast<std::uint32_t>(Cache.size() - 1);
   AddrState &E = Cache[Addr];
+  static StatCounter &HitCount = Stats::counter("classifier.cache.hits");
+  static StatCounter &MissCount = Stats::counter("classifier.cache.misses");
   if (E.Valid) {
     ++CacheStats.Hits;
+    HitCount.add();
     return E;
   }
   ++CacheStats.Misses;
+  MissCount.add();
   AddrPos P = position(Addr);
   E.Init = InitIn[P.Block];
   E.HoistSome = HoistSomeIn[P.Block];
@@ -419,7 +443,8 @@ const Classifier::AddrState &Classifier::stateAt(std::uint32_t Addr) const {
 // Classification (Figure 1)
 //===----------------------------------------------------------------------===//
 
-Classification Classifier::classifyDegraded(std::uint32_t Addr, VarId V) const {
+Classification Classifier::classifyDegraded(std::uint32_t Addr, VarId V,
+                                            Explanation *E) const {
   // Fail-safe path for variables whose bookkeeping failed verification.
   // Only facts a corrupt annotation cannot skew toward optimism are
   // used: initialization reach (losing a marker only *clears* a def,
@@ -431,53 +456,120 @@ Classification Classifier::classifyDegraded(std::uint32_t Addr, VarId V) const {
   C.Degraded = true;
   const VarInfo &VI = Info.var(V);
 
+  if (E) {
+    E->DegradedPath = true;
+    for (const AnnotationFinding &F : Findings)
+      if (F.Var == V || F.Var == InvalidVar)
+        E->Findings.push_back(F);
+    E->Storage = renderStorage(V);
+  }
+  auto Done = [&](const char *Rule) {
+    if (E) {
+      E->Rule = Rule;
+      E->Result = C;
+    }
+    return C;
+  };
+
   if (VI.Storage != StorageKind::Global) {
     auto It = VarIdx.find(V);
-    if (It == VarIdx.end() || !stateAt(Addr).Init.test(It->second)) {
-      C.Kind = VarClass::Uninitialized;
-      return C;
+    bool Tracked = It != VarIdx.end();
+    bool Reached = Tracked && stateAt(Addr).Init.test(It->second);
+    if (E) {
+      E->InitTracked = Tracked;
+      E->InitReached = Reached;
     }
+    if (!Reached) {
+      C.Kind = VarClass::Uninitialized;
+      return Done("degraded: init-reach (uninitialized)");
+    }
+  } else if (E) {
+    E->GlobalAssumedInit = true;
   }
 
   if (VI.Storage == StorageKind::Global) {
     C.Kind = VarClass::Suspect;
     C.Cause = EndangerCause::MaybeStale;
-    return C;
+    return Done("degraded: memory home (suspect)");
   }
   auto SIt = MF.Storage.find(V);
   if (SIt != MF.Storage.end() && SIt->second.K == VarStorage::Kind::Frame) {
     C.Kind = VarClass::Suspect;
     C.Cause = EndangerCause::MaybeStale;
-    return C;
+    return Done("degraded: memory home (suspect)");
   }
   C.Kind = VarClass::Nonresident;
-  return C;
+  return Done("degraded: register home (nonresident)");
 }
 
-Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
-  if (DegradeAll || DegradedVars.count(V) != 0)
-    return classifyDegraded(Addr, V);
+Classification Classifier::classify(std::uint32_t Addr, VarId V,
+                                    Explanation *E) const {
+  // Registry lookups are a lock + map probe; resolve the counters once.
+  static StatCounter &QueryCount = Stats::counter("classifier.queries");
+  QueryCount.add();
+  if (E) {
+    E->V = V;
+    E->Addr = Addr;
+    E->RecoveryEnabled = EnableRecovery;
+  }
+  if (DegradeAll || DegradedVars.count(V) != 0) {
+    static StatCounter &DegradedCount =
+        Stats::counter("classifier.queries.degraded");
+    DegradedCount.add();
+    return classifyDegraded(Addr, V, E);
+  }
 
   Classification C;
   const VarInfo &VI = Info.var(V);
   const AddrState &AS = stateAt(Addr);
 
+  auto Done = [&](const char *Rule) {
+    if (E) {
+      E->Rule = Rule;
+      E->Result = C;
+    }
+    return C;
+  };
+
+  // Provenance is recorded as pure reads of the same per-address state
+  // the verdict uses; nothing below branches on E except the recording
+  // itself, so explain mode cannot perturb the decision.
+  if (E) {
+    for (unsigned K = 0; K < MF.HoistKeys.size(); ++K) {
+      if (MF.HoistKeys[K].V != V)
+        continue;
+      E->Hoists.push_back({K, KeyStmt[K], renderHoistKeyExpr(K),
+                           AS.HoistSome.test(K), AS.HoistAll.test(K)});
+    }
+    for (unsigned M = 0; M < Markers.size(); ++M) {
+      if (Markers[M].V != V)
+        continue;
+      E->Deads.push_back({M, Markers[M].Stmt, Markers[M].Addr,
+                          AS.DeadSome.test(M), AS.DeadAll.test(M),
+                          renderRecovery(Markers[M].Recovery),
+                          Addr < RecoveryValid[M].size() &&
+                              RecoveryValid[M].test(Addr)});
+    }
+  }
+
   // 1. Initialization (locals only; globals assumed initialized).
   if (VI.Storage != StorageKind::Global) {
     auto It = VarIdx.find(V);
-    if (It != VarIdx.end()) {
-      unsigned Bit = It->second;
-      if (!AS.Init.test(Bit)) {
-        C.Kind = VarClass::Uninitialized;
-        return C;
-      }
-    } else {
-      // The function never touches the variable: it is in scope but was
-      // never assigned (or its assignments were all optimized away with
-      // no marker, which cannot happen) — uninitialized.
-      C.Kind = VarClass::Uninitialized;
-      return C;
+    // A variable the function never touches is in scope but was never
+    // assigned (or its assignments were all optimized away with no
+    // marker, which cannot happen) — uninitialized.
+    bool Tracked = It != VarIdx.end();
+    bool Reached = Tracked && AS.Init.test(It->second);
+    if (E) {
+      E->InitTracked = Tracked;
+      E->InitReached = Reached;
     }
+    if (!Reached) {
+      C.Kind = VarClass::Uninitialized;
+      return Done("init-reach (uninitialized)");
+    }
+  } else if (E) {
+    E->GlobalAssumedInit = true;
   }
 
   // 2. Recovery (paper §2.5): if on *all* paths the expected value of V
@@ -508,6 +600,8 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
       Markers[DeadAllMarker].Recovery.K != MRecovery::Kind::None &&
       Addr < RecoveryValid[DeadAllMarker].size() &&
       RecoveryValid[DeadAllMarker].test(Addr)) {
+    if (E)
+      E->RecoveryAttempted = true;
     // Variable-sourced recovery (`c = a` eliminated, recover c from a) is
     // only sound if `a` itself holds its expected value at the marker: if
     // any dead marker or hoisted instance of `a` can reach the marker,
@@ -519,6 +613,8 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
       std::uint32_t MAddr = Markers[DeadAllMarker].Addr;
       if (Src == V) {
         SrcSound = false; // Self-referential alias: never trustworthy.
+        if (E)
+          E->RecoveryNote = "rejected: self-referential alias";
       } else {
         // Marker addresses are fixed, so these states come from the same
         // per-address cache as the breakpoint's own.
@@ -529,6 +625,10 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
         for (unsigned K = 0; K < MF.HoistKeys.size() && SrcSound; ++K)
           if (MF.HoistKeys[K].V == Src && MS.HoistSome.test(K))
             SrcSound = false;
+        if (!SrcSound && E)
+          E->RecoveryNote = "rejected: source variable '" +
+                            Info.var(Src).Name +
+                            "' is itself endangered at the marker";
       }
     }
     if (SrcSound) {
@@ -536,8 +636,20 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
       C.Recoverable = true;
       C.Recovery = Markers[DeadAllMarker].Recovery;
       C.CulpritStmt = Markers[DeadAllMarker].Stmt;
-      return C;
+      return Done("recovery (paper 2.5)");
     }
+  } else if (E && DeadAll) {
+    if (!EnableRecovery)
+      E->RecoveryNote = "not attempted: recovery disabled";
+    else if (DeadAllCount != 1)
+      E->RecoveryNote =
+          "not attempted: multiple eliminated assignments reach on all paths";
+    else if (Markers[DeadAllMarker].Recovery.K == MRecovery::Kind::None)
+      E->RecoveryNote =
+          "not attempted: the eliminated value survives nowhere";
+    else
+      E->RecoveryNote =
+          "not attempted: the surviving copy is overwritten by this point";
   }
 
   // 3. Residence (the conservative live-range model of [3]).
@@ -554,9 +666,14 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
                  RIt->second.test(Addr);
     }
   }
+  if (E) {
+    E->ResidenceConsulted = true;
+    E->Resident = Resident;
+    E->Storage = renderStorage(V);
+  }
   if (!Resident) {
     C.Kind = VarClass::Nonresident;
-    return C;
+    return Done("residence (nonresident)");
   }
 
   // 4. Hoist reach (Lemmas 2 and 3).
@@ -578,7 +695,7 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
     C.Kind = VarClass::Noncurrent;
     C.Cause = EndangerCause::Premature;
     C.CulpritStmt = HoistStmt;
-    return C;
+    return Done("hoist-all (Lemma 2)");
   }
 
   // 5. Dead reach without recovery (Lemmas 4 and 5).
@@ -586,7 +703,7 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
     C.Kind = VarClass::Noncurrent;
     C.Cause = EndangerCause::Stale;
     C.CulpritStmt = Markers[DeadAllMarker].Stmt;
-    return C;
+    return Done("dead-all (Lemma 5)");
   }
 
   // 6. Suspect (Lemmas 3 and 6).
@@ -594,16 +711,367 @@ Classification Classifier::classify(std::uint32_t Addr, VarId V) const {
     C.Kind = VarClass::Suspect;
     C.Cause = EndangerCause::MaybePremature;
     C.CulpritStmt = HoistStmt;
-    return C;
+    return Done("hoist-some (Lemma 3)");
   }
   if (DeadSome) {
     C.Kind = VarClass::Suspect;
     C.Cause = EndangerCause::MaybeStale;
-    return C;
+    return Done("dead-some (Lemma 6)");
   }
 
   C.Kind = VarClass::Current;
-  return C;
+  return Done("current (no endangerment reaches)");
+}
+
+Explanation Classifier::explain(std::uint32_t Addr, VarId V) const {
+  Explanation E;
+  classify(Addr, V, &E);
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Explain mode: provenance rendering
+//===----------------------------------------------------------------------===//
+
+std::string Classifier::renderHoistKeyExpr(unsigned Key) const {
+  const HoistKey &HK = MF.HoistKeys[Key];
+  auto Operand = [&](const Value &Val) -> std::string {
+    switch (Val.K) {
+    case Value::Kind::None:
+      return "";
+    case Value::Kind::Temp:
+      return "t" + std::to_string(Val.Id);
+    case Value::Kind::Var:
+      return Info.var(Val.Id).Name;
+    case Value::Kind::ConstInt:
+      return std::to_string(Val.IntVal);
+    case Value::Kind::ConstDouble: {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%g", Val.DblVal);
+      return Buf;
+    }
+    }
+    return "";
+  };
+  std::string S = Info.var(HK.V).Name + " = " + opcodeName(HK.Op);
+  std::string A = Operand(HK.A), B = Operand(HK.B);
+  if (!A.empty())
+    S += " " + A;
+  if (!B.empty())
+    S += ", " + B;
+  return S;
+}
+
+std::string Classifier::renderRecovery(const MRecovery &R) const {
+  std::string S;
+  switch (R.K) {
+  case MRecovery::Kind::None:
+    return "";
+  case MRecovery::Kind::Imm:
+    S = "constant " + std::to_string(R.Imm);
+    break;
+  case MRecovery::Kind::FImm: {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "constant %g", R.FImm);
+    S = Buf;
+    break;
+  }
+  case MRecovery::Kind::InReg:
+    S = "register " + R.R.str();
+    break;
+  case MRecovery::Kind::InFrame:
+    if (R.Frame < 0)
+      S = "global '" + Info.var(static_cast<VarId>(R.Imm)).Name + "'";
+    else
+      S = "frame slot " + std::to_string(R.Frame);
+    break;
+  }
+  if (R.SrcVar != InvalidVar)
+    S += " (variable '" + Info.var(R.SrcVar).Name + "')";
+  if (R.Scale != 1)
+    S += " scaled by 1/" + std::to_string(R.Scale);
+  if (R.IsIV)
+    S += " [loop-invariant relation]";
+  return S;
+}
+
+std::string Classifier::renderStorage(VarId V) const {
+  if (Info.var(V).Storage == StorageKind::Global)
+    return "global memory";
+  auto It = MF.Storage.find(V);
+  if (It != MF.Storage.end()) {
+    switch (It->second.K) {
+    case VarStorage::Kind::InReg:
+      return "register " + It->second.R.str();
+    case VarStorage::Kind::Frame:
+      return "frame slot " + std::to_string(It->second.Frame);
+    case VarStorage::Kind::GlobalMem:
+      return "global memory";
+    case VarStorage::Kind::None:
+      break;
+    }
+  }
+  return "no storage home (never materialized)";
+}
+
+std::string Classifier::renderExplainText(const Explanation &X) const {
+  const std::string &Name = Info.var(X.V).Name;
+  const FuncInfo &FI = Info.func(MF.Id);
+  std::string S;
+
+  S += "explain '" + Name + "' at " + MF.Name + "+" + std::to_string(X.Addr);
+  for (StmtId St = 0; St < MF.StmtAddr.size(); ++St)
+    if (MF.StmtAddr[St] >= 0 &&
+        MF.StmtAddr[St] == static_cast<std::int32_t>(X.Addr)) {
+      S += " (stmt " + std::to_string(St);
+      if (St < FI.Stmts.size() && FI.Stmts[St].Loc.isValid())
+        S += ", line " + std::to_string(FI.Stmts[St].Loc.Line);
+      S += ")";
+      break;
+    }
+  S += "\n";
+
+  S += "verdict: ";
+  S += varClassName(X.Result.Kind);
+  if (X.Result.Cause != EndangerCause::None) {
+    S += " (";
+    S += endangerCauseName(X.Result.Cause);
+    S += ")";
+  }
+  if (X.Result.Recoverable)
+    S += " [recoverable]";
+  if (X.Result.Degraded)
+    S += " [degraded]";
+  S += "\n";
+
+  S += "provenance:\n";
+
+  if (X.DegradedPath) {
+    S += "  degraded: the debug annotations for this variable failed "
+         "integrity verification; fail-safe path used\n";
+    for (const AnnotationFinding &F : X.Findings)
+      S += "    finding: " + F.Message + "\n";
+  }
+
+  if (X.GlobalAssumedInit)
+    S += "  init-reach: '" + Name + "' is a global, assumed initialized\n";
+  else if (!X.InitTracked)
+    S += "  init-reach: the function never assigns '" + Name + "'\n";
+  else if (!X.InitReached)
+    S += "  init-reach: no definition of '" + Name +
+         "' reaches this point\n";
+  else
+    S += "  init-reach: a definition of '" + Name + "' reaches this point\n";
+
+  if (X.DegradedPath) {
+    // Degraded verdicts come from the storage table alone; the normal
+    // chain below was distrusted wholesale.
+    S += "  storage: " + X.Storage + "\n";
+    S += "  hoist-reach, dead-reach, residence, recovery: distrusted "
+         "(annotations failed verification)\n";
+  } else {
+    const bool InitDecided = X.Result.Kind == VarClass::Uninitialized;
+
+    S += "  recovery (paper 2.5): ";
+    if (InitDecided) {
+      S += "not consulted (decided at init-reach)";
+    } else if (X.Result.Recoverable) {
+      S += "expected value recovered";
+      for (const Explanation::DeadFact &D : X.Deads)
+        if (D.AllPath && !D.Recovery.empty()) {
+          S += " from " + D.Recovery;
+          break;
+        }
+    } else if (!X.RecoveryNote.empty()) {
+      S += X.RecoveryNote;
+    } else if (!X.RecoveryEnabled) {
+      S += "disabled";
+    } else {
+      S += "no eliminated assignment of '" + Name +
+           "' reaches on all paths";
+    }
+    S += "\n";
+
+    S += "  residence: ";
+    if (X.Result.Recoverable)
+      S += "supplied by the recovery source";
+    else if (!X.ResidenceConsulted)
+      S += "not consulted (decided earlier)";
+    else
+      S += X.Storage + (X.Resident ? " -- resident here"
+                                   : " -- not resident here");
+    S += "\n";
+
+    if (X.Hoists.empty()) {
+      S += "  hoist-reach: no hoisted assignment of '" + Name +
+           "' exists\n";
+    } else {
+      S += "  hoist-reach:\n";
+      for (const Explanation::HoistFact &H : X.Hoists) {
+        S += "    key#" + std::to_string(H.Key) + " '" + H.Expr + "'";
+        if (H.Stmt != InvalidStmt)
+          S += " (stmt " + std::to_string(H.Stmt) + ")";
+        S += ": ";
+        if (H.AllPath)
+          S += "hoisted instance reaches on ALL paths [Lemma 2]";
+        else if (H.SomePath)
+          S += "hoisted instance reaches on SOME paths [Lemma 3]";
+        else
+          S += "no hoisted instance reaches";
+        S += "\n";
+      }
+    }
+
+    if (X.Deads.empty()) {
+      S += "  dead-reach: no eliminated assignment of '" + Name +
+           "' exists\n";
+    } else {
+      S += "  dead-reach:\n";
+      for (const Explanation::DeadFact &D : X.Deads) {
+        S += "    marker@" + MF.Name + "+" + std::to_string(D.MarkerAddr);
+        if (D.Stmt != InvalidStmt)
+          S += " (stmt " + std::to_string(D.Stmt) + ")";
+        S += ": ";
+        if (D.AllPath)
+          S += "eliminated assignment reaches on ALL paths [Lemma 5]";
+        else if (D.SomePath)
+          S += "eliminated assignment reaches on SOME paths [Lemma 6]";
+        else
+          S += "does not reach";
+        if (!D.Recovery.empty()) {
+          S += "; value survives in " + D.Recovery;
+          S += D.RecoveryValidHere ? " (valid here)" : " (not valid here)";
+        }
+        S += "\n";
+      }
+    }
+  }
+
+  S += "rule: " + X.Rule + "\n";
+  std::string W = warningText(X.Result, X.V);
+  S += "warning: " + (W.empty() ? std::string("none") : W) + "\n";
+  return S;
+}
+
+std::string Classifier::renderExplainJson(const Explanation &X) const {
+  std::string S = "{";
+  auto Raw = [&S](const char *K, const std::string &V) {
+    appendJsonString(S, K);
+    S += ':';
+    S += V;
+  };
+  auto Str = [&S](const char *K, const std::string &V) {
+    appendJsonString(S, K);
+    S += ':';
+    appendJsonString(S, V);
+  };
+  auto Bool = [&Raw](const char *K, bool V) { Raw(K, V ? "true" : "false"); };
+  auto Stmt = [](StmtId St) {
+    return St == InvalidStmt ? std::string("-1") : std::to_string(St);
+  };
+
+  Str("var", Info.var(X.V).Name);
+  S += ',';
+  Raw("varId", std::to_string(X.V));
+  S += ',';
+  Str("function", MF.Name);
+  S += ',';
+  Raw("addr", std::to_string(X.Addr));
+  S += ',';
+
+  S += "\"verdict\":{";
+  Str("class", varClassName(X.Result.Kind));
+  S += ',';
+  Str("cause", endangerCauseName(X.Result.Cause));
+  S += ',';
+  Raw("culpritStmt", Stmt(X.Result.CulpritStmt));
+  S += ',';
+  Bool("recoverable", X.Result.Recoverable);
+  S += ',';
+  Bool("degraded", X.Result.Degraded);
+  S += ',';
+  Str("warning", warningText(X.Result, X.V));
+  S += "},";
+
+  Bool("degradedPath", X.DegradedPath);
+  S += ',';
+  S += "\"findings\":[";
+  for (std::size_t I = 0; I < X.Findings.size(); ++I) {
+    if (I)
+      S += ',';
+    appendJsonString(S, X.Findings[I].Message);
+  }
+  S += "],";
+
+  S += "\"init\":{";
+  Bool("globalAssumed", X.GlobalAssumedInit);
+  S += ',';
+  Bool("tracked", X.InitTracked);
+  S += ',';
+  Bool("reached", X.InitReached);
+  S += "},";
+
+  S += "\"recovery\":{";
+  Bool("enabled", X.RecoveryEnabled);
+  S += ',';
+  Bool("attempted", X.RecoveryAttempted);
+  S += ',';
+  Str("note", X.RecoveryNote);
+  S += "},";
+
+  S += "\"residence\":{";
+  Bool("consulted", X.ResidenceConsulted);
+  S += ',';
+  Bool("resident", X.Resident);
+  S += ',';
+  Str("storage", X.Storage);
+  S += "},";
+
+  S += "\"hoistReach\":[";
+  for (std::size_t I = 0; I < X.Hoists.size(); ++I) {
+    const Explanation::HoistFact &H = X.Hoists[I];
+    if (I)
+      S += ',';
+    S += '{';
+    Raw("key", std::to_string(H.Key));
+    S += ',';
+    Raw("stmt", Stmt(H.Stmt));
+    S += ',';
+    Str("expr", H.Expr);
+    S += ',';
+    Bool("somePath", H.SomePath);
+    S += ',';
+    Bool("allPath", H.AllPath);
+    S += '}';
+  }
+  S += "],";
+
+  S += "\"deadReach\":[";
+  for (std::size_t I = 0; I < X.Deads.size(); ++I) {
+    const Explanation::DeadFact &D = X.Deads[I];
+    if (I)
+      S += ',';
+    S += '{';
+    Raw("marker", std::to_string(D.Marker));
+    S += ',';
+    Raw("stmt", Stmt(D.Stmt));
+    S += ',';
+    Raw("addr", std::to_string(D.MarkerAddr));
+    S += ',';
+    Bool("somePath", D.SomePath);
+    S += ',';
+    Bool("allPath", D.AllPath);
+    S += ',';
+    Str("recovery", D.Recovery);
+    S += ',';
+    Bool("validHere", D.RecoveryValidHere);
+    S += '}';
+  }
+  S += "],";
+
+  Str("rule", X.Rule);
+  S += '}';
+  return S;
 }
 
 std::string Classifier::warningText(const Classification &C, VarId V) const {

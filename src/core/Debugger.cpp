@@ -14,9 +14,19 @@ Debugger::Debugger(const MachineModule &MM, std::uint64_t MaxSteps)
 }
 
 const Classifier &Debugger::classifier(FuncId F) const {
-  if (!Classifiers[F])
+  if (!Classifiers[F]) {
     Classifiers[F] = std::make_unique<Classifier>(MM.Funcs[F], *MM.Info);
+    if (ForceDegraded)
+      Classifiers[F]->degradeAllVariables();
+  }
   return *Classifiers[F];
+}
+
+void Debugger::degradeAllVariables() {
+  ForceDegraded = true;
+  for (auto &C : Classifiers)
+    if (C)
+      C->degradeAllVariables();
 }
 
 bool Debugger::setBreakpointAtStmt(FuncId F, StmtId S) {
@@ -175,6 +185,20 @@ std::optional<VarReport> Debugger::queryVariable(
   for (VarId V : MM.Info->Globals)
     if (MM.Info->var(V).Name == Name)
       return reportVar(V);
+  return std::nullopt;
+}
+
+std::optional<Explanation> Debugger::explainVariable(
+    const std::string &Name) const {
+  FuncId F = VM.pc().Func;
+  const Classifier &C = classifier(F);
+  // Locals shadow globals, as in queryVariable.
+  for (VarId V : MM.Info->func(F).Locals)
+    if (MM.Info->var(V).Name == Name)
+      return C.explain(VM.pc().Local, V);
+  for (VarId V : MM.Info->Globals)
+    if (MM.Info->var(V).Name == Name)
+      return C.explain(VM.pc().Local, V);
   return std::nullopt;
 }
 

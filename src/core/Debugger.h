@@ -79,6 +79,24 @@ public:
   /// Classifies and reads one variable by name at the current stop.
   std::optional<VarReport> queryVariable(const std::string &Name) const;
 
+  /// Explain mode: the provenance chain behind queryVariable's verdict
+  /// for \p Name at the current stop (same lookup rule: locals shadow
+  /// globals).  nullopt when no such variable is in scope.
+  std::optional<Explanation> explainVariable(const std::string &Name) const;
+
+  /// Renders an explanation against the current function's classifier.
+  std::string explainText(const Explanation &E) const {
+    return classifier(VM.pc().Func).renderExplainText(E);
+  }
+  std::string explainJson(const Explanation &E) const {
+    return classifier(VM.pc().Func).renderExplainJson(E);
+  }
+
+  /// Forces every classifier (current and future) into degraded mode;
+  /// exercises the fail-safe path on an intact module (sldbc
+  /// --degrade-all, the degraded golden explain test).
+  void degradeAllVariables();
+
   /// Reports every local variable in scope at the current stop.
   std::vector<VarReport> reportScope() const;
 
@@ -97,6 +115,7 @@ private:
   const MachineModule &MM;
   Machine VM;
   mutable std::vector<std::unique_ptr<Classifier>> Classifiers;
+  bool ForceDegraded = false; ///< Applied to lazily-built classifiers too.
 };
 
 } // namespace sldb

@@ -128,6 +128,76 @@ sldb::measureClassificationAll(const std::vector<BenchProgram> &Corpus,
   return Out;
 }
 
+CoverageCounts sldb::measureCoverage(const std::vector<BenchProgram> &Corpus,
+                                     const OptOptions &Opts, bool Promote,
+                                     const std::string &Level) {
+  CoverageCounts CC;
+  CC.Level = Level;
+  for (const BenchProgram &P : Corpus) {
+    auto M = mustCompile(P);
+    mustRunPipeline(*M, P, Opts);
+    CodegenOptions CG;
+    CG.PromoteVars = Promote;
+    MachineModule MM = compileToMachine(*M, CG);
+    for (const MachineFunction &MF : MM.Funcs) {
+      Classifier C(MF, *MM.Info);
+      const FuncInfo &FI = MM.Info->func(MF.Id);
+      for (StmtId S = 0; S < MF.StmtAddr.size(); ++S) {
+        if (MF.StmtAddr[S] < 0)
+          continue;
+        std::uint32_t Addr = static_cast<std::uint32_t>(MF.StmtAddr[S]);
+        for (VarId V : FI.Stmts[S].ScopeVars) {
+          Classification R = C.classify(Addr, V);
+          ++CC.Points;
+          switch (R.Kind) {
+          case VarClass::Uninitialized:
+            ++CC.Uninitialized;
+            break;
+          case VarClass::Nonresident:
+            ++CC.Nonresident;
+            break;
+          case VarClass::Noncurrent:
+            ++CC.Noncurrent;
+            break;
+          case VarClass::Suspect:
+            ++CC.Suspect;
+            break;
+          case VarClass::Current:
+            ++CC.Current;
+            break;
+          }
+          if (R.Recoverable)
+            ++CC.Recovered;
+        }
+      }
+    }
+  }
+  return CC;
+}
+
+std::string sldb::renderCoverageReport(const std::vector<CoverageCounts> &Rows) {
+  std::string S = "level      points  uninit  nonres  noncur suspect "
+                  "current   recov  endangered  debuggable%\n";
+  char Buf[160];
+  for (const CoverageCounts &R : Rows) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-10s %6llu  %6llu  %6llu  %6llu  %6llu  %6llu  %6llu"
+                  "      %6llu       %6.2f\n",
+                  R.Level.c_str(),
+                  static_cast<unsigned long long>(R.Points),
+                  static_cast<unsigned long long>(R.Uninitialized),
+                  static_cast<unsigned long long>(R.Nonresident),
+                  static_cast<unsigned long long>(R.Noncurrent),
+                  static_cast<unsigned long long>(R.Suspect),
+                  static_cast<unsigned long long>(R.Current),
+                  static_cast<unsigned long long>(R.Recovered),
+                  static_cast<unsigned long long>(R.endangered()),
+                  R.pctDebuggable());
+    S += Buf;
+  }
+  return S;
+}
+
 CodeQuality sldb::measureCodeQuality(const BenchProgram &P,
                                      std::uint64_t Fuel) {
   CodeQuality Q;

@@ -84,6 +84,41 @@ measureClassificationAll(const std::vector<BenchProgram> &Corpus,
                          const OptOptions &Opts, bool Promote,
                          bool EnableRecovery = true, unsigned Jobs = 1);
 
+/// Debuggability coverage at one optimization level: *integer* counts of
+/// (breakpoint, in-scope variable) classification points per Figure 1
+/// class, summed over a corpus.  The counts (unlike the per-breakpoint
+/// averages above) diff exactly, so the rendered report is golden-tested
+/// (tests/golden/coverage.txt).
+struct CoverageCounts {
+  std::string Level;        ///< Configuration label ("O0", "O2-frame", ...).
+  std::uint64_t Points = 0; ///< (breakpoint, variable) pairs classified.
+  std::uint64_t Uninitialized = 0;
+  std::uint64_t Nonresident = 0;
+  std::uint64_t Noncurrent = 0;
+  std::uint64_t Suspect = 0;
+  std::uint64_t Current = 0;
+  std::uint64_t Recovered = 0; ///< Points shown via recovery (paper §2.5).
+
+  std::uint64_t endangered() const { return Noncurrent + Suspect; }
+  /// Share of points the debugger can show truthfully without a warning:
+  /// current (including the recovered subset).
+  double pctDebuggable() const {
+    return Points ? 100.0 * static_cast<double>(Current) /
+                        static_cast<double>(Points)
+                  : 0.0;
+  }
+};
+
+/// Classifies every (breakpoint, in-scope local) point of the corpus
+/// under one configuration and sums the per-class counts.
+CoverageCounts measureCoverage(const std::vector<BenchProgram> &Corpus,
+                               const OptOptions &Opts, bool Promote,
+                               const std::string &Level);
+
+/// Renders coverage rows as the fixed-width report golden-tested in
+/// tests/golden/coverage.txt (one line per optimization level).
+std::string renderCoverageReport(const std::vector<CoverageCounts> &Rows);
+
 /// Table 3 substitute: dynamic instruction counts on the R3K simulator.
 struct CodeQuality {
   std::uint64_t InstrUnoptimized = 0;

@@ -29,6 +29,7 @@
 #include "fuzz/Reduce.h"
 #include "support/FaultInjector.h"
 #include "support/Sharder.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <filesystem>
@@ -224,12 +225,13 @@ struct ModeOutcome {
   std::vector<PassFiring> Firings;
   bool Hoisted = false, Sunk = false, DeadMarks = false,
        AvailMarks = false, SRRecords = false;
+  std::vector<TraceEvent> Trace; ///< Unit-local capture (CollectTrace).
 };
 
 /// Runs one (seed, mode) unit.  Thread-confined: everything from
 /// generation to shrinking happens on the calling worker.
-ModeOutcome runModeUnit(const CampaignConfig &C, std::uint32_t Seed,
-                        bool Promote, bool Instrument) {
+ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
+                            bool Promote, bool Instrument) {
   ModeOutcome O;
   std::string Src = generateProgram(Seed, C.Gen);
 
@@ -317,6 +319,26 @@ ModeOutcome runModeUnit(const CampaignConfig &C, std::uint32_t Seed,
   return O;
 }
 
+/// Trace-capturing wrapper: diverts the worker thread's events for the
+/// unit's duration so the merge can rebuild a deterministic, seed-major
+/// trace whatever the pool's scheduling was.
+ModeOutcome runModeUnit(const CampaignConfig &C, std::uint32_t Seed,
+                        bool Promote, bool Instrument) {
+  Stats::counter("campaign.units").add();
+  if (!C.CollectTrace)
+    return runModeUnitImpl(C, Seed, Promote, Instrument);
+  TraceCapture Cap;
+  ModeOutcome O;
+  {
+    TraceSpan Span("campaign.unit", "campaign");
+    Span.arg("seed", static_cast<std::uint64_t>(Seed));
+    Span.arg("promote", Promote ? "on" : "off");
+    O = runModeUnitImpl(C, Seed, Promote, Instrument);
+  }
+  O.Trace = Cap.take();
+  return O;
+}
+
 } // namespace
 
 CampaignResult sldb::runCampaign(const CampaignConfig &C) {
@@ -358,6 +380,12 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
     ++R.Programs;
     for (unsigned M = 0; M < Modes; ++M) {
       ModeOutcome &O = Out[SI * Modes + M];
+      // Trace first: the compile-fail break below must not drop the
+      // unit's events.
+      for (TraceEvent &E : O.Trace) {
+        E.Tid = static_cast<std::uint32_t>(SI * Modes + M + 1);
+        R.Trace.push_back(std::move(E));
+      }
       if (O.Ran)
         ++R.Runs;
       if (O.CompileFail) {
@@ -466,11 +494,12 @@ struct InjectOutcome {
   Kind K = Kind::Clean;
   bool HasFailure = false;
   CampaignFailure F;
+  std::vector<TraceEvent> Trace; ///< Unit-local capture (CollectTrace).
 };
 
 /// Runs one (seed, fault-point) unit on the calling worker thread.
-InjectOutcome runInjectUnit(const InjectCampaignConfig &C,
-                            std::uint32_t Seed, const FaultPoint &P) {
+InjectOutcome runInjectUnitImpl(const InjectCampaignConfig &C,
+                                std::uint32_t Seed, const FaultPoint &P) {
   InjectOutcome O;
   std::string Src = generateProgram(Seed, C.Gen);
 
@@ -545,6 +574,24 @@ InjectOutcome runInjectUnit(const InjectCampaignConfig &C,
   return O;
 }
 
+/// Trace-capturing wrapper (see runModeUnit).
+InjectOutcome runInjectUnit(const InjectCampaignConfig &C,
+                            std::uint32_t Seed, const FaultPoint &P) {
+  Stats::counter("campaign.units").add();
+  if (!C.CollectTrace)
+    return runInjectUnitImpl(C, Seed, P);
+  TraceCapture Cap;
+  InjectOutcome O;
+  {
+    TraceSpan Span("campaign.unit", "campaign");
+    Span.arg("seed", static_cast<std::uint64_t>(Seed));
+    Span.arg("fault", P.Name);
+    O = runInjectUnitImpl(C, Seed, P);
+  }
+  O.Trace = Cap.take();
+  return O;
+}
+
 } // namespace
 
 InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
@@ -585,6 +632,10 @@ InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
     ++R.Programs;
     for (std::size_t PI = 0; PI < PerSeed; ++PI) {
       InjectOutcome &O = Out[SI * PerSeed + PI];
+      for (TraceEvent &E : O.Trace) {
+        E.Tid = static_cast<std::uint32_t>(SI * PerSeed + PI + 1);
+        R.Trace.push_back(std::move(E));
+      }
       ++R.Runs;
       switch (O.K) {
       case InjectOutcome::Kind::Clean:

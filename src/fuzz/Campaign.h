@@ -19,6 +19,7 @@
 
 #include "fuzz/DiffCheck.h"
 #include "fuzz/ProgramGen.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -77,6 +78,14 @@ struct CampaignConfig {
   /// reports in shard order reproduces the unsharded campaign.
   unsigned ShardIndex = 0;
   unsigned ShardCount = 1;
+
+  /// Capture each unit's trace events (support/Trace.h) and merge them
+  /// into CampaignResult::Trace in seed-major unit order with the unit
+  /// ordinal as the tid — the merged event *sequence* is identical for
+  /// every Jobs value (timestamps remain wall clock).  Only effective
+  /// while Trace::enabled(); isolated (forked) units lose their events
+  /// to the fork, like the coverage stats.
+  bool CollectTrace = false;
 };
 
 /// One failing program.
@@ -148,6 +157,10 @@ struct CampaignResult {
   /// One entry per pool worker (diagnostic; see CampaignWorkerStats).
   std::vector<CampaignWorkerStats> Workers;
 
+  /// Captured trace events in seed-major unit order (CollectTrace);
+  /// tid = 1-based unit ordinal.
+  std::vector<TraceEvent> Trace;
+
   bool sound() const {
     return Failures.empty() && FailedCompiles == 0 && ConfigError.empty();
   }
@@ -185,6 +198,9 @@ struct InjectCampaignConfig {
   unsigned Jobs = 1;
   unsigned ShardIndex = 0;
   unsigned ShardCount = 1;
+
+  /// As CampaignConfig::CollectTrace, over (seed, fault) units.
+  bool CollectTrace = false;
 };
 
 /// Aggregate inject-campaign outcome.
@@ -200,6 +216,9 @@ struct InjectCampaignResult {
 
   std::string ConfigError;     ///< As CampaignResult::ConfigError.
   std::vector<CampaignWorkerStats> Workers;
+
+  /// As CampaignResult::Trace, in (seed, fault) unit order.
+  std::vector<TraceEvent> Trace;
 
   /// The acceptance bar: no crash, no hang, no unsound verdict under
   /// any injected fault.

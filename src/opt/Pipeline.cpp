@@ -7,6 +7,8 @@
 #include "opt/Pass.h"
 
 #include "ir/Verifier.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <cstdio>
@@ -102,6 +104,7 @@ Status sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
                            const PipelineConfig &Config,
                            PipelineStats *Stats) {
   using Clock = std::chrono::steady_clock;
+  TraceSpan PipeSpan("runPipeline", "pipeline");
   auto Pipeline = buildPipeline(Opts);
   AnalysisManager AM(*M.Info);
 
@@ -117,7 +120,13 @@ Status sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
   Status Err;
   auto RunSlot = [&](std::size_t I, IRFunction &F) {
     auto T0 = Timing ? Clock::now() : Clock::time_point();
+    TraceSpan Span(Pipeline[I].P->name(), "pass");
+    Span.arg("function", F.Name);
     PassResult R = Pipeline[I].P->run(F, M, AM);
+    Span.arg("changed", R.Changed ? "true" : "false");
+    Stats::counter("pipeline.pass.runs").add();
+    if (R.Changed)
+      Stats::counter("pipeline.pass.changed").add();
     AM.invalidate(F, R.Preserved);
     if (Config.DisableAnalysisCache)
       AM.invalidateAll(F);

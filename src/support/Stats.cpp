@@ -1,0 +1,121 @@
+//===- support/Stats.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+using namespace sldb;
+
+void StatHistogram::record(std::uint64_t Sample) {
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  std::uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Min.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+  unsigned B = 0;
+  while ((Sample >> B) > 1 && B < NumBuckets - 1)
+    ++B;
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Node-based maps: references into them survive later registrations.
+struct Registry {
+  std::mutex M;
+  std::map<std::string, StatCounter> Counters;
+  std::map<std::string, StatHistogram> Histograms;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // Intentionally leaked: metrics may
+  return *R;                         // be touched during static teardown.
+}
+
+} // namespace
+
+StatCounter &Stats::counter(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  assert(!R.Histograms.count(Name) &&
+         "stat name already registered as a histogram");
+  return R.Counters[Name];
+}
+
+StatHistogram &Stats::histogram(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  assert(!R.Counters.count(Name) &&
+         "stat name already registered as a counter");
+  return R.Histograms[Name];
+}
+
+void Stats::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[Name, C] : R.Counters)
+    C.V.store(0, std::memory_order_relaxed);
+  for (auto &[Name, H] : R.Histograms) {
+    H.N.store(0, std::memory_order_relaxed);
+    H.Sum.store(0, std::memory_order_relaxed);
+    H.Min.store(~0ull, std::memory_order_relaxed);
+    H.Max.store(0, std::memory_order_relaxed);
+    for (auto &B : H.Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<StatSnapshot> Stats::snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<StatSnapshot> Out;
+  Out.reserve(R.Counters.size() + R.Histograms.size());
+  for (const auto &[Name, C] : R.Counters)
+    Out.push_back({Name, false, C.value(), 0, 0, 0});
+  for (const auto &[Name, H] : R.Histograms)
+    Out.push_back({Name, true, H.count(), H.sum(),
+                   H.count() ? H.min() : 0, H.max()});
+  std::sort(Out.begin(), Out.end(),
+            [](const StatSnapshot &A, const StatSnapshot &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::string Stats::report() {
+  std::string S;
+  char Buf[256];
+  for (const StatSnapshot &E : snapshot()) {
+    if (E.Value == 0)
+      continue; // Only what actually ran.
+    if (E.IsHistogram)
+      std::snprintf(Buf, sizeof(Buf),
+                    "%-40s n=%llu sum=%llu min=%llu max=%llu mean=%.1f\n",
+                    E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Value),
+                    static_cast<unsigned long long>(E.Sum),
+                    static_cast<unsigned long long>(E.Min),
+                    static_cast<unsigned long long>(E.Max),
+                    E.Value ? static_cast<double>(E.Sum) /
+                                  static_cast<double>(E.Value)
+                            : 0.0);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%-40s %llu\n", E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Value));
+    S += Buf;
+  }
+  return S;
+}

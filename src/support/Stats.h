@@ -1,0 +1,121 @@
+//===- support/Stats.h - Named counters and histograms ----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of *named* metrics — monotonic counters and
+/// value histograms — the numeric half of the observability layer (the
+/// event half is support/Trace.h).  Producers grab a metric once and
+/// bump it lock-free:
+///
+///   static StatCounter &Hits = Stats::counter("classifier.addr_cache.hit");
+///   Hits.add(1);
+///
+/// Registration interns the name under a mutex; after that every update
+/// is a single relaxed atomic add, cheap enough for per-query hot paths.
+/// Readers snapshot the registry into a name-sorted report, so output is
+/// deterministic regardless of registration or scheduling order.
+///
+/// Metrics are diagnostic only: nothing in the system may branch on a
+/// counter value, so enabling or printing stats can never change a
+/// verdict, a report, or a transformed module (the observer-effect
+/// property test enforces the same rule for tracing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_STATS_H
+#define SLDB_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// A monotonic counter.  add() is thread-safe and lock-free.
+class StatCounter {
+public:
+  void add(std::uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  std::uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  friend class Stats;
+  std::atomic<std::uint64_t> V{0};
+};
+
+/// A value histogram: count / sum / min / max plus power-of-two buckets
+/// (bucket i counts samples with floor(log2(value)) == i; value 0 lands
+/// in bucket 0).  record() is thread-safe and lock-free.
+class StatHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void record(std::uint64_t Sample);
+
+  std::uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// ~0 when empty.
+  std::uint64_t min() const { return Min.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    std::uint64_t C = count();
+    return C ? static_cast<double>(sum()) / static_cast<double>(C) : 0.0;
+  }
+
+private:
+  friend class Stats;
+  std::atomic<std::uint64_t> N{0}, Sum{0};
+  std::atomic<std::uint64_t> Min{~0ull}, Max{0};
+  std::atomic<std::uint64_t> Buckets[NumBuckets] = {};
+};
+
+/// One row of a registry snapshot.
+struct StatSnapshot {
+  std::string Name;
+  bool IsHistogram = false;
+  std::uint64_t Value = 0; ///< Counter value, or histogram count.
+  std::uint64_t Sum = 0, Min = 0, Max = 0; ///< Histograms only.
+};
+
+/// The registry.  Metric objects live for the process lifetime; the
+/// references handed out never dangle (tests use reset() to zero values
+/// in place, which preserves identity).
+class Stats {
+public:
+  /// Interns (or finds) the counter named \p Name.
+  static StatCounter &counter(const std::string &Name);
+
+  /// Interns (or finds) the histogram named \p Name.  Counter and
+  /// histogram namespaces are disjoint; reusing a name across kinds is a
+  /// programming error and asserts.
+  static StatHistogram &histogram(const std::string &Name);
+
+  /// Zeroes every registered metric in place (identities survive).
+  static void reset();
+
+  /// Name-sorted snapshot of every registered metric.
+  static std::vector<StatSnapshot> snapshot();
+
+  /// Human-readable report (one line per metric, name-sorted; metrics
+  /// with zero activity are skipped so the report only shows what ran).
+  static std::string report();
+
+  /// Convenience for hit-rate style derived values: 100*Num/(Num+Den),
+  /// 0 when both are zero.
+  static double percent(std::uint64_t Num, std::uint64_t Den) {
+    return Num + Den
+               ? 100.0 * static_cast<double>(Num) /
+                     static_cast<double>(Num + Den)
+               : 0.0;
+  }
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_STATS_H

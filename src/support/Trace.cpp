@@ -1,0 +1,237 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+using namespace sldb;
+
+std::atomic<bool> Trace::On{false};
+
+namespace {
+
+/// One thread's event buffer.  Registered with the collector on first
+/// use; never unregistered (buffers outlive their threads so take() can
+/// still drain them — thread count is bounded by the pools we create).
+struct ThreadBuffer {
+  std::uint32_t Tid = 0;
+  std::vector<TraceEvent> Events;
+};
+
+struct Collector {
+  std::mutex M;
+  std::vector<ThreadBuffer *> Buffers; ///< In registration (tid) order.
+  std::uint32_t NextTid = 1;
+};
+
+Collector &collector() {
+  static Collector *C = new Collector; // Leaked: threads may trace during
+  return *C;                           // static teardown.
+}
+
+/// Active capture of the calling thread, if any.
+thread_local TraceCapture *ActiveCapture = nullptr;
+thread_local std::vector<TraceEvent> *CaptureBuf = nullptr;
+
+ThreadBuffer &myBuffer() {
+  thread_local ThreadBuffer *B = [] {
+    auto *NB = new ThreadBuffer;
+    Collector &C = collector();
+    std::lock_guard<std::mutex> Lock(C.M);
+    NB->Tid = C.NextTid++;
+    C.Buffers.push_back(NB);
+    return NB;
+  }();
+  return *B;
+}
+
+} // namespace
+
+std::uint64_t Trace::nowUs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Origin)
+          .count());
+}
+
+void Trace::record(TraceEvent E) {
+  if (!enabled())
+    return;
+  if (CaptureBuf) {
+    CaptureBuf->push_back(std::move(E));
+    return;
+  }
+  ThreadBuffer &B = myBuffer();
+  E.Tid = B.Tid;
+  B.Events.push_back(std::move(E));
+}
+
+void Trace::instant(std::string Name, std::string Cat,
+                    std::vector<std::pair<std::string, std::string>> Args) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.Ph = 'i';
+  E.Ts = nowUs();
+  E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+std::vector<TraceEvent> Trace::take() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  std::vector<TraceEvent> Out;
+  for (ThreadBuffer *B : C.Buffers) {
+    Out.insert(Out.end(), std::make_move_iterator(B->Events.begin()),
+               std::make_move_iterator(B->Events.end()));
+    B->Events.clear();
+  }
+  return Out;
+}
+
+void sldb::appendJsonString(std::string &S, const std::string &V) {
+  S += '"';
+  for (char Ch : V) {
+    switch (Ch) {
+    case '"':
+      S += "\\\"";
+      break;
+    case '\\':
+      S += "\\\\";
+      break;
+    case '\n':
+      S += "\\n";
+      break;
+    case '\t':
+      S += "\\t";
+      break;
+    case '\r':
+      S += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(Ch)));
+        S += Buf;
+      } else {
+        S += Ch;
+      }
+    }
+  }
+  S += '"';
+}
+
+std::string Trace::renderJson(const std::vector<TraceEvent> &Events) {
+  // Order by (tid, ts, longer span first, emission index): monotonic
+  // timestamps per tid, and — because spans are *recorded* at close
+  // (child before parent) — the duration tiebreak puts an enclosing
+  // span before the spans it contains when both open in the same
+  // microsecond, so 'X' events nest properly in document order
+  // (tools/check_trace_schema.sh holds the writer to this).
+  std::vector<std::size_t> Order(Events.size());
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](std::size_t A, std::size_t B) {
+                     if (Events[A].Tid != Events[B].Tid)
+                       return Events[A].Tid < Events[B].Tid;
+                     if (Events[A].Ts != Events[B].Ts)
+                       return Events[A].Ts < Events[B].Ts;
+                     return Events[A].Dur > Events[B].Dur;
+                   });
+
+  std::string S = "{\"traceEvents\":[";
+  bool First = true;
+  char Buf[96];
+  for (std::size_t I : Order) {
+    const TraceEvent &E = Events[I];
+    if (!First)
+      S += ",";
+    First = false;
+    S += "\n{\"name\":";
+    appendJsonString(S, E.Name);
+    S += ",\"cat\":";
+    appendJsonString(S, E.Cat.empty() ? "sldb" : E.Cat);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"ph\":\"%c\",\"ts\":%llu", E.Ph,
+                  static_cast<unsigned long long>(E.Ts));
+    S += Buf;
+    if (E.Ph == 'X') {
+      std::snprintf(Buf, sizeof(Buf), ",\"dur\":%llu",
+                    static_cast<unsigned long long>(E.Dur));
+      S += Buf;
+    }
+    if (E.Ph == 'i')
+      S += ",\"s\":\"t\"";
+    std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u",
+                  static_cast<unsigned>(E.Tid));
+    S += Buf;
+    if (!E.Args.empty()) {
+      S += ",\"args\":{";
+      for (std::size_t A = 0; A < E.Args.size(); ++A) {
+        if (A)
+          S += ",";
+        appendJsonString(S, E.Args[A].first);
+        S += ":";
+        appendJsonString(S, E.Args[A].second);
+      }
+      S += "}";
+    }
+    S += "}";
+  }
+  S += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return S;
+}
+
+bool Trace::writeJsonFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << renderJson(take());
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCapture
+//===----------------------------------------------------------------------===//
+
+TraceCapture::TraceCapture() {
+  assert(!ActiveCapture && "TraceCapture does not nest");
+  Start = Trace::nowUs();
+  ActiveCapture = this;
+  CaptureBuf = &Buf;
+}
+
+std::vector<TraceEvent> TraceCapture::take() {
+  assert(ActiveCapture == this &&
+         "TraceCapture must be taken on its own thread");
+  ActiveCapture = nullptr;
+  CaptureBuf = nullptr;
+  Ended = true;
+  // Rebase: a capture's timeline starts at 0.  Events recorded before
+  // enable() flipped mid-capture cannot precede Start, but guard anyway.
+  for (TraceEvent &E : Buf)
+    E.Ts = E.Ts >= Start ? E.Ts - Start : 0;
+  return std::move(Buf);
+}
+
+TraceCapture::~TraceCapture() {
+  if (!Ended) {
+    ActiveCapture = nullptr;
+    CaptureBuf = nullptr;
+  }
+}

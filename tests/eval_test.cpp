@@ -11,6 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 using namespace sldb;
 
 namespace {
@@ -100,4 +106,44 @@ TEST(MeasureParallel, CorpusMeasurementMatchesSerial) {
     EXPECT_EQ(Par[I].Suspect, Ser.Suspect) << Ps[I].Name;
     EXPECT_EQ(Par[I].Nonresident, Ser.Nonresident) << Ps[I].Name;
   }
+}
+
+TEST(Coverage, GoldenThreeLevelReport) {
+  // Debuggability coverage: integer (breakpoint, variable) class counts
+  // over the eval corpus at three configurations — unoptimized (O0),
+  // optimized without register promotion (Figure 5(a)), and fully
+  // optimized (Figure 5(b)).  The rendered report is golden so any
+  // change to how much of the corpus stays Current/Recoverable vs
+  // endangered is a visible, deliberate diff.
+  const auto &Ps = benchmarkPrograms();
+  std::vector<CoverageCounts> Rows = {
+      measureCoverage(Ps, OptOptions::none(), /*Promote=*/false, "O0"),
+      measureCoverage(Ps, OptOptions::all(), /*Promote=*/false, "O2-frame"),
+      measureCoverage(Ps, OptOptions::all(), /*Promote=*/true, "O2"),
+  };
+  // Structural sanity before the byte diff: every level classifies the
+  // same set of source points or fewer (optimization can only remove
+  // code locations), and O0 endangers nothing.
+  EXPECT_EQ(Rows[0].endangered(), 0u)
+      << "unoptimized code must have no endangered variables";
+  EXPECT_GT(Rows[1].endangered() + Rows[1].Nonresident, 0u)
+      << "optimization endangered nothing: corpus lost its point";
+
+  std::string Got = renderCoverageReport(Rows);
+  const char *Update = std::getenv("SLDB_UPDATE_GOLDENS");
+  std::string Path = std::string(SLDB_GOLDEN_DIR) + "/coverage.txt";
+  if (Update && *Update && std::string(Update) != "0") {
+    std::ofstream Out(Path, std::ios::binary);
+    ASSERT_TRUE(Out) << "cannot write " << Path;
+    Out << Got;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In) << "missing golden " << Path
+                  << " (regenerate with SLDB_UPDATE_GOLDENS=1)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Got, Buf.str())
+      << "coverage report changed; regenerate tests/golden/coverage.txt "
+         "deliberately if the optimizer/classifier change is intended";
 }

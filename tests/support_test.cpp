@@ -7,14 +7,18 @@
 #include "support/BitVector.h"
 #include "support/Diagnostics.h"
 #include "support/Sharder.h"
+#include "support/Stats.h"
 #include "support/StringInterner.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <random>
 #include <set>
+#include <string>
+#include <vector>
 
 using namespace sldb;
 
@@ -271,4 +275,209 @@ TEST(Sharder, ParseSpec) {
     unsigned I2 = 0, K2 = 0;
     EXPECT_FALSE(Sharder::parseSpec(Bad, I2, K2)) << Bad;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Stats: named counters / histograms (support/Stats.h)
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, CounterInternsAndAccumulates) {
+  Stats::reset();
+  StatCounter &A = Stats::counter("test.stats.a");
+  StatCounter &B = Stats::counter("test.stats.a");
+  EXPECT_EQ(&A, &B) << "same name must intern to the same counter";
+  A.add();
+  B.add(41);
+  EXPECT_EQ(A.value(), 42u);
+  Stats::reset();
+  EXPECT_EQ(A.value(), 0u) << "reset zeroes in place, identity survives";
+}
+
+TEST(Stats, HistogramBucketsMinMaxMean) {
+  Stats::reset();
+  StatHistogram &H = Stats::histogram("test.stats.hist");
+  for (std::uint64_t V : {0ull, 1ull, 2ull, 3ull, 1024ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1030u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1024u);
+  EXPECT_DOUBLE_EQ(H.mean(), 206.0);
+  // Power-of-two buckets: 0,1 -> bucket 0; 2,3 -> bucket 1; 1024 -> 10.
+  EXPECT_EQ(H.bucket(0), 2u);
+  EXPECT_EQ(H.bucket(1), 2u);
+  EXPECT_EQ(H.bucket(10), 1u);
+  Stats::reset();
+}
+
+TEST(Stats, SnapshotIsNameSortedAndSkipsNothing) {
+  Stats::reset();
+  Stats::counter("test.zz").add(7);
+  Stats::counter("test.aa").add(3);
+  auto Snap = Stats::snapshot();
+  // Name-sorted regardless of registration order.
+  for (std::size_t I = 1; I < Snap.size(); ++I)
+    EXPECT_LT(Snap[I - 1].Name, Snap[I].Name);
+  bool SawAa = false, SawZz = false;
+  for (const StatSnapshot &S : Snap) {
+    if (S.Name == "test.aa") {
+      SawAa = true;
+      EXPECT_EQ(S.Value, 3u);
+    }
+    if (S.Name == "test.zz") {
+      SawZz = true;
+      EXPECT_EQ(S.Value, 7u);
+    }
+  }
+  EXPECT_TRUE(SawAa);
+  EXPECT_TRUE(SawZz);
+  Stats::reset();
+}
+
+TEST(Stats, ReportSkipsZeroActivityAndIsDeterministic) {
+  Stats::reset();
+  Stats::counter("test.report.quiet"); // Registered, never bumped.
+  Stats::counter("test.report.busy").add(5);
+  std::string R1 = Stats::report();
+  std::string R2 = Stats::report();
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(R1.find("test.report.quiet"), std::string::npos);
+  EXPECT_NE(R1.find("test.report.busy"), std::string::npos);
+  Stats::reset();
+}
+
+TEST(Stats, ConcurrentAddsAreLossless) {
+  Stats::reset();
+  StatCounter &C = Stats::counter("test.stats.mt");
+  ThreadPool Pool(4);
+  Pool.parallelFor(1000, [&](std::size_t, unsigned) { C.add(); });
+  EXPECT_EQ(C.value(), 1000u);
+  Stats::reset();
+}
+
+TEST(Stats, PercentHelper) {
+  EXPECT_DOUBLE_EQ(Stats::percent(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Stats::percent(1, 3), 25.0);
+  EXPECT_DOUBLE_EQ(Stats::percent(5, 0), 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace: spans, capture, Chrome-trace JSON (support/Trace.h)
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace::clear();
+  ASSERT_FALSE(Trace::enabled());
+  {
+    TraceSpan S("noop", "test");
+    S.arg("k", "v");
+  }
+  Trace::instant("noop", "test");
+  EXPECT_TRUE(Trace::take().empty());
+}
+
+TEST(Trace, SpansAndInstantsRecordWhenEnabled) {
+  if (!Trace::compiledIn())
+    GTEST_SKIP() << "tracing compiled out (SLDB_TRACE=OFF)";
+  Trace::clear();
+  Trace::enable();
+  {
+    TraceSpan S("outer", "test");
+    S.arg("k", "v").arg("n", std::uint64_t(7));
+    TraceSpan Inner("inner", "test");
+  }
+  Trace::instant("mark", "test");
+  Trace::disable();
+  auto Events = Trace::take();
+  ASSERT_EQ(Events.size(), 3u);
+  // Spans are recorded at close: inner lands before outer.
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[0].Ph, 'X');
+  EXPECT_EQ(Events[1].Name, "outer");
+  ASSERT_EQ(Events[1].Args.size(), 2u);
+  EXPECT_EQ(Events[1].Args[0].first, "k");
+  EXPECT_EQ(Events[1].Args[0].second, "v");
+  EXPECT_EQ(Events[1].Args[1].second, "7");
+  EXPECT_EQ(Events[2].Name, "mark");
+  EXPECT_EQ(Events[2].Ph, 'i');
+  // The outer span covers the inner one.
+  EXPECT_LE(Events[1].Ts, Events[0].Ts);
+  EXPECT_GE(Events[1].Ts + Events[1].Dur, Events[0].Ts + Events[0].Dur);
+}
+
+TEST(Trace, CaptureDivertsAndRebasesTimestamps) {
+  if (!Trace::compiledIn())
+    GTEST_SKIP() << "tracing compiled out (SLDB_TRACE=OFF)";
+  Trace::clear();
+  Trace::enable();
+  Trace::instant("outside-before", "test");
+  std::vector<TraceEvent> Captured;
+  {
+    TraceCapture Cap;
+    Trace::instant("inside", "test");
+    { TraceSpan S("span", "test"); }
+    Captured = Cap.take();
+  }
+  Trace::instant("outside-after", "test");
+  Trace::disable();
+
+  ASSERT_EQ(Captured.size(), 2u);
+  EXPECT_EQ(Captured[0].Name, "inside");
+  EXPECT_EQ(Captured[1].Name, "span");
+
+  // The global buffer holds only the outside events.
+  auto Global = Trace::take();
+  ASSERT_EQ(Global.size(), 2u);
+  EXPECT_EQ(Global[0].Name, "outside-before");
+  EXPECT_EQ(Global[1].Name, "outside-after");
+}
+
+TEST(Trace, RenderJsonShapeAndEscaping) {
+  TraceEvent A;
+  A.Name = "with \"quotes\"\nand\tcontrol";
+  A.Cat = "test";
+  A.Ph = 'X';
+  A.Ts = 10;
+  A.Dur = 5;
+  A.Tid = 2;
+  A.Args.emplace_back("key", "va\\lue");
+  TraceEvent B;
+  B.Name = "first-by-tid";
+  B.Cat = "test";
+  B.Ph = 'i';
+  B.Ts = 99;
+  B.Tid = 1;
+  std::string J = Trace::renderJson({A, B});
+
+  // Escaping: the raw control characters never appear unescaped.
+  EXPECT_EQ(J.find('\t'), std::string::npos);
+  EXPECT_NE(J.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(J.find("\\n"), std::string::npos);
+  EXPECT_NE(J.find("\\t"), std::string::npos);
+  EXPECT_NE(J.find("\\\\lue"), std::string::npos);
+
+  // Ordering: events sorted by (tid, ts), so tid 1 renders first.
+  EXPECT_LT(J.find("first-by-tid"), J.find("quotes"));
+
+  // Document shape.
+  EXPECT_EQ(J.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(J.find("\"displayTimeUnit\""), std::string::npos);
+
+  // Empty document is still a valid trace.
+  std::string Empty = Trace::renderJson({});
+  EXPECT_EQ(Empty.rfind("{\"traceEvents\":[", 0), 0u);
+}
+
+TEST(Trace, WorkerStatsCountersExist) {
+  // The counters sldb-fuzz --worker-stats folds into its totals line;
+  // interning them here pins the names (a rename breaks this test, not
+  // silently the tool).
+  for (const char *Name :
+       {"classifier.queries", "classifier.cache.hits",
+        "classifier.cache.misses", "analysis.cache.hits",
+        "analysis.cache.misses", "pipeline.pass.runs",
+        "pipeline.pass.changed", "campaign.units"})
+    (void)Stats::counter(Name);
+  Stats::reset();
+  SUCCEED();
 }

@@ -21,7 +21,9 @@
 #include "fuzz/Campaign.h"
 #include "support/FaultInjector.h"
 #include "support/Sharder.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +52,7 @@ struct Options {
   unsigned ShardIndex = 0; ///< --shard i/k.
   unsigned ShardCount = 1;
   bool WorkerStats = false;
+  std::string TraceJson; ///< --trace-json FILE.
 };
 
 void usage() {
@@ -79,7 +82,11 @@ void usage() {
       "  --shard I/K     run only the I-th of K contiguous slices of the\n"
       "                  seed range (0-based; distributed campaigns)\n"
       "  --worker-stats  print per-worker throughput/steal/slowest-seed\n"
-      "                  stats to stderr after the campaign\n");
+      "                  stats plus the campaign-wide cache-hit/query\n"
+      "                  counters to stderr after the campaign\n"
+      "  --trace-json F  write the merged per-unit trace (Chrome trace\n"
+      "                  format, seed-major unit order, deterministic for\n"
+      "                  every --jobs value) to F\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long &Out) {
@@ -149,6 +156,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
     } else if (A == "--worker-stats") {
       O.WorkerStats = true;
+    } else if (A == "--trace-json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.TraceJson = V;
     } else {
       return false;
     }
@@ -182,15 +194,51 @@ int runRepro(const Options &O) {
 }
 
 /// Per-worker diagnostics, on stderr so campaign *reports* (stdout)
-/// stay byte-identical across --jobs values.
+/// stay byte-identical across --jobs values.  The trailing totals line
+/// folds in the process-wide Stats counters the campaign accumulated:
+/// classifier/analysis cache effectiveness and classifier queries per
+/// second of total worker busy time.  Isolated campaigns fork each unit,
+/// so the children's counters never reach this process and the totals
+/// read zero — same trade as the coverage accounting.
 void printWorkerStats(const std::vector<CampaignWorkerStats> &Workers) {
-  for (const CampaignWorkerStats &W : Workers)
+  std::uint64_t BusyUs = 0;
+  for (const CampaignWorkerStats &W : Workers) {
     std::fprintf(stderr,
                  "worker %u: %u unit(s) (%u stolen, queued %u), "
                  "%.1f units/s busy, slowest seed %u (%llu ms)\n",
                  W.Worker, W.Units, W.Steals, W.InitialQueue,
                  W.unitsPerSec(), W.SlowestSeed,
                  static_cast<unsigned long long>(W.SlowestUs / 1000));
+    BusyUs += W.BusyUs;
+  }
+  std::uint64_t Queries = Stats::counter("classifier.queries").value();
+  std::uint64_t CH = Stats::counter("classifier.cache.hits").value();
+  std::uint64_t CM = Stats::counter("classifier.cache.misses").value();
+  std::uint64_t AH = Stats::counter("analysis.cache.hits").value();
+  std::uint64_t AM = Stats::counter("analysis.cache.misses").value();
+  std::fprintf(stderr,
+               "totals: %llu classifier queries (%.0f/s busy), "
+               "classifier cache %.1f%% hit, analysis cache %.1f%% hit\n",
+               static_cast<unsigned long long>(Queries),
+               BusyUs ? 1e6 * static_cast<double>(Queries) /
+                            static_cast<double>(BusyUs)
+                      : 0.0,
+               Stats::percent(CH, CM), Stats::percent(AH, AM));
+}
+
+/// Writes the merged campaign trace (--trace-json).  Returns false (and
+/// complains) on I/O failure.
+bool writeTraceFile(const std::string &Path,
+                    const std::vector<TraceEvent> &Events) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (Out)
+    Out << Trace::renderJson(Events);
+  if (!Out) {
+    std::fprintf(stderr, "sldb-fuzz: cannot write trace file '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  return true;
 }
 
 int runInject(const Options &O) {
@@ -206,6 +254,7 @@ int runInject(const Options &O) {
   C.Jobs = O.Jobs;
   C.ShardIndex = O.ShardIndex;
   C.ShardCount = O.ShardCount;
+  C.CollectTrace = !O.TraceJson.empty();
   InjectCampaignResult R = runInjectCampaign(C);
   if (!R.ConfigError.empty()) {
     std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
@@ -213,6 +262,8 @@ int runInject(const Options &O) {
   }
   if (O.WorkerStats)
     printWorkerStats(R.Workers);
+  if (!O.TraceJson.empty() && !writeTraceFile(O.TraceJson, R.Trace))
+    return 2;
 
   unsigned Defended = 0;
   for (const FaultPoint &P : FaultInjector::points())
@@ -251,6 +302,14 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+  if (!O.TraceJson.empty()) {
+    if (!Trace::compiledIn())
+      std::fprintf(stderr,
+                   "sldb-fuzz: note: tracing compiled out (SLDB_TRACE=OFF); "
+                   "'%s' will hold an empty trace\n",
+                   O.TraceJson.c_str());
+    Trace::enable();
+  }
 
   if (O.DumpSeed >= 0) {
     std::string Src =
@@ -276,6 +335,7 @@ int main(int Argc, char **Argv) {
   C.Jobs = O.Jobs;
   C.ShardIndex = O.ShardIndex;
   C.ShardCount = O.ShardCount;
+  C.CollectTrace = !O.TraceJson.empty();
   CampaignResult R = runCampaign(C);
   if (!R.ConfigError.empty()) {
     std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
@@ -283,6 +343,8 @@ int main(int Argc, char **Argv) {
   }
   if (O.WorkerStats)
     printWorkerStats(R.Workers);
+  if (!O.TraceJson.empty() && !writeTraceFile(O.TraceJson, R.Trace))
+    return 2;
 
   std::printf("programs:      %u (%u lockstep runs)\n", R.Programs,
               R.Runs);

@@ -17,7 +17,11 @@
 //   sldbc --pass-stats prog.mc        per-pass change counts + analysis
 //                                     cache hit/miss report (stderr)
 //   sldbc --verify-each prog.mc       run the IR verifier after every pass
+//   sldbc --trace-json=FILE prog.mc   write a Chrome-trace-format profile
+//                                     of the compile (+ debug session)
+//   sldbc --stats prog.mc             print the Stats registry (stderr)
 //   sldbc --debug prog.mc             interactive debugger (REPL)
+//   sldbc --debug --degrade-all ...   force the fail-safe degraded path
 //   sldbc --debug --cmd "b main 3" --cmd run --cmd scope prog.mc
 //
 // REPL commands:
@@ -25,6 +29,8 @@
 //   run                       start the program
 //   c|continue                resume after a breakpoint
 //   p|print <var>             classify + display one variable
+//   explain <var>             provenance chain behind the classification
+//   explainj <var>            the same, as one-line machine-readable JSON
 //   scope                     classify + display all locals in scope
 //   where                     current function / statement / address
 //   stmts                     statement map of the current function
@@ -40,6 +46,8 @@
 #include "ir/IRGen.h"
 #include "ir/IRPrinter.h"
 #include "opt/Pass.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -61,6 +69,9 @@ struct Options {
   bool TimePasses = false;
   bool PassStats = false;
   bool VerifyEach = false;
+  bool PrintStats = false;
+  bool DegradeAll = false;
+  std::string TraceJson;
   std::uint64_t Fuel = 50'000'000;
   std::vector<std::string> ScriptedCommands;
 };
@@ -70,6 +81,7 @@ void usage() {
                "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
+               "             [--trace-json=FILE] [--stats] [--degrade-all]\n"
                "             [--fuel N] [--cmd <repl-command>]... <file.mc>\n");
 }
 
@@ -92,6 +104,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.PassStats = true;
     } else if (A == "--verify-each") {
       Opts.VerifyEach = true;
+    } else if (A.rfind("--trace-json=", 0) == 0) {
+      Opts.TraceJson = A.substr(13);
+      if (Opts.TraceJson.empty()) {
+        std::fprintf(stderr, "--trace-json needs a file name\n");
+        return false;
+      }
+    } else if (A == "--stats") {
+      Opts.PrintStats = true;
+    } else if (A == "--degrade-all") {
+      Opts.DegradeAll = true;
     } else if (A == "--debug") {
       Opts.Emit = "debug";
     } else if (A == "--fuel") {
@@ -279,6 +301,18 @@ int replLoop(Debugger &Dbg, const Options &Opts) {
         printVarReport(*R);
       continue;
     }
+    if (Verb == "explain" || Verb == "explainj") {
+      std::string Var;
+      In >> Var;
+      auto E = Dbg.explainVariable(Var);
+      if (!E)
+        std::printf("no variable '%s' in scope\n", Var.c_str());
+      else if (Verb == "explainj")
+        std::printf("%s\n", Dbg.explainJson(*E).c_str());
+      else
+        std::printf("%s", Dbg.explainText(*E).c_str());
+      continue;
+    }
     if (Verb == "scope") {
       for (const VarReport &R : Dbg.reportScope())
         printVarReport(R);
@@ -309,17 +343,40 @@ int replLoop(Debugger &Dbg, const Options &Opts) {
   }
 }
 
+/// Flushes the observability outputs on every exit path past argument
+/// parsing: the Stats report to stderr, the collected trace to
+/// --trace-json.  Returns the final exit status.
+int finish(int RC, const Options &Opts) {
+  if (Opts.PrintStats)
+    std::fprintf(stderr, "%s", Stats::report().c_str());
+  if (!Opts.TraceJson.empty() && !Trace::writeJsonFile(Opts.TraceJson)) {
+    std::fprintf(stderr, "cannot write trace file '%s'\n",
+                 Opts.TraceJson.c_str());
+    if (RC == 0)
+      RC = 1;
+  }
+  return RC;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
+  if (!Opts.TraceJson.empty()) {
+    if (!Trace::compiledIn())
+      std::fprintf(stderr,
+                   "note: tracing compiled out (SLDB_TRACE=OFF); '%s' will "
+                   "hold an empty trace\n",
+                   Opts.TraceJson.c_str());
+    Trace::enable();
+  }
 
   std::ifstream File(Opts.InputFile);
   if (!File) {
     std::fprintf(stderr, "cannot open '%s'\n", Opts.InputFile.c_str());
-    return 2;
+    return finish(2, Opts);
   }
   std::stringstream Buf;
   Buf << File.rdbuf();
@@ -329,12 +386,12 @@ int main(int Argc, char **Argv) {
   auto Module = compileToIR(Source, Diags);
   if (!Module) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
+    return finish(1, Opts);
   }
 
   if (Opts.Emit == "ir") {
     std::printf("%s", printModule(*Module).c_str());
-    return 0;
+    return finish(0, Opts);
   }
 
   if (Opts.Optimize) {
@@ -346,7 +403,7 @@ int main(int Argc, char **Argv) {
       Status PS = runPipelineEx(*Module, OptOptions::all(), Config, &Stats);
       if (!PS.ok()) {
         std::fprintf(stderr, "error: %s\n", PS.str().c_str());
-        return 1;
+        return finish(1, Opts);
       }
       if (Opts.TimePasses || Opts.PassStats) {
         std::fprintf(stderr, "%-45s %6s %8s", "pass", "runs", "changed");
@@ -384,14 +441,14 @@ int main(int Argc, char **Argv) {
       Status PS = runPipelineEx(*Module, OptOptions::all(), PipelineConfig());
       if (!PS.ok()) {
         std::fprintf(stderr, "error: %s\n", PS.str().c_str());
-        return 1;
+        return finish(1, Opts);
       }
     }
   }
 
   if (Opts.Emit == "ir-opt") {
     std::printf("%s", printModule(*Module).c_str());
-    return 0;
+    return finish(0, Opts);
   }
 
   CodegenOptions CG;
@@ -400,24 +457,26 @@ int main(int Argc, char **Argv) {
   Expected<MachineModule> MME = compileToMachineE(*Module, CG);
   if (!MME) {
     std::fprintf(stderr, "error: %s\n", MME.status().str().c_str());
-    return 1;
+    return finish(1, Opts);
   }
   MachineModule &MM = *MME;
 
   if (Opts.Emit == "asm") {
     for (const MachineFunction &F : MM.Funcs)
       std::printf("%s\n", printMachineFunction(F, MM.Info).c_str());
-    return 0;
+    return finish(0, Opts);
   }
   if (Opts.Emit == "stmts") {
     for (const MachineFunction &F : MM.Funcs)
       printStmtMap(MM, F);
-    return 0;
+    return finish(0, Opts);
   }
 
   if (Opts.Emit == "debug") {
     Debugger Dbg(MM, Opts.Fuel);
-    return replLoop(Dbg, Opts);
+    if (Opts.DegradeAll)
+      Dbg.degradeAllVariables();
+    return finish(replLoop(Dbg, Opts), Opts);
   }
 
   // Default: run to completion.
@@ -426,10 +485,10 @@ int main(int Argc, char **Argv) {
   std::printf("%s", VM.outputText().c_str());
   if (R == StopReason::Trapped || R == StopReason::StepLimit) {
     std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
-    return 1;
+    return finish(1, Opts);
   }
   std::fprintf(stderr, "[%llu instructions, exit %lld]\n",
                static_cast<unsigned long long>(VM.instrCount()),
                static_cast<long long>(VM.exitValue()));
-  return static_cast<int>(VM.exitValue() & 0xff);
+  return finish(static_cast<int>(VM.exitValue() & 0xff), Opts);
 }
