@@ -1,0 +1,53 @@
+//===- bench/bench_crosslevel_sweep.cpp - Level-lattice sweep --*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+// Sweeps the eight benchmark programs across the whole pipeline-level
+// lattice (eval/Levels.h) and prints the quality-metrics table: line
+// coverage, variable availability, and endangerment per level, plus any
+// availability-regression candidates.  The timed benchmarks measure the
+// cost of one full-corpus sweep and of one single-program sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "eval/CrossLevel.h"
+
+using namespace sldb;
+
+static void printCrossLevelSweep() {
+  std::printf("Cross-level sweep: quality metrics per pipeline level\n"
+              "            (all %zu levels, eight-program corpus)\n",
+              pipelineLevels().size());
+  bench::rule();
+  CrossLevelReport R = sweepCorpus(benchmarkPrograms());
+  std::fputs(renderSweepReport(R).c_str(), stdout);
+  bench::rule('-', 84);
+  std::printf(
+      "A regression candidate names a (statement, variable) the debugger\n"
+      "shows at a more-optimized level but refuses at a less-optimized\n"
+      "one; `sldb-fuzz --oracle=crosslevel` judges candidates against the\n"
+      "lockstep ground-truth oracle.\n\n");
+}
+
+static void BM_SweepCorpusAllLevels(benchmark::State &State) {
+  const auto &Ps = benchmarkPrograms();
+  for (auto _ : State) {
+    CrossLevelReport R = sweepCorpus(Ps);
+    benchmark::DoNotOptimize(R.Programs);
+  }
+}
+BENCHMARK(BM_SweepCorpusAllLevels)->Unit(benchmark::kMillisecond);
+
+static void BM_SweepOneProgram(benchmark::State &State) {
+  const BenchProgram &P =
+      benchmarkPrograms()[static_cast<std::size_t>(State.range(0))];
+  for (auto _ : State) {
+    ProgramSweep S = sweepProgram(P.Name, P.Source);
+    benchmark::DoNotOptimize(S.Compiled);
+  }
+  State.SetLabel(P.Name);
+}
+BENCHMARK(BM_SweepOneProgram)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+SLDB_BENCH_MAIN(printCrossLevelSweep)

@@ -11,6 +11,31 @@ using namespace sldb;
 Debugger::Debugger(const MachineModule &MM, std::uint64_t MaxSteps)
     : MM(MM), VM(MM, MaxSteps) {
   Classifiers.resize(MM.Funcs.size());
+  StmtStarts.resize(MM.Funcs.size());
+}
+
+bool Debugger::isStmtStart(FuncId F, std::uint32_t Local) const {
+  std::vector<bool> &Starts = StmtStarts[F];
+  if (Starts.empty()) {
+    const MachineFunction &MF = MM.Funcs[F];
+    Starts.assign(MF.numInstrs() + 1, false);
+    for (std::int32_t A : MF.StmtAddr)
+      if (A >= 0 && static_cast<std::size_t>(A) < Starts.size())
+        Starts[static_cast<std::size_t>(A)] = true;
+  }
+  return Local < Starts.size() && Starts[Local];
+}
+
+StopReason Debugger::stepStmt() {
+  // Leave the current statement boundary first: execute at least one
+  // instruction before testing for a stop.
+  do {
+    StopReason R = VM.step();
+    if (R != StopReason::Running)
+      return R;
+  } while (!isStmtStart(VM.pc().Func, VM.pc().Local));
+  VM.noteStop();
+  return VM.state();
 }
 
 const Classifier &Debugger::classifier(FuncId F) const {
@@ -173,6 +198,27 @@ VarReport Debugger::reportVar(VarId V) const {
   }
   }
   return R;
+}
+
+bool Debugger::peekStorage(VarId V, bool &IsDouble, std::int64_t &I,
+                           double &D) const {
+  const MachineFunction &MF = MM.Funcs[VM.pc().Func];
+  const VarInfo &VI = MM.Info->var(V);
+  IsDouble = VI.Ty.isDouble();
+  VarStorage S;
+  if (VI.Storage == StorageKind::Global) {
+    S.K = VarStorage::Kind::GlobalMem;
+    auto It = MM.GlobalAddr.find(V);
+    if (It == MM.GlobalAddr.end())
+      return false;
+    S.GlobalAddr = It->second;
+  } else {
+    auto It = MF.Storage.find(V);
+    if (It == MF.Storage.end())
+      return false;
+    S = It->second;
+  }
+  return readStorage(S, IsDouble, I, D);
 }
 
 std::optional<VarReport> Debugger::queryVariable(

@@ -68,6 +68,19 @@ public:
   StopReason run() { return VM.run(); }
   StopReason resume() { return VM.resume(); }
 
+  /// Starts the program paused at main()'s first instruction (which is
+  /// the first statement's code address) without executing anything.
+  StopReason startPaused() { return VM.startPaused(); }
+
+  /// Source-level single step: executes instructions until the PC lands
+  /// on the *start address of any statement* (of whatever function
+  /// execution is in — stepping follows calls and returns), then stops
+  /// as if at a breakpoint.  Independent of the breakpoint set, so a
+  /// stepping session observes exactly the statement-boundary sequence
+  /// the line table induces.  Terminal stops (exit, trap, fuel) are
+  /// returned as-is.
+  StopReason stepStmt();
+
   Machine &machine() { return VM; }
   const MachineModule &module() const { return MM; }
 
@@ -100,6 +113,15 @@ public:
   /// Reports every local variable in scope at the current stop.
   std::vector<VarReport> reportScope() const;
 
+  /// Raw debug-table read of \p V's storage home at the current stop,
+  /// with no classification and no residence check: exactly what a
+  /// naive debugger would print.  The conservatism metric compares this
+  /// against the oracle's expected value to measure how often a
+  /// warning/refusal verdict hid a value that was actually there.
+  /// Returns false when the tables give the variable no location at all.
+  bool peekStorage(VarId V, bool &IsDouble, std::int64_t &I,
+                   double &D) const;
+
   /// Classifier of a function (exposed for the evaluation harness).
   /// Built on first use: a session stopping in a handful of functions
   /// never pays for the dataflow solves of the others.
@@ -112,9 +134,16 @@ private:
   bool readRecovery(const MRecovery &R, std::int64_t &I, double &D,
                     bool &IsDouble) const;
 
+  /// Whether \p Local is the start address of some statement of \p F
+  /// (lazily builds a per-function address set on first use).
+  bool isStmtStart(FuncId F, std::uint32_t Local) const;
+
   const MachineModule &MM;
   Machine VM;
   mutable std::vector<std::unique_ptr<Classifier>> Classifiers;
+  /// Per-function statement-start address sets for stepStmt(); built on
+  /// first step into the function (indexed by address, 1 = stmt start).
+  mutable std::vector<std::vector<bool>> StmtStarts;
   bool ForceDegraded = false; ///< Applied to lazily-built classifiers too.
 };
 

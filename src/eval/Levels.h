@@ -1,0 +1,86 @@
+//===- eval/Levels.h - The pipeline-configuration lattice -------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical table of optimization *levels*: named (OptOptions,
+/// PromoteVars) configurations shared by the coverage harness
+/// (eval/Measure), the cross-level sweep (eval/CrossLevel), the quality
+/// campaigns (fuzz/QualityCampaign), and the sldbc driver.  Levels used
+/// to be free-form strings in DebugCoverage reports; the table makes the
+/// label, the pass set, and the codegen mode one fact that cannot drift.
+///
+/// The table is a lattice under moreOptimized(): a level is more
+/// optimized than another when it enables a superset of its passes and
+/// at least its codegen promotion.  Single-pass levels are mutually
+/// incomparable; O2 is the top.  (PipelineConfig in opt/Pass.h is the
+/// *driver-knob* struct — verification, timing, caching — and is
+/// orthogonal to the level table, hence the distinct name.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_EVAL_LEVELS_H
+#define SLDB_EVAL_LEVELS_H
+
+#include "opt/Pass.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sldb {
+
+/// Every named pipeline configuration, in canonical report order:
+/// unoptimized, one level per single pass, then the combined pipelines.
+enum class PipelineLevel : std::uint8_t {
+  O0,        ///< No optimization, variables in frame slots.
+  ConstProp, ///< One single pass each, frame slots ...
+  CopyProp,
+  CSE,
+  PRE,
+  LICM,
+  PDE,
+  DCE,
+  BranchOpt,
+  IVOpt,
+  LoopPeel,
+  LoopUnroll,
+  O2nlFrame, ///< All passes minus peel/unroll (lockstep set), frame.
+  O2nl,      ///< The lockstep set with register promotion.
+  O2Frame,   ///< Everything, frame slots (Figure 5(a)).
+  O2,        ///< Everything, promoted (Figure 5(b)); the lattice top.
+};
+
+/// One row of the level table.
+struct LevelSpec {
+  PipelineLevel Level = PipelineLevel::O0;
+  const char *Name = "O0"; ///< Report label ("O0", "pre", "O2-frame", ...).
+  OptOptions Opts;         ///< IR pipeline pass selection.
+  bool Promote = false;    ///< CodegenOptions::PromoteVars.
+};
+
+/// The full table, in canonical order (index == enum value).
+const std::vector<LevelSpec> &pipelineLevels();
+
+/// Row lookup by enum.
+const LevelSpec &levelSpec(PipelineLevel L);
+
+/// Row lookup by report label; nullptr when unknown.
+const LevelSpec *findLevel(std::string_view Name);
+
+/// Strict partial order of the lattice: \p A enables every pass of
+/// \p B (and at least one more, or more promotion) and promotes at
+/// least as much.  Single-pass levels are mutually incomparable.
+bool moreOptimized(const LevelSpec &A, const LevelSpec &B);
+
+/// Whether the lockstep ground-truth oracle can judge the level
+/// dynamically: loop peeling/unrolling duplicate statements and break
+/// the syntactic stop pairing, so levels enabling either are
+/// static-sweep only.
+bool judgeable(const LevelSpec &S);
+
+} // namespace sldb
+
+#endif // SLDB_EVAL_LEVELS_H

@@ -129,22 +129,27 @@ sldb::measureClassificationAll(const std::vector<BenchProgram> &Corpus,
 }
 
 CoverageCounts sldb::measureCoverage(const std::vector<BenchProgram> &Corpus,
-                                     const OptOptions &Opts, bool Promote,
-                                     const std::string &Level) {
+                                     const LevelSpec &Level,
+                                     const CoverageOptions &MO) {
   CoverageCounts CC;
-  CC.Level = Level;
+  CC.Level = Level.Name;
   for (const BenchProgram &P : Corpus) {
     auto M = mustCompile(P);
-    mustRunPipeline(*M, P, Opts);
+    mustRunPipeline(*M, P, Level.Opts);
     CodegenOptions CG;
-    CG.PromoteVars = Promote;
+    CG.PromoteVars = Level.Promote;
+    CG.Schedule = MO.Schedule;
     MachineModule MM = compileToMachine(*M, CG);
     for (const MachineFunction &MF : MM.Funcs) {
       Classifier C(MF, *MM.Info);
+      if (MO.DegradeAll)
+        C.degradeAllVariables();
       const FuncInfo &FI = MM.Info->func(MF.Id);
+      CC.SrcStmts += MF.StmtAddr.size();
       for (StmtId S = 0; S < MF.StmtAddr.size(); ++S) {
         if (MF.StmtAddr[S] < 0)
           continue;
+        ++CC.CodeStmts;
         std::uint32_t Addr = static_cast<std::uint32_t>(MF.StmtAddr[S]);
         for (VarId V : FI.Stmts[S].ScopeVars) {
           Classification R = C.classify(Addr, V);
@@ -168,6 +173,8 @@ CoverageCounts sldb::measureCoverage(const std::vector<BenchProgram> &Corpus,
           }
           if (R.Recoverable)
             ++CC.Recovered;
+          if (R.Degraded)
+            ++CC.Degraded;
         }
       }
     }
@@ -193,6 +200,49 @@ std::string sldb::renderCoverageReport(const std::vector<CoverageCounts> &Rows) 
                   static_cast<unsigned long long>(R.Recovered),
                   static_cast<unsigned long long>(R.endangered()),
                   R.pctDebuggable());
+    S += Buf;
+  }
+  return S;
+}
+
+std::string sldb::renderLevelReport(const std::vector<CoverageCounts> &Rows) {
+  std::string S = "level       points current   recov  endangered  nonres "
+                  "degraded  linecov%  avail%\n";
+  char Buf[192];
+  for (const CoverageCounts &R : Rows) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-10s %7llu %7llu  %6llu      %6llu  %6llu   %6llu"
+                  "    %6.2f  %6.2f\n",
+                  R.Level.c_str(),
+                  static_cast<unsigned long long>(R.Points),
+                  static_cast<unsigned long long>(R.Current),
+                  static_cast<unsigned long long>(R.Recovered),
+                  static_cast<unsigned long long>(R.endangered()),
+                  static_cast<unsigned long long>(R.Nonresident),
+                  static_cast<unsigned long long>(R.Degraded),
+                  R.pctLineCoverage(), R.pctDebuggable());
+    S += Buf;
+  }
+  return S;
+}
+
+std::string sldb::renderConservatismReport(
+    const std::vector<ConservatismCounts> &Rows) {
+  std::string S = "level       noncur(match)  suspect(match)  nonres(match)"
+                  "  conservatism%\n";
+  char Buf[192];
+  for (const ConservatismCounts &R : Rows) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-10s %6llu (%5llu)  %6llu (%5llu)  %5llu (%5llu)"
+                  "         %6.2f\n",
+                  R.Level.c_str(),
+                  static_cast<unsigned long long>(R.Noncurrent),
+                  static_cast<unsigned long long>(R.NoncurrentMatched),
+                  static_cast<unsigned long long>(R.Suspect),
+                  static_cast<unsigned long long>(R.SuspectMatched),
+                  static_cast<unsigned long long>(R.Nonresident),
+                  static_cast<unsigned long long>(R.NonresidentMatched),
+                  R.rate());
     S += Buf;
   }
   return S;

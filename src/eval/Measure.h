@@ -25,6 +25,7 @@
 #ifndef SLDB_EVAL_MEASURE_H
 #define SLDB_EVAL_MEASURE_H
 
+#include "eval/Levels.h"
 #include "eval/Programs.h"
 #include "opt/Pass.h"
 
@@ -90,7 +91,7 @@ measureClassificationAll(const std::vector<BenchProgram> &Corpus,
 /// averages above) diff exactly, so the rendered report is golden-tested
 /// (tests/golden/coverage.txt).
 struct CoverageCounts {
-  std::string Level;        ///< Configuration label ("O0", "O2-frame", ...).
+  std::string Level;        ///< Level label (eval/Levels.h name table).
   std::uint64_t Points = 0; ///< (breakpoint, variable) pairs classified.
   std::uint64_t Uninitialized = 0;
   std::uint64_t Nonresident = 0;
@@ -98,6 +99,15 @@ struct CoverageCounts {
   std::uint64_t Suspect = 0;
   std::uint64_t Current = 0;
   std::uint64_t Recovered = 0; ///< Points shown via recovery (paper §2.5).
+
+  /// Quality metrics beyond the Figure-1 class counts: line coverage
+  /// (how much of the statement/line table survived optimization) and
+  /// the degraded subset (points classified by a classifier that failed
+  /// annotation verification — covered conservatively, never
+  /// accurately).
+  std::uint64_t SrcStmts = 0;  ///< Statement-table rows (source lines).
+  std::uint64_t CodeStmts = 0; ///< Rows that kept a code address.
+  std::uint64_t Degraded = 0;  ///< Points classified in degraded mode.
 
   std::uint64_t endangered() const { return Noncurrent + Suspect; }
   /// Share of points the debugger can show truthfully without a warning:
@@ -107,17 +117,95 @@ struct CoverageCounts {
                         static_cast<double>(Points)
                   : 0.0;
   }
+  /// Share of source statements still present in the line table.
+  double pctLineCoverage() const {
+    return SrcStmts ? 100.0 * static_cast<double>(CodeStmts) /
+                          static_cast<double>(SrcStmts)
+                    : 0.0;
+  }
+
+  /// Sums another row's counts into this one (Level label is kept).
+  void add(const CoverageCounts &O) {
+    Points += O.Points;
+    Uninitialized += O.Uninitialized;
+    Nonresident += O.Nonresident;
+    Noncurrent += O.Noncurrent;
+    Suspect += O.Suspect;
+    Current += O.Current;
+    Recovered += O.Recovered;
+    SrcStmts += O.SrcStmts;
+    CodeStmts += O.CodeStmts;
+    Degraded += O.Degraded;
+  }
+};
+
+/// Knobs orthogonal to the level itself.
+struct CoverageOptions {
+  /// Schedule instructions in codegen.  The cross-level sweep turns this
+  /// off so its statically-classified builds are the same builds the
+  /// lockstep oracle judges (fuzz/Oracle.cpp compiles with Schedule off).
+  bool Schedule = true;
+
+  /// Force every classifier into degraded mode (the annotation-failure
+  /// fail-safe): verdicts must stay conservative, so the counts land in
+  /// Degraded and never in Current/Recovered.
+  bool DegradeAll = false;
 };
 
 /// Classifies every (breakpoint, in-scope local) point of the corpus
-/// under one configuration and sums the per-class counts.
+/// under one level of the pipeline lattice and sums the per-class
+/// counts.
 CoverageCounts measureCoverage(const std::vector<BenchProgram> &Corpus,
-                               const OptOptions &Opts, bool Promote,
-                               const std::string &Level);
+                               const LevelSpec &Level,
+                               const CoverageOptions &MO = {});
 
 /// Renders coverage rows as the fixed-width report golden-tested in
 /// tests/golden/coverage.txt (one line per optimization level).
 std::string renderCoverageReport(const std::vector<CoverageCounts> &Rows);
+
+/// Renders the extended quality-metrics table (line coverage, variable
+/// availability, degraded share) for a full level sweep; golden-tested
+/// under tests/golden/crosslevel/.
+std::string renderLevelReport(const std::vector<CoverageCounts> &Rows);
+
+/// Measured conservatism at one level, from lockstep ground truth: of
+/// the warning/refusal verdicts (Noncurrent, Suspect, Nonresident), how
+/// many observations had the expected value sitting in the variable's
+/// storage home anyway — the verdict was honest but conservative, and a
+/// cleverer debugger could have shown the value.
+struct ConservatismCounts {
+  std::string Level;
+  std::uint64_t Noncurrent = 0, NoncurrentMatched = 0;
+  std::uint64_t Suspect = 0, SuspectMatched = 0;
+  std::uint64_t Nonresident = 0, NonresidentMatched = 0;
+
+  std::uint64_t total() const { return Noncurrent + Suspect + Nonresident; }
+  std::uint64_t matched() const {
+    return NoncurrentMatched + SuspectMatched + NonresidentMatched;
+  }
+  /// The conservatism rate: share of conservative verdicts whose value
+  /// was actually recoverable per ground truth (percent).
+  double rate() const {
+    return total() ? 100.0 * static_cast<double>(matched()) /
+                         static_cast<double>(total())
+                   : 0.0;
+  }
+
+  /// Sums another row's counts into this one (Level label is kept).
+  void add(const ConservatismCounts &O) {
+    Noncurrent += O.Noncurrent;
+    NoncurrentMatched += O.NoncurrentMatched;
+    Suspect += O.Suspect;
+    SuspectMatched += O.SuspectMatched;
+    Nonresident += O.Nonresident;
+    NonresidentMatched += O.NonresidentMatched;
+  }
+};
+
+/// Renders conservatism rows as a fixed-width table (one line per
+/// level); golden-tested under tests/golden/crosslevel/.
+std::string
+renderConservatismReport(const std::vector<ConservatismCounts> &Rows);
 
 /// Table 3 substitute: dynamic instruction counts on the R3K simulator.
 struct CodeQuality {

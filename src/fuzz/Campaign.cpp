@@ -70,6 +70,8 @@ std::string sldb::renderFailure(const CampaignFailure &F) {
   S += "// promote-vars: " + std::string(F.Promote ? "on" : "off") + "\n";
   if (!F.FaultName.empty())
     S += "// injected-fault: " + F.FaultName + "\n";
+  if (!F.Level.empty())
+    S += "// level: " + F.Level + "\n";
   if (!F.ProcessOutcome.empty())
     S += "// process-outcome: " + F.ProcessOutcome + "\n";
   for (const Violation &V : F.Violations)

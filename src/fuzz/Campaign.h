@@ -104,6 +104,10 @@ struct CampaignFailure {
 
   /// Fault point armed for the run (inject campaigns; empty otherwise).
   std::string FaultName;
+
+  /// Pipeline level of the run (cross-level campaigns; empty for the
+  /// default lockstep configuration).
+  std::string Level;
 };
 
 /// How much of the optimizer the corpus actually exercised.

@@ -28,6 +28,10 @@ const char *sldb::violationKindName(ViolationKind K) {
     return "process-crash";
   case ViolationKind::ProcessHang:
     return "process-hang";
+  case ViolationKind::PhantomStop:
+    return "phantom-stop";
+  case ViolationKind::VanishedStop:
+    return "vanished-stop";
   }
   return "?";
 }

@@ -59,7 +59,14 @@ enum class ViolationKind : std::uint8_t {
   /// The check's child process died on a signal (isolated campaigns).
   ProcessCrash,
   /// The check's child process exceeded the watchdog and was killed.
-  ProcessHang
+  ProcessHang,
+  /// Stepping oracle: the optimized build stops at a statement more often
+  /// than the source semantics executes it (phantom line-table entry).
+  PhantomStop,
+  /// Stepping oracle: a statement the source executes, and for which the
+  /// optimized build emitted code, is never stopped at (vanished from the
+  /// step sequence).
+  VanishedStop
 };
 
 const char *violationKindName(ViolationKind K);

@@ -247,6 +247,8 @@ LockstepResult sldb::runLockstep(std::string_view Src,
       VO.OptTableResident =
           tableResident(MF2, *MM2.Info, Addr2, Scope2[I].Var);
       VO.ExpectedInitAllPaths = Init[Stop.Func]->at(AddrO, ScopeO[I].Var);
+      VO.RawValid = Opt.peekStorage(Scope2[I].Var, VO.RawIsDouble,
+                                    VO.RawInt, VO.RawDouble);
       Stop.Vars.push_back(std::move(VO));
     }
     if (!R.PairError.empty())

@@ -51,6 +51,16 @@ struct VarObservation {
   /// source semantics.  (The some-path case is left alone: branch
   /// folding may legitimately remove a some-path definition.)
   bool ExpectedInitAllPaths = false;
+
+  /// Raw contents of the variable's storage home in the optimized build,
+  /// read with no residence check (Debugger::peekStorage) — what a naive
+  /// debugger would have printed.  Feeds the conservatism metric: a
+  /// Suspect/Nonresident verdict whose raw value nevertheless equals the
+  /// expected value was conservative, not necessary.
+  bool RawValid = false;
+  bool RawIsDouble = false;
+  std::int64_t RawInt = 0;
+  double RawDouble = 0.0;
 };
 
 /// One paired statement-boundary stop.

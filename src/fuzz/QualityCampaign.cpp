@@ -1,0 +1,543 @@
+//===- fuzz/QualityCampaign.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Same parallel execution model as Campaign.cpp: independent units —
+// (seed, promote-mode) for the stepping campaign, one seed for the
+// cross-level campaign — write their outcomes into slots indexed by
+// canonical seed-major order, and a single-threaded merge walks the
+// slots in that order.  Reports are byte-identical for any --jobs value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/QualityCampaign.h"
+
+#include "fuzz/Reduce.h"
+#include "support/Sharder.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+
+using namespace sldb;
+
+namespace {
+
+/// Config validation, identical contract to Campaign.cpp's: the seed
+/// range must not wrap and the shard spec must be in range.
+std::string configError(std::uint32_t Seed, unsigned Count,
+                        unsigned ShardIndex, unsigned ShardCount) {
+  const std::uint64_t Last =
+      static_cast<std::uint64_t>(Seed) + (Count ? Count - 1 : 0);
+  if (Last > std::numeric_limits<std::uint32_t>::max())
+    return "seed range overflows 32 bits: --seed " + std::to_string(Seed) +
+           " --count " + std::to_string(Count) + " reaches seed " +
+           std::to_string(Last) +
+           " > 4294967295; later seeds would wrap and re-run earlier "
+           "programs (double-counting coverage) — split the range or "
+           "lower --seed/--count";
+  if (ShardCount == 0)
+    return "shard count must be >= 1";
+  if (ShardIndex >= ShardCount)
+    return "shard index " + std::to_string(ShardIndex) +
+           " out of range for " + std::to_string(ShardCount) + " shard(s)";
+  return "";
+}
+
+/// Merge-time reproducer writer (as Campaign.cpp): the stem encodes
+/// (seed, mode, level); numeric suffixes keep unexpected collisions.
+std::string writeReproducerDeduped(const CampaignFailure &F,
+                                   const std::string &Dir,
+                                   std::set<std::string> &UsedPaths) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string Stem = Dir + "/seed-" + std::to_string(F.Seed) +
+                     (F.Level.empty() ? "" : "-" + F.Level) +
+                     (F.Promote ? "-promote" : "-frame");
+  std::string Path = Stem + ".minic";
+  for (unsigned N = 2; !UsedPaths.insert(Path).second; ++N)
+    Path = Stem + "-" + std::to_string(N) + ".minic";
+  std::ofstream Out(Path);
+  Out << renderFailure(F);
+  return Path;
+}
+
+std::vector<CampaignWorkerStats>
+toCampaignStats(const std::vector<WorkerStats> &WS,
+                const std::function<std::uint32_t(std::size_t)> &SeedOfUnit) {
+  std::vector<CampaignWorkerStats> Out;
+  Out.reserve(WS.size());
+  for (const WorkerStats &S : WS) {
+    CampaignWorkerStats C;
+    C.Worker = S.Worker;
+    C.Units = S.Tasks;
+    C.Steals = S.Steals;
+    C.InitialQueue = S.InitialQueue;
+    C.BusyUs = S.BusyUs;
+    C.SlowestUs = S.SlowestUs;
+    if (S.SlowestIndex != SIZE_MAX)
+      C.SlowestSeed = SeedOfUnit(S.SlowestIndex);
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Stepping campaign
+//===----------------------------------------------------------------------===//
+
+std::vector<Violation> sldb::checkStepProgram(const std::string &Src,
+                                              bool Promote,
+                                              unsigned MaxEvents) {
+  StepOracleOptions O;
+  O.Promote = Promote;
+  O.MaxEvents = MaxEvents;
+  StepResult R = runStepLockstep(Src, O);
+  if (!R.Compiled)
+    return {{ViolationKind::LockstepDiverged, InvalidFunc, InvalidStmt, "",
+             "does not compile: " + R.CompileError}};
+  return checkStepping(R);
+}
+
+namespace {
+
+/// Shrink predicate for stepping failures: still a violation of the
+/// original kind (statement ids may move under the shrinker).
+bool stepKindStillFails(const std::string &Candidate, bool Promote,
+                        ViolationKind Kind, unsigned MaxEvents) {
+  for (const Violation &V : checkStepProgram(Candidate, Promote, MaxEvents))
+    if (V.Kind == Kind &&
+        V.Detail.rfind("does not compile", 0) == std::string::npos)
+      return true;
+  return false;
+}
+
+/// One (seed, mode) stepping unit's outcome.
+struct StepOutcome {
+  bool Ran = false;
+  bool CompileFail = false;
+  bool Capped = false;
+  bool HasFailure = false;
+  std::uint64_t Stmts = 0;
+  CampaignFailure F;
+};
+
+StepOutcome runStepUnit(const StepCampaignConfig &C, std::uint32_t Seed,
+                        bool Promote) {
+  Stats::counter("campaign.units").add();
+  StepOutcome O;
+  std::string Src = generateProgram(Seed, C.Gen);
+
+  StepOracleOptions SO;
+  SO.Promote = Promote;
+  SO.MaxEvents = C.MaxEvents;
+  SO.Fuel = C.Fuel;
+  StepResult R = runStepLockstep(Src, SO);
+  O.Ran = true;
+
+  if (!R.Compiled) {
+    O.CompileFail = true;
+    O.F.Seed = Seed;
+    O.F.Promote = Promote;
+    O.F.Source = Src;
+    O.F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
+                       InvalidStmt, "",
+                       "generated program does not compile: " +
+                           R.CompileError}};
+    return O;
+  }
+  O.Capped = R.Capped;
+  O.Stmts = R.Visits.size();
+  Stats::histogram("step.visit_rows").record(R.Visits.size());
+
+  std::vector<Violation> Vs = checkStepping(R);
+  if (Vs.empty())
+    return O;
+
+  O.F.Seed = Seed;
+  O.F.Promote = Promote;
+  O.F.Source = Src;
+  O.F.Violations = std::move(Vs);
+  if (C.Shrink) {
+    ViolationKind Kind = O.F.Violations.front().Kind;
+    O.F.Reduced = reduceProgram(
+        Src,
+        [&](const std::string &Cand) {
+          return stepKindStillFails(Cand, Promote, Kind, C.MaxEvents);
+        },
+        /*MaxChecks=*/400);
+  }
+  O.HasFailure = true;
+  return O;
+}
+
+} // namespace
+
+StepCampaignResult sldb::runStepCampaign(const StepCampaignConfig &C) {
+  StepCampaignResult R;
+  R.ConfigError = configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+  if (!R.ConfigError.empty())
+    return R;
+
+  const ShardRange Shard =
+      Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);
+  const unsigned Modes = C.BothPromoteModes ? 2 : 1;
+  const std::size_t NumUnits = Shard.size() * Modes;
+
+  auto SeedOfUnit = [&](std::size_t U) {
+    return static_cast<std::uint32_t>(C.Seed + Shard.Begin + U / Modes);
+  };
+  auto PromoteOfUnit = [&](std::size_t U) {
+    return C.BothPromoteModes ? (U % Modes) == 0 : C.Promote;
+  };
+
+  std::vector<StepOutcome> Out(NumUnits);
+  ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        Out[U] = runStepUnit(C, SeedOfUnit(U), PromoteOfUnit(U));
+      });
+  R.Workers = toCampaignStats(WS, SeedOfUnit);
+
+  std::set<std::string> UsedPaths;
+  for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
+    ++R.Programs;
+    for (unsigned M = 0; M < Modes; ++M) {
+      StepOutcome &O = Out[SI * Modes + M];
+      if (O.Ran)
+        ++R.Runs;
+      if (O.CompileFail) {
+        ++R.FailedCompiles;
+        R.Failures.push_back(std::move(O.F));
+        break; // The other mode cannot compile either.
+      }
+      if (O.Capped)
+        ++R.CappedRuns;
+      R.StmtsChecked += O.Stmts;
+      if (O.HasFailure) {
+        if (C.WriteFailures)
+          O.F.Path = writeReproducerDeduped(O.F, C.FailureDir, UsedPaths);
+        R.Failures.push_back(std::move(O.F));
+      }
+    }
+  }
+  return R;
+}
+
+std::string sldb::renderStepCampaignReport(const StepCampaignResult &R) {
+  if (!R.ConfigError.empty())
+    return "config error: " + R.ConfigError + "\n";
+  std::string S;
+  S += "programs:       " + std::to_string(R.Programs) + "\n";
+  S += "stepping runs:  " + std::to_string(R.Runs) + "\n";
+  S += "stmts checked:  " + std::to_string(R.StmtsChecked) + "\n";
+  S += "capped runs:    " + std::to_string(R.CappedRuns) + "\n";
+  S += "failed compiles:" + std::string(" ") +
+       std::to_string(R.FailedCompiles) + "\n";
+  S += "failures:       " + std::to_string(R.Failures.size()) + "\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-level campaign
+//===----------------------------------------------------------------------===//
+
+const char *sldb::judgmentName(JudgedRegression::Judgment J) {
+  switch (J) {
+  case JudgedRegression::Judgment::Explained:
+    return "explained";
+  case JudgedRegression::Judgment::Unexplained:
+    return "UNEXPLAINED";
+  case JudgedRegression::Judgment::Unjudged:
+    return "unjudged";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Accumulates one lockstep run's observations into a level's measured
+/// conservatism.  Only observations with a trustworthy expected value
+/// participate; verdicts already shown via recovery are not
+/// conservative — the debugger displayed the value.
+void accumulateConservatism(ConservatismCounts &CC,
+                            const LockstepResult &LR) {
+  for (const StopObservation &Stop : LR.Stops)
+    for (const VarObservation &V : Stop.Vars) {
+      const VarReport &E = V.Expected;
+      if (!E.HasValue || E.Class.Kind == VarClass::Uninitialized)
+        continue;
+      if (V.Opt.Class.Recoverable)
+        continue;
+      auto Matches = [&](bool IsD, std::int64_t I, double D) {
+        if (IsD != E.IsDouble)
+          return false;
+        return IsD ? D == E.DoubleValue : I == E.IntValue;
+      };
+      switch (V.Opt.Class.Kind) {
+      case VarClass::Noncurrent:
+        ++CC.Noncurrent;
+        if (V.Opt.HasValue &&
+            Matches(V.Opt.IsDouble, V.Opt.IntValue, V.Opt.DoubleValue))
+          ++CC.NoncurrentMatched;
+        break;
+      case VarClass::Suspect:
+        ++CC.Suspect;
+        if (V.Opt.HasValue &&
+            Matches(V.Opt.IsDouble, V.Opt.IntValue, V.Opt.DoubleValue))
+          ++CC.SuspectMatched;
+        break;
+      case VarClass::Nonresident:
+        // The verdict displays nothing; the *raw* storage home is the
+        // what-if: would a naive debugger have printed the right value?
+        ++CC.Nonresident;
+        if (V.RawValid && Matches(V.RawIsDouble, V.RawInt, V.RawDouble))
+          ++CC.NonresidentMatched;
+        break;
+      default:
+        break;
+      }
+    }
+}
+
+/// Lockstep judgment of one program at one level (shrink predicate).
+std::vector<Violation> levelCheck(const std::string &Src,
+                                  const LevelSpec &Spec, unsigned MaxStops,
+                                  std::uint64_t Fuel) {
+  LockstepOptions LO;
+  LO.Opts = Spec.Opts;
+  LO.Promote = Spec.Promote;
+  LO.MaxStops = MaxStops;
+  LO.Fuel = Fuel;
+  LockstepResult LR = runLockstep(Src, LO);
+  if (!LR.Compiled)
+    return {{ViolationKind::LockstepDiverged, InvalidFunc, InvalidStmt, "",
+             "does not compile: " + LR.CompileError}};
+  return checkSoundness(LR);
+}
+
+/// One seed's cross-level unit outcome.
+struct XLOutcome {
+  bool CompileFail = false;
+  unsigned LockstepRuns = 0;
+  unsigned UnsoundRuns = 0;
+  std::vector<CoverageCounts> Levels;         ///< All levels.
+  std::vector<ConservatismCounts> Cons;       ///< Judgeable levels.
+  std::vector<JudgedRegression> Regs;
+  std::vector<CampaignFailure> Failures;
+};
+
+XLOutcome runXLUnit(const CrossLevelCampaignConfig &C, std::uint32_t Seed) {
+  Stats::counter("campaign.units").add();
+  XLOutcome O;
+  std::string Src = generateProgram(Seed, C.Gen);
+  std::string Name = "seed-" + std::to_string(Seed);
+
+  ProgramSweep PS = sweepProgram(Name, Src);
+  if (!PS.Compiled) {
+    O.CompileFail = true;
+    CampaignFailure F;
+    F.Seed = Seed;
+    F.Source = Src;
+    F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
+                     InvalidStmt, "",
+                     "generated program does not compile: " +
+                         PS.CompileError}};
+    O.Failures.push_back(std::move(F));
+    return O;
+  }
+  O.Levels = std::move(PS.Levels);
+  Stats::histogram("crosslevel.candidates").record(PS.Regressions.size());
+
+  // One ground-truth run per judgeable level: soundness, conservatism,
+  // and the evidence base for judging this seed's candidates.
+  const auto &Table = pipelineLevels();
+  std::vector<std::vector<Violation>> LevelViolations(Table.size());
+  for (std::size_t L = 0; L < Table.size(); ++L) {
+    const LevelSpec &Spec = Table[L];
+    if (!judgeable(Spec))
+      continue;
+    LockstepOptions LO;
+    LO.Opts = Spec.Opts;
+    LO.Promote = Spec.Promote;
+    LO.MaxStops = C.MaxStops;
+    LO.Fuel = C.Fuel;
+    LockstepResult LR = runLockstep(Src, LO);
+    ++O.LockstepRuns;
+    if (!LR.Compiled) {
+      // The sweep compiled this program; a level refusing it now is a
+      // pipeline bug worth surfacing as an unsound run.
+      ++O.UnsoundRuns;
+      CampaignFailure F;
+      F.Seed = Seed;
+      F.Promote = Spec.Promote;
+      F.Source = Src;
+      F.Level = Spec.Name;
+      F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
+                       InvalidStmt, "",
+                       "compiles in the sweep but not under lockstep: " +
+                           LR.CompileError}};
+      O.Failures.push_back(std::move(F));
+      continue;
+    }
+
+    ConservatismCounts CC;
+    CC.Level = Spec.Name;
+    accumulateConservatism(CC, LR);
+    O.Cons.push_back(CC);
+    Stats::histogram("crosslevel.conservative_verdicts").record(CC.total());
+
+    LevelViolations[L] = checkSoundness(LR);
+    if (LevelViolations[L].empty())
+      continue;
+    ++O.UnsoundRuns;
+    CampaignFailure F;
+    F.Seed = Seed;
+    F.Promote = Spec.Promote;
+    F.Source = Src;
+    F.Level = Spec.Name;
+    F.Violations = LevelViolations[L];
+    if (C.Shrink) {
+      ViolationKind Kind = F.Violations.front().Kind;
+      F.Reduced = reduceProgram(
+          Src,
+          [&](const std::string &Cand) {
+            for (const Violation &V :
+                 levelCheck(Cand, Spec, C.MaxStops, C.Fuel))
+              if (V.Kind == Kind && V.Detail.rfind("does not compile", 0) ==
+                                        std::string::npos)
+                return true;
+            return false;
+          },
+          /*MaxChecks=*/400);
+    }
+    O.Failures.push_back(std::move(F));
+  }
+
+  // Judge the sweep's candidates against the ground truth at each
+  // candidate's More level.
+  for (AvailRegression &Reg : PS.Regressions) {
+    JudgedRegression J;
+    const LevelSpec &More = levelSpec(Reg.More);
+    if (!judgeable(More)) {
+      J.J = JudgedRegression::Judgment::Unjudged;
+    } else {
+      J.J = JudgedRegression::Judgment::Explained;
+      for (const Violation &V :
+           LevelViolations[static_cast<std::size_t>(Reg.More)])
+        if (isUnsoundViolation(V.Kind) && V.Func == Reg.Func &&
+            V.Stmt == Reg.Stmt && V.Var == Reg.VarName) {
+          J.J = JudgedRegression::Judgment::Unexplained;
+          break;
+        }
+    }
+    J.R = std::move(Reg);
+    O.Regs.push_back(std::move(J));
+  }
+  return O;
+}
+
+} // namespace
+
+CrossLevelCampaignResult
+sldb::runCrossLevelCampaign(const CrossLevelCampaignConfig &C) {
+  CrossLevelCampaignResult R;
+  R.ConfigError = configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+  if (!R.ConfigError.empty())
+    return R;
+
+  const auto &Table = pipelineLevels();
+  R.Levels.resize(Table.size());
+  for (std::size_t L = 0; L < Table.size(); ++L) {
+    R.Levels[L].Level = Table[L].Name;
+    if (judgeable(Table[L])) {
+      ConservatismCounts CC;
+      CC.Level = Table[L].Name;
+      R.Conservatism.push_back(CC);
+    }
+  }
+
+  const ShardRange Shard =
+      Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);
+  const std::size_t NumUnits = Shard.size();
+  auto SeedOfUnit = [&](std::size_t U) {
+    return static_cast<std::uint32_t>(C.Seed + Shard.Begin + U);
+  };
+
+  std::vector<XLOutcome> Out(NumUnits);
+  ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
+  std::vector<WorkerStats> WS =
+      Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        Out[U] = runXLUnit(C, SeedOfUnit(U));
+      });
+  R.Workers = toCampaignStats(WS, SeedOfUnit);
+
+  std::set<std::string> UsedPaths;
+  for (std::size_t U = 0; U < NumUnits; ++U) {
+    XLOutcome &O = Out[U];
+    ++R.Programs;
+    R.LockstepRuns += O.LockstepRuns;
+    R.UnsoundRuns += O.UnsoundRuns;
+    if (O.CompileFail)
+      ++R.CompileErrors;
+    for (std::size_t L = 0; L < O.Levels.size() && L < R.Levels.size(); ++L)
+      R.Levels[L].add(O.Levels[L]);
+    // Match by label: a level whose lockstep build failed produced no
+    // conservatism row for this seed, so indices may not align.
+    for (const ConservatismCounts &CC : O.Cons)
+      for (ConservatismCounts &Row : R.Conservatism)
+        if (Row.Level == CC.Level) {
+          Row.add(CC);
+          break;
+        }
+    for (JudgedRegression &J : O.Regs) {
+      if (J.J == JudgedRegression::Judgment::Unexplained)
+        ++R.Unexplained;
+      R.Regressions.push_back(std::move(J));
+    }
+    for (CampaignFailure &F : O.Failures) {
+      if (C.WriteFailures)
+        F.Path = writeReproducerDeduped(F, C.FailureDir, UsedPaths);
+      R.Failures.push_back(std::move(F));
+    }
+  }
+  return R;
+}
+
+std::string
+sldb::renderCrossLevelCampaignReport(const CrossLevelCampaignResult &R) {
+  if (!R.ConfigError.empty())
+    return "config error: " + R.ConfigError + "\n";
+  std::string S = renderLevelReport(R.Levels);
+  S += "\n";
+  S += renderConservatismReport(R.Conservatism);
+  S += "\n";
+  S += "programs: " + std::to_string(R.Programs) + ", lockstep runs: " +
+       std::to_string(R.LockstepRuns) + ", unsound runs: " +
+       std::to_string(R.UnsoundRuns);
+  if (R.CompileErrors)
+    S += ", compile errors: " + std::to_string(R.CompileErrors);
+  S += "\n";
+
+  unsigned Explained = 0, Unjudged = 0;
+  for (const JudgedRegression &J : R.Regressions) {
+    if (J.J == JudgedRegression::Judgment::Explained)
+      ++Explained;
+    else if (J.J == JudgedRegression::Judgment::Unjudged)
+      ++Unjudged;
+  }
+  S += "regressions: " + std::to_string(R.Regressions.size()) +
+       " candidate(s): " + std::to_string(Explained) + " explained, " +
+       std::to_string(Unjudged) + " unjudged, " +
+       std::to_string(R.Unexplained) + " unexplained\n";
+  for (const JudgedRegression &J : R.Regressions)
+    S += "  [" + std::string(judgmentName(J.J)) + "] " + J.R.str() + "\n";
+  return S;
+}

@@ -1,0 +1,166 @@
+//===- fuzz/QualityCampaign.h - Stepping & cross-level campaigns -*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two quality-oracle campaigns layered on the differential fuzzing
+/// infrastructure (`sldb-fuzz --oracle=step|crosslevel`):
+///
+///  * Stepping campaign — every seed through the stepping/line-table
+///    oracle (fuzz/StepOracle.h) in both promote modes, judging phantom
+///    and vanished statement boundaries.
+///
+///  * Cross-level campaign — every seed swept across the whole pipeline
+///    lattice (eval/CrossLevel.h), plus a lockstep ground-truth run at
+///    every *judgeable* level.  The lockstep runs serve three purposes:
+///    soundness at every level (not just the default heaviest pipeline),
+///    dynamic judgment of the sweep's availability-regression candidates
+///    (a candidate whose More level the oracle proves sound is
+///    *explained*; one where the oracle finds the shown value wrong is
+///    *unexplained* — the tier-1 failure), and the measured conservatism
+///    rate per level (Measure.h ConservatismCounts).
+///
+/// Both runners follow Campaign.cpp's determinism contract: independent
+/// units in index-keyed slots, merged in seed-major order — reports are
+/// byte-identical for any --jobs value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FUZZ_QUALITYCAMPAIGN_H
+#define SLDB_FUZZ_QUALITYCAMPAIGN_H
+
+#include "eval/CrossLevel.h"
+#include "fuzz/Campaign.h"
+#include "fuzz/StepOracle.h"
+
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+//===----------------------------------------------------------------------===//
+// Stepping campaign
+//===----------------------------------------------------------------------===//
+
+struct StepCampaignConfig {
+  std::uint32_t Seed = 1; ///< First seed; program i uses Seed + i.
+  unsigned Count = 200;
+  GenOptions Gen;
+
+  /// Run each program twice (promote / frame), as the diff campaign.
+  bool BothPromoteModes = true;
+  bool Promote = true; ///< Mode for single-mode campaigns.
+
+  bool Shrink = true;
+  bool WriteFailures = false;
+  std::string FailureDir = "fuzz-failures";
+
+  unsigned MaxEvents = 20000; ///< Per-build stop-event cap.
+  std::uint64_t Fuel = 50'000'000;
+
+  /// Pool / shard controls (Campaign.h determinism contract).
+  unsigned Jobs = 1;
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 1;
+};
+
+struct StepCampaignResult {
+  unsigned Programs = 0;
+  unsigned Runs = 0;           ///< Stepping executions (<= 2x programs).
+  unsigned FailedCompiles = 0; ///< Generator bugs: must stay zero.
+  unsigned CappedRuns = 0;     ///< Runs exempted from the multiset checks.
+  std::uint64_t StmtsChecked = 0; ///< Visit rows judged.
+  std::vector<CampaignFailure> Failures;
+
+  std::string ConfigError;
+  std::vector<CampaignWorkerStats> Workers;
+
+  bool sound() const {
+    return Failures.empty() && FailedCompiles == 0 && ConfigError.empty();
+  }
+};
+
+StepCampaignResult runStepCampaign(const StepCampaignConfig &C);
+
+/// Judges one program's stepping in one mode (reproducer mode and the
+/// shrinker's predicate).
+std::vector<Violation> checkStepProgram(const std::string &Src, bool Promote,
+                                        unsigned MaxEvents = 20000);
+
+/// Deterministic campaign summary (failures render via renderFailure).
+std::string renderStepCampaignReport(const StepCampaignResult &R);
+
+//===----------------------------------------------------------------------===//
+// Cross-level campaign
+//===----------------------------------------------------------------------===//
+
+/// A sweep candidate with its dynamic verdict.
+struct JudgedRegression {
+  enum class Judgment : std::uint8_t {
+    Explained,  ///< Lockstep proved the More level sound at this point.
+    Unexplained,///< Lockstep found the More level unsound here: FAIL.
+    Unjudged    ///< More level not judgeable (peel/unroll): static only.
+  };
+  AvailRegression R;
+  Judgment J = Judgment::Unjudged;
+};
+
+const char *judgmentName(JudgedRegression::Judgment J);
+
+struct CrossLevelCampaignConfig {
+  std::uint32_t Seed = 1;
+  unsigned Count = 200;
+  GenOptions Gen;
+
+  bool Shrink = true;
+  bool WriteFailures = false;
+  std::string FailureDir = "fuzz-failures";
+
+  unsigned MaxStops = 1000; ///< Per-lockstep-run observation cap.
+  std::uint64_t Fuel = 50'000'000;
+
+  unsigned Jobs = 1;
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 1;
+};
+
+struct CrossLevelCampaignResult {
+  unsigned Programs = 0;
+  unsigned CompileErrors = 0; ///< Generator bugs: must stay zero.
+  unsigned LockstepRuns = 0;  ///< Judgeable-level ground-truth runs.
+  unsigned UnsoundRuns = 0;   ///< Runs with any soundness violation.
+  unsigned Unexplained = 0;   ///< Regressions the oracle could not excuse.
+
+  /// Per-level counts summed over the corpus (all levels / judgeable
+  /// levels, both in pipelineLevels() order).
+  std::vector<CoverageCounts> Levels;
+  std::vector<ConservatismCounts> Conservatism;
+
+  /// All candidates with judgments, in (seed, point) order.
+  std::vector<JudgedRegression> Regressions;
+
+  /// Unsound lockstep runs, shrunk/archived like diff-campaign failures.
+  std::vector<CampaignFailure> Failures;
+
+  std::string ConfigError;
+  std::vector<CampaignWorkerStats> Workers;
+
+  bool sound() const {
+    return Unexplained == 0 && UnsoundRuns == 0 && CompileErrors == 0 &&
+           ConfigError.empty();
+  }
+};
+
+CrossLevelCampaignResult
+runCrossLevelCampaign(const CrossLevelCampaignConfig &C);
+
+/// Deterministic campaign report: the level quality table, the
+/// conservatism table, and one judged line per regression candidate.
+std::string
+renderCrossLevelCampaignReport(const CrossLevelCampaignResult &R);
+
+} // namespace sldb
+
+#endif // SLDB_FUZZ_QUALITYCAMPAIGN_H

@@ -56,7 +56,19 @@ std::size_t Machine::resolveMemOperand(const MInstr &I) {
 }
 
 StopReason Machine::run() {
-  // Reset.
+  if (!reset())
+    return Reason;
+  return resumeImpl(/*SkipFirst=*/false);
+}
+
+StopReason Machine::startPaused() {
+  if (!reset())
+    return Reason;
+  Reason = StopReason::Breakpoint;
+  return Reason;
+}
+
+bool Machine::reset() {
   std::memset(R, 0, sizeof(R));
   for (double &D : F)
     D = 0.0;
@@ -69,7 +81,7 @@ StopReason Machine::run() {
   const MachineFunction *Main = MM.findFunc("main");
   if (!Main) {
     trap("no main function");
-    return Reason;
+    return false;
   }
   PC.Func = static_cast<std::uint32_t>(Main - &MM.Funcs[0]);
   PC.Local = 0;
@@ -77,9 +89,9 @@ StopReason Machine::run() {
   SP = FP + Main->FrameSize;
   if (SP >= Mem.size()) {
     trap("stack overflow");
-    return Reason;
+    return false;
   }
-  return resumeImpl(/*SkipFirst=*/false);
+  return true;
 }
 
 StopReason Machine::resume() { return resumeImpl(/*SkipFirst=*/true); }

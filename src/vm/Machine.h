@@ -57,11 +57,25 @@ public:
   /// Resets and starts main(); runs until a stop condition.
   StopReason run();
 
+  /// Resets and arranges to start main() *paused* at its first
+  /// instruction: returns StopReason::Breakpoint without executing
+  /// anything (or Trapped when setup fails).  The debugger's stepping
+  /// entry point — run() would sprint to the first breakpoint instead.
+  StopReason startPaused();
+
   /// Resumes after a breakpoint stop.
   StopReason resume();
 
   /// Executes one instruction (markers are skipped transparently).
   StopReason step();
+
+  /// Rewrites a Running state as a Breakpoint stop: the single-stepper
+  /// landed on a statement boundary and the session is now "stopped at a
+  /// breakpoint" as far as every inspection API is concerned.
+  void noteStop() {
+    if (Reason == StopReason::Running)
+      Reason = StopReason::Breakpoint;
+  }
 
   /// Adds/removes a breakpoint.
   void setBreakpoint(CodeAddr A) { Breaks.insert(pack(A)); }
@@ -115,6 +129,7 @@ private:
   }
 
   StopReason resumeImpl(bool SkipFirst);
+  bool reset(); ///< Shared setup of run()/startPaused().
   void trap(const std::string &Msg);
   void exec(const MInstr &I);
   std::size_t resolveMemOperand(const MInstr &I);

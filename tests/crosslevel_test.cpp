@@ -1,0 +1,397 @@
+//===- tests/crosslevel_test.cpp - Cross-level oracle & metrics -*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the cross-level consistency layer (ISSUE 6): the pipeline
+/// level table (eval/Levels.h), the static availability-regression sweep
+/// (eval/CrossLevel.h), the extended coverage/quality metrics
+/// (eval/Measure.h), and the dynamic cross-level fuzz campaign
+/// (fuzz/QualityCampaign.h).  The figure-program sweep report and the
+/// measured-conservatism table are golden under tests/golden/crosslevel/
+/// (regenerate deliberately with SLDB_UPDATE_GOLDENS=1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/CrossLevel.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/QualityCampaign.h"
+#include "fuzz/Reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace sldb;
+
+namespace {
+
+#ifndef SLDB_GOLDEN_DIR
+#error "SLDB_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(SLDB_GOLDEN_DIR) + "/crosslevel/" + Name;
+}
+
+bool updating() {
+  const char *V = std::getenv("SLDB_UPDATE_GOLDENS");
+  return V && *V && std::string(V) != "0";
+}
+
+void checkGolden(const std::string &Name, const std::string &Got) {
+  if (updating()) {
+    ::mkdir((std::string(SLDB_GOLDEN_DIR) + "/crosslevel").c_str(), 0755);
+    std::ofstream Out(goldenPath(Name), std::ios::binary);
+    ASSERT_TRUE(Out) << "cannot write " << goldenPath(Name);
+    Out << Got;
+    return;
+  }
+  std::ifstream In(goldenPath(Name));
+  ASSERT_TRUE(In) << "missing golden file " << goldenPath(Name)
+                  << " (regenerate with SLDB_UPDATE_GOLDENS=1)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Got, Buf.str())
+      << "report for '" << Name
+      << "' changed; if intended, regenerate with SLDB_UPDATE_GOLDENS=1";
+}
+
+// The paper's worked examples, as in tests/explain_golden_test.cpp.
+const char *Fig2 = R"(
+  int main() {
+    int u = 7; int v = 3; int y = 2; int z = 4;
+    int x = u - v;        // s4: E0
+    if (u > v) {
+      x = y + z;          // s6: E1
+    } else {
+      u = u + 1;          // s7 (hoisted E3 lands after this)
+    }
+    x = y + z;            // s8: E2 -> avail marker
+    print(x);             // s9: Bkpt3
+    print(u);
+    return 0;
+  }
+)";
+
+const char *Fig3 = R"(
+  int main() {
+    int u = 5; int v = 2; int y = 3; int z = 4;
+    int x = y + z;       // s4: E0, partially dead -> sunk, marker here
+    if (u > v) {
+      x = u - v;         // s6: E1
+      print(x);          // s7
+    } else {
+      print(x);          // s8 (sunk copy lands before this)
+    }
+    print(u);            // s9: join
+    return 0;
+  }
+)";
+
+const char *Fig4 = R"(
+  int main() {
+    int a = 7;
+    int c = a;          // s1: dead (c never used) -> marker, recover=a
+    print(a);           // s2
+    return a;
+  }
+)";
+
+std::vector<BenchProgram> figurePrograms() {
+  return {
+      {"fig2", "paper Figure 2 (PRE hoisting)", Fig2},
+      {"fig3", "paper Figure 3 (PDE sinking)", Fig3},
+      {"fig4", "paper Figure 4 (DCE + recovery)", Fig4},
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// The level table
+//===----------------------------------------------------------------------===//
+
+TEST(Levels, TableIsCanonicalAndUnique) {
+  const auto &Ls = pipelineLevels();
+  ASSERT_EQ(Ls.size(), 16u);
+  for (std::size_t I = 0; I < Ls.size(); ++I) {
+    // Index == enum value, names unique, findLevel round-trips.
+    EXPECT_EQ(static_cast<std::size_t>(Ls[I].Level), I);
+    EXPECT_EQ(&levelSpec(Ls[I].Level), &Ls[I]);
+    const LevelSpec *Found = findLevel(Ls[I].Name);
+    ASSERT_NE(Found, nullptr) << Ls[I].Name;
+    EXPECT_EQ(Found, &Ls[I]);
+    for (std::size_t J = I + 1; J < Ls.size(); ++J)
+      EXPECT_STRNE(Ls[I].Name, Ls[J].Name);
+  }
+  EXPECT_EQ(findLevel("no-such-level"), nullptr);
+}
+
+TEST(Levels, LegacyLabelsKeepTheirConfigurations) {
+  // The three labels the pre-table coverage golden used must mean
+  // exactly what the free-form strings meant, or tests/golden/coverage.txt
+  // silently changes semantics.
+  const OptOptions None = OptOptions::none();
+  const OptOptions All = OptOptions::all();
+
+  const LevelSpec &O0 = levelSpec(PipelineLevel::O0);
+  EXPECT_STREQ(O0.Name, "O0");
+  EXPECT_FALSE(O0.Promote);
+  EXPECT_EQ(std::memcmp(&O0.Opts, &None, sizeof(OptOptions)), 0);
+
+  const LevelSpec &O2F = levelSpec(PipelineLevel::O2Frame);
+  EXPECT_STREQ(O2F.Name, "O2-frame");
+  EXPECT_FALSE(O2F.Promote);
+  EXPECT_EQ(std::memcmp(&O2F.Opts, &All, sizeof(OptOptions)), 0);
+
+  const LevelSpec &O2 = levelSpec(PipelineLevel::O2);
+  EXPECT_STREQ(O2.Name, "O2");
+  EXPECT_TRUE(O2.Promote);
+  EXPECT_EQ(std::memcmp(&O2.Opts, &All, sizeof(OptOptions)), 0);
+}
+
+TEST(Levels, MoreOptimizedIsAStrictPartialOrder) {
+  const auto &Ls = pipelineLevels();
+  const LevelSpec &O0 = levelSpec(PipelineLevel::O0);
+  const LevelSpec &O2 = levelSpec(PipelineLevel::O2);
+  for (const LevelSpec &L : Ls) {
+    EXPECT_FALSE(moreOptimized(L, L)) << L.Name; // Irreflexive.
+    if (L.Level != PipelineLevel::O0) {
+      EXPECT_TRUE(moreOptimized(L, O0)) << L.Name; // O0 is the bottom.
+    }
+    if (L.Level != PipelineLevel::O2) {
+      EXPECT_TRUE(moreOptimized(O2, L)) << L.Name; // O2 is the top.
+    }
+    for (const LevelSpec &M : Ls)
+      if (moreOptimized(L, M)) {
+        EXPECT_FALSE(moreOptimized(M, L)) // Antisymmetric.
+            << L.Name << " vs " << M.Name;
+      }
+  }
+  // Single-pass levels are mutually incomparable.
+  const LevelSpec &CP = levelSpec(PipelineLevel::ConstProp);
+  const LevelSpec &CSE = levelSpec(PipelineLevel::CSE);
+  EXPECT_FALSE(moreOptimized(CP, CSE));
+  EXPECT_FALSE(moreOptimized(CSE, CP));
+  // The lockstep pipelines sit strictly between singles and O2.
+  EXPECT_TRUE(moreOptimized(levelSpec(PipelineLevel::O2nl),
+                            levelSpec(PipelineLevel::O2nlFrame)));
+  EXPECT_TRUE(
+      moreOptimized(O2, levelSpec(PipelineLevel::O2nl)));
+}
+
+TEST(Levels, JudgeableExcludesStatementDuplicators) {
+  for (const LevelSpec &L : pipelineLevels()) {
+    bool Expect = !L.Opts.LoopPeel && !L.Opts.LoopUnroll;
+    EXPECT_EQ(judgeable(L), Expect) << L.Name;
+  }
+  EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::O2)));
+  EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::LoopPeel)));
+  EXPECT_TRUE(judgeable(levelSpec(PipelineLevel::O2nl)));
+}
+
+//===----------------------------------------------------------------------===//
+// Static sweep over the figure programs (golden)
+//===----------------------------------------------------------------------===//
+
+TEST(CrossLevel, GoldenFigureSweep) {
+  CrossLevelReport R = sweepCorpus(figurePrograms());
+  EXPECT_EQ(R.Programs, 3u);
+  EXPECT_EQ(R.CompileErrors, 0u);
+  ASSERT_EQ(R.Levels.size(), pipelineLevels().size());
+
+  // Structural invariants before the byte diff: O0 classifies everything
+  // Current, every row's class counts partition its points, and the O2
+  // rows must actually endanger something or the sweep lost its point.
+  const CoverageCounts &O0 = R.Levels[0];
+  EXPECT_EQ(O0.endangered(), 0u);
+  EXPECT_EQ(O0.Nonresident, 0u);
+  EXPECT_EQ(O0.Points, O0.Current + O0.Uninitialized);
+  for (const CoverageCounts &C : R.Levels) {
+    EXPECT_EQ(C.Points, C.Uninitialized + C.Nonresident + C.Noncurrent +
+                            C.Suspect + C.Current)
+        << C.Level;
+    EXPECT_LE(C.CodeStmts, C.SrcStmts) << C.Level;
+    EXPECT_EQ(C.Degraded, 0u) << C.Level;
+  }
+  EXPECT_GT(R.Levels.back().endangered() + R.Levels.back().Nonresident, 0u);
+
+  checkGolden("figures.txt", renderSweepReport(R));
+}
+
+TEST(CrossLevel, SweepNeverAssertsOnBadSource) {
+  ProgramSweep S = sweepProgram("bad", "int main( {");
+  EXPECT_FALSE(S.Compiled);
+  EXPECT_FALSE(S.CompileError.empty());
+  EXPECT_TRUE(S.Regressions.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// measureCoverage edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageEdge, EmptyFunction) {
+  std::vector<BenchProgram> P = {
+      {"empty", "nothing but a return", "int main() { return 0; }"}};
+  CoverageCounts C = measureCoverage(P, levelSpec(PipelineLevel::O2));
+  // No locals: nothing to classify, but the statement table still counts.
+  EXPECT_EQ(C.Points, 0u);
+  EXPECT_GT(C.SrcStmts, 0u);
+  EXPECT_LE(C.CodeStmts, C.SrcStmts);
+  EXPECT_EQ(C.pctDebuggable(), 0.0); // 0/0 defined as 0, not NaN.
+}
+
+TEST(CoverageEdge, AllDeadFunction) {
+  // Every assignment is dead (nothing printed, constant return): DCE may
+  // remove all of it, but the counts must stay a partition and the line
+  // table may only shrink.
+  std::vector<BenchProgram> P = {{"alldead", "fully dead stores",
+                                  "int main() {\n"
+                                  "  int a = 1;\n"
+                                  "  int b = 2;\n"
+                                  "  a = b + 3;\n"
+                                  "  b = a + 4;\n"
+                                  "  return 0;\n"
+                                  "}\n"}};
+  CoverageCounts C = measureCoverage(P, levelSpec(PipelineLevel::O2));
+  EXPECT_EQ(C.Points, C.Uninitialized + C.Nonresident + C.Noncurrent +
+                          C.Suspect + C.Current);
+  EXPECT_LE(C.CodeStmts, C.SrcStmts);
+  EXPECT_LE(C.Recovered, C.Current + C.endangered());
+  // At O0 nothing is endangered even here.
+  CoverageCounts C0 = measureCoverage(P, levelSpec(PipelineLevel::O0));
+  EXPECT_EQ(C0.endangered(), 0u);
+  EXPECT_EQ(C0.Nonresident, 0u);
+}
+
+TEST(CoverageEdge, DegradeAllCountsConservativelyCovered) {
+  // Annotation-verification failure forces degraded mode: every verdict
+  // must be conservative, so nothing may land in Current/Recovered and
+  // every classified point must be marked Degraded.
+  CoverageOptions MO;
+  MO.DegradeAll = true;
+  CoverageCounts C =
+      measureCoverage(figurePrograms(), levelSpec(PipelineLevel::O2), MO);
+  EXPECT_GT(C.Points, 0u);
+  EXPECT_EQ(C.Current, 0u);
+  EXPECT_EQ(C.Recovered, 0u);
+  EXPECT_EQ(C.Degraded, C.Points);
+  EXPECT_EQ(C.Points,
+            C.Uninitialized + C.Nonresident + C.Noncurrent + C.Suspect);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: safe pass prefixes never endanger unpromoted variables
+//===----------------------------------------------------------------------===//
+
+// The four passes that neither move, delete, nor re-home assignments:
+// with variables in frame slots, no cumulative prefix of them may make
+// any verdict worse than Current.  A violating seed is shrunk and
+// archived under fuzz-property/ before the test fails.
+TEST(CrossLevelProperty, SafePrefixesStayFullyCurrent) {
+  bool OptOptions::*const Safe[] = {&OptOptions::ConstProp,
+                                    &OptOptions::CopyProp, &OptOptions::CSE,
+                                    &OptOptions::BranchOpt};
+  const char *SafeNames[] = {"constprop", "copyprop", "cse", "branchopt"};
+
+  auto prefixSpec = [&](unsigned N) {
+    LevelSpec S;
+    S.Name = "safe-prefix";
+    S.Opts = OptOptions::none();
+    S.Promote = false;
+    for (unsigned I = 0; I < N; ++I)
+      S.Opts.*Safe[I] = true;
+    return S;
+  };
+  auto endangeredAt = [&](const std::string &Src, unsigned N) {
+    std::vector<BenchProgram> P = {{"prop", "", Src.c_str()}};
+    CoverageCounts C = measureCoverage(P, prefixSpec(N));
+    return C.endangered() + C.Nonresident;
+  };
+
+  GenOptions G;
+  for (std::uint32_t Seed = 1; Seed <= 30; ++Seed) {
+    std::string Src = generateProgram(Seed, G);
+    for (unsigned N = 1; N <= 4; ++N) {
+      std::uint64_t Bad = endangeredAt(Src, N);
+      if (Bad == 0)
+        continue;
+      // Shrink while the same prefix still endangers something, then
+      // archive the reproducer.
+      std::string Reduced = reduceProgram(
+          Src, [&](const std::string &S) { return endangeredAt(S, N) > 0; },
+          /*MaxChecks=*/400);
+      ::mkdir("fuzz-property", 0755);
+      std::string Path = std::string("fuzz-property/safe-prefix-seed-") +
+                         std::to_string(Seed) + ".mc";
+      std::ofstream Out(Path);
+      Out << "// property: safe-prefix monotonicity\n// seed: " << Seed
+          << "\n// prefix: " << SafeNames[N - 1] << " (first " << N
+          << " safe passes)\n// endangered points: " << Bad << "\n"
+          << Reduced;
+      ADD_FAILURE() << "seed " << Seed << ": safe prefix through "
+                    << SafeNames[N - 1] << " endangered " << Bad
+                    << " point(s); reproducer: " << Path;
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic cross-level campaign
+//===----------------------------------------------------------------------===//
+
+TEST(CrossLevelCampaign, SmallCorpusIsSoundAndGolden) {
+  CrossLevelCampaignConfig C;
+  C.Seed = 1;
+  C.Count = 5;
+  C.Shrink = false;
+  C.WriteFailures = false;
+  CrossLevelCampaignResult R = runCrossLevelCampaign(C);
+  EXPECT_TRUE(R.sound()) << renderCrossLevelCampaignReport(R);
+  EXPECT_EQ(R.Programs, 5u);
+  EXPECT_EQ(R.CompileErrors, 0u);
+  EXPECT_GT(R.LockstepRuns, 0u);
+  ASSERT_EQ(R.Levels.size(), pipelineLevels().size());
+
+  // Every unexplained regression is counted, never silently dropped.
+  unsigned Unexplained = 0;
+  for (const JudgedRegression &J : R.Regressions)
+    if (J.J == JudgedRegression::Judgment::Unexplained)
+      ++Unexplained;
+  EXPECT_EQ(R.Unexplained, Unexplained);
+
+  // The measured-conservatism table over this fixed corpus is golden:
+  // any classifier or optimizer change that shifts how often a warning
+  // verdict hid a recoverable value shows up as a visible diff.
+  checkGolden("conservatism.txt", renderConservatismReport(R.Conservatism));
+}
+
+TEST(CrossLevelCampaign, ReportIsJobsInvariant) {
+  CrossLevelCampaignConfig C;
+  C.Seed = 7;
+  C.Count = 3;
+  C.Shrink = false;
+  C.Jobs = 1;
+  std::string R1 = renderCrossLevelCampaignReport(runCrossLevelCampaign(C));
+  C.Jobs = 4;
+  std::string R4 = renderCrossLevelCampaignReport(runCrossLevelCampaign(C));
+  EXPECT_EQ(R1, R4);
+}
+
+TEST(CrossLevelCampaign, RejectsBadShardSpec) {
+  CrossLevelCampaignConfig C;
+  C.Count = 4;
+  C.ShardIndex = 3;
+  C.ShardCount = 2;
+  CrossLevelCampaignResult R = runCrossLevelCampaign(C);
+  EXPECT_FALSE(R.ConfigError.empty());
+  EXPECT_FALSE(R.sound());
+}
+
+} // namespace

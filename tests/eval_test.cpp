@@ -117,9 +117,9 @@ TEST(Coverage, GoldenThreeLevelReport) {
   // endangered is a visible, deliberate diff.
   const auto &Ps = benchmarkPrograms();
   std::vector<CoverageCounts> Rows = {
-      measureCoverage(Ps, OptOptions::none(), /*Promote=*/false, "O0"),
-      measureCoverage(Ps, OptOptions::all(), /*Promote=*/false, "O2-frame"),
-      measureCoverage(Ps, OptOptions::all(), /*Promote=*/true, "O2"),
+      measureCoverage(Ps, levelSpec(PipelineLevel::O0)),
+      measureCoverage(Ps, levelSpec(PipelineLevel::O2Frame)),
+      measureCoverage(Ps, levelSpec(PipelineLevel::O2)),
   };
   // Structural sanity before the byte diff: every level classifies the
   // same set of source points or fewer (optimization can only remove

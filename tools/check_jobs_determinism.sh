@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Asserts the parallel-campaign determinism contract end to end: the
 # sldb-fuzz report on stdout must be byte-identical for --jobs 1 and
-# --jobs 8, for both the differential campaign and the fault-injection
-# matrix.  Worker stats go to stderr precisely so this comparison stays
-# meaningful.  Registered as the tier-1 ctest `fuzz_jobs_determinism`.
+# --jobs 8, for the differential campaign, the fault-injection matrix,
+# and the stepping / cross-level quality oracles.  Worker stats go to
+# stderr precisely so this comparison stays meaningful.  Registered as
+# the tier-1 ctest `fuzz_jobs_determinism`.
 #
 # Usage: tools/check_jobs_determinism.sh <path-to-sldb-fuzz> [count]
 
@@ -37,6 +38,29 @@ fi
 if ! cmp -s "$TMP/inject-j1.txt" "$TMP/inject-j8.txt"; then
   echo "error: inject report differs between --jobs 1 and --jobs 8:" >&2
   diff -u "$TMP/inject-j1.txt" "$TMP/inject-j8.txt" >&2 || true
+  FAIL=1
+fi
+
+# Stepping oracle.
+"$FUZZ" --oracle=step --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 1 >"$TMP/step-j1.txt"
+"$FUZZ" --oracle=step --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 8 >"$TMP/step-j8.txt"
+if ! cmp -s "$TMP/step-j1.txt" "$TMP/step-j8.txt"; then
+  echo "error: step report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/step-j1.txt" "$TMP/step-j8.txt" >&2 || true
+  FAIL=1
+fi
+
+# Cross-level sweep (small slice: each seed costs 16 classifications
+# plus a lockstep run per judgeable level).
+"$FUZZ" --oracle=crosslevel --seed 1 --count 8 --no-write --no-shrink \
+  --jobs 1 >"$TMP/xl-j1.txt"
+"$FUZZ" --oracle=crosslevel --seed 1 --count 8 --no-write --no-shrink \
+  --jobs 8 >"$TMP/xl-j8.txt"
+if ! cmp -s "$TMP/xl-j1.txt" "$TMP/xl-j8.txt"; then
+  echo "error: crosslevel report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/xl-j1.txt" "$TMP/xl-j8.txt" >&2 || true
   FAIL=1
 fi
 

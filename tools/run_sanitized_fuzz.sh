@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Configures a sanitized build tree (CMake presets `asan-ubsan` /
 # `tsan`), builds the fuzzing driver, and runs a modest differential
-# campaign plus a fault-injection slice under the chosen sanitizers.
+# campaign, a fault-injection slice, and small stepping / cross-level
+# oracle slices under the chosen sanitizers.
 # Registered as the tier-1 ctests `fuzz_diff_sanitized` (address +
 # undefined) and `fuzz_parallel_tsan` (thread); any sanitizer report
 # aborts the driver, which the campaign's fork isolation surfaces as a
@@ -38,6 +39,12 @@ if [ "$SAN" = thread ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 5 \
     --jobs 4 --no-write --no-shrink
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=step --seed 1 --count 10 --jobs 4 \
+    --no-write --no-shrink
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=crosslevel --seed 1 --count 4 \
+    --jobs 4 --no-write --no-shrink
 else
   # halt_on_error makes UBSan reports fatal even where
   # -fno-sanitize-recover is not honored; leak checking stays on
@@ -52,5 +59,15 @@ else
   # directly.
   UBSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 10 \
+    --no-write --no-shrink
+
+  # Quality-oracle slices: the stepping oracle drives the new
+  # single-instruction stepping path, and the cross-level sweep runs the
+  # whole pipeline lattice, so both get sanitizer coverage too.
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=step --seed 1 --count 15 \
+    --no-write --no-shrink
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=crosslevel --seed 1 --count 5 \
     --no-write --no-shrink
 fi

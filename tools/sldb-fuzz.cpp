@@ -8,6 +8,8 @@
 /// Command-line front end for the differential fuzzing oracle:
 ///
 ///   sldb-fuzz --seed 1 --count 200         # campaign (both codegen modes)
+///   sldb-fuzz --oracle=step --count 200    # stepping/line-table oracle
+///   sldb-fuzz --oracle=crosslevel --count 50 # pipeline-lattice sweep
 ///   sldb-fuzz --inject --count 200         # fault-injection campaign
 ///   sldb-fuzz --dump-seed 42               # print one generated program
 ///   sldb-fuzz --repro fuzz-failures/x.minic  # re-judge one reproducer
@@ -19,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Campaign.h"
+#include "fuzz/QualityCampaign.h"
 #include "support/FaultInjector.h"
 #include "support/Sharder.h"
 #include "support/Stats.h"
@@ -45,6 +48,7 @@ struct Options {
   std::string WriteDir = "fuzz-failures";
   std::string ReproPath;
   long DumpSeed = -1;
+  std::string Oracle = "diff"; ///< diff | step | crosslevel.
   bool Inject = false;
   int Isolate = -1; ///< -1 default (on for --inject, off otherwise).
   unsigned TimeoutMs = 20'000;
@@ -67,6 +71,14 @@ void usage() {
       "  --write-dir D   reproducer directory (default fuzz-failures)\n"
       "  --dump-seed N   print the program for seed N and exit\n"
       "  --repro FILE    re-judge a program/reproducer file and exit\n"
+      "  --oracle=K      which oracle drives the campaign (default diff):\n"
+      "                  diff       variable-value lockstep soundness\n"
+      "                  step       stepping/line-table oracle (phantom or\n"
+      "                             vanished statement boundaries fail)\n"
+      "                  crosslevel sweep every pipeline level, judge\n"
+      "                             availability regressions against the\n"
+      "                             lockstep ground truth, and measure\n"
+      "                             per-level conservatism\n"
       "  --inject        fault-injection campaign: every seed is judged\n"
       "                  once per defended fault point; crashes, hangs,\n"
       "                  and unsound verdicts fail\n"
@@ -134,6 +146,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!V)
         return false;
       O.ReproPath = V;
+    } else if (A.rfind("--oracle=", 0) == 0) {
+      O.Oracle = A.substr(9);
+      if (O.Oracle != "diff" && O.Oracle != "step" &&
+          O.Oracle != "crosslevel")
+        return false;
+    } else if (A == "--oracle") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Oracle = V;
+      if (O.Oracle != "diff" && O.Oracle != "step" &&
+          O.Oracle != "crosslevel")
+        return false;
     } else if (A == "--inject") {
       O.Inject = true;
     } else if (A == "--isolate") {
@@ -294,6 +319,79 @@ int runInject(const Options &O) {
   return 1;
 }
 
+int runStep(const Options &O) {
+  StepCampaignConfig C;
+  C.Seed = O.Seed;
+  C.Count = O.Count;
+  C.BothPromoteModes = O.BothModes;
+  C.Promote = O.Promote;
+  C.Shrink = O.Shrink;
+  C.WriteFailures = O.Write;
+  C.FailureDir = O.WriteDir;
+  C.Jobs = O.Jobs;
+  C.ShardIndex = O.ShardIndex;
+  C.ShardCount = O.ShardCount;
+  StepCampaignResult R = runStepCampaign(C);
+  if (!R.ConfigError.empty()) {
+    std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
+    return 2;
+  }
+  if (O.WorkerStats)
+    printWorkerStats(R.Workers);
+
+  std::fputs(renderStepCampaignReport(R).c_str(), stdout);
+  if (R.sound()) {
+    std::printf("stepping:       OK (no phantom or vanished statement "
+                "boundaries, behavior matched)\n");
+    return 0;
+  }
+  std::printf("stepping:       %zu FAILING run(s)\n", R.Failures.size());
+  for (const CampaignFailure &F : R.Failures) {
+    std::printf("  seed %u (promote-vars %s): %s\n", F.Seed,
+                F.Promote ? "on" : "off",
+                F.Violations.front().str().c_str());
+    if (!F.Path.empty())
+      std::printf("    reproducer: %s\n", F.Path.c_str());
+  }
+  return 1;
+}
+
+int runCrossLevel(const Options &O) {
+  CrossLevelCampaignConfig C;
+  C.Seed = O.Seed;
+  C.Count = O.Count;
+  C.Shrink = O.Shrink;
+  C.WriteFailures = O.Write;
+  C.FailureDir = O.WriteDir;
+  C.Jobs = O.Jobs;
+  C.ShardIndex = O.ShardIndex;
+  C.ShardCount = O.ShardCount;
+  CrossLevelCampaignResult R = runCrossLevelCampaign(C);
+  if (!R.ConfigError.empty()) {
+    std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
+    return 2;
+  }
+  if (O.WorkerStats)
+    printWorkerStats(R.Workers);
+
+  std::fputs(renderCrossLevelCampaignReport(R).c_str(), stdout);
+  if (R.sound()) {
+    std::printf("cross-level:    OK (no unexplained availability "
+                "regression, every level sound)\n");
+    return 0;
+  }
+  std::printf("cross-level:    FAIL (%u unexplained regression(s), %u "
+              "unsound run(s))\n",
+              R.Unexplained, R.UnsoundRuns);
+  for (const CampaignFailure &F : R.Failures) {
+    std::printf("  seed %u level %s: %s\n", F.Seed, F.Level.c_str(),
+                F.Violations.front().str().c_str());
+    if (!F.Path.empty())
+      std::printf("    reproducer: %s\n", F.Path.c_str());
+  }
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -321,6 +419,10 @@ int main(int Argc, char **Argv) {
     return runRepro(O);
   if (O.Inject)
     return runInject(O);
+  if (O.Oracle == "step")
+    return runStep(O);
+  if (O.Oracle == "crosslevel")
+    return runCrossLevel(O);
 
   CampaignConfig C;
   C.Seed = O.Seed;

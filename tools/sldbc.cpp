@@ -12,6 +12,13 @@
 //   sldbc --emit=asm prog.mc          dump annotated R3K machine code
 //   sldbc --emit=stmts prog.mc        dump the statement (breakpoint) map
 //   sldbc -O0 prog.mc                 disable the optimizer
+//   sldbc --level=pre prog.mc         compile at one named pipeline level
+//                                     (eval/Levels.h table: O0, constprop,
+//                                     ..., O2nl, O2-frame, O2)
+//   sldbc --sweep-levels prog.mc      classify every (breakpoint, var)
+//                                     point at every pipeline level and
+//                                     print the cross-level quality table
+//                                     with availability regressions
 //   sldbc --no-promote prog.mc        keep variables in memory (Fig 5a)
 //   sldbc --time-passes prog.mc       per-pass wall time report (stderr)
 //   sldbc --pass-stats prog.mc        per-pass change counts + analysis
@@ -28,6 +35,8 @@
 //   b|break <func> <stmt>     set a breakpoint at a statement
 //   run                       start the program
 //   c|continue                resume after a breakpoint
+//   s|step                    source-level step to the next statement
+//                             boundary (starts paused if not running)
 //   p|print <var>             classify + display one variable
 //   explain <var>             provenance chain behind the classification
 //   explainj <var>            the same, as one-line machine-readable JSON
@@ -43,6 +52,7 @@
 #include "codegen/ISel.h"
 #include "codegen/MachineIR.h"
 #include "core/Debugger.h"
+#include "eval/CrossLevel.h"
 #include "ir/IRGen.h"
 #include "ir/IRPrinter.h"
 #include "opt/Pass.h"
@@ -66,6 +76,8 @@ struct Options {
   bool Optimize = true;
   bool Promote = true;
   bool Schedule = true;
+  const LevelSpec *Level = nullptr; ///< --level=NAME overrides the above.
+  bool SweepLevels = false;
   bool TimePasses = false;
   bool PassStats = false;
   bool VerifyEach = false;
@@ -79,6 +91,7 @@ struct Options {
 void usage() {
   std::fprintf(stderr,
                "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
+               "             [--level=NAME] [--sweep-levels]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
                "             [--trace-json=FILE] [--stats] [--degrade-all]\n"
@@ -94,6 +107,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Optimize = false;
     } else if (A == "-O2") {
       Opts.Optimize = true;
+    } else if (A.rfind("--level=", 0) == 0) {
+      Opts.Level = findLevel(A.substr(8));
+      if (!Opts.Level) {
+        std::fprintf(stderr, "unknown level '%s'; known levels:",
+                     A.substr(8).c_str());
+        for (const LevelSpec &S : pipelineLevels())
+          std::fprintf(stderr, " %s", S.Name);
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+    } else if (A == "--sweep-levels") {
+      Opts.SweepLevels = true;
     } else if (A == "--no-promote") {
       Opts.Promote = false;
     } else if (A == "--no-schedule") {
@@ -291,6 +316,15 @@ int replLoop(Debugger &Dbg, const Options &Opts) {
       ReportStop(Dbg.resume());
       continue;
     }
+    if (Verb == "s" || Verb == "step") {
+      if (!Running) {
+        Running = true;
+        ReportStop(Dbg.startPaused());
+        continue;
+      }
+      ReportStop(Dbg.stepStmt());
+      continue;
+    }
     if (Verb == "p" || Verb == "print") {
       std::string Var;
       In >> Var;
@@ -382,6 +416,20 @@ int main(int Argc, char **Argv) {
   Buf << File.rdbuf();
   std::string Source = Buf.str();
 
+  if (Opts.SweepLevels) {
+    ProgramSweep PS = sweepProgram(Opts.InputFile, Source);
+    if (!PS.Compiled) {
+      std::fprintf(stderr, "%s\n", PS.CompileError.c_str());
+      return finish(1, Opts);
+    }
+    CrossLevelReport R;
+    R.Levels = std::move(PS.Levels);
+    R.Regressions = std::move(PS.Regressions);
+    R.Programs = 1;
+    std::printf("%s", renderSweepReport(R).c_str());
+    return finish(0, Opts);
+  }
+
   DiagnosticEngine Diags;
   auto Module = compileToIR(Source, Diags);
   if (!Module) {
@@ -394,13 +442,19 @@ int main(int Argc, char **Argv) {
     return finish(0, Opts);
   }
 
-  if (Opts.Optimize) {
+  // A named level pins both the pass set and the promotion mode.
+  const OptOptions PassSet =
+      Opts.Level ? Opts.Level->Opts : OptOptions::all();
+  if (Opts.Level)
+    Opts.Promote = Opts.Level->Promote;
+
+  if (Opts.Optimize || Opts.Level) {
     if (Opts.TimePasses || Opts.PassStats || Opts.VerifyEach) {
       PipelineConfig Config = PipelineConfig::fromEnvironment();
       Config.TimePasses |= Opts.TimePasses;
       Config.VerifyEach |= Opts.VerifyEach;
       PipelineStats Stats;
-      Status PS = runPipelineEx(*Module, OptOptions::all(), Config, &Stats);
+      Status PS = runPipelineEx(*Module, PassSet, Config, &Stats);
       if (!PS.ok()) {
         std::fprintf(stderr, "error: %s\n", PS.str().c_str());
         return finish(1, Opts);
@@ -438,7 +492,7 @@ int main(int Argc, char **Argv) {
         }
       }
     } else {
-      Status PS = runPipelineEx(*Module, OptOptions::all(), PipelineConfig());
+      Status PS = runPipelineEx(*Module, PassSet, PipelineConfig());
       if (!PS.ok()) {
         std::fprintf(stderr, "error: %s\n", PS.str().c_str());
         return finish(1, Opts);
