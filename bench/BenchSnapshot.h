@@ -1,0 +1,65 @@
+//===- bench/BenchSnapshot.h - --json=FILE snapshot writer ------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The perf-trajectory capture shared by every benchmark binary (via
+/// BenchUtil.h) and by the google-benchmark-free ones (directly):
+/// benchmarks emit machine-readable `BENCH {...}` lines; with
+/// `--json=FILE` each line's JSON object is also appended to FILE (one
+/// object per line).  CI runs `bench_foo --json=BENCH_foo.json` and
+/// commits the snapshot next to the checked-in baseline, so regressions
+/// are a diff, not an archaeology dig.
+///
+/// Kept free of benchmark.h so binaries that do not link google-benchmark
+/// can use it too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_BENCH_BENCHSNAPSHOT_H
+#define SLDB_BENCH_BENCHSNAPSHOT_H
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace sldb::bench {
+
+/// Snapshot destination ("" = stdout only).  Set by parseSnapshotFlag.
+inline std::string &snapshotPath() {
+  static std::string Path;
+  return Path;
+}
+
+/// Extracts and removes a `--json=FILE` argument (the remaining argv is
+/// later handed to google-benchmark, which rejects unknown flags).
+/// Truncates FILE so each run produces a fresh snapshot.
+inline void parseSnapshotFlag(int &Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) != 0)
+      continue;
+    snapshotPath() = Argv[I] + 7;
+    for (int J = I; J + 1 < Argc; ++J)
+      Argv[J] = Argv[J + 1];
+    --Argc;
+    std::ofstream(snapshotPath(), std::ios::trunc);
+    return;
+  }
+}
+
+/// Emits one benchmark result: `BENCH <Json>` on stdout, plus `<Json>`
+/// appended to the --json snapshot file when one was requested.
+inline void emitBench(const std::string &Json) {
+  std::printf("BENCH %s\n", Json.c_str());
+  if (!snapshotPath().empty()) {
+    std::ofstream Out(snapshotPath(), std::ios::app);
+    Out << Json << '\n';
+  }
+}
+
+} // namespace sldb::bench
+
+#endif // SLDB_BENCH_BENCHSNAPSHOT_H

@@ -19,6 +19,8 @@
 #include "ir/IRGen.h"
 #include "opt/Pass.h"
 
+#include "bench/BenchSnapshot.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -45,8 +47,10 @@ inline void rule(char C = '-', int Width = 72) {
 }
 
 /// Standard main: print the table (via \p PrintTable), then run timings.
+/// Accepts --json=FILE (consumed before google-benchmark sees argv).
 #define SLDB_BENCH_MAIN(PrintTable)                                           \
   int main(int argc, char **argv) {                                           \
+    ::sldb::bench::parseSnapshotFlag(argc, argv);                             \
     PrintTable();                                                             \
     ::benchmark::Initialize(&argc, argv);                                     \
     ::benchmark::RunSpecifiedBenchmarks();                                    \

@@ -13,6 +13,9 @@
 #include "bench/BenchUtil.h"
 #include "eval/CrossLevel.h"
 
+#include <algorithm>
+#include <chrono>
+
 using namespace sldb;
 
 static void printCrossLevelSweep() {
@@ -28,6 +31,28 @@ static void printCrossLevelSweep() {
       "shows at a more-optimized level but refuses at a less-optimized\n"
       "one; `sldb-fuzz --oracle=crosslevel` judges candidates against the\n"
       "lockstep ground-truth oracle.\n\n");
+
+  // Machine-readable summary (min of 3 full-corpus sweeps), feeding the
+  // --json snapshot the same way bench_pipeline_throughput does.
+  using Clock = std::chrono::steady_clock;
+  double SweepMs = 1e300;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto T0 = Clock::now();
+    CrossLevelReport Timed = sweepCorpus(benchmarkPrograms());
+    benchmark::DoNotOptimize(Timed.Programs);
+    SweepMs = std::min(
+        SweepMs,
+        std::chrono::duration<double, std::milli>(Clock::now() - T0)
+            .count());
+  }
+  char Json[256];
+  std::snprintf(Json, sizeof(Json),
+                "{\"bench\":\"crosslevel_sweep\","
+                "\"corpus_sweep_ms\":%.1f,\"levels\":%zu,\"programs\":%zu,"
+                "\"regression_candidates\":%zu}",
+                SweepMs, pipelineLevels().size(), static_cast<std::size_t>(R.Programs),
+                R.Regressions.size());
+  bench::emitBench(Json);
 }
 
 static void BM_SweepCorpusAllLevels(benchmark::State &State) {

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchSnapshot.h"
 #include "codegen/ISel.h"
 #include "core/Classifier.h"
 #include "eval/Programs.h"
@@ -147,7 +148,8 @@ void loadBaseline(double &CompileMs, double &SweepMs) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  sldb::bench::parseSnapshotFlag(Argc, Argv);
   const std::vector<std::string> Srcs = corpus();
   unsigned Funcs = 0;
   std::uint64_t Queries = 0;
@@ -176,19 +178,22 @@ int main() {
       (BaseCompile + BaseSweep) / (CompileMs + SweepMs);
   double CacheSpeedup = UncachedMs / CompileMs;
 
-  std::printf(
-      "BENCH {\"bench\":\"pipeline_throughput\","
+  char Json[768];
+  std::snprintf(
+      Json, sizeof(Json),
+      "{\"bench\":\"pipeline_throughput\","
       "\"compile_ms\":%.1f,\"sweep_ms\":%.1f,"
       "\"uncached_compile_ms\":%.1f,\"cache_speedup\":%.2f,"
       "\"baseline_compile_ms\":%.1f,\"baseline_sweep_ms\":%.1f,"
       "\"speedup_vs_baseline\":%.2f,"
       "\"funcs\":%u,\"queries\":%llu,"
       "\"campaign_runs\":%u,\"campaign_stops\":%llu,"
-      "\"campaign_observations\":%llu,\"campaign_failures\":%zu}\n",
+      "\"campaign_observations\":%llu,\"campaign_failures\":%zu}",
       CompileMs, SweepMs, UncachedMs, CacheSpeedup, BaseCompile, BaseSweep,
       Speedup, Funcs, static_cast<unsigned long long>(Queries), CR.Runs,
       static_cast<unsigned long long>(CR.Stops),
       static_cast<unsigned long long>(CR.Observations),
       CR.Failures.size());
+  sldb::bench::emitBench(Json);
   return 0;
 }

@@ -11,15 +11,18 @@ using namespace sldb;
 CFGContext::CFGContext(IRFunction &F) : F(F) {
   F.recomputePreds();
   Order = F.rpo();
+  // Stamp each block with its traversal index so indexOf is a field read,
+  // not a hash lookup.  A block belongs to at most one live CFGContext:
+  // contexts are invalidated (and rebuilt) on any CFG mutation.
   for (unsigned I = 0; I < Order.size(); ++I)
-    Index[Order[I]] = I;
+    Order[I]->CtxIndex = I;
   Preds.resize(Order.size());
   Succs.resize(Order.size());
   for (unsigned I = 0; I < Order.size(); ++I) {
     BasicBlock *B = Order[I];
-    for (BasicBlock *S : B->succs()) {
-      Succs[I].push_back(Index.at(S));
-      Preds[Index.at(S)].push_back(I);
+    for (BasicBlock *S : B->succRange()) {
+      Succs[I].push_back(S->CtxIndex);
+      Preds[S->CtxIndex].push_back(I);
     }
     if (B->hasTerm() && B->term().Op == Opcode::Ret)
       Exits.push_back(I);

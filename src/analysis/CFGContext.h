@@ -16,7 +16,6 @@
 
 #include "ir/IR.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace sldb {
@@ -34,9 +33,9 @@ public:
   const std::vector<BasicBlock *> &blocks() const { return Order; }
 
   unsigned indexOf(const BasicBlock *B) const {
-    auto It = Index.find(B);
-    assert(It != Index.end() && "block not in CFG context");
-    return It->second;
+    assert(B->CtxIndex < Order.size() && Order[B->CtxIndex] == B &&
+           "block not in CFG context");
+    return B->CtxIndex;
   }
 
   BasicBlock *block(unsigned Idx) const { return Order[Idx]; }
@@ -54,7 +53,6 @@ public:
 private:
   IRFunction &F;
   std::vector<BasicBlock *> Order;
-  std::unordered_map<const BasicBlock *, unsigned> Index;
   std::vector<std::vector<unsigned>> Preds, Succs;
   std::vector<unsigned> Exits;
 };

@@ -3,16 +3,34 @@
 // Part of the sldb project (PLDI 1996 reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Worklist solver.  Blocks are processed in traversal order — reverse
+// post-order for forward problems, post-order for backward ones (the
+// CFGContext block order *is* RPO) — so most problems converge in one or
+// two visits per block.  A block is re-queued only when the result side of
+// an edge into it changed.  All BitVector scratch is allocated once before
+// the loop and refilled in place: the inner loop is pure word-parallel
+// set algebra over preallocated storage.
+//
+// The fixed point of a monotone gen/kill problem is unique, so the switch
+// from the old repeated-sweep schedule changes iteration counts, never
+// results.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Dataflow.h"
 
 using namespace sldb;
 
-DataflowResult sldb::solveDataflowGeneric(
-    unsigned NumBlocks, const std::vector<std::vector<unsigned>> &Preds,
-    const std::vector<std::vector<unsigned>> &Succs,
-    const std::vector<unsigned> &Exits, const DataflowProblem &P) {
-  const unsigned N = NumBlocks;
+namespace {
+
+/// Core solver over an abstract edge supplier.  \p edgesIn yields the
+/// blocks whose results feed B (preds for forward, succs for backward);
+/// \p edgesOut the blocks that consume B's result.
+template <typename EdgesInFn, typename EdgesOutFn>
+DataflowResult solveCore(unsigned N, const DataflowProblem &P,
+                         const std::vector<unsigned> &Exits,
+                         EdgesInFn edgesIn, EdgesOutFn edgesOut) {
   const bool Fwd = P.Dir == FlowDir::Forward;
   const bool Union = P.Meet == FlowMeet::Union;
 
@@ -25,78 +43,108 @@ DataflowResult sldb::solveDataflowGeneric(
   auto &MeetSide = Fwd ? R.In : R.Out;
   auto &ResultSide = Fwd ? R.Out : R.In;
 
-  auto edgesIn = [&](unsigned B) -> const std::vector<unsigned> & {
-    return Fwd ? Preds[B] : Succs[B];
-  };
-  auto isBoundary = [&](unsigned B) {
-    if (Fwd)
-      return B == 0; // Entry block has index 0.
+  std::vector<bool> IsBoundary(N, false);
+  if (Fwd) {
+    if (N)
+      IsBoundary[0] = true; // Entry block has index 0.
+  } else {
     for (unsigned E : Exits)
-      if (E == B)
-        return true;
-    return false;
-  };
+      IsBoundary[E] = true;
+  }
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    // Forward problems converge fastest in order; backward in reverse.
-    for (unsigned Step = 0; Step < N; ++Step) {
-      unsigned B = Fwd ? Step : N - 1 - Step;
+  // LIFO worklist, seeded so the first N pops visit every block in
+  // traversal order (RPO forward, post-order backward).
+  std::vector<unsigned> Work;
+  Work.reserve(2 * N);
+  std::vector<bool> OnList(N, true);
+  for (unsigned Step = 0; Step < N; ++Step)
+    Work.push_back(Fwd ? N - 1 - Step : Step);
 
-      // Meet over incoming edges.
-      BitVector NewMeet(P.Universe, !Union);
-      const std::vector<unsigned> &Edges = edgesIn(B);
-      if (Edges.empty() && !isBoundary(B)) {
-        // No incoming information: keep the top (Intersect) or bottom
-        // (Union) value.
+  // Scratch reused across every visit; same-size BitVector assignment
+  // rewrites the existing words without reallocating.
+  const BitVector InitVal(P.Universe, !Union);
+  BitVector NewMeet(P.Universe);
+  BitVector NewResult(P.Universe);
+
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    OnList[B] = false;
+
+    // Meet over incoming edges (plus the boundary value for boundary
+    // blocks).  A block with no incoming information keeps the top
+    // (Intersect) or bottom (Union) value.
+    const std::vector<unsigned> &Edges = edgesIn(B);
+    bool First = true;
+    for (unsigned E : Edges) {
+      if (First) {
+        NewMeet = ResultSide[E];
+        First = false;
+      } else if (Union) {
+        NewMeet |= ResultSide[E];
       } else {
-        bool First = true;
-        for (unsigned E : Edges) {
-          if (First) {
-            NewMeet = ResultSide[E];
-            First = false;
-          } else if (Union) {
-            NewMeet |= ResultSide[E];
-          } else {
-            NewMeet &= ResultSide[E];
-          }
-        }
-        if (isBoundary(B)) {
-          if (First) {
-            NewMeet = P.Boundary;
-            First = false;
-          } else if (Union) {
-            NewMeet |= P.Boundary;
-          } else {
-            NewMeet &= P.Boundary;
-          }
-        }
-        if (First)
-          NewMeet = BitVector(P.Universe, !Union);
+        NewMeet &= ResultSide[E];
       }
-
-      BitVector NewResult = NewMeet;
-      NewResult.subtract(P.Kill[B]);
-      NewResult |= P.Gen[B];
-
-      if (NewMeet != MeetSide[B] || NewResult != ResultSide[B]) {
-        MeetSide[B] = std::move(NewMeet);
-        ResultSide[B] = std::move(NewResult);
-        Changed = true;
+    }
+    if (IsBoundary[B]) {
+      if (First) {
+        NewMeet = P.Boundary;
+        First = false;
+      } else if (Union) {
+        NewMeet |= P.Boundary;
+      } else {
+        NewMeet &= P.Boundary;
       }
+    }
+    if (First)
+      NewMeet = InitVal;
+
+    NewResult = NewMeet;
+    NewResult.subtract(P.Kill[B]);
+    NewResult |= P.Gen[B];
+
+    if (NewMeet != MeetSide[B])
+      std::swap(MeetSide[B], NewMeet);
+    if (NewResult != ResultSide[B]) {
+      std::swap(ResultSide[B], NewResult);
+      // B's result feeds its out-edges; requeue the consumers.
+      for (unsigned S : edgesOut(B))
+        if (!OnList[S]) {
+          OnList[S] = true;
+          Work.push_back(S);
+        }
     }
   }
   return R;
 }
 
+} // namespace
+
+DataflowResult sldb::solveDataflowGeneric(
+    unsigned NumBlocks, const std::vector<std::vector<unsigned>> &Preds,
+    const std::vector<std::vector<unsigned>> &Succs,
+    const std::vector<unsigned> &Exits, const DataflowProblem &P) {
+  const bool Fwd = P.Dir == FlowDir::Forward;
+  return solveCore(
+      NumBlocks, P, Exits,
+      [&](unsigned B) -> const std::vector<unsigned> & {
+        return Fwd ? Preds[B] : Succs[B];
+      },
+      [&](unsigned B) -> const std::vector<unsigned> & {
+        return Fwd ? Succs[B] : Preds[B];
+      });
+}
+
 DataflowResult sldb::solveDataflow(const CFGContext &CFG,
                                    const DataflowProblem &P) {
-  const unsigned N = CFG.numBlocks();
-  std::vector<std::vector<unsigned>> Preds(N), Succs(N);
-  for (unsigned B = 0; B < N; ++B) {
-    Preds[B] = CFG.preds(B);
-    Succs[B] = CFG.succs(B);
-  }
-  return solveDataflowGeneric(N, Preds, Succs, CFG.exits(), P);
+  // Reads the context's edge lists in place — no per-call CFG copy.
+  const bool Fwd = P.Dir == FlowDir::Forward;
+  return solveCore(
+      CFG.numBlocks(), P, CFG.exits(),
+      [&](unsigned B) -> const std::vector<unsigned> & {
+        return Fwd ? CFG.preds(B) : CFG.succs(B);
+      },
+      [&](unsigned B) -> const std::vector<unsigned> & {
+        return Fwd ? CFG.succs(B) : CFG.preds(B);
+      });
 }

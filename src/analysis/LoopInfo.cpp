@@ -69,7 +69,7 @@ BasicBlock *sldb::findPreheader(const CFGContext &CFG, const Loop &L) {
   }
   if (!Candidate)
     return nullptr;
-  if (Candidate->succs().size() != 1)
+  if (Candidate->succRange().size() != 1)
     return nullptr;
   return Candidate;
 }

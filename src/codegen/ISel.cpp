@@ -588,8 +588,9 @@ MachineFunction FunctionSelector::run() {
     MachineBlock B;
     B.Id = BI;
     B.Name = F.Blocks[BI]->Name;
+    B.Insts.setArena(MM.arena());
     MF.Blocks.push_back(std::move(B));
-    BlockIdx[F.Blocks[BI].get()] = BI;
+    BlockIdx[F.Blocks[BI]] = BI;
   }
 
   // Without register promotion every scalar local owns a frame slot from
@@ -627,7 +628,7 @@ MachineFunction FunctionSelector::run() {
 
   // Block edges.
   for (std::uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
-    for (const BasicBlock *S : F.Blocks[BI]->succs()) {
+    for (const BasicBlock *S : F.Blocks[BI]->succRange()) {
       std::uint32_t SI = BlockIdx.at(S);
       MF.Blocks[BI].Succs.push_back(SI);
       MF.Blocks[SI].Preds.push_back(BI);
@@ -670,9 +671,12 @@ MachineFunction FunctionSelector::run() {
 namespace {
 
 MachineModule selectModuleImpl(const IRModule &M, const CodegenOptions &Opts,
-                               std::string *Err) {
+                               std::string *Err,
+                               Arena *CodeArena = nullptr) {
   MachineModule MM;
   MM.Info = M.Info.get();
+  if (CodeArena)
+    MM.setArena(CodeArena);
 
   // Lay out globals in module memory.
   for (VarId G : M.Info->Globals) {
@@ -790,14 +794,16 @@ void injectMachineFaults(MachineModule &MM) {
 } // namespace
 
 MachineModule sldb::selectModule(const IRModule &M,
-                                 const CodegenOptions &Opts) {
-  return selectModuleImpl(M, Opts, nullptr);
+                                 const CodegenOptions &Opts,
+                                 Arena *CodeArena) {
+  return selectModuleImpl(M, Opts, nullptr, CodeArena);
 }
 
 Expected<MachineModule> sldb::compileToMachineE(const IRModule &M,
-                                                const CodegenOptions &Opts) {
+                                                const CodegenOptions &Opts,
+                                                Arena *CodeArena) {
   std::string Err;
-  MachineModule MM = selectModuleImpl(M, Opts, &Err);
+  MachineModule MM = selectModuleImpl(M, Opts, &Err, CodeArena);
   if (!Err.empty())
     return Status::error(ErrorCode::InvalidIR, Err);
   for (MachineFunction &MF : MM.Funcs) {

@@ -35,7 +35,11 @@ struct CodegenOptions {
 };
 
 /// Selects machine code (virtual registers) for the whole module.
-MachineModule selectModule(const IRModule &M, const CodegenOptions &Opts);
+/// \p CodeArena, when given, backs the instruction buffers (batch mode:
+/// share the IR module's arena and reset once per corpus entry);
+/// otherwise the machine module creates its own.
+MachineModule selectModule(const IRModule &M, const CodegenOptions &Opts,
+                           Arena *CodeArena = nullptr);
 
 /// Full back end: selection, optional scheduling, register allocation,
 /// layout, and residence-table construction.  Returns a structured error
@@ -43,7 +47,8 @@ MachineModule selectModule(const IRModule &M, const CodegenOptions &Opts);
 /// no lowering or allocation fails; the armed FaultInjector machine
 /// faults (if any) are applied to the finished module's annotations.
 Expected<MachineModule> compileToMachineE(const IRModule &M,
-                                          const CodegenOptions &Opts);
+                                          const CodegenOptions &Opts,
+                                          Arena *CodeArena = nullptr);
 
 /// Legacy convenience wrapper around compileToMachineE: reports the
 /// error on stderr and aborts.  Status-aware drivers use the E variant.

@@ -24,8 +24,10 @@
 
 #include "ir/IR.h"
 #include "support/BitVector.h"
+#include "support/PodVector.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -223,11 +225,14 @@ struct MInstr {
 // Blocks, functions, modules
 //===----------------------------------------------------------------------===//
 
-/// A machine basic block; mirrors its IR block 1:1.
+/// A machine basic block; mirrors its IR block 1:1.  The instruction
+/// buffer is arena-backed when the block was built by instruction
+/// selection (MachineModule::arena); hand-built blocks default to the
+/// heap and need no arena.
 struct MachineBlock {
   std::uint32_t Id = 0;
   std::string Name;
-  std::vector<MInstr> Insts;
+  PodVector<MInstr> Insts;
   std::vector<std::uint32_t> Succs, Preds; ///< Block indices.
 };
 
@@ -310,6 +315,22 @@ struct MachineModule {
         return &F;
     return nullptr;
   }
+
+  /// Arena for instruction buffers.  Created on first use; instruction
+  /// selection can instead point it at an external arena (batch mode:
+  /// one arena shared by the IR and machine module, reset together).
+  Arena *arena() {
+    if (!CodeArena) {
+      OwnedArena = std::make_unique<Arena>(1 << 14);
+      CodeArena = OwnedArena.get();
+    }
+    return CodeArena;
+  }
+  void setArena(Arena *Ext) { CodeArena = Ext; }
+
+private:
+  std::unique_ptr<Arena> OwnedArena; ///< Null when borrowing.
+  Arena *CodeArena = nullptr;
 };
 
 /// Renders one machine instruction.

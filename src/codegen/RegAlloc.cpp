@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
@@ -90,31 +91,46 @@ void Allocator::livenessPerBlock(
     const std::unordered_map<std::uint64_t, unsigned> &IdOf, unsigned NR,
     std::vector<BitVector> &LiveOut) const {
   const unsigned N = static_cast<unsigned>(MF.Blocks.size());
+  // One instruction walk total: summarize each block as upward-exposed
+  // uses and defs, then run the word-parallel fixpoint on the summaries
+  // (In = Use ∪ (Out − Def), identical to the per-instruction backward
+  // walk it replaces).
+  std::vector<BitVector> Use(N, BitVector(NR)), Def(N, BitVector(NR));
+  for (unsigned B = 0; B < N; ++B) {
+    BitVector &U = Use[B], &D = Def[B];
+    const auto &Insts = MF.Blocks[B].Insts;
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      forEachMDef(*It, [&](const Reg &R) {
+        if (R.Cls == Cls) {
+          unsigned Id = IdOf.at(key(R));
+          U.reset(Id);
+          D.set(Id);
+        }
+      });
+      forEachMUse(*It, [&](const Reg &R) {
+        if (R.Cls == Cls)
+          U.set(IdOf.at(key(R)));
+      });
+    }
+  }
+
   std::vector<BitVector> LiveIn(N, BitVector(NR));
   LiveOut.assign(N, BitVector(NR));
+  BitVector Out(NR), In(NR);
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (unsigned Step = 0; Step < N; ++Step) {
       unsigned B = N - 1 - Step;
-      BitVector Out(NR);
+      Out.reset();
       for (unsigned S : MF.Blocks[B].Succs)
         Out |= LiveIn[S];
-      BitVector In = Out;
-      const auto &Insts = MF.Blocks[B].Insts;
-      for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
-        forEachMDef(*It, [&](const Reg &D) {
-          if (D.Cls == Cls)
-            In.reset(IdOf.at(key(D)));
-        });
-        forEachMUse(*It, [&](const Reg &U) {
-          if (U.Cls == Cls)
-            In.set(IdOf.at(key(U)));
-        });
-      }
+      In = Out;
+      In.subtract(Def[B]);
+      In |= Use[B];
       if (In != LiveIn[B] || Out != LiveOut[B]) {
-        LiveIn[B] = std::move(In);
-        LiveOut[B] = std::move(Out);
+        std::swap(LiveIn[B], In);
+        std::swap(LiveOut[B], Out);
         Changed = true;
       }
     }
@@ -284,15 +300,18 @@ bool Allocator::allocateClass(RegClass Cls) {
 
     std::vector<unsigned> Stack;
     std::vector<char> Removed(NR, 0);
-    std::vector<unsigned> Virtuals;
+    // Decision order must stay keyed by register identity, not dense id.
+    // Sorting (key, id) pairs directly beats an indirect comparator: the
+    // keys are unique, so the order is the same.
+    std::vector<std::pair<std::uint64_t, unsigned>> VKeys;
     for (unsigned N2 = 0; N2 < NR; ++N2)
       if (RegOf[N2].isVirtual())
-        Virtuals.push_back(N2);
-    // Decision order must stay keyed by register identity, not dense id.
-    std::sort(Virtuals.begin(), Virtuals.end(),
-              [&](unsigned A, unsigned B) {
-                return key(RegOf[A]) < key(RegOf[B]);
-              });
+        VKeys.emplace_back(key(RegOf[N2]), N2);
+    std::sort(VKeys.begin(), VKeys.end());
+    std::vector<unsigned> Virtuals;
+    Virtuals.reserve(VKeys.size());
+    for (const auto &[VK, N2] : VKeys)
+      Virtuals.push_back(N2);
 
     auto RemoveNode = [&](unsigned N2) {
       Stack.push_back(N2);
@@ -574,12 +593,17 @@ void Allocator::computeDebugTables() {
   auto RegKey = [](const Reg &R) {
     return (static_cast<std::uint64_t>(R.Cls == RegClass::Fp) << 32) | R.N;
   };
+  // Physical-register key of each register-homed variable, precomputed:
+  // OwnTransfer runs per definition of every instruction and must not
+  // hash into Storage each time.
+  std::vector<std::uint64_t> VarRegKey(NV);
+  for (unsigned Idx = 0; Idx < NV; ++Idx)
+    VarRegKey[Idx] = RegKey(MF.Storage.at(RegVars[Idx]).R);
   auto OwnTransfer = [&](const MInstr &I, BitVector &Own) {
     forEachMDef(I, [&](const Reg &D) {
       std::uint64_t DK = RegKey(D);
       for (unsigned Idx = 0; Idx < NV; ++Idx) {
-        const VarStorage &S = MF.Storage.at(RegVars[Idx]);
-        if (RegKey(S.R) != DK)
+        if (VarRegKey[Idx] != DK)
           continue;
         if (I.DestVar == RegVars[Idx] && D == I.Dest)
           Own.set(Idx);
@@ -600,12 +624,24 @@ void Allocator::computeDebugTables() {
     for (unsigned B = 0; B < NB; ++B) {
       // The per-bit transfer is monotone (set/reset independent of the
       // input), so Gen = f(0) and Kill = ~f(1) reproduce it exactly:
-      // Out = (In - Kill) | Gen == In ? f(1) : f(0) per bit.
+      // Out = (In - Kill) | Gen == In ? f(1) : f(0) per bit.  The
+      // decision is input-independent, so one walk updates both states.
       BitVector Flow(NV, true), Zero(NV);
-      for (const MInstr &I : MF.Blocks[B].Insts) {
-        OwnTransfer(I, Flow);
-        OwnTransfer(I, Zero);
-      }
+      for (const MInstr &I : MF.Blocks[B].Insts)
+        forEachMDef(I, [&](const Reg &D) {
+          std::uint64_t DK = RegKey(D);
+          for (unsigned Idx = 0; Idx < NV; ++Idx) {
+            if (VarRegKey[Idx] != DK)
+              continue;
+            if (I.DestVar == RegVars[Idx] && D == I.Dest) {
+              Flow.set(Idx);
+              Zero.set(Idx);
+            } else {
+              Flow.reset(Idx);
+              Zero.reset(Idx);
+            }
+          }
+        });
       P.Gen[B] = Zero;
       P.Kill[B] = Flow;
       P.Kill[B].flip();
@@ -614,20 +650,22 @@ void Allocator::computeDebugTables() {
     DataflowResult Own =
         solveDataflowGeneric(NB, Preds, Succs, Exits, P);
 
-    for (unsigned Idx = 0; Idx < NV; ++Idx) {
-      BitVector Bits(Total);
-      for (unsigned B = 0; B < NB; ++B) {
-        BitVector State = Own.In[B];
-        std::uint32_t A = MF.BlockAddr[B];
-        for (const MInstr &I : MF.Blocks[B].Insts) {
-          if (State.test(Idx))
-            Bits.set(A);
-          OwnTransfer(I, State);
-          ++A;
-        }
+    // One walk of the code for all variables: expand the block-entry
+    // solution instruction by instruction, scattering each live bit into
+    // its variable's per-address residence map.
+    std::vector<BitVector> Res(NV, BitVector(Total));
+    for (unsigned B = 0; B < NB; ++B) {
+      BitVector State = Own.In[B];
+      std::uint32_t A = MF.BlockAddr[B];
+      for (const MInstr &I : MF.Blocks[B].Insts) {
+        for (unsigned Idx : State)
+          Res[Idx].set(A);
+        OwnTransfer(I, State);
+        ++A;
       }
-      MF.ResidentAt[RegVars[Idx]] = std::move(Bits);
     }
+    for (unsigned Idx = 0; Idx < NV; ++Idx)
+      MF.ResidentAt[RegVars[Idx]] = std::move(Res[Idx]);
   }
 
   // Recovery validity for markers whose recovery value lives in a
@@ -641,6 +679,10 @@ void Allocator::computeDebugTables() {
   //  * IV-invariant recoveries (paper \xc2\xa72.5 strength reduction) survive
   //    updates *of the source itself* but die when another value takes
   //    the register.
+  // The ownership solution depends only on (source vreg, physical
+  // register); markers sharing that pair (common: several markers of the
+  // same variable) reuse one solve.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, BitVector> OwnAtCache;
   for (unsigned B = 0; B < NB; ++B) {
     std::uint32_t A = MF.BlockAddr[B];
     for (std::size_t Idx = 0; Idx < MF.Blocks[B].Insts.size(); ++Idx, ++A) {
@@ -660,37 +702,44 @@ void Allocator::computeDebugTables() {
         else
           Own.reset(0);
       };
-      DataflowProblem OP;
-      OP.Dir = FlowDir::Forward;
-      OP.Meet = FlowMeet::Intersect;
-      OP.Universe = 1;
-      OP.Gen.assign(NB, BitVector(1));
-      OP.Kill.assign(NB, BitVector(1));
-      OP.Boundary = BitVector(1);
-      for (unsigned B2 = 0; B2 < NB; ++B2) {
-        BitVector Flow(1, true), Zero(1);
-        for (const MInstr &CI : MF.Blocks[B2].Insts) {
-          RecTransfer(CI, Flow);
-          RecTransfer(CI, Zero);
+      auto CacheIt = OwnAtCache.find({key(Src), PK});
+      if (CacheIt == OwnAtCache.end()) {
+        DataflowProblem OP;
+        OP.Dir = FlowDir::Forward;
+        OP.Meet = FlowMeet::Intersect;
+        OP.Universe = 1;
+        OP.Gen.assign(NB, BitVector(1));
+        OP.Kill.assign(NB, BitVector(1));
+        OP.Boundary = BitVector(1);
+        for (unsigned B2 = 0; B2 < NB; ++B2) {
+          BitVector Flow(1, true), Zero(1);
+          for (const MInstr &CI : MF.Blocks[B2].Insts) {
+            RecTransfer(CI, Flow);
+            RecTransfer(CI, Zero);
+          }
+          OP.Gen[B2] = Zero;
+          OP.Kill[B2] = Flow;
+          OP.Kill[B2].flip();
+          OP.Kill[B2].subtract(OP.Gen[B2]);
         }
-        OP.Gen[B2] = Zero;
-        OP.Kill[B2] = Flow;
-        OP.Kill[B2].flip();
-        OP.Kill[B2].subtract(OP.Gen[B2]);
-      }
-      DataflowResult Own =
-          solveDataflowGeneric(NB, Preds, Succs, Exits, OP);
-      BitVector OwnAt(Total);
-      for (unsigned B2 = 0; B2 < NB; ++B2) {
-        BitVector State = Own.In[B2];
-        std::uint32_t A2 = MF.BlockAddr[B2];
-        for (const MInstr &CI : MF.Blocks[B2].Insts) {
-          if (State.test(0))
-            OwnAt.set(A2);
-          RecTransfer(CI, State);
-          ++A2;
+        DataflowResult Own =
+            solveDataflowGeneric(NB, Preds, Succs, Exits, OP);
+        BitVector Expanded(Total);
+        for (unsigned B2 = 0; B2 < NB; ++B2) {
+          BitVector State = Own.In[B2];
+          std::uint32_t A2 = MF.BlockAddr[B2];
+          for (const MInstr &CI : MF.Blocks[B2].Insts) {
+            if (State.test(0))
+              Expanded.set(A2);
+            RecTransfer(CI, State);
+            ++A2;
+          }
         }
+        CacheIt = OwnAtCache.emplace(std::make_pair(key(Src), PK),
+                                     std::move(Expanded))
+                      .first;
       }
+      const BitVector &OwnAt = CacheIt->second;
 
       BitVector Valid(Total);
       if (I.Recovery.IsIV) {

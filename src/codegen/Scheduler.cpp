@@ -177,6 +177,6 @@ void sldb::scheduleFunction(MachineFunction &MF) {
       Region.push_back(std::move(I));
     }
     Flush();
-    B.Insts = std::move(NewInsts);
+    B.Insts.assign(NewInsts.begin(), NewInsts.end());
   }
 }

@@ -146,10 +146,20 @@ bool Lexer::match(char Expected) {
 }
 
 void Lexer::skipWhitespaceAndComments() {
-  while (Pos < Source.size()) {
-    char C = peek();
-    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
-      advance();
+  const std::size_t N = Source.size();
+  while (Pos < N) {
+    char C = Source[Pos];
+    // Plain whitespace dominates; update position inline instead of
+    // paying a call per character.
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      ++Col;
+      continue;
+    }
+    if (C == '\n') {
+      ++Pos;
+      ++Line;
+      Col = 1;
       continue;
     }
     if (C == '/' && peek(1) == '/') {
@@ -218,12 +228,20 @@ Token Lexer::lexNumber(SourceLoc Start) {
 
 Token Lexer::lexIdentifier(SourceLoc Start) {
   std::size_t Begin = Pos;
-  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
-    advance();
-  std::string Text(Source.substr(Begin, Pos - Begin));
+  const std::size_t N = Source.size();
+  // Identifiers contain no newlines: scan to the end, then bump the
+  // column once.
+  while (Pos < N) {
+    char C = Source[Pos];
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      break;
+    ++Pos;
+  }
+  Col += static_cast<std::uint32_t>(Pos - Begin);
+  std::string_view Text = Source.substr(Begin, Pos - Begin);
 
   static const struct {
-    const char *Spelling;
+    std::string_view Spelling;
     TokKind Kind;
   } Keywords[] = {
       {"int", TokKind::KwInt},         {"double", TokKind::KwDouble},
@@ -237,7 +255,7 @@ Token Lexer::lexIdentifier(SourceLoc Start) {
       return makeToken(KW.Kind, Start);
 
   Token T = makeToken(TokKind::Identifier, Start);
-  T.Text = std::move(Text);
+  T.Text.assign(Text);
   return T;
 }
 

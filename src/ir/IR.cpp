@@ -7,35 +7,38 @@
 #include "ir/IR.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 using namespace sldb;
 
 void IRFunction::recomputePreds() {
-  for (auto &B : Blocks)
+  for (BasicBlock *B : Blocks)
     B->Preds.clear();
-  for (auto &B : Blocks)
-    for (BasicBlock *S : B->succs())
-      S->Preds.push_back(B.get());
+  for (BasicBlock *B : Blocks)
+    for (BasicBlock *S : B->succRange())
+      S->Preds.push_back(B);
 }
 
 std::vector<BasicBlock *> IRFunction::rpo() {
   std::vector<BasicBlock *> Order;
   if (Blocks.empty())
     return Order;
-  std::unordered_set<BasicBlock *> Visited;
+  // Block ids are assigned monotonically and never reused, so a flat
+  // byte map indexed by id replaces a hash set on the hot path.
+  std::vector<char> Visited(NextBlockId, 0);
   // Iterative post-order DFS.
   std::vector<std::pair<BasicBlock *, unsigned>> Stack;
   Stack.emplace_back(entry(), 0);
-  Visited.insert(entry());
+  Visited[entry()->Id] = 1;
   std::vector<BasicBlock *> Post;
   while (!Stack.empty()) {
     auto &[B, NextSucc] = Stack.back();
-    std::vector<BasicBlock *> Succs = B->succs();
+    BasicBlock::SuccRange Succs = B->succRange();
     if (NextSucc < Succs.size()) {
       BasicBlock *S = Succs[NextSucc++];
-      if (Visited.insert(S).second)
+      if (!Visited[S->Id]) {
+        Visited[S->Id] = 1;
         Stack.emplace_back(S, 0);
+      }
       continue;
     }
     Post.push_back(B);
@@ -43,27 +46,34 @@ std::vector<BasicBlock *> IRFunction::rpo() {
   }
   Order.assign(Post.rbegin(), Post.rend());
   // Append unreachable blocks in layout order so analyses still see them.
-  for (auto &B : Blocks)
-    if (!Visited.count(B.get()))
-      Order.push_back(B.get());
+  for (BasicBlock *B : Blocks)
+    if (!Visited[B->Id])
+      Order.push_back(B);
   return Order;
 }
 
 bool IRFunction::removeUnreachable() {
-  std::unordered_set<BasicBlock *> Reachable;
+  std::vector<char> Reachable(NextBlockId, 0);
   std::vector<BasicBlock *> Work{entry()};
-  Reachable.insert(entry());
+  Reachable[entry()->Id] = 1;
   while (!Work.empty()) {
     BasicBlock *B = Work.back();
     Work.pop_back();
-    for (BasicBlock *S : B->succs())
-      if (Reachable.insert(S).second)
+    for (BasicBlock *S : B->succRange())
+      if (!Reachable[S->Id]) {
+        Reachable[S->Id] = 1;
         Work.push_back(S);
+      }
   }
   std::size_t Before = Blocks.size();
   Blocks.erase(std::remove_if(Blocks.begin(), Blocks.end(),
-                              [&](const std::unique_ptr<BasicBlock> &B) {
-                                return !Reachable.count(B.get());
+                              [&](BasicBlock *B) {
+                                if (Reachable[B->Id])
+                                  return false;
+                                // Release the block's instructions back to
+                                // the pool; the arena keeps the memory.
+                                B->~BasicBlock();
+                                return true;
                               }),
                Blocks.end());
   if (Blocks.size() != Before) {
@@ -78,8 +88,24 @@ BasicBlock *IRFunction::splitEdge(BasicBlock *From, BasicBlock *To) {
   Instr Jump;
   Jump.Op = Opcode::Br;
   Jump.Succs[0] = To;
-  Mid->Insts.push_back(Jump);
+  Mid->Insts.push_back(std::move(Jump));
   From->replaceSucc(To, Mid);
-  recomputePreds();
+  // Incremental pred update, reproducing recomputePreds() order exactly:
+  // Mid is the last block, so its entries in To->Preds go at the end
+  // (one per redirected From->To edge), and From's entries disappear.
+  std::size_t Redirected = 0;
+  auto &TP = To->Preds;
+  TP.erase(std::remove_if(TP.begin(), TP.end(),
+                          [&](BasicBlock *P) {
+                            if (P != From)
+                              return false;
+                            ++Redirected;
+                            return true;
+                          }),
+           TP.end());
+  if (Redirected == 0)
+    Redirected = 1; // Stale preds: still record the edge we created.
+  TP.insert(TP.end(), Redirected, Mid);
+  Mid->Preds.assign(Redirected, From);
   return Mid;
 }

@@ -21,6 +21,15 @@
 ///    pseudo-instructions (ignored by optimizations, used by the debugger
 ///    analyses), optionally carrying a recovery value.
 ///
+/// Memory model (DESIGN.md "IR memory model & batch compilation"): every
+/// function, block, and instruction of a module lives in one Arena.
+/// Instructions sit in a per-function InstrPool — dense, stable InstrIds
+/// chained into per-block InstrLists — so pass mutation keeps the std::list
+/// idioms (O(1) insert/erase/splice, stable pointers) without a heap node
+/// per instruction.  The IRModule owns the arena (or borrows a caller's,
+/// for batch compilation) and destroys its functions; the arena itself
+/// never runs destructors.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLDB_IR_IR_H
@@ -28,11 +37,13 @@
 
 #include "frontend/Ast.h"
 #include "frontend/Symbols.h"
+#include "ir/InstrStorage.h"
+#include "support/Arena.h"
 #include "support/Casting.h"
+#include "support/SmallVector.h"
 #include "support/SourceLoc.h"
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -209,10 +220,14 @@ class BasicBlock;
 
 /// One three-address instruction.
 struct Instr {
+  /// Operand list.  Two elements of inline storage: everything except a
+  /// Call with 3+ arguments fits without touching the heap.
+  using OpsVec = SmallVector<Value, 2>;
+
   Opcode Op = Opcode::Nop;
   IRType Ty = IRType::Void; ///< Result type.
   Value Dest;               ///< Temp or Var destination (or None).
-  std::vector<Value> Ops;   ///< Operands (see opcode conventions).
+  OpsVec Ops;               ///< Operands (see opcode conventions).
   FuncId Callee = InvalidFunc;
   Builtin BuiltinKind = Builtin::None;
   BasicBlock *Succs[2] = {nullptr, nullptr}; ///< Br: [0]; CondBr: [T, F].
@@ -306,18 +321,24 @@ struct Instr {
 //===----------------------------------------------------------------------===//
 
 /// A basic block: a label plus a straight-line instruction list ending in a
-/// terminator.
+/// terminator.  Blocks are arena-placed by IRFunction::newBlock and their
+/// instructions live in the owning function's InstrPool.
 class BasicBlock {
 public:
-  BasicBlock(std::uint32_t Id, std::string Name)
-      : Id(Id), Name(std::move(Name)) {}
+  BasicBlock(InstrPool *P, std::uint32_t Id, std::string Name)
+      : Id(Id), Name(std::move(Name)), Insts(P) {}
 
   std::uint32_t Id;
   std::string Name;
-  std::list<Instr> Insts;
+  InstrList Insts;
 
   /// Predecessors; maintained by IRFunction::recomputePreds().
   std::vector<BasicBlock *> Preds;
+
+  /// Position of this block in the CFGContext traversal order (reverse
+  /// post-order); maintained by CFGContext so the dataflow kernels can map
+  /// block -> dense index without hashing.
+  std::uint32_t CtxIndex = 0;
 
   /// The terminator (last instruction).  The block must be non-empty.
   Instr &term() {
@@ -331,15 +352,31 @@ public:
 
   bool hasTerm() const { return !Insts.empty() && Insts.back().isTerm(); }
 
-  /// Successor list (0, 1, or 2 blocks).
-  std::vector<BasicBlock *> succs() const {
-    std::vector<BasicBlock *> S;
+  /// Non-allocating successor view: a pointer range into the
+  /// terminator's successor array.  Stays valid while the terminator
+  /// instruction itself is not erased.
+  struct SuccRange {
+    BasicBlock *const *First = nullptr;
+    BasicBlock *const *Last = nullptr;
+    BasicBlock *const *begin() const { return First; }
+    BasicBlock *const *end() const { return Last; }
+    std::size_t size() const { return static_cast<std::size_t>(Last - First); }
+    bool empty() const { return First == Last; }
+    BasicBlock *operator[](std::size_t I) const { return First[I]; }
+  };
+
+  SuccRange succRange() const {
     if (!hasTerm())
-      return S;
+      return {};
     const Instr &T = Insts.back();
-    for (unsigned I = 0, E = T.numSuccs(); I != E; ++I)
-      S.push_back(T.Succs[I]);
-    return S;
+    return {T.Succs, T.Succs + T.numSuccs()};
+  }
+
+  /// Successor list (0, 1, or 2 blocks).  Allocates; prefer succRange()
+  /// in hot paths.
+  std::vector<BasicBlock *> succs() const {
+    SuccRange R = succRange();
+    return std::vector<BasicBlock *>(R.begin(), R.end());
   }
 
   /// Replaces every successor edge to \p From with \p To.
@@ -386,17 +423,36 @@ struct AnnotationFinding {
 };
 
 /// An IR function: CFG + symbol references + bookkeeping tables.
+///
+/// Functions are arena-placed by IRModule::newFunction; the function
+/// destroys its blocks (and its InstrPool the instructions), the arena
+/// reclaims the memory when the module goes away.
 class IRFunction {
 public:
-  IRFunction(FuncId Id, std::string Name, IRType RetTy)
-      : Id(Id), Name(std::move(Name)), RetTy(RetTy) {}
+  /// Arena backing this function's blocks and instruction pool; owned by
+  /// the IRModule.  Declared first: Pool is built over it.
+  Arena &A;
+
+  /// Storage for every instruction of this function.
+  InstrPool Pool;
+
+  IRFunction(Arena &A, FuncId Id, std::string Name, IRType RetTy)
+      : A(A), Pool(A), Id(Id), Name(std::move(Name)), RetTy(RetTy) {}
+
+  IRFunction(const IRFunction &) = delete;
+  IRFunction &operator=(const IRFunction &) = delete;
+
+  ~IRFunction() {
+    for (BasicBlock *B : Blocks)
+      B->~BasicBlock();
+  }
 
   FuncId Id;
   std::string Name;
   IRType RetTy;
   std::vector<VarId> Params;
 
-  std::vector<std::unique_ptr<BasicBlock>> Blocks; ///< Blocks[0] = entry.
+  std::vector<BasicBlock *> Blocks; ///< Blocks[0] = entry; arena-placed.
   TempId NextTemp = 0;
   std::uint32_t NextBlockId = 0;
 
@@ -425,15 +481,16 @@ public:
   /// the Classifier can degrade the affected variables.
   std::vector<AnnotationFinding> AnnotationFindings;
 
-  BasicBlock *entry() { return Blocks.front().get(); }
-  const BasicBlock *entry() const { return Blocks.front().get(); }
+  BasicBlock *entry() { return Blocks.front(); }
+  const BasicBlock *entry() const { return Blocks.front(); }
 
   /// Creates a new empty block (appended; layout order = Blocks order).
   BasicBlock *newBlock(const std::string &NameHint) {
-    Blocks.push_back(std::make_unique<BasicBlock>(
-        NextBlockId, NameHint + std::to_string(NextBlockId)));
+    BasicBlock *B = A.make<BasicBlock>(
+        &Pool, NextBlockId, NameHint + std::to_string(NextBlockId));
     ++NextBlockId;
-    return Blocks.back().get();
+    Blocks.push_back(B);
+    return B;
   }
 
   /// Allocates a fresh temporary of type \p Ty.
@@ -467,21 +524,191 @@ public:
 };
 
 /// A compiled module: functions plus the symbol tables from Sema.
+///
+/// The module owns the arena every function/block/instruction lives in —
+/// or borrows one from the caller (batch compilation: one arena reused
+/// across modules, reset between them).
 class IRModule {
 public:
+  /// With no argument the module creates and owns its arena; passing
+  /// \p Ext makes it compile into the caller's arena instead.  In that
+  /// case the module must be destroyed before the arena is reset.
+  explicit IRModule(Arena *Ext = nullptr)
+      : OwnedArena(Ext ? nullptr : new Arena(1 << 16)),
+        A(Ext ? Ext : OwnedArena.get()) {}
+
+  IRModule(const IRModule &) = delete;
+  IRModule &operator=(const IRModule &) = delete;
+
+  ~IRModule() {
+    for (IRFunction *F : Funcs)
+      F->~IRFunction();
+  }
+
+  Arena &arena() { return *A; }
+
+  /// Creates a function in this module's arena.
+  IRFunction *newFunction(FuncId Id, std::string Name, IRType RetTy) {
+    IRFunction *F = A->make<IRFunction>(*A, Id, std::move(Name), RetTy);
+    Funcs.push_back(F);
+    return F;
+  }
+
   std::unique_ptr<ProgramInfo> Info;
-  std::vector<std::unique_ptr<IRFunction>> Funcs;
+  std::vector<IRFunction *> Funcs; ///< Arena-placed; destroyed by ~IRModule.
 
   /// Constant initializers for global scalars.
   std::vector<std::pair<VarId, Value>> GlobalInits;
 
   IRFunction *findFunc(const std::string &Name) {
-    for (auto &F : Funcs)
+    for (IRFunction *F : Funcs)
       if (F->Name == Name)
-        return F.get();
+        return F;
     return nullptr;
   }
+
+private:
+  std::unique_ptr<Arena> OwnedArena; ///< Null when borrowing.
+  Arena *A;
 };
+
+//===----------------------------------------------------------------------===//
+// InstrPool / InstrList implementation
+//===----------------------------------------------------------------------===//
+// Lives here (not in InstrStorage.h) because the slot layout needs Instr
+// complete.  Everything is inline: these are the hottest paths in the
+// compiler (every pass iteration walks them).
+
+struct InstrPool::Slot {
+  Instr I;
+  InstrId Prev = InvalidInstr;
+  InstrId Next = InvalidInstr;
+};
+
+inline InstrPool::Slot *InstrPool::slot(InstrId Id) const {
+  assert(Id < NumCreated && "bad instruction id");
+  return &Slabs[Id >> SlabShift][Id & SlabMask];
+}
+
+inline Instr &InstrPool::instr(InstrId Id) { return slot(Id)->I; }
+inline const Instr &InstrPool::instr(InstrId Id) const {
+  return slot(Id)->I;
+}
+inline InstrId InstrPool::prevOf(InstrId Id) const { return slot(Id)->Prev; }
+inline InstrId InstrPool::nextOf(InstrId Id) const { return slot(Id)->Next; }
+inline void InstrPool::setPrev(InstrId Id, InstrId P) { slot(Id)->Prev = P; }
+inline void InstrPool::setNext(InstrId Id, InstrId N) { slot(Id)->Next = N; }
+
+inline InstrId InstrPool::alloc(Instr &&I) {
+  if (FreeHead != InvalidInstr) {
+    InstrId Id = FreeHead;
+    Slot *S = slot(Id);
+    FreeHead = S->Next;
+    --NumFree;
+    S->I = std::move(I);
+    S->Prev = S->Next = InvalidInstr;
+    return Id;
+  }
+  if ((NumCreated & SlabMask) == 0)
+    Slabs.push_back(A.allocate<Slot>(SlabSlots));
+  InstrId Id = NumCreated++;
+  Slot *S = new (&Slabs[Id >> SlabShift][Id & SlabMask]) Slot();
+  S->I = std::move(I);
+  return Id;
+}
+
+inline void InstrPool::free(InstrId Id) {
+  Slot *S = slot(Id);
+  // Clear the payload so any heap-spilled operand list is released now;
+  // the slot object stays alive for reuse.
+  S->I = Instr();
+  S->Prev = InvalidInstr;
+  S->Next = FreeHead;
+  FreeHead = Id;
+  ++NumFree;
+}
+
+inline InstrPool::~InstrPool() {
+  // The arena reclaims the slabs; only non-trivial members of Instr (the
+  // operand list when heap-spilled) need destruction.  Freed slots hold
+  // empty instructions, so destroying every created slot is safe.
+  for (InstrId Id = 0; Id < NumCreated; ++Id)
+    slot(Id)->~Slot();
+}
+
+inline void InstrList::push_back(Instr I) {
+  insertId(InvalidInstr, std::move(I));
+}
+
+inline InstrList::iterator InstrList::insert(const_iterator Pos, Instr I) {
+  return iterator(P, this, insertId(Pos.id(), std::move(I)));
+}
+
+inline InstrId InstrList::insertId(InstrId Before, Instr &&I) {
+  assert(P && "instruction list has no pool");
+  InstrId Id = P->alloc(std::move(I));
+  InstrId Prev = (Before == InvalidInstr) ? Tail : P->prevOf(Before);
+  P->setPrev(Id, Prev);
+  P->setNext(Id, Before);
+  if (Prev != InvalidInstr)
+    P->setNext(Prev, Id);
+  else
+    Head = Id;
+  if (Before != InvalidInstr)
+    P->setPrev(Before, Id);
+  else
+    Tail = Id;
+  ++Count;
+  return Id;
+}
+
+inline void InstrList::eraseId(InstrId Id) {
+  InstrId Prev = P->prevOf(Id), Next = P->nextOf(Id);
+  if (Prev != InvalidInstr)
+    P->setNext(Prev, Next);
+  else
+    Head = Next;
+  if (Next != InvalidInstr)
+    P->setPrev(Next, Prev);
+  else
+    Tail = Prev;
+  P->free(Id);
+  --Count;
+}
+
+inline InstrList &InstrList::operator=(const InstrList &RHS) {
+  if (this == &RHS)
+    return *this;
+  clear();
+  if (!P)
+    P = RHS.P;
+  for (const Instr &I : RHS)
+    push_back(I);
+  return *this;
+}
+
+inline void InstrList::splice(const_iterator Pos, InstrList &Other) {
+  if (&Other == this || Other.Count == 0)
+    return;
+  if (!P)
+    P = Other.P;
+  assert(P == Other.P && "splice across pools");
+  InstrId Before = Pos.id();
+  InstrId Prev = (Before == InvalidInstr) ? Tail : P->prevOf(Before);
+  if (Prev != InvalidInstr)
+    P->setNext(Prev, Other.Head);
+  else
+    Head = Other.Head;
+  P->setPrev(Other.Head, Prev);
+  P->setNext(Other.Tail, Before);
+  if (Before != InvalidInstr)
+    P->setPrev(Before, Other.Tail);
+  else
+    Tail = Other.Tail;
+  Count += Other.Count;
+  Other.Head = Other.Tail = InvalidInstr;
+  Other.Count = 0;
+}
 
 } // namespace sldb
 

@@ -531,13 +531,11 @@ Value IRGen::genIncDec(const UnaryExpr *E) {
 }
 
 Value IRGen::genCall(const CallExpr *E) {
-  std::vector<Value> Args;
-  Args.reserve(E->Args.size());
-  for (const ExprPtr &A : E->Args)
-    Args.push_back(genExpr(A.get()));
   Instr I;
   I.Op = Opcode::Call;
-  I.Ops = std::move(Args);
+  I.Ops.reserve(E->Args.size());
+  for (const ExprPtr &A : E->Args)
+    I.Ops.push_back(genExpr(A.get()));
   I.Callee = E->Func;
   I.BuiltinKind = E->BuiltinKind;
   I.Ty = irTypeFor(E->Ty);
@@ -686,8 +684,9 @@ Value IRGen::genExpr(const Expr *E) {
 
 std::unique_ptr<IRModule> sldb::generateIR(const TranslationUnit &TU,
                                            std::unique_ptr<ProgramInfo> Info,
-                                           DiagnosticEngine *Diags) {
-  auto M = std::make_unique<IRModule>();
+                                           DiagnosticEngine *Diags,
+                                           Arena *A) {
+  auto M = std::make_unique<IRModule>(A);
   M->Info = std::move(Info);
 
   for (const VarDecl &G : TU.Globals) {
@@ -700,8 +699,8 @@ std::unique_ptr<IRModule> sldb::generateIR(const TranslationUnit &TU,
   }
 
   for (const auto &FD : TU.Functions) {
-    auto F = std::make_unique<IRFunction>(FD->Func, FD->Name,
-                                          irTypeFor(FD->RetTy));
+    IRFunction *F =
+        M->newFunction(FD->Func, FD->Name, irTypeFor(FD->RetTy));
     for (const VarDecl &P : FD->Params)
       F->Params.push_back(P.Var);
     IRGen Gen(*M, *F, *M->Info);
@@ -715,15 +714,15 @@ std::unique_ptr<IRModule> sldb::generateIR(const TranslationUnit &TU,
                                       "': " + Gen.InternalErr);
       return nullptr;
     }
-    M->Funcs.push_back(std::move(F));
   }
   return M;
 }
 
 std::unique_ptr<IRModule> sldb::compileToIR(std::string_view Source,
-                                            DiagnosticEngine &Diags) {
+                                            DiagnosticEngine &Diags,
+                                            Arena *A) {
   FrontendResult FR = runFrontend(Source, Diags);
   if (!FR.TU)
     return nullptr;
-  return generateIR(*FR.TU, std::move(FR.Info), &Diags);
+  return generateIR(*FR.TU, std::move(FR.Info), &Diags, A);
 }

@@ -26,15 +26,18 @@ namespace sldb {
 /// Lowers a checked translation unit into an IR module.  Takes ownership
 /// of the symbol tables.  Internal lowering inconsistencies (AST shapes
 /// Sema should have rejected) are reported to \p Diags when provided and
-/// yield null instead of asserting.
+/// yield null instead of asserting.  When \p A is given the module is
+/// built in that arena (batch compilation); otherwise it owns its own.
 std::unique_ptr<IRModule> generateIR(const TranslationUnit &TU,
                                      std::unique_ptr<ProgramInfo> Info,
-                                     DiagnosticEngine *Diags = nullptr);
+                                     DiagnosticEngine *Diags = nullptr,
+                                     Arena *A = nullptr);
 
 /// Convenience driver: front end + IR generation.  Returns null and fills
-/// \p Diags on error.
+/// \p Diags on error.  \p A as in generateIR.
 std::unique_ptr<IRModule> compileToIR(std::string_view Source,
-                                      DiagnosticEngine &Diags);
+                                      DiagnosticEngine &Diags,
+                                      Arena *A = nullptr);
 
 } // namespace sldb
 

@@ -1,0 +1,247 @@
+//===- ir/InstrStorage.h - Arena-backed instruction storage -----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense, stable instruction storage.  Every instruction of a function
+/// lives in one InstrPool: slab-allocated slots carved from the function's
+/// arena, each addressed by a dense InstrId that never moves (pointers and
+/// ids stay valid across inserts and erases elsewhere).  Basic blocks hold
+/// InstrLists — intrusive doubly-linked chains of pool ids — giving the
+/// std::list mutation idioms (O(1) insert/erase/splice while iterating)
+/// without per-node heap allocation or pointer-chasing across the heap:
+/// within a block, consecutive instructions are overwhelmingly adjacent in
+/// the slab, because IRGen appends in order.
+///
+/// Erased slots are recycled through a free list, so the id space stays
+/// dense under pass churn; an id is only reused after its slot is freed
+/// (same invalidation contract as a std::list iterator/pointer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_IR_INSTRSTORAGE_H
+#define SLDB_IR_INSTRSTORAGE_H
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace sldb {
+
+struct Instr;
+
+/// Dense identity of an instruction slot within its function's pool.
+using InstrId = std::uint32_t;
+inline constexpr InstrId InvalidInstr = ~InstrId(0);
+
+/// Slab-allocated instruction slots with intrusive prev/next links.
+class InstrPool {
+public:
+  struct Node {
+    // Defined in IR.h (Instr must be complete); see makeNode below.
+    alignas(8) unsigned char Storage[1];
+  };
+
+  explicit InstrPool(Arena &A) : A(A) {}
+  InstrPool(const InstrPool &) = delete;
+  InstrPool &operator=(const InstrPool &) = delete;
+  ~InstrPool();
+
+  Instr &instr(InstrId Id);
+  const Instr &instr(InstrId Id) const;
+
+  InstrId prevOf(InstrId Id) const;
+  InstrId nextOf(InstrId Id) const;
+  void setPrev(InstrId Id, InstrId P);
+  void setNext(InstrId Id, InstrId N);
+
+  /// Allocates a slot holding \p I.  O(1); reuses freed slots first.
+  InstrId alloc(Instr &&I);
+
+  /// Releases a slot: its payload is cleared and the id goes back on the
+  /// free list for reuse.  Pointers/iterators to OTHER slots stay valid.
+  void free(InstrId Id);
+
+  /// Upper bound (exclusive) of ids ever handed out: dense analyses can
+  /// size flat arrays by this.
+  InstrId idBound() const { return NumCreated; }
+
+  /// Live slots (created minus freed).
+  std::uint32_t liveCount() const { return NumCreated - NumFree; }
+
+private:
+  static constexpr unsigned SlabShift = 6; ///< 64 slots per slab.
+  static constexpr unsigned SlabSlots = 1u << SlabShift;
+  static constexpr unsigned SlabMask = SlabSlots - 1;
+
+  struct Slot; ///< { Instr I; InstrId Prev, Next; } — defined in IR.h.
+  Slot *slot(InstrId Id) const;
+
+  Arena &A;
+  std::vector<Slot *> Slabs;
+  InstrId NumCreated = 0;
+  InstrId FreeHead = InvalidInstr;
+  std::uint32_t NumFree = 0;
+};
+
+/// An intrusive, index-linked instruction sequence inside one InstrPool.
+/// Mirrors the std::list<Instr> surface the passes use; all mutation is
+/// O(1) and never moves other elements.
+class InstrList {
+public:
+  InstrList() = default;
+  explicit InstrList(InstrPool *P) : P(P) {}
+
+  InstrList(const InstrList &RHS) { *this = RHS; }
+  InstrList &operator=(const InstrList &RHS);
+
+  InstrList(InstrList &&RHS) noexcept
+      : P(RHS.P), Head(RHS.Head), Tail(RHS.Tail), Count(RHS.Count) {
+    RHS.Head = RHS.Tail = InvalidInstr;
+    RHS.Count = 0;
+  }
+
+  ~InstrList() { clear(); }
+
+  template <bool IsConst> class IterImpl {
+    using PoolT = std::conditional_t<IsConst, const InstrPool, InstrPool>;
+
+  public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = Instr;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<IsConst, const Instr *, Instr *>;
+    using reference = std::conditional_t<IsConst, const Instr &, Instr &>;
+
+    IterImpl() = default;
+    IterImpl(PoolT *P, const InstrList *L, InstrId Id)
+        : P(P), L(L), Id(Id) {}
+
+    /// iterator -> const_iterator.
+    template <bool C = IsConst, typename = std::enable_if_t<C>>
+    IterImpl(const IterImpl<false> &RHS)
+        : P(RHS.pool()), L(RHS.list()), Id(RHS.id()) {}
+
+    reference operator*() const { return P->instr(Id); }
+    pointer operator->() const { return &P->instr(Id); }
+
+    IterImpl &operator++() {
+      Id = P->nextOf(Id);
+      return *this;
+    }
+    IterImpl operator++(int) {
+      IterImpl T = *this;
+      ++*this;
+      return T;
+    }
+    IterImpl &operator--() {
+      Id = (Id == InvalidInstr) ? L->Tail : P->prevOf(Id);
+      return *this;
+    }
+    IterImpl operator--(int) {
+      IterImpl T = *this;
+      --*this;
+      return T;
+    }
+
+    bool operator==(const IterImpl &RHS) const { return Id == RHS.Id; }
+    bool operator!=(const IterImpl &RHS) const { return Id != RHS.Id; }
+
+    PoolT *pool() const { return P; }
+    const InstrList *list() const { return L; }
+    InstrId id() const { return Id; }
+
+  private:
+    PoolT *P = nullptr;
+    const InstrList *L = nullptr;
+    InstrId Id = InvalidInstr;
+  };
+
+  using iterator = IterImpl<false>;
+  using const_iterator = IterImpl<true>;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  iterator begin() { return iterator(P, this, Head); }
+  iterator end() { return iterator(P, this, InvalidInstr); }
+  const_iterator begin() const { return const_iterator(P, this, Head); }
+  const_iterator end() const {
+    return const_iterator(P, this, InvalidInstr);
+  }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  bool empty() const { return Count == 0; }
+  std::uint32_t size() const { return Count; }
+
+  Instr &front() {
+    assert(Count && "front() on empty list");
+    return P->instr(Head);
+  }
+  const Instr &front() const {
+    return const_cast<InstrList *>(this)->front();
+  }
+  Instr &back() {
+    assert(Count && "back() on empty list");
+    return P->instr(Tail);
+  }
+  const Instr &back() const {
+    return const_cast<InstrList *>(this)->back();
+  }
+
+  void push_back(Instr I); // defined in IR.h (needs Instr complete)
+
+  void pop_back() {
+    assert(Count && "pop_back on empty list");
+    eraseId(Tail);
+  }
+
+  /// Inserts before \p Pos; returns an iterator to the new instruction.
+  iterator insert(const_iterator Pos, Instr I); // defined in IR.h
+
+  /// Erases \p Pos; returns the iterator after it.
+  iterator erase(const_iterator Pos) {
+    InstrId Next = P->nextOf(Pos.id());
+    eraseId(Pos.id());
+    return iterator(P, this, Next);
+  }
+
+  void clear() {
+    while (Count)
+      eraseId(Head);
+  }
+
+  /// Moves every instruction of \p Other (same pool) before \p Pos.
+  /// O(1): only links are rewritten; ids and pointers stay stable.
+  void splice(const_iterator Pos, InstrList &Other);
+
+  InstrPool *pool() const { return P; }
+
+private:
+  friend class IterImpl<false>;
+  friend class IterImpl<true>;
+
+  InstrId insertId(InstrId Before, Instr &&I);
+  void eraseId(InstrId Id);
+
+  InstrPool *P = nullptr;
+  InstrId Head = InvalidInstr;
+  InstrId Tail = InvalidInstr;
+  std::uint32_t Count = 0;
+};
+
+} // namespace sldb
+
+#endif // SLDB_IR_INSTRSTORAGE_H

@@ -7,6 +7,7 @@
 #include "ir/Interp.h"
 
 #include "support/Casting.h"
+#include "support/ZeroedBuffer.h"
 
 #include <cmath>
 #include <cstdio>
@@ -46,7 +47,7 @@ struct RtVal {
 struct Frame {
   const IRFunction *F = nullptr;
   const BasicBlock *BB = nullptr;
-  std::list<Instr>::const_iterator IP;
+  InstrList::const_iterator IP;
   std::unordered_map<VarId, RtVal> RegVars;   ///< Promoted variables.
   std::unordered_map<TempId, RtVal> Temps;
   std::unordered_map<VarId, std::size_t> MemVars; ///< Memory-homed locals.
@@ -57,7 +58,7 @@ struct Frame {
 class Interpreter {
 public:
   Interpreter(const IRModule &M, std::uint64_t MaxSteps)
-      : M(M), Info(*M.Info), MaxSteps(MaxSteps) {}
+      : M(M), Info(*M.Info), MaxSteps(MaxSteps), Mem(1 << 22) {}
 
   ExecResult run();
 
@@ -87,7 +88,7 @@ private:
   std::uint64_t MaxSteps;
   ExecResult Result;
 
-  std::vector<Word> Mem;
+  ZeroedBuffer<Word> Mem; ///< 4M words, lazily-mapped zero pages.
   std::size_t SP = 0; ///< Bump allocator top for frames.
   std::unordered_map<VarId, std::size_t> GlobalAddr;
   std::unordered_map<VarId, RtVal> GlobalRegs; ///< Scalar globals.
@@ -439,9 +440,9 @@ void Interpreter::execute(const Instr &I, Frame &Fr, bool &Advanced) {
       break;
     }
     const IRFunction *Callee = nullptr;
-    for (const auto &G : M.Funcs)
+    for (const IRFunction *G : M.Funcs)
       if (G->Id == I.Callee)
-        Callee = G.get();
+        Callee = G;
     if (!Callee) {
       trap("call to unknown function");
       return;
@@ -495,8 +496,6 @@ void Interpreter::execute(const Instr &I, Frame &Fr, bool &Advanced) {
 }
 
 ExecResult Interpreter::run() {
-  Mem.resize(1 << 22); // 4M words.
-
   // Lay out globals.
   for (VarId Id : Info.Globals) {
     const VarInfo &VI = Info.var(Id);
@@ -522,9 +521,9 @@ ExecResult Interpreter::run() {
   }
 
   const IRFunction *Main = nullptr;
-  for (const auto &F : M.Funcs)
+  for (const IRFunction *F : M.Funcs)
     if (F->Name == "main")
-      Main = F.get();
+      Main = F;
   if (!Main) {
     trap("no main function");
     return Result;

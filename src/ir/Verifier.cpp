@@ -164,8 +164,8 @@ bool FunctionVerifier::run() {
     return false;
   }
 
-  for (const auto &B : F.Blocks)
-    Owned.insert(B.get());
+  for (const BasicBlock *B : F.Blocks)
+    Owned.insert(B);
 
   for (const auto &B : F.Blocks) {
     check(!B->Insts.empty(), *B, nullptr, "empty block");

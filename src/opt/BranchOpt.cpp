@@ -78,10 +78,10 @@ private:
     bool Changed = false;
     F.recomputePreds();
     for (auto &B : F.Blocks) {
-      if (B.get() == F.entry() || !isForwardingBlock(*B))
+      if (B == F.entry() || !isForwardingBlock(*B))
         continue;
       BasicBlock *Succ = B->Insts.back().Succs[0];
-      if (Succ == B.get())
+      if (Succ == B)
         continue; // Self loop.
       // Move any markers into the successor's front (paper §3: debugging
       // information of a deleted block transfers to its successor).
@@ -103,7 +103,7 @@ private:
       if (B->Preds.empty())
         continue;
       for (BasicBlock *P : std::vector<BasicBlock *>(B->Preds))
-        P->replaceSucc(B.get(), Succ);
+        P->replaceSucc(B, Succ);
       B->Insts.clear();
       Instr Jump;
       Jump.Op = Opcode::Br;
@@ -127,7 +127,7 @@ private:
         if (!B->hasTerm() || B->Insts.back().Op != Opcode::Br)
           break;
         BasicBlock *Succ = B->Insts.back().Succs[0];
-        if (Succ == B.get() || Succ->Preds.size() != 1 ||
+        if (Succ == B || Succ->Preds.size() != 1 ||
             Succ == F.entry())
           break;
         // Splice: drop B's Br, append Succ's instructions.
@@ -136,7 +136,7 @@ private:
         // Succ becomes an empty forwarding shell; make it unreachable.
         Instr Jump;
         Jump.Op = Opcode::Br;
-        Jump.Succs[0] = B.get(); // Arbitrary; removed as unreachable.
+        Jump.Succs[0] = B; // Arbitrary; removed as unreachable.
         Succ->Insts.push_back(Jump);
         F.recomputePreds();
         Changed = true;

@@ -30,9 +30,9 @@ using namespace sldb;
 /// provided the marker's value — leaving a certificate for a
 /// never-written location.
 void sldb::demoteUnsoundAvailMarkers(CFGContext &CFG, unsigned Block,
-                                     std::list<Instr>::iterator Start,
+                                     InstrList::iterator Start,
                                      VarId V) {
-  auto Scan = [&](BasicBlock *BB, std::list<Instr>::iterator It) {
+  auto Scan = [&](BasicBlock *BB, InstrList::iterator It) {
     for (; It != BB->Insts.end(); ++It) {
       if (It->Op == Opcode::AvailMarker && It->MarkVar == V) {
         It->Op = Opcode::DeadMarker;

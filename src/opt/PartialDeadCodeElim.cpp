@@ -130,7 +130,7 @@ private:
 
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
       BasicBlock *BB = CFG.block(B);
-      if (BB->succs().size() < 2)
+      if (BB->succRange().size() < 2)
         continue; // Only branch points make assignments partially dead.
       for (auto It = BB->Insts.begin(); It != BB->Insts.end(); ++It) {
         Instr &I = *It;
@@ -151,7 +151,7 @@ private:
           continue;
         // Partially dead: live into some successors but not all.
         std::vector<BasicBlock *> LiveSuccs, DeadSuccs;
-        for (BasicBlock *S : BB->succs()) {
+        for (BasicBlock *S : BB->succRange()) {
           if (LV.liveIn(CFG.indexOf(S)).test(DestIdx))
             LiveSuccs.push_back(S);
           else

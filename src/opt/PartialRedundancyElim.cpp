@@ -29,6 +29,7 @@
 #include "analysis/Dataflow.h"
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 using namespace sldb;
@@ -140,19 +141,80 @@ bool killsAvail(const Instr &I, const KillFacts &F, const HoistKey &Key,
   return false;
 }
 
-/// Anticipability kill: additionally, a *read* of V blocks hoisting the
-/// assignment above it (the read would observe the premature value at
-/// runtime, not merely in the debugger).
-bool killsAnt(const Instr &I, const KillFacts &F, const HoistKey &Key,
-              const ProgramInfo &Info) {
-  if (killsAvail(I, F, Key, Info))
-    return true;
-  if (F.IsOcc && F.Mine == Key)
-    return false;
-  if (F.MayRead && instrMayReadVar(I, Info.var(Key.V)))
-    return true;
-  return F.Use0 == Key.V || F.Use1 == Key.V;
-}
+// Anticipability kills are availability kills plus reads of V — a read
+// blocks hoisting the assignment above it (the read would observe the
+// premature value at runtime, not merely in the debugger).  KeyIndex
+// below enumerates both kinds per instruction.
+
+/// Variable-indexed kill lists.  A plain definition of variable v kills
+/// exactly the keys whose value relation mentions v (ByAnyVar); a *read*
+/// of v additionally ant-kills the keys whose destination is v
+/// (ByDestVar).  Only Store/Call clobbers and memory reads still need a
+/// full per-key scan — those are alias-dependent and rare, so the common
+/// def-kill case drops from O(U) per instruction to the handful of keys
+/// actually touching the defined variable.
+struct KeyIndex {
+  std::unordered_map<VarId, std::vector<unsigned>> ByAnyVar;
+  std::unordered_map<VarId, std::vector<unsigned>> ByDestVar;
+
+  explicit KeyIndex(const std::vector<HoistKey> &Keys) {
+    for (unsigned KI = 0; KI < Keys.size(); ++KI) {
+      const HoistKey &K = Keys[KI];
+      ByAnyVar[K.V].push_back(KI);
+      ByDestVar[K.V].push_back(KI);
+      // occurrenceKey guarantees operands differ from the destination.
+      if (K.A.isVar())
+        ByAnyVar[K.A.Id].push_back(KI);
+      if (K.B.isVar() && !(K.A.isVar() && K.B.Id == K.A.Id))
+        ByAnyVar[K.B.Id].push_back(KI);
+    }
+  }
+
+  /// Invokes \p Fn for every key availability-killed by \p I, matching
+  /// killsAvail() key-for-key (Fn may fire twice for a key; callers do
+  /// idempotent bit clears).  \p Own is the instruction's own key id (or
+  /// ~0u) — an occurrence never kills its own key.
+  template <typename Fn>
+  void forEachAvailKill(const Instr &I, const KillFacts &F, unsigned Own,
+                        const std::vector<HoistKey> &Keys,
+                        const ProgramInfo &Info, Fn &&Callback) const {
+    if (F.DestV != InvalidVar) {
+      auto It = ByAnyVar.find(F.DestV);
+      if (It != ByAnyVar.end())
+        for (unsigned KI : It->second)
+          if (KI != Own)
+            Callback(KI);
+    }
+    if (F.CanClobber)
+      for (unsigned KI = 0; KI < Keys.size(); ++KI)
+        if (KI != Own && killsAvail(I, F, Keys[KI], Info))
+          Callback(KI);
+  }
+
+  /// The kills killsAnt() adds beyond killsAvail(): reads of a key's
+  /// destination variable, either through memory or as a direct operand.
+  template <typename Fn>
+  void forEachAntOnlyKill(const Instr &I, const KillFacts &F, unsigned Own,
+                          const std::vector<HoistKey> &Keys,
+                          const ProgramInfo &Info, Fn &&Callback) const {
+    if (F.MayRead)
+      for (unsigned KI = 0; KI < Keys.size(); ++KI)
+        if (KI != Own && instrMayReadVar(I, Info.var(Keys[KI].V)))
+          Callback(KI);
+    auto UseKills = [&](VarId V) {
+      if (V == InvalidVar)
+        return;
+      auto It = ByDestVar.find(V);
+      if (It != ByDestVar.end())
+        for (unsigned KI : It->second)
+          if (KI != Own)
+            Callback(KI);
+    };
+    UseKills(F.Use0);
+    if (F.Use1 != F.Use0)
+      UseKills(F.Use1);
+  }
+};
 
 struct KeyOrder {
   bool operator()(const HoistKey &L, const HoistKey &R) const {
@@ -208,27 +270,29 @@ private:
     // of V block hoisting); COMP/availability use the weaker value kill.
     std::vector<BitVector> Antloc(N, BitVector(U)), Comp(N, BitVector(U)),
         Transp(N, BitVector(U, true)), TranspAv(N, BitVector(U, true));
+    const KeyIndex KX(Keys);
     for (unsigned B = 0; B < N; ++B) {
       BitVector AntKilledAbove(U);
       for (const Instr &I : CFG.block(B)->Insts) {
         const KillFacts KF = killFactsOf(I, Info);
-        unsigned Id = KF.IsOcc ? KeyIds[KF.Mine] : 0;
+        unsigned Id = KF.IsOcc ? KeyIds[KF.Mine] : ~0u;
         if (KF.IsOcc && !AntKilledAbove.test(Id))
           Antloc[B].set(Id);
         if (KF.IsOcc)
           Comp[B].set(Id);
         if (KF.inert(/*ForAnt=*/true))
           continue;
-        for (unsigned KI = 0; KI < U; ++KI) {
-          if (killsAnt(I, KF, Keys[KI], Info)) {
-            AntKilledAbove.set(KI);
-            Transp[B].reset(KI);
-          }
-          if (killsAvail(I, KF, Keys[KI], Info)) {
-            TranspAv[B].reset(KI);
-            Comp[B].reset(KI);
-          }
-        }
+        // An availability kill is also an anticipability kill.
+        KX.forEachAvailKill(I, KF, Id, Keys, Info, [&](unsigned KI) {
+          AntKilledAbove.set(KI);
+          Transp[B].reset(KI);
+          TranspAv[B].reset(KI);
+          Comp[B].reset(KI);
+        });
+        KX.forEachAntOnlyKill(I, KF, Id, Keys, Info, [&](unsigned KI) {
+          AntKilledAbove.set(KI);
+          Transp[B].reset(KI);
+        });
       }
     }
 
@@ -271,10 +335,12 @@ private:
     for (unsigned B = 0; B < N; ++B) {
       const Instr &T = CFG.block(B)->term();
       for (const Value &UVal : instrUses(T))
-        if (UVal.isVar())
-          for (unsigned KI = 0; KI < U; ++KI)
-            if (Keys[KI].V == UVal.Id)
+        if (UVal.isVar()) {
+          auto It = KX.ByDestVar.find(UVal.Id);
+          if (It != KX.ByDestVar.end())
+            for (unsigned KI : It->second)
               TermBlocked[B].set(KI);
+        }
     }
 
     // Morel-Renvoise placement-possible system (greatest fixed point).
@@ -426,20 +492,21 @@ private:
       return false;
     const unsigned U = static_cast<unsigned>(Keys.size());
 
+    const KeyIndex KX(Keys);
     std::vector<BitVector> Comp(N, BitVector(U)),
         TranspAv(N, BitVector(U, true));
     for (unsigned B = 0; B < N; ++B)
       for (const Instr &I : CFG.block(B)->Insts) {
         const KillFacts KF = killFactsOf(I, Info);
+        unsigned Own = KF.IsOcc ? KeyIds[KF.Mine] : ~0u;
         if (KF.IsOcc)
-          Comp[B].set(KeyIds[KF.Mine]);
+          Comp[B].set(Own);
         if (KF.inert(/*ForAnt=*/false))
           continue;
-        for (unsigned KI = 0; KI < U; ++KI)
-          if (killsAvail(I, KF, Keys[KI], Info)) {
-            TranspAv[B].reset(KI);
-            Comp[B].reset(KI);
-          }
+        KX.forEachAvailKill(I, KF, Own, Keys, Info, [&](unsigned KI) {
+          TranspAv[B].reset(KI);
+          Comp[B].reset(KI);
+        });
       }
 
     DataflowProblem AvP;
@@ -461,7 +528,8 @@ private:
       for (auto It = BB->Insts.begin(); It != BB->Insts.end();) {
         Instr &I = *It;
         const KillFacts KF = killFactsOf(I, Info);
-        if (KF.IsOcc && Avail.test(KeyIds[KF.Mine])) {
+        unsigned Own = KF.IsOcc ? KeyIds[KF.Mine] : ~0u;
+        if (KF.IsOcc && Avail.test(Own)) {
           Changed = true;
           if (I.IsHoisted && !I.IsSunk) {
             // A compiler-inserted instance: delete silently (paper §3).
@@ -479,11 +547,10 @@ private:
           continue;
         }
         if (KF.IsOcc)
-          Avail.set(KeyIds[KF.Mine]);
+          Avail.set(Own);
         if (!KF.inert(/*ForAnt=*/false))
-          for (unsigned KI = 0; KI < U; ++KI)
-            if (killsAvail(I, KF, Keys[KI], Info))
-              Avail.reset(KI);
+          KX.forEachAvailKill(I, KF, Own, Keys, Info,
+                              [&](unsigned KI) { Avail.reset(KI); });
         ++It;
       }
     }

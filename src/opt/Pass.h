@@ -191,7 +191,7 @@ class CFGContext;
 /// record, now honestly stale.  DeadMarkers of V do not stop the walk
 /// (an eliminated assignment restores nothing).
 void demoteUnsoundAvailMarkers(CFGContext &CFG, unsigned Block,
-                               std::list<Instr>::iterator Start, VarId V);
+                               InstrList::iterator Start, VarId V);
 
 } // namespace sldb
 

@@ -132,10 +132,12 @@ Status sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
       AM.invalidateAll(F);
     if (Config.VerifyEach && Err.ok())
       Err = verifyAfterPass(F, M, Pipeline[I].P->name());
-    if (Config.VerifyAnnotations) {
+    if (Config.VerifyAnnotations && Config.AfterPass) {
       // Recompute the debug-bookkeeping findings from scratch: damage is
       // structural, so whatever is still broken after the latest pass is
-      // rediscovered, and the list cannot grow without bound.
+      // rediscovered, and the list cannot grow without bound.  Without an
+      // AfterPass observer nothing reads the intermediate findings, so
+      // the per-function sweep below computes them once at the end.
       F.AnnotationFindings.clear();
       verifyFunctionAnnotations(F, *M.Info, F.AnnotationFindings);
     }
@@ -175,6 +177,12 @@ Status sldb::runPipelineEx(IRModule &M, const OptOptions &Opts,
           Again |= RunSlot(K, *F);
       }
       I = End;
+    }
+    if (Config.VerifyAnnotations && Err.ok() && !Config.AfterPass) {
+      // Final-state findings only; identical to verifying after every
+      // pass since each verification starts from scratch.
+      F->AnnotationFindings.clear();
+      verifyFunctionAnnotations(*F, *M.Info, F->AnnotationFindings);
     }
     if (!Err.ok())
       break;

@@ -147,31 +147,42 @@ public:
       return PassResult::unchanged();
     const unsigned U = static_cast<unsigned>(Copies.size());
 
-    // The per-instruction facts (def index, clobber capability) are
-    // hoisted out of the per-copy loop; instructions that define nothing
-    // tracked and cannot write memory skip the loop entirely.
-    auto Kills = [&](const Instr &I, unsigned DefIdx, bool CanClobber,
-                     const CopyInfo &C) {
-      if (DefIdx != ~0u && (DefIdx == C.DestIdx || DefIdx == C.SrcIdx))
-        return true;
-      if (CanClobber) {
-        if (C.DestVar && instrMayClobberVar(I, *C.DestVar))
-          return true;
-        if (C.SrcVar && instrMayClobberVar(I, *C.SrcVar))
-          return true;
-      }
-      return false;
-    };
+    // Index the copies by the value whose definition kills them, so the
+    // per-instruction kill scan touches only the affected copies instead
+    // of all U of them.  Clobber-capable instructions (Store/Call) still
+    // scan every copy — they are rare.
+    std::unordered_map<unsigned, std::vector<unsigned>> KilledByDef;
+    for (unsigned C = 0; C < U; ++C) {
+      KilledByDef[Copies[C].DestIdx].push_back(C);
+      if (Copies[C].SrcIdx != Copies[C].DestIdx)
+        KilledByDef[Copies[C].SrcIdx].push_back(C);
+    }
+    // Ascending copy ids per destination, for the first-available use
+    // rewrite below (same pick order as scanning all copies).
+    std::unordered_map<unsigned, std::vector<unsigned>> CopiesByDest;
+    for (unsigned C = 0; C < U; ++C)
+      CopiesByDest[Copies[C].DestIdx].push_back(C);
     auto CanClobberAny = [](const Instr &I) {
       return I.Op == Opcode::Store || I.Op == Opcode::Call;
     };
-    auto Transfer = [&](const Instr &I, BitVector &S) {
+    auto ForEachKilled = [&](const Instr &I, auto &&Fn) {
       unsigned DefIdx = VI.valueIndex(I.Dest);
-      bool Clob = CanClobberAny(I);
-      if (DefIdx != ~0u || Clob)
-        for (unsigned C = 0; C < U; ++C)
-          if (Kills(I, DefIdx, Clob, Copies[C]))
-            S.reset(C);
+      if (DefIdx != ~0u) {
+        auto It = KilledByDef.find(DefIdx);
+        if (It != KilledByDef.end())
+          for (unsigned C : It->second)
+            Fn(C);
+      }
+      if (CanClobberAny(I))
+        for (unsigned C = 0; C < U; ++C) {
+          const CopyInfo &CI = Copies[C];
+          if ((CI.DestVar && instrMayClobberVar(I, *CI.DestVar)) ||
+              (CI.SrcVar && instrMayClobberVar(I, *CI.SrcVar)))
+            Fn(C);
+        }
+    };
+    auto Transfer = [&](const Instr &I, BitVector &S) {
+      ForEachKilled(I, [&](unsigned C) { S.reset(C); });
       auto It = CopyIdx.find(&I);
       if (It != CopyIdx.end())
         S.set(It->second); // Gen after kill: the copy redefines its dest.
@@ -184,14 +195,10 @@ public:
     for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
       BitVector Gen(U), Kill(U);
       for (const Instr &I : CFG.block(B)->Insts) {
-        unsigned DefIdx = VI.valueIndex(I.Dest);
-        bool Clob = CanClobberAny(I);
-        if (DefIdx != ~0u || Clob)
-          for (unsigned C = 0; C < U; ++C)
-            if (Kills(I, DefIdx, Clob, Copies[C])) {
-              Gen.reset(C);
-              Kill.set(C);
-            }
+        ForEachKilled(I, [&](unsigned C) {
+          Gen.reset(C);
+          Kill.set(C);
+        });
         auto It = CopyIdx.find(&I);
         if (It != CopyIdx.end()) {
           Gen.set(It->second);
@@ -216,8 +223,11 @@ public:
           unsigned Idx = VI.valueIndex(Op);
           if (Idx == ~0u)
             continue;
-          for (unsigned C = 0; C < U; ++C) {
-            if (!Avail.test(C) || Copies[C].DestIdx != Idx)
+          auto CIt = CopiesByDest.find(Idx);
+          if (CIt == CopiesByDest.end())
+            continue;
+          for (unsigned C : CIt->second) {
+            if (!Avail.test(C))
               continue;
             Value Src = Copies[C].Src;
             Src.Ty = Op.Ty; // Keep the use-site type.

@@ -6,108 +6,31 @@
 
 #include "support/BitVector.h"
 
-#include <bit>
-
 using namespace sldb;
 
+void BitVector::grow(unsigned NW) {
+  Word *NewW = new Word[NW];
+  std::memcpy(NewW, W, NumWords * sizeof(Word));
+  destroy();
+  W = NewW;
+  Cap = NW;
+}
+
 void BitVector::resize(unsigned N, bool Value) {
-  unsigned OldBits = NumBits;
+  const unsigned NW = (N + WordBits - 1) / WordBits;
+  if (NW > Cap)
+    grow(NW);
+  // Words beyond the old count get the fill value; existing words keep
+  // their contents (matching std::vector::resize semantics).
+  const Word Fill = Value ? ~Word(0) : Word(0);
+  for (unsigned I = NumWords; I < NW; ++I)
+    W[I] = Fill;
+  const unsigned OldBits = NumBits;
   NumBits = N;
-  Words.resize((N + WordBits - 1) / WordBits, Value ? ~Word(0) : Word(0));
+  NumWords = NW;
   if (Value && N > OldBits && OldBits % WordBits != 0) {
     // The word that held the old tail keeps stale zero bits; set them.
-    unsigned WordIdx = OldBits / WordBits;
-    Words[WordIdx] |= ~Word(0) << (OldBits % WordBits);
+    W[OldBits / WordBits] |= ~Word(0) << (OldBits % WordBits);
   }
   clearUnusedBits();
-}
-
-void BitVector::set() {
-  for (Word &W : Words)
-    W = ~Word(0);
-  clearUnusedBits();
-}
-
-void BitVector::reset() {
-  for (Word &W : Words)
-    W = 0;
-}
-
-bool BitVector::any() const {
-  for (Word W : Words)
-    if (W != 0)
-      return true;
-  return false;
-}
-
-unsigned BitVector::count() const {
-  unsigned N = 0;
-  for (Word W : Words)
-    N += static_cast<unsigned>(std::popcount(W));
-  return N;
-}
-
-int BitVector::findFirst() const {
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    if (Words[I] != 0)
-      return static_cast<int>(I * WordBits +
-                              std::countr_zero(Words[I]));
-  return -1;
-}
-
-int BitVector::findNext(unsigned From) const {
-  unsigned Next = From + 1;
-  if (Next >= NumBits)
-    return -1;
-  unsigned WordIdx = Next / WordBits;
-  Word W = Words[WordIdx] & (~Word(0) << (Next % WordBits));
-  if (W != 0)
-    return static_cast<int>(WordIdx * WordBits + std::countr_zero(W));
-  for (unsigned I = WordIdx + 1, E = static_cast<unsigned>(Words.size());
-       I != E; ++I)
-    if (Words[I] != 0)
-      return static_cast<int>(I * WordBits + std::countr_zero(Words[I]));
-  return -1;
-}
-
-BitVector &BitVector::operator|=(const BitVector &RHS) {
-  assert(NumBits == RHS.NumBits && "universe mismatch");
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    Words[I] |= RHS.Words[I];
-  return *this;
-}
-
-BitVector &BitVector::operator&=(const BitVector &RHS) {
-  assert(NumBits == RHS.NumBits && "universe mismatch");
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    Words[I] &= RHS.Words[I];
-  return *this;
-}
-
-BitVector &BitVector::subtract(const BitVector &RHS) {
-  assert(NumBits == RHS.NumBits && "universe mismatch");
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    Words[I] &= ~RHS.Words[I];
-  return *this;
-}
-
-bool BitVector::anyCommon(const BitVector &RHS) const {
-  assert(NumBits == RHS.NumBits && "universe mismatch");
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    if ((Words[I] & RHS.Words[I]) != 0)
-      return true;
-  return false;
-}
-
-bool BitVector::isSubsetOf(const BitVector &RHS) const {
-  assert(NumBits == RHS.NumBits && "universe mismatch");
-  for (unsigned I = 0, E = static_cast<unsigned>(Words.size()); I != E; ++I)
-    if ((Words[I] & ~RHS.Words[I]) != 0)
-      return false;
-  return true;
-}
-
-void BitVector::clearUnusedBits() {
-  if (NumBits % WordBits != 0 && !Words.empty())
-    Words.back() &= ~Word(0) >> (WordBits - NumBits % WordBits);
 }

@@ -11,24 +11,54 @@
 /// liveness, availability, hoist reach, dead reach) are all gen/kill
 /// problems over these.
 ///
+/// Storage is small-size optimized: universes of up to 128 bits — the
+/// overwhelming majority of per-function key/copy/value sets — live in
+/// two inline words, so constructing scratch vectors in the dataflow
+/// kernels costs no allocation.  Larger universes spill to the heap.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLDB_SUPPORT_BITVECTOR_H
 #define SLDB_SUPPORT_BITVECTOR_H
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
-#include <vector>
+#include <cstring>
 
 namespace sldb {
 
 /// Fixed-universe bit set with word-parallel set algebra.
 class BitVector {
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+  static constexpr unsigned NumInline = 2;
+
 public:
   BitVector() = default;
 
   /// Creates a vector of \p N bits, all set to \p Value.
   explicit BitVector(unsigned N, bool Value = false) { resize(N, Value); }
+
+  BitVector(const BitVector &RHS) { assignFrom(RHS); }
+
+  BitVector(BitVector &&RHS) noexcept { moveFrom(RHS); }
+
+  BitVector &operator=(const BitVector &RHS) {
+    if (this != &RHS)
+      assignFrom(RHS);
+    return *this;
+  }
+
+  BitVector &operator=(BitVector &&RHS) noexcept {
+    if (this != &RHS) {
+      destroy();
+      moveFrom(RHS);
+    }
+    return *this;
+  }
+
+  ~BitVector() { destroy(); }
 
   /// Number of bits in the universe.
   unsigned size() const { return NumBits; }
@@ -41,7 +71,7 @@ public:
   /// Tests bit \p Idx.
   bool test(unsigned Idx) const {
     assert(Idx < NumBits && "bit index out of range");
-    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+    return (W[Idx / WordBits] >> (Idx % WordBits)) & 1;
   }
 
   bool operator[](unsigned Idx) const { return test(Idx); }
@@ -49,66 +79,134 @@ public:
   /// Sets bit \p Idx.
   void set(unsigned Idx) {
     assert(Idx < NumBits && "bit index out of range");
-    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+    W[Idx / WordBits] |= Word(1) << (Idx % WordBits);
   }
 
   /// Sets all bits.
-  void set();
+  void set() {
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] = ~Word(0);
+    clearUnusedBits();
+  }
 
   /// Clears bit \p Idx.
   void reset(unsigned Idx) {
     assert(Idx < NumBits && "bit index out of range");
-    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+    W[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
   }
 
   /// Clears all bits.
-  void reset();
+  void reset() {
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] = 0;
+  }
 
   /// Flips every bit (complement within the universe).
   void flip() {
-    for (Word &W : Words)
-      W = ~W;
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] = ~W[I];
     clearUnusedBits();
   }
 
   /// Flips bit \p Idx.
   void flip(unsigned Idx) {
     assert(Idx < NumBits && "bit index out of range");
-    Words[Idx / WordBits] ^= Word(1) << (Idx % WordBits);
+    W[Idx / WordBits] ^= Word(1) << (Idx % WordBits);
   }
 
   /// Returns true if any bit is set.
-  bool any() const;
+  bool any() const {
+    for (unsigned I = 0; I < NumWords; ++I)
+      if (W[I] != 0)
+        return true;
+    return false;
+  }
 
   /// Returns true if no bit is set.
   bool none() const { return !any(); }
 
   /// Returns the number of set bits.
-  unsigned count() const;
+  unsigned count() const {
+    unsigned N = 0;
+    for (unsigned I = 0; I < NumWords; ++I)
+      N += static_cast<unsigned>(std::popcount(W[I]));
+    return N;
+  }
 
   /// Returns the index of the first set bit, or -1 if none.
-  int findFirst() const;
+  int findFirst() const {
+    for (unsigned I = 0; I < NumWords; ++I)
+      if (W[I] != 0)
+        return static_cast<int>(I * WordBits + std::countr_zero(W[I]));
+    return -1;
+  }
 
   /// Returns the index of the first set bit at or after \p From, or -1.
-  int findNext(unsigned From) const;
+  int findNext(unsigned From) const {
+    unsigned Next = From + 1;
+    if (Next >= NumBits)
+      return -1;
+    unsigned WordIdx = Next / WordBits;
+    Word Masked = W[WordIdx] & (~Word(0) << (Next % WordBits));
+    if (Masked != 0)
+      return static_cast<int>(WordIdx * WordBits + std::countr_zero(Masked));
+    for (unsigned I = WordIdx + 1; I < NumWords; ++I)
+      if (W[I] != 0)
+        return static_cast<int>(I * WordBits + std::countr_zero(W[I]));
+    return -1;
+  }
 
   /// Set union: this |= RHS.  Universes must match.
-  BitVector &operator|=(const BitVector &RHS);
+  BitVector &operator|=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] |= RHS.W[I];
+    return *this;
+  }
 
   /// Set intersection: this &= RHS.
-  BitVector &operator&=(const BitVector &RHS);
+  BitVector &operator&=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] &= RHS.W[I];
+    return *this;
+  }
 
   /// Set difference: this -= RHS (clear every bit set in RHS).
-  BitVector &subtract(const BitVector &RHS);
+  BitVector &subtract(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    for (unsigned I = 0; I < NumWords; ++I)
+      W[I] &= ~RHS.W[I];
+    return *this;
+  }
 
   /// Returns true if this and RHS share a set bit.
-  bool anyCommon(const BitVector &RHS) const;
+  bool anyCommon(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    for (unsigned I = 0; I < NumWords; ++I)
+      if ((W[I] & RHS.W[I]) != 0)
+        return true;
+    return false;
+  }
 
   /// Returns true if every set bit of this is also set in RHS.
-  bool isSubsetOf(const BitVector &RHS) const;
+  bool isSubsetOf(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "universe mismatch");
+    for (unsigned I = 0; I < NumWords; ++I)
+      if ((W[I] & ~RHS.W[I]) != 0)
+        return false;
+    return true;
+  }
 
   bool operator==(const BitVector &RHS) const {
-    return NumBits == RHS.NumBits && Words == RHS.Words;
+    if (NumBits != RHS.NumBits)
+      return false;
+    // Equal universes imply equal word counts; padding bits are kept
+    // clear, so word equality is set equality.
+    for (unsigned I = 0; I < NumWords; ++I)
+      if (W[I] != RHS.W[I])
+        return false;
+    return true;
   }
   bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
 
@@ -132,14 +230,55 @@ public:
   SetBitIterator end() const { return SetBitIterator(*this, -1); }
 
 private:
-  using Word = std::uint64_t;
-  static constexpr unsigned WordBits = 64;
-
   /// Zeroes bits beyond NumBits in the last word.
-  void clearUnusedBits();
+  void clearUnusedBits() {
+    if (NumBits % WordBits != 0 && NumWords != 0)
+      W[NumWords - 1] &= ~Word(0) >> (WordBits - NumBits % WordBits);
+  }
 
+  void destroy() {
+    if (W != Inline)
+      delete[] W;
+  }
+
+  /// Copies \p RHS into this, reusing existing storage when it fits.
+  void assignFrom(const BitVector &RHS) {
+    if (RHS.NumWords > Cap) {
+      destroy();
+      W = new Word[RHS.NumWords];
+      Cap = RHS.NumWords;
+    }
+    NumWords = RHS.NumWords;
+    NumBits = RHS.NumBits;
+    std::memcpy(W, RHS.W, NumWords * sizeof(Word));
+  }
+
+  /// Steals \p RHS's heap storage, or copies its inline words.
+  void moveFrom(BitVector &RHS) noexcept {
+    NumBits = RHS.NumBits;
+    NumWords = RHS.NumWords;
+    if (RHS.W == RHS.Inline) {
+      W = Inline;
+      Cap = NumInline;
+      std::memcpy(Inline, RHS.Inline, sizeof(Inline));
+    } else {
+      W = RHS.W;
+      Cap = RHS.Cap;
+      RHS.W = RHS.Inline;
+      RHS.Cap = NumInline;
+      RHS.NumWords = 0;
+      RHS.NumBits = 0;
+    }
+  }
+
+  /// Reallocates to hold \p NW words, preserving current contents.
+  void grow(unsigned NW);
+
+  Word Inline[NumInline] = {0, 0};
+  Word *W = Inline;
+  unsigned Cap = NumInline;
+  unsigned NumWords = 0;
   unsigned NumBits = 0;
-  std::vector<Word> Words;
 };
 
 } // namespace sldb

@@ -1,0 +1,204 @@
+//===- support/PodVector.h - Arena-or-heap POD vector -----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector of trivially-copyable elements whose storage can come from an
+/// Arena instead of the heap.  Machine-instruction buffers are the user:
+/// instruction selection allocates them from the module's arena (growth
+/// abandons the old buffer to the arena — cheap, the arena is reset per
+/// module), while hand-built MachineFunctions in tests use the default
+/// malloc mode and stay self-contained.
+///
+/// Moves transfer the buffer *and* the allocation mode, so an arena-backed
+/// vector can be moved into a malloc-mode container safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_PODVECTOR_H
+#define SLDB_SUPPORT_PODVECTOR_H
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <type_traits>
+
+namespace sldb {
+
+template <typename T> class PodVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "PodVector is specialized for POD-like payloads");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  PodVector() = default;
+  explicit PodVector(Arena *A) : A(A) {}
+
+  PodVector(const PodVector &RHS) : A(RHS.A) {
+    assign(RHS.begin(), RHS.end());
+  }
+
+  PodVector(PodVector &&RHS) noexcept
+      : A(RHS.A), Ptr(RHS.Ptr), Size(RHS.Size), Cap(RHS.Cap) {
+    RHS.Ptr = nullptr;
+    RHS.Size = RHS.Cap = 0;
+  }
+
+  PodVector &operator=(const PodVector &RHS) {
+    if (this != &RHS)
+      assign(RHS.begin(), RHS.end());
+    return *this;
+  }
+
+  PodVector &operator=(PodVector &&RHS) noexcept {
+    if (this != &RHS) {
+      freeBuf();
+      A = RHS.A;
+      Ptr = RHS.Ptr;
+      Size = RHS.Size;
+      Cap = RHS.Cap;
+      RHS.Ptr = nullptr;
+      RHS.Size = RHS.Cap = 0;
+    }
+    return *this;
+  }
+
+  ~PodVector() { freeBuf(); }
+
+  /// Directs future growth to \p NewArena.  Only meaningful before the
+  /// first allocation (e.g. right after the block is created).
+  void setArena(Arena *NewArena) {
+    assert(!Ptr && "setArena after allocation");
+    A = NewArena;
+  }
+
+  Arena *arena() const { return A; }
+
+  bool empty() const { return Size == 0; }
+  std::uint32_t size() const { return Size; }
+  std::uint32_t capacity() const { return Cap; }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Size; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Size; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  T &operator[](std::size_t I) {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](std::size_t I) const {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void clear() { Size = 0; }
+
+  void reserve(std::uint32_t NewCap) {
+    if (NewCap > Cap)
+      growTo(NewCap);
+  }
+
+  void push_back(const T &V) {
+    if (Size == Cap)
+      growTo(Cap ? Cap * 2 : 8);
+    Ptr[Size++] = V;
+  }
+
+  void pop_back() {
+    assert(Size && "pop_back on empty vector");
+    --Size;
+  }
+
+  void resize(std::uint32_t NewSize, const T &Fill = T()) {
+    reserve(NewSize);
+    for (std::uint32_t I = Size; I < NewSize; ++I)
+      Ptr[I] = Fill;
+    Size = NewSize;
+  }
+
+  template <typename It> void assign(It First, It Last) {
+    Size = 0;
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  iterator erase(const_iterator Pos) {
+    std::size_t Idx = Pos - Ptr;
+    assert(Idx < Size && "erase out of range");
+    std::memmove(Ptr + Idx, Ptr + Idx + 1, (Size - Idx - 1) * sizeof(T));
+    --Size;
+    return Ptr + Idx;
+  }
+
+  iterator insert(const_iterator Pos, const T &V) {
+    std::size_t Idx = Pos - Ptr;
+    assert(Idx <= Size && "insert out of range");
+    if (Size == Cap)
+      growTo(Cap ? Cap * 2 : 8);
+    std::memmove(Ptr + Idx + 1, Ptr + Idx, (Size - Idx) * sizeof(T));
+    Ptr[Idx] = V;
+    ++Size;
+    return Ptr + Idx;
+  }
+
+private:
+  void freeBuf() {
+    // Arena storage is abandoned: the arena reclaims it wholesale.
+    if (!A)
+      std::free(Ptr);
+  }
+
+  void growTo(std::uint32_t NewCap) {
+    if (NewCap < Size + 1)
+      NewCap = Size + 1;
+    T *NewPtr;
+    if (A) {
+      NewPtr = A->allocate<T>(NewCap);
+      if (Size)
+        std::memcpy(NewPtr, Ptr, Size * sizeof(T));
+    } else {
+      NewPtr = static_cast<T *>(std::realloc(Ptr, NewCap * sizeof(T)));
+      assert(NewPtr && "out of memory");
+    }
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  Arena *A = nullptr; ///< Null = malloc mode.
+  T *Ptr = nullptr;
+  std::uint32_t Size = 0;
+  std::uint32_t Cap = 0;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_PODVECTOR_H

@@ -1,0 +1,201 @@
+//===- support/SmallVector.h - Inline-storage vector ------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with N elements of inline storage, spilling to the heap only
+/// beyond that.  Instruction operand lists are the motivating user: almost
+/// every instruction has at most two operands (calls are the exception),
+/// so storing them inline removes one heap node per instruction and keeps
+/// operands on the same cache lines as the instruction itself.
+///
+/// Only the std::vector surface the IR uses is provided, and T is required
+/// to be trivially copyable + trivially destructible so the storage can be
+/// moved with memcpy and abandoned without destructor walks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_SMALLVECTOR_H
+#define SLDB_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace sldb {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SmallVector is specialized for POD-like payloads");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> IL) { assign(IL.begin(), IL.end()); }
+
+  SmallVector(const SmallVector &RHS) { assign(RHS.begin(), RHS.end()); }
+
+  SmallVector(SmallVector &&RHS) noexcept { stealFrom(RHS); }
+
+  SmallVector &operator=(const SmallVector &RHS) {
+    if (this != &RHS)
+      assign(RHS.begin(), RHS.end());
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&RHS) noexcept {
+    if (this != &RHS) {
+      freeHeap();
+      stealFrom(RHS);
+    }
+    return *this;
+  }
+
+  SmallVector &operator=(std::initializer_list<T> IL) {
+    assign(IL.begin(), IL.end());
+    return *this;
+  }
+
+  ~SmallVector() { freeHeap(); }
+
+  bool empty() const { return Size == 0; }
+  std::uint32_t size() const { return Size; }
+  std::uint32_t capacity() const { return Cap; }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Size; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Size; }
+
+  T &operator[](std::size_t I) {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](std::size_t I) const {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void clear() { Size = 0; }
+
+  void reserve(std::uint32_t NewCap) {
+    if (NewCap > Cap)
+      growTo(NewCap);
+  }
+
+  void push_back(const T &V) {
+    if (Size == Cap)
+      growTo(Cap * 2);
+    Ptr[Size++] = V;
+  }
+
+  void pop_back() {
+    assert(Size && "pop_back on empty vector");
+    --Size;
+  }
+
+  void resize(std::uint32_t NewSize, const T &Fill = T()) {
+    reserve(NewSize);
+    for (std::uint32_t I = Size; I < NewSize; ++I)
+      Ptr[I] = Fill;
+    Size = NewSize;
+  }
+
+  template <typename It> void assign(It First, It Last) {
+    Size = 0;
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  iterator erase(const_iterator Pos) {
+    std::size_t Idx = Pos - Ptr;
+    assert(Idx < Size && "erase out of range");
+    std::memmove(Ptr + Idx, Ptr + Idx + 1, (Size - Idx - 1) * sizeof(T));
+    --Size;
+    return Ptr + Idx;
+  }
+
+  iterator insert(const_iterator Pos, const T &V) {
+    std::size_t Idx = Pos - Ptr;
+    assert(Idx <= Size && "insert out of range");
+    if (Size == Cap)
+      growTo(Cap * 2);
+    std::memmove(Ptr + Idx + 1, Ptr + Idx, (Size - Idx) * sizeof(T));
+    Ptr[Idx] = V;
+    ++Size;
+    return Ptr + Idx;
+  }
+
+  bool operator==(const SmallVector &RHS) const {
+    if (Size != RHS.Size)
+      return false;
+    for (std::uint32_t I = 0; I < Size; ++I)
+      if (!(Ptr[I] == RHS.Ptr[I]))
+        return false;
+    return true;
+  }
+  bool operator!=(const SmallVector &RHS) const { return !(*this == RHS); }
+
+private:
+  bool isInline() const {
+    return Ptr == reinterpret_cast<const T *>(Inline);
+  }
+
+  void freeHeap() {
+    if (!isInline())
+      std::free(Ptr);
+  }
+
+  void stealFrom(SmallVector &RHS) {
+    if (RHS.isInline()) {
+      Ptr = reinterpret_cast<T *>(Inline);
+      Cap = N;
+      Size = RHS.Size;
+      std::memcpy(Inline, RHS.Inline, RHS.Size * sizeof(T));
+    } else {
+      Ptr = RHS.Ptr;
+      Cap = RHS.Cap;
+      Size = RHS.Size;
+      RHS.Ptr = reinterpret_cast<T *>(RHS.Inline);
+      RHS.Cap = N;
+    }
+    RHS.Size = 0;
+  }
+
+  void growTo(std::uint32_t NewCap) {
+    if (NewCap < Size + 1)
+      NewCap = Size + 1;
+    T *NewPtr = static_cast<T *>(std::malloc(NewCap * sizeof(T)));
+    std::memcpy(NewPtr, Ptr, Size * sizeof(T));
+    freeHeap();
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  alignas(T) char Inline[N * sizeof(T)];
+  T *Ptr = reinterpret_cast<T *>(Inline);
+  std::uint32_t Size = 0;
+  std::uint32_t Cap = N;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_SMALLVECTOR_H

@@ -1,0 +1,47 @@
+//===- support/ZeroedBuffer.h - Lazily-zeroed flat buffer -------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size zero-initialized buffer backed by calloc.  A large calloc is
+/// served as lazily-mapped zero pages, so constructing a simulator address
+/// space costs a mapping, not a multi-megabyte clear — fuzz campaigns
+/// build one VM/interpreter per run and touch only a few pages of it.
+///
+/// T must be trivially copyable with all-zero bytes as its default state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_ZEROEDBUFFER_H
+#define SLDB_SUPPORT_ZEROEDBUFFER_H
+
+#include <cstdlib>
+#include <type_traits>
+
+namespace sldb {
+
+template <typename T> class ZeroedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ZeroedBuffer requires a trivially copyable element");
+
+public:
+  explicit ZeroedBuffer(std::size_t N)
+      : Ptr(static_cast<T *>(std::calloc(N, sizeof(T)))), N(Ptr ? N : 0) {}
+  ZeroedBuffer(const ZeroedBuffer &) = delete;
+  ZeroedBuffer &operator=(const ZeroedBuffer &) = delete;
+  ~ZeroedBuffer() { std::free(Ptr); }
+
+  T &operator[](std::size_t I) { return Ptr[I]; }
+  const T &operator[](std::size_t I) const { return Ptr[I]; }
+  std::size_t size() const { return N; }
+
+private:
+  T *Ptr;
+  std::size_t N;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_ZEROEDBUFFER_H

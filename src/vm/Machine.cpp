@@ -15,10 +15,9 @@
 using namespace sldb;
 
 Machine::Machine(const MachineModule &MM, std::uint64_t MaxSteps)
-    : MM(MM), MaxSteps(MaxSteps) {
+    : MM(MM), MaxSteps(MaxSteps), Mem(1 << 22) {
   if (FaultInjector::armed(FaultId::TrapVMMidRun))
     TrapAtStep = 1 + FaultInjector::rand() % 2000;
-  Mem.resize(1 << 22);
   // Globals at the bottom of memory; stack grows above them.
   SP = MM.GlobalWords;
   for (const auto &[Addr, Init] : MM.GlobalInits) {

@@ -21,6 +21,7 @@
 #define SLDB_VM_MACHINE_H
 
 #include "codegen/MachineIR.h"
+#include "support/ZeroedBuffer.h"
 
 #include <cstdint>
 #include <string>
@@ -152,7 +153,7 @@ private:
   CodeAddr PC;
   std::int64_t R[R3K::NumIntRegs] = {0};
   double F[R3K::NumFpRegs] = {0};
-  std::vector<Word> Mem;
+  ZeroedBuffer<Word> Mem;
   std::size_t FP = 0; ///< Current frame base (word address).
   std::size_t SP = 0; ///< Stack top.
   std::vector<Frame> Frames;

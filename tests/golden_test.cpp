@@ -91,4 +91,37 @@ TEST(Golden, FixedSeedCampaignDigest) {
          "optimizer decisions or debugger verdicts";
 }
 
+// Wider net for storage-layer refactors: 200 generated programs instead
+// of 40, captured before the arena/instruction-pool rework.  The digest
+// summarizes optimizer firings and debugger verdicts, so it is sensitive
+// to any behavioral drift in IR storage, pass order, or classification —
+// while staying byte-stable across pure memory-layout changes.
+TEST(Golden, ArenaRefactorCampaignDigest200) {
+  CampaignConfig C;
+  C.Seed = 1;
+  C.Count = 200;
+  C.Shrink = false;
+  C.WriteFailures = false;
+  CampaignResult R = runCampaign(C);
+
+  std::ostringstream Dig;
+  Dig << "programs " << R.Programs << "\n"
+      << "runs " << R.Runs << "\n"
+      << "failed_compiles " << R.FailedCompiles << "\n"
+      << "stops " << R.Stops << "\n"
+      << "observations " << R.Observations << "\n"
+      << "failures " << R.Failures.size() << "\n"
+      << "with_hoisted " << R.Coverage.WithHoisted << "\n"
+      << "with_sunk " << R.Coverage.WithSunk << "\n"
+      << "with_dead_marks " << R.Coverage.WithDeadMarks << "\n"
+      << "with_avail_marks " << R.Coverage.WithAvailMarks << "\n"
+      << "with_sr_records " << R.Coverage.WithSRRecords << "\n";
+  for (const PassFiring &F : R.Coverage.Firings)
+    Dig << "firing " << F.Name << " " << F.Changed << "\n";
+
+  EXPECT_EQ(Dig.str(), readGolden("campaign_digest_200.txt"))
+      << "200-seed campaign digest changed: the arena/instruction-pool "
+         "refactor altered optimizer decisions or debugger verdicts";
+}
+
 } // namespace

@@ -365,7 +365,7 @@ TEST(IRGen, SplitEdgeMaintainsSemantics) {
   std::vector<std::pair<BasicBlock *, BasicBlock *>> Edges;
   for (auto &B : F->Blocks)
     for (BasicBlock *S : B->succs())
-      Edges.emplace_back(B.get(), S);
+      Edges.emplace_back(B, S);
   for (auto &[From, To] : Edges)
     F->splitEdge(From, To);
   std::vector<std::string> Errors;

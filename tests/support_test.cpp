@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/BitVector.h"
 #include "support/Diagnostics.h"
 #include "support/Sharder.h"
@@ -480,4 +481,72 @@ TEST(Trace, WorkerStatsCountersExist) {
     (void)Stats::counter(Name);
   Stats::reset();
   SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AlignmentIsRespected) {
+  Arena A(64); // Small first slab to force growth quickly.
+  // Mixed-alignment requests: every returned pointer must satisfy the
+  // requested alignment even as the bump pointer crosses slab boundaries.
+  for (std::size_t Align : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (int I = 0; I < 16; ++I) {
+      void *P = A.allocate(Align + I, Align);
+      ASSERT_NE(P, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % Align, 0u)
+          << "misaligned " << Align << "-byte allocation";
+    }
+  }
+}
+
+TEST(Arena, SlabGrowthAndOversizedRequests) {
+  Arena A(64);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  // Fill well past the first slab.
+  for (int I = 0; I < 100; ++I)
+    A.allocate(32, 8);
+  EXPECT_GE(A.bytesAllocated(), 3200u);
+  EXPECT_GT(A.numSlabs(), 1u);
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+  // An allocation far larger than any slab must still succeed (dedicated
+  // slab) and be usable end to end.
+  std::size_t Before = A.numSlabs();
+  char *Big = static_cast<char *>(A.allocate(1 << 22, 8));
+  ASSERT_NE(Big, nullptr);
+  Big[0] = 1;
+  Big[(1 << 22) - 1] = 2; // Touch both ends: the slab really is that big.
+  EXPECT_GT(A.numSlabs(), Before);
+}
+
+TEST(Arena, ResetReusesReservedMemory) {
+  Arena A(128);
+  for (int I = 0; I < 200; ++I)
+    A.allocate(64, 8);
+  std::size_t Reserved = A.bytesReserved();
+  std::size_t Slabs = A.numSlabs();
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  // Reset recycles, it does not release: the reservation is unchanged.
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.numSlabs(), Slabs);
+  // Refilling the same volume must not grow the reservation.
+  for (int I = 0; I < 200; ++I)
+    A.allocate(64, 8);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.numSlabs(), Slabs);
+}
+
+TEST(Arena, MakeConstructsObjects) {
+  struct Point {
+    int X, Y;
+    Point(int X, int Y) : X(X), Y(Y) {}
+  };
+  Arena A;
+  Point *P = A.make<Point>(3, 4);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % alignof(Point), 0u);
 }

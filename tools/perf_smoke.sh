@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Perf smoke test: runs bench_pipeline_throughput once and fails when the
+# measured compile+sweep time regresses more than 25% against the
+# checked-in baseline (bench/baseline_pipeline_throughput.json).  The
+# margin is wide enough for CI noise; it exists to catch order-of-
+# magnitude substrate regressions (an accidental per-instruction
+# allocation, a quadratic kill loop), not single-digit drift.
+#
+# Usage: tools/perf_smoke.sh <bench_pipeline_throughput-binary> <baseline.json>
+
+set -e
+
+BENCH=$1
+BASELINE=$2
+if [ -z "$BENCH" ] || [ -z "$BASELINE" ]; then
+  echo "usage: $0 <bench-binary> <baseline.json>" >&2
+  exit 2
+fi
+
+LINE=$("$BENCH" | grep '^BENCH ') || {
+  echo "perf_smoke: bench emitted no BENCH line" >&2
+  exit 1
+}
+
+COMPILE=$(printf '%s\n' "$LINE" | sed -n 's/.*"compile_ms":\([0-9.]*\).*/\1/p')
+SWEEP=$(printf '%s\n' "$LINE" | sed -n 's/.*"sweep_ms":\([0-9.]*\).*/\1/p')
+BASE_COMPILE=$(sed -n 's/.*"compile_ms": *\([0-9.]*\).*/\1/p' "$BASELINE")
+BASE_SWEEP=$(sed -n 's/.*"sweep_ms": *\([0-9.]*\).*/\1/p' "$BASELINE")
+
+if [ -z "$COMPILE" ] || [ -z "$SWEEP" ] || [ -z "$BASE_COMPILE" ] ||
+   [ -z "$BASE_SWEEP" ]; then
+  echo "perf_smoke: failed to parse timings" >&2
+  echo "  bench:    $LINE" >&2
+  echo "  baseline: $BASELINE" >&2
+  exit 1
+fi
+
+awk -v c="$COMPILE" -v s="$SWEEP" -v bc="$BASE_COMPILE" -v bs="$BASE_SWEEP" \
+  'BEGIN {
+     total = c + s
+     base = bc + bs
+     limit = base * 1.25
+     printf "perf_smoke: %.1f ms (compile %.1f + sweep %.1f) vs baseline %.1f ms, limit %.1f ms\n", \
+            total, c, s, base, limit
+     if (total > limit) {
+       print "perf_smoke: FAIL - pipeline throughput regressed >25% vs baseline"
+       exit 1
+     }
+     print "perf_smoke: OK"
+   }'

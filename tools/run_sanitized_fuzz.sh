@@ -26,7 +26,7 @@ esac
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSLDB_SANITIZE="$SAN" >/dev/null
-cmake --build "$BUILD" --target sldb-fuzz -j "$JOBS" >/dev/null
+cmake --build "$BUILD" --target sldb-fuzz sldbc -j "$JOBS" >/dev/null
 
 if [ "$SAN" = thread ]; then
   # A parallel campaign and an in-process parallel injection slice: the
@@ -60,6 +60,12 @@ else
   UBSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --inject --no-isolate --seed 1 --count 10 \
     --no-write --no-shrink
+
+  # Arena/batch slice: compile the checked-in corpus in one process.
+  # --batch resets the module arena between files, so ASan catches any
+  # use-after-reset or slab-lifetime bug in the IR memory model.
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldbc" --batch "$ROOT/tests/inputs"
 
   # Quality-oracle slices: the stepping oracle drives the new
   # single-instruction stepping path, and the cross-level sweep runs the

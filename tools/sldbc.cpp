@@ -20,6 +20,9 @@
 //                                     print the cross-level quality table
 //                                     with availability regressions
 //   sldbc --no-promote prog.mc        keep variables in memory (Fig 5a)
+//   sldbc --batch DIR                 compile every .mc file under DIR in
+//                                     one process, reusing one arena
+//                                     (reset per module) across the corpus
 //   sldbc --time-passes prog.mc       per-pass wall time report (stderr)
 //   sldbc --pass-stats prog.mc        per-pass change counts + analysis
 //                                     cache hit/miss report (stderr)
@@ -59,8 +62,10 @@
 #include "support/Stats.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -72,6 +77,7 @@ namespace {
 
 struct Options {
   std::string InputFile;
+  std::string BatchDir; ///< --batch: compile a whole corpus directory.
   std::string Emit = "run"; // run | ir | ir-opt | asm | stmts | debug.
   bool Optimize = true;
   bool Promote = true;
@@ -91,7 +97,7 @@ struct Options {
 void usage() {
   std::fprintf(stderr,
                "usage: sldbc [--emit=ir|ir-opt|asm|stmts|run] [-O0|-O2]\n"
-               "             [--level=NAME] [--sweep-levels]\n"
+               "             [--level=NAME] [--sweep-levels] [--batch DIR]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
                "             [--trace-json=FILE] [--stats] [--degrade-all]\n"
@@ -119,6 +125,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       }
     } else if (A == "--sweep-levels") {
       Opts.SweepLevels = true;
+    } else if (A == "--batch") {
+      if (++I >= Argc) {
+        usage();
+        return false;
+      }
+      Opts.BatchDir = Argv[I];
     } else if (A == "--no-promote") {
       Opts.Promote = false;
     } else if (A == "--no-schedule") {
@@ -170,7 +182,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.InputFile = A;
     }
   }
-  if (Opts.InputFile.empty()) {
+  if (Opts.InputFile.empty() && Opts.BatchDir.empty()) {
     usage();
     return false;
   }
@@ -392,6 +404,92 @@ int finish(int RC, const Options &Opts) {
   return RC;
 }
 
+
+/// --batch DIR: compiles every .mc file under DIR in one process.  One
+/// arena backs each module's IR *and* machine code; it is reset after the
+/// module is destroyed, so a corpus compile reuses the same few slabs
+/// instead of re-growing the heap per program (DESIGN.md "IR memory model
+/// & batch compilation").
+int runBatch(const Options &Opts) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  std::error_code EC;
+  for (fs::directory_iterator It(Opts.BatchDir, EC), End; !EC && It != End;
+       It.increment(EC))
+    if (It->path().extension() == ".mc")
+      Files.push_back(It->path().string());
+  if (EC) {
+    std::fprintf(stderr, "cannot read directory '%s': %s\n",
+                 Opts.BatchDir.c_str(), EC.message().c_str());
+    return 2;
+  }
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    std::fprintf(stderr, "no .mc files under '%s'\n", Opts.BatchDir.c_str());
+    return 2;
+  }
+
+  const OptOptions PassSet =
+      Opts.Level ? Opts.Level->Opts : OptOptions::all();
+  const bool Promote = Opts.Level ? Opts.Level->Promote : Opts.Promote;
+
+  Arena BatchArena(1 << 20);
+  unsigned Ok = 0, Failed = 0;
+  for (const std::string &Path : Files) {
+    std::ifstream File(Path);
+    std::stringstream Buf;
+    Buf << File.rdbuf();
+    if (!File) {
+      std::printf("%s: error: cannot read\n", Path.c_str());
+      ++Failed;
+      continue;
+    }
+    {
+      DiagnosticEngine Diags;
+      auto Module = compileToIR(Buf.str(), Diags, &BatchArena);
+      std::string Err;
+      std::uint32_t Instrs = 0;
+      if (!Module) {
+        Err = Diags.str();
+        if (!Err.empty() && Err.back() == '\n')
+          Err.pop_back();
+      } else {
+        if (Opts.Optimize || Opts.Level) {
+          Status PS = runPipelineEx(*Module, PassSet, PipelineConfig());
+          if (!PS.ok())
+            Err = PS.str();
+        }
+        if (Err.empty()) {
+          CodegenOptions CG;
+          CG.PromoteVars = Promote;
+          CG.Schedule = Opts.Schedule;
+          Expected<MachineModule> MME =
+              compileToMachineE(*Module, CG, &BatchArena);
+          if (!MME)
+            Err = MME.status().str();
+          else
+            for (const MachineFunction &F : MME->Funcs)
+              Instrs += F.numInstrs();
+        }
+      }
+      if (Err.empty()) {
+        std::printf("%s: ok (%u machine instrs)\n", Path.c_str(), Instrs);
+        ++Ok;
+      } else {
+        std::printf("%s: error: %s\n", Path.c_str(), Err.c_str());
+        ++Failed;
+      }
+      // Module (and MME's buffers) die here; the arena memory survives...
+    }
+    BatchArena.reset(); // ...and is recycled for the next program.
+  }
+  std::printf("batch: %u ok, %u failed, %zu KB arena reserved across %zu "
+              "slabs\n",
+              Ok, Failed, BatchArena.bytesReserved() / 1024,
+              BatchArena.numSlabs());
+  return Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -406,6 +504,9 @@ int main(int Argc, char **Argv) {
                    Opts.TraceJson.c_str());
     Trace::enable();
   }
+
+  if (!Opts.BatchDir.empty())
+    return finish(runBatch(Opts), Opts);
 
   std::ifstream File(Opts.InputFile);
   if (!File) {
