@@ -729,6 +729,19 @@ Explanation Classifier::explain(std::uint32_t Addr, VarId V) const {
   return E;
 }
 
+std::vector<Classification>
+Classifier::classifyAll(std::uint32_t Addr,
+                        const std::vector<VarId> &Vs) const {
+  // Warm the per-address cache once, then every classify() in the sweep
+  // is a pure bit-vector probe against the shared solution.
+  (void)stateAt(Addr);
+  std::vector<Classification> Cs;
+  Cs.reserve(Vs.size());
+  for (VarId V : Vs)
+    Cs.push_back(classify(Addr, V));
+  return Cs;
+}
+
 //===----------------------------------------------------------------------===//
 // Explain mode: provenance rendering
 //===----------------------------------------------------------------------===//

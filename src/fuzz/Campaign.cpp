@@ -28,6 +28,7 @@
 #include "fuzz/Isolation.h"
 #include "fuzz/Reduce.h"
 #include "support/FaultInjector.h"
+#include "support/Interrupt.h"
 #include "support/Sharder.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -217,6 +218,7 @@ namespace {
 /// One (seed, mode) unit's outcome: everything the merge needs, nothing
 /// shared while workers run.
 struct ModeOutcome {
+  bool Skipped = false;     ///< Fast-drained after an interrupt.
   bool Ran = false;         ///< Counts as a lockstep run.
   bool CompileFail = false; ///< Generator bug; mode 1 is skipped.
   bool HasFailure = false;  ///< F holds a soundness/process failure.
@@ -368,6 +370,13 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
   ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
   std::vector<WorkerStats> WS =
       Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        // Interrupt fast-drain: remaining units become no-ops so the
+        // pool empties quickly and the merge below still flushes every
+        // finished unit's reproducers (partial report, nothing lost).
+        if (interruptRequested()) {
+          Out[U].Skipped = true;
+          return;
+        }
         bool Promote = PromoteOfUnit(U);
         // Instrument the pipeline once per program: the IR pipeline
         // does not depend on the codegen configuration.
@@ -379,9 +388,17 @@ CampaignResult sldb::runCampaign(const CampaignConfig &C) {
   // Deterministic merge in unit order.
   std::set<std::string> UsedPaths;
   for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
-    ++R.Programs;
+    bool SeedRan = false;
+    for (unsigned M = 0; M < Modes; ++M)
+      SeedRan |= !Out[SI * Modes + M].Skipped;
+    if (SeedRan)
+      ++R.Programs;
     for (unsigned M = 0; M < Modes; ++M) {
       ModeOutcome &O = Out[SI * Modes + M];
+      if (O.Skipped) {
+        ++R.SkippedUnits;
+        continue;
+      }
       // Trace first: the compile-fail break below must not drop the
       // unit's events.
       for (TraceEvent &E : O.Trace) {
@@ -485,6 +502,7 @@ injectProbe(const std::string &Src, const InjectCampaignConfig &C,
 
 /// One (seed, fault-point) unit's outcome.
 struct InjectOutcome {
+  bool Skipped = false; ///< Fast-drained after an interrupt.
   enum class Kind : std::uint8_t {
     Clean,
     CompileError,
@@ -624,6 +642,10 @@ InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
   ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
   std::vector<WorkerStats> WS =
       Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        if (interruptRequested()) {
+          Out[U].Skipped = true;
+          return;
+        }
         Out[U] = runInjectUnit(C, SeedOfUnit(U), *Points[U % PerSeed]);
       });
   R.Workers = toCampaignStats(WS, SeedOfUnit);
@@ -631,9 +653,17 @@ InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
   // Deterministic merge in (seed, fault-point) order.
   std::set<std::string> UsedPaths;
   for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
-    ++R.Programs;
+    bool SeedRan = false;
+    for (std::size_t PI = 0; PI < PerSeed; ++PI)
+      SeedRan |= !Out[SI * PerSeed + PI].Skipped;
+    if (SeedRan)
+      ++R.Programs;
     for (std::size_t PI = 0; PI < PerSeed; ++PI) {
       InjectOutcome &O = Out[SI * PerSeed + PI];
+      if (O.Skipped) {
+        ++R.SkippedUnits;
+        continue;
+      }
       for (TraceEvent &E : O.Trace) {
         E.Tid = static_cast<std::uint32_t>(SI * PerSeed + PI + 1);
         R.Trace.push_back(std::move(E));

@@ -158,6 +158,12 @@ struct CampaignResult {
   /// bad shard spec).  Nothing else in the result is meaningful then.
   std::string ConfigError;
 
+  /// Units fast-drained because an interrupt (SIGINT/SIGTERM, see
+  /// support/Interrupt.h) arrived mid-campaign.  Nonzero marks the
+  /// report as *partial*: aggregates cover only the units that ran, and
+  /// the driver still flushes every reproducer collected so far.
+  unsigned SkippedUnits = 0;
+
   /// One entry per pool worker (diagnostic; see CampaignWorkerStats).
   std::vector<CampaignWorkerStats> Workers;
 
@@ -219,6 +225,7 @@ struct InjectCampaignResult {
   std::vector<CampaignFailure> Failures; ///< Crash/hang/unsound records.
 
   std::string ConfigError;     ///< As CampaignResult::ConfigError.
+  unsigned SkippedUnits = 0;   ///< As CampaignResult::SkippedUnits.
   std::vector<CampaignWorkerStats> Workers;
 
   /// As CampaignResult::Trace, in (seed, fault) unit order.

@@ -15,6 +15,7 @@
 #include "fuzz/QualityCampaign.h"
 
 #include "fuzz/Reduce.h"
+#include "support/Interrupt.h"
 #include "support/Sharder.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -121,6 +122,7 @@ bool stepKindStillFails(const std::string &Candidate, bool Promote,
 
 /// One (seed, mode) stepping unit's outcome.
 struct StepOutcome {
+  bool Skipped = false; ///< Fast-drained after an interrupt.
   bool Ran = false;
   bool CompileFail = false;
   bool Capped = false;
@@ -202,15 +204,27 @@ StepCampaignResult sldb::runStepCampaign(const StepCampaignConfig &C) {
   ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
   std::vector<WorkerStats> WS =
       Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        if (interruptRequested()) {
+          Out[U].Skipped = true;
+          return;
+        }
         Out[U] = runStepUnit(C, SeedOfUnit(U), PromoteOfUnit(U));
       });
   R.Workers = toCampaignStats(WS, SeedOfUnit);
 
   std::set<std::string> UsedPaths;
   for (std::size_t SI = 0; SI < Shard.size(); ++SI) {
-    ++R.Programs;
+    bool SeedRan = false;
+    for (unsigned M = 0; M < Modes; ++M)
+      SeedRan |= !Out[SI * Modes + M].Skipped;
+    if (SeedRan)
+      ++R.Programs;
     for (unsigned M = 0; M < Modes; ++M) {
       StepOutcome &O = Out[SI * Modes + M];
+      if (O.Skipped) {
+        ++R.SkippedUnits;
+        continue;
+      }
       if (O.Ran)
         ++R.Runs;
       if (O.CompileFail) {
@@ -325,6 +339,7 @@ std::vector<Violation> levelCheck(const std::string &Src,
 
 /// One seed's cross-level unit outcome.
 struct XLOutcome {
+  bool Skipped = false; ///< Fast-drained after an interrupt.
   bool CompileFail = false;
   unsigned LockstepRuns = 0;
   unsigned UnsoundRuns = 0;
@@ -475,6 +490,10 @@ sldb::runCrossLevelCampaign(const CrossLevelCampaignConfig &C) {
   ThreadPool Pool(C.Jobs ? C.Jobs : ThreadPool::hardwareJobs());
   std::vector<WorkerStats> WS =
       Pool.parallelFor(NumUnits, [&](std::size_t U, unsigned) {
+        if (interruptRequested()) {
+          Out[U].Skipped = true;
+          return;
+        }
         Out[U] = runXLUnit(C, SeedOfUnit(U));
       });
   R.Workers = toCampaignStats(WS, SeedOfUnit);
@@ -482,6 +501,10 @@ sldb::runCrossLevelCampaign(const CrossLevelCampaignConfig &C) {
   std::set<std::string> UsedPaths;
   for (std::size_t U = 0; U < NumUnits; ++U) {
     XLOutcome &O = Out[U];
+    if (O.Skipped) {
+      ++R.SkippedUnits;
+      continue;
+    }
     ++R.Programs;
     R.LockstepRuns += O.LockstepRuns;
     R.UnsoundRuns += O.UnsoundRuns;

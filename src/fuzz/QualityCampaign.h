@@ -75,6 +75,7 @@ struct StepCampaignResult {
   std::vector<CampaignFailure> Failures;
 
   std::string ConfigError;
+  unsigned SkippedUnits = 0; ///< As CampaignResult::SkippedUnits.
   std::vector<CampaignWorkerStats> Workers;
 
   bool sound() const {
@@ -145,6 +146,7 @@ struct CrossLevelCampaignResult {
   std::vector<CampaignFailure> Failures;
 
   std::string ConfigError;
+  unsigned SkippedUnits = 0; ///< As CampaignResult::SkippedUnits.
   std::vector<CampaignWorkerStats> Workers;
 
   bool sound() const {

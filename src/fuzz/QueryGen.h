@@ -1,0 +1,89 @@
+//===- fuzz/QueryGen.h - Deterministic service query streams ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates deterministic request streams for the classification
+/// daemon: the workload side of the service robustness story, used by
+/// `sldb-load` (replay/soak) and the determinism test.
+///
+/// The generator compiles each module's generated program in-process
+/// (pristine — fault injection belongs to the daemon under test, not to
+/// the workload) to learn its real shape — function names, statements
+/// that survived optimization, variables in scope — so the emitted
+/// classify/classify-all/explain/step requests hit live targets, with a
+/// configurable fraction of deliberately invalid requests mixed in.
+///
+/// Determinism: the same options always yield the same batches, and the
+/// session-interleave shuffle is itself seeded.  Each session queries
+/// only its own modules, so any two shuffles of the same stream must
+/// produce identical per-request responses — the property
+/// tests/service_test.cpp replays at --jobs 1/4/8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_FUZZ_QUERYGEN_H
+#define SLDB_FUZZ_QUERYGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+struct QueryStreamOptions {
+  unsigned Sessions = 4;
+  unsigned ModulesPerSession = 2;
+  unsigned QueriesPerSession = 100;
+
+  /// Module seeds are BaseSeed, BaseSeed+1, ... across sessions.
+  std::uint32_t BaseSeed = 1;
+
+  /// Percent of queries that are deliberately invalid (unknown module /
+  /// function / variable, out-of-range statement, bad verb).
+  unsigned InvalidPct = 5;
+
+  /// Percent of valid queries that are `step` (the rest split between
+  /// classify, classify-all, and explain).
+  unsigned StepPct = 10;
+
+  /// Source-steps per step request.
+  unsigned StepCount = 25;
+
+  /// Query lines per batch (protocol blocks; loads form their own
+  /// leading batch).
+  unsigned BatchLines = 64;
+
+  /// Seed of the session-interleave shuffle; 0 = round-robin.
+  std::uint64_t ShuffleSeed = 0;
+
+  /// Prepended to every module name and session tag, so independent
+  /// streams aimed at one daemon (sldb-load clients, soak iterations)
+  /// never collide in the module registry.
+  std::string NamePrefix;
+};
+
+/// A generated stream: batches of request lines, loads first.
+struct QueryStream {
+  std::vector<std::vector<std::string>> Batches;
+
+  /// Renders as protocol text: lines separated by '\n', batches by a
+  /// blank line, trailing blank line included.
+  std::string text() const;
+
+  std::size_t numRequests() const {
+    std::size_t N = 0;
+    for (const auto &B : Batches)
+      N += B.size();
+    return N;
+  }
+};
+
+/// Generates the stream.  Deterministic per options.
+QueryStream generateQueryStream(const QueryStreamOptions &Opts);
+
+} // namespace sldb
+
+#endif // SLDB_FUZZ_QUERYGEN_H

@@ -1,0 +1,160 @@
+//===- service/Protocol.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+using namespace sldb;
+
+const char *sldb::verbName(Verb V) {
+  switch (V) {
+  case Verb::Invalid:
+    return "invalid";
+  case Verb::Load:
+    return "load";
+  case Verb::Classify:
+    return "classify";
+  case Verb::ClassifyAll:
+    return "classify-all";
+  case Verb::Explain:
+    return "explain";
+  case Verb::Step:
+    return "step";
+  case Verb::Health:
+    return "health";
+  case Verb::StatsVerb:
+    return "stats";
+  case Verb::Shutdown:
+    return "shutdown";
+  }
+  return "invalid";
+}
+
+namespace {
+
+std::vector<std::string> splitWords(std::string_view S) {
+  std::vector<std::string> Words;
+  std::size_t I = 0;
+  while (I < S.size()) {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t'))
+      ++I;
+    std::size_t B = I;
+    while (I < S.size() && S[I] != ' ' && S[I] != '\t')
+      ++I;
+    if (I > B)
+      Words.emplace_back(S.substr(B, I - B));
+  }
+  return Words;
+}
+
+struct VerbArity {
+  Verb V;
+  const char *Name;
+  unsigned MinArgs, MaxArgs;
+  const char *Usage;
+};
+
+constexpr VerbArity Verbs[] = {
+    {Verb::Load, "load", 2, 2, "load <name> seed:<N>|file:<path>"},
+    {Verb::Classify, "classify", 4, 4, "classify <module> <func> <stmt> <var>"},
+    {Verb::ClassifyAll, "classify-all", 3, 3,
+     "classify-all <module> <func> <stmt>"},
+    {Verb::Explain, "explain", 4, 4, "explain <module> <func> <stmt> <var>"},
+    {Verb::Step, "step", 2, 2, "step <module> <nsteps>"},
+    {Verb::Health, "health", 0, 0, "health"},
+    {Verb::StatsVerb, "stats", 0, 0, "stats"},
+    {Verb::Shutdown, "shutdown", 0, 0, "shutdown"},
+};
+
+} // namespace
+
+Request sldb::parseRequest(std::string_view Line) {
+  Request R;
+  std::vector<std::string> Words = splitWords(Line);
+  std::size_t At = 0;
+  if (!Words.empty() && Words[0].size() > 1 && Words[0][0] == '@') {
+    R.Session = Words[0].substr(1);
+    At = 1;
+  }
+  if (Words.size() <= At) {
+    R.Error = "empty request";
+    return R;
+  }
+  const std::string &Name = Words[At];
+  for (const VerbArity &VA : Verbs) {
+    if (Name == VA.Name) {
+      unsigned NArgs = static_cast<unsigned>(Words.size() - At - 1);
+      if (NArgs < VA.MinArgs || NArgs > VA.MaxArgs) {
+        R.Error = std::string("usage: ") + VA.Usage;
+        return R;
+      }
+      R.V = VA.V;
+      R.Args.assign(Words.begin() + At + 1, Words.end());
+      return R;
+    }
+  }
+  R.Error = "unknown verb '" + Name + "'";
+  return R;
+}
+
+namespace {
+std::string prefix(const std::string &Session) {
+  return Session.empty() ? std::string() : "@" + Session + " ";
+}
+} // namespace
+
+std::string sldb::renderOk(const std::string &Session,
+                           const std::string &Payload) {
+  std::string S = prefix(Session) + "ok";
+  if (!Payload.empty()) {
+    S += ' ';
+    S += Payload;
+  }
+  return S;
+}
+
+std::string sldb::renderErr(const std::string &Session, ErrorCode C,
+                            const std::string &Msg) {
+  std::string S = prefix(Session) + "err ";
+  S += errorCodeName(C);
+  if (!Msg.empty()) {
+    S += ' ';
+    S += Msg;
+  }
+  return S;
+}
+
+std::string sldb::renderShed(const std::string &Session,
+                             std::uint32_t RetryAfterMs) {
+  return prefix(Session) + "shed retry-after-ms=" +
+         std::to_string(RetryAfterMs);
+}
+
+std::vector<std::vector<std::string>> sldb::splitBatches(std::string_view T) {
+  std::vector<std::vector<std::string>> Batches;
+  std::vector<std::string> Cur;
+  std::size_t I = 0;
+  while (I <= T.size()) {
+    std::size_t E = T.find('\n', I);
+    bool Last = E == std::string_view::npos;
+    std::string_view Line = T.substr(I, Last ? T.size() - I : E - I);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty()) {
+      if (!Cur.empty()) {
+        Batches.push_back(std::move(Cur));
+        Cur.clear();
+      }
+    } else {
+      Cur.emplace_back(Line);
+    }
+    if (Last)
+      break;
+    I = E + 1;
+  }
+  if (!Cur.empty())
+    Batches.push_back(std::move(Cur));
+  return Batches;
+}

@@ -1,0 +1,230 @@
+//===- service/Server.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "support/Interrupt.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sldb;
+
+namespace {
+
+std::uint64_t nowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+Server::Server(ServiceCore &Core, std::uint32_t HardWallMs)
+    : Core(Core), HardWallMs(HardWallMs) {
+  if (!HardWallMs)
+    return;
+  Watchdog = std::thread([this] {
+    // Crash-only: a batch that outlives the hard wall is unrecoverable
+    // by definition (every cooperative deadline inside it already
+    // failed); kill the process and let the supervisor restart from
+    // zero state.
+    while (!Stopping.load(std::memory_order_relaxed)) {
+      std::uint64_t Start = BatchStartMs.load(std::memory_order_relaxed);
+      if (Start && nowMs() - Start > this->HardWallMs) {
+        std::fprintf(stderr,
+                     "sldbd: watchdog: batch exceeded %u ms hard wall; "
+                     "crash-only exit\n",
+                     this->HardWallMs);
+        std::fflush(stderr);
+        ::_exit(WatchdogExitCode);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+}
+
+Server::~Server() {
+  Stopping.store(true, std::memory_order_relaxed);
+  if (Watchdog.joinable())
+    Watchdog.join();
+}
+
+std::vector<std::string>
+Server::guarded(const std::vector<std::string> &Lines) {
+  BatchStartMs.store(nowMs(), std::memory_order_relaxed);
+  std::vector<std::string> Responses = Core.processBatch(Lines);
+  BatchStartMs.store(0, std::memory_order_relaxed);
+  return Responses;
+}
+
+int Server::runStdio(std::FILE *In, std::FILE *Out) {
+  std::vector<std::string> Batch;
+  std::string Line;
+  int C;
+  auto flush = [&]() {
+    if (Batch.empty())
+      return;
+    std::vector<std::string> Responses = guarded(Batch);
+    for (const std::string &R : Responses)
+      std::fprintf(Out, "%s\n", R.c_str());
+    std::fprintf(Out, "\n");
+    std::fflush(Out);
+    Batch.clear();
+  };
+  while (!Core.shutdownRequested() && !interruptRequested()) {
+    C = std::fgetc(In);
+    if (C == EOF) {
+      flush();
+      break;
+    }
+    if (C == '\n') {
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        flush();
+      else
+        Batch.push_back(Line);
+      Line.clear();
+      continue;
+    }
+    Line.push_back(static_cast<char>(C));
+  }
+  if (!Line.empty())
+    Batch.push_back(Line);
+  flush();
+  return 0;
+}
+
+int Server::runSocket(const std::string &Path) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("sldbd: socket");
+    return 1;
+  }
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "sldbd: socket path too long: %s\n", Path.c_str());
+    ::close(Listen);
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Listen, 16) < 0) {
+    std::perror("sldbd: bind/listen");
+    ::close(Listen);
+    return 1;
+  }
+
+  struct Conn {
+    int Fd = -1;
+    std::string InBuf;
+    std::vector<std::string> Batch;
+  };
+  std::vector<Conn> Conns;
+
+  auto processConn = [&](Conn &C) -> bool {
+    // Consume complete lines from the buffer; a blank line completes a
+    // batch, which is answered immediately on this connection.
+    std::size_t Pos;
+    while ((Pos = C.InBuf.find('\n')) != std::string::npos) {
+      std::string Line = C.InBuf.substr(0, Pos);
+      C.InBuf.erase(0, Pos + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty()) {
+        C.Batch.push_back(std::move(Line));
+        continue;
+      }
+      if (C.Batch.empty())
+        continue;
+      std::vector<std::string> Responses = guarded(C.Batch);
+      C.Batch.clear();
+      std::string Out;
+      for (const std::string &R : Responses) {
+        Out += R;
+        Out += '\n';
+      }
+      Out += '\n';
+      std::size_t Off = 0;
+      while (Off < Out.size()) {
+        ssize_t W = ::send(C.Fd, Out.data() + Off, Out.size() - Off,
+                           MSG_NOSIGNAL);
+        if (W <= 0)
+          return false; // Peer gone; drop the connection.
+        Off += static_cast<std::size_t>(W);
+      }
+      if (Core.shutdownRequested())
+        return false;
+    }
+    return true;
+  };
+
+  int Ret = 0;
+  while (!Core.shutdownRequested() && !interruptRequested()) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({Listen, POLLIN, 0});
+    for (const Conn &C : Conns)
+      Fds.push_back({C.Fd, POLLIN, 0});
+    int NR = ::poll(Fds.data(), Fds.size(), 250);
+    if (NR < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("sldbd: poll");
+      Ret = 1;
+      break;
+    }
+    if (NR == 0)
+      continue;
+    if (Fds[0].revents & POLLIN) {
+      int Fd = ::accept(Listen, nullptr, nullptr);
+      if (Fd >= 0) {
+        Conn C;
+        C.Fd = Fd;
+        Conns.push_back(std::move(C));
+      }
+    }
+    for (std::size_t I = 0; I < Conns.size();) {
+      // Fds[I+1] mirrors Conns[I] from this poll round; newly accepted
+      // connections (appended above) simply wait for the next round.
+      bool Alive = true;
+      if (I + 1 < Fds.size() && (Fds[I + 1].revents & (POLLIN | POLLHUP))) {
+        char Buf[4096];
+        ssize_t N = ::recv(Conns[I].Fd, Buf, sizeof(Buf), 0);
+        if (N <= 0)
+          Alive = false;
+        else {
+          Conns[I].InBuf.append(Buf, static_cast<std::size_t>(N));
+          Alive = processConn(Conns[I]);
+        }
+      }
+      if (!Alive || Core.shutdownRequested()) {
+        ::close(Conns[I].Fd);
+        Conns.erase(Conns.begin() + static_cast<std::ptrdiff_t>(I));
+        if (Core.shutdownRequested())
+          break;
+      } else {
+        ++I;
+      }
+    }
+  }
+  for (const Conn &C : Conns)
+    ::close(C.Fd);
+  ::close(Listen);
+  ::unlink(Path.c_str());
+  return Ret;
+}

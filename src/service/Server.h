@@ -1,0 +1,70 @@
+//===- service/Server.h - sldbd transports + watchdog -----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transport layer over ServiceCore: a stdin/stdout loop and a local
+/// unix-domain socket, both speaking the blank-line-batched protocol of
+/// service/Protocol.h, plus the crash-only watchdog.
+///
+/// Crash-only semantics: the server keeps no durable state — the module
+/// registry is rebuilt from load requests — so the watchdog's answer to
+/// a wedged batch (one that outlived the cooperative deadlines) is
+/// `_exit(WatchdogExitCode)`, and the supervisor's answer is restart.
+/// There is deliberately no "try to unstick it" path; DESIGN.md
+/// "Service robustness model".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SERVICE_SERVER_H
+#define SLDB_SERVICE_SERVER_H
+
+#include "service/ServiceCore.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace sldb {
+
+class Server {
+public:
+  /// Exit status of a watchdog kill (distinct from every libc/sanitizer
+  /// convention so supervisors and the soak harness can tell it apart).
+  static constexpr int WatchdogExitCode = 87;
+
+  /// \p HardWallMs bounds one *batch* end to end; 0 disables the
+  /// watchdog.  It must dominate the per-request cooperative wall
+  /// deadline times the batch size — the watchdog is the backstop for
+  /// bugs the cooperative checks cannot see (a wedged dataflow loop),
+  /// not a scheduler.
+  Server(ServiceCore &Core, std::uint32_t HardWallMs);
+  ~Server();
+
+  /// Reads request batches from \p In until EOF or a shutdown request;
+  /// writes each batch's responses followed by a blank line to \p Out,
+  /// flushing per batch.  Returns 0, or nonzero on I/O error.
+  int runStdio(std::FILE *In, std::FILE *Out);
+
+  /// Serves the same protocol on a unix-domain socket at \p Path
+  /// (unlinked and re-bound on startup, unlinked on exit).  Single
+  /// poll loop; per-connection batches are processed in arrival order.
+  /// Returns 0 after a shutdown request, nonzero on socket errors.
+  int runSocket(const std::string &Path);
+
+private:
+  /// Watchdog hooks around every processBatch call.
+  std::vector<std::string> guarded(const std::vector<std::string> &Lines);
+
+  ServiceCore &Core;
+  std::uint32_t HardWallMs;
+  std::atomic<std::uint64_t> BatchStartMs{0}; ///< 0 = idle.
+  std::atomic<bool> Stopping{false};
+  std::thread Watchdog;
+};
+
+} // namespace sldb
+
+#endif // SLDB_SERVICE_SERVER_H

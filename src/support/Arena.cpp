@@ -52,6 +52,8 @@ void Arena::grow(std::size_t Bytes) {
 void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
   if (Bytes == 0)
     Bytes = 1;
+  if (Limit && Allocated + Bytes > Limit)
+    Exceeded = true; // Soft: serve the request, flag the budget breach.
   std::uintptr_t P = reinterpret_cast<std::uintptr_t>(Cur);
   std::uintptr_t Aligned = (P + Align - 1) & ~(std::uintptr_t(Align) - 1);
   std::size_t Pad = Aligned - P;
@@ -67,8 +69,17 @@ void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
   return reinterpret_cast<void *>(Aligned);
 }
 
+void *Arena::tryAllocate(std::size_t Bytes, std::size_t Align) {
+  if (Limit && Allocated + (Bytes ? Bytes : 1) > Limit) {
+    Exceeded = true;
+    return nullptr;
+  }
+  return allocate(Bytes, Align);
+}
+
 void Arena::reset() {
   Allocated = 0;
+  Exceeded = false;
   CurSlab = 0;
   if (Slabs.empty()) {
     Cur = End = nullptr;

@@ -61,10 +61,35 @@ public:
     return new (allocate<T>()) T(std::forward<Args>(ArgList)...);
   }
 
+  /// Hard-checked variant of allocate(): returns null (allocating
+  /// nothing) when the request would push bytesAllocated() past the
+  /// limit.  For callers that can surface the failure directly.
+  void *tryAllocate(std::size_t Bytes, std::size_t Align);
+
   /// Recycles every slab for reuse: subsequent allocations refill the
   /// already-reserved memory.  All objects previously allocated here must
   /// already be destroyed — see the ownership rules above.
   void reset();
+
+  //===--- Memory budget --------------------------------------------------===//
+  //
+  // The limit is *soft* for allocate(): exceeding it never returns a bad
+  // pointer into code built on infallible allocation (`-fno-exceptions`,
+  // no null checks at IR construction sites).  Instead the arena goes
+  // sticky-exceeded, and budgeted drivers (service loads, `sldbc
+  // --batch --arena-limit`) test `limitExceeded()` at phase boundaries
+  // and turn it into a structured `ErrorCode::ResourceExhausted` — the
+  // request dies, the process does not.  tryAllocate() is the hard
+  // variant for callers that can handle null.
+
+  /// Sets the budget in bytes (0 = unlimited).  Applies to bytes handed
+  /// out since the last reset(); survives reset().
+  void setLimit(std::size_t Bytes) { Limit = Bytes; }
+  std::size_t limit() const { return Limit; }
+
+  /// True once any allocation pushed bytesAllocated() past the limit.
+  /// Sticky until reset().
+  bool limitExceeded() const { return Exceeded; }
 
   /// Total bytes handed out since construction or the last reset().
   std::size_t bytesAllocated() const { return Allocated; }
@@ -90,6 +115,8 @@ private:
   char *End = nullptr;
   std::size_t FirstSlabBytes;
   std::size_t Allocated = 0;
+  std::size_t Limit = 0;  ///< 0 = unlimited.
+  bool Exceeded = false;  ///< Sticky over-budget flag (see above).
 
   static constexpr std::size_t MaxSlabBytes = std::size_t(1) << 20;
 };

@@ -1,0 +1,50 @@
+//===- support/Interrupt.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interrupt.h"
+
+#include <atomic>
+#include <csignal>
+#include <unistd.h>
+
+using namespace sldb;
+
+namespace {
+
+std::atomic<bool> InterruptFlag{false};
+std::atomic<bool> HandlersInstalled{false};
+
+// Async-signal-safe: one store on the first delivery, _exit on the second
+// (the graceful drain is wedged; 130 = killed-by-SIGINT convention).
+void onSignal(int) {
+  if (InterruptFlag.exchange(true, std::memory_order_relaxed))
+    ::_exit(130);
+}
+
+} // namespace
+
+void sldb::installInterruptHandlers() {
+  if (HandlersInstalled.exchange(true, std::memory_order_relaxed))
+    return;
+  struct sigaction SA = {};
+  SA.sa_handler = onSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // No SA_RESTART: wake blocked reads so loops can drain.
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+}
+
+bool sldb::interruptRequested() {
+  return InterruptFlag.load(std::memory_order_relaxed);
+}
+
+void sldb::requestInterrupt() {
+  InterruptFlag.store(true, std::memory_order_relaxed);
+}
+
+void sldb::clearInterruptForTesting() {
+  InterruptFlag.store(false, std::memory_order_relaxed);
+}

@@ -1,0 +1,40 @@
+//===- support/Interrupt.h - Cooperative SIGINT/SIGTERM flag ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide "please wind down" flag for long-running drivers
+/// (fuzz campaigns, the classification daemon).  installInterruptHandlers()
+/// routes SIGINT and SIGTERM to an async-signal-safe flag set; work loops
+/// poll interruptRequested() at unit boundaries and finish by *flushing*
+/// — partial shard reports, reproducer archives, stats — instead of
+/// losing the run to the default disposition.
+///
+/// A second delivery of either signal force-exits (status 130): the
+/// escape hatch when the graceful drain itself is wedged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_INTERRUPT_H
+#define SLDB_SUPPORT_INTERRUPT_H
+
+namespace sldb {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).
+void installInterruptHandlers();
+
+/// True once SIGINT/SIGTERM was delivered (or requestInterrupt() ran).
+bool interruptRequested();
+
+/// Sets the flag programmatically — the handler body, also used by tests
+/// and by drivers that want to reuse a campaign's drain path.
+void requestInterrupt();
+
+/// Clears the flag (tests only; real drivers never un-interrupt).
+void clearInterruptForTesting();
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_INTERRUPT_H

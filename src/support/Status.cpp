@@ -22,6 +22,8 @@ const char *errorCodeName(ErrorCode C) {
     return "regalloc-failure";
   case ErrorCode::ResourceExhausted:
     return "resource-exhausted";
+  case ErrorCode::InvalidRequest:
+    return "invalid-request";
   }
   return "unknown";
 }

@@ -43,6 +43,9 @@ enum class ErrorCode : std::uint8_t {
   RegAllocFailure,
   /// A resource budget (fuel, recursion depth, frame space) was exceeded.
   ResourceExhausted,
+  /// A service request was malformed or named an unknown entity (module,
+  /// function, statement, variable).  The request dies; nothing else.
+  InvalidRequest,
 };
 
 const char *errorCodeName(ErrorCode C);

@@ -538,6 +538,59 @@ TEST(Arena, ResetReusesReservedMemory) {
   EXPECT_EQ(A.numSlabs(), Slabs);
 }
 
+TEST(Arena, SoftLimitIsStickyUntilReset) {
+  Arena A(64);
+  A.setLimit(256);
+  EXPECT_EQ(A.limit(), 256u);
+  EXPECT_FALSE(A.limitExceeded());
+  // Under budget: nothing trips.
+  void *P = A.allocate(128, 8);
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(A.limitExceeded());
+  // The allocation that crosses the budget still succeeds (soft limit:
+  // callers built on infallible allocation never see null) but the
+  // arena goes sticky-exceeded.
+  P = A.allocate(256, 8);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(A.limitExceeded());
+  // Sticky: later small allocations do not clear it.
+  A.allocate(8, 8);
+  EXPECT_TRUE(A.limitExceeded());
+  // reset() clears the flag but keeps the budget armed for the next
+  // tenant (the service's per-load lifecycle).
+  A.reset();
+  EXPECT_FALSE(A.limitExceeded());
+  EXPECT_EQ(A.limit(), 256u);
+  A.allocate(512, 8);
+  EXPECT_TRUE(A.limitExceeded());
+}
+
+TEST(Arena, TryAllocateIsHard) {
+  Arena A(64);
+  A.setLimit(128);
+  // Within budget: real memory.
+  void *P = A.tryAllocate(64, 8);
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(A.limitExceeded());
+  // Over budget: null, nothing allocated, and the sticky flag trips so
+  // phase-boundary audits still see the refusal.
+  std::size_t Before = A.bytesAllocated();
+  EXPECT_EQ(A.tryAllocate(1024, 8), nullptr);
+  EXPECT_EQ(A.bytesAllocated(), Before);
+  EXPECT_TRUE(A.limitExceeded());
+  // The arena itself stays usable for in-budget requests.
+  void *Q = A.tryAllocate(32, 8);
+  EXPECT_NE(Q, nullptr);
+}
+
+TEST(Arena, UnlimitedByDefault) {
+  Arena A(64);
+  EXPECT_EQ(A.limit(), 0u);
+  for (int I = 0; I < 100; ++I)
+    A.allocate(1024, 8);
+  EXPECT_FALSE(A.limitExceeded());
+}
+
 TEST(Arena, MakeConstructsObjects) {
   struct Point {
     int X, Y;

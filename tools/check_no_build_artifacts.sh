@@ -16,7 +16,7 @@ git rev-parse --is-inside-work-tree >/dev/null 2>&1 || exit 0
 BAD=$(git ls-files --cached -- \
   'build/*' 'build-*/*' 'cmake-build-*/*' '*.o' '*.a' \
   '*CMakeCache.txt' '*LastTest.log' 'fuzz-failures/*' 'fuzz-crashes/*' \
-  'fuzz-shards/*' 'fuzz-property/*')
+  'fuzz-shards/*' 'fuzz-property/*' '*.sock' 'service-soak-*/*')
 if [ -n "$BAD" ]; then
   echo "error: build artifacts are tracked in git:" >&2
   echo "$BAD" | head -20 >&2

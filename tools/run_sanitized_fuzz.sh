@@ -8,14 +8,18 @@
 # aborts the driver, which the campaign's fork isolation surfaces as a
 # process crash and the driver turns into a nonzero exit.
 #
-# Usage: tools/run_sanitized_fuzz.sh [repo-root] [count] [sanitizers]
+# Usage: tools/run_sanitized_fuzz.sh [repo-root] [count] [sanitizers] [suite]
 #   sanitizers: "address,undefined" (default) or "thread"
+#   suite:      "fuzz" (default) or "service" — the classification
+#               daemon driven by sldb-load at --jobs 4, with and
+#               without an armed fault point (ctest `service_tsan`)
 
 set -e
 
 ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
 COUNT=${2:-50}
 SAN=${3:-address,undefined}
+SUITE=${4:-fuzz}
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 case "$SAN" in
@@ -26,6 +30,29 @@ esac
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSLDB_SANITIZE="$SAN" >/dev/null
+
+if [ "$SUITE" = service ]; then
+  # Service suite: the daemon's batch worker pool, per-function cache
+  # locks, watchdog thread, and the deferred-quarantine handoff all race
+  # under the chosen sanitizer while sldb-load hammers a pipe.
+  cmake --build "$BUILD" --target sldbd sldb-load -j "$JOBS" >/dev/null
+  SANOPTS=halt_on_error=1
+  TSAN_OPTIONS=$SANOPTS UBSAN_OPTIONS=$SANOPTS \
+    "$BUILD/tools/sldb-load" --spawn "$BUILD/tools/sldbd" --jobs 4 \
+    --sessions 3 --modules 2 --queries 60 --expect-sound
+  # Same workload with a defended fault armed: loads quarantine, every
+  # query after that exercises the degraded path concurrently.
+  TSAN_OPTIONS=$SANOPTS UBSAN_OPTIONS=$SANOPTS \
+    "$BUILD/tools/sldb-load" --spawn "$BUILD/tools/sldbd" --jobs 4 \
+    --inject truncate-stmt-map --inject-seed 3 \
+    --sessions 3 --modules 2 --queries 60 --expect-sound
+  # Tiny queue depth: admission control / shed-retry under the races.
+  TSAN_OPTIONS=$SANOPTS UBSAN_OPTIONS=$SANOPTS \
+    "$BUILD/tools/sldb-load" --spawn "$BUILD/tools/sldbd" --jobs 4 \
+    --queue-depth 8 --sessions 2 --modules 1 --queries 40 --expect-sound
+  exit 0
+fi
+
 cmake --build "$BUILD" --target sldb-fuzz sldbc -j "$JOBS" >/dev/null
 
 if [ "$SAN" = thread ]; then

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Soaks the classification daemon under fault injection: sldb-load
+# replays query streams against sldbd for a fixed wall-clock budget per
+# defended fault point, asserting the full robustness envelope — zero
+# crashes (any abnormal daemon exit, including the watchdog's 87), zero
+# hangs (sldb-load exit 3), zero malformed responses, and an `unsound=0`
+# counter in the daemon's final stats (a quarantined module answering
+# Current/Recoverable would bump it).  Registered as the tier-1 ctest
+# `service_soak`.
+#
+# Usage: tools/service_soak.sh <sldbd> <sldb-load> [seconds-per-fault]
+
+set -e
+
+SLDBD=$1
+LOAD=$2
+SECS=${3:-10}
+
+if [ ! -x "$SLDBD" ] || [ ! -x "$LOAD" ]; then
+  echo "usage: service_soak.sh <sldbd> <sldb-load> [seconds-per-fault]" >&2
+  exit 2
+fi
+
+# One pristine pass, then every defended fault point in turn.  The
+# injected corruption lands in each load's compiled tables; the eager
+# classifier audit quarantines the module, and the rest of the stream
+# keeps querying the degraded registry.
+FAULTS="drop-dead-marker corrupt-marker-var corrupt-marker-stmt \
+corrupt-hoist-key truncate-stmt-map corrupt-recovery-reg \
+truncate-resident-at trap-vm-mid-run"
+
+echo "soak: pristine, ${SECS}s"
+"$LOAD" --spawn "$SLDBD" --jobs 4 --sessions 3 --modules 2 --queries 50 \
+  --duration "$SECS" --expect-sound --quiet
+
+for F in $FAULTS; do
+  echo "soak: fault $F, ${SECS}s"
+  "$LOAD" --spawn "$SLDBD" --jobs 4 --inject "$F" --inject-seed 3 \
+    --sessions 3 --modules 2 --queries 50 \
+    --duration "$SECS" --expect-sound --quiet
+done
+
+echo "soak: OK (no crash, no hang, no malformed response, unsound=0)"

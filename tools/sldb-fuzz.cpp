@@ -23,6 +23,7 @@
 #include "fuzz/Campaign.h"
 #include "fuzz/QualityCampaign.h"
 #include "support/FaultInjector.h"
+#include "support/Interrupt.h"
 #include "support/Sharder.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -251,6 +252,21 @@ void printWorkerStats(const std::vector<CampaignWorkerStats> &Workers) {
                Stats::percent(CH, CM), Stats::percent(AH, AM));
 }
 
+/// Folds a graceful interruption (SIGINT/SIGTERM) into the campaign's
+/// exit status.  By this point the full report — covering everything
+/// that finished before the signal — and any reproducer files are
+/// already flushed; the note plus the conventional 128+SIGINT status
+/// keep a partial report from being mistaken for a complete one.
+int finishCampaign(int RC, unsigned SkippedUnits) {
+  if (SkippedUnits == 0)
+    return RC;
+  std::fprintf(stderr,
+               "sldb-fuzz: interrupted — report is PARTIAL (%u unit(s) "
+               "skipped); reproducers for completed units are on disk\n",
+               SkippedUnits);
+  return 130;
+}
+
 /// Writes the merged campaign trace (--trace-json).  Returns false (and
 /// complains) on I/O failure.
 bool writeTraceFile(const std::string &Path,
@@ -305,7 +321,7 @@ int runInject(const Options &O) {
   if (R.sound()) {
     std::printf("injection:     OK (no crash, no hang, no unsound verdict "
                 "under any injected fault)\n");
-    return 0;
+    return finishCampaign(0, R.SkippedUnits);
   }
   std::printf("injection:     %zu FAILING run(s)\n", R.Failures.size());
   for (const CampaignFailure &F : R.Failures) {
@@ -316,7 +332,7 @@ int runInject(const Options &O) {
     if (!F.Path.empty())
       std::printf("    reproducer: %s\n", F.Path.c_str());
   }
-  return 1;
+  return finishCampaign(1, R.SkippedUnits);
 }
 
 int runStep(const Options &O) {
@@ -343,7 +359,7 @@ int runStep(const Options &O) {
   if (R.sound()) {
     std::printf("stepping:       OK (no phantom or vanished statement "
                 "boundaries, behavior matched)\n");
-    return 0;
+    return finishCampaign(0, R.SkippedUnits);
   }
   std::printf("stepping:       %zu FAILING run(s)\n", R.Failures.size());
   for (const CampaignFailure &F : R.Failures) {
@@ -353,7 +369,7 @@ int runStep(const Options &O) {
     if (!F.Path.empty())
       std::printf("    reproducer: %s\n", F.Path.c_str());
   }
-  return 1;
+  return finishCampaign(1, R.SkippedUnits);
 }
 
 int runCrossLevel(const Options &O) {
@@ -378,7 +394,7 @@ int runCrossLevel(const Options &O) {
   if (R.sound()) {
     std::printf("cross-level:    OK (no unexplained availability "
                 "regression, every level sound)\n");
-    return 0;
+    return finishCampaign(0, R.SkippedUnits);
   }
   std::printf("cross-level:    FAIL (%u unexplained regression(s), %u "
               "unsound run(s))\n",
@@ -389,7 +405,7 @@ int runCrossLevel(const Options &O) {
     if (!F.Path.empty())
       std::printf("    reproducer: %s\n", F.Path.c_str());
   }
-  return 1;
+  return finishCampaign(1, R.SkippedUnits);
 }
 
 } // namespace
@@ -400,6 +416,10 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+  // Ctrl-C / SIGTERM flush a partial report instead of losing the
+  // campaign: workers drain at the next unit boundary, merges run as
+  // usual, and finishCampaign() marks the output partial (exit 130).
+  installInterruptHandlers();
   if (!O.TraceJson.empty()) {
     if (!Trace::compiledIn())
       std::fprintf(stderr,
@@ -468,7 +488,7 @@ int main(int Argc, char **Argv) {
   if (R.sound()) {
     std::printf("soundness:     OK (no Current-with-wrong-value, no wrong "
                 "recovery, tables consistent)\n");
-    return 0;
+    return finishCampaign(0, R.SkippedUnits);
   }
   std::printf("soundness:     %zu FAILING program(s)\n", R.Failures.size());
   for (const CampaignFailure &F : R.Failures) {
@@ -478,5 +498,5 @@ int main(int Argc, char **Argv) {
     if (!F.Path.empty())
       std::printf("    reproducer: %s\n", F.Path.c_str());
   }
-  return 1;
+  return finishCampaign(1, R.SkippedUnits);
 }

@@ -91,6 +91,11 @@ struct Options {
   bool DegradeAll = false;
   std::string TraceJson;
   std::uint64_t Fuel = 50'000'000;
+  /// --batch input hardening: files larger than this are skipped, not
+  /// compiled (a corpus directory is untrusted input).
+  std::uint64_t MaxFileBytes = 1u << 20;
+  /// --batch arena budget per module; 0 = unlimited.
+  std::uint64_t ArenaLimit = 0;
   std::vector<std::string> ScriptedCommands;
 };
 
@@ -101,7 +106,8 @@ void usage() {
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
                "             [--trace-json=FILE] [--stats] [--degrade-all]\n"
-               "             [--fuel N] [--cmd <repl-command>]... <file.mc>\n");
+               "             [--fuel N] [--max-file-bytes N] [--arena-limit N]\n"
+               "             [--cmd <repl-command>]... <file.mc>\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -165,6 +171,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Fuel = N;
+    } else if (A == "--max-file-bytes" || A == "--arena-limit") {
+      if (++I >= Argc) {
+        usage();
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0' || End == Argv[I]) {
+        std::fprintf(stderr, "%s needs an integer\n", A.c_str());
+        return false;
+      }
+      (A == "--max-file-bytes" ? Opts.MaxFileBytes : Opts.ArenaLimit) = N;
     } else if (A == "--cmd") {
       if (++I >= Argc) {
         usage();
@@ -412,11 +430,15 @@ int finish(int RC, const Options &Opts) {
 /// & batch compilation").
 int runBatch(const Options &Opts) {
   namespace fs = std::filesystem;
+  // A corpus directory is untrusted input: walk *everything* in it and
+  // decide per file, so junk (editor backups, oversized blobs, files we
+  // cannot read) is diagnosed and skipped instead of silently ignored
+  // or aborting the whole batch.
   std::vector<std::string> Files;
   std::error_code EC;
   for (fs::directory_iterator It(Opts.BatchDir, EC), End; !EC && It != End;
        It.increment(EC))
-    if (It->path().extension() == ".mc")
+    if (It->is_regular_file())
       Files.push_back(It->path().string());
   if (EC) {
     std::fprintf(stderr, "cannot read directory '%s': %s\n",
@@ -425,7 +447,7 @@ int runBatch(const Options &Opts) {
   }
   std::sort(Files.begin(), Files.end());
   if (Files.empty()) {
-    std::fprintf(stderr, "no .mc files under '%s'\n", Opts.BatchDir.c_str());
+    std::fprintf(stderr, "no files under '%s'\n", Opts.BatchDir.c_str());
     return 2;
   }
 
@@ -434,14 +456,29 @@ int runBatch(const Options &Opts) {
   const bool Promote = Opts.Level ? Opts.Level->Promote : Opts.Promote;
 
   Arena BatchArena(1 << 20);
-  unsigned Ok = 0, Failed = 0;
+  BatchArena.setLimit(Opts.ArenaLimit);
+  unsigned Ok = 0, Failed = 0, Skipped = 0;
   for (const std::string &Path : Files) {
+    if (fs::path(Path).extension() != ".mc") {
+      std::printf("%s: skipped: not a .mc file\n", Path.c_str());
+      ++Skipped;
+      continue;
+    }
+    std::error_code SizeEC;
+    std::uintmax_t Size = fs::file_size(Path, SizeEC);
+    if (!SizeEC && Opts.MaxFileBytes && Size > Opts.MaxFileBytes) {
+      std::printf("%s: skipped: %llu bytes exceeds --max-file-bytes %llu\n",
+                  Path.c_str(), static_cast<unsigned long long>(Size),
+                  static_cast<unsigned long long>(Opts.MaxFileBytes));
+      ++Skipped;
+      continue;
+    }
     std::ifstream File(Path);
     std::stringstream Buf;
     Buf << File.rdbuf();
     if (!File) {
-      std::printf("%s: error: cannot read\n", Path.c_str());
-      ++Failed;
+      std::printf("%s: skipped: cannot read\n", Path.c_str());
+      ++Skipped;
       continue;
     }
     {
@@ -472,6 +509,12 @@ int runBatch(const Options &Opts) {
               Instrs += F.numInstrs();
         }
       }
+      // The arena's soft budget is sticky until reset: any allocation
+      // past --arena-limit during this module fails it here, at the
+      // module boundary, without poisoning its neighbours.
+      if (Err.empty() && BatchArena.limitExceeded())
+        Err = "resource-exhausted: arena budget (" +
+              std::to_string(Opts.ArenaLimit) + " bytes) exceeded";
       if (Err.empty()) {
         std::printf("%s: ok (%u machine instrs)\n", Path.c_str(), Instrs);
         ++Ok;
@@ -483,11 +526,13 @@ int runBatch(const Options &Opts) {
     }
     BatchArena.reset(); // ...and is recycled for the next program.
   }
-  std::printf("batch: %u ok, %u failed, %zu KB arena reserved across %zu "
-              "slabs\n",
-              Ok, Failed, BatchArena.bytesReserved() / 1024,
+  std::printf("batch: %u ok, %u failed, %u skipped, %zu KB arena reserved "
+              "across %zu slabs\n",
+              Ok, Failed, Skipped, BatchArena.bytesReserved() / 1024,
               BatchArena.numSlabs());
-  return Failed ? 1 : 0;
+  // Skips are survivable but not silent: the exit code says "look at
+  // the summary", while every file that could compile still did.
+  return (Failed || Skipped) ? 1 : 0;
 }
 
 } // namespace
