@@ -30,6 +30,7 @@
 #include "bench/BenchSnapshot.h"
 #include "codegen/ISel.h"
 #include "core/Classifier.h"
+#include "eval/Levels.h"
 #include "eval/Programs.h"
 #include "fuzz/Campaign.h"
 #include "ir/IRGen.h"
@@ -65,9 +66,10 @@ std::vector<std::string> corpus() {
   return Srcs;
 }
 
-/// One timed compile sweep: 3 x 60 programs through the full pipeline.
-double compileSweep(const std::vector<std::string> &Srcs, bool Cached,
-                    unsigned &Funcs) {
+/// One timed compile sweep: 3 x 60 programs through the pipeline with
+/// the given pass selection.
+double compileSweep(const std::vector<std::string> &Srcs,
+                    const OptOptions &Opts, bool Cached, unsigned &Funcs) {
   PipelineConfig Config;
   Config.DisableAnalysisCache = !Cached;
   auto T0 = Clock::now();
@@ -76,7 +78,7 @@ double compileSweep(const std::vector<std::string> &Srcs, bool Cached,
     for (const std::string &S : Srcs) {
       DiagnosticEngine D;
       auto M = compileToIR(S, D);
-      runPipelineEx(*M, OptOptions::all(), Config);
+      runPipelineEx(*M, Opts, Config);
       MachineModule MM = compileToMachine(*M, CodegenOptions());
       Funcs += static_cast<unsigned>(MM.Funcs.size());
     }
@@ -155,10 +157,20 @@ int main(int Argc, char **Argv) {
   std::uint64_t Queries = 0;
 
   double CompileMs = 1e300, UncachedMs = 1e300, SweepMs = 1e300;
+  double SsaCompileMs = 1e300;
   for (int Rep = 0; Rep < 5; ++Rep)
-    CompileMs = std::min(CompileMs, compileSweep(Srcs, true, Funcs));
+    CompileMs =
+        std::min(CompileMs, compileSweep(Srcs, OptOptions::all(), true, Funcs));
   for (int Rep = 0; Rep < 3; ++Rep)
-    UncachedMs = std::min(UncachedMs, compileSweep(Srcs, false, Funcs));
+    UncachedMs = std::min(UncachedMs,
+                          compileSweep(Srcs, OptOptions::all(), false, Funcs));
+  // The SSA tier's cost on top of the lockstep set: same corpus through
+  // the O2nl-ssa level (construct + GVN + sparse prop + destruct).
+  const LevelSpec *Ssa = findLevel("O2nl-ssa");
+  unsigned SsaFuncs = 0;
+  for (int Rep = 0; Rep < 3; ++Rep)
+    SsaCompileMs =
+        std::min(SsaCompileMs, compileSweep(Srcs, Ssa->Opts, true, SsaFuncs));
   for (int Rep = 0; Rep < 5; ++Rep)
     SweepMs = std::min(SweepMs, querySweep(Queries));
 
@@ -184,12 +196,15 @@ int main(int Argc, char **Argv) {
       "{\"bench\":\"pipeline_throughput\","
       "\"compile_ms\":%.1f,\"sweep_ms\":%.1f,"
       "\"uncached_compile_ms\":%.1f,\"cache_speedup\":%.2f,"
+      "\"ssa_level\":\"%s\",\"ssa_compile_ms\":%.1f,"
+      "\"ssa_overhead\":%.2f,"
       "\"baseline_compile_ms\":%.1f,\"baseline_sweep_ms\":%.1f,"
       "\"speedup_vs_baseline\":%.2f,"
       "\"funcs\":%u,\"queries\":%llu,"
       "\"campaign_runs\":%u,\"campaign_stops\":%llu,"
       "\"campaign_observations\":%llu,\"campaign_failures\":%zu}",
-      CompileMs, SweepMs, UncachedMs, CacheSpeedup, BaseCompile, BaseSweep,
+      CompileMs, SweepMs, UncachedMs, CacheSpeedup, Ssa->Name, SsaCompileMs,
+      SsaCompileMs / CompileMs, BaseCompile, BaseSweep,
       Speedup, Funcs, static_cast<unsigned long long>(Queries), CR.Runs,
       static_cast<unsigned long long>(CR.Stops),
       static_cast<unsigned long long>(CR.Observations),

@@ -34,6 +34,10 @@ const char *sldb::analysisName(AnalysisID ID) {
     return "liveness";
   case AnalysisID::ReachingDefs:
     return "reaching-defs";
+  case AnalysisID::DomFrontiers:
+    return "dom-frontiers";
+  case AnalysisID::SsaDefUse:
+    return "ssa-def-use";
   }
   return "?";
 }
@@ -44,10 +48,12 @@ AnalysisDependence sldb::analysisDependence(AnalysisID ID) {
   case AnalysisID::Dominators:
   case AnalysisID::PostDominators:
   case AnalysisID::Loops:
+  case AnalysisID::DomFrontiers:
     return AnalysisDependence::CFGShape;
   case AnalysisID::Values:
   case AnalysisID::Liveness:
   case AnalysisID::ReachingDefs:
+  case AnalysisID::SsaDefUse:
     return AnalysisDependence::Instruction;
   }
   return AnalysisDependence::Instruction;
@@ -66,10 +72,13 @@ unsigned dependsOn(AnalysisID ID) {
   case AnalysisID::PostDominators:
     return Bit(AnalysisID::CFG);
   case AnalysisID::Loops:
+  case AnalysisID::DomFrontiers:
     return Bit(AnalysisID::CFG) | Bit(AnalysisID::Dominators);
   case AnalysisID::Liveness:
   case AnalysisID::ReachingDefs:
     return Bit(AnalysisID::CFG) | Bit(AnalysisID::Values);
+  case AnalysisID::SsaDefUse:
+    return Bit(AnalysisID::CFG);
   }
   return 0;
 }
@@ -103,6 +112,10 @@ void AnalysisManager::invalidate(IRFunction &F, const PreservedAnalyses &PA) {
     return (Dead >> static_cast<unsigned>(ID)) & 1u;
   };
   // Destroy dependents before prerequisites (results hold references).
+  if (Gone(AnalysisID::SsaDefUse))
+    E.SsaDU.reset();
+  if (Gone(AnalysisID::DomFrontiers))
+    E.DF.reset();
   if (Gone(AnalysisID::ReachingDefs))
     E.Reach.reset();
   if (Gone(AnalysisID::Liveness))
@@ -209,6 +222,32 @@ ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F) {
 }
 
 template <>
+DomFrontiers &AnalysisManager::getResult<DomFrontiers>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  Dominators &Dom = getResult<Dominators>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::DomFrontiers, E.DF != nullptr);
+  if (!E.DF) {
+    TraceSpan Span("dom-frontiers", "analysis");
+    Span.arg("function", F.Name);
+    E.DF = std::make_unique<DomFrontiers>(CFG, Dom);
+  }
+  return *E.DF;
+}
+
+template <> SsaDefUse &AnalysisManager::getResult<SsaDefUse>(IRFunction &F) {
+  CFGContext &CFG = getResult<CFGContext>(F);
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::SsaDefUse, E.SsaDU != nullptr);
+  if (!E.SsaDU) {
+    TraceSpan Span("ssa-def-use", "analysis");
+    Span.arg("function", F.Name);
+    E.SsaDU = std::make_unique<SsaDefUse>(CFG);
+  }
+  return *E.SsaDU;
+}
+
+template <>
 const CFGContext *
 AnalysisManager::getCached<CFGContext>(const IRFunction &F) const {
   const FunctionEntry *E = findEntry(F);
@@ -249,6 +288,18 @@ const ReachingDefs *
 AnalysisManager::getCached<ReachingDefs>(const IRFunction &F) const {
   const FunctionEntry *E = findEntry(F);
   return E ? E->Reach.get() : nullptr;
+}
+template <>
+const DomFrontiers *
+AnalysisManager::getCached<DomFrontiers>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->DF.get() : nullptr;
+}
+template <>
+const SsaDefUse *
+AnalysisManager::getCached<SsaDefUse>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->SsaDU.get() : nullptr;
 }
 
 } // namespace sldb

@@ -25,11 +25,13 @@
 #define SLDB_ANALYSIS_ANALYSISMANAGER_H
 
 #include "analysis/CFGContext.h"
+#include "analysis/DomFrontiers.h"
 #include "analysis/Dominators.h"
 #include "analysis/InstrInfo.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/ReachingDefs.h"
+#include "analysis/SsaDefUse.h"
 
 #include <cstdint>
 #include <memory>
@@ -46,8 +48,10 @@ enum class AnalysisID : unsigned {
   Values,         ///< ValueIndex (dense value numbering).
   Liveness,       ///< Live variables.
   ReachingDefs,   ///< Reaching definitions.
+  DomFrontiers,   ///< Dominance frontiers + dominator tree.
+  SsaDefUse,      ///< Temp def-use chains (SSA-form passes).
 };
-inline constexpr unsigned NumAnalysisIDs = 7;
+inline constexpr unsigned NumAnalysisIDs = 9;
 
 /// What an analysis result depends on; decides which mutations kill it.
 enum class AnalysisDependence {
@@ -171,6 +175,8 @@ private:
     std::unique_ptr<ValueIndex> Values;
     std::unique_ptr<Liveness> Live;
     std::unique_ptr<ReachingDefs> Reach;
+    std::unique_ptr<DomFrontiers> DF;
+    std::unique_ptr<SsaDefUse> SsaDU;
   };
 
   FunctionEntry &entry(const IRFunction &F) { return Entries[&F]; }
@@ -198,6 +204,9 @@ template <> ValueIndex &AnalysisManager::getResult<ValueIndex>(IRFunction &F);
 template <> Liveness &AnalysisManager::getResult<Liveness>(IRFunction &F);
 template <>
 ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F);
+template <>
+DomFrontiers &AnalysisManager::getResult<DomFrontiers>(IRFunction &F);
+template <> SsaDefUse &AnalysisManager::getResult<SsaDefUse>(IRFunction &F);
 
 template <>
 const CFGContext *
@@ -220,6 +229,12 @@ AnalysisManager::getCached<Liveness>(const IRFunction &F) const;
 template <>
 const ReachingDefs *
 AnalysisManager::getCached<ReachingDefs>(const IRFunction &F) const;
+template <>
+const DomFrontiers *
+AnalysisManager::getCached<DomFrontiers>(const IRFunction &F) const;
+template <>
+const SsaDefUse *
+AnalysisManager::getCached<SsaDefUse>(const IRFunction &F) const;
 
 } // namespace sldb
 

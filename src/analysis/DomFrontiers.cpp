@@ -1,0 +1,66 @@
+//===- analysis/DomFrontiers.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomFrontiers.h"
+
+#include <algorithm>
+
+using namespace sldb;
+
+DomFrontiers::DomFrontiers(const CFGContext &CFG, const Dominators &Dom) {
+  const unsigned N = CFG.numBlocks();
+  Idom.assign(N, ~0u);
+  Children.resize(N);
+  DF.resize(N);
+
+  // idom(b) = the strict dominator of b with the largest dominator set:
+  // dominators of one block are totally ordered by domination, so the
+  // "deepest" strict dominator is the immediate one.  Blocks whose
+  // dominator set does not contain the entry are unreachable (their sets
+  // are the vacuous full universe) and get no idom.
+  for (unsigned B = 1; B < N; ++B) {
+    const BitVector &DS = Dom.domSet(B);
+    if (!DS.test(0))
+      continue; // Unreachable from the entry.
+    unsigned Best = ~0u, BestCount = 0;
+    for (unsigned D = 0; D < N; ++D) {
+      if (D == B || !DS.test(D))
+        continue;
+      unsigned C = Dom.domSet(D).count();
+      if (Best == ~0u || C > BestCount) {
+        Best = D;
+        BestCount = C;
+      }
+    }
+    Idom[B] = Best;
+    if (Best != ~0u)
+      Children[Best].push_back(B);
+  }
+
+  // Cytron et al.: for every join block, walk each predecessor up the
+  // dominator tree until the join's idom; every block on the way has the
+  // join in its frontier.
+  for (unsigned B = 0; B < N; ++B) {
+    const std::vector<unsigned> &Preds = CFG.preds(B);
+    if (Preds.size() < 2)
+      continue;
+    for (unsigned P : Preds) {
+      unsigned Runner = P;
+      while (Runner != ~0u && Runner != Idom[B]) {
+        std::vector<unsigned> &F = DF[Runner];
+        if (std::find(F.begin(), F.end(), B) != F.end())
+          break; // Already recorded via another pred; the rest of the
+                 // chain has it too.
+        F.push_back(B);
+        if (Runner == B)
+          break; // Self-loop head: b is in its own frontier, stop.
+        Runner = Idom[Runner];
+      }
+    }
+  }
+  for (std::vector<unsigned> &F : DF)
+    std::sort(F.begin(), F.end());
+}

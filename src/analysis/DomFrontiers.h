@@ -1,0 +1,55 @@
+//===- analysis/DomFrontiers.h - Dominance frontiers ------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominance frontiers over the dense CFG indices: DF(b) is the set of
+/// blocks y such that b dominates a predecessor of y but not y itself
+/// (strictly).  SSA construction places a phi for a variable in every
+/// block of the iterated frontier of its definition blocks.
+///
+/// Derived from the bit-vector Dominators sets: the immediate dominator
+/// of a block is its strict dominator with the largest dominator set,
+/// then the classic Cytron runner walk fills the frontiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_ANALYSIS_DOMFRONTIERS_H
+#define SLDB_ANALYSIS_DOMFRONTIERS_H
+
+#include "analysis/CFGContext.h"
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace sldb {
+
+/// Dominance frontiers plus the immediate-dominator tree they are
+/// derived from (SSA renaming walks the same tree).
+class DomFrontiers {
+public:
+  DomFrontiers(const CFGContext &CFG, const Dominators &Dom);
+
+  /// Frontier of block \p B (dense CFG indices, ascending).
+  const std::vector<unsigned> &frontier(unsigned B) const { return DF[B]; }
+
+  /// Immediate dominator of block \p B; ~0u for the entry and for
+  /// blocks unreachable from it.
+  unsigned idom(unsigned B) const { return Idom[B]; }
+
+  /// Children of block \p B in the dominator tree (ascending indices).
+  const std::vector<unsigned> &domChildren(unsigned B) const {
+    return Children[B];
+  }
+
+private:
+  std::vector<unsigned> Idom;
+  std::vector<std::vector<unsigned>> Children;
+  std::vector<std::vector<unsigned>> DF;
+};
+
+} // namespace sldb
+
+#endif // SLDB_ANALYSIS_DOMFRONTIERS_H

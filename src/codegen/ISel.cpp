@@ -573,6 +573,11 @@ void FunctionSelector::selectInstr(const Instr &I) {
   }
   case Opcode::Nop:
     return;
+  case Opcode::Phi:
+    // Phis only exist between SsaConstruct and SsaDestruct; the pipeline
+    // always destructs before codegen, so one here is a pipeline bug.
+    selectionError("phi reached instruction selection (SSA not destructed)");
+    return;
   }
   sldb_unreachable("bad opcode in selection");
 }

@@ -42,6 +42,26 @@ public:
     for (const auto &[V, S] : MF.Storage)
       if (S.K == VarStorage::Kind::InReg)
         NoCoalesce.insert(key(S.R));
+    // Recovery-source vregs must not coalesce either.  Coalescing
+    // rewrites move-related vregs in the code itself, so once a marker's
+    // recovery source merges with a sibling value, a def of the merged
+    // register is indistinguishable from a def of the source and the
+    // ownership analysis (computeDebugTables) certifies the recovery
+    // while the register holds the sibling's value — the fuzzer found a
+    // marker recovering another branch's constant this way.  Keeping the
+    // source un-merged makes "def of the source's value" exactly "def
+    // whose pre-rewrite destination is the source vreg"; every other
+    // value colored into the register kills ownership.
+    for (MachineBlock &B : MF.Blocks)
+      for (MInstr &I : B.Insts) {
+        if (I.Dest.isValid() && I.Dest.isVirtual())
+          I.DestVreg = I.Dest;
+        if (I.Recovery.K == MRecovery::Kind::InReg &&
+            I.Recovery.R.isVirtual()) {
+          I.Recovery.SrcVreg = I.Recovery.R;
+          NoCoalesce.insert(key(I.Recovery.R));
+        }
+      }
   }
 
   /// Runs allocation for both classes; returns false if it failed to
@@ -486,8 +506,11 @@ void Allocator::rewrite(
   };
   for (MachineBlock &B : MF.Blocks)
     for (MInstr &I : B.Insts) {
-      if (I.Dest.isValid() && I.Dest.Cls == Cls && I.Dest.isVirtual())
-        I.DestVreg = I.Dest; // Pre-rewrite identity for debug tables.
+      // Spill/reload code minted after construction has no recorded
+      // identity yet; everything else keeps its pre-coalesce vreg.
+      if (I.Dest.isValid() && I.Dest.Cls == Cls && I.Dest.isVirtual() &&
+          !I.DestVreg.isValid())
+        I.DestVreg = I.Dest;
       Fix(I.Dest);
       Fix(I.Src0);
       Fix(I.Src1);
@@ -500,7 +523,8 @@ void Allocator::rewrite(
         // recovers values that survive somewhere).
         auto It = Color.find(key(I.Recovery.R));
         if (It != Color.end()) {
-          I.Recovery.SrcVreg = I.Recovery.R;
+          if (!I.Recovery.SrcVreg.isValid())
+            I.Recovery.SrcVreg = I.Recovery.R;
           I.Recovery.R = Reg::phys(Cls, It->second);
         } else {
           I.Recovery = MRecovery();
@@ -533,10 +557,12 @@ void Allocator::computeDebugTables() {
   // Statement (syntactic breakpoint) addresses.  Preference order keeps
   // the breakpoint at the statement's *source* position even when code
   // moved (paper §5: the simple syntactic breakpoint model):
-  //   1. a debug marker of the statement (the spot where an eliminated or
-  //      moved assignment used to be),
-  //   2. the lowest-address instruction of the statement that was not
-  //      itself hoisted or sunk,
+  //   1. the lowest-address instruction of the statement that was not
+  //      itself hoisted or sunk — the statement's first surviving action
+  //      (a call of `v = f(...)` whose dead store was eliminated must
+  //      still anchor the stop *before* the call executes),
+  //   2. a debug marker of the statement (the spot where an eliminated or
+  //      moved assignment used to be) when nothing real survives,
   //   3. any instruction of the statement.
   MF.StmtAddr.assign(MF.NumStmts, -1);
   std::vector<int> StmtPrio(MF.NumStmts, 99);
@@ -549,9 +575,9 @@ void Allocator::computeDebugTables() {
         // (it was optimized away from its source location).
         int Prio = 99;
         if (I.Op == MOp::MDEAD || I.Op == MOp::MAVAIL)
-          Prio = 0;
+          Prio = 1;
         else if (!I.IsHoisted && !I.IsSunk && I.Op != MOp::J)
-          Prio = 1; // Plain jumps are structural glue: never an anchor.
+          Prio = 0; // Jumps stay at 99: structural glue, never an anchor.
         if (Prio < StmtPrio[I.Stmt]) {
           StmtPrio[I.Stmt] = Prio;
           MF.StmtAddr[I.Stmt] = static_cast<std::int32_t>(Addr);

@@ -25,6 +25,23 @@ OptOptions lockstepSet() {
   return O;
 }
 
+/// The SSA tier on top of a base selection (GVN/SparseProp imply the
+/// construct/destruct bracket via the pipeline, but the level table
+/// states the bracket explicitly so subset tests see it).
+OptOptions withSsa(OptOptions O, bool GVN, bool Sparse) {
+  O.Ssa = true;
+  O.GVN = GVN;
+  O.SparseProp = Sparse;
+  return O;
+}
+
+/// Everything: the historical O2 set plus the SSA tier and inlining.
+OptOptions allSsa() {
+  OptOptions O = withSsa(OptOptions::all(), true, true);
+  O.Inline = true;
+  return O;
+}
+
 std::vector<LevelSpec> buildTable() {
   // Canonical order; must stay aligned with the PipelineLevel enum
   // (pipelineLevels checks the alignment).
@@ -50,6 +67,16 @@ std::vector<LevelSpec> buildTable() {
       {PipelineLevel::O2nl, "O2nl", lockstepSet(), true},
       {PipelineLevel::O2Frame, "O2-frame", OptOptions::all(), false},
       {PipelineLevel::O2, "O2", OptOptions::all(), true},
+      {PipelineLevel::Ssa, "ssa", onePass(&OptOptions::Ssa), false},
+      {PipelineLevel::Gvn, "gvn", withSsa(OptOptions::none(), true, false),
+       false},
+      {PipelineLevel::SparseProp, "sparse",
+       withSsa(OptOptions::none(), false, true), false},
+      {PipelineLevel::InlineLevel, "inline", onePass(&OptOptions::Inline),
+       false},
+      {PipelineLevel::O2nlSsa, "O2nl-ssa", withSsa(lockstepSet(), true, true),
+       true},
+      {PipelineLevel::O2Ssa, "O2ssa", allSsa(), true},
   };
 }
 
@@ -59,7 +86,8 @@ const bool OptOptions::*const PassFields[] = {
     &OptOptions::ConstProp, &OptOptions::CopyProp,   &OptOptions::CSE,
     &OptOptions::PRE,       &OptOptions::LICM,       &OptOptions::PDE,
     &OptOptions::DCE,       &OptOptions::BranchOpt,  &OptOptions::LoopPeel,
-    &OptOptions::LoopUnroll, &OptOptions::IVOpt,
+    &OptOptions::LoopUnroll, &OptOptions::IVOpt,     &OptOptions::Ssa,
+    &OptOptions::GVN,       &OptOptions::SparseProp, &OptOptions::Inline,
 };
 
 bool passSuperset(const OptOptions &A, const OptOptions &B) {
@@ -77,7 +105,7 @@ bool samePasses(const OptOptions &A, const OptOptions &B) {
 
 const std::vector<LevelSpec> &sldb::pipelineLevels() {
   static const std::vector<LevelSpec> Table = buildTable();
-  if (Table.size() != static_cast<std::size_t>(PipelineLevel::O2) + 1)
+  if (Table.size() != static_cast<std::size_t>(PipelineLevel::O2Ssa) + 1)
     sldb_unreachable("level table out of sync with the PipelineLevel enum");
   return Table;
 }
@@ -107,5 +135,5 @@ bool sldb::moreOptimized(const LevelSpec &A, const LevelSpec &B) {
 }
 
 bool sldb::judgeable(const LevelSpec &S) {
-  return !S.Opts.LoopPeel && !S.Opts.LoopUnroll;
+  return !S.Opts.LoopPeel && !S.Opts.LoopUnroll && !S.Opts.Inline;
 }

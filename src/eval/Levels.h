@@ -15,7 +15,7 @@
 /// The table is a lattice under moreOptimized(): a level is more
 /// optimized than another when it enables a superset of its passes and
 /// at least its codegen promotion.  Single-pass levels are mutually
-/// incomparable; O2 is the top.  (PipelineConfig in opt/Pass.h is the
+/// incomparable; O2ssa is the top.  (PipelineConfig in opt/Pass.h is the
 /// *driver-knob* struct — verification, timing, caching — and is
 /// orthogonal to the level table, hence the distinct name.)
 ///
@@ -49,8 +49,14 @@ enum class PipelineLevel : std::uint8_t {
   LoopUnroll,
   O2nlFrame, ///< All passes minus peel/unroll (lockstep set), frame.
   O2nl,      ///< The lockstep set with register promotion.
-  O2Frame,   ///< Everything, frame slots (Figure 5(a)).
-  O2,        ///< Everything, promoted (Figure 5(b)); the lattice top.
+  O2Frame,   ///< Everything pre-SSA, frame slots (Figure 5(a)).
+  O2,        ///< Everything pre-SSA, promoted (Figure 5(b)).
+  Ssa,       ///< SSA construct/destruct round trip alone, frame.
+  Gvn,       ///< SSA bracket + global value numbering, frame.
+  SparseProp, ///< SSA bracket + sparse copy/const propagation, frame.
+  InlineLevel, ///< Leaf inlining alone, frame (static-sweep only).
+  O2nlSsa,   ///< Lockstep set + the SSA tier, promoted; judgeable.
+  O2Ssa,     ///< Everything including SSA tier and inlining; the top.
 };
 
 /// One row of the level table.
@@ -76,9 +82,10 @@ const LevelSpec *findLevel(std::string_view Name);
 bool moreOptimized(const LevelSpec &A, const LevelSpec &B);
 
 /// Whether the lockstep ground-truth oracle can judge the level
-/// dynamically: loop peeling/unrolling duplicate statements and break
-/// the syntactic stop pairing, so levels enabling either are
-/// static-sweep only.
+/// dynamically: loop peeling/unrolling duplicate statements and
+/// inlining splices whole callee bodies under the call statement, both
+/// of which break the syntactic stop pairing, so levels enabling any of
+/// them are static-sweep only.
 bool judgeable(const LevelSpec &S);
 
 } // namespace sldb

@@ -25,6 +25,7 @@
 
 #include "fuzz/Campaign.h"
 
+#include "eval/Levels.h"
 #include "fuzz/Isolation.h"
 #include "fuzz/Reduce.h"
 #include "support/FaultInjector.h"
@@ -49,9 +50,11 @@ unsigned CampaignCoverage::fired(const std::string &PassName) const {
 }
 
 std::vector<Violation> sldb::checkProgram(const std::string &Src,
-                                          bool Promote,
-                                          unsigned MaxStops) {
+                                          bool Promote, unsigned MaxStops,
+                                          const OptOptions *Opts) {
   LockstepOptions LO;
+  if (Opts)
+    LO.Opts = *Opts;
   LO.Promote = Promote;
   LO.MaxStops = MaxStops;
   LockstepResult R = runLockstep(Src, LO);
@@ -79,6 +82,8 @@ std::string sldb::renderFailure(const CampaignFailure &F) {
     S += "// violation: " + V.str() + "\n";
   S += "//\n";
   S += "// Reproduce: sldb-fuzz --repro <this file>";
+  if (!F.Level.empty())
+    S += " --level " + F.Level;
   S += F.Promote ? "\n" : " --no-promote\n";
   S += F.Reduced.empty() ? F.Source : F.Reduced;
   return S;
@@ -90,8 +95,9 @@ namespace {
 /// the original kind (any statement/variable — the shrinker may move
 /// statement numbers around).
 bool sameKindStillFails(const std::string &Candidate, bool Promote,
-                        ViolationKind Kind, unsigned MaxStops) {
-  for (const Violation &V : checkProgram(Candidate, Promote, MaxStops))
+                        ViolationKind Kind, unsigned MaxStops,
+                        const OptOptions *Opts = nullptr) {
+  for (const Violation &V : checkProgram(Candidate, Promote, MaxStops, Opts))
     if (V.Kind == Kind &&
         V.Detail.rfind("does not compile", 0) == std::string::npos)
       return true;
@@ -239,6 +245,11 @@ ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
   ModeOutcome O;
   std::string Src = generateProgram(Seed, C.Gen);
 
+  // Level campaigns override the optimized build's pass set; validated
+  // by runCampaign before any unit runs.
+  const LevelSpec *Spec = C.Level.empty() ? nullptr : findLevel(C.Level);
+  const OptOptions *Opts = Spec ? &Spec->Opts : nullptr;
+
   if (C.Isolate) {
     // Containment first: probe the (seed, mode) in a forked child.
     // A clean child skips the in-process run (its coverage stats are
@@ -247,7 +258,7 @@ ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
     // shrink-and-record path, which is safe precisely because the
     // child proved the seed does not bring the process down.
     auto Probe = [&](const std::string &S) -> std::pair<bool, std::string> {
-      std::vector<Violation> Vs = checkProgram(S, Promote, C.MaxStops);
+      std::vector<Violation> Vs = checkProgram(S, Promote, C.MaxStops, Opts);
       std::string Rep;
       for (const Violation &V : Vs)
         Rep += V.str() + "\n";
@@ -264,12 +275,15 @@ ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
       O.Ran = true;
       O.F = makeProcessFailure(Seed, Promote, Src, "", IO, C.Shrink,
                                C.TimeoutMs, Probe);
+      O.F.Level = C.Level;
       O.HasFailure = true;
       return O;
     }
   }
 
   LockstepOptions LO;
+  if (Opts)
+    LO.Opts = *Opts;
   LO.Promote = Promote;
   LO.MaxStops = C.MaxStops;
   LO.InstrumentPasses = Instrument;
@@ -281,6 +295,7 @@ ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
     O.F.Seed = Seed;
     O.F.Promote = Promote;
     O.F.Source = Src;
+    O.F.Level = C.Level;
     O.F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
                        InvalidStmt, "",
                        "generated program does not compile: " +
@@ -309,13 +324,14 @@ ModeOutcome runModeUnitImpl(const CampaignConfig &C, std::uint32_t Seed,
   O.F.Seed = Seed;
   O.F.Promote = Promote;
   O.F.Source = Src;
+  O.F.Level = C.Level;
   O.F.Violations = std::move(Vs);
   if (C.Shrink) {
     ViolationKind Kind = O.F.Violations.front().Kind;
     O.F.Reduced = reduceProgram(
         Src,
         [&](const std::string &Cand) {
-          return sameKindStillFails(Cand, Promote, Kind, C.MaxStops);
+          return sameKindStillFails(Cand, Promote, Kind, C.MaxStops, Opts);
         },
         /*MaxChecks=*/400);
   }
@@ -345,12 +361,30 @@ ModeOutcome runModeUnit(const CampaignConfig &C, std::uint32_t Seed,
 
 } // namespace
 
-CampaignResult sldb::runCampaign(const CampaignConfig &C) {
+CampaignResult sldb::runCampaign(const CampaignConfig &Cfg) {
   CampaignResult R;
   R.ConfigError =
-      configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+      configError(Cfg.Seed, Cfg.Count, Cfg.ShardIndex, Cfg.ShardCount);
   if (!R.ConfigError.empty())
     return R;
+
+  // Level campaigns collapse to one mode with the level's own settings.
+  CampaignConfig C = Cfg;
+  if (!C.Level.empty()) {
+    const LevelSpec *Spec = findLevel(C.Level);
+    if (!Spec) {
+      R.ConfigError = "unknown pipeline level: " + C.Level;
+      return R;
+    }
+    if (!judgeable(*Spec)) {
+      R.ConfigError = "pipeline level '" + C.Level +
+                      "' duplicates or splices statements and cannot be "
+                      "judged by the lockstep oracle";
+      return R;
+    }
+    C.BothPromoteModes = false;
+    C.Promote = Spec->Promote;
+  }
 
   const ShardRange Shard =
       Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);
@@ -460,6 +494,9 @@ std::vector<Violation> injectCheck(const std::string &Src,
   LO.Promote = C.Promote;
   LO.MaxStops = C.MaxStops;
   LO.Fuel = C.Fuel;
+  if (!C.Level.empty())
+    if (const LevelSpec *Spec = findLevel(C.Level))
+      LO.Opts = Spec->Opts;
   LockstepResult R = runLockstep(Src, LO);
   FaultInjector::disarm();
   if (!R.Compiled)
@@ -529,6 +566,7 @@ InjectOutcome runInjectUnitImpl(const InjectCampaignConfig &C,
     O.F.Promote = C.Promote;
     O.F.Source = Src;
     O.F.FaultName = P.Name;
+    O.F.Level = C.Level;
     O.F.Violations = {{ViolationKind::UnsoundCurrent, InvalidFunc,
                        InvalidStmt, "", Report}};
     if (C.Shrink)
@@ -588,6 +626,7 @@ InjectOutcome runInjectUnitImpl(const InjectCampaignConfig &C,
                              C.TimeoutMs, [&](const std::string &Cand) {
                                return injectProbe(Cand, C, P.Id, Seed);
                              });
+    O.F.Level = C.Level;
     O.HasFailure = true;
     break;
   }
@@ -614,12 +653,27 @@ InjectOutcome runInjectUnit(const InjectCampaignConfig &C,
 
 } // namespace
 
-InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &C) {
+InjectCampaignResult sldb::runInjectCampaign(const InjectCampaignConfig &Cfg) {
+  InjectCampaignConfig C = Cfg;
   InjectCampaignResult R;
   R.ConfigError =
       configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
   if (!R.ConfigError.empty())
     return R;
+  if (!C.Level.empty()) {
+    const LevelSpec *Spec = findLevel(C.Level);
+    if (!Spec) {
+      R.ConfigError = "unknown pipeline level: " + C.Level;
+      return R;
+    }
+    if (!judgeable(*Spec)) {
+      R.ConfigError = "pipeline level '" + C.Level +
+                      "' duplicates or splices statements and cannot be "
+                      "judged by the lockstep oracle";
+      return R;
+    }
+    C.Promote = Spec->Promote;
+  }
 
   // Every *defended* fault point: the two undefended classifier faults
   // are the oracle's teeth (their whole purpose is to be caught as

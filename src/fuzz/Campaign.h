@@ -42,6 +42,13 @@ struct CampaignConfig {
   /// BothPromoteModes is set).
   bool Promote = true;
 
+  /// Non-empty: run the whole campaign at this named pipeline level
+  /// (eval/Levels.h) instead of the default lockstep set — one mode,
+  /// with the level's own pass selection and promotion.  The name must
+  /// resolve via findLevel() and the level must be judgeable(); the
+  /// campaign refuses with a ConfigError otherwise.
+  std::string Level;
+
   /// Shrink each failing program to a minimal reproducer (greedy
   /// statement deletion preserving the violation kind).
   bool Shrink = true;
@@ -192,6 +199,11 @@ struct InjectCampaignConfig {
   unsigned Count = 200;
   GenOptions Gen;
   bool Promote = true;      ///< Codegen configuration for the runs.
+
+  /// Non-empty: arm every fault under this named pipeline level instead
+  /// of the default lockstep set (CampaignConfig::Level contract — must
+  /// resolve and be judgeable, with the level's own promotion).
+  std::string Level;
   unsigned MaxStops = 4000;
   std::uint64_t Fuel = 50'000'000;
 
@@ -248,9 +260,12 @@ InjectCampaignResult runInjectCampaign(const InjectCampaignConfig &C);
 bool isUnsoundViolation(ViolationKind K);
 
 /// Judges one program in one configuration (used by the reproducer mode
-/// of sldb-fuzz and by the shrinker's predicate).
+/// of sldb-fuzz and by the shrinker's predicate).  \p Opts overrides the
+/// optimized build's pass selection (level campaigns); null keeps the
+/// default lockstep set.
 std::vector<Violation> checkProgram(const std::string &Src, bool Promote,
-                                    unsigned MaxStops = 4000);
+                                    unsigned MaxStops = 4000,
+                                    const OptOptions *Opts = nullptr);
 
 /// Renders a failure as the on-disk reproducer format: the violation
 /// report as comments, then the (reduced, when available) source.

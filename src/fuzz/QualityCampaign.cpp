@@ -14,6 +14,7 @@
 
 #include "fuzz/QualityCampaign.h"
 
+#include "eval/Levels.h"
 #include "fuzz/Reduce.h"
 #include "support/Interrupt.h"
 #include "support/Sharder.h"
@@ -96,8 +97,11 @@ toCampaignStats(const std::vector<WorkerStats> &WS,
 
 std::vector<Violation> sldb::checkStepProgram(const std::string &Src,
                                               bool Promote,
-                                              unsigned MaxEvents) {
+                                              unsigned MaxEvents,
+                                              const OptOptions *Opts) {
   StepOracleOptions O;
+  if (Opts)
+    O.Opts = *Opts;
   O.Promote = Promote;
   O.MaxEvents = MaxEvents;
   StepResult R = runStepLockstep(Src, O);
@@ -112,8 +116,10 @@ namespace {
 /// Shrink predicate for stepping failures: still a violation of the
 /// original kind (statement ids may move under the shrinker).
 bool stepKindStillFails(const std::string &Candidate, bool Promote,
-                        ViolationKind Kind, unsigned MaxEvents) {
-  for (const Violation &V : checkStepProgram(Candidate, Promote, MaxEvents))
+                        ViolationKind Kind, unsigned MaxEvents,
+                        const OptOptions *Opts = nullptr) {
+  for (const Violation &V :
+       checkStepProgram(Candidate, Promote, MaxEvents, Opts))
     if (V.Kind == Kind &&
         V.Detail.rfind("does not compile", 0) == std::string::npos)
       return true;
@@ -137,7 +143,13 @@ StepOutcome runStepUnit(const StepCampaignConfig &C, std::uint32_t Seed,
   StepOutcome O;
   std::string Src = generateProgram(Seed, C.Gen);
 
+  // Validated by runStepCampaign before any unit runs.
+  const LevelSpec *Spec = C.Level.empty() ? nullptr : findLevel(C.Level);
+  const OptOptions *Opts = Spec ? &Spec->Opts : nullptr;
+
   StepOracleOptions SO;
+  if (Opts)
+    SO.Opts = *Opts;
   SO.Promote = Promote;
   SO.MaxEvents = C.MaxEvents;
   SO.Fuel = C.Fuel;
@@ -149,6 +161,7 @@ StepOutcome runStepUnit(const StepCampaignConfig &C, std::uint32_t Seed,
     O.F.Seed = Seed;
     O.F.Promote = Promote;
     O.F.Source = Src;
+    O.F.Level = C.Level;
     O.F.Violations = {{ViolationKind::LockstepDiverged, InvalidFunc,
                        InvalidStmt, "",
                        "generated program does not compile: " +
@@ -166,13 +179,14 @@ StepOutcome runStepUnit(const StepCampaignConfig &C, std::uint32_t Seed,
   O.F.Seed = Seed;
   O.F.Promote = Promote;
   O.F.Source = Src;
+  O.F.Level = C.Level;
   O.F.Violations = std::move(Vs);
   if (C.Shrink) {
     ViolationKind Kind = O.F.Violations.front().Kind;
     O.F.Reduced = reduceProgram(
         Src,
         [&](const std::string &Cand) {
-          return stepKindStillFails(Cand, Promote, Kind, C.MaxEvents);
+          return stepKindStillFails(Cand, Promote, Kind, C.MaxEvents, Opts);
         },
         /*MaxChecks=*/400);
   }
@@ -182,11 +196,30 @@ StepOutcome runStepUnit(const StepCampaignConfig &C, std::uint32_t Seed,
 
 } // namespace
 
-StepCampaignResult sldb::runStepCampaign(const StepCampaignConfig &C) {
+StepCampaignResult sldb::runStepCampaign(const StepCampaignConfig &Cfg) {
   StepCampaignResult R;
-  R.ConfigError = configError(C.Seed, C.Count, C.ShardIndex, C.ShardCount);
+  R.ConfigError =
+      configError(Cfg.Seed, Cfg.Count, Cfg.ShardIndex, Cfg.ShardCount);
   if (!R.ConfigError.empty())
     return R;
+
+  // Level campaigns collapse to one mode with the level's own settings.
+  StepCampaignConfig C = Cfg;
+  if (!C.Level.empty()) {
+    const LevelSpec *Spec = findLevel(C.Level);
+    if (!Spec) {
+      R.ConfigError = "unknown pipeline level: " + C.Level;
+      return R;
+    }
+    if (!judgeable(*Spec)) {
+      R.ConfigError = "pipeline level '" + C.Level +
+                      "' duplicates or splices statements and cannot be "
+                      "judged by the lockstep oracle";
+      return R;
+    }
+    C.BothPromoteModes = false;
+    C.Promote = Spec->Promote;
+  }
 
   const ShardRange Shard =
       Sharder::slice(C.Count, C.ShardIndex, C.ShardCount);

@@ -53,6 +53,11 @@ struct StepCampaignConfig {
   bool BothPromoteModes = true;
   bool Promote = true; ///< Mode for single-mode campaigns.
 
+  /// Non-empty: run at this named pipeline level (CampaignConfig::Level
+  /// contract — must resolve and be judgeable, one mode, the level's
+  /// own promotion).
+  std::string Level;
+
   bool Shrink = true;
   bool WriteFailures = false;
   std::string FailureDir = "fuzz-failures";
@@ -86,9 +91,11 @@ struct StepCampaignResult {
 StepCampaignResult runStepCampaign(const StepCampaignConfig &C);
 
 /// Judges one program's stepping in one mode (reproducer mode and the
-/// shrinker's predicate).
+/// shrinker's predicate).  \p Opts overrides the optimized build's pass
+/// selection (level campaigns); null keeps the default lockstep set.
 std::vector<Violation> checkStepProgram(const std::string &Src, bool Promote,
-                                        unsigned MaxEvents = 20000);
+                                        unsigned MaxEvents = 20000,
+                                        const OptOptions *Opts = nullptr);
 
 /// Deterministic campaign summary (failures render via renderFailure).
 std::string renderStepCampaignReport(const StepCampaignResult &R);

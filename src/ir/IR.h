@@ -188,7 +188,11 @@ enum class Opcode : std::uint8_t {
   // Debug bookkeeping pseudo-instructions (paper §3).
   DeadMarker,
   AvailMarker,
-  Nop
+  Nop,
+  // SSA phi node (SSA tier only: inserted by SsaConstruct, eliminated by
+  // SsaDestruct before the pipeline ends; never reaches codegen or the
+  // interpreter).  Ops[i] is the value flowing in from PhiPreds[i].
+  Phi
 };
 
 /// Returns true for Br/CondBr/Ret.
@@ -231,6 +235,11 @@ struct Instr {
   FuncId Callee = InvalidFunc;
   Builtin BuiltinKind = Builtin::None;
   BasicBlock *Succs[2] = {nullptr, nullptr}; ///< Br: [0]; CondBr: [T, F].
+
+  /// For Phi only: the predecessor block each operand flows in from
+  /// (parallel to Ops).  Kept in sync with the block's predecessor set by
+  /// the SSA passes; the verifier checks arity and membership.
+  SmallVector<BasicBlock *, 2> PhiPreds;
 
   //===--- Debug annotations (paper §3 bookkeeping) -----------------------===//
 

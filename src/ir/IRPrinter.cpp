@@ -74,6 +74,8 @@ const char *sldb::opcodeName(Opcode Op) {
     return "avail_marker";
   case Opcode::Nop:
     return "nop";
+  case Opcode::Phi:
+    return "phi";
   }
   return "???";
 }
@@ -159,6 +161,23 @@ std::string sldb::printInstr(const Instr &I, const ProgramInfo *Info) {
   case Opcode::Nop:
     S = "nop";
     break;
+  case Opcode::Phi: {
+    S = Val(I.Dest) + " = phi";
+    for (std::size_t A = 0; A < I.Ops.size(); ++A) {
+      S += (A ? ", [" : " [") + Val(I.Ops[A]);
+      S += ", ";
+      S += A < I.PhiPreds.size() && I.PhiPreds[A] ? I.PhiPreds[A]->Name
+                                                  : "?";
+      S += "]";
+    }
+    if (I.MarkVar != InvalidVar) {
+      S += " var=";
+      S += Info && I.MarkVar < Info->Vars.size()
+               ? Info->var(I.MarkVar).Name
+               : "v" + std::to_string(I.MarkVar);
+    }
+    break;
+  }
   default: {
     S = Val(I.Dest) + " = " + opcodeName(I.Op);
     for (std::size_t A = 0; A < I.Ops.size(); ++A)

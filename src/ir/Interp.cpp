@@ -492,6 +492,11 @@ void Interpreter::execute(const Instr &I, Frame &Fr, bool &Advanced) {
   case Opcode::AvailMarker:
   case Opcode::Nop:
     break;
+  case Opcode::Phi:
+    // SsaDestruct always runs before the pipeline ends; a surviving phi
+    // is a pipeline bug, not an executable instruction.
+    trap("phi reached the interpreter (SSA not destructed)");
+    break;
   }
 }
 

@@ -117,6 +117,10 @@ void FunctionVerifier::checkInstr(const Instr &I, const BasicBlock &B,
   case Opcode::Nop:
     ExpectedOps = static_cast<unsigned>(I.Ops.size()); // Variable arity.
     break;
+  case Opcode::Phi:
+    ExpectedOps = static_cast<unsigned>(I.Ops.size()); // One per pred.
+    NeedsDest = true;
+    break;
   }
   check(I.Ops.size() == ExpectedOps, B, &I, "wrong operand count");
   if (NeedsDest)
@@ -156,6 +160,21 @@ void FunctionVerifier::checkInstr(const Instr &I, const BasicBlock &B,
   if (I.IsSourceAssign)
     check(I.Dest.isVar(), B, &I,
           "source-assign annotation on non-variable destination");
+
+  if (I.Op == Opcode::Phi) {
+    check(!I.Ops.empty(), B, &I, "phi with no incoming values");
+    check(I.PhiPreds.size() == I.Ops.size(), B, &I,
+          "phi predecessor list does not match operand count");
+    for (BasicBlock *P : I.PhiPreds) {
+      check(P != nullptr, B, &I, "null phi predecessor");
+      if (P)
+        check(Owned.count(P) != 0, B, &I,
+              "phi predecessor not owned by this function");
+    }
+  } else {
+    check(I.PhiPreds.empty(), B, &I,
+          "phi predecessor list on a non-phi instruction");
+  }
 }
 
 bool FunctionVerifier::run() {
@@ -174,8 +193,13 @@ bool FunctionVerifier::run() {
     check(B->Insts.back().isTerm(), *B, nullptr,
           "block does not end in a terminator");
     std::size_t Idx = 0, Last = B->Insts.size() - 1;
+    bool SeenNonPhi = false;
     for (const Instr &I : B->Insts) {
       checkInstr(I, *B, Idx == Last);
+      if (I.Op == Opcode::Phi)
+        check(!SeenNonPhi, *B, &I, "phi not at the head of its block");
+      else
+        SeenNonPhi = true;
       ++Idx;
     }
   }
@@ -233,6 +257,14 @@ bool sldb::verifyFunctionAnnotations(const IRFunction &F,
           if (!WellTyped)
             Note(I.MarkVar, "dead marker with ill-typed recovery value");
         }
+      } else if (I.Op == Opcode::Phi) {
+        // Phi annotations are merges: MarkVar names the source variable
+        // whose versions meet here, and Stmt/HoistKey are either a fact
+        // every incoming version agrees on or Invalid (conservative).
+        if (I.MarkVar != InvalidVar && I.MarkVar >= Info.Vars.size())
+          Note(InvalidVar, "phi names a bogus merged variable");
+        if (I.HoistKey != InvalidHoistKey && I.HoistKey >= F.HoistKeys.size())
+          Note(I.MarkVar, "phi with dangling merged hoist key");
       } else if (I.IsHoisted && I.HoistKey != InvalidHoistKey &&
                  I.HoistKey >= F.HoistKeys.size()) {
         Note(I.destVar(), "hoisted instruction with dangling hoist key");

@@ -70,6 +70,29 @@ void sldb::demoteUnsoundAvailMarkers(CFGContext &CFG, unsigned Block,
 
 namespace {
 
+/// Eliminating a dead store can also take out the def of a temporary an
+/// earlier round recorded as some marker's recovery value — liveness
+/// deliberately does not treat marker recoveries as uses, so the debug
+/// bookkeeping never constrains the optimizer (the paper's non-invasive
+/// rule).  A recovery naming an undefined temporary would lower to a
+/// read of a register nothing writes; drop it so the marker degrades to
+/// plain "dead, value unknown" — conservative, never wrong.
+void clearDanglingRecoveries(IRFunction &F) {
+  std::vector<bool> Defined(F.NextTemp, false);
+  for (const BasicBlock *BB : F.Blocks)
+    for (const Instr &I : BB->Insts)
+      if (I.Dest.isTemp() && I.Dest.Id < F.NextTemp)
+        Defined[I.Dest.Id] = true;
+  for (BasicBlock *BB : F.Blocks)
+    for (Instr &I : BB->Insts)
+      if (I.Op == Opcode::DeadMarker && I.Recovery.isTemp() &&
+          (I.Recovery.Id >= F.NextTemp || !Defined[I.Recovery.Id])) {
+        I.Recovery = Value();
+        I.RecoveryScale = 1;
+        I.RecoveryIsIV = false;
+      }
+}
+
 class DeadCodeElimination : public Pass {
 public:
   const char *name() const override { return "dead-assignment-elimination"; }
@@ -84,6 +107,8 @@ public:
       Any = true;
       AM.invalidate(F, PreservedAnalyses::cfgShape());
     }
+    if (Any)
+      clearDanglingRecoveries(F);
     return {Any ? PreservedAnalyses::cfgShape() : PreservedAnalyses::all(),
             Any};
   }

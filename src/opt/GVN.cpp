@@ -1,0 +1,165 @@
+//===- opt/GVN.cpp - Dominator-scoped global value numbering ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value numbering over the SSA tier: a preorder walk of the dominator
+/// tree with a scoped expression table.  A pure computation whose
+/// destination is a single-def temp and whose operands are SSA-stable —
+/// constants, single-def temps, or promotable variables (after SSA
+/// construction those reads are version 0, the entry value on every
+/// path) — is redundant when a dominating occurrence computed the same
+/// expression; it is rewritten to a Copy of the dominating destination.
+/// Rewriting in place (rather than erasing) means no use list, recovery
+/// value, or strength-reduction record needs surgery: the redundant temp
+/// keeps its definition, now a copy, and sparse propagation or dead-code
+/// elimination cleans up behind.  Debug annotations stay untouched: only
+/// temp-defining computations are rewritten, never variable stores or
+/// markers, so the non-invasive model of paper §3 holds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include <map>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+struct ExprKey {
+  Opcode Op;
+  IRType Ty;
+  Value A, B; ///< B.isNone() for unary.
+
+  bool operator<(const ExprKey &RHS) const {
+    auto Tuple = [](const ExprKey &K) {
+      auto ValKey = [](const Value &V) {
+        return std::tuple(static_cast<int>(V.K), V.Id, V.IntVal, V.DblVal);
+      };
+      return std::tuple(static_cast<int>(K.Op), static_cast<int>(K.Ty),
+                        ValKey(K.A), ValKey(K.B));
+    };
+    return Tuple(*this) < Tuple(RHS);
+  }
+};
+
+class GVN : public Pass {
+public:
+  const char *name() const override { return "gvn"; }
+
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    DomFrontiers &DF = AM.getResult<DomFrontiers>(F);
+    SsaDefUse &DU = AM.getResult<SsaDefUse>(F);
+    const ProgramInfo &Info = *M.Info;
+
+    // An operand whose value is fixed over the whole dominated region:
+    // constant, single-def temp (defined before any use in well-formed
+    // IR), or a renamed variable's version-0 read (entry value).
+    auto StableOperand = [&](const Value &V) {
+      if (V.isConst())
+        return true;
+      if (V.isTemp())
+        return DU.singleDef(V.Id);
+      if (V.isVar())
+        return Info.var(V.Id).isPromotable();
+      return false;
+    };
+
+    auto KeyOf = [&](const Instr &I, ExprKey &Key) {
+      if (!I.Dest.isTemp() || !DU.singleDef(I.Dest.Id))
+        return false;
+      if (isBinaryOp(I.Op)) {
+        if (!StableOperand(I.Ops[0]) || !StableOperand(I.Ops[1]))
+          return false;
+        if (I.Op == Opcode::Div || I.Op == Opcode::Rem) {
+          // Never re-order potential traps; only number with a constant
+          // nonzero divisor (same restriction as GlobalCSE).
+          if (!(I.Ops[1].isConstInt() && I.Ops[1].IntVal != 0))
+            return false;
+        }
+        Key = {I.Op, I.Ty, I.Ops[0], I.Ops[1]};
+        return true;
+      }
+      if (I.Op == Opcode::Neg || I.Op == Opcode::Not ||
+          I.Op == Opcode::CastItoD || I.Op == Opcode::CastDtoI) {
+        if (!StableOperand(I.Ops[0]))
+          return false;
+        Key = {I.Op, I.Ty, I.Ops[0], Value::none()};
+        return true;
+      }
+      return false;
+    };
+
+    // Scoped hash: a std::map plus an undo log unwound on dom-tree exit.
+    std::map<ExprKey, Value> Table;
+    struct UndoEntry {
+      ExprKey Key;
+      Value Old;
+      bool HadOld;
+    };
+    std::vector<UndoEntry> Undo;
+
+    struct Frame {
+      unsigned B;
+      unsigned Child = 0;
+      std::size_t UndoMark;
+    };
+    std::vector<Frame> Stack;
+    Stack.push_back({0, 0, 0});
+    bool Changed = false;
+
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.Child == 0) {
+        Top.UndoMark = Undo.size();
+        for (Instr &I : CFG.block(Top.B)->Insts) {
+          ExprKey Key;
+          if (!KeyOf(I, Key))
+            continue;
+          auto It = Table.find(Key);
+          if (It != Table.end()) {
+            I.Op = Opcode::Copy;
+            I.Ops.clear();
+            I.Ops.push_back(It->second);
+            Changed = true;
+            continue;
+          }
+          Undo.push_back({Key, Value::none(), false});
+          Table.emplace(Key, I.Dest);
+        }
+      }
+      const std::vector<unsigned> &Kids = DF.domChildren(Top.B);
+      if (Top.Child < Kids.size()) {
+        unsigned Next = Kids[Top.Child++];
+        Stack.push_back({Next, 0, 0});
+        continue;
+      }
+      while (Undo.size() > Top.UndoMark) {
+        UndoEntry &U = Undo.back();
+        if (U.HadOld)
+          Table[U.Key] = U.Old;
+        else
+          Table.erase(U.Key);
+        Undo.pop_back();
+      }
+      Stack.pop_back();
+    }
+
+    if (!Changed)
+      return PassResult::unchanged();
+    // Rewrites computations to copies in place; the block graph is
+    // untouched.
+    return {PreservedAnalyses::cfgShape(), true};
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createGVNPass() {
+  return std::make_unique<GVN>();
+}

@@ -1,0 +1,248 @@
+//===- opt/Inline.cpp - Leaf function inlining ------------------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative leaf-function inlining, the SSA tier's interprocedural
+/// satellite.  A call to a small leaf callee (no outgoing calls except
+/// builtins) is replaced by a clone of the callee's body: callee locals
+/// and temps become fresh caller temps, arguments arrive through copies,
+/// and every return funnels into a continuation block that completes the
+/// original call's destination.
+///
+/// Debug bookkeeping is resolved the blunt, sound way: at the source
+/// level the whole callee executes "inside" the call statement, so every
+/// cloned instruction carries the call site's StmtId and no hoist/sink
+/// annotation, and markers for callee locals are dropped (those
+/// variables are not in scope at any caller statement, so no classifier
+/// query ever mentions them).  What cannot be dropped soundly forces a
+/// bail-out instead: a callee marker naming a *global* records an
+/// eliminated assignment the caller's debug analyses would otherwise
+/// never see, so such callees are not inlined at all.  Inlining runs as
+/// the first pipeline slot, and levels that enable it are excluded from
+/// the lockstep judgement (Levels::judgeable) the way the loop
+/// restructurers are.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+/// Callees above this size are not worth the code growth.
+constexpr unsigned MaxCalleeInstrs = 48;
+/// At most this many call sites are expanded per caller per run.
+constexpr unsigned MaxInlinesPerFunction = 8;
+
+/// Returns the module's function with id \p Id, or null.
+IRFunction *findFunction(IRModule &M, FuncId Id) {
+  for (IRFunction *F : M.Funcs)
+    if (F->Id == Id)
+      return F;
+  return nullptr;
+}
+
+/// True when \p Callee can be cloned into a caller without losing any
+/// debug soundness (see file comment).
+bool isInlinable(const IRFunction &Callee, const ProgramInfo &Info) {
+  if (Callee.Blocks.empty())
+    return false;
+  unsigned Size = 0;
+  for (const BasicBlock *B : Callee.Blocks)
+    for (const Instr &I : B->Insts) {
+      ++Size;
+      if (I.Op == Opcode::Call && I.Callee != InvalidFunc)
+        return false; // Not a leaf.
+      if (I.Op == Opcode::Phi)
+        return false; // Mid-bracket body; never expected here.
+      if (I.isMark() && I.MarkVar != InvalidVar &&
+          Info.var(I.MarkVar).Storage == StorageKind::Global)
+        return false; // Eliminated global assignment: must stay visible.
+    }
+  if (Size > MaxCalleeInstrs)
+    return false;
+  // Every local (params included) must be representable as a caller
+  // temp: scalar, not address-taken.
+  if (Callee.Id >= Info.Funcs.size())
+    return false;
+  for (VarId V : Info.func(Callee.Id).Locals)
+    if (!Info.var(V).isPromotable())
+      return false;
+  return true;
+}
+
+class Inline : public Pass {
+public:
+  const char *name() const override { return "inline"; }
+
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    const ProgramInfo &Info = *M.Info;
+    bool Changed = false;
+    for (unsigned N = 0; N < MaxInlinesPerFunction; ++N) {
+      if (!inlineOneSite(F, M, Info))
+        break;
+      Changed = true;
+    }
+    if (!Changed)
+      return PassResult::unchanged();
+    F.recomputePreds();
+    AM.invalidateAll(F);
+    return {PreservedAnalyses::none(), true};
+  }
+
+private:
+  /// Finds the first inlinable call site in layout order and expands it.
+  bool inlineOneSite(IRFunction &F, IRModule &M, const ProgramInfo &Info) {
+    for (std::size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      BasicBlock *B = F.Blocks[BI];
+      for (auto It = B->Insts.begin(); It != B->Insts.end(); ++It) {
+        const Instr &I = *It;
+        if (I.Op != Opcode::Call || I.Callee == InvalidFunc)
+          continue;
+        IRFunction *Callee = findFunction(M, I.Callee);
+        if (!Callee || Callee == &F || !isInlinable(*Callee, Info))
+          continue;
+        if (Callee->Params.size() != I.Ops.size())
+          continue;
+        expand(F, B, It, *Callee, Info);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void expand(IRFunction &F, BasicBlock *B, InstrList::iterator CallIt,
+              IRFunction &Callee, const ProgramInfo &Info) {
+    const Instr CallI = *CallIt;
+    const StmtId CallStmt = CallI.Stmt;
+
+    // The continuation receives everything after the call, including the
+    // terminator.
+    BasicBlock *ContB = F.newBlock("inl.cont");
+    {
+      auto Next = CallIt;
+      ++Next;
+      while (Next != B->Insts.end()) {
+        ContB->Insts.push_back(*Next);
+        Next = B->Insts.erase(Next);
+      }
+    }
+
+    // Fresh caller temps for every callee local (all promotable, checked
+    // by isInlinable) and lazily for every callee temp.
+    std::unordered_map<VarId, Value> VarMap;
+    for (VarId V : Info.func(Callee.Id).Locals)
+      VarMap.emplace(V, F.newTemp(irTypeFor(Info.var(V).Ty)));
+    std::vector<Value> TempMap(Callee.NextTemp, Value::none());
+    auto Remap = [&](Value &V) {
+      if (V.isTemp()) {
+        if (TempMap[V.Id].isNone())
+          TempMap[V.Id] = F.newTemp(V.Ty);
+        V = TempMap[V.Id];
+      } else if (V.isVar()) {
+        auto MIt = VarMap.find(V.Id);
+        if (MIt != VarMap.end())
+          V = MIt->second;
+      }
+    };
+
+    // Argument copies, in place of the call.
+    for (std::size_t A = 0; A < Callee.Params.size(); ++A) {
+      Instr Copy;
+      Copy.Op = Opcode::Copy;
+      Value Arg = CallI.Ops[A];
+      Copy.Ty = Arg.Ty;
+      Copy.Dest = VarMap.at(Callee.Params[A]);
+      Copy.Ops.push_back(Arg);
+      Copy.Stmt = CallStmt;
+      B->Insts.insert(CallIt, std::move(Copy));
+    }
+
+    const Value RetT = Callee.RetTy != IRType::Void
+                           ? F.newTemp(Callee.RetTy)
+                           : Value::none();
+
+    // Clone the callee body.
+    std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+    for (const BasicBlock *CB : Callee.Blocks)
+      BlockMap.emplace(CB, F.newBlock("inl"));
+    for (const BasicBlock *CB : Callee.Blocks) {
+      BasicBlock *NB = BlockMap.at(CB);
+      for (const Instr &I : CB->Insts) {
+        if (I.isMark())
+          continue; // Callee-local markers; globals force a bail-out.
+        if (I.Op == Opcode::Ret) {
+          if (!RetT.isNone() && !I.Ops.empty()) {
+            Instr RC;
+            RC.Op = Opcode::Copy;
+            RC.Ty = Callee.RetTy;
+            RC.Dest = RetT;
+            Value Src = I.Ops[0];
+            Remap(Src);
+            RC.Ops.push_back(Src);
+            RC.Stmt = CallStmt;
+            NB->Insts.push_back(std::move(RC));
+          }
+          Instr Jump;
+          Jump.Op = Opcode::Br;
+          Jump.Succs[0] = ContB;
+          NB->Insts.push_back(std::move(Jump));
+          continue;
+        }
+        Instr C = I;
+        for (Value &Op : C.Ops)
+          Remap(Op);
+        if (!C.Dest.isNone())
+          Remap(C.Dest);
+        for (unsigned S = 0, E = C.numSuccs(); S != E; ++S)
+          C.Succs[S] = BlockMap.at(C.Succs[S]);
+        // Everything the callee does happens "at" the call statement;
+        // hoist/sink provenance and keys are meaningless across the
+        // function boundary.  A store that still targets a variable
+        // (a global) remains a source assignment of that variable,
+        // completed by this statement.
+        C.Stmt = CallStmt;
+        C.IsSourceAssign = I.IsSourceAssign && C.Dest.isVar();
+        C.IsHoisted = C.IsSunk = false;
+        C.HoistKey = InvalidHoistKey;
+        NB->Insts.push_back(std::move(C));
+      }
+    }
+
+    // Replace the call: jump into the clone, complete the destination in
+    // the continuation.
+    B->Insts.erase(CallIt);
+    {
+      Instr Jump;
+      Jump.Op = Opcode::Br;
+      Jump.Succs[0] = BlockMap.at(Callee.entry());
+      B->Insts.push_back(std::move(Jump));
+    }
+    if (!CallI.Dest.isNone() && !RetT.isNone()) {
+      Instr Done;
+      Done.Op = Opcode::Copy;
+      Done.Ty = CallI.Ty;
+      Done.Dest = CallI.Dest;
+      Done.Ops.push_back(RetT);
+      Done.Stmt = CallI.Stmt;
+      Done.IsSourceAssign = CallI.IsSourceAssign;
+      Done.IsHoisted = CallI.IsHoisted;
+      Done.IsSunk = CallI.IsSunk;
+      Done.HoistKey = CallI.HoistKey;
+      ContB->Insts.insert(ContB->Insts.begin(), std::move(Done));
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createInlinePass() {
+  return std::make_unique<Inline>();
+}

@@ -75,6 +75,14 @@ std::unique_ptr<Pass> createLoopPeelPass();
 std::unique_ptr<Pass> createLoopUnrollPass();
 std::unique_ptr<Pass> createInductionVariableOptPass();
 
+/// SSA tier (constructed and destructed inside the pipeline; phis never
+/// escape to codegen or the interpreter).
+std::unique_ptr<Pass> createSsaConstructPass();
+std::unique_ptr<Pass> createSsaDestructPass();
+std::unique_ptr<Pass> createGVNPass();
+std::unique_ptr<Pass> createSparsePropPass();
+std::unique_ptr<Pass> createInlinePass();
+
 /// Which optimizations to run (the paper's "global optimizations").
 struct OptOptions {
   bool ConstProp = true;
@@ -88,11 +96,18 @@ struct OptOptions {
   bool LoopPeel = true;
   bool LoopUnroll = true;
   bool IVOpt = true;
+  // SSA tier: off by default so OptOptions::all() (the historical O2
+  // pipeline) is unchanged; the SSA levels flip these explicitly.
+  bool Ssa = false;        ///< Bracket the SSA passes (construct/destruct).
+  bool GVN = false;        ///< SSA global value numbering (implies Ssa).
+  bool SparseProp = false; ///< SSA sparse copy/const propagation (implies Ssa).
+  bool Inline = false;     ///< Leaf-function inlining (pre-SSA slot).
 
   static OptOptions none() {
     OptOptions O;
     O.ConstProp = O.CopyProp = O.CSE = O.PRE = O.LICM = O.PDE = O.DCE =
         O.BranchOpt = O.LoopPeel = O.LoopUnroll = O.IVOpt = false;
+    O.Ssa = O.GVN = O.SparseProp = O.Inline = false;
     return O;
   }
   static OptOptions all() { return OptOptions(); }

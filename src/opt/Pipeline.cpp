@@ -39,6 +39,11 @@ std::vector<Slot> buildPipeline(const OptOptions &O) {
       P.push_back({std::move(Pass), Cluster});
   };
 
+  // Inlining first: it rewrites call sites into straight-line code, so
+  // everything downstream (including the SSA bracket) sees the flattened
+  // function.
+  Add(O.Inline, createInlinePass());
+
   // Cleanup + early simplification (cluster 0: the first
   // propagate→simplify group).
   Add(O.BranchOpt, createBranchOptPass());
@@ -63,6 +68,16 @@ std::vector<Slot> buildPipeline(const OptOptions &O) {
   Add(O.ConstProp, createConstantPropagationPass(), 1);
   Add(O.ConstProp, createLocalSimplifyPass(), 1);
   Add(O.CopyProp, createCopyPropagationPass(), 1);
+
+  // SSA bracket: construct, run the SSA-form passes, destruct.  Placed
+  // after the propagation round (so GVN sees canonical operands) and
+  // before PDE/DCE (so the copies SSA destruction leaves behind are
+  // cleaned up by the existing dead-code sweep).
+  const bool WantSsa = O.Ssa || O.GVN || O.SparseProp;
+  Add(WantSsa, createSsaConstructPass());
+  Add(O.GVN, createGVNPass());
+  Add(O.SparseProp, createSparsePropPass());
+  Add(WantSsa, createSsaDestructPass());
 
   // Sinking after hoisting (paper §4: hoisted assignments that are
   // partially dead get sunk back down), then full dead-code elimination.

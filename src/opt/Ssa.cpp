@@ -1,0 +1,503 @@
+//===- opt/Ssa.cpp - SSA construction and destruction -----------*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSA tier's bracket passes.  cmcc's pipeline is non-SSA bit-vector
+/// dataflow; this bracket raises a function into a temp-level SSA form for
+/// the sparse passes (GVN, sparse propagation) and lowers it back before
+/// the sinking/dead-code cluster, preserving every §3 debug annotation:
+///
+///  * Only promotable scalars (non-global, non-address-taken, non-array)
+///    are renamed, and only their *uses*: every source-level store
+///    `V = e` is split GlobalCSE-style into `t = e; V = copy t` so the
+///    assignment instruction — with its Stmt, IsSourceAssign, hoist/sink
+///    flags and hoist key — stays in place for the debug analyses, while
+///    downstream reads use the SSA version `t`.
+///  * Markers and recovery values are never touched by construction: the
+///    variable locations are still written at the same points, so every
+///    recovery chain (paper §2.5) remains valid verbatim.
+///  * Phis merge the annotations of their incoming versions under
+///    explicit conservative rules: statement and hoist key survive only
+///    when *all* incoming versions agree and are direct stores; the
+///    hoisted/sunk flags are OR-ed over the known versions.  An unknown
+///    contributor (entry value, another phi) forces the merged statement
+///    and key to Invalid — losing precision, never soundness.
+///  * Destruction splits critical edges and lowers each phi to edge
+///    copies carrying the phi's merged annotations with Stmt=InvalidStmt
+///    (like splitEdge's Br: compiler glue must not create phantom step
+///    stops).  Parallel-copy hazards on an edge (one phi's operand naming
+///    another phi's destination, as loop headers produce) are broken with
+///    per-edge staging temps; otherwise a single-use operand defined in
+///    the predecessor is coalesced directly into the phi destination.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace sldb;
+
+namespace {
+
+/// Annotation snapshot of one SSA version, captured when the version is
+/// pushed; consulted by the phi merge.
+struct VersionAnn {
+  bool DirectStore = false; ///< Version produced by a split var store.
+  StmtId Stmt = InvalidStmt;
+  bool Hoisted = false;
+  bool Sunk = false;
+  HoistKeyId Key = InvalidHoistKey;
+};
+
+class SsaConstruct : public Pass {
+public:
+  const char *name() const override { return "ssa-construct"; }
+
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    // Renaming walks the dominator tree from the entry; drop blocks it
+    // would never visit so no stale phi input can hide in them.
+    if (F.removeUnreachable())
+      AM.invalidateAll(F);
+
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    DomFrontiers &DF = AM.getResult<DomFrontiers>(F);
+    const ProgramInfo &Info = *M.Info;
+    const unsigned NumBlocks = CFG.numBlocks();
+    const std::size_t NumVars = Info.Vars.size();
+
+    // Collect the definition blocks of every renamable variable.
+    std::vector<std::vector<unsigned>> DefBlocks(NumVars);
+    std::vector<bool> HasDef(NumVars, false);
+    for (unsigned B = 0; B < NumBlocks; ++B)
+      for (const Instr &I : CFG.block(B)->Insts)
+        if (I.Dest.isVar() && Info.var(I.Dest.Id).isPromotable()) {
+          if (DefBlocks[I.Dest.Id].empty() ||
+              DefBlocks[I.Dest.Id].back() != B)
+            DefBlocks[I.Dest.Id].push_back(B);
+          HasDef[I.Dest.Id] = true;
+        }
+
+    bool Changed = false;
+
+    // Phi insertion at the iterated dominance frontier of the def
+    // blocks, ascending VarId order for determinism.
+    std::vector<bool> HasPhi(NumBlocks), OnWork(NumBlocks);
+    for (VarId V = 0; V < NumVars; ++V) {
+      if (!HasDef[V])
+        continue;
+      std::fill(HasPhi.begin(), HasPhi.end(), false);
+      std::fill(OnWork.begin(), OnWork.end(), false);
+      std::vector<unsigned> Work = DefBlocks[V];
+      for (unsigned B : Work)
+        OnWork[B] = true;
+      const IRType Ty = irTypeFor(Info.var(V).Ty);
+      while (!Work.empty()) {
+        unsigned B = Work.back();
+        Work.pop_back();
+        for (unsigned Y : DF.frontier(B)) {
+          if (HasPhi[Y])
+            continue;
+          HasPhi[Y] = true;
+          Instr Phi;
+          Phi.Op = Opcode::Phi;
+          Phi.Ty = Ty;
+          Phi.Dest = F.newTemp(Ty);
+          Phi.MarkVar = V; // The merged source variable.
+          BasicBlock *BB = CFG.block(Y);
+          BB->Insts.insert(BB->Insts.begin(), std::move(Phi));
+          Changed = true;
+          if (!OnWork[Y]) {
+            OnWork[Y] = true;
+            Work.push_back(Y);
+          }
+        }
+      }
+    }
+
+    // Renaming: iterative preorder walk of the dominator tree with
+    // per-variable version stacks.  An empty stack means version 0 — the
+    // variable's entry value, read from the variable itself.
+    std::vector<std::vector<Value>> VStack(NumVars);
+    std::unordered_map<TempId, VersionAnn> Ann;
+    auto Current = [&](VarId V) {
+      return VStack[V].empty() ? Value::var(V, irTypeFor(Info.var(V).Ty))
+                               : VStack[V].back();
+    };
+
+    struct Frame {
+      unsigned B;
+      unsigned Child = 0;
+      std::size_t TrailMark;
+    };
+    std::vector<VarId> Trail;
+    std::vector<Frame> Stack;
+    Stack.push_back({0, 0, 0});
+
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.Child == 0) {
+        Top.TrailMark = Trail.size();
+        BasicBlock *BB = CFG.block(Top.B);
+        for (auto It = BB->Insts.begin(); It != BB->Insts.end(); ++It) {
+          Instr &I = *It;
+          if (I.Op == Opcode::Phi) {
+            VStack[I.MarkVar].push_back(I.Dest);
+            Trail.push_back(I.MarkVar);
+            Ann[I.Dest.Id] = VersionAnn(); // A merge, not a direct store.
+            continue;
+          }
+          for (Value &Op : I.Ops)
+            if (Op.isVar() && Info.var(Op.Id).isPromotable()) {
+              Value Cur = Current(Op.Id);
+              if (Cur != Op) {
+                Op = Cur;
+                Changed = true;
+              }
+            }
+          if (I.Dest.isVar() && Info.var(I.Dest.Id).isPromotable()) {
+            // Split `V = e` into `t = e; V = copy t`: the store keeps its
+            // position and annotations, the version temp feeds uses.
+            const VarId V = I.Dest.Id;
+            const Value T = F.newTemp(I.Ty);
+            Instr Compute = I;
+            Compute.Dest = T;
+            Compute.IsSourceAssign = false;
+            I.Op = Opcode::Copy;
+            I.Ops.clear();
+            I.Ops.push_back(T);
+            I.Callee = InvalidFunc;
+            I.BuiltinKind = Builtin::None;
+            BB->Insts.insert(It, std::move(Compute));
+            VStack[V].push_back(T);
+            Trail.push_back(V);
+            VersionAnn &A = Ann[T.Id];
+            A.DirectStore = true;
+            A.Stmt = I.Stmt;
+            A.Hoisted = I.IsHoisted;
+            A.Sunk = I.IsSunk;
+            A.Key = I.HoistKey;
+            Changed = true;
+          }
+        }
+        // Feed the successors' phis: one operand per edge occurrence,
+        // matching the duplicated CondBr edges in the predecessor lists.
+        for (unsigned S : CFG.succs(Top.B)) {
+          BasicBlock *SB = CFG.block(S);
+          for (auto It = SB->Insts.begin();
+               It != SB->Insts.end() && It->Op == Opcode::Phi; ++It) {
+            It->Ops.push_back(Current(It->MarkVar));
+            It->PhiPreds.push_back(BB);
+          }
+        }
+      }
+      const std::vector<unsigned> &Kids = DF.domChildren(Top.B);
+      if (Top.Child < Kids.size()) {
+        unsigned Next = Kids[Top.Child++];
+        Stack.push_back({Next, 0, 0});
+        continue;
+      }
+      while (Trail.size() > Top.TrailMark) {
+        VStack[Trail.back()].pop_back();
+        Trail.pop_back();
+      }
+      Stack.pop_back();
+    }
+
+    if (!Changed)
+      return PassResult::unchanged();
+
+    // Merge annotations into each phi from its incoming versions.
+    for (unsigned B = 0; B < NumBlocks; ++B) {
+      BasicBlock *BB = CFG.block(B);
+      for (auto It = BB->Insts.begin();
+           It != BB->Insts.end() && It->Op == Opcode::Phi; ++It) {
+        Instr &Phi = *It;
+        bool AllKnown = !Phi.Ops.empty();
+        bool First = true;
+        StmtId S = InvalidStmt;
+        HoistKeyId K = InvalidHoistKey;
+        bool Hoisted = false, Sunk = false;
+        for (const Value &Op : Phi.Ops) {
+          const VersionAnn *A = nullptr;
+          if (Op.isTemp()) {
+            auto F2 = Ann.find(Op.Id);
+            if (F2 != Ann.end())
+              A = &F2->second;
+          }
+          if (!A || !A->DirectStore) {
+            AllKnown = false; // Entry value or phi: unknown provenance.
+            continue;
+          }
+          Hoisted |= A->Hoisted;
+          Sunk |= A->Sunk;
+          if (First) {
+            S = A->Stmt;
+            K = A->Key;
+            First = false;
+          } else {
+            if (S != A->Stmt)
+              S = InvalidStmt;
+            if (K != A->Key)
+              K = InvalidHoistKey;
+          }
+        }
+        Phi.Stmt = AllKnown ? S : InvalidStmt;
+        Phi.HoistKey = AllKnown ? K : InvalidHoistKey;
+        Phi.IsHoisted = Hoisted;
+        Phi.IsSunk = Sunk;
+      }
+    }
+
+    // Instructions were inserted and operands rewritten within existing
+    // blocks; the block graph is untouched.
+    return {PreservedAnalyses::cfgShape(), true};
+  }
+};
+
+/// One recorded phi, snapshotted before destruction mutates the CFG.
+struct PhiRecord {
+  BasicBlock *Block = nullptr;
+  Value Dest;
+  IRType Ty = IRType::Void;
+  StmtId Stmt = InvalidStmt;
+  bool Hoisted = false, Sunk = false;
+  HoistKeyId Key = InvalidHoistKey;
+  std::vector<Value> Ins;
+  std::vector<BasicBlock *> Preds;
+  std::vector<InstrId> CoalesceDef; ///< Per-operand def id, or InvalidInstr.
+};
+
+/// Un-splits surviving `t = e; V = copy t` pairs whose version temp has
+/// no other reader: folds back to `V = e` with the store's annotations,
+/// so the bracket round-trips to the original form wherever no SSA pass
+/// consumed the version.  Use counts come from the pass-entry SsaDefUse
+/// snapshot: matched defs are never phis, so their counts are exact even
+/// after phi lowering, and temps minted later (staging temps) cannot
+/// match — the trailing copy's destination must be a variable.  A temp
+/// referenced by a marker recovery has an extra use in the snapshot and
+/// is conservatively left split.
+bool unsplitPairs(IRFunction &F, const SsaDefUse &DU) {
+  bool Changed = false;
+  for (BasicBlock *BB : F.Blocks) {
+    for (auto It = BB->Insts.begin(); It != BB->Insts.end(); ++It) {
+      auto Next = It;
+      ++Next;
+      if (Next == BB->Insts.end())
+        break;
+      Instr &Def = *It;
+      Instr &Store = *Next;
+      if (Store.Op != Opcode::Copy || !Store.Dest.isVar() ||
+          Store.Ops.size() != 1 || !Def.Dest.isTemp() ||
+          Store.Ops[0] != Def.Dest || Def.Op == Opcode::Phi)
+        continue;
+      if (Def.Dest.Id >= F.NextTemp || !DU.singleDef(Def.Dest.Id) ||
+          DU.numUses(Def.Dest.Id) != 1)
+        continue;
+      Def.Dest = Store.Dest;
+      Def.Stmt = Store.Stmt;
+      Def.IsSourceAssign = Store.IsSourceAssign;
+      Def.IsHoisted = Store.IsHoisted;
+      Def.IsSunk = Store.IsSunk;
+      Def.HoistKey = Store.HoistKey;
+      BB->Insts.erase(Next);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+class SsaDestruct : public Pass {
+public:
+  const char *name() const override { return "ssa-destruct"; }
+
+  PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    CFGContext &CFG = AM.getResult<CFGContext>(F);
+    SsaDefUse &DU = AM.getResult<SsaDefUse>(F);
+    (void)M;
+
+    // Snapshot every phi; compute per-operand coalescing candidacy while
+    // the analyses are still valid.
+    std::vector<PhiRecord> Phis;
+    std::vector<unsigned> NumPreds(CFG.numBlocks());
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      NumPreds[B] = static_cast<unsigned>(CFG.preds(B).size());
+      BasicBlock *BB = CFG.block(B);
+      for (auto It = BB->Insts.begin();
+           It != BB->Insts.end() && It->Op == Opcode::Phi; ++It) {
+        Instr &I = *It;
+        PhiRecord R;
+        R.Block = BB;
+        R.Dest = I.Dest;
+        R.Ty = I.Ty;
+        R.Stmt = I.Stmt;
+        R.Hoisted = I.IsHoisted;
+        R.Sunk = I.IsSunk;
+        R.Key = I.HoistKey;
+        for (std::size_t A = 0; A < I.Ops.size(); ++A) {
+          R.Ins.push_back(I.Ops[A]);
+          R.Preds.push_back(I.PhiPreds[A]);
+          InstrId Coal = InvalidInstr;
+          const Value &V = I.Ops[A];
+          if (V.isTemp() && DU.singleDef(V.Id) && DU.numUses(V.Id) == 1 &&
+              DU.defBlockOf(V.Id) == CFG.indexOf(I.PhiPreds[A])) {
+            const Instr &Def = F.Pool.instr(DU.defOf(V.Id));
+            if (Def.Op != Opcode::Phi && Def.Dest == V)
+              Coal = DU.defOf(V.Id);
+          }
+          R.CoalesceDef.push_back(Coal);
+        }
+        Phis.push_back(std::move(R));
+      }
+    }
+    if (Phis.empty()) {
+      // No phis to lower, but the construction split (`t = e; V = copy
+      // t`) must still be folded back wherever no SSA pass consumed the
+      // version temp: a surviving pair makes the store separately
+      // killable by DCE, which detaches the statement's breakpoint from
+      // the computation (the dead marker outranks it in StmtAddr
+      // selection) and can leave the marker's recovery temp undefined.
+      if (!unsplitPairs(F, DU))
+        return PassResult::unchanged();
+      return {PreservedAnalyses::cfgShape(), true};
+    }
+
+    // Split critical edges so the copies of one edge cannot execute on
+    // another: one split per (pred, block) pair, rerouting every phi
+    // operand that flowed along it.
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      if (NumPreds[B] < 2)
+        continue;
+      BasicBlock *BB = CFG.block(B);
+      std::vector<BasicBlock *> Done;
+      for (PhiRecord &R : Phis) {
+        if (R.Block != BB)
+          continue;
+        for (BasicBlock *P : R.Preds) {
+          if (P->succRange().size() < 2)
+            continue;
+          bool Seen = false;
+          for (BasicBlock *D : Done)
+            Seen |= (D == P);
+          if (Seen)
+            continue;
+          Done.push_back(P);
+          BasicBlock *Mid = F.splitEdge(P, BB);
+          for (PhiRecord &R2 : Phis)
+            if (R2.Block == BB)
+              for (BasicBlock *&RP : R2.Preds)
+                if (RP == P)
+                  RP = Mid;
+        }
+      }
+    }
+
+    // Lower each block's phis to copies at the end of every predecessor.
+    // Copies carry the phi's merged hoist/sink annotations but no
+    // statement: like splitEdge's Br, edge glue must not introduce a
+    // step-oracle stop the source program does not have.
+    auto MakeCopy = [&](const PhiRecord &R, Value Dest, Value Src) {
+      Instr C;
+      C.Op = Opcode::Copy;
+      C.Ty = R.Ty;
+      C.Dest = Dest;
+      C.Ops.push_back(Src);
+      C.Stmt = InvalidStmt;
+      C.IsHoisted = R.Hoisted;
+      C.IsSunk = R.Sunk;
+      C.HoistKey = R.Key;
+      return C;
+    };
+    auto InsertBeforeTerm = [&](BasicBlock *P, Instr C) {
+      auto Pos = P->Insts.end();
+      if (P->hasTerm())
+        --Pos;
+      P->Insts.insert(Pos, std::move(C));
+    };
+
+    for (unsigned B = 0; B < CFG.numBlocks(); ++B) {
+      BasicBlock *BB = CFG.block(B);
+      // The phis of BB, in block order.
+      std::vector<PhiRecord *> Mine;
+      for (PhiRecord &R : Phis)
+        if (R.Block == BB)
+          Mine.push_back(&R);
+      if (Mine.empty())
+        continue;
+      // Distinct predecessors, in first-occurrence order.
+      std::vector<BasicBlock *> PredList;
+      for (PhiRecord *R : Mine)
+        for (BasicBlock *P : R->Preds) {
+          bool Seen = false;
+          for (BasicBlock *D : PredList)
+            Seen |= (D == P);
+          if (!Seen)
+            PredList.push_back(P);
+        }
+      for (BasicBlock *P : PredList) {
+        // First operand flowing from P, per phi.
+        std::vector<std::pair<PhiRecord *, std::size_t>> Edge;
+        for (PhiRecord *R : Mine)
+          for (std::size_t A = 0; A < R->Preds.size(); ++A)
+            if (R->Preds[A] == P) {
+              Edge.emplace_back(R, A);
+              break;
+            }
+        // Parallel-copy interference: an operand naming another phi's
+        // destination must read it before the sequential copies
+        // overwrite it (the classic loop-header swap hazard).
+        bool Interferes = false;
+        for (auto &[R, A] : Edge)
+          for (PhiRecord *R2 : Mine)
+            Interferes |= (R->Ins[A] == R2->Dest);
+        if (Interferes) {
+          // Two phases: stage every read into a fresh temp, then write
+          // every destination — a faithful parallel copy.
+          std::vector<Value> Staged;
+          for (auto &[R, A] : Edge) {
+            Value Tmp = F.newTemp(R->Ty);
+            Staged.push_back(Tmp);
+            InsertBeforeTerm(P, MakeCopy(*R, Tmp, R->Ins[A]));
+          }
+          for (std::size_t E = 0; E < Edge.size(); ++E)
+            InsertBeforeTerm(P, MakeCopy(*Edge[E].first,
+                                         Edge[E].first->Dest, Staged[E]));
+        } else {
+          for (auto &[R, A] : Edge) {
+            if (R->CoalesceDef[A] != InvalidInstr) {
+              // Single-use operand defined in this predecessor: retarget
+              // its def at the phi destination and skip the copy.
+              Instr &Def = F.Pool.instr(R->CoalesceDef[A]);
+              Def.Dest = R->Dest;
+              Def.IsHoisted |= R->Hoisted;
+              Def.IsSunk |= R->Sunk;
+              continue;
+            }
+            InsertBeforeTerm(P, MakeCopy(*R, R->Dest, R->Ins[A]));
+          }
+        }
+      }
+      while (!BB->Insts.empty() && BB->Insts.front().Op == Opcode::Phi)
+        BB->Insts.erase(BB->Insts.begin());
+    }
+
+    unsplitPairs(F, DU);
+
+    // Edge splitting restructured the graph.
+    return {PreservedAnalyses::none(), true};
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sldb::createSsaConstructPass() {
+  return std::make_unique<SsaConstruct>();
+}
+
+std::unique_ptr<Pass> sldb::createSsaDestructPass() {
+  return std::make_unique<SsaDestruct>();
+}

@@ -57,7 +57,7 @@ struct VerbArity {
 };
 
 constexpr VerbArity Verbs[] = {
-    {Verb::Load, "load", 2, 2, "load <name> seed:<N>|file:<path>"},
+    {Verb::Load, "load", 2, 3, "load <name> seed:<N>|file:<path> [<level>]"},
     {Verb::Classify, "classify", 4, 4, "classify <module> <func> <stmt> <var>"},
     {Verb::ClassifyAll, "classify-all", 3, 3,
      "classify-all <module> <func> <stmt>"},

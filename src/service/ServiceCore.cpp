@@ -8,6 +8,7 @@
 
 #include "codegen/ISel.h"
 #include "core/Debugger.h"
+#include "eval/Levels.h"
 #include "fuzz/ProgramGen.h"
 #include "ir/IRGen.h"
 #include "opt/Pass.h"
@@ -140,6 +141,20 @@ std::string ServiceCore::doLoad(const Request &R) {
                          std::to_string(Limits.MaxModules) + " modules)");
   }
 
+  // Optional pipeline level (eval/Levels.h), resolved before any
+  // compilation: a request naming an unknown or future level gets a
+  // structured refusal and the registry stays untouched — a bad level
+  // name must never quarantine anything.
+  const LevelSpec *Lvl = nullptr;
+  if (R.Args.size() > 2) {
+    Lvl = findLevel(R.Args[2]);
+    if (!Lvl) {
+      LoadFails.add(1);
+      return renderErr(R.Session, ErrorCode::UnknownLevel,
+                       "unknown pipeline level '" + R.Args[2] + "'");
+    }
+  }
+
   // Resolve the source text.
   std::string Source;
   if (Spec.rfind("seed:", 0) == 0) {
@@ -197,7 +212,8 @@ std::string ServiceCore::doLoad(const Request &R) {
   if (Mod->A->limitExceeded())
     return overBudget("frontend");
 
-  Status PS = runPipelineEx(*Mod->IR, OptOptions::all(), PipelineConfig());
+  Status PS = runPipelineEx(*Mod->IR, Lvl ? Lvl->Opts : OptOptions::all(),
+                            PipelineConfig());
   if (!PS.ok()) {
     LoadFails.add(1);
     return renderErr(R.Session, PS.code(), PS.message());
@@ -205,8 +221,11 @@ std::string ServiceCore::doLoad(const Request &R) {
   if (Mod->A->limitExceeded())
     return overBudget("optimizer");
 
+  CodegenOptions CG;
+  if (Lvl)
+    CG.PromoteVars = Lvl->Promote;
   Expected<MachineModule> MME =
-      compileToMachineE(*Mod->IR, CodegenOptions(), Mod->A.get());
+      compileToMachineE(*Mod->IR, CG, Mod->A.get());
   if (!MME) {
     LoadFails.add(1);
     return renderErr(R.Session, MME.status().code(), MME.status().message());

@@ -1,0 +1,39 @@
+//===- support/Percentiles.cpp --------------------------------------------===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Percentiles.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sldb {
+
+std::uint64_t percentileOfSorted(const std::vector<std::uint64_t> &Sorted,
+                                 double P) {
+  assert(!Sorted.empty() && "percentile of an empty sample set");
+  if (P <= 0.0)
+    return Sorted.front();
+  if (P >= 1.0)
+    return Sorted.back();
+  std::size_t I = static_cast<std::size_t>(
+      P * static_cast<double>(Sorted.size() - 1) + 0.5);
+  if (I >= Sorted.size())
+    I = Sorted.size() - 1;
+  return Sorted[I];
+}
+
+std::string latencyReportLine(std::vector<std::uint64_t> SamplesUs) {
+  if (SamplesUs.empty())
+    return "latency-us n/a (no completed batches)";
+  std::sort(SamplesUs.begin(), SamplesUs.end());
+  auto U = [](std::uint64_t V) { return std::to_string(V); };
+  return "latency-us p50=" + U(percentileOfSorted(SamplesUs, 0.50)) +
+         " p90=" + U(percentileOfSorted(SamplesUs, 0.90)) +
+         " p99=" + U(percentileOfSorted(SamplesUs, 0.99)) +
+         " max=" + U(SamplesUs.back());
+}
+
+} // namespace sldb

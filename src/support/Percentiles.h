@@ -1,0 +1,44 @@
+//===- support/Percentiles.h - Latency percentile reporting ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Percentile extraction over a latency sample set, shared by the load
+/// driver's report and its unit tests.  The empty set is a first-class
+/// input: a stream where every request was shed completes with zero
+/// latency samples, and the report must say `n/a` — not a fabricated
+/// zero, and certainly not a division by the sample count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLDB_SUPPORT_PERCENTILES_H
+#define SLDB_SUPPORT_PERCENTILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldb {
+
+/// Nearest-rank percentile of \p Sorted (ascending).  \p P in [0, 1].
+/// Must not be called on an empty set — use latencyReportLine, which
+/// handles that case.
+std::uint64_t percentileOfSorted(const std::vector<std::uint64_t> &Sorted,
+                                 double P);
+
+/// Renders the load driver's one-line latency summary from an unsorted
+/// sample set:
+///
+///   latency-us p50=120 p90=340 p99=900 max=1200
+///
+/// or, when \p SamplesUs is empty (every request shed, nothing ever
+/// completed a round trip):
+///
+///   latency-us n/a (no completed batches)
+std::string latencyReportLine(std::vector<std::uint64_t> SamplesUs);
+
+} // namespace sldb
+
+#endif // SLDB_SUPPORT_PERCENTILES_H

@@ -24,6 +24,8 @@ const char *errorCodeName(ErrorCode C) {
     return "resource-exhausted";
   case ErrorCode::InvalidRequest:
     return "invalid-request";
+  case ErrorCode::UnknownLevel:
+    return "unknown-level";
   }
   return "unknown";
 }

@@ -46,6 +46,11 @@ enum class ErrorCode : std::uint8_t {
   /// A service request was malformed or named an unknown entity (module,
   /// function, statement, variable).  The request dies; nothing else.
   InvalidRequest,
+  /// A request named a pipeline level this build does not know (a future
+  /// or misspelled level name).  Answered before any compilation starts,
+  /// so the module registry is untouched — nothing is quarantined over a
+  /// bad level name.
+  UnknownLevel,
 };
 
 const char *errorCodeName(ErrorCode C);

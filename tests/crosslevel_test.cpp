@@ -118,7 +118,7 @@ std::vector<BenchProgram> figurePrograms() {
 
 TEST(Levels, TableIsCanonicalAndUnique) {
   const auto &Ls = pipelineLevels();
-  ASSERT_EQ(Ls.size(), 16u);
+  ASSERT_EQ(Ls.size(), 22u);
   for (std::size_t I = 0; I < Ls.size(); ++I) {
     // Index == enum value, names unique, findLevel round-trips.
     EXPECT_EQ(static_cast<std::size_t>(Ls[I].Level), I);
@@ -158,14 +158,14 @@ TEST(Levels, LegacyLabelsKeepTheirConfigurations) {
 TEST(Levels, MoreOptimizedIsAStrictPartialOrder) {
   const auto &Ls = pipelineLevels();
   const LevelSpec &O0 = levelSpec(PipelineLevel::O0);
-  const LevelSpec &O2 = levelSpec(PipelineLevel::O2);
+  const LevelSpec &Top = levelSpec(PipelineLevel::O2Ssa);
   for (const LevelSpec &L : Ls) {
     EXPECT_FALSE(moreOptimized(L, L)) << L.Name; // Irreflexive.
     if (L.Level != PipelineLevel::O0) {
       EXPECT_TRUE(moreOptimized(L, O0)) << L.Name; // O0 is the bottom.
     }
-    if (L.Level != PipelineLevel::O2) {
-      EXPECT_TRUE(moreOptimized(O2, L)) << L.Name; // O2 is the top.
+    if (L.Level != PipelineLevel::O2Ssa) {
+      EXPECT_TRUE(moreOptimized(Top, L)) << L.Name; // O2ssa is the top.
     }
     for (const LevelSpec &M : Ls)
       if (moreOptimized(L, M)) {
@@ -181,18 +181,30 @@ TEST(Levels, MoreOptimizedIsAStrictPartialOrder) {
   // The lockstep pipelines sit strictly between singles and O2.
   EXPECT_TRUE(moreOptimized(levelSpec(PipelineLevel::O2nl),
                             levelSpec(PipelineLevel::O2nlFrame)));
-  EXPECT_TRUE(
-      moreOptimized(O2, levelSpec(PipelineLevel::O2nl)));
+  EXPECT_TRUE(moreOptimized(levelSpec(PipelineLevel::O2),
+                            levelSpec(PipelineLevel::O2nl)));
+  // The SSA lockstep pipeline extends O2nl but is incomparable with O2
+  // (each enables passes the other lacks).
+  const LevelSpec &O2 = levelSpec(PipelineLevel::O2);
+  const LevelSpec &O2nlSsa = levelSpec(PipelineLevel::O2nlSsa);
+  EXPECT_TRUE(moreOptimized(O2nlSsa, levelSpec(PipelineLevel::O2nl)));
+  EXPECT_FALSE(moreOptimized(O2, O2nlSsa));
+  EXPECT_FALSE(moreOptimized(O2nlSsa, O2));
 }
 
 TEST(Levels, JudgeableExcludesStatementDuplicators) {
   for (const LevelSpec &L : pipelineLevels()) {
-    bool Expect = !L.Opts.LoopPeel && !L.Opts.LoopUnroll;
+    bool Expect = !L.Opts.LoopPeel && !L.Opts.LoopUnroll && !L.Opts.Inline;
     EXPECT_EQ(judgeable(L), Expect) << L.Name;
   }
   EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::O2)));
   EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::LoopPeel)));
+  EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::InlineLevel)));
+  EXPECT_FALSE(judgeable(levelSpec(PipelineLevel::O2Ssa)));
   EXPECT_TRUE(judgeable(levelSpec(PipelineLevel::O2nl)));
+  EXPECT_TRUE(judgeable(levelSpec(PipelineLevel::O2nlSsa)));
+  EXPECT_TRUE(judgeable(levelSpec(PipelineLevel::Ssa)));
+  EXPECT_TRUE(judgeable(levelSpec(PipelineLevel::Gvn)));
 }
 
 //===----------------------------------------------------------------------===//

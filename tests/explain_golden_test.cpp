@@ -24,6 +24,7 @@
 
 #include "codegen/ISel.h"
 #include "core/Debugger.h"
+#include "eval/Levels.h"
 #include "ir/IRGen.h"
 #include "ir/IRPrinter.h"
 #include "opt/Pass.h"
@@ -237,6 +238,83 @@ TEST(ExplainGolden, Fig4RecoveredDeadCopy) {
   ASSERT_TRUE(E.Result.Recoverable);
   checkGolden("fig4_recovery.txt", C.renderExplainText(E));
   checkGolden("fig4_recovery.json", C.renderExplainJson(E) + "\n");
+}
+
+//===----------------------------------------------------------------------===//
+// SSA tier: the same breakpoint, different verdicts by level
+//===----------------------------------------------------------------------===//
+
+/// Builds \p Src at a named pipeline level (eval/Levels.h), with the
+/// level's own pass selection and promotion.
+MachineModule buildAtLevel(std::string_view Src, const char *LevelName) {
+  const LevelSpec *L = findLevel(LevelName);
+  EXPECT_TRUE(L != nullptr) << LevelName;
+  return buildMachine(Src, L->Opts, L->Promote);
+}
+
+/// Explains \p Var at statement \p Stmt of main and goldens the text.
+Explanation explainAtLevel(std::string_view Src, const char *LevelName,
+                           StmtId Stmt, const std::string &Var,
+                           const std::string &Golden) {
+  MachineModule MM = buildAtLevel(Src, LevelName);
+  const MachineFunction &MF = *MM.findFunc("main");
+  Classifier C(MF, *MM.Info);
+  VarId V = findVar(MM, Var);
+  EXPECT_NE(V, InvalidVar);
+  EXPECT_GT(MF.StmtAddr.size(), Stmt);
+  EXPECT_GE(MF.StmtAddr[Stmt], 0);
+  Explanation E =
+      C.explain(static_cast<std::uint32_t>(MF.StmtAddr[Stmt]), V);
+  checkGolden(Golden, C.renderExplainText(E));
+  return E;
+}
+
+// Figure 2's x at the avail-marker statement, walked up the SSA tier.
+// The SSA bracket alone round-trips (current); the full scalar set on
+// top of it folds x's final value into a recovery constant carried
+// through the bracket's phi merges (current, recoverable).  The verdict
+// text for the *same* source point differs by level — the transcripts
+// are the contract that each level's answer stays put.
+TEST(ExplainGolden, SsaTierVerdictShiftsOnFig2) {
+  Explanation Plain =
+      explainAtLevel(Fig2, "ssa", 8, "x", "ssa_level_fig2_ssa.txt");
+  EXPECT_EQ(Plain.Result.Kind, VarClass::Current);
+  EXPECT_FALSE(Plain.Result.Recoverable);
+
+  Explanation Rec =
+      explainAtLevel(Fig2, "O2nl-ssa", 8, "x", "ssa_level_fig2_o2nlssa.txt");
+  EXPECT_EQ(Rec.Result.Kind, VarClass::Current);
+  EXPECT_TRUE(Rec.Result.Recoverable);
+}
+
+// A redundant recomputation after a two-arm join: both arms assign x,
+// the join recomputes one arm's expression.  Under the single-pass SSA
+// levels x stays a current frame-resident variable; under O2nl-ssa the
+// whole chain constant-folds through the phi, x never materializes, and
+// the hoist-key attribution in the transcript names the folded
+// phi-merged key ('x = copy 7') rather than the source expression.
+const char *PhiJoin = R"(
+  int main() {
+    int a = 3; int b = 4; int x = 0;
+    if (a < b) {
+      x = a + b;
+    } else {
+      x = a - b;
+    }
+    x = a + b;
+    print(x);
+    return 0;
+  }
+)";
+
+TEST(ExplainGolden, SsaTierPhiMergedHoistKeyAttribution) {
+  Explanation Sparse =
+      explainAtLevel(PhiJoin, "sparse", 7, "x", "ssa_level_phijoin_sparse.txt");
+  EXPECT_EQ(Sparse.Result.Kind, VarClass::Current);
+
+  Explanation Top = explainAtLevel(PhiJoin, "O2nl-ssa", 7, "x",
+                                   "ssa_level_phijoin_o2nlssa.txt");
+  EXPECT_EQ(Top.Result.Kind, VarClass::Nonresident);
 }
 
 //===----------------------------------------------------------------------===//

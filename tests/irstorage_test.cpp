@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <list>
 #include <random>
 #include <vector>
@@ -172,6 +173,72 @@ TEST(InstrList, ErasedSlotsAreRecycled) {
     L.push_back(tagged(I));
   EXPECT_EQ(Pool.idBound(), BoundBefore);
   EXPECT_EQ(Pool.liveCount(), 100u);
+}
+
+// SSA construction inserts phis at a block's head while a traversal is
+// mid-flight and dataflow worklists hold dense InstrIds.  The contract:
+// insert-at-head must update Head without disturbing the in-flight
+// iterator, the ids of every live instruction, or a backward walk that
+// crosses the new head; and the new instruction's id must extend (not
+// recycle into) the dense id space so flat arrays sized by the
+// *pre-insert* idBound() are detectably stale rather than silently
+// aliased.
+TEST(InstrList, InsertAtHeadDuringTraversal) {
+  Arena A;
+  InstrPool Pool(A);
+  InstrList L(&Pool);
+  for (std::uint32_t I = 0; I < 8; ++I)
+    L.push_back(tagged(I));
+
+  // Record every live id, as a dataflow worklist would.
+  std::vector<InstrId> Ids;
+  for (auto It = L.begin(); It != L.end(); ++It)
+    Ids.push_back(It.id());
+  const InstrId BoundBefore = Pool.idBound();
+
+  // Walk forward; at element 3, insert two "phis" at the head (newest
+  // first, like SsaConstruct), then finish the walk from the pinned
+  // iterator.
+  std::vector<std::uint32_t> Seen;
+  for (auto It = L.begin(); It != L.end(); ++It) {
+    Seen.push_back(It->Stmt);
+    if (It->Stmt == 3) {
+      L.insert(L.begin(), tagged(101));
+      L.insert(L.begin(), tagged(100));
+    }
+  }
+  // The traversal saw the original elements exactly once, unperturbed.
+  EXPECT_EQ(Seen, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+  // Head moved to the newest insert; full order is phis-then-body.
+  EXPECT_EQ(L.front().Stmt, 100u);
+  EXPECT_EQ(tagsOf(L),
+            (std::vector<std::uint32_t>{100, 101, 0, 1, 2, 3, 4, 5, 6, 7}));
+
+  // Every pre-insert id still names the same instruction, and the new
+  // ids extend the dense space past the old bound (no recycling while
+  // the old slots are live).
+  for (std::uint32_t I = 0; I < Ids.size(); ++I)
+    EXPECT_EQ(Pool.instr(Ids[I]).Stmt, I);
+  EXPECT_EQ(Pool.idBound(), BoundBefore + 2);
+  EXPECT_GE(L.begin().id(), BoundBefore);
+
+  // A backward walk crosses the new head cleanly.
+  std::vector<std::uint32_t> Rev;
+  for (auto It = L.rbegin(); It != L.rend(); ++It)
+    Rev.push_back(It->Stmt);
+  std::vector<std::uint32_t> Fwd = tagsOf(L);
+  std::reverse(Fwd.begin(), Fwd.end());
+  EXPECT_EQ(Rev, Fwd);
+
+  // Erase-at-head during traversal is the mirror idiom (DCE's backward
+  // block walks): the iterator returned by erase resumes at the next
+  // element and Head follows.
+  auto It = L.begin();
+  It = L.erase(It);
+  EXPECT_EQ(It->Stmt, 101u);
+  EXPECT_EQ(L.front().Stmt, 101u);
+  EXPECT_EQ(L.size(), 9u);
 }
 
 TEST(InstrList, CopyAssignIsDeep) {

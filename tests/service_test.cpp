@@ -20,9 +20,11 @@
 #include "service/ServiceCore.h"
 #include "support/FaultInjector.h"
 #include "support/Interrupt.h"
+#include "support/Percentiles.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -157,6 +159,38 @@ TEST(Service, DuplicateLoadAndModuleCap) {
   R = run(Core, {"load c seed:3"});
   EXPECT_EQ(R[0].rfind("err resource-exhausted ", 0), 0u) << R[0];
   EXPECT_EQ(Core.numModules(), 2u);
+}
+
+TEST(Service, UnknownLevelIsStructuredNotQuarantined) {
+  ServiceCore Core(ServiceLimits(), 1);
+
+  // A load naming a future/misspelled pipeline level is refused with a
+  // structured err unknown-level before anything compiles: no module
+  // registered, nothing quarantined, the name stays free.
+  auto R = run(Core, {"@s1 load m seed:1 O9-hyperssa"});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].rfind("@s1 err unknown-level ", 0), 0u) << R[0];
+  EXPECT_NE(R[0].find("O9-hyperssa"), std::string::npos) << R[0];
+  EXPECT_EQ(Core.numModules(), 0u);
+  EXPECT_EQ(Core.numQuarantined(), 0u);
+
+  // The service is healthy afterwards: the same name loads at a real
+  // SSA-tier level and serves queries.
+  R = run(Core, {"@s1 load m seed:1 O2nl-ssa"});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].rfind("@s1 ok loaded m ", 0), 0u) << R[0];
+  R = run(Core, {"@s1 classify-all m main 0"});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].rfind("@s1 ok n=", 0), 0u) << R[0];
+
+  // Frame-resident single-pass levels load too.
+  R = run(Core, {"load f seed:2 ssa"});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].rfind("ok loaded f ", 0), 0u) << R[0];
+
+  // Arity guard: a fourth operand is still a parse error.
+  Request Req = parseRequest("load m seed:1 O2 extra");
+  EXPECT_EQ(Req.V, Verb::Invalid);
 }
 
 TEST(Service, HealthAndStatsShape) {
@@ -400,6 +434,33 @@ TEST(Service, QuarantineConvergesIdenticallyAcrossJobs) {
 //===----------------------------------------------------------------------===//
 // Graceful interrupt
 //===----------------------------------------------------------------------===//
+
+// The load driver's latency summary (support/Percentiles.h).  The empty
+// set is the regression of record: a stream where every request was shed
+// completes with zero latency samples, and the old report computed
+// percentiles over it — the line must degrade to n/a instead.
+TEST(LoadReport, EmptyLatencySetSaysNa) {
+  EXPECT_EQ(latencyReportLine({}), "latency-us n/a (no completed batches)");
+}
+
+TEST(LoadReport, PercentilesAreNearestRank) {
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(latencyReportLine({42}),
+            "latency-us p50=42 p90=42 p99=42 max=42");
+
+  // 1..100 (shuffled on input — the helper sorts): nearest-rank lands on
+  // round values and max is the true maximum.
+  std::vector<std::uint64_t> S;
+  for (std::uint64_t V = 100; V >= 1; --V)
+    S.push_back(V);
+  EXPECT_EQ(latencyReportLine(S),
+            "latency-us p50=51 p90=90 p99=99 max=100");
+
+  std::vector<std::uint64_t> Sorted(S);
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(percentileOfSorted(Sorted, 0.0), 1u);
+  EXPECT_EQ(percentileOfSorted(Sorted, 1.0), 100u);
+}
 
 TEST(Interrupt, FlagLifecycle) {
   clearInterruptForTesting();

@@ -64,6 +64,30 @@ if ! cmp -s "$TMP/xl-j1.txt" "$TMP/xl-j8.txt"; then
   FAIL=1
 fi
 
+# SSA-tier level campaign: the bracket passes must keep the same
+# determinism contract (the phi workset and edge splitting are per-unit
+# state, so any cross-worker leak shows up as a report diff here).
+"$FUZZ" --level O2nl-ssa --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 1 >"$TMP/ssa-j1.txt"
+"$FUZZ" --level O2nl-ssa --seed 1 --count "$COUNT" --no-write --no-shrink \
+  --jobs 8 >"$TMP/ssa-j8.txt"
+if ! cmp -s "$TMP/ssa-j1.txt" "$TMP/ssa-j8.txt"; then
+  echo "error: O2nl-ssa report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/ssa-j1.txt" "$TMP/ssa-j8.txt" >&2 || true
+  FAIL=1
+fi
+
+# Stepping oracle at an SSA level.
+"$FUZZ" --oracle=step --level gvn --seed 1 --count "$COUNT" --no-write \
+  --no-shrink --jobs 1 >"$TMP/step-ssa-j1.txt"
+"$FUZZ" --oracle=step --level gvn --seed 1 --count "$COUNT" --no-write \
+  --no-shrink --jobs 8 >"$TMP/step-ssa-j8.txt"
+if ! cmp -s "$TMP/step-ssa-j1.txt" "$TMP/step-ssa-j8.txt"; then
+  echo "error: gvn step report differs between --jobs 1 and --jobs 8:" >&2
+  diff -u "$TMP/step-ssa-j1.txt" "$TMP/step-ssa-j8.txt" >&2 || true
+  FAIL=1
+fi
+
 # Sharding composes with --jobs: three shards of the same campaign must
 # partition the seed range exactly (programs sum = count).
 TOTAL=0

@@ -72,6 +72,15 @@ if [ "$SAN" = thread ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --oracle=crosslevel --seed 1 --count 4 \
     --jobs 4 --no-write --no-shrink
+  # SSA-tier slice: the construct/GVN/sparse/destruct bracket racing
+  # across the pool (the bracket allocates phis and edge-split blocks,
+  # so arena and analysis-cache handoff get fresh coverage here).
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --level O2nl-ssa --seed 1 --count "$COUNT" \
+    --jobs 4 --no-write --no-shrink
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=step --level gvn --seed 1 --count 10 \
+    --jobs 4 --no-write --no-shrink
 else
   # halt_on_error makes UBSan reports fatal even where
   # -fno-sanitize-recover is not honored; leak checking stays on
@@ -103,4 +112,16 @@ else
   UBSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --oracle=crosslevel --seed 1 --count 5 \
     --no-write --no-shrink
+
+  # SSA-tier slices: the bracket's phi insertion/edge splitting and the
+  # sparse passes under ASan/UBSan, at the judgeable SSA levels.
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --level O2nl-ssa --seed 1 --count "$COUNT" \
+    --no-write --no-shrink
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --oracle=step --level sparse --seed 1 \
+    --count 15 --no-write --no-shrink
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --inject --no-isolate --level O2nl-ssa \
+    --seed 1 --count 5 --no-write --no-shrink
 fi

@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "eval/Levels.h"
 #include "fuzz/Campaign.h"
 #include "fuzz/QualityCampaign.h"
 #include "support/FaultInjector.h"
@@ -50,6 +51,7 @@ struct Options {
   std::string ReproPath;
   long DumpSeed = -1;
   std::string Oracle = "diff"; ///< diff | step | crosslevel.
+  std::string Level; ///< --level NAME: judge at one named pipeline level.
   bool Inject = false;
   int Isolate = -1; ///< -1 default (on for --inject, off otherwise).
   unsigned TimeoutMs = 20'000;
@@ -80,6 +82,10 @@ void usage() {
       "                             availability regressions against the\n"
       "                             lockstep ground truth, and measure\n"
       "                             per-level conservatism\n"
+      "  --level NAME    run the diff/step campaign at one named pipeline\n"
+      "                  level (eval/Levels.h: O0, O2nl, O2nl-ssa, ...)\n"
+      "                  instead of the default lockstep set; the level\n"
+      "                  must be judgeable (no peel/unroll/inline)\n"
       "  --inject        fault-injection campaign: every seed is judged\n"
       "                  once per defended fault point; crashes, hangs,\n"
       "                  and unsound verdicts fail\n"
@@ -160,6 +166,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (O.Oracle != "diff" && O.Oracle != "step" &&
           O.Oracle != "crosslevel")
         return false;
+    } else if (A == "--level") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Level = V;
     } else if (A == "--inject") {
       O.Inject = true;
     } else if (A == "--isolate") {
@@ -205,10 +216,24 @@ int runRepro(const Options &O) {
   SS << In.rdbuf();
   std::string Src = SS.str();
 
+  // A reproducer from a level campaign must be re-judged at that level.
+  const LevelSpec *Spec = nullptr;
+  if (!O.Level.empty()) {
+    Spec = findLevel(O.Level);
+    if (!Spec || !judgeable(*Spec)) {
+      std::fprintf(stderr, "sldb-fuzz: unknown or non-judgeable level '%s'\n",
+                   O.Level.c_str());
+      return 2;
+    }
+  }
   int Status = 0;
-  for (int Mode = 0; Mode < (O.BothModes ? 2 : 1); ++Mode) {
-    bool Promote = O.BothModes ? Mode == 0 : O.Promote;
-    std::vector<Violation> Vs = checkProgram(Src, Promote);
+  const bool OneMode = !O.BothModes || Spec;
+  for (int Mode = 0; Mode < (OneMode ? 1 : 2); ++Mode) {
+    bool Promote = Spec      ? Spec->Promote
+                   : OneMode ? O.Promote
+                             : Mode == 0;
+    std::vector<Violation> Vs =
+        checkProgram(Src, Promote, 4000, Spec ? &Spec->Opts : nullptr);
     std::printf("promote-vars %s: %zu violation(s)\n",
                 Promote ? "on" : "off", Vs.size());
     for (const Violation &V : Vs) {
@@ -296,6 +321,7 @@ int runInject(const Options &O) {
   C.ShardIndex = O.ShardIndex;
   C.ShardCount = O.ShardCount;
   C.CollectTrace = !O.TraceJson.empty();
+  C.Level = O.Level;
   InjectCampaignResult R = runInjectCampaign(C);
   if (!R.ConfigError.empty()) {
     std::fprintf(stderr, "sldb-fuzz: %s\n", R.ConfigError.c_str());
@@ -341,6 +367,7 @@ int runStep(const Options &O) {
   C.Count = O.Count;
   C.BothPromoteModes = O.BothModes;
   C.Promote = O.Promote;
+  C.Level = O.Level;
   C.Shrink = O.Shrink;
   C.WriteFailures = O.Write;
   C.FailureDir = O.WriteDir;
@@ -449,6 +476,7 @@ int main(int Argc, char **Argv) {
   C.Count = O.Count;
   C.BothPromoteModes = O.BothModes;
   C.Promote = O.Promote;
+  C.Level = O.Level;
   C.Shrink = O.Shrink;
   C.WriteFailures = O.Write;
   C.FailureDir = O.WriteDir;

@@ -25,6 +25,7 @@
 
 #include "fuzz/QueryGen.h"
 #include "support/Interrupt.h"
+#include "support/Percentiles.h"
 
 #include <algorithm>
 #include <atomic>
@@ -520,15 +521,6 @@ int main(int argc, char **argv) {
     Total.LatencyUs.insert(Total.LatencyUs.end(), CS.LatencyUs.begin(),
                            CS.LatencyUs.end());
   }
-  std::sort(Total.LatencyUs.begin(), Total.LatencyUs.end());
-  auto Pct = [&](double P) -> std::uint64_t {
-    if (Total.LatencyUs.empty())
-      return 0;
-    std::size_t I = static_cast<std::size_t>(
-        P * static_cast<double>(Total.LatencyUs.size() - 1));
-    return Total.LatencyUs[I];
-  };
-
   if (!O.Quiet) {
     std::printf("batches:   %llu\n",
                 static_cast<unsigned long long>(Total.Batches));
@@ -542,12 +534,9 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Total.Malformed));
     std::printf("unsound:   %llu\n",
                 static_cast<unsigned long long>(Total.Unsound));
-    std::printf("latency-us p50=%llu p90=%llu p99=%llu max=%llu\n",
-                static_cast<unsigned long long>(Pct(0.50)),
-                static_cast<unsigned long long>(Pct(0.90)),
-                static_cast<unsigned long long>(Pct(0.99)),
-                static_cast<unsigned long long>(
-                    Total.LatencyUs.empty() ? 0 : Total.LatencyUs.back()));
+    // An all-shed stream has no completed round trips: the summary says
+    // n/a rather than a fabricated zero (support/Percentiles.h).
+    std::printf("%s\n", latencyReportLine(Total.LatencyUs).c_str());
     if (Hang)
       std::printf("HANG: daemon stopped answering\n");
     if (DaemonCrashed)
