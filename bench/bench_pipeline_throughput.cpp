@@ -66,6 +66,19 @@ std::vector<std::string> corpus() {
   return Srcs;
 }
 
+/// Same corpus shape with the aliasing grammar on: arrays, pointers,
+/// address-taken locals, indirect stores.  Times the alias-analysis and
+/// Load/Store lowering overhead the scalar corpus never exercises.
+std::vector<std::string> aliasCorpus() {
+  std::vector<std::string> Srcs;
+  for (unsigned I = 0; I < 60; ++I) {
+    GenOptions G;
+    G.Alias = true;
+    Srcs.push_back(generateProgram(1000 + I, G));
+  }
+  return Srcs;
+}
+
 /// One timed compile sweep: 3 x 60 programs through the pipeline with
 /// the given pass selection.
 double compileSweep(const std::vector<std::string> &Srcs,
@@ -153,11 +166,12 @@ void loadBaseline(double &CompileMs, double &SweepMs) {
 int main(int Argc, char **Argv) {
   sldb::bench::parseSnapshotFlag(Argc, Argv);
   const std::vector<std::string> Srcs = corpus();
+  const std::vector<std::string> AliasSrcs = aliasCorpus();
   unsigned Funcs = 0;
   std::uint64_t Queries = 0;
 
   double CompileMs = 1e300, UncachedMs = 1e300, SweepMs = 1e300;
-  double SsaCompileMs = 1e300;
+  double SsaCompileMs = 1e300, AliasCompileMs = 1e300;
   for (int Rep = 0; Rep < 5; ++Rep)
     CompileMs =
         std::min(CompileMs, compileSweep(Srcs, OptOptions::all(), true, Funcs));
@@ -171,6 +185,13 @@ int main(int Argc, char **Argv) {
   for (int Rep = 0; Rep < 3; ++Rep)
     SsaCompileMs =
         std::min(SsaCompileMs, compileSweep(Srcs, Ssa->Opts, true, SsaFuncs));
+  // Aliasing corpus through the full lockstep set: how much the
+  // arrays/pointers grammar costs end to end.
+  unsigned AliasFuncs = 0;
+  for (int Rep = 0; Rep < 3; ++Rep)
+    AliasCompileMs = std::min(
+        AliasCompileMs, compileSweep(AliasSrcs, OptOptions::all(), true,
+                                     AliasFuncs));
   for (int Rep = 0; Rep < 5; ++Rep)
     SweepMs = std::min(SweepMs, querySweep(Queries));
 
@@ -198,13 +219,15 @@ int main(int Argc, char **Argv) {
       "\"uncached_compile_ms\":%.1f,\"cache_speedup\":%.2f,"
       "\"ssa_level\":\"%s\",\"ssa_compile_ms\":%.1f,"
       "\"ssa_overhead\":%.2f,"
+      "\"alias_compile_ms\":%.1f,\"alias_overhead\":%.2f,"
       "\"baseline_compile_ms\":%.1f,\"baseline_sweep_ms\":%.1f,"
       "\"speedup_vs_baseline\":%.2f,"
       "\"funcs\":%u,\"queries\":%llu,"
       "\"campaign_runs\":%u,\"campaign_stops\":%llu,"
       "\"campaign_observations\":%llu,\"campaign_failures\":%zu}",
       CompileMs, SweepMs, UncachedMs, CacheSpeedup, Ssa->Name, SsaCompileMs,
-      SsaCompileMs / CompileMs, BaseCompile, BaseSweep,
+      SsaCompileMs / CompileMs, AliasCompileMs, AliasCompileMs / CompileMs,
+      BaseCompile, BaseSweep,
       Speedup, Funcs, static_cast<unsigned long long>(Queries), CR.Runs,
       static_cast<unsigned long long>(CR.Stops),
       static_cast<unsigned long long>(CR.Observations),

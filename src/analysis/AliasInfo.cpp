@@ -1,0 +1,239 @@
+//===- analysis/AliasInfo.cpp - May-alias & address-taken facts -----------===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasInfo.h"
+
+#include <algorithm>
+
+using namespace sldb;
+
+namespace {
+
+bool addRoot(PointsToSet &D, VarId R) {
+  if (D.Unknown || D.contains(R))
+    return false;
+  D.Roots.insert(std::upper_bound(D.Roots.begin(), D.Roots.end(), R), R);
+  return true;
+}
+
+bool setUnknown(PointsToSet &D) {
+  if (D.Unknown)
+    return false;
+  D.Unknown = true;
+  D.Roots.clear();
+  return true;
+}
+
+bool unionInto(PointsToSet &D, const PointsToSet &S) {
+  if (S.Unknown)
+    return setUnknown(D);
+  bool Changed = false;
+  for (VarId R : S.Roots)
+    Changed |= addRoot(D, R);
+  return Changed;
+}
+
+} // namespace
+
+AliasInfo::AliasInfo(const IRFunction &F, const ProgramInfo &Info)
+    : Info(Info) {
+  TempPT.resize(F.NextTemp);
+
+  // Pointer-typed parameters address caller storage the function cannot
+  // name; addresses of this function's own locals can reach a parameter
+  // only after escaping through a route tracked below, so Unknown stays
+  // conservative (see the recursion note in the header).
+  for (VarId P : F.Params)
+    if (Info.var(P).Ty.isPtr())
+      VarPT[P].Unknown = true;
+
+  // Pre-populate every pointer-typed variable slot so the fixpoint can
+  // hold PointsToSet pointers without rehash invalidation, and collect
+  // the AddrOf universe.
+  for (const auto &B : F.Blocks)
+    for (const Instr &I : B->Insts) {
+      if (I.Op == Opcode::AddrOf && !I.Ops.empty() && I.Ops[0].isVar())
+        AddressTakenIR[I.Ops[0].Id] = 1;
+      if (I.Dest.isVar() && I.Dest.Ty == IRType::Ptr)
+        VarPT[I.Dest.Id];
+      for (const Value &Op : I.Ops)
+        if (Op.isVar() && Op.Ty == IRType::Ptr)
+          VarPT[Op.Id];
+    }
+
+  auto Slot = [&](const Value &V) -> PointsToSet * {
+    if (V.isTemp())
+      return V.Id < TempPT.size() ? &TempPT[V.Id] : nullptr;
+    if (V.isVar()) {
+      auto It = VarPT.find(V.Id);
+      return It != VarPT.end() ? &It->second : nullptr;
+    }
+    return nullptr;
+  };
+
+  // Flow-insensitive fixpoint over the pointer-producing instructions.
+  // The lattice is union-only (roots never leave a set), so the loop
+  // terminates; sets are bounded by the AddrOf universe.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &B : F.Blocks)
+      for (const Instr &I : B->Insts) {
+        PointsToSet *D = Slot(I.Dest);
+        if (!D || I.Dest.Ty != IRType::Ptr)
+          continue;
+        switch (I.Op) {
+        case Opcode::AddrOf:
+          if (!I.Ops.empty() && I.Ops[0].isVar())
+            Changed |= addRoot(*D, I.Ops[0].Id);
+          else
+            Changed |= setUnknown(*D);
+          break;
+        case Opcode::Copy:
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Phi:
+          // Pointer arithmetic stays within the pointed-to object in
+          // defined MiniC programs (no casts, no int->ptr round trips),
+          // so only the pointer-typed operands contribute roots.
+          for (const Value &Op : I.Ops) {
+            if (Op.Ty != IRType::Ptr)
+              continue;
+            if (const PointsToSet *S = Slot(Op))
+              Changed |= unionInto(*D, *S);
+            else
+              Changed |= setUnknown(*D);
+          }
+          break;
+        default:
+          // Loads of stored pointers, call results, anything else that
+          // manufactures a pointer: untracked.
+          Changed |= setUnknown(*D);
+          break;
+        }
+      }
+  }
+
+  // Escape scan: an address is visible to foreign code once it is
+  // passed as a call argument, stored into memory, returned, or left in
+  // a global pointer variable.
+  auto EscapeValue = [&](const Value &V) {
+    if (V.Ty != IRType::Ptr)
+      return;
+    if (const PointsToSet *S = Slot(V))
+      escapeSet(*S);
+  };
+  for (const auto &B : F.Blocks)
+    for (const Instr &I : B->Insts) {
+      switch (I.Op) {
+      case Opcode::Call:
+        for (const Value &A : I.Ops)
+          EscapeValue(A);
+        break;
+      case Opcode::Store:
+        if (I.Ops.size() == 2)
+          EscapeValue(I.Ops[1]);
+        break;
+      case Opcode::Ret:
+        if (!I.Ops.empty())
+          EscapeValue(I.Ops[0]);
+        break;
+      default:
+        break;
+      }
+      if (I.Dest.isVar() && I.Dest.Ty == IRType::Ptr &&
+          Info.var(I.Dest.Id).Storage == StorageKind::Global) {
+        auto It = VarPT.find(I.Dest.Id);
+        if (It != VarPT.end())
+          escapeSet(It->second);
+      }
+    }
+}
+
+void AliasInfo::escapeSet(const PointsToSet &PT) {
+  if (PT.Unknown) {
+    // Unknown values cannot hold addresses that did not already escape,
+    // but proving that here is not worth the risk: widen to the whole
+    // AddrOf universe.
+    for (const auto &KV : AddressTakenIR)
+      Escaped[KV.first] = 1;
+    return;
+  }
+  for (VarId R : PT.Roots)
+    Escaped[R] = 1;
+}
+
+const PointsToSet *AliasInfo::pointsTo(const Value &Ptr) const {
+  if (Ptr.isTemp())
+    return Ptr.Id < TempPT.size() ? &TempPT[Ptr.Id] : nullptr;
+  if (Ptr.isVar()) {
+    auto It = VarPT.find(Ptr.Id);
+    return It != VarPT.end() ? &It->second : nullptr;
+  }
+  return nullptr;
+}
+
+bool AliasInfo::typeMatches(IRType ElemTy, const VarInfo &V) const {
+  switch (V.Ty.Kind) {
+  case TypeKind::Int:
+    return ElemTy == IRType::Int;
+  case TypeKind::Double:
+    return ElemTy == IRType::Double;
+  case TypeKind::Ptr:
+    return ElemTy == IRType::Ptr;
+  default:
+    return true;
+  }
+}
+
+bool AliasInfo::mayClobber(const Instr &I, VarId V) const {
+  const VarInfo &VI = Info.var(V);
+  if (!VI.isScalar())
+    return false;
+  switch (I.Op) {
+  case Opcode::Store: {
+    // VarInfo::AddressTaken (set by Sema at every `&v` in the program)
+    // is a sound superset of "some pointer may hold &v": addresses are
+    // only born at AddrOf.
+    if (!VI.AddressTaken)
+      return false;
+    const PointsToSet *PT = I.Ops.empty() ? nullptr : pointsTo(I.Ops[0]);
+    if (!PT || PT->Unknown)
+      return typeMatches(I.Ty, VI);
+    return PT->contains(V);
+  }
+  case Opcode::Call:
+    if (VI.Storage == StorageKind::Global)
+      return true; // Callees assign globals directly.
+    return VI.AddressTaken && escaped(V);
+  default:
+    return false;
+  }
+}
+
+bool AliasInfo::mayRead(const Instr &I, VarId V) const {
+  const VarInfo &VI = Info.var(V);
+  if (!VI.isScalar())
+    return false;
+  switch (I.Op) {
+  case Opcode::Load: {
+    if (!VI.AddressTaken)
+      return false;
+    const PointsToSet *PT = I.Ops.empty() ? nullptr : pointsTo(I.Ops[0]);
+    if (!PT || PT->Unknown)
+      return typeMatches(I.Ty, VI);
+    return PT->contains(V);
+  }
+  case Opcode::Call:
+    if (VI.Storage == StorageKind::Global)
+      return true;
+    return VI.AddressTaken && escaped(V);
+  case Opcode::Ret:
+    return VI.Storage == StorageKind::Global;
+  default:
+    return false;
+  }
+}

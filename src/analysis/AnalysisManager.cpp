@@ -38,6 +38,8 @@ const char *sldb::analysisName(AnalysisID ID) {
     return "dom-frontiers";
   case AnalysisID::SsaDefUse:
     return "ssa-def-use";
+  case AnalysisID::Alias:
+    return "alias";
   }
   return "?";
 }
@@ -54,6 +56,7 @@ AnalysisDependence sldb::analysisDependence(AnalysisID ID) {
   case AnalysisID::Liveness:
   case AnalysisID::ReachingDefs:
   case AnalysisID::SsaDefUse:
+  case AnalysisID::Alias:
     return AnalysisDependence::Instruction;
   }
   return AnalysisDependence::Instruction;
@@ -67,6 +70,7 @@ unsigned dependsOn(AnalysisID ID) {
   switch (ID) {
   case AnalysisID::CFG:
   case AnalysisID::Values:
+  case AnalysisID::Alias:
     return 0;
   case AnalysisID::Dominators:
   case AnalysisID::PostDominators:
@@ -76,7 +80,8 @@ unsigned dependsOn(AnalysisID ID) {
     return Bit(AnalysisID::CFG) | Bit(AnalysisID::Dominators);
   case AnalysisID::Liveness:
   case AnalysisID::ReachingDefs:
-    return Bit(AnalysisID::CFG) | Bit(AnalysisID::Values);
+    return Bit(AnalysisID::CFG) | Bit(AnalysisID::Values) |
+           Bit(AnalysisID::Alias);
   case AnalysisID::SsaDefUse:
     return Bit(AnalysisID::CFG);
   }
@@ -120,6 +125,8 @@ void AnalysisManager::invalidate(IRFunction &F, const PreservedAnalyses &PA) {
     E.Reach.reset();
   if (Gone(AnalysisID::Liveness))
     E.Live.reset();
+  if (Gone(AnalysisID::Alias))
+    E.Alias.reset();
   if (Gone(AnalysisID::Loops))
     E.Loops.reset();
   if (Gone(AnalysisID::Dominators))
@@ -197,12 +204,13 @@ template <> ValueIndex &AnalysisManager::getResult<ValueIndex>(IRFunction &F) {
 template <> Liveness &AnalysisManager::getResult<Liveness>(IRFunction &F) {
   CFGContext &CFG = getResult<CFGContext>(F);
   ValueIndex &VI = getResult<ValueIndex>(F);
+  AliasInfo &AI = getResult<AliasInfo>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::Liveness, E.Live != nullptr);
   if (!E.Live) {
     TraceSpan Span("liveness", "analysis");
     Span.arg("function", F.Name);
-    E.Live = std::make_unique<Liveness>(CFG, VI, Info);
+    E.Live = std::make_unique<Liveness>(CFG, VI, Info, AI);
   }
   return *E.Live;
 }
@@ -211,12 +219,13 @@ template <>
 ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F) {
   CFGContext &CFG = getResult<CFGContext>(F);
   ValueIndex &VI = getResult<ValueIndex>(F);
+  AliasInfo &AI = getResult<AliasInfo>(F);
   FunctionEntry &E = entry(F);
   count(AnalysisID::ReachingDefs, E.Reach != nullptr);
   if (!E.Reach) {
     TraceSpan Span("reaching-defs", "analysis");
     Span.arg("function", F.Name);
-    E.Reach = std::make_unique<ReachingDefs>(CFG, VI, Info);
+    E.Reach = std::make_unique<ReachingDefs>(CFG, VI, Info, AI);
   }
   return *E.Reach;
 }
@@ -245,6 +254,17 @@ template <> SsaDefUse &AnalysisManager::getResult<SsaDefUse>(IRFunction &F) {
     E.SsaDU = std::make_unique<SsaDefUse>(CFG);
   }
   return *E.SsaDU;
+}
+
+template <> AliasInfo &AnalysisManager::getResult<AliasInfo>(IRFunction &F) {
+  FunctionEntry &E = entry(F);
+  count(AnalysisID::Alias, E.Alias != nullptr);
+  if (!E.Alias) {
+    TraceSpan Span("alias", "analysis");
+    Span.arg("function", F.Name);
+    E.Alias = std::make_unique<AliasInfo>(F, Info);
+  }
+  return *E.Alias;
 }
 
 template <>
@@ -300,6 +320,12 @@ const SsaDefUse *
 AnalysisManager::getCached<SsaDefUse>(const IRFunction &F) const {
   const FunctionEntry *E = findEntry(F);
   return E ? E->SsaDU.get() : nullptr;
+}
+template <>
+const AliasInfo *
+AnalysisManager::getCached<AliasInfo>(const IRFunction &F) const {
+  const FunctionEntry *E = findEntry(F);
+  return E ? E->Alias.get() : nullptr;
 }
 
 } // namespace sldb

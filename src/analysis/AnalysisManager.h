@@ -24,6 +24,7 @@
 #ifndef SLDB_ANALYSIS_ANALYSISMANAGER_H
 #define SLDB_ANALYSIS_ANALYSISMANAGER_H
 
+#include "analysis/AliasInfo.h"
 #include "analysis/CFGContext.h"
 #include "analysis/DomFrontiers.h"
 #include "analysis/Dominators.h"
@@ -50,8 +51,9 @@ enum class AnalysisID : unsigned {
   ReachingDefs,   ///< Reaching definitions.
   DomFrontiers,   ///< Dominance frontiers + dominator tree.
   SsaDefUse,      ///< Temp def-use chains (SSA-form passes).
+  Alias,          ///< May-alias / address-taken / escape facts.
 };
-inline constexpr unsigned NumAnalysisIDs = 9;
+inline constexpr unsigned NumAnalysisIDs = 10;
 
 /// What an analysis result depends on; decides which mutations kill it.
 enum class AnalysisDependence {
@@ -177,6 +179,7 @@ private:
     std::unique_ptr<ReachingDefs> Reach;
     std::unique_ptr<DomFrontiers> DF;
     std::unique_ptr<SsaDefUse> SsaDU;
+    std::unique_ptr<AliasInfo> Alias;
   };
 
   FunctionEntry &entry(const IRFunction &F) { return Entries[&F]; }
@@ -207,6 +210,7 @@ ReachingDefs &AnalysisManager::getResult<ReachingDefs>(IRFunction &F);
 template <>
 DomFrontiers &AnalysisManager::getResult<DomFrontiers>(IRFunction &F);
 template <> SsaDefUse &AnalysisManager::getResult<SsaDefUse>(IRFunction &F);
+template <> AliasInfo &AnalysisManager::getResult<AliasInfo>(IRFunction &F);
 
 template <>
 const CFGContext *
@@ -235,6 +239,9 @@ AnalysisManager::getCached<DomFrontiers>(const IRFunction &F) const;
 template <>
 const SsaDefUse *
 AnalysisManager::getCached<SsaDefUse>(const IRFunction &F) const;
+template <>
+const AliasInfo *
+AnalysisManager::getCached<AliasInfo>(const IRFunction &F) const;
 
 } // namespace sldb
 

@@ -21,7 +21,7 @@ void Liveness::transfer(const Instr &I, BitVector &Live) const {
   // May-uses (loads/calls reading address-taken or global scalars).
   if (I.Op == Opcode::Load || I.Op == Opcode::Call || I.Op == Opcode::Ret) {
     for (VarId V : VI.trackedVars())
-      if (instrMayReadVar(I, Info.var(V)))
+      if (AI.mayRead(I, V))
         Live.set(VI.varIndex(V));
   }
   // AddrOf pins the variable: once its address is taken, any later memory
@@ -29,8 +29,8 @@ void Liveness::transfer(const Instr &I, BitVector &Live) const {
 }
 
 Liveness::Liveness(const CFGContext &CFG, const ValueIndex &VI,
-                   const ProgramInfo &Info)
-    : CFG(CFG), VI(VI), Info(Info) {
+                   const ProgramInfo &Info, const AliasInfo &AI)
+    : CFG(CFG), VI(VI), Info(Info), AI(AI) {
   DataflowProblem P;
   P.Dir = FlowDir::Backward;
   P.Meet = FlowMeet::Union;
@@ -61,7 +61,7 @@ Liveness::Liveness(const CFGContext &CFG, const ValueIndex &VI,
       if (I.Op == Opcode::Load || I.Op == Opcode::Call ||
           I.Op == Opcode::Ret) {
         for (VarId V : VI.trackedVars())
-          if (instrMayReadVar(I, Info.var(V)))
+          if (AI.mayRead(I, V))
             Gen.set(VI.varIndex(V));
       }
     }

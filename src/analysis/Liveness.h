@@ -15,6 +15,7 @@
 #ifndef SLDB_ANALYSIS_LIVENESS_H
 #define SLDB_ANALYSIS_LIVENESS_H
 
+#include "analysis/AliasInfo.h"
 #include "analysis/CFGContext.h"
 #include "analysis/Dataflow.h"
 #include "analysis/InstrInfo.h"
@@ -24,8 +25,10 @@ namespace sldb {
 /// Live-variable analysis result.
 class Liveness {
 public:
+  /// \p AI refines the may-use rule: loads and calls only read the
+  /// address-taken scalars their pointer operands may actually address.
   Liveness(const CFGContext &CFG, const ValueIndex &VI,
-           const ProgramInfo &Info);
+           const ProgramInfo &Info, const AliasInfo &AI);
 
   /// Live set at block entry / exit.
   const BitVector &liveIn(unsigned BlockIdx) const { return R.In[BlockIdx]; }
@@ -46,6 +49,7 @@ private:
   const CFGContext &CFG;
   const ValueIndex &VI;
   const ProgramInfo &Info;
+  const AliasInfo &AI;
   DataflowResult R;
 };
 

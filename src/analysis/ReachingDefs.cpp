@@ -9,8 +9,8 @@
 using namespace sldb;
 
 ReachingDefs::ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
-                           const ProgramInfo &Info)
-    : VI(VI), Info(Info) {
+                           const ProgramInfo &Info, const AliasInfo &AI)
+    : VI(VI), Info(Info), AI(AI) {
   // Enumerate real definition sites.
   for (unsigned B = 0; B < CFG.numBlocks(); ++B)
     for (const Instr &I : CFG.block(B)->Insts) {
@@ -47,7 +47,7 @@ ReachingDefs::ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
       // Clobbers: calls/stores may redefine address-taken/global scalars.
       if (I.Op == Opcode::Store || I.Op == Opcode::Call) {
         for (VarId V : VI.trackedVars())
-          if (instrMayClobberVar(I, Info.var(V))) {
+          if (AI.mayClobber(I, V)) {
             unsigned VIdx = VI.varIndex(V);
             // Unknown def: kill nothing (weak update), gen unknown bit.
             Gen.set(unknownDef(VIdx));
@@ -71,7 +71,7 @@ ReachingDefs::ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
 void ReachingDefs::transfer(const Instr &I, BitVector &Reach) const {
   if (I.Op == Opcode::Store || I.Op == Opcode::Call) {
     for (VarId V : VI.trackedVars())
-      if (instrMayClobberVar(I, Info.var(V)))
+      if (AI.mayClobber(I, V))
         Reach.set(unknownDef(VI.varIndex(V)));
   }
   auto It = DefOfInstr.find(&I);

@@ -15,6 +15,7 @@
 #ifndef SLDB_ANALYSIS_REACHINGDEFS_H
 #define SLDB_ANALYSIS_REACHINGDEFS_H
 
+#include "analysis/AliasInfo.h"
 #include "analysis/CFGContext.h"
 #include "analysis/Dataflow.h"
 #include "analysis/InstrInfo.h"
@@ -27,8 +28,10 @@ namespace sldb {
 /// Reaching definitions for one function.
 class ReachingDefs {
 public:
+  /// \p AI refines the clobber rule: stores and calls only generate
+  /// unknown definitions for scalars their pointers may actually reach.
   ReachingDefs(const CFGContext &CFG, const ValueIndex &VI,
-               const ProgramInfo &Info);
+               const ProgramInfo &Info, const AliasInfo &AI);
 
   /// One definition site.
   struct DefSite {
@@ -66,6 +69,7 @@ public:
 private:
   const ValueIndex &VI;
   const ProgramInfo &Info;
+  const AliasInfo &AI;
   std::vector<DefSite> Defs;
   unsigned UnknownBase = 0;
   std::vector<BitVector> DefsOf;

@@ -249,6 +249,7 @@ LockstepResult sldb::runLockstep(std::string_view Src,
       VO.ExpectedInitAllPaths = Init[Stop.Func]->at(AddrO, ScopeO[I].Var);
       VO.RawValid = Opt.peekStorage(Scope2[I].Var, VO.RawIsDouble,
                                     VO.RawInt, VO.RawDouble);
+      VO.IsPtr = MM2.Info->var(Scope2[I].Var).Ty.Kind == TypeKind::Ptr;
       Stop.Vars.push_back(std::move(VO));
     }
     if (!R.PairError.empty())

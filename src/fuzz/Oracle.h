@@ -61,6 +61,13 @@ struct VarObservation {
   bool RawIsDouble = false;
   std::int64_t RawInt = 0;
   double RawDouble = 0.0;
+
+  /// Whether the variable has pointer type.  A pointer's value is a
+  /// frame (or global) address, and the two builds lay frames out
+  /// differently — so value comparisons between the builds are
+  /// meaningless for pointers, while the classification verdicts
+  /// (init / residence agreement) still apply.
+  bool IsPtr = false;
 };
 
 /// One paired statement-boundary stop.

@@ -127,10 +127,12 @@ private:
   GenWeights W;
   std::string Out;
 
-  std::vector<std::string> Vars;     ///< Assignable in-scope scalars.
-  std::vector<std::string> ReadOnly; ///< Loop counters etc.: read-only.
-  std::vector<std::string> Helpers;  ///< Helper function names.
+  std::vector<std::string> Vars;       ///< Assignable in-scope scalars.
+  std::vector<std::string> ReadOnly;   ///< Loop counters etc.: read-only.
+  std::vector<std::string> Helpers;    ///< Helper function names.
+  std::vector<std::string> PtrHelpers; ///< Helpers taking (int*, int).
   unsigned NextLoop = 0;
+  unsigned NextAlias = 0; ///< Unique suffix for arrays and pointers.
   int Indent = 1;
 
   unsigned pct() { return Rng() % 100; }
@@ -368,6 +370,99 @@ private:
     line(X + " = " + expr(1) + ";");
   }
 
+  //===--- Aliasing idioms (arrays, pointers, address-taken locals) -------===//
+
+  /// Declares a fresh int array and initializes every element with a
+  /// constant.  Generated programs never read an uninitialized array
+  /// element: each element is written here before any idiom reads it.
+  std::string declArray(unsigned &SizeOut) {
+    std::string A = "a" + std::to_string(NextAlias++);
+    unsigned N = range(3, 5);
+    line("int " + A + "[" + std::to_string(N) + "];");
+    for (unsigned J = 0; J < N; ++J)
+      line(A + "[" + std::to_string(J) + "] = " +
+           std::to_string(smallConst()) + ";");
+    SizeOut = N;
+    return A;
+  }
+
+  /// Array overwrite + reduction: a counting loop rewrites every element
+  /// (trip count equals the array size, so accesses are in bounds), then
+  /// a second loop folds the elements into a scalar.  Exercises Load/
+  /// Store with a loop-variant index against LICM/PRE/IV opt.
+  void idiomArrayLoop() {
+    unsigned N;
+    std::string A = declArray(N);
+    std::string I = "i" + std::to_string(NextLoop++);
+    line("for (int " + I + " = 0; " + I + " < " + std::to_string(N) +
+         "; " + I + " = " + I + " + 1) {");
+    ++Indent;
+    ReadOnly.push_back(I);
+    line(A + "[" + I + "] = " + I + " * " +
+         std::to_string(2 + Rng() % 5) + " + " + atom() + ";");
+    ReadOnly.pop_back();
+    --Indent;
+    line("}");
+    std::string J = "i" + std::to_string(NextLoop++);
+    const std::string &Acc = pickVar();
+    line("for (int " + J + " = 0; " + J + " < " + std::to_string(N) +
+         "; " + J + " = " + J + " + 1) {");
+    ++Indent;
+    line(Acc + " = " + Acc + " + " + A + "[" + J + "];");
+    --Indent;
+    line("}");
+  }
+
+  /// Address-taken scalar with an indirect store: `p = &t; *p = e;` must
+  /// kill any propagated facts about t, and t itself must stay
+  /// unpromoted (frame-resident) through the whole pipeline.
+  void idiomPtrScalar() {
+    std::string P = "p" + std::to_string(NextAlias++);
+    const std::string &T = pickVar();
+    line("int* " + P + " = &" + T + ";");
+    line(T + " = " + expr(1) + ";"); // Direct def a prop pass might forward.
+    line("*" + P + " = " + expr(1) + ";"); // Indirect kill of T.
+    const std::string &X = pickVar();
+    line(X + " = *" + P + " + " + std::to_string(range(0, 4)) + ";");
+    line("print(" + T + ");"); // Observes the indirectly stored value.
+  }
+
+  /// Pointer arithmetic over an array: the pointer starts at a constant
+  /// element and is bumped by tracked constant deltas, so every access
+  /// stays in [0, N) by construction.
+  void idiomPtrArray() {
+    unsigned N;
+    std::string A = declArray(N);
+    std::string P = "p" + std::to_string(NextAlias++);
+    unsigned C1 = Rng() % N; // Current pointed-to index, tracked exactly.
+    line("int* " + P + " = " + A + " + " + std::to_string(C1) + ";");
+    unsigned C2 = Rng() % N;
+    int Delta = static_cast<int>(C2) - static_cast<int>(C1);
+    if (Delta > 0)
+      line(P + " = " + P + " + " + std::to_string(Delta) + ";");
+    else if (Delta < 0)
+      line(P + " = " + P + " - " + std::to_string(-Delta) + ";");
+    line("*" + P + " = " + expr(1) + ";"); // Clobbers a[C2] via the pointer.
+    unsigned K = N - 1 > C2 ? Rng() % (N - C2) : 0; // C2 + K < N.
+    const std::string &X = pickVar();
+    line(X + " = " + P + "[" + std::to_string(K) + "];");
+    const std::string &Y = pickVar();
+    // Direct read-back: may or may not be the clobbered element, either
+    // way the optimizer must not forward a stale pre-store value.
+    line(Y + " = " + A + "[" + std::to_string(Rng() % N) + "];");
+  }
+
+  /// Scalar escaping to a call: `fnp(&t, e)` mutates t through the
+  /// pointer parameter, so every pass must treat the call as a possible
+  /// def (and read) of t.
+  void idiomPtrCall() {
+    const std::string &T = pickVar();
+    const std::string &X = pickVar();
+    line(X + " = " + PtrHelpers[Rng() % PtrHelpers.size()] + "(&" + T +
+         ", " + expr(1) + ");");
+    line("print(" + T + ");");
+  }
+
   //===--- Program assembly -----------------------------------------------===//
 
   void helperFunc(const std::string &Name) {
@@ -379,6 +474,21 @@ private:
     Vars.push_back("h0");
     stmts(range(1, 3), 1);
     line("return " + expr(1) + ";");
+    Out += "}\n\n";
+  }
+
+  /// Helper taking a pointer parameter that it stores through: calls
+  /// passing `&t` make t escape, which the alias analysis must treat as
+  /// clobbered (and read) by any later call.
+  void ptrHelperFunc(const std::string &Name) {
+    Out += "int " + Name + "(int* q0, int k0) {\n";
+    Indent = 1;
+    line("if (k0 > " + std::to_string(smallConst()) + ") {");
+    ++Indent;
+    line("*q0 = *q0 + k0;");
+    --Indent;
+    line("}");
+    line("return *q0 + " + std::to_string(range(1, 5)) + ";");
     Out += "}\n\n";
   }
 };
@@ -408,6 +518,10 @@ std::string Generator::generate() {
       Helpers.push_back(Name);
     }
   }
+  if (Opts.Alias && Opts.Helpers) {
+    ptrHelperFunc("fnp0");
+    PtrHelpers.push_back("fnp0");
+  }
 
   Out += "int main() {\n";
   Indent = 1;
@@ -425,13 +539,19 @@ std::string Generator::generate() {
     line("int u0;"); // Deliberately uninitialized until late (or never).
 
   // Plant the optimization idioms at random positions among the generic
-  // statements; each idiom appears with probability IdiomPct.
-  std::vector<unsigned> Plan; // 0 = generic, 1..5 = idiom.
+  // statements; each idiom appears with probability IdiomPct (aliasing
+  // idioms 6..9 with probability AliasPct, and only when Alias is on so
+  // pre-existing seeds keep their exact random stream).
+  std::vector<unsigned> Plan; // 0 = generic, 1..5 = idiom, 6..9 = alias.
   for (unsigned S = 0; S < Opts.TopStmts; ++S)
     Plan.push_back(0);
   for (unsigned Idiom = 1; Idiom <= 5; ++Idiom)
     if (chance(Opts.IdiomPct))
       Plan[Rng() % Plan.size()] = Idiom;
+  if (Opts.Alias)
+    for (unsigned Idiom = 6; Idiom <= 9; ++Idiom)
+      if (chance(Opts.AliasPct))
+        Plan[Rng() % Plan.size()] = Idiom;
 
   for (unsigned Step : Plan) {
     switch (Step) {
@@ -449,6 +569,21 @@ std::string Generator::generate() {
       break;
     case 5:
       forStmt(/*Depth=*/1, /*WithIVIdiom=*/true);
+      break;
+    case 6:
+      idiomArrayLoop();
+      break;
+    case 7:
+      idiomPtrScalar();
+      break;
+    case 8:
+      idiomPtrArray();
+      break;
+    case 9:
+      if (!PtrHelpers.empty())
+        idiomPtrCall();
+      else
+        idiomPtrScalar();
       break;
     default:
       stmt(Opts.MaxDepth);

@@ -76,6 +76,19 @@ struct GenOptions {
   /// Probability (percent) of declaring one deliberately uninitialized
   /// local (exercises the uninitialized verdict / debug-table match).
   unsigned UninitPct = 25;
+  /// Enable the aliasing grammar: fixed-size arrays, pointers (`&`, `*`,
+  /// pointer arithmetic on array bases), and address-taken locals,
+  /// including indirect stores that must kill propagation facts.  The
+  /// idioms are safe by construction: every array element is written
+  /// before any read of it, and pointer offsets into arrays are tracked
+  /// constants kept in bounds.  Off by default so pre-existing seeds keep
+  /// producing byte-identical programs.
+  bool Alias = false;
+  /// Probability (percent) of planting each aliasing idiom (array
+  /// init+reduce loop, pointer-to-scalar indirect store, pointer
+  /// arithmetic over an array, address passed to a mutating helper) when
+  /// Alias is enabled.
+  unsigned AliasPct = 60;
 };
 
 /// Generates one MiniC program.  Deterministic: the same (seed, options)

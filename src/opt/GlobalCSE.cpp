@@ -72,13 +72,13 @@ bool exprKeyOf(const Instr &I, ExprKey &Key) {
 }
 
 /// Returns true if \p I invalidates \p Key (redefines an operand).
-bool killsKey(const Instr &I, const ExprKey &Key, const ProgramInfo &Info) {
+bool killsKey(const Instr &I, const ExprKey &Key, const AliasInfo &AI) {
   auto Killed = [&](const Value &V) {
     if (!V.isVar())
       return false;
     if (I.Dest.isVar() && I.Dest.Id == V.Id)
       return true;
-    return instrMayClobberVar(I, Info.var(V.Id));
+    return AI.mayClobber(I, V.Id);
   };
   return Killed(Key.A) || Killed(Key.B);
 }
@@ -95,7 +95,7 @@ public:
 
   PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
     CFGContext &CFG = AM.getResult<CFGContext>(F);
-    const ProgramInfo &Info = *M.Info;
+    AliasInfo &AI = AM.getResult<AliasInfo>(F);
 
     // Enumerate expression keys.
     std::map<ExprKey, unsigned> KeyIds;
@@ -131,7 +131,7 @@ public:
         }
         if (mayKillAnyKey(I))
           for (unsigned KI = 0; KI < Keys.size(); ++KI)
-            if (killsKey(I, Keys[KI], Info)) {
+            if (killsKey(I, Keys[KI], AI)) {
               Gen.reset(KI);
               Kill.set(KI);
             }
@@ -157,7 +157,7 @@ public:
           Avail.set(Id);
         if (mayKillAnyKey(I))
           for (unsigned KI = 0; KI < Keys.size(); ++KI)
-            if (killsKey(I, Keys[KI], Info))
+            if (killsKey(I, Keys[KI], AI))
               Avail.reset(KI);
       }
     }

@@ -60,7 +60,8 @@ public:
         }
         if (!PH)
           continue;
-        if (runOnLoop(F, *M.Info, CFG, Dom, L, PH)) {
+        if (runOnLoop(F, *M.Info, AM.getResult<AliasInfo>(F), CFG, Dom, L,
+                      PH)) {
           Any = true;
           // Strength reduction only inserts/rewrites instructions:
           // the loop forest survives; re-scan it for further IVs.
@@ -80,6 +81,7 @@ private:
   /// loop, of the form `i = i + c` / `i = i - c`, whose block dominates
   /// every latch (executes exactly once per iteration).
   std::vector<BasicIV> findBasicIVs(const ProgramInfo &Info,
+                                    const AliasInfo &AI,
                                     const CFGContext &CFG,
                                     const Dominators &Dom, const Loop &L) {
     std::vector<BasicIV> IVs;
@@ -104,8 +106,7 @@ private:
           for (const Instr &I2 : CFG.block(B2)->Insts) {
             if (I2.Dest == I.Dest)
               ++Defs;
-            if (I.Dest.isVar() &&
-                instrMayClobberVar(I2, Info.var(I.Dest.Id)))
+            if (I.Dest.isVar() && AI.mayClobber(I2, I.Dest.Id))
               Defs += 2; // Clobbered: disqualify.
           }
         if (Defs != 1)
@@ -121,9 +122,9 @@ private:
   }
 
   bool runOnLoop(IRFunction &F, const ProgramInfo &Info,
-                 const CFGContext &CFG, const Dominators &Dom, const Loop &L,
-                 BasicBlock *PH) {
-    std::vector<BasicIV> IVs = findBasicIVs(Info, CFG, Dom, L);
+                 const AliasInfo &AI, const CFGContext &CFG,
+                 const Dominators &Dom, const Loop &L, BasicBlock *PH) {
+    std::vector<BasicIV> IVs = findBasicIVs(Info, AI, CFG, Dom, L);
     if (IVs.empty())
       return false;
 

@@ -39,6 +39,7 @@ public:
   const char *name() const override { return "loop-invariant-code-motion"; }
 
   PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
+    (void)M;
     bool Any = false;
     bool Retry = true;
     // Creating preheaders invalidates the CFG context; drop the caches
@@ -57,7 +58,7 @@ public:
         }
         if (!PH)
           continue;
-        Any |= hoistFromLoop(F, *M.Info, CFG, L, PH);
+        Any |= hoistFromLoop(F, AM.getResult<AliasInfo>(F), CFG, L, PH);
       }
     }
     // Mid-run invalidation already covered any preheader creation; what
@@ -67,7 +68,7 @@ public:
   }
 
 private:
-  bool hoistFromLoop(IRFunction &F, const ProgramInfo &Info,
+  bool hoistFromLoop(IRFunction &F, const AliasInfo &AI,
                      const CFGContext &CFG, const Loop &L, BasicBlock *PH) {
     // Values defined inside the loop (direct or clobbered).
     auto DefinedInLoop = [&](const Value &V) {
@@ -77,7 +78,7 @@ private:
         for (const Instr &I : CFG.block(B)->Insts) {
           if (I.Dest == V)
             return true;
-          if (V.isVar() && instrMayClobberVar(I, Info.var(V.Id)))
+          if (V.isVar() && AI.mayClobber(I, V.Id))
             return true;
         }
       return false;

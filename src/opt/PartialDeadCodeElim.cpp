@@ -88,13 +88,11 @@ private:
 
   /// Returns true if \p Later conflicts with moving \p I past it:
   /// uses/defines V or defines an operand of \p I.
-  bool conflicts(const Instr &I, const Instr &Later,
-                 const ProgramInfo &Info) {
+  bool conflicts(const Instr &I, const Instr &Later, const AliasInfo &AI) {
     VarId V = I.Dest.Id;
     if (Later.Dest.isVar() && Later.Dest.Id == V)
       return true;
-    if (instrMayClobberVar(Later, Info.var(V)) ||
-        instrMayReadVar(Later, Info.var(V)))
+    if (AI.mayClobber(Later, V) || AI.mayRead(Later, V))
       return true;
     bool ReadsV = false;
     forEachUse(Later, [&](const Value &UVal) {
@@ -107,7 +105,7 @@ private:
         continue;
       if (Later.Dest.isVar() && Later.Dest.Id == Op.Id)
         return true;
-      if (instrMayClobberVar(Later, Info.var(Op.Id)))
+      if (AI.mayClobber(Later, Op.Id))
         return true;
     }
     return false;
@@ -118,6 +116,7 @@ private:
     CFGContext &CFG = AM.getResult<CFGContext>(F);
     ValueIndex &VI = AM.getResult<ValueIndex>(F);
     Liveness &LV = AM.getResult<Liveness>(F);
+    AliasInfo &AI = AM.getResult<AliasInfo>(F);
 
     // Collect sink opportunities first (the transformation splits edges,
     // which invalidates the CFG context).
@@ -140,7 +139,7 @@ private:
         bool Blocked = false;
         auto After = std::next(It);
         for (; After != BB->Insts.end(); ++After)
-          if (conflicts(I, *After, Info)) {
+          if (conflicts(I, *After, AI)) {
             Blocked = true;
             break;
           }

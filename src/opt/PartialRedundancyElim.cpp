@@ -124,13 +124,13 @@ KillFacts killFactsOf(const Instr &I, const ProgramInfo &Info) {
 /// Availability kill: \p I destroys the *value* relation "V == a op b"
 /// by redefining V or an operand.  Reads of V do not kill availability.
 bool killsAvail(const Instr &I, const KillFacts &F, const HoistKey &Key,
-                const ProgramInfo &Info) {
+                const AliasInfo &AI) {
   if (F.IsOcc && F.Mine == Key)
     return false;
   auto DefinesOrClobbers = [&](VarId V) {
     if (F.DestV == V)
       return true;
-    return F.CanClobber && instrMayClobberVar(I, Info.var(V));
+    return F.CanClobber && AI.mayClobber(I, V);
   };
   if (DefinesOrClobbers(Key.V))
     return true;
@@ -177,7 +177,7 @@ struct KeyIndex {
   template <typename Fn>
   void forEachAvailKill(const Instr &I, const KillFacts &F, unsigned Own,
                         const std::vector<HoistKey> &Keys,
-                        const ProgramInfo &Info, Fn &&Callback) const {
+                        const AliasInfo &AI, Fn &&Callback) const {
     if (F.DestV != InvalidVar) {
       auto It = ByAnyVar.find(F.DestV);
       if (It != ByAnyVar.end())
@@ -187,7 +187,7 @@ struct KeyIndex {
     }
     if (F.CanClobber)
       for (unsigned KI = 0; KI < Keys.size(); ++KI)
-        if (KI != Own && killsAvail(I, F, Keys[KI], Info))
+        if (KI != Own && killsAvail(I, F, Keys[KI], AI))
           Callback(KI);
   }
 
@@ -196,10 +196,10 @@ struct KeyIndex {
   template <typename Fn>
   void forEachAntOnlyKill(const Instr &I, const KillFacts &F, unsigned Own,
                           const std::vector<HoistKey> &Keys,
-                          const ProgramInfo &Info, Fn &&Callback) const {
+                          const AliasInfo &AI, Fn &&Callback) const {
     if (F.MayRead)
       for (unsigned KI = 0; KI < Keys.size(); ++KI)
-        if (KI != Own && instrMayReadVar(I, Info.var(Keys[KI].V)))
+        if (KI != Own && AI.mayRead(I, Keys[KI].V))
           Callback(KI);
     auto UseKills = [&](VarId V) {
       if (V == InvalidVar)
@@ -248,6 +248,7 @@ public:
 private:
   bool runMorelRenvoise(IRFunction &F, IRModule &M, AnalysisManager &AM) {
     CFGContext &CFG = AM.getResult<CFGContext>(F);
+    AliasInfo &AI = AM.getResult<AliasInfo>(F);
     const ProgramInfo &Info = *M.Info;
     const unsigned N = CFG.numBlocks();
 
@@ -283,13 +284,13 @@ private:
         if (KF.inert(/*ForAnt=*/true))
           continue;
         // An availability kill is also an anticipability kill.
-        KX.forEachAvailKill(I, KF, Id, Keys, Info, [&](unsigned KI) {
+        KX.forEachAvailKill(I, KF, Id, Keys, AI, [&](unsigned KI) {
           AntKilledAbove.set(KI);
           Transp[B].reset(KI);
           TranspAv[B].reset(KI);
           Comp[B].reset(KI);
         });
-        KX.forEachAntOnlyKill(I, KF, Id, Keys, Info, [&](unsigned KI) {
+        KX.forEachAntOnlyKill(I, KF, Id, Keys, AI, [&](unsigned KI) {
           AntKilledAbove.set(KI);
           Transp[B].reset(KI);
         });
@@ -475,6 +476,7 @@ private:
   /// occurrences leave an AvailMarker; bare hoisted instances vanish.
   bool eliminateAvailable(IRFunction &F, IRModule &M, AnalysisManager &AM) {
     CFGContext &CFG = AM.getResult<CFGContext>(F);
+    AliasInfo &AI = AM.getResult<AliasInfo>(F);
     const ProgramInfo &Info = *M.Info;
     const unsigned N = CFG.numBlocks();
 
@@ -503,7 +505,7 @@ private:
           Comp[B].set(Own);
         if (KF.inert(/*ForAnt=*/false))
           continue;
-        KX.forEachAvailKill(I, KF, Own, Keys, Info, [&](unsigned KI) {
+        KX.forEachAvailKill(I, KF, Own, Keys, AI, [&](unsigned KI) {
           TranspAv[B].reset(KI);
           Comp[B].reset(KI);
         });
@@ -549,7 +551,7 @@ private:
         if (KF.IsOcc)
           Avail.set(Own);
         if (!KF.inert(/*ForAnt=*/false))
-          KX.forEachAvailKill(I, KF, Own, Keys, Info,
+          KX.forEachAvailKill(I, KF, Own, Keys, AI,
                               [&](unsigned KI) { Avail.reset(KI); });
         ++It;
       }

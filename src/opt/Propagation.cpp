@@ -113,9 +113,10 @@ public:
   const char *name() const override { return "assignment-propagation"; }
 
   PassResult run(IRFunction &F, IRModule &M, AnalysisManager &AM) override {
-    const ProgramInfo &Info = *M.Info;
+    (void)M;
     CFGContext &CFG = AM.getResult<CFGContext>(F);
     ValueIndex &VI = AM.getResult<ValueIndex>(F);
+    AliasInfo &AI = AM.getResult<AliasInfo>(F);
 
     // Snapshot the copy instances up front: rewrites below may rewrite a
     // copy's own source operand, and the data-flow solution is only
@@ -124,7 +125,7 @@ public:
       const Instr *I;
       unsigned DestIdx, SrcIdx;
       Value Src;
-      const VarInfo *DestVar, *SrcVar; ///< For clobber checks; may be null.
+      VarId DestVar, SrcVar; ///< For clobber checks; InvalidVar for temps.
     };
     std::vector<CopyInfo> Copies;
     std::unordered_map<const Instr *, unsigned> CopyIdx;
@@ -139,9 +140,8 @@ public:
           continue;
         CopyIdx.emplace(&I, static_cast<unsigned>(Copies.size()));
         Copies.push_back({&I, DI, SI, I.Ops[0],
-                          I.Dest.isVar() ? &Info.var(I.Dest.Id) : nullptr,
-                          I.Ops[0].isVar() ? &Info.var(I.Ops[0].Id)
-                                           : nullptr});
+                          I.Dest.isVar() ? I.Dest.Id : InvalidVar,
+                          I.Ops[0].isVar() ? I.Ops[0].Id : InvalidVar});
       }
     if (Copies.empty())
       return PassResult::unchanged();
@@ -176,8 +176,8 @@ public:
       if (CanClobberAny(I))
         for (unsigned C = 0; C < U; ++C) {
           const CopyInfo &CI = Copies[C];
-          if ((CI.DestVar && instrMayClobberVar(I, *CI.DestVar)) ||
-              (CI.SrcVar && instrMayClobberVar(I, *CI.SrcVar)))
+          if ((CI.DestVar != InvalidVar && AI.mayClobber(I, CI.DestVar)) ||
+              (CI.SrcVar != InvalidVar && AI.mayClobber(I, CI.SrcVar)))
             Fn(C);
         }
     };

@@ -1,0 +1,249 @@
+//===- tests/alias_info_test.cpp - May-alias analysis tests ----*- C++ -*-===//
+//
+// Part of the sldb project (PLDI 1996 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for AliasInfo: points-to roots born at AddrOf, escape
+/// through calls/stores/returns, the store-kill refinement (a store
+/// through a known pointer kills exactly its root set), and agreement
+/// between the AnalysisManager-cached result and a fresh computation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasInfo.h"
+#include "analysis/AnalysisManager.h"
+#include "ir/IRGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace sldb;
+
+namespace {
+
+std::unique_ptr<IRModule> compile(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  return M;
+}
+
+VarId findVar(const IRModule &M, const std::string &Name) {
+  for (VarId V = 0; V < M.Info->Vars.size(); ++V)
+    if (M.Info->var(V).Name == Name)
+      return V;
+  return InvalidVar;
+}
+
+/// First instruction with opcode \p Op in \p F (nullptr if none).
+const Instr *findInstr(const IRFunction &F, Opcode Op, unsigned Skip = 0) {
+  for (const BasicBlock *B : F.Blocks)
+    for (const Instr &I : B->Insts)
+      if (I.Op == Op) {
+        if (Skip == 0)
+          return &I;
+        --Skip;
+      }
+  return nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Points-to roots and store kills
+//===----------------------------------------------------------------------===//
+
+TEST(AliasInfo, StoreThroughPointerKillsExactlyItsRoot) {
+  auto M = compile(R"(
+    int main() {
+      int x = 1;
+      int y = 2;
+      int* p = &x;
+      *p = 7;
+      return x + y;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AliasInfo AI(*F, *M->Info);
+  VarId X = findVar(*M, "x"), Y = findVar(*M, "y");
+  ASSERT_NE(X, InvalidVar);
+  ASSERT_NE(Y, InvalidVar);
+
+  EXPECT_TRUE(AI.addressTaken(X));
+  EXPECT_FALSE(AI.addressTaken(Y));
+
+  const Instr *St = findInstr(*F, Opcode::Store);
+  ASSERT_NE(St, nullptr);
+  // The store's pointer has the known root set {x}: it kills x and
+  // nothing else.
+  EXPECT_TRUE(AI.mayClobber(*St, X));
+  EXPECT_FALSE(AI.mayClobber(*St, Y));
+}
+
+TEST(AliasInfo, AddressOfInLoopStaysKilledEachIteration) {
+  auto M = compile(R"(
+    int main() {
+      int acc = 0;
+      int t = 3;
+      int i = 0;
+      while (i < 4) {
+        int* p = &t;
+        *p = i;
+        acc = acc + t;
+        i = i + 1;
+      }
+      return acc;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AliasInfo AI(*F, *M->Info);
+  VarId T = findVar(*M, "t"), Acc = findVar(*M, "acc");
+
+  // The AddrOf sits inside the loop body; flow-insensitively the store
+  // through it must still be seen as a def of t (and only t).
+  const Instr *St = findInstr(*F, Opcode::Store);
+  ASSERT_NE(St, nullptr);
+  EXPECT_TRUE(AI.mayClobber(*St, T));
+  EXPECT_FALSE(AI.mayClobber(*St, Acc));
+  // t's address never reaches a call or memory: not escaped.
+  EXPECT_FALSE(AI.escaped(T));
+}
+
+TEST(AliasInfo, ArrayElementStoreDoesNotKillScalars) {
+  auto M = compile(R"(
+    int main() {
+      int v = 5;
+      int a[4];
+      a[0] = 1;
+      a[1] = 2;
+      a[2] = 3;
+      a[3] = 4;
+      int* p = a + 1;
+      *p = v;
+      return a[1] + v;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AliasInfo AI(*F, *M->Info);
+  VarId V = findVar(*M, "v"), A = findVar(*M, "a");
+  ASSERT_NE(A, InvalidVar);
+
+  // Every store in this function is rooted at the array: whether it
+  // writes one element or another, it may clobber a[*] but never the
+  // independent scalar v.
+  unsigned NumStores = 0;
+  for (const BasicBlock *B : F->Blocks)
+    for (const Instr &I : B->Insts)
+      if (I.Op == Opcode::Store) {
+        ++NumStores;
+        EXPECT_FALSE(AI.mayClobber(I, V));
+      }
+  EXPECT_GE(NumStores, 5u);
+
+  // The pointer `p = a + 1` keeps the whole-array root: the analysis
+  // does not pretend to know which element it addresses.
+  const Instr *St = findInstr(*F, Opcode::Store, /*Skip=*/4);
+  ASSERT_NE(St, nullptr);
+  const PointsToSet *PT = AI.pointsTo(St->Ops[0]);
+  if (PT) { // Ops[0]=addr unless the backend reordered; root must be a.
+    EXPECT_FALSE(PT->Unknown);
+    EXPECT_TRUE(PT->contains(A));
+    EXPECT_FALSE(PT->contains(V));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Escape through calls
+//===----------------------------------------------------------------------===//
+
+TEST(AliasInfo, EscapedToCallIsClobberedNonEscapedIsNot) {
+  auto M = compile(R"(
+    int mut(int* q) { *q = 9; return *q; }
+    int main() {
+      int e = 1;
+      int k = 2;
+      int* pe = &e;
+      int* pk = &k;
+      int r = mut(pe);
+      return r + *pk + e + k;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AliasInfo AI(*F, *M->Info);
+  VarId E = findVar(*M, "e"), K = findVar(*M, "k");
+
+  // Both addresses are taken, but only e's is passed to foreign code.
+  EXPECT_TRUE(AI.addressTaken(E));
+  EXPECT_TRUE(AI.addressTaken(K));
+  EXPECT_TRUE(AI.escaped(E));
+  EXPECT_FALSE(AI.escaped(K));
+
+  const Instr *Call = findInstr(*F, Opcode::Call);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_TRUE(AI.mayClobber(*Call, E));
+  EXPECT_TRUE(AI.mayRead(*Call, E));
+  EXPECT_FALSE(AI.mayClobber(*Call, K));
+  EXPECT_FALSE(AI.mayRead(*Call, K));
+}
+
+TEST(AliasInfo, GlobalPointerAssignmentEscapes) {
+  auto M = compile(R"(
+    int* gp = 0;
+    int peek() { return *gp; }
+    int main() {
+      int s = 4;
+      gp = &s;
+      int r = peek();
+      return r + s;
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AliasInfo AI(*F, *M->Info);
+  VarId S = findVar(*M, "s");
+  // s's address is stored into a global pointer: any later call may
+  // read or write s through it.
+  EXPECT_TRUE(AI.escaped(S));
+  const Instr *Call = findInstr(*F, Opcode::Call);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_TRUE(AI.mayClobber(*Call, S));
+  EXPECT_TRUE(AI.mayRead(*Call, S));
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager integration
+//===----------------------------------------------------------------------===//
+
+TEST(AliasInfo, CachedResultMatchesFreshComputation) {
+  auto M = compile(R"(
+    int bump(int* q, int d) { *q = *q + d; return *q; }
+    int main() {
+      int x = 1;
+      int y = 2;
+      int a[3];
+      a[0] = 0;
+      a[1] = 1;
+      a[2] = 2;
+      int* p = &x;
+      *p = bump(&y, a[1]);
+      return x + y + a[2];
+    }
+  )");
+  IRFunction *F = M->findFunc("main");
+  AnalysisManager AM(*M->Info);
+  AliasInfo &Cached = AM.getResult<AliasInfo>(*F);
+  // Same object on repeated queries.
+  EXPECT_EQ(&Cached, &AM.getResult<AliasInfo>(*F));
+
+  AliasInfo Fresh(*F, *M->Info);
+  for (VarId V = 0; V < M->Info->Vars.size(); ++V) {
+    EXPECT_EQ(Cached.addressTaken(V), Fresh.addressTaken(V)) << "var " << V;
+    EXPECT_EQ(Cached.escaped(V), Fresh.escaped(V)) << "var " << V;
+  }
+  for (const BasicBlock *B : F->Blocks)
+    for (const Instr &I : B->Insts)
+      for (VarId V = 0; V < M->Info->Vars.size(); ++V) {
+        EXPECT_EQ(Cached.mayClobber(I, V), Fresh.mayClobber(I, V));
+        EXPECT_EQ(Cached.mayRead(I, V), Fresh.mayRead(I, V));
+      }
+}

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AliasInfo.h"
 #include "analysis/AnalysisManager.h"
 #include "fuzz/ProgramGen.h"
 #include "ir/IRGen.h"
@@ -240,7 +241,8 @@ void checkCachedAgainstFresh(IRFunction &F, IRModule &M, AnalysisManager &AM,
   }
   if (const Liveness *Live = AM.getCached<Liveness>(F)) {
     ASSERT_NE(VI, nullptr) << PassName; // Liveness keeps VI alive.
-    Liveness FreshLive(Fresh, *VI, *M.Info);
+    AliasInfo FreshAI(F, *M.Info);
+    Liveness FreshLive(Fresh, *VI, *M.Info, FreshAI);
     for (unsigned B = 0; B < Fresh.numBlocks(); ++B) {
       EXPECT_TRUE(Live->liveIn(B) == FreshLive.liveIn(B))
           << PassName << " live-in of block " << B;
@@ -250,7 +252,8 @@ void checkCachedAgainstFresh(IRFunction &F, IRModule &M, AnalysisManager &AM,
   }
   if (const ReachingDefs *RD = AM.getCached<ReachingDefs>(F)) {
     ASSERT_NE(VI, nullptr) << PassName;
-    ReachingDefs FreshRD(Fresh, *VI, *M.Info);
+    AliasInfo FreshAI(F, *M.Info);
+    ReachingDefs FreshRD(Fresh, *VI, *M.Info, FreshAI);
     ASSERT_EQ(RD->numDefs(), FreshRD.numDefs()) << PassName;
     for (unsigned B = 0; B < Fresh.numBlocks(); ++B)
       EXPECT_TRUE(RD->reachIn(B) == FreshRD.reachIn(B))

@@ -8,6 +8,7 @@
 #include "analysis/Dataflow.h"
 #include "analysis/Dominators.h"
 #include "analysis/InstrInfo.h"
+#include "analysis/AliasInfo.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/ReachingDefs.h"
@@ -164,7 +165,8 @@ TEST(Liveness, DeadAfterLastUse) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  Liveness LV(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  Liveness LV(CFG, VI, *M->Info, AI);
 
   unsigned AIdx = varIdx(*M, VI, "a");
   ASSERT_NE(AIdx, ~0u);
@@ -185,7 +187,8 @@ TEST(Liveness, LiveAroundLoop) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  Liveness LV(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  Liveness LV(CFG, VI, *M->Info, AI);
   unsigned SIdx = varIdx(*M, VI, "s");
   unsigned IIdx = varIdx(*M, VI, "i");
   // Both are live into the loop condition block (the block with 2 preds).
@@ -204,7 +207,8 @@ TEST(Liveness, GlobalsLiveAtExit) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  Liveness LV(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  Liveness LV(CFG, VI, *M->Info, AI);
   unsigned GIdx = varIdx(*M, VI, "g");
   ASSERT_NE(GIdx, ~0u);
   EXPECT_TRUE(LV.liveOut(CFG.exits()[0]).test(GIdx));
@@ -221,7 +225,8 @@ TEST(ReachingDefs, SingleDefReachesUse) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  ReachingDefs RD(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  ReachingDefs RD(CFG, VI, *M->Info, AI);
 
   unsigned XIdx = varIdx(*M, VI, "x");
   // Walk the entry block: at the `y = x + 1` instruction, exactly one real
@@ -254,7 +259,8 @@ TEST(ReachingDefs, TwoDefsMergeAtJoin) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  ReachingDefs RD(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  ReachingDefs RD(CFG, VI, *M->Info, AI);
   unsigned XIdx = varIdx(*M, VI, "x");
   unsigned Join = ~0u;
   for (unsigned B = 0; B < CFG.numBlocks(); ++B)
@@ -282,7 +288,8 @@ TEST(ReachingDefs, CallClobbersAddressTaken) {
   IRFunction *F = M->findFunc("main");
   CFGContext CFG(*F);
   ValueIndex VI(*F, *M->Info);
-  ReachingDefs RD(CFG, VI, *M->Info);
+  AliasInfo AI(*F, *M->Info);
+  ReachingDefs RD(CFG, VI, *M->Info, AI);
   unsigned XIdx = varIdx(*M, VI, "x");
   // After the call, the unknown def of x must reach the return.
   BitVector Reach = RD.reachIn(0);

@@ -1,0 +1,133 @@
+#!/bin/sh
+# check_debug_info_schema.sh — validate the DWARF-shaped debug-info JSON
+# that `sldbc --debug-info=FILE` writes (schema "sldb-dwarf-0").
+#
+#   check_debug_info_schema.sh <sldbc> <input.mc>...
+#
+# For each input, exports the debug info at -O0 and -O2 and checks:
+#
+#   * top-level shape: schema tag "sldb-dwarf-0", globals + functions;
+#   * per function: name, frame_size_words, num_instrs, line_table,
+#     variables with name/type/param/locations/availability;
+#   * line table: statement ids strictly increasing, every address in
+#     [0, num_instrs);
+#   * location lists: half-open [lo, hi) ranges, strictly monotone and
+#     non-overlapping, exactly covering [0, num_instrs);
+#   * availability: monotone non-overlapping ranges within bounds, and
+#     never extending into addresses where the location list says the
+#     variable has no location AND no recovery could apply (subset of
+#     the covered program);
+#   * determinism: a second sldbc invocation writes a byte-identical
+#     document.
+#
+# Exit status 0 when every export validates, 1 otherwise.
+set -eu
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <sldbc> <input.mc>..." >&2
+  exit 2
+fi
+SLDBC=$1
+shift
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+validate() {
+  python3 - "$1" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)  # Parse failure -> traceback -> nonzero exit.
+
+def fail(msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "sldb-dwarf-0":
+    fail(f"bad schema tag {doc.get('schema')!r}")
+for key in ("globals", "functions"):
+    if not isinstance(doc.get(key), list):
+        fail(f"missing top-level list '{key}'")
+
+for g in doc["globals"]:
+    for key in ("name", "type", "address"):
+        if key not in g:
+            fail(f"global missing '{key}'")
+
+def check_ranges(what, ranges, n, require_cover):
+    prev_hi = None
+    covered = 0
+    for r in ranges:
+        lo, hi = r.get("lo"), r.get("hi")
+        if not (isinstance(lo, int) and isinstance(hi, int)):
+            fail(f"{what}: non-integer range bounds {r}")
+        if not 0 <= lo < hi <= n:
+            fail(f"{what}: range [{lo},{hi}) out of bounds or empty (n={n})")
+        if prev_hi is not None and lo < prev_hi:
+            fail(f"{what}: range [{lo},{hi}) overlaps/unsorted "
+                 f"(previous hi {prev_hi})")
+        prev_hi = hi
+        covered += hi - lo
+    if require_cover and covered != n:
+        fail(f"{what}: location ranges cover {covered} of {n} addresses")
+
+for fn in doc["functions"]:
+    for key in ("name", "frame_size_words", "num_instrs", "line_table",
+                "variables"):
+        if key not in fn:
+            fail(f"function missing '{key}'")
+    n = fn["num_instrs"]
+    name = fn["name"]
+    prev_stmt = -1
+    for e in fn["line_table"]:
+        for key in ("stmt", "line", "address"):
+            if key not in e:
+                fail(f"{name}: line-table entry missing '{key}'")
+        if e["stmt"] <= prev_stmt:
+            fail(f"{name}: line-table statement ids not increasing")
+        prev_stmt = e["stmt"]
+        if not 0 <= e["address"] < max(n, 1):
+            fail(f"{name}: line-table address {e['address']} out of range")
+    for v in fn["variables"]:
+        for key in ("name", "type", "param", "locations", "availability"):
+            if key not in v:
+                fail(f"{name}: variable missing '{key}'")
+        vname = f"{name}:{v['name']}"
+        for r in v["locations"]:
+            if "loc" not in r:
+                fail(f"{vname}: location range missing 'loc'")
+        check_ranges(f"{vname} locations", v["locations"], n,
+                     require_cover=True)
+        check_ranges(f"{vname} availability", v["availability"], n,
+                     require_cover=False)
+
+print(f"{path}: OK")
+PYEOF
+}
+
+FAIL=0
+for INPUT in "$@"; do
+  BASE=$(basename "$INPUT" .mc)
+  for LEVEL in O0 O2; do
+    OUT="$TMP/$BASE-$LEVEL.json"
+    if ! "$SLDBC" "-$LEVEL" "--debug-info=$OUT" --emit=asm "$INPUT" \
+        >/dev/null; then
+      echo "error: sldbc -$LEVEL failed on $INPUT" >&2
+      FAIL=1
+      continue
+    fi
+    validate "$OUT" || FAIL=1
+    # Determinism: a fresh process must write the same bytes.
+    "$SLDBC" "-$LEVEL" "--debug-info=$OUT.again" --emit=asm "$INPUT" \
+      >/dev/null
+    if ! cmp -s "$OUT" "$OUT.again"; then
+      echo "error: $INPUT -$LEVEL export not deterministic:" >&2
+      diff -u "$OUT" "$OUT.again" >&2 || true
+      FAIL=1
+    fi
+  done
+done
+
+exit $FAIL

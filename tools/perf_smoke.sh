@@ -24,6 +24,8 @@ LINE=$("$BENCH" | grep '^BENCH ') || {
 
 COMPILE=$(printf '%s\n' "$LINE" | sed -n 's/.*"compile_ms":\([0-9.]*\).*/\1/p')
 SWEEP=$(printf '%s\n' "$LINE" | sed -n 's/.*"sweep_ms":\([0-9.]*\).*/\1/p')
+ALIAS_OVERHEAD=$(printf '%s\n' "$LINE" |
+  sed -n 's/.*"alias_overhead":\([0-9.]*\).*/\1/p')
 BASE_COMPILE=$(sed -n 's/.*"compile_ms": *\([0-9.]*\).*/\1/p' "$BASELINE")
 BASE_SWEEP=$(sed -n 's/.*"sweep_ms": *\([0-9.]*\).*/\1/p' "$BASELINE")
 
@@ -48,3 +50,18 @@ awk -v c="$COMPILE" -v s="$SWEEP" -v bc="$BASE_COMPILE" -v bs="$BASE_SWEEP" \
      }
      print "perf_smoke: OK"
    }'
+
+# The aliasing corpus (arrays/pointers/indirect stores) rides the same
+# bench run: its compile loop may cost more than the scalar corpus — the
+# alias analysis and Load/Store lowering are real work — but a blowup
+# beyond 3x means a quadratic kill scan or per-instruction points-to
+# recomputation crept in.
+if [ -n "$ALIAS_OVERHEAD" ]; then
+  awk -v r="$ALIAS_OVERHEAD" 'BEGIN {
+    printf "perf_smoke: alias corpus overhead %.2fx (limit 3.00x)\n", r
+    if (r > 3.0) {
+      print "perf_smoke: FAIL - alias-enabled generator compile blowup"
+      exit 1
+    }
+  }'
+fi

@@ -81,6 +81,12 @@ if [ "$SAN" = thread ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --oracle=step --level gvn --seed 1 --count 10 \
     --jobs 4 --no-write --no-shrink
+  # Aliasing-grammar slice: arrays/pointers/indirect stores racing
+  # through the pool (Load/Store lowering and the alias analysis cache
+  # get their thread coverage here).
+  TSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --alias --seed 1 --count "$COUNT" --jobs 4 \
+    --no-write --no-shrink
 else
   # halt_on_error makes UBSan reports fatal even where
   # -fno-sanitize-recover is not honored; leak checking stays on
@@ -124,4 +130,15 @@ else
   UBSAN_OPTIONS=halt_on_error=1 \
     "$BUILD/tools/sldb-fuzz" --inject --no-isolate --level O2nl-ssa \
     --seed 1 --count 5 --no-write --no-shrink
+
+  # Aliasing-grammar slices: arrays, pointers, and indirect stores under
+  # ASan/UBSan — frame-relative Load/Store lowering, pointer arithmetic,
+  # and the alias-aware kill paths in every pass, at the default set and
+  # the full SSA bracket.
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --alias --seed 1 --count "$COUNT" \
+    --no-write --no-shrink
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$BUILD/tools/sldb-fuzz" --alias --level O2nl-ssa --seed 1 \
+    --count 25 --no-write --no-shrink
 fi

@@ -60,6 +60,7 @@ struct Options {
   unsigned ShardCount = 1;
   bool WorkerStats = false;
   std::string TraceJson; ///< --trace-json FILE.
+  bool Alias = false;    ///< --alias: arrays/pointers in the generator.
 };
 
 void usage() {
@@ -72,6 +73,8 @@ void usage() {
       "  --no-shrink     keep reproducers unminimized\n"
       "  --no-write      do not write reproducer files\n"
       "  --write-dir D   reproducer directory (default fuzz-failures)\n"
+      "  --alias         enable the aliasing generator grammar (arrays,\n"
+      "                  pointers, address-taken locals, indirect stores)\n"
       "  --dump-seed N   print the program for seed N and exit\n"
       "  --repro FILE    re-judge a program/reproducer file and exit\n"
       "  --oracle=K      which oracle drives the campaign (default diff):\n"
@@ -191,6 +194,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       const char *V = Next();
       if (!V || !Sharder::parseSpec(V, O.ShardIndex, O.ShardCount))
         return false;
+    } else if (A == "--alias") {
+      O.Alias = true;
     } else if (A == "--worker-stats") {
       O.WorkerStats = true;
     } else if (A == "--trace-json") {
@@ -311,6 +316,7 @@ int runInject(const Options &O) {
   InjectCampaignConfig C;
   C.Seed = O.Seed;
   C.Count = O.Count;
+  C.Gen.Alias = O.Alias;
   C.Promote = O.Promote;
   C.Shrink = O.Shrink;
   C.Isolate = O.Isolate != 0; // Default on for --inject.
@@ -365,6 +371,7 @@ int runStep(const Options &O) {
   StepCampaignConfig C;
   C.Seed = O.Seed;
   C.Count = O.Count;
+  C.Gen.Alias = O.Alias;
   C.BothPromoteModes = O.BothModes;
   C.Promote = O.Promote;
   C.Level = O.Level;
@@ -403,6 +410,7 @@ int runCrossLevel(const Options &O) {
   CrossLevelCampaignConfig C;
   C.Seed = O.Seed;
   C.Count = O.Count;
+  C.Gen.Alias = O.Alias;
   C.Shrink = O.Shrink;
   C.WriteFailures = O.Write;
   C.FailureDir = O.WriteDir;
@@ -457,8 +465,10 @@ int main(int Argc, char **Argv) {
   }
 
   if (O.DumpSeed >= 0) {
+    GenOptions G;
+    G.Alias = O.Alias;
     std::string Src =
-        generateProgram(static_cast<std::uint32_t>(O.DumpSeed));
+        generateProgram(static_cast<std::uint32_t>(O.DumpSeed), G);
     std::fputs(Src.c_str(), stdout);
     return 0;
   }
@@ -474,6 +484,7 @@ int main(int Argc, char **Argv) {
   CampaignConfig C;
   C.Seed = O.Seed;
   C.Count = O.Count;
+  C.Gen.Alias = O.Alias;
   C.BothPromoteModes = O.BothModes;
   C.Promote = O.Promote;
   C.Level = O.Level;

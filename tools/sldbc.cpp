@@ -29,6 +29,12 @@
 //   sldbc --verify-each prog.mc       run the IR verifier after every pass
 //   sldbc --trace-json=FILE prog.mc   write a Chrome-trace-format profile
 //                                     of the compile (+ debug session)
+//   sldbc --debug-info=FILE prog.mc   write a DWARF-shaped JSON export of
+//                                     the debug tables (line table,
+//                                     per-var location lists and
+//                                     availability ranges); FILE '-' means
+//                                     stdout (and, under --emit=run, skip
+//                                     execution so the JSON stands alone)
 //   sldbc --stats prog.mc             print the Stats registry (stderr)
 //   sldbc --debug prog.mc             interactive debugger (REPL)
 //   sldbc --debug --degrade-all ...   force the fail-safe degraded path
@@ -54,6 +60,7 @@
 
 #include "codegen/ISel.h"
 #include "codegen/MachineIR.h"
+#include "core/DebugInfo.h"
 #include "core/Debugger.h"
 #include "eval/CrossLevel.h"
 #include "ir/IRGen.h"
@@ -90,6 +97,7 @@ struct Options {
   bool PrintStats = false;
   bool DegradeAll = false;
   std::string TraceJson;
+  std::string DebugInfoFile; ///< --debug-info=FILE: DWARF-shaped export.
   std::uint64_t Fuel = 50'000'000;
   /// --batch input hardening: files larger than this are skipped, not
   /// compiled (a corpus directory is untrusted input).
@@ -105,7 +113,8 @@ void usage() {
                "             [--level=NAME] [--sweep-levels] [--batch DIR]\n"
                "             [--no-promote] [--no-schedule] [--debug]\n"
                "             [--time-passes] [--pass-stats] [--verify-each]\n"
-               "             [--trace-json=FILE] [--stats] [--degrade-all]\n"
+               "             [--trace-json=FILE] [--debug-info=FILE|-]\n"
+               "             [--stats] [--degrade-all]\n"
                "             [--fuel N] [--max-file-bytes N] [--arena-limit N]\n"
                "             [--cmd <repl-command>]... <file.mc>\n");
 }
@@ -151,6 +160,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.TraceJson = A.substr(13);
       if (Opts.TraceJson.empty()) {
         std::fprintf(stderr, "--trace-json needs a file name\n");
+        return false;
+      }
+    } else if (A.rfind("--debug-info=", 0) == 0) {
+      Opts.DebugInfoFile = A.substr(13);
+      if (Opts.DebugInfoFile.empty()) {
+        std::fprintf(stderr, "--debug-info needs a file name\n");
         return false;
       }
     } else if (A == "--stats") {
@@ -660,6 +675,18 @@ int main(int Argc, char **Argv) {
     return finish(1, Opts);
   }
   MachineModule &MM = *MME;
+
+  if (!Opts.DebugInfoFile.empty()) {
+    if (Opts.DebugInfoFile == "-") {
+      std::printf("%s", renderDebugInfo(MM).c_str());
+      if (Opts.Emit == "run")
+        return finish(0, Opts);
+    } else if (!writeDebugInfoFile(MM, Opts.DebugInfoFile)) {
+      std::fprintf(stderr, "cannot write debug info file '%s'\n",
+                   Opts.DebugInfoFile.c_str());
+      return finish(1, Opts);
+    }
+  }
 
   if (Opts.Emit == "asm") {
     for (const MachineFunction &F : MM.Funcs)
